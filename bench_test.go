@@ -1,0 +1,592 @@
+package repro
+
+// Benchmarks regenerating the paper's evaluation (§4.2). Figure 9 runs
+// each case study under the four configurations; Figure 10 reports the
+// performance breakdown; Figure 11 measures per-syscall sandbox
+// overhead. Absolute times are not comparable to the paper's testbed
+// (this kernel is a simulator); the shape — which configuration wins and
+// by how much — is what EXPERIMENTS.md compares.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/priv"
+	"repro/internal/prof"
+)
+
+// fig9Config pairs a configuration label with how to build and run it.
+type fig9Config struct {
+	name    string
+	install bool
+	mode    core.Mode
+}
+
+var fig9Configs = []fig9Config{
+	{"Baseline", false, core.ModeAmbient},
+	{"ShillInstalled", true, core.ModeAmbient},
+	{"Sandboxed", true, core.ModeSandboxed},
+	{"ShillVersion", true, core.ModeShill},
+}
+
+// --- Figure 9: Grading ---
+
+func BenchmarkFigure9Grading(b *testing.B) {
+	for _, cfg := range fig9Configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := core.NewSystem(core.Config{InstallModule: cfg.install, ConsoleLimit: 1 << 20})
+			defer s.Close()
+			s.BuildGradingCourse(core.GradingWorkload{Students: core.DefaultGrading.Students,
+				Tests: core.DefaultGrading.Tests, Malicious: false})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s.ResetGradingOutputs()
+				s.ConsoleText()
+				b.StartTimer()
+				if err := s.RunGrading(cfg.mode); err != nil {
+					b.Fatalf("grading[%s]: %v", cfg.name, err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 9: Emacs package management sub-benchmarks ---
+
+// emacsBenchSetup prepares the prerequisite state for a step.
+func emacsBenchSetup(s *core.System, step core.EmacsStep) error {
+	order := map[core.EmacsStep]int{
+		core.StepDownload: 0, core.StepUntar: 1, core.StepConfigure: 2,
+		core.StepMake: 3, core.StepInstall: 4, core.StepUninstall: 5,
+	}
+	for _, prior := range core.AllEmacsSteps {
+		if order[prior] >= order[step] {
+			return nil
+		}
+		if err := s.RunEmacsStep(prior, core.ModeAmbient); err != nil {
+			return fmt.Errorf("setup %s: %w", prior, err)
+		}
+	}
+	return nil
+}
+
+// emacsBenchReset undoes one step so it can run again.
+func emacsBenchReset(s *core.System, step core.EmacsStep) error {
+	switch step {
+	case core.StepDownload:
+		s.RemovePath("/home/user/Downloads/emacs-24.3.tar")
+	case core.StepUntar:
+		s.RemoveTree("/home/user/build/emacs-24.3")
+	case core.StepConfigure:
+		s.RemovePath("/home/user/build/emacs-24.3/Makefile")
+		s.RemovePath("/home/user/build/emacs-24.3/config.status")
+	case core.StepMake:
+		s.RemovePath("/home/user/build/emacs-24.3/emacs")
+	case core.StepInstall:
+		s.RemoveTree("/home/user/.local/bin")
+		s.RemoveTree("/home/user/.local/share")
+	case core.StepUninstall:
+		// Re-install before each uninstall iteration.
+		return s.RunEmacsStep(core.StepInstall, core.ModeAmbient)
+	}
+	return nil
+}
+
+func BenchmarkFigure9Emacs(b *testing.B) {
+	for _, step := range core.AllEmacsSteps {
+		for _, cfg := range fig9Configs[:3] { // no separate SHILL version per sub-step
+			b.Run(fmt.Sprintf("%s/%s", step, cfg.name), func(b *testing.B) {
+				s := core.NewSystem(core.Config{InstallModule: cfg.install, ConsoleLimit: 1 << 20})
+				defer s.Close()
+				s.BuildEmacsOrigin(core.DefaultEmacs)
+				stop, err := s.StartOrigin()
+				if err != nil {
+					b.Fatalf("origin: %v", err)
+				}
+				defer stop()
+				if err := emacsBenchSetup(s, step); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					if err := emacsBenchReset(s, step); err != nil {
+						b.Fatal(err)
+					}
+					s.ConsoleText()
+					b.StartTimer()
+					if err := s.RunEmacsStep(step, cfg.mode); err != nil {
+						b.Fatalf("%s[%s]: %v", step, cfg.name, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure9EmacsShill is the "Emacs" column's SHILL version: the
+// whole package-management script with per-function contracts.
+func BenchmarkFigure9EmacsShill(b *testing.B) {
+	s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	defer s.Close()
+	s.BuildEmacsOrigin(core.DefaultEmacs)
+	stop, err := s.StartOrigin()
+	if err != nil {
+		b.Fatalf("origin: %v", err)
+	}
+	defer stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s.ResetEmacsOutputs()
+		s.ConsoleText()
+		b.StartTimer()
+		if err := s.RunEmacsShill(); err != nil {
+			b.Fatalf("pkg_emacs: %v", err)
+		}
+	}
+}
+
+// --- Figure 9: Apache ---
+
+func BenchmarkFigure9Apache(b *testing.B) {
+	configs := []fig9Config{fig9Configs[0], fig9Configs[1], fig9Configs[2]}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := core.NewSystem(core.Config{InstallModule: cfg.install, ConsoleLimit: 1 << 20})
+			defer s.Close()
+			w := core.ApacheWorkload{FileMB: 2, Requests: 20, Concurrency: 8}
+			s.BuildWWW(w)
+			b.SetBytes(int64(w.FileMB) << 20 * int64(w.Requests))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.RunApache(cfg.mode, w); err != nil {
+					b.Fatalf("apache[%s]: %v", cfg.name, err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 9: Find ---
+
+func BenchmarkFigure9Find(b *testing.B) {
+	for _, cfg := range fig9Configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := core.NewSystem(core.Config{InstallModule: cfg.install, ConsoleLimit: 1 << 20})
+			defer s.Close()
+			s.BuildSrcTree(core.DefaultFind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.RunFind(cfg.mode); err != nil {
+					b.Fatalf("find[%s]: %v", cfg.name, err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 10: performance breakdown ---
+
+// BenchmarkFigure10 reports, per benchmark, the share of time in runtime
+// startup, sandbox setup, sandboxed execution, and remaining (script
+// evaluation and contract checking), plus the sandbox count — the
+// paper's Figure 10 rows.
+func BenchmarkFigure10(b *testing.B) {
+	cases := []struct {
+		name string
+		prep func(*core.System)
+		run  func(*core.System) error
+	}{
+		{"Uninstall", func(s *core.System) {
+			s.BuildEmacsOrigin(core.DefaultEmacs)
+			stop, err := s.StartOrigin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(stop)
+			if err := emacsBenchSetup(s, core.StepUninstall); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.RunEmacsStep(core.StepInstall, core.ModeAmbient); err != nil {
+				b.Fatal(err)
+			}
+		}, func(s *core.System) error {
+			if err := s.RunEmacsStep(core.StepInstall, core.ModeAmbient); err != nil {
+				return err
+			}
+			return s.RunEmacsStep(core.StepUninstall, core.ModeSandboxed)
+		}},
+		{"Download", func(s *core.System) {
+			s.BuildEmacsOrigin(core.DefaultEmacs)
+			stop, err := s.StartOrigin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(stop)
+		}, func(s *core.System) error {
+			s.RemovePath("/home/user/Downloads/emacs-24.3.tar")
+			return s.RunEmacsStep(core.StepDownload, core.ModeSandboxed)
+		}},
+		{"Grading", func(s *core.System) {
+			s.BuildGradingCourse(core.GradingWorkload{Students: core.DefaultGrading.Students,
+				Tests: core.DefaultGrading.Tests})
+		}, func(s *core.System) error {
+			s.ResetGradingOutputs()
+			return s.RunGrading(core.ModeShill)
+		}},
+		{"Find", func(s *core.System) {
+			s.BuildSrcTree(core.DefaultFind)
+		}, func(s *core.System) error {
+			return s.RunFind(core.ModeShill)
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+			defer s.Close()
+			c.prep(s)
+			s.Prof.Reset()
+			contract.ResetCheckTime()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := c.run(s); err != nil {
+					b.Fatalf("%s: %v", c.name, err)
+				}
+			}
+			total := time.Since(start)
+			bd := s.Prof.Report(total)
+			n := float64(b.N)
+			b.ReportMetric(bd.Startup.Seconds()/n, "startup-s/op")
+			b.ReportMetric(bd.SandboxSetup.Seconds()/n, "setup-s/op")
+			b.ReportMetric(bd.SandboxExec.Seconds()/n, "exec-s/op")
+			b.ReportMetric(bd.Remaining.Seconds()/n, "remaining-s/op")
+			b.ReportMetric(contract.CheckTime().Seconds()/n, "contract-s/op")
+			b.ReportMetric(float64(bd.Sandboxes)/n, "sandboxes/op")
+		})
+	}
+}
+
+// --- Figure 11: syscall microbenchmarks ---
+
+// microWorld builds the nested-directory world the open-read-close
+// benchmarks walk and returns a proc: either an ordinary one ("SHILL
+// installed") or one inside an entered session holding capabilities for
+// the benchmark objects ("Sandboxed").
+func microWorld(b *testing.B, sandboxed bool) (*kernel.Kernel, *kernel.Proc) {
+	b.Helper()
+	k := kernel.New()
+	k.InstallShillModule()
+	b.Cleanup(k.Shutdown)
+	mustWrite := func(path string, data []byte) {
+		if _, err := k.FS.WriteFile(path, data, 0o666, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	big := make([]byte, 1<<20)
+	mustWrite("/data/file1m.bin", big)
+	mustWrite("/data/file.bin", []byte("0123456789"))
+	mustWrite("/data/a/b/c/d/deep.bin", []byte("0123456789"))
+	if _, err := k.FS.MkdirAll("/work", 0o777, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+
+	p := k.NewProc(0, 0)
+	if !sandboxed {
+		if err := p.Chdir("/data"); err != nil {
+			b.Fatal(err)
+		}
+		return k, p
+	}
+	child, err := p.Fork()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := child.ShillInit(kernel.SessionOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	// Grant a read-everything capability on /data (lookup inherits) and
+	// full create rights on /work, mirroring a sandbox that was handed
+	// those two directory capabilities.
+	grant := func(path string, g *priv.Grant) {
+		if err := child.ShillGrant(k.FS.MustResolve(path), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	grant("/", priv.NewGrant(priv.RLookup, priv.RStat, priv.RPath))
+	grant("/data", priv.GrantOf(priv.ReadOnlyDir))
+	grant("/work", priv.GrantOf(priv.NewSet(
+		priv.RLookup, priv.RContents, priv.RStat, priv.RPath,
+		priv.RCreateFile, priv.RUnlinkFile, priv.RWrite, priv.RAppend)))
+	// Set the working directory while the session still accepts
+	// configuration, as sandbox.Exec does.
+	if err := child.Chdir("/data"); err != nil {
+		b.Fatal(err)
+	}
+	if err := child.ShillEnter(); err != nil {
+		b.Fatal(err)
+	}
+	return k, child
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for _, cfg := range []struct {
+		name      string
+		sandboxed bool
+	}{{"ShillInstalled", false}, {"Sandboxed", true}} {
+		b.Run("pread-1B/"+cfg.name, func(b *testing.B) {
+			_, p := microWorld(b, cfg.sandboxed)
+			fd, err := p.OpenAt(kernel.AtCWD, "/data/file.bin", kernel.ORead, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Pread(fd, buf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("pread-1MB/"+cfg.name, func(b *testing.B) {
+			_, p := microWorld(b, cfg.sandboxed)
+			fd, err := p.OpenAt(kernel.AtCWD, "/data/file1m.bin", kernel.ORead, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 1<<20)
+			b.SetBytes(1 << 20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Pread(fd, buf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("create-unlink/"+cfg.name, func(b *testing.B) {
+			_, p := microWorld(b, cfg.sandboxed)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fd, err := p.OpenAt(kernel.AtCWD, "/work/tmpfile", kernel.OCreate|kernel.OWrite, 0o644)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Close(fd)
+				if err := p.UnlinkAt(kernel.AtCWD, "/work/tmpfile", false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("open-read-close-1lookup/"+cfg.name, func(b *testing.B) {
+			_, p := microWorld(b, cfg.sandboxed)
+			buf := make([]byte, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fd, err := p.OpenAt(kernel.AtCWD, "file.bin", kernel.ORead, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Read(fd, buf)
+				p.Close(fd)
+			}
+		})
+		b.Run("open-read-close-5lookups/"+cfg.name, func(b *testing.B) {
+			_, p := microWorld(b, cfg.sandboxed)
+			buf := make([]byte, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fd, err := p.OpenAt(kernel.AtCWD, "a/b/c/d/deep.bin", kernel.ORead, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Read(fd, buf)
+				p.Close(fd)
+			}
+		})
+	}
+}
+
+// BenchmarkLookupDepthSweep verifies the §4.2 claim that sandbox
+// overhead on open grows linearly with path depth.
+func BenchmarkLookupDepthSweep(b *testing.B) {
+	for depth := 1; depth <= 8; depth++ {
+		for _, cfg := range []struct {
+			name      string
+			sandboxed bool
+		}{{"ShillInstalled", false}, {"Sandboxed", true}} {
+			b.Run(fmt.Sprintf("depth%d/%s", depth, cfg.name), func(b *testing.B) {
+				_, p := microWorld(b, cfg.sandboxed)
+				path := "/data"
+				rel := ""
+				for i := 1; i < depth; i++ {
+					rel += fmt.Sprintf("d%d/", i)
+				}
+				rel += "leaf.bin"
+				k := p.Kernel()
+				if _, err := k.FS.WriteFile(path+"/"+rel, []byte("x"), 0o666, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fd, err := p.OpenAt(kernel.AtCWD, rel, kernel.ORead, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.Close(fd)
+				}
+			})
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §Key design decisions) ---
+
+// BenchmarkAblationPropagation compares lookup-heavy opens with
+// propagation enabled (normal), disabled with per-object grants
+// (the configuration propagation replaces), and shows the check-only
+// cost.
+func BenchmarkAblationPropagation(b *testing.B) {
+	b.Run("propagation", func(b *testing.B) {
+		_, p := microWorld(b, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fd, err := p.OpenAt(kernel.AtCWD, "a/b/c/d/deep.bin", kernel.ORead, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Close(fd)
+		}
+	})
+	b.Run("static-grants", func(b *testing.B) {
+		k, p := microWorld(b, true)
+		k.Policy.SetPropagation(false)
+		b.Cleanup(func() { k.Policy.SetPropagation(true) })
+		// Without propagation every object needs an explicit grant; this
+		// is the configuration the post_lookup hook exists to avoid.
+		sess := p.Session()
+		for _, path := range []string{"/data/a", "/data/a/b", "/data/a/b/c", "/data/a/b/c/d", "/data/a/b/c/d/deep.bin"} {
+			k.Policy.GrantToSession(sess, k.FS.MustResolve(path), priv.GrantOf(priv.ReadOnlyDir))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fd, err := p.OpenAt(kernel.AtCWD, "a/b/c/d/deep.bin", kernel.ORead, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Close(fd)
+		}
+	})
+}
+
+// BenchmarkSandboxSetup isolates the cost of creating one sandbox (the
+// unit cost behind Grading's 5,371 and Find's 15,292 setups).
+func BenchmarkSandboxSetup(b *testing.B) {
+	s := core.NewSystem(core.Config{InstallModule: true})
+	defer s.Close()
+	vn := s.K.FS.MustResolve("/bin/true")
+	_ = vn
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child, err := s.Runtime.Fork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := child.ShillInit(kernel.SessionOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := child.ShillGrant(vn, priv.GrantOf(priv.ExecFile)); err != nil {
+			b.Fatal(err)
+		}
+		if err := child.ShillEnter(); err != nil {
+			b.Fatal(err)
+		}
+		if err := child.Exec(vn, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Runtime.Wait(child.PID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContractCheck isolates contract-application cost: the
+// pkg_native result contract, checked once per sandbox, dominates
+// contract time in the paper's profile.
+func BenchmarkContractCheck(b *testing.B) {
+	s := core.NewSystem(core.Config{InstallModule: true})
+	defer s.Close()
+	c := &contract.FuncC{
+		Params: []contract.Param{{Name: "args", C: contract.IsList}},
+		Result: contract.IsNum,
+	}
+	fn := benchCallable{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wrapped, err := contract.Apply(c, fn, contract.Blame{Pos: "bench", Neg: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wrapped.(contract.Callable).Call([]contract.Value{[]contract.Value{}}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchCallable struct{}
+
+func (benchCallable) FuncName() string { return "bench" }
+func (benchCallable) Call([]contract.Value, map[string]contract.Value) (contract.Value, error) {
+	return float64(0), nil
+}
+
+// BenchmarkInterpreterStartup measures the fixed per-run cost the paper
+// calls "Racket startup" — the dominant cost of the Download and
+// Uninstall benchmarks (§4.2).
+func BenchmarkInterpreterStartup(b *testing.B) {
+	s := core.NewSystem(core.Config{InstallModule: true})
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s.NewInterp()
+		_ = it
+	}
+}
+
+// BenchmarkPkgNative measures wallet construction plus pkg_native — the
+// per-tool packaging cost, including the ldd sandbox.
+func BenchmarkPkgNative(b *testing.B) {
+	s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	defer s.Close()
+	s.LoadCaseScripts()
+	s.Scripts["pkg.cap"] = `#lang shill/cap
+require shill/native;
+
+provide pack : {wallet : native_wallet} -> any;
+pack = fun(wallet) { pkg_native("grep", wallet); };
+`
+	ambient := `#lang shill/ambient
+require shill/native;
+require "pkg.cap";
+
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root, "/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
+pack(wallet);
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RunAmbient("bench.ambient", ambient); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- profiling sanity: the prof package is exercised by benches ---
+
+var _ = prof.Startup

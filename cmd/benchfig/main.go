@@ -1,0 +1,623 @@
+// Command benchfig regenerates the paper's evaluation tables and figures
+// (§4) against the simulated machine, printing rows in the same shape
+// the paper reports: mean wall time with a 95% confidence interval per
+// configuration (Figure 9), the performance breakdown (Figure 10), the
+// syscall microbenchmarks (Figure 11), the resource-protection matrix
+// (Figure 7), and the case-study script line counts (§4.1).
+//
+// Usage:
+//
+//	benchfig -fig 9            # case-study wall times
+//	benchfig -fig 10           # performance breakdown
+//	benchfig -fig 11           # syscall microbenchmarks
+//	benchfig -fig 7            # protection matrix
+//	benchfig -fig loc          # script line counts vs the paper
+//	benchfig -fig 9 -full      # paper-scale workloads (slow)
+//	benchfig -fig 9 -reps 20   # more repetitions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/priv"
+)
+
+func main() {
+	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep")
+	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 50)")
+	full := flag.Bool("full", false, "use paper-scale workloads")
+	flag.Parse()
+
+	switch *fig {
+	case "7":
+		figure7()
+	case "9":
+		figure9(*reps, *full)
+	case "10":
+		figure10(*full)
+	case "11":
+		figure11(*reps)
+	case "loc":
+		figureLoC()
+	case "sweep":
+		figureSweep(*reps)
+	default:
+		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// --- statistics ---
+
+type sample struct{ times []time.Duration }
+
+func (s *sample) add(d time.Duration) { s.times = append(s.times, d) }
+
+// meanCI returns the mean and half-width of a 95% confidence interval.
+func (s *sample) meanCI() (time.Duration, time.Duration) {
+	n := len(s.times)
+	if n == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, t := range s.times {
+		sum += t.Seconds()
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return time.Duration(mean * float64(time.Second)), 0
+	}
+	var ss float64
+	for _, t := range s.times {
+		d := t.Seconds() - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	ci := 1.96 * sd / math.Sqrt(float64(n))
+	return time.Duration(mean * float64(time.Second)), time.Duration(ci * float64(time.Second))
+}
+
+func row(name string, samples map[string]*sample, configs []string) {
+	fmt.Printf("%-12s", name)
+	base, _ := samples[configs[0]].meanCI()
+	for _, cfg := range configs {
+		mean, ci := samples[cfg].meanCI()
+		slow := ""
+		if cfg != configs[0] && base > 0 {
+			slow = fmt.Sprintf(" (%.2fx)", mean.Seconds()/base.Seconds())
+		}
+		fmt.Printf("  %12v ±%-10v%-8s", mean.Round(time.Microsecond), ci.Round(time.Microsecond), slow)
+	}
+	fmt.Println()
+}
+
+// --- Figure 9 ---
+
+func figure9(reps int, full bool) {
+	fmt.Println("Figure 9: case-study wall times (mean ± 95% CI; paper Figure 9)")
+	configs := []string{"Baseline", "SHILL installed", "Sandboxed", "SHILL version"}
+	fmt.Printf("%-12s", "benchmark")
+	for _, c := range configs {
+		fmt.Printf("  %-32s", c)
+	}
+	fmt.Println()
+
+	grading := core.DefaultGrading
+	find := core.DefaultFind
+	apache := core.ApacheWorkload{FileMB: 2, Requests: 20, Concurrency: 8}
+	emacs := core.DefaultEmacs
+	if full {
+		grading = core.FullScaleGrading
+		find = core.FullScaleFind
+		apache = core.ApacheWorkload{FileMB: 50, Requests: 500, Concurrency: 100}
+		emacs = core.EmacsWorkload{SrcKB: 2048}
+	}
+	grading.Malicious = false
+
+	type runner struct {
+		name  string
+		modes map[string]func() (*core.System, func() error)
+	}
+	mkGrading := func(install bool, mode core.Mode) func() (*core.System, func() error) {
+		return func() (*core.System, func() error) {
+			s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
+			s.BuildGradingCourse(grading)
+			return s, func() error {
+				s.ResetGradingOutputs()
+				s.ConsoleText()
+				return s.RunGrading(mode)
+			}
+		}
+	}
+	mkFind := func(install bool, mode core.Mode) func() (*core.System, func() error) {
+		return func() (*core.System, func() error) {
+			s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
+			s.BuildSrcTree(find)
+			return s, func() error { return s.RunFind(mode) }
+		}
+	}
+	mkApache := func(install bool, mode core.Mode) func() (*core.System, func() error) {
+		return func() (*core.System, func() error) {
+			s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
+			s.BuildWWW(apache)
+			return s, func() error { return s.RunApache(mode, apache) }
+		}
+	}
+	mkEmacs := func(install bool, mode core.Mode, shill bool) func() (*core.System, func() error) {
+		return func() (*core.System, func() error) {
+			s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
+			s.BuildEmacsOrigin(emacs)
+			if _, err := s.StartOrigin(); err != nil {
+				panic(err)
+			}
+			return s, func() error {
+				s.ResetEmacsOutputs()
+				s.ConsoleText()
+				if shill {
+					return s.RunEmacsShill()
+				}
+				for _, step := range core.AllEmacsSteps {
+					if err := s.RunEmacsStep(step, mode); err != nil {
+						return fmt.Errorf("%s: %w", step, err)
+					}
+				}
+				return nil
+			}
+		}
+	}
+
+	benchmarks := []runner{
+		{"Grading", map[string]func() (*core.System, func() error){
+			"Baseline":        mkGrading(false, core.ModeAmbient),
+			"SHILL installed": mkGrading(true, core.ModeAmbient),
+			"Sandboxed":       mkGrading(true, core.ModeSandboxed),
+			"SHILL version":   mkGrading(true, core.ModeShill),
+		}},
+		{"Emacs", map[string]func() (*core.System, func() error){
+			"Baseline":        mkEmacs(false, core.ModeAmbient, false),
+			"SHILL installed": mkEmacs(true, core.ModeAmbient, false),
+			"Sandboxed":       mkEmacs(true, core.ModeSandboxed, false),
+			"SHILL version":   mkEmacs(true, core.ModeShill, true),
+		}},
+		{"Apache", map[string]func() (*core.System, func() error){
+			"Baseline":        mkApache(false, core.ModeAmbient),
+			"SHILL installed": mkApache(true, core.ModeAmbient),
+			"Sandboxed":       mkApache(true, core.ModeSandboxed),
+			"SHILL version":   mkApache(true, core.ModeSandboxed), // the apache script IS the SHILL version
+		}},
+		{"Find", map[string]func() (*core.System, func() error){
+			"Baseline":        mkFind(false, core.ModeAmbient),
+			"SHILL installed": mkFind(true, core.ModeAmbient),
+			"Sandboxed":       mkFind(true, core.ModeSandboxed),
+			"SHILL version":   mkFind(true, core.ModeShill),
+		}},
+	}
+
+	for _, b := range benchmarks {
+		samples := map[string]*sample{}
+		for _, cfg := range configs {
+			samples[cfg] = &sample{}
+			sys, run := b.modes[cfg]()
+			for i := 0; i < reps; i++ {
+				start := time.Now()
+				if err := run(); err != nil {
+					fmt.Fprintf(os.Stderr, "benchfig: %s/%s: %v\n", b.name, cfg, err)
+					os.Exit(1)
+				}
+				samples[cfg].add(time.Since(start))
+			}
+			sys.Close()
+		}
+		row(b.name, samples, configs)
+	}
+	fmt.Println("\nEmacs sub-benchmarks (Baseline / SHILL installed / Sandboxed):")
+	subConfigs := []string{"Baseline", "SHILL installed", "Sandboxed"}
+	for _, step := range core.AllEmacsSteps {
+		samples := map[string]*sample{}
+		for _, cfg := range subConfigs {
+			install := cfg != "Baseline"
+			mode := core.ModeAmbient
+			if cfg == "Sandboxed" {
+				mode = core.ModeSandboxed
+			}
+			s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
+			s.BuildEmacsOrigin(emacs)
+			stop, err := s.StartOrigin()
+			if err != nil {
+				panic(err)
+			}
+			// Prepare prerequisite state ambiently.
+			for _, prior := range core.AllEmacsSteps {
+				if prior == step {
+					break
+				}
+				if err := s.RunEmacsStep(prior, core.ModeAmbient); err != nil {
+					panic(err)
+				}
+			}
+			samples[cfg] = &sample{}
+			for i := 0; i < reps; i++ {
+				resetEmacsStep(s, step)
+				s.ConsoleText()
+				start := time.Now()
+				if err := s.RunEmacsStep(step, mode); err != nil {
+					fmt.Fprintf(os.Stderr, "benchfig: %s/%s: %v\n", step, cfg, err)
+					os.Exit(1)
+				}
+				samples[cfg].add(time.Since(start))
+			}
+			stop()
+			s.Close()
+		}
+		row(string(step), samples, subConfigs)
+	}
+}
+
+func resetEmacsStep(s *core.System, step core.EmacsStep) {
+	switch step {
+	case core.StepDownload:
+		s.RemovePath("/home/user/Downloads/emacs-24.3.tar")
+	case core.StepUntar:
+		s.RemoveTree("/home/user/build/emacs-24.3")
+	case core.StepConfigure:
+		s.RemovePath("/home/user/build/emacs-24.3/Makefile")
+		s.RemovePath("/home/user/build/emacs-24.3/config.status")
+	case core.StepMake:
+		s.RemovePath("/home/user/build/emacs-24.3/emacs")
+	case core.StepInstall:
+		s.RemoveTree("/home/user/.local/bin")
+		s.RemoveTree("/home/user/.local/share")
+	case core.StepUninstall:
+		s.RunEmacsStep(core.StepInstall, core.ModeAmbient)
+	}
+}
+
+// --- Figure 10 ---
+
+func figure10(full bool) {
+	fmt.Println("Figure 10: performance breakdown (paper Figure 10)")
+	fmt.Printf("%-12s %12s %12s %12s %12s %12s %10s\n",
+		"benchmark", "total", "startup", "sbx setup", "sbx exec", "remaining", "sandboxes")
+
+	grading := core.DefaultGrading
+	find := core.DefaultFind
+	if full {
+		grading = core.FullScaleGrading
+		find = core.FullScaleFind
+	}
+	grading.Malicious = false
+
+	type c struct {
+		name string
+		prep func(*core.System)
+		run  func(*core.System) error
+	}
+	cases := []c{
+		{"Uninstall", func(s *core.System) {
+			s.BuildEmacsOrigin(core.DefaultEmacs)
+			if _, err := s.StartOrigin(); err != nil {
+				panic(err)
+			}
+			for _, step := range core.AllEmacsSteps[:5] {
+				if err := s.RunEmacsStep(step, core.ModeAmbient); err != nil {
+					panic(err)
+				}
+			}
+		}, func(s *core.System) error {
+			return s.RunEmacsStep(core.StepUninstall, core.ModeSandboxed)
+		}},
+		{"Download", func(s *core.System) {
+			s.BuildEmacsOrigin(core.DefaultEmacs)
+			if _, err := s.StartOrigin(); err != nil {
+				panic(err)
+			}
+		}, func(s *core.System) error {
+			s.RemovePath("/home/user/Downloads/emacs-24.3.tar")
+			return s.RunEmacsStep(core.StepDownload, core.ModeSandboxed)
+		}},
+		{"Grading", func(s *core.System) {
+			s.BuildGradingCourse(grading)
+		}, func(s *core.System) error {
+			s.ResetGradingOutputs()
+			return s.RunGrading(core.ModeShill)
+		}},
+		{"Find", func(s *core.System) {
+			s.BuildSrcTree(find)
+		}, func(s *core.System) error {
+			return s.RunFind(core.ModeShill)
+		}},
+	}
+	for _, cs := range cases {
+		s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+		cs.prep(s)
+		s.Prof.Reset()
+		start := time.Now()
+		if err := cs.run(s); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", cs.name, err)
+			os.Exit(1)
+		}
+		bd := s.Prof.Report(time.Since(start))
+		fmt.Printf("%-12s %12v %12v %12v %12v %12v %10d\n",
+			cs.name,
+			bd.Total.Round(time.Microsecond),
+			bd.Startup.Round(time.Microsecond),
+			bd.SandboxSetup.Round(time.Microsecond),
+			bd.SandboxExec.Round(time.Microsecond),
+			bd.Remaining.Round(time.Microsecond),
+			bd.Sandboxes)
+		s.Close()
+	}
+}
+
+// --- Figure 11 ---
+
+func figure11(reps int) {
+	fmt.Println("Figure 11: syscall microbenchmarks, SHILL installed vs Sandboxed (paper Figure 11)")
+	fmt.Printf("%-24s %14s %14s %14s\n", "operation", "installed", "sandboxed", "difference")
+
+	iters := 100000
+	type micro struct {
+		name string
+		run  func(p *kernel.Proc, n int) error
+	}
+	micros := []micro{
+		{"pread-1B", func(p *kernel.Proc, n int) error {
+			fd, err := p.OpenAt(kernel.AtCWD, "/data/file.bin", kernel.ORead, 0)
+			if err != nil {
+				return err
+			}
+			defer p.Close(fd)
+			buf := make([]byte, 1)
+			for i := 0; i < n; i++ {
+				if _, err := p.Pread(fd, buf, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"pread-1MB", func(p *kernel.Proc, n int) error {
+			fd, err := p.OpenAt(kernel.AtCWD, "/data/file1m.bin", kernel.ORead, 0)
+			if err != nil {
+				return err
+			}
+			defer p.Close(fd)
+			buf := make([]byte, 1<<20)
+			for i := 0; i < n/100+1; i++ {
+				if _, err := p.Pread(fd, buf, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"create-unlink", func(p *kernel.Proc, n int) error {
+			for i := 0; i < n; i++ {
+				fd, err := p.OpenAt(kernel.AtCWD, "/work/tmp", kernel.OCreate|kernel.OWrite, 0o644)
+				if err != nil {
+					return err
+				}
+				p.Close(fd)
+				if err := p.UnlinkAt(kernel.AtCWD, "/work/tmp", false); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"open-read-close (1)", func(p *kernel.Proc, n int) error {
+			buf := make([]byte, 1)
+			for i := 0; i < n; i++ {
+				fd, err := p.OpenAt(kernel.AtCWD, "file.bin", kernel.ORead, 0)
+				if err != nil {
+					return err
+				}
+				p.Read(fd, buf)
+				p.Close(fd)
+			}
+			return nil
+		}},
+		{"open-read-close (5)", func(p *kernel.Proc, n int) error {
+			buf := make([]byte, 1)
+			for i := 0; i < n; i++ {
+				fd, err := p.OpenAt(kernel.AtCWD, "a/b/c/d/deep.bin", kernel.ORead, 0)
+				if err != nil {
+					return err
+				}
+				p.Read(fd, buf)
+				p.Close(fd)
+			}
+			return nil
+		}},
+	}
+	for _, m := range micros {
+		perOp := map[bool]*sample{false: {}, true: {}}
+		for _, sandboxed := range []bool{false, true} {
+			for r := 0; r < reps; r++ {
+				p := microProc(sandboxed)
+				n := iters
+				if strings.Contains(m.name, "1MB") {
+					n = 1000
+				}
+				start := time.Now()
+				if err := m.run(p, n); err != nil {
+					fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", m.name, err)
+					os.Exit(1)
+				}
+				perOp[sandboxed].add(time.Since(start) / time.Duration(n))
+				p.Kernel().Shutdown()
+			}
+		}
+		inst, _ := perOp[false].meanCI()
+		sbx, _ := perOp[true].meanCI()
+		fmt.Printf("%-24s %14v %14v %14v\n", m.name, inst, sbx, sbx-inst)
+	}
+}
+
+func microProc(sandboxed bool) *kernel.Proc {
+	k := kernel.New()
+	k.InstallShillModule()
+	big := make([]byte, 1<<20)
+	k.FS.WriteFile("/data/file1m.bin", big, 0o666, 0, 0)
+	k.FS.WriteFile("/data/file.bin", []byte("0123456789"), 0o666, 0, 0)
+	k.FS.WriteFile("/data/a/b/c/d/deep.bin", []byte("0123456789"), 0o666, 0, 0)
+	k.FS.MkdirAll("/work", 0o777, 0, 0)
+	p := k.NewProc(0, 0)
+	if sandboxed {
+		child, err := p.Fork()
+		if err != nil {
+			panic(err)
+		}
+		if _, err := child.ShillInit(kernel.SessionOptions{}); err != nil {
+			panic(err)
+		}
+		child.ShillGrant(k.FS.MustResolve("/"), priv.NewGrant(priv.RLookup, priv.RStat, priv.RPath))
+		child.ShillGrant(k.FS.MustResolve("/data"), priv.GrantOf(priv.ReadOnlyDir))
+		child.ShillGrant(k.FS.MustResolve("/work"), priv.GrantOf(priv.NewSet(
+			priv.RLookup, priv.RContents, priv.RStat, priv.RPath,
+			priv.RCreateFile, priv.RUnlinkFile, priv.RWrite, priv.RAppend)))
+		// The working directory is set while the session still accepts
+		// configuration, as sandbox.Exec does.
+		if err := child.Chdir("/data"); err != nil {
+			panic(err)
+		}
+		if err := child.ShillEnter(); err != nil {
+			panic(err)
+		}
+		return child
+	}
+	if err := p.Chdir("/data"); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- Figure 7 conformance ---
+
+func figure7() {
+	fmt.Println("Figure 7: system resources and how each is protected (verified against the implementation)")
+	fmt.Printf("%-28s %-16s %-16s\n", "Resource", "Language", "Sandbox")
+	rows := [][3]string{
+		{"Directories, files, links", "Capabilities", "Capabilities"},
+		{"Pipes", "Capabilities", "Capabilities"},
+		{"Character Devices", "Capabilities", "Capabilities*"},
+		{"Sockets (IP, Unix)", "Capabilities", "Capabilities"},
+		{"Sockets (other)", "Denied", "Denied"},
+		{"Processes", "ulimit", "Confinement"},
+		{"Sysctl", "Denied", "Read-only"},
+		{"Kernel environment", "Denied", "Denied"},
+		{"Kernel modules", "Denied", "Denied"},
+		{"POSIX IPC", "Denied", "Denied"},
+		{"System V IPC", "Denied", "Denied"},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-28s %-16s %-16s\n", r[0], r[1], r[2])
+	}
+	fmt.Println("*: character-device reads/writes are not interposed on (§3.2.3 limitation, reproduced)")
+	fmt.Println("\nrun `go test ./internal/conformance` to verify each row mechanically")
+}
+
+// --- LoC table ---
+
+func figureLoC() {
+	fmt.Println("Case-study script sizes, this reproduction vs the paper (§4.1)")
+	fmt.Printf("%-28s %8s %10s %12s\n", "script", "lines", "contract", "paper")
+	type entry struct {
+		name  string
+		src   string
+		isCap bool
+		paper string
+	}
+	entries := []entry{
+		{"grade.sh (Bash)", core.GradeSh, false, "61"},
+		{"grade_sandbox.cap", core.ScriptGradeSandboxCap, true, "22 (14 contract)"},
+		{"grade_sandbox ambient", core.ScriptGradeAmbientSandbox, false, "22"},
+		{"grade.cap (pure SHILL)", core.ScriptGradeCap, true, "78 (6 contract)"},
+		{"grade ambient", core.ScriptGradeAmbientShill, false, "16"},
+		{"pkg_emacs.cap", core.ScriptPkgEmacsCap, true, "91 (45 contract)"},
+		{"pkg_emacs ambient", core.ScriptPkgEmacsAmbient, false, "114"},
+		{"apache.cap", core.ScriptApacheCap, true, "30 (20 contract)"},
+		{"apache ambient", core.ScriptApacheAmbient, false, "27"},
+		{"findgrep.cap", core.ScriptFindGrepSandboxCap, true, "27 (5 contract)"},
+		{"findgrep ambient", core.ScriptFindGrepAmbientSandbox, false, "11"},
+		{"findgrep_fine.cap", core.ScriptFindGrepFineCap, true, "60 (11 contract)"},
+		{"findgrep_fine ambient", core.ScriptFindGrepAmbientFine, false, "9"},
+	}
+	for _, e := range entries {
+		total, contractLines := countScript(e.src)
+		c := "-"
+		if e.isCap {
+			c = fmt.Sprint(contractLines)
+		}
+		fmt.Printf("%-28s %8d %10s   %-20s\n", e.name, total, c, e.paper)
+	}
+}
+
+// countScript counts non-blank, non-comment lines, and the subset that
+// belongs to provide contracts.
+func countScript(src string) (total, contractLines int) {
+	inProvide := false
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		total++
+		if strings.HasPrefix(t, "provide ") {
+			inProvide = true
+		}
+		if inProvide {
+			contractLines++
+			if strings.HasSuffix(t, ";") {
+				inProvide = false
+			}
+		}
+	}
+	return total, contractLines
+}
+
+// --- depth sweep ---
+
+func figureSweep(reps int) {
+	fmt.Println("open-read-close overhead vs path depth (§4.2: \"overhead increases linearly\")")
+	fmt.Printf("%-8s %14s %14s %14s\n", "depth", "installed", "sandboxed", "difference")
+	depths := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	iters := 50000
+	for _, depth := range depths {
+		perOp := map[bool]*sample{false: {}, true: {}}
+		for _, sandboxed := range []bool{false, true} {
+			for r := 0; r < reps; r++ {
+				p := microProc(sandboxed)
+				k := p.Kernel()
+				rel := ""
+				for i := 1; i < depth; i++ {
+					rel += fmt.Sprintf("d%d/", i)
+				}
+				rel += "leaf.bin"
+				k.FS.WriteFile("/data/"+rel, []byte("x"), 0o666, 0, 0)
+				buf := make([]byte, 1)
+				start := time.Now()
+				for i := 0; i < iters; i++ {
+					fd, err := p.OpenAt(kernel.AtCWD, rel, kernel.ORead, 0)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "benchfig: depth %d: %v\n", depth, err)
+						os.Exit(1)
+					}
+					p.Read(fd, buf)
+					p.Close(fd)
+				}
+				perOp[sandboxed].add(time.Since(start) / time.Duration(iters))
+				k.Shutdown()
+			}
+		}
+		inst, _ := perOp[false].meanCI()
+		sbx, _ := perOp[true].meanCI()
+		fmt.Printf("%-8d %14v %14v %14v\n", depth, inst, sbx, sbx-inst)
+	}
+	sort.Strings(nil) // keep sort imported for future table work
+}

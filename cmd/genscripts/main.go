@@ -1,0 +1,27 @@
+// Command genscripts regenerates examples/scripts/ from the embedded
+// case-study script constants in internal/core, so the SHILL sources are
+// browsable as ordinary files (and runnable with cmd/shill). Run from
+// the repository root:
+//
+//	go run ./cmd/genscripts
+//
+// TestScriptFilesInSync (internal/core) fails if the files drift from
+// the constants.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	for name, src := range core.ScriptFiles() {
+		if err := os.WriteFile("examples/scripts/"+name, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d scripts to examples/scripts/\n", len(core.ScriptFiles()))
+}

@@ -1,0 +1,270 @@
+// Command shill-sandbox is the paper's command-line debugging tool
+// (§3.2.2): it runs a single command inside a capability-based sandbox
+// with capabilities specified in a policy file, optionally in debugging
+// mode, which automatically grants the privileges an operation would
+// otherwise be denied and logs them — "a useful starting point for
+// identifying necessary capabilities to provide to a SHILL script".
+//
+// Usage:
+//
+//	shill-sandbox [-debug] [-policy file] [-workload name] -- command arg...
+//
+// Policy file syntax, one grant per line:
+//
+//	# path                privileges
+//	/usr/src              +lookup, +contents, +stat, +path, +read
+//	/home/user/out.txt    +write, +append
+//	socket ip             +sock-create, +sock-connect, +sock-send, +sock-recv
+//
+// A privilege may carry a derivation modifier: +lookup with (+read, +stat).
+// Relative paths resolve against /home/user. The sandbox always receives
+// the command's executable and standard library capabilities.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cap"
+	"repro/internal/core"
+	"repro/internal/netstack"
+	"repro/internal/priv"
+	"repro/internal/sandbox"
+	"repro/internal/stdlib"
+)
+
+func main() {
+	debug := flag.Bool("debug", false, "debugging mode: auto-grant missing privileges and log them")
+	policyFile := flag.String("policy", "", "policy file of capability grants")
+	workload := flag.String("workload", "demo", "image to stage: demo, grading, emacs, apache, find, none")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: shill-sandbox [flags] -- command arg...")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := core.NewSystem(core.Config{InstallModule: true})
+	defer s.Close()
+	if err := stage(s, *workload); err != nil {
+		fail("%v", err)
+	}
+
+	var grants []grantLine
+	if *policyFile != "" {
+		data, err := os.ReadFile(*policyFile)
+		if err != nil {
+			fail("%v", err)
+		}
+		grants, err = parsePolicy(string(data))
+		if err != nil {
+			fail("policy: %v", err)
+		}
+	}
+
+	// Resolve the executable and its library dependencies.
+	exePath := args[0]
+	if !strings.Contains(exePath, "/") {
+		for _, dir := range []string{"/bin/", "/usr/bin/", "/usr/local/sbin/"} {
+			if _, err := s.K.FS.Resolve(dir + exePath); err == nil {
+				exePath = dir + exePath
+				break
+			}
+		}
+	}
+	exeVn, err := s.K.FS.Resolve(exePath)
+	if err != nil {
+		fail("command %s: %v", args[0], err)
+	}
+	exe := cap.NewFile(s.Runtime, exeVn, stdlib.ExecGrant)
+
+	opts := sandbox.Options{
+		Debug:   *debug,
+		Logging: true,
+		Prof:    s.Prof,
+		Stdout:  consoleCap(s),
+		Stderr:  consoleCap(s),
+		Stdin:   consoleCap(s),
+	}
+	// Library directories ride along read-only, as pkg_native would
+	// arrange.
+	for _, libDir := range []string{"/lib", "/usr/local/lib"} {
+		vn, err := s.K.FS.Resolve(libDir)
+		if err == nil {
+			opts.Extras = append(opts.Extras, cap.NewDir(s.Runtime, vn, stdlib.ReadOnlyDirGrant))
+		}
+	}
+	sargs := make([]sandbox.Arg, 0, len(args)-1)
+	for _, a := range args[1:] {
+		sargs = append(sargs, sandbox.StrArg(a))
+	}
+	for _, g := range grants {
+		if g.socket != "" {
+			domain := netstack.DomainIP
+			if g.socket == "unix" {
+				domain = netstack.DomainUnix
+			}
+			opts.SocketFactories = append(opts.SocketFactories,
+				cap.NewSocketFactory(s.Runtime, domain, g.grant))
+			continue
+		}
+		vn, err := s.K.FS.Resolve(g.path)
+		if err != nil {
+			fail("policy: %s: %v", g.path, err)
+		}
+		opts.Extras = append(opts.Extras, cap.NewForVnode(s.Runtime, vn, g.grant))
+	}
+
+	res, err := sandbox.Exec(s.Runtime, exe, sargs, opts)
+	fmt.Print(s.ConsoleText())
+	if err != nil {
+		fail("exec: %v", err)
+	}
+	if log := res.Session.Log(); log != nil {
+		denials := log.Denials()
+		autos := log.AutoGrants()
+		if len(denials) > 0 {
+			fmt.Fprintln(os.Stderr, "--- denied operations ---")
+			for _, e := range denials {
+				fmt.Fprintln(os.Stderr, e)
+			}
+		}
+		if len(autos) > 0 {
+			fmt.Fprintln(os.Stderr, "--- privileges auto-granted in debug mode (add these to your policy) ---")
+			for _, e := range autos {
+				fmt.Fprintln(os.Stderr, e)
+			}
+		}
+	}
+	os.Exit(res.ExitCode)
+}
+
+func consoleCap(s *core.System) *cap.Capability {
+	vn := s.K.FS.MustResolve("/dev/console")
+	return cap.NewFile(s.Runtime, vn, priv.FullGrant())
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "shill-sandbox: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func stage(s *core.System, name string) error {
+	switch name {
+	case "none":
+		return nil
+	case "demo":
+		_, err := s.K.FS.WriteFile("/home/user/Documents/dog.jpg", []byte("JFIFdog"), 0o644, core.UserUID, core.UserUID)
+		return err
+	case "grading":
+		s.BuildGradingCourse(core.DefaultGrading)
+	case "emacs":
+		s.BuildEmacsOrigin(core.DefaultEmacs)
+		_, err := s.StartOrigin()
+		return err
+	case "apache":
+		s.BuildWWW(core.DefaultApache)
+	case "find":
+		s.BuildSrcTree(core.DefaultFind)
+	default:
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	return nil
+}
+
+// grantLine is one parsed policy grant.
+type grantLine struct {
+	path   string // filesystem grants
+	socket string // "ip" or "unix" for socket-factory grants
+	grant  *priv.Grant
+}
+
+// parsePolicy parses the policy file format.
+func parsePolicy(src string) ([]grantLine, error) {
+	var out []grantLine
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want \"<path> <privileges>\"", lineNo+1)
+		}
+		target := fields[0]
+		rest := strings.TrimSpace(fields[1])
+		g := grantLine{}
+		if target == "socket" {
+			sub := strings.SplitN(rest, " ", 2)
+			if len(sub) != 2 || (sub[0] != "ip" && sub[0] != "unix") {
+				return nil, fmt.Errorf("line %d: want \"socket ip|unix <privileges>\"", lineNo+1)
+			}
+			g.socket = sub[0]
+			rest = sub[1]
+		} else {
+			if !strings.HasPrefix(target, "/") {
+				target = "/home/user/" + target
+			}
+			g.path = target
+		}
+		grant, err := parseGrant(rest)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		g.grant = grant
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// parseGrant parses "+a, +b with (+c, +d), +e".
+func parseGrant(s string) (*priv.Grant, error) {
+	g := &priv.Grant{}
+	for len(s) > 0 {
+		s = strings.TrimLeft(s, " \t,")
+		if s == "" {
+			break
+		}
+		if !strings.HasPrefix(s, "+") {
+			return nil, fmt.Errorf("expected +privilege at %q", s)
+		}
+		s = s[1:]
+		end := strings.IndexAny(s, " ,\t")
+		name := s
+		if end >= 0 {
+			name = s[:end]
+			s = s[end:]
+		} else {
+			s = ""
+		}
+		r, err := priv.ParseRight(strings.ReplaceAll(name, "_", "-"))
+		if err != nil {
+			return nil, err
+		}
+		g.Rights = g.Rights.Add(r)
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "with") {
+			s = strings.TrimLeft(s[4:], " \t")
+			if !strings.HasPrefix(s, "(") {
+				return nil, fmt.Errorf("expected ( after with")
+			}
+			close := strings.IndexByte(s, ')')
+			if close < 0 {
+				return nil, fmt.Errorf("unterminated with(...)")
+			}
+			sub, err := parseGrant(s[1:close])
+			if err != nil {
+				return nil, err
+			}
+			if g.Derived == nil {
+				g.Derived = make(map[priv.Right]*priv.Grant)
+			}
+			g.Derived[r] = sub
+			s = s[close+1:]
+		}
+	}
+	return g, nil
+}

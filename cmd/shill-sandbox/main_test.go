@@ -1,0 +1,81 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/priv"
+)
+
+func TestParseGrant(t *testing.T) {
+	g, err := parseGrant("+read, +lookup with (+stat, +path), +append")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := priv.NewSet(priv.RRead, priv.RLookup, priv.RAppend)
+	if g.Rights != want {
+		t.Fatalf("rights = %v", g.Rights)
+	}
+	sub := g.DerivedGrant(priv.RLookup)
+	if sub.Rights != priv.NewSet(priv.RStat, priv.RPath) {
+		t.Fatalf("modifier = %v", sub.Rights)
+	}
+}
+
+func TestParseGrantUnderscores(t *testing.T) {
+	g, err := parseGrant("+create_file, +unlink_file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(priv.RCreateFile) || !g.Has(priv.RUnlinkFile) {
+		t.Fatalf("underscore names not accepted: %v", g)
+	}
+}
+
+func TestParseGrantErrors(t *testing.T) {
+	for _, s := range []string{
+		"read",                // missing +
+		"+nosuch",             // unknown privilege
+		"+lookup with +read",  // missing parens
+		"+lookup with (+read", // unterminated
+	} {
+		if _, err := parseGrant(s); err == nil {
+			t.Errorf("parseGrant(%q) succeeded", s)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	src := `# policy
+/usr/src   +lookup, +contents, +read, +stat, +path
+out.txt    +write, +append
+socket ip  +sock-create, +sock-connect, +sock-send, +sock-recv
+`
+	grants, err := parsePolicy(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grants) != 3 {
+		t.Fatalf("grants = %d", len(grants))
+	}
+	if grants[0].path != "/usr/src" || !grants[0].grant.Has(priv.RContents) {
+		t.Fatalf("line 1: %+v", grants[0])
+	}
+	// Relative paths resolve against the home directory.
+	if grants[1].path != "/home/user/out.txt" {
+		t.Fatalf("line 2 path = %s", grants[1].path)
+	}
+	if grants[2].socket != "ip" || !grants[2].grant.Has(priv.RSockConnect) {
+		t.Fatalf("line 3: %+v", grants[2])
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	for _, src := range []string{
+		"/path\n",                   // missing privileges
+		"socket tcp +sock-create\n", // unknown domain
+	} {
+		if _, err := parsePolicy(src); err == nil {
+			t.Errorf("parsePolicy(%q) succeeded", src)
+		}
+	}
+}

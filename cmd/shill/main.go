@@ -1,0 +1,113 @@
+// Command shill runs a SHILL ambient script against a freshly built
+// simulated machine (see internal/core): the interpreter plays the role
+// of the paper's Racket front end, and the machine stands in for
+// FreeBSD 9.2 with the SHILL kernel module loaded.
+//
+// Usage:
+//
+//	shill [-no-module] [-workload name] script.ambient [more.ambient ...]
+//
+// Scripts are read from the host filesystem; require "x.cap" resolves
+// first against the host directory of the requiring script, then against
+// the built-in case-study scripts (grade.cap, pkg_emacs.cap, apache.cap,
+// find.cap, findgrep.cap, findgrep_fine.cap, jpeginfo.cap, run_cmd.cap).
+//
+// The -workload flag stages one of the paper's case-study images before
+// running: grading, emacs, apache, find, or demo (a home directory with
+// a few JPEGs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+)
+
+func main() {
+	noModule := flag.Bool("no-module", false, "do not install the SHILL kernel module (Baseline configuration)")
+	workload := flag.String("workload", "demo", "image to stage: demo, grading, emacs, apache, find, none")
+	quiet := flag.Bool("quiet", false, "suppress the console dump after each script")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: shill [flags] script.ambient ...")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := core.NewSystem(core.Config{InstallModule: !*noModule})
+	defer s.Close()
+	if err := stageWorkload(s, *workload); err != nil {
+		fmt.Fprintf(os.Stderr, "shill: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, script := range flag.Args() {
+		src, err := os.ReadFile(script)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shill: %v\n", err)
+			os.Exit(1)
+		}
+		loader := hostLoader{dir: filepath.Dir(script), fallback: s.Scripts}
+		it := lang.NewInterp(s.Runtime, loader, s.Prof)
+		if err := it.RunAmbient(filepath.Base(script), string(src)); err != nil {
+			fmt.Fprintf(os.Stderr, "shill: %s: %v\n", script, err)
+			if out := s.ConsoleText(); out != "" {
+				fmt.Fprintf(os.Stderr, "--- console ---\n%s", out)
+			}
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Print(s.ConsoleText())
+		}
+	}
+}
+
+// hostLoader resolves required scripts from the host filesystem with the
+// built-in scripts as a fallback.
+type hostLoader struct {
+	dir      string
+	fallback lang.MapLoader
+}
+
+// Load implements lang.Loader.
+func (l hostLoader) Load(name string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(l.dir, name))
+	if err == nil {
+		return string(data), nil
+	}
+	return l.fallback.Load(name)
+}
+
+func stageWorkload(s *core.System, name string) error {
+	// The built-in case-study scripts are always available to require.
+	s.LoadCaseScripts()
+	switch name {
+	case "none":
+		return nil
+	case "demo":
+		if _, err := s.K.FS.WriteFile("/home/user/Documents/dog.jpg", []byte("JFIFdog"), 0o644, core.UserUID, core.UserUID); err != nil {
+			return err
+		}
+		_, err := s.K.FS.WriteFile("/home/user/Documents/cat.jpg", []byte("JFIFcat"), 0o644, core.UserUID, core.UserUID)
+		return err
+	case "grading":
+		s.BuildGradingCourse(core.DefaultGrading)
+		return nil
+	case "emacs":
+		s.BuildEmacsOrigin(core.DefaultEmacs)
+		stop, err := s.StartOrigin()
+		_ = stop // runs for the process lifetime
+		return err
+	case "apache":
+		s.BuildWWW(core.DefaultApache)
+		return nil
+	case "find":
+		s.BuildSrcTree(core.DefaultFind)
+		return nil
+	}
+	return fmt.Errorf("unknown workload %q", name)
+}

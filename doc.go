@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of SHILL: A Secure
+// Shell Scripting Language (Moore, Dimoulas, King, Chong; OSDI 2014).
+//
+// The library lives under internal/: a simulated FreeBSD-like kernel
+// (vfs, mac, kernel, netstack), SHILL's capability and contract layers
+// (priv, cap, contract, wallet), the capability-based sandbox and the
+// simulated native executables it confines (sandbox, binaries), the
+// SHILL language itself (lang, stdlib), and the assembled system with
+// the paper's case studies (core). See DESIGN.md for the full inventory
+// and EXPERIMENTS.md for the paper-versus-measured results.
+//
+// The benchmarks in bench_test.go regenerate every figure of the
+// paper's evaluation:
+//
+//	go test -bench BenchmarkFigure9  .   # case-study wall times
+//	go test -bench BenchmarkFigure10 .   # performance breakdown
+//	go test -bench BenchmarkFigure11 .   # syscall microbenchmarks
+//
+// or run cmd/benchfig for paper-style tables.
+package repro

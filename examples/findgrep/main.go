@@ -1,0 +1,48 @@
+// Findgrep: the paper's Find case study (§4.1) — search a source tree
+// for .c files containing "mac_" — in its two SHILL variants:
+//
+//   - a single sandbox around `find /usr/src -name "*.c" -exec grep ...`
+//     (coarse: everything under /usr/src readable by one session), and
+//
+//   - the fine-grained version built on the polymorphic find function of
+//     Figure 5, which runs each grep in its own sandbox holding exactly
+//     the one file it greps.
+//
+//     go run ./examples/findgrep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	w := core.FindWorkload{Dirs: 8, FilesPerDir: 16, CEvery: 4, MatchEvery: 2}
+
+	for _, cfg := range []struct {
+		name string
+		mode core.Mode
+	}{
+		{"single sandbox (findgrep.cap)", core.ModeSandboxed},
+		{"per-file sandboxes (findgrep_fine.cap)", core.ModeShill},
+	} {
+		s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+		total, cFiles, matches := s.BuildSrcTree(w)
+		s.Prof.Reset()
+		if err := s.RunFind(cfg.mode); err != nil {
+			log.Fatalf("%s: %v\nconsole: %s", cfg.name, err, s.ConsoleText())
+		}
+		got := strings.Count(s.Matches(), "mac_") - strings.Count(s.Matches(), "mac_-less")
+		fmt.Printf("%s\n", cfg.name)
+		fmt.Printf("  files visited: %d, .c files: %d, matching lines: %d (expected %d)\n",
+			total, cFiles, got, matches)
+		fmt.Printf("  sandboxes created: %d\n\n", s.Prof.Count(1))
+		s.Close()
+	}
+
+	fmt.Println("The fine-grained version guarantees the files grep reads are exactly")
+	fmt.Println("the files find selected — paths cannot be re-resolved to anything else.")
+}

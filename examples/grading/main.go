@@ -1,0 +1,65 @@
+// Grading: the paper's homework-grading case study (§4.1) in all three
+// configurations, demonstrating the difference between coarse-grained
+// sandboxing and SHILL's fine-grained guarantees.
+//
+// The course contains honest students, a student whose program reads
+// another student's submission (cheating), and one that tries to corrupt
+// the test suite (vandalism).
+//
+//	go run ./examples/grading
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	workload := core.GradingWorkload{Students: 6, Tests: 3, Malicious: true}
+
+	type outcome struct {
+		mode          string
+		cheaterPassed bool
+		testsCorrupt  bool
+		honestOK      bool
+	}
+	var results []outcome
+
+	for _, cfg := range []struct {
+		name    string
+		install bool
+		mode    core.Mode
+	}{
+		{"Baseline (ambient bash)", false, core.ModeAmbient},
+		{"Sandboxed bash (coarse contract)", true, core.ModeSandboxed},
+		{"Pure SHILL (fine-grained contracts)", true, core.ModeShill},
+	} {
+		s := core.NewSystem(core.Config{InstallModule: cfg.install, ConsoleLimit: 1 << 20})
+		s.BuildGradingCourse(workload)
+		if err := s.RunGrading(cfg.mode); err != nil {
+			log.Fatalf("%s: %v\nconsole: %s", cfg.name, err, s.ConsoleText())
+		}
+		honest := s.GradeFor("student000")
+		cheater := s.GradeFor("zz_cheater")
+		tests := s.K.FS.MustResolve("/course/tests/t000").Bytes()
+		results = append(results, outcome{
+			mode:          cfg.name,
+			cheaterPassed: contains(cheater, "pass t000"),
+			testsCorrupt:  string(tests) == "pwned",
+			honestOK:      contains(honest, "compiled") && !contains(honest, "fail"),
+		})
+		s.Close()
+	}
+
+	fmt.Printf("%-38s %-16s %-16s %-16s\n", "configuration", "honest graded", "cheater blocked", "tests protected")
+	for _, r := range results {
+		fmt.Printf("%-38s %-16v %-16v %-16v\n", r.mode, r.honestOK, !r.cheaterPassed, !r.testsCorrupt)
+	}
+	fmt.Println("\nThe sandboxed bash script protects the test suite but cannot isolate")
+	fmt.Println("students from each other; the pure SHILL script does both (§4.1).")
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,64 @@
+// Pkgmgr: the paper's Emacs package-management case study (§4.1). The
+// SHILL script provides download / unpack / configure / build / install
+// / uninstall functions, each with its own fine-grained contract: only
+// fetch can reach the network; install cannot read, alter, or remove
+// existing files under the prefix; uninstall may remove exactly the
+// files in its manifest.
+//
+//	go run ./examples/pkgmgr
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	s := core.NewSystem(core.Config{InstallModule: true})
+	defer s.Close()
+	s.BuildEmacsOrigin(core.DefaultEmacs)
+	stop, err := s.StartOrigin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+
+	fmt.Println("Running the full package-management pipeline (pkg_emacs.cap)...")
+	if err := s.RunEmacsShill(); err != nil {
+		log.Fatalf("pkg_emacs: %v\nconsole: %s", err, s.ConsoleText())
+	}
+	fmt.Print(s.ConsoleText())
+
+	fmt.Printf("sandboxes created: %d\n\n", s.Prof.Count(1))
+	fmt.Println("Security interface recap:")
+	fmt.Println("  fetch          socket factory + create-only Downloads capability")
+	fmt.Println("  unpack         read tarball, full rights only inside the build area")
+	fmt.Println("  configure/make full rights inside the build area, nothing outside")
+	fmt.Println("  install        create-only under the prefix: existing files untouchable")
+	fmt.Println("  uninstall      may remove exactly [bin/emacs, share/emacs/DOC]")
+
+	// Show the install/uninstall end state.
+	if _, err := s.K.FS.Resolve("/home/user/.local/bin/emacs"); err != nil {
+		fmt.Println("\nafter uninstall: /home/user/.local/bin/emacs removed ✔")
+	}
+	if _, err := s.K.FS.Resolve("/home/user/.local/share/emacs"); err == nil {
+		fmt.Println("after uninstall: directories outside the manifest preserved ✔")
+	}
+
+	// Demonstrate the uninstall manifest contract rejecting a broader
+	// list.
+	s.LoadCaseScripts()
+	evil := `#lang shill/ambient
+require "pkg_emacs.cap";
+
+prefix = open_dir("/home/user/.local");
+uninstall_emacs(prefix, ["bin/emacs", "share/emacs/DOC", "share"]);
+`
+	if err := s.RunAmbient("evil.ambient", evil); err != nil {
+		fmt.Printf("\nuninstalling beyond the manifest is a contract violation:\n%v\n", err)
+	} else {
+		log.Fatal("manifest contract failed to reject a broader file list")
+	}
+}

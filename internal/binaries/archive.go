@@ -1,0 +1,168 @@
+package binaries
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/kernel"
+)
+
+// Archive format: a textual stream of records —
+//
+//	DIR <path>\n
+//	FILE <path> <size>\n<size raw bytes>\n
+//	END\n
+//
+// Simple enough to build in tests, faithful enough to exercise the same
+// syscall pattern (deep creates and large sequential reads/writes) as
+// the paper's Untar benchmark.
+
+// tarMain implements tar -cf out.tar path... and tar -xf in.tar [-C dir].
+func tarMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	if len(args) < 2 {
+		stderr(p, "usage: tar -cf out.tar path... | tar -xf in.tar [-C dir]\n")
+		return 64
+	}
+	switch args[0] {
+	case "-cf", "cf":
+		return tarCreate(p, args[1], args[2:])
+	case "-xf", "xf":
+		dest := "."
+		rest := args[2:]
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == "-C" && i+1 < len(rest) {
+				dest = rest[i+1]
+				i++
+			}
+		}
+		return tarExtract(p, args[1], dest)
+	}
+	stderr(p, "tar: unknown mode %s\n", args[0])
+	return 64
+}
+
+func tarCreate(p *kernel.Proc, out string, paths []string) int {
+	var b strings.Builder
+	var walk func(path, rel string) error
+	walk = func(path, rel string) error {
+		if isDir(p, path) {
+			fmt.Fprintf(&b, "DIR %s\n", rel)
+			fd, err := p.OpenAt(kernel.AtCWD, path, kernel.ORead|kernel.ODirectory, 0)
+			if err != nil {
+				return err
+			}
+			names, err := p.ReadDir(fd)
+			p.Close(fd)
+			if err != nil {
+				return err
+			}
+			for _, name := range names {
+				if err := walk(joinPath(path, name), joinPath(rel, name)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		data, err := readFile(p, path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "FILE %s %d\n%s\n", rel, len(data), data)
+		return nil
+	}
+	for _, path := range paths {
+		if err := walk(path, baseName(path)); err != nil {
+			stderr(p, "tar: %s: %v\n", path, err)
+			return 1
+		}
+	}
+	b.WriteString("END\n")
+	if err := writeFile(p, out, []byte(b.String()), 0o644); err != nil {
+		stderr(p, "tar: %s: %v\n", out, err)
+		return 1
+	}
+	return 0
+}
+
+func tarExtract(p *kernel.Proc, archive, dest string) int {
+	data, err := readFile(p, archive)
+	if err != nil {
+		stderr(p, "tar: %s: %v\n", archive, err)
+		return 1
+	}
+	s := string(data)
+	for len(s) > 0 {
+		nl := strings.IndexByte(s, '\n')
+		if nl < 0 {
+			break
+		}
+		header := s[:nl]
+		s = s[nl+1:]
+		fields := strings.Fields(header)
+		switch {
+		case len(fields) == 1 && fields[0] == "END":
+			return 0
+		case len(fields) == 2 && fields[0] == "DIR":
+			path := joinPath(dest, fields[1])
+			if !exists(p, path) {
+				if err := mkdirAll(p, path); err != nil {
+					stderr(p, "tar: mkdir %s: %v\n", path, err)
+					return 1
+				}
+			}
+		case len(fields) == 3 && fields[0] == "FILE":
+			size, err := strconv.Atoi(fields[2])
+			if err != nil || size > len(s) {
+				stderr(p, "tar: corrupt archive\n")
+				return 1
+			}
+			contents := s[:size]
+			s = s[size:]
+			if strings.HasPrefix(s, "\n") {
+				s = s[1:]
+			}
+			path := joinPath(dest, fields[1])
+			if err := mkdirAll(p, dirName(path)); err != nil {
+				stderr(p, "tar: %s: %v\n", path, err)
+				return 1
+			}
+			// The simple format carries no mode bits; extract everything
+			// executable, as source tarballs need their configure
+			// scripts runnable.
+			if err := writeFile(p, path, []byte(contents), 0o755); err != nil {
+				stderr(p, "tar: %s: %v\n", path, err)
+				return 1
+			}
+		default:
+			stderr(p, "tar: corrupt header %q\n", header)
+			return 1
+		}
+	}
+	stderr(p, "tar: missing END record\n")
+	return 1
+}
+
+// BuildArchive renders the archive format for an in-memory tree; image
+// builders use it to stage tarballs (e.g. the Emacs source tarball on
+// the origin server).
+func BuildArchive(entries []ArchiveEntry) []byte {
+	var b strings.Builder
+	for _, e := range entries {
+		if e.Dir {
+			fmt.Fprintf(&b, "DIR %s\n", e.Path)
+		} else {
+			fmt.Fprintf(&b, "FILE %s %d\n%s\n", e.Path, len(e.Data), e.Data)
+		}
+	}
+	b.WriteString("END\n")
+	return []byte(b.String())
+}
+
+// ArchiveEntry is one record of the simple archive format.
+type ArchiveEntry struct {
+	Path string
+	Dir  bool
+	Data []byte
+}

@@ -1,0 +1,413 @@
+package binaries
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/netstack"
+	"repro/internal/vfs"
+)
+
+// world builds a kernel with the full binary set installed at the
+// conventional locations plus a console to capture output.
+func world(t *testing.T) (*kernel.Kernel, *kernel.Proc, *vfs.ConsoleDevice) {
+	t.Helper()
+	k := kernel.New()
+	t.Cleanup(k.Shutdown)
+	Register(k)
+	for _, name := range Names() {
+		dir := "/bin"
+		switch name {
+		case "httpd", "origind":
+			dir = "/usr/local/sbin"
+		case "grep", "find", "diff", "tar", "curl", "ldd", "jpeginfo",
+			"ocamlc", "ocamlrun", "ocamlyacc", "gmake", "cc", "ab", "configure":
+			dir = "/usr/bin"
+		}
+		if _, err := k.FS.WriteFile(dir+"/"+name, []byte("#!bin:"+name+"\n"), 0o755, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.FS.WriteFile("/lib/libc.so.7", []byte("elf"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.FS.WriteFile("/usr/local/lib/ocaml/stdlib.cma", []byte("CAML"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.FS.MkdirAll("/tmp", 0o777, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.FS.MkdirAll("/work", 0o777, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	console := vfs.NewConsoleDevice()
+	dev, err := k.FS.MkdirAll("/dev", 0o755, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.FS.Mkdev(dev, "console", 0o666, 0, 0, console); err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProc(0, 0)
+	if err := p.Chdir("/work"); err != nil {
+		t.Fatal(err)
+	}
+	return k, p, console
+}
+
+// run executes a command with console stdio and returns (exit, output).
+func run(t *testing.T, k *kernel.Kernel, p *kernel.Proc, console *vfs.ConsoleDevice, argv ...string) (int, string) {
+	t.Helper()
+	vn, err := resolveExecutable(p, argv[0])
+	if err != nil {
+		t.Fatalf("resolve %s: %v", argv[0], err)
+	}
+	fd := kernel.NewVnodeFD(k.FS.MustResolve("/dev/console"), true, true, false)
+	defer fd.Release()
+	code, err := p.SpawnWait(vn, argv[1:], kernel.SpawnAttr{Stdin: fd, Stdout: fd, Stderr: fd})
+	if err != nil {
+		t.Fatalf("%v: %v", argv, err)
+	}
+	out := string(console.Output())
+	console.ResetOutput()
+	return code, out
+}
+
+func TestEchoCatWcHead(t *testing.T) {
+	k, p, con := world(t)
+	if code, out := run(t, k, p, con, "echo", "hello", "world"); code != 0 || out != "hello world\n" {
+		t.Fatalf("echo = %d %q", code, out)
+	}
+	k.FS.WriteFile("/work/f.txt", []byte("l1\nl2\nl3\n"), 0o644, 0, 0)
+	if code, out := run(t, k, p, con, "cat", "f.txt"); code != 0 || out != "l1\nl2\nl3\n" {
+		t.Fatalf("cat = %d %q", code, out)
+	}
+	if _, out := run(t, k, p, con, "head", "-n", "2", "f.txt"); out != "l1\nl2\n" {
+		t.Fatalf("head = %q", out)
+	}
+	if _, out := run(t, k, p, con, "wc", "f.txt"); !strings.Contains(out, "3") {
+		t.Fatalf("wc = %q", out)
+	}
+	if code, _ := run(t, k, p, con, "cat", "missing"); code == 0 {
+		t.Fatal("cat missing file succeeded")
+	}
+}
+
+func TestCpMvRmMkdirLs(t *testing.T) {
+	k, p, con := world(t)
+	k.FS.WriteFile("/work/src.txt", []byte("data"), 0o644, 0, 0)
+	if code, _ := run(t, k, p, con, "cp", "src.txt", "dst.txt"); code != 0 {
+		t.Fatal("cp failed")
+	}
+	if code, _ := run(t, k, p, con, "mkdir", "-p", "a/b/c"); code != 0 {
+		t.Fatal("mkdir -p failed")
+	}
+	if code, _ := run(t, k, p, con, "cp", "-r", "a", "acopy"); code != 0 {
+		t.Fatal("cp -r failed")
+	}
+	if _, err := k.FS.Resolve("/work/acopy/b/c"); err != nil {
+		t.Fatal("recursive copy incomplete")
+	}
+	if code, _ := run(t, k, p, con, "mv", "dst.txt", "a/moved.txt"); code != 0 {
+		t.Fatal("mv failed")
+	}
+	if code, out := run(t, k, p, con, "ls", "a"); code != 0 || !strings.Contains(out, "moved.txt") {
+		t.Fatalf("ls = %q", out)
+	}
+	if code, _ := run(t, k, p, con, "rm", "-r", "a"); code != 0 {
+		t.Fatal("rm -r failed")
+	}
+	if _, err := k.FS.Resolve("/work/a"); err == nil {
+		t.Fatal("rm -r left the tree")
+	}
+	if code, _ := run(t, k, p, con, "rm", "missing"); code == 0 {
+		t.Fatal("rm missing succeeded")
+	}
+	if code, _ := run(t, k, p, con, "rm", "-f", "missing"); code != 0 {
+		t.Fatal("rm -f missing failed")
+	}
+}
+
+func TestGrepModes(t *testing.T) {
+	k, p, con := world(t)
+	k.FS.WriteFile("/work/a.txt", []byte("one mac_line\ntwo\nmac_ again\n"), 0o644, 0, 0)
+	code, out := run(t, k, p, con, "grep", "-H", "mac_", "a.txt")
+	if code != 0 || strings.Count(out, "a.txt:") != 2 {
+		t.Fatalf("grep -H = %d %q", code, out)
+	}
+	if _, out := run(t, k, p, con, "grep", "-l", "mac_", "a.txt"); out != "a.txt\n" {
+		t.Fatalf("grep -l = %q", out)
+	}
+	if _, out := run(t, k, p, con, "grep", "-c", "mac_", "a.txt"); !strings.Contains(out, "2") {
+		t.Fatalf("grep -c = %q", out)
+	}
+	if code, _ := run(t, k, p, con, "grep", "absent", "a.txt"); code != 1 {
+		t.Fatalf("grep no-match exit = %d", code)
+	}
+}
+
+func TestMatchGlob(t *testing.T) {
+	cases := []struct {
+		pat, name string
+		want      bool
+	}{
+		{"*.c", "file.c", true},
+		{"*.c", "file.cc", false},
+		{"*.c", ".c", true},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"*", "anything", true},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "aXbY", false},
+		{"", "", true},
+	}
+	for _, c := range cases {
+		if got := matchGlob(c.pat, c.name); got != c.want {
+			t.Errorf("matchGlob(%q, %q) = %v", c.pat, c.name, got)
+		}
+	}
+}
+
+func TestFindNameAndExec(t *testing.T) {
+	k, p, con := world(t)
+	k.FS.WriteFile("/work/tree/x.c", []byte("mac_hook\n"), 0o644, 0, 0)
+	k.FS.WriteFile("/work/tree/sub/y.c", []byte("nothing\n"), 0o644, 0, 0)
+	k.FS.WriteFile("/work/tree/z.h", []byte("mac_hook\n"), 0o644, 0, 0)
+	code, out := run(t, k, p, con, "find", "tree", "-name", "*.c")
+	if code != 0 || !strings.Contains(out, "tree/x.c") || !strings.Contains(out, "tree/sub/y.c") || strings.Contains(out, "z.h") {
+		t.Fatalf("find -name = %d %q", code, out)
+	}
+	code, out = run(t, k, p, con, "find", "tree", "-name", "*.c", "-exec", "grep", "-H", "mac_", "{}", ";")
+	if code != 0 || !strings.Contains(out, "x.c:mac_hook") || strings.Contains(out, "y.c:") {
+		t.Fatalf("find -exec = %d %q", code, out)
+	}
+	if _, out := run(t, k, p, con, "find", "tree", "-type", "d"); !strings.Contains(out, "tree/sub") {
+		t.Fatalf("find -type d = %q", out)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	k, p, con := world(t)
+	k.FS.WriteFile("/work/a", []byte("same\n"), 0o644, 0, 0)
+	k.FS.WriteFile("/work/b", []byte("same\n"), 0o644, 0, 0)
+	k.FS.WriteFile("/work/c", []byte("other\n"), 0o644, 0, 0)
+	if code, _ := run(t, k, p, con, "diff", "a", "b"); code != 0 {
+		t.Fatal("diff equal files != 0")
+	}
+	code, out := run(t, k, p, con, "diff", "a", "c")
+	if code != 1 || !strings.Contains(out, "< same") || !strings.Contains(out, "> other") {
+		t.Fatalf("diff = %d %q", code, out)
+	}
+}
+
+func TestTarRoundTrip(t *testing.T) {
+	k, p, con := world(t)
+	k.FS.WriteFile("/work/tree/f1.txt", []byte("one"), 0o644, 0, 0)
+	k.FS.WriteFile("/work/tree/sub/f2.txt", []byte("two\nlines"), 0o644, 0, 0)
+	if code, _ := run(t, k, p, con, "tar", "-cf", "out.tar", "tree"); code != 0 {
+		t.Fatal("tar -cf failed")
+	}
+	k.FS.MkdirAll("/work/extract", 0o777, 0, 0)
+	if code, _ := run(t, k, p, con, "tar", "-xf", "out.tar", "-C", "extract"); code != 0 {
+		t.Fatal("tar -xf failed")
+	}
+	got := k.FS.MustResolve("/work/extract/tree/sub/f2.txt").Bytes()
+	if string(got) != "two\nlines" {
+		t.Fatalf("extracted contents = %q", got)
+	}
+}
+
+func TestShFeatures(t *testing.T) {
+	k, p, con := world(t)
+	script := `# test script
+msg=hello
+echo $msg $1
+for f in a b c
+do
+  echo item-$f
+done
+if [ -f present.txt ]
+then
+  echo found
+else
+  echo missing
+fi
+echo $(echo nested) >> log.txt
+cat log.txt
+`
+	k.FS.WriteFile("/work/present.txt", []byte("x"), 0o644, 0, 0)
+	k.FS.WriteFile("/work/s.sh", []byte(script), 0o644, 0, 0)
+	code, out := run(t, k, p, con, "sh", "s.sh", "arg1")
+	if code != 0 {
+		t.Fatalf("sh exit = %d: %q", code, out)
+	}
+	for _, want := range []string{"hello arg1", "item-a", "item-b", "item-c", "found", "nested"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sh output missing %q: %q", want, out)
+		}
+	}
+	if code, out := run(t, k, p, con, "sh", "-c", "echo one && echo two; echo three"); code != 0 ||
+		!strings.Contains(out, "one") || !strings.Contains(out, "two") || !strings.Contains(out, "three") {
+		t.Fatalf("sh -c chains = %q", out)
+	}
+	// && stops on failure.
+	if _, out := run(t, k, p, con, "sh", "-c", "false && echo no"); strings.Contains(out, "no") {
+		t.Fatal("&& continued after failure")
+	}
+	// exit status propagates.
+	if code, _ := run(t, k, p, con, "sh", "-c", "exit 3"); code != 3 {
+		t.Fatalf("sh exit code = %d", code)
+	}
+}
+
+func TestShRedirects(t *testing.T) {
+	k, p, con := world(t)
+	if code, _ := run(t, k, p, con, "sh", "-c", "echo out > f.txt"); code != 0 {
+		t.Fatal("redirect failed")
+	}
+	if got := string(k.FS.MustResolve("/work/f.txt").Bytes()); got != "out\n" {
+		t.Fatalf("> wrote %q", got)
+	}
+	run(t, k, p, con, "sh", "-c", "echo more >> f.txt")
+	if got := string(k.FS.MustResolve("/work/f.txt").Bytes()); got != "out\nmore\n" {
+		t.Fatalf(">> wrote %q", got)
+	}
+	// stdin redirect.
+	if _, out := run(t, k, p, con, "sh", "-c", "cat < f.txt"); !strings.Contains(out, "more") {
+		t.Fatalf("< read %q", out)
+	}
+}
+
+func TestOcamlToolchain(t *testing.T) {
+	k, p, con := world(t)
+	k.FS.WriteFile("/work/good.ml", []byte("print hi\nloop 10\n"), 0o644, 0, 0)
+	k.FS.WriteFile("/work/bad.ml", []byte("not a directive\n"), 0o644, 0, 0)
+	if code, _ := run(t, k, p, con, "ocamlc", "-o", "good.byte", "good.ml"); code != 0 {
+		t.Fatal("ocamlc failed on valid source")
+	}
+	if code, out := run(t, k, p, con, "ocamlc", "-o", "bad.byte", "bad.ml"); code == 0 || !strings.Contains(out, "syntax error") {
+		t.Fatalf("ocamlc accepted bad source: %d %q", code, out)
+	}
+	if code, out := run(t, k, p, con, "ocamlrun", "good.byte"); code != 0 || !strings.Contains(out, "hi") {
+		t.Fatalf("ocamlrun = %d %q", code, out)
+	}
+	// The compiler requires the stdlib (§4.1 debugging anecdote).
+	k.FS.Unlink(k.FS.MustResolve("/usr/local/lib/ocaml"), "stdlib.cma", false)
+	if code, out := run(t, k, p, con, "ocamlc", "-o", "x.byte", "good.ml"); code == 0 ||
+		!strings.Contains(out, "/usr/local/lib/ocaml") {
+		t.Fatalf("ocamlc without stdlib: %d %q", code, out)
+	}
+}
+
+func TestOcamlyaccNeedsTmp(t *testing.T) {
+	k, p, con := world(t)
+	k.FS.WriteFile("/work/g.mly", []byte("%token X\n"), 0o644, 0, 0)
+	if code, _ := run(t, k, p, con, "ocamlyacc", "g.mly"); code != 0 {
+		t.Fatal("ocamlyacc failed")
+	}
+	if _, err := k.FS.Resolve("/work/g.ml"); err != nil {
+		t.Fatal("generated parser missing")
+	}
+}
+
+func TestGmakeBuildsAndSkipsFresh(t *testing.T) {
+	k, p, con := world(t)
+	mk := `OUT = result.txt
+
+all: $(OUT)
+
+$(OUT): input.txt
+	cp input.txt $(OUT)
+
+clean:
+	rm -f result.txt
+`
+	k.FS.WriteFile("/work/Makefile", []byte(mk), 0o644, 0, 0)
+	k.FS.WriteFile("/work/input.txt", []byte("in"), 0o644, 0, 0)
+	if code, _ := run(t, k, p, con, "gmake"); code != 0 {
+		t.Fatal("gmake failed")
+	}
+	if got := string(k.FS.MustResolve("/work/result.txt").Bytes()); got != "in" {
+		t.Fatalf("built %q", got)
+	}
+	// Existing target: commands skipped (echo output absent).
+	if _, out := run(t, k, p, con, "gmake"); strings.Contains(out, "cp input.txt") {
+		t.Fatalf("gmake rebuilt a fresh target: %q", out)
+	}
+	if code, _ := run(t, k, p, con, "gmake", "clean"); code != 0 {
+		t.Fatal("gmake clean failed")
+	}
+	if _, err := k.FS.Resolve("/work/result.txt"); err == nil {
+		t.Fatal("clean did not remove the target")
+	}
+	if code, _ := run(t, k, p, con, "gmake", "nonexistent"); code == 0 {
+		t.Fatal("gmake built an unknown target")
+	}
+}
+
+func TestLdd(t *testing.T) {
+	k, p, con := world(t)
+	code, out := run(t, k, p, con, "ldd", "/usr/bin/curl")
+	if code != 0 {
+		t.Fatal("ldd failed")
+	}
+	for _, lib := range Deps["curl"] {
+		if !strings.Contains(out, lib) {
+			t.Errorf("ldd output missing %s: %q", lib, out)
+		}
+	}
+	k.FS.WriteFile("/work/plain.txt", []byte("not an exe"), 0o644, 0, 0)
+	if code, _ := run(t, k, p, con, "ldd", "plain.txt"); code == 0 {
+		t.Fatal("ldd accepted a non-executable")
+	}
+}
+
+func TestCurlAgainstOrigind(t *testing.T) {
+	k, p, con := world(t)
+	k.FS.WriteFile("/srv/origin/file.bin", []byte("remote-bytes"), 0o644, 0, 0)
+	vn := k.FS.MustResolve("/usr/local/sbin/origind")
+	server, err := p.Spawn(vn, []string{"/srv/origin", "80"}, kernel.SpawnAttr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for bind.
+	for i := 0; i < 1000; i++ {
+		s := k.Net.NewSocket(netstack.DomainIP)
+		if err := k.Net.Connect(s, "80"); err == nil {
+			k.Net.Send(s, []byte("GET /__ping\n"))
+			k.Net.Close(s)
+			break
+		}
+	}
+	if code, _ := run(t, k, p, con, "curl", "-o", "dl.bin", "http://origin/file.bin"); code != 0 {
+		t.Fatal("curl failed")
+	}
+	if got := string(k.FS.MustResolve("/work/dl.bin").Bytes()); got != "remote-bytes" {
+		t.Fatalf("downloaded %q", got)
+	}
+	if code, _ := run(t, k, p, con, "curl", "-o", "x", "http://origin/missing"); code == 0 {
+		t.Fatal("curl downloaded a missing file")
+	}
+	// Shut the server down.
+	s := k.Net.NewSocket(netstack.DomainIP)
+	if err := k.Net.Connect(s, "80"); err == nil {
+		k.Net.Send(s, []byte("GET /__shutdown\n"))
+		buf := make([]byte, 16)
+		k.Net.Recv(s, buf)
+		k.Net.Close(s)
+	}
+	p.Wait(server.PID())
+}
+
+func TestJpeginfo(t *testing.T) {
+	k, p, con := world(t)
+	k.FS.WriteFile("/work/ok.jpg", []byte("JFIFxxx"), 0o644, 0, 0)
+	k.FS.WriteFile("/work/no.jpg", []byte("PNG"), 0o644, 0, 0)
+	if code, out := run(t, k, p, con, "jpeginfo", "-i", "ok.jpg"); code != 0 || !strings.Contains(out, "640x480") {
+		t.Fatalf("jpeginfo = %d %q", code, out)
+	}
+	if code, out := run(t, k, p, con, "jpeginfo", "-i", "no.jpg"); code == 0 || !strings.Contains(out, "not a JPEG") {
+		t.Fatalf("jpeginfo non-jpeg = %d %q", code, out)
+	}
+}

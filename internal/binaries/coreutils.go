@@ -1,0 +1,359 @@
+package binaries
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+)
+
+// catMain concatenates files (or stdin with no arguments) to stdout.
+// Executing cat in a sandbox is the paper's motivating example for
+// wallets: it "requires providing eight capabilities to libraries and
+// configuration files in addition to capabilities for the executable
+// itself and the input and output" (§2.4.1).
+func catMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	if len(args) == 0 {
+		data, err := readAllFD(p, 0)
+		if err != nil {
+			stderr(p, "cat: stdin: %v\n", err)
+			return 1
+		}
+		p.Write(1, data)
+		return 0
+	}
+	status := 0
+	for _, path := range args {
+		data, err := readFile(p, path)
+		if err != nil {
+			stderr(p, "cat: %s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		p.Write(1, data)
+	}
+	return status
+}
+
+func echoMain(p *kernel.Proc, argv []string) int {
+	stdout(p, "%s\n", strings.Join(argv[1:], " "))
+	return 0
+}
+
+func cpMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	recursive := false
+	if len(args) > 0 && args[0] == "-r" {
+		recursive = true
+		args = args[1:]
+	}
+	if len(args) != 2 {
+		stderr(p, "usage: cp [-r] src dst\n")
+		return 64
+	}
+	src, dst := args[0], args[1]
+	if isDir(p, dst) {
+		dst = joinPath(dst, baseName(src))
+	}
+	if err := copyPath(p, src, dst, recursive); err != nil {
+		stderr(p, "cp: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func copyPath(p *kernel.Proc, src, dst string, recursive bool) error {
+	if isDir(p, src) {
+		if !recursive {
+			return fmt.Errorf("%s is a directory (not copied)", src)
+		}
+		if !exists(p, dst) {
+			if err := p.MkdirAt(kernel.AtCWD, dst, 0o755); err != nil {
+				return err
+			}
+		}
+		fd, err := p.OpenAt(kernel.AtCWD, src, kernel.ORead|kernel.ODirectory, 0)
+		if err != nil {
+			return err
+		}
+		names, err := p.ReadDir(fd)
+		p.Close(fd)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			if err := copyPath(p, joinPath(src, name), joinPath(dst, name), true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	data, err := readFile(p, src)
+	if err != nil {
+		return err
+	}
+	return writeFile(p, dst, data, 0o644)
+}
+
+func mvMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	if len(args) != 2 {
+		stderr(p, "usage: mv src dst\n")
+		return 64
+	}
+	dst := args[1]
+	if isDir(p, dst) {
+		dst = joinPath(dst, baseName(args[0]))
+	}
+	if err := p.RenameAt(kernel.AtCWD, args[0], kernel.AtCWD, dst); err != nil {
+		stderr(p, "mv: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func rmMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	recursive, force := false, false
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "-r", "-R":
+			recursive = true
+		case "-f":
+			force = true
+		case "-rf", "-fr":
+			recursive, force = true, true
+		default:
+			stderr(p, "rm: unknown flag %s\n", args[0])
+			return 64
+		}
+		args = args[1:]
+	}
+	status := 0
+	for _, path := range args {
+		if err := removePath(p, path, recursive); err != nil {
+			if !force {
+				stderr(p, "rm: %s: %v\n", path, err)
+				status = 1
+			}
+		}
+	}
+	return status
+}
+
+func removePath(p *kernel.Proc, path string, recursive bool) error {
+	if isDir(p, path) {
+		if !recursive {
+			return fmt.Errorf("%s: is a directory", path)
+		}
+		fd, err := p.OpenAt(kernel.AtCWD, path, kernel.ORead|kernel.ODirectory, 0)
+		if err != nil {
+			return err
+		}
+		names, err := p.ReadDir(fd)
+		p.Close(fd)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			if err := removePath(p, joinPath(path, name), true); err != nil {
+				return err
+			}
+		}
+		return p.UnlinkAt(kernel.AtCWD, path, true)
+	}
+	return p.UnlinkAt(kernel.AtCWD, path, false)
+}
+
+func mkdirMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	parents := false
+	if len(args) > 0 && args[0] == "-p" {
+		parents = true
+		args = args[1:]
+	}
+	status := 0
+	for _, path := range args {
+		var err error
+		if parents {
+			err = mkdirAll(p, path)
+		} else {
+			err = p.MkdirAt(kernel.AtCWD, path, 0o755)
+		}
+		if err != nil {
+			stderr(p, "mkdir: %s: %v\n", path, err)
+			status = 1
+		}
+	}
+	return status
+}
+
+func mkdirAll(p *kernel.Proc, path string) error {
+	comps := strings.Split(path, "/")
+	cur := ""
+	if strings.HasPrefix(path, "/") {
+		cur = "/"
+	}
+	for _, c := range comps {
+		if c == "" {
+			continue
+		}
+		cur = joinPath(cur, c)
+		if exists(p, cur) {
+			continue
+		}
+		if err := p.MkdirAt(kernel.AtCWD, cur, 0o755); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func lsMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	status := 0
+	for _, path := range args {
+		if !isDir(p, path) {
+			if exists(p, path) {
+				stdout(p, "%s\n", path)
+			} else {
+				stderr(p, "ls: %s: no such file or directory\n", path)
+				status = 1
+			}
+			continue
+		}
+		fd, err := p.OpenAt(kernel.AtCWD, path, kernel.ORead|kernel.ODirectory, 0)
+		if err != nil {
+			stderr(p, "ls: %s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		names, err := p.ReadDir(fd)
+		p.Close(fd)
+		if err != nil {
+			stderr(p, "ls: %s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		for _, name := range names {
+			stdout(p, "%s\n", name)
+		}
+	}
+	return status
+}
+
+func headMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	n := 10
+	if len(args) >= 2 && args[0] == "-n" {
+		fmt.Sscanf(args[1], "%d", &n)
+		args = args[2:]
+	}
+	var data []byte
+	var err error
+	if len(args) == 0 {
+		data, err = readAllFD(p, 0)
+	} else {
+		data, err = readFile(p, args[0])
+	}
+	if err != nil {
+		stderr(p, "head: %v\n", err)
+		return 1
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	stdout(p, "%s", strings.Join(lines, ""))
+	return 0
+}
+
+func wcMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	var data []byte
+	var err error
+	name := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name = args[0]
+		data, err = readFile(p, name)
+	} else if len(args) > 1 {
+		name = args[1]
+		data, err = readFile(p, name)
+	} else {
+		data, err = readAllFD(p, 0)
+	}
+	if err != nil {
+		stderr(p, "wc: %v\n", err)
+		return 1
+	}
+	lines := strings.Count(string(data), "\n")
+	words := len(strings.Fields(string(data)))
+	stdout(p, "%8d%8d%8d %s\n", lines, words, len(data), name)
+	return 0
+}
+
+func touchMain(p *kernel.Proc, argv []string) int {
+	status := 0
+	for _, path := range argv[1:] {
+		fd, err := p.OpenAt(kernel.AtCWD, path, kernel.OCreate|kernel.OWrite, 0o644)
+		if err != nil {
+			stderr(p, "touch: %s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		p.Close(fd)
+	}
+	return status
+}
+
+// installMain copies a file into place with a mode, as BSD install(1)
+// does; the Emacs package-management case study's install step uses it.
+func installMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	mode := uint16(0o755)
+	mkdirs := false
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch {
+		case args[0] == "-d":
+			mkdirs = true
+		case args[0] == "-m" && len(args) > 1:
+			var m int
+			fmt.Sscanf(args[1], "%o", &m)
+			mode = uint16(m)
+			args = args[1:]
+		}
+		args = args[1:]
+	}
+	if mkdirs {
+		for _, d := range args {
+			if err := mkdirAll(p, d); err != nil {
+				stderr(p, "install: %s: %v\n", d, err)
+				return 1
+			}
+		}
+		return 0
+	}
+	if len(args) != 2 {
+		stderr(p, "usage: install [-m mode] src dst | install -d dir...\n")
+		return 64
+	}
+	src, dst := args[0], args[1]
+	if isDir(p, dst) {
+		dst = joinPath(dst, baseName(src))
+	}
+	data, err := readFile(p, src)
+	if err != nil {
+		stderr(p, "install: %s: %v\n", src, err)
+		return 1
+	}
+	if err := writeFile(p, dst, data, mode); err != nil {
+		stderr(p, "install: %s: %v\n", dst, err)
+		return 1
+	}
+	p.FChmodAt(kernel.AtCWD, dst, mode)
+	return 0
+}

@@ -1,0 +1,227 @@
+package binaries
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/netstack"
+)
+
+// httpdMain is the Apache stand-in for the web-server case study (§4.1):
+// it serves files below a document root, appends to an access log, and
+// handles concurrent connections. Its contract in the case study gives
+// it "read-only access to configuration files and web content
+// directories, the ability to create and use sockets, and write-only
+// access to log files".
+//
+// Configuration file directives: Listen <port>, DocumentRoot <dir>,
+// AccessLog <file>. The server exits on "GET /__shutdown".
+func httpdMain(p *kernel.Proc, argv []string) int {
+	conf := "/usr/local/etc/apache22/httpd.conf"
+	for i := 1; i < len(argv); i++ {
+		if argv[i] == "-f" && i+1 < len(argv) {
+			conf = argv[i+1]
+			i++
+		}
+	}
+	data, err := readFile(p, conf)
+	if err != nil {
+		stderr(p, "httpd: %s: %v\n", conf, err)
+		return 1
+	}
+	port, docroot, accessLog := "80", "/usr/local/www", ""
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case "Listen":
+			port = fields[1]
+		case "DocumentRoot":
+			docroot = fields[1]
+		case "AccessLog":
+			accessLog = fields[1]
+		}
+	}
+
+	l, err := p.Socket(netstack.DomainIP)
+	if err != nil {
+		stderr(p, "httpd: socket: %v\n", err)
+		return 1
+	}
+	if err := p.Bind(l, port); err != nil {
+		stderr(p, "httpd: bind %s: %v\n", port, err)
+		return 1
+	}
+	if err := p.Listen(l); err != nil {
+		stderr(p, "httpd: listen: %v\n", err)
+		return 1
+	}
+
+	var wg sync.WaitGroup
+	shutdown := false
+	for !shutdown {
+		conn, err := p.Accept(l)
+		if err != nil {
+			break
+		}
+		line, _, err := readLine(p, conn)
+		if err != nil {
+			p.Close(conn)
+			continue
+		}
+		path := strings.TrimSpace(strings.TrimPrefix(line, "GET "))
+		if path == "/__shutdown" {
+			p.Send(conn, []byte("OK 0\n"))
+			p.Close(conn)
+			shutdown = true
+			break
+		}
+		wg.Add(1)
+		go func(conn int, path string) {
+			defer wg.Done()
+			defer p.Close(conn)
+			serveOne(p, conn, docroot, accessLog, path)
+		}(conn, path)
+	}
+	wg.Wait()
+	p.Close(l)
+	return 0
+}
+
+func serveOne(p *kernel.Proc, conn int, docroot, accessLog, path string) {
+	full := joinPath(docroot, strings.TrimPrefix(path, "/"))
+	fd, err := p.OpenAt(kernel.AtCWD, full, kernel.ORead, 0)
+	status := "200"
+	if err != nil {
+		status = "404"
+		p.Send(conn, []byte("ERR not found\n"))
+	} else {
+		st, _ := p.FStat(fd)
+		p.Send(conn, []byte(fmt.Sprintf("OK %d\n", st.Size)))
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := p.Read(fd, buf)
+			if n > 0 {
+				if _, werr := p.Send(conn, buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		p.Close(fd)
+	}
+	if accessLog != "" {
+		// Concurrent requests append whole lines; the log capability is
+		// write-only in the case-study contract.
+		appendFile(p, accessLog, []byte(fmt.Sprintf("GET %s %s\n", path, status)))
+	}
+}
+
+// abMain is the ApacheBench stand-in: ab -n <requests> -c <concurrency>
+// url. The paper's benchmark downloads a 50 MB file 5000 times with up
+// to 100 concurrent connections (§4.1).
+func abMain(p *kernel.Proc, argv []string) int {
+	n, c := 1, 1
+	var url string
+	args := argv[1:]
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-n" && i+1 < len(args):
+			fmt.Sscanf(args[i+1], "%d", &n)
+			i++
+		case args[i] == "-c" && i+1 < len(args):
+			fmt.Sscanf(args[i+1], "%d", &c)
+			i++
+		default:
+			url = args[i]
+		}
+	}
+	if url == "" {
+		stderr(p, "usage: ab -n N -c C url\n")
+		return 2
+	}
+	_, port, path, err := parseURL(url)
+	if err != nil {
+		stderr(p, "ab: %v\n", err)
+		return 2
+	}
+	if c < 1 {
+		c = 1
+	}
+	work := make(chan int, n)
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failures := 0
+	var bytes int64
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 64*1024)
+			for range work {
+				got, err := fetchOne(p, port, path, buf)
+				mu.Lock()
+				if err != nil {
+					failures++
+				} else {
+					bytes += got
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	stdout(p, "Complete requests: %d\nFailed requests: %d\nTotal transferred: %d bytes\n",
+		n, failures, bytes)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fetchOne(p *kernel.Proc, port, path string, buf []byte) (int64, error) {
+	sock, err := p.Socket(netstack.DomainIP)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Close(sock)
+	if err := p.Connect(sock, port); err != nil {
+		return 0, err
+	}
+	if _, err := p.Send(sock, []byte("GET "+path+"\n")); err != nil {
+		return 0, err
+	}
+	header, rest, err := readLine(p, sock)
+	if err != nil {
+		return 0, err
+	}
+	var size int64
+	if _, err := fmt.Sscanf(header, "OK %d", &size); err != nil {
+		return 0, fmt.Errorf("server error: %s", header)
+	}
+	got := int64(len(rest))
+	for got < size {
+		n, err := p.Recv(sock, buf)
+		if err != nil {
+			return got, err
+		}
+		if n == 0 {
+			break
+		}
+		got += int64(n)
+	}
+	if got != size {
+		return got, fmt.Errorf("short body: %d of %d", got, size)
+	}
+	return got, nil
+}

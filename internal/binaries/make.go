@@ -1,0 +1,226 @@
+package binaries
+
+import (
+	"strings"
+
+	"repro/internal/kernel"
+)
+
+// gmakeMain is a small GNU-make lookalike: it parses a Makefile of
+//
+//	target: dep1 dep2
+//	\tcommand ...
+//
+// rules plus "NAME = value" macros, and builds the requested target
+// (default: the first rule). A target rebuilds when its file is missing;
+// phony targets (no file) always run. Commands run through the
+// conventional search path inside the invoking session, so every
+// compiler or install step the Emacs case study triggers is confined by
+// the same sandbox as gmake itself (§4.1).
+func gmakeMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	makefile := "Makefile"
+	dir := ""
+	var targets []string
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-f" && i+1 < len(args):
+			makefile = args[i+1]
+			i++
+		case args[i] == "-C" && i+1 < len(args):
+			dir = args[i+1]
+			i++
+		default:
+			targets = append(targets, args[i])
+		}
+	}
+	if dir != "" {
+		if err := p.Chdir(dir); err != nil {
+			stderr(p, "gmake: cannot chdir to %s: %v\n", dir, err)
+			return 2
+		}
+	}
+	data, err := readFile(p, makefile)
+	if err != nil {
+		stderr(p, "gmake: %s: %v\n", makefile, err)
+		return 2
+	}
+	rules, order, macros, err := parseMakefile(string(data))
+	if err != nil {
+		stderr(p, "gmake: %v\n", err)
+		return 2
+	}
+	if len(targets) == 0 {
+		if len(order) == 0 {
+			stderr(p, "gmake: no targets\n")
+			return 2
+		}
+		targets = order[:1]
+	}
+	m := &maker{p: p, rules: rules, macros: macros, building: map[string]bool{}}
+	for _, t := range targets {
+		if code := m.build(t); code != 0 {
+			stderr(p, "gmake: *** [%s] Error %d\n", t, code)
+			return code
+		}
+	}
+	return 0
+}
+
+type makeRule struct {
+	deps     []string
+	commands []string
+}
+
+func parseMakefile(src string) (map[string]*makeRule, []string, map[string]string, error) {
+	rules := make(map[string]*makeRule)
+	macros := make(map[string]string)
+	var order []string
+	var current *makeRule
+	for _, line := range strings.Split(src, "\n") {
+		switch {
+		case strings.HasPrefix(line, "\t"):
+			if current == nil {
+				continue
+			}
+			current.commands = append(current.commands, strings.TrimSpace(line))
+		case strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#"):
+			// blank or comment
+		case strings.Contains(line, "=") && !strings.Contains(line, ":"):
+			parts := strings.SplitN(line, "=", 2)
+			macros[strings.TrimSpace(parts[0])] = strings.TrimSpace(parts[1])
+		case strings.Contains(line, ":"):
+			parts := strings.SplitN(line, ":", 2)
+			// Macros are defined before use; expand target and
+			// dependency names eagerly.
+			name := expandMacros(strings.TrimSpace(parts[0]), macros)
+			deps := strings.Fields(parts[1])
+			for i, d := range deps {
+				deps[i] = expandMacros(d, macros)
+			}
+			rule := &makeRule{deps: deps}
+			rules[name] = rule
+			order = append(order, name)
+			current = rule
+		}
+	}
+	return rules, order, macros, nil
+}
+
+func expandMacros(s string, macros map[string]string) string {
+	for name, val := range macros {
+		s = strings.ReplaceAll(s, "$("+name+")", val)
+		s = strings.ReplaceAll(s, "${"+name+"}", val)
+	}
+	return s
+}
+
+type maker struct {
+	p        *kernel.Proc
+	rules    map[string]*makeRule
+	macros   map[string]string
+	building map[string]bool
+}
+
+func (m *maker) expand(s string) string { return expandMacros(s, m.macros) }
+
+func (m *maker) build(target string) int {
+	target = m.expand(target)
+	if m.building[target] {
+		return 0 // cycle guard
+	}
+	rule, ok := m.rules[target]
+	if !ok {
+		if exists(m.p, target) {
+			return 0 // plain file dependency
+		}
+		stderr(m.p, "gmake: no rule to make target %q\n", target)
+		return 2
+	}
+	m.building[target] = true
+	defer delete(m.building, target)
+	for _, dep := range rule.deps {
+		if code := m.build(dep); code != 0 {
+			return code
+		}
+	}
+	// Without mtimes, a target whose file already exists is up to date;
+	// phony targets (no corresponding file) always run.
+	if exists(m.p, target) {
+		return 0
+	}
+	for _, cmd := range rule.commands {
+		cmd = m.expand(cmd)
+		silent := strings.HasPrefix(cmd, "@")
+		cmd = strings.TrimPrefix(cmd, "@")
+		if !silent {
+			stdout(m.p, "%s\n", cmd)
+		}
+		fields := strings.Fields(cmd)
+		if len(fields) == 0 {
+			continue
+		}
+		code, err := runCommand(m.p, fields)
+		if err != nil {
+			stderr(m.p, "gmake: %s: %v\n", fields[0], err)
+			return 2
+		}
+		if code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// configureMain is the Emacs tarball's ./configure: it probes for the
+// toolchain and writes config.status plus the Makefile the build uses.
+// The probe reads real files, so a sandbox missing those capabilities
+// fails here — matching where real configure scripts fail.
+func configureMain(p *kernel.Proc, argv []string) int {
+	prefix := "/usr/local"
+	for _, a := range argv[1:] {
+		if v, ok := strings.CutPrefix(a, "--prefix="); ok {
+			prefix = v
+		}
+	}
+	stdout(p, "checking for cc... ")
+	if _, err := readFile(p, "/usr/bin/cc"); err != nil {
+		stdout(p, "no\n")
+		stderr(p, "configure: error: C compiler not found\n")
+		return 1
+	}
+	stdout(p, "yes\nchecking for libc... ")
+	if _, err := readFile(p, "/lib/libc.so.7"); err != nil {
+		stdout(p, "no\n")
+		stderr(p, "configure: error: libc not usable\n")
+		return 1
+	}
+	stdout(p, "yes\n")
+	if err := writeFile(p, "config.status", []byte("prefix="+prefix+"\n"), 0o644); err != nil {
+		stderr(p, "configure: cannot write config.status: %v\n", err)
+		return 1
+	}
+	makefile := "PREFIX = " + prefix + `
+BIN = emacs
+
+all: $(BIN)
+
+$(BIN): src/emacs.c src/lisp.c src/buffer.c
+	cc -O2 -o $(BIN) src/emacs.c src/lisp.c src/buffer.c
+
+install: $(BIN)
+	install -d $(PREFIX)/bin $(PREFIX)/share/emacs
+	install -m 0755 $(BIN) $(PREFIX)/bin/emacs
+	install -m 0644 etc/DOC $(PREFIX)/share/emacs/DOC
+
+uninstall:
+	rm -f $(PREFIX)/bin/emacs
+	rm -f $(PREFIX)/share/emacs/DOC
+`
+	if err := writeFile(p, "Makefile", []byte(makefile), 0o644); err != nil {
+		stderr(p, "configure: cannot write Makefile: %v\n", err)
+		return 1
+	}
+	stdout(p, "configure: creating Makefile\n")
+	return 0
+}

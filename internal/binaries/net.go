@@ -1,0 +1,210 @@
+package binaries
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/netstack"
+)
+
+// The wire protocol is a miniature HTTP:
+//
+//	request:  "GET <path>\n"
+//	response: "OK <size>\n" + bytes, or "ERR <message>\n"
+
+// curlMain downloads a URL to a file (-o) or stdout. It exercises the
+// socket path of the sandbox: without a socket-factory capability the
+// connect fails with EACCES — the package-management case study's
+// guarantee that "only the function for downloading the source code can
+// access the network" (§4.1).
+func curlMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	outPath := ""
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		if args[0] == "-o" && len(args) > 1 {
+			outPath = args[1]
+			args = args[2:]
+			continue
+		}
+		if args[0] == "-s" {
+			args = args[1:]
+			continue
+		}
+		stderr(p, "curl: unknown flag %s\n", args[0])
+		return 2
+	}
+	if len(args) != 1 {
+		stderr(p, "usage: curl [-o file] url\n")
+		return 2
+	}
+	host, port, path, err := parseURL(args[0])
+	if err != nil {
+		stderr(p, "curl: %v\n", err)
+		return 3
+	}
+	_ = host // the loopback stack has one host
+
+	sock, err := p.Socket(netstack.DomainIP)
+	if err != nil {
+		stderr(p, "curl: socket: %v\n", err)
+		return 7
+	}
+	defer p.Close(sock)
+	if err := p.Connect(sock, port); err != nil {
+		stderr(p, "curl: connect: %v\n", err)
+		return 7
+	}
+	if _, err := p.Send(sock, []byte("GET "+path+"\n")); err != nil {
+		stderr(p, "curl: send: %v\n", err)
+		return 55
+	}
+	header, rest, err := readLine(p, sock)
+	if err != nil {
+		stderr(p, "curl: recv: %v\n", err)
+		return 56
+	}
+	var size int
+	if _, err := fmt.Sscanf(header, "OK %d", &size); err != nil {
+		stderr(p, "curl: server: %s\n", header)
+		return 22
+	}
+	body := rest
+	buf := make([]byte, 64*1024)
+	for len(body) < size {
+		n, err := p.Recv(sock, buf)
+		if err != nil {
+			stderr(p, "curl: recv: %v\n", err)
+			return 56
+		}
+		if n == 0 {
+			break
+		}
+		body = append(body, buf[:n]...)
+	}
+	if len(body) < size {
+		stderr(p, "curl: short read: %d of %d bytes\n", len(body), size)
+		return 18
+	}
+	body = body[:size]
+	if outPath == "" {
+		p.Write(1, body)
+		return 0
+	}
+	if err := writeFile(p, outPath, body, 0o644); err != nil {
+		stderr(p, "curl: %s: %v\n", outPath, err)
+		return 23
+	}
+	return 0
+}
+
+func parseURL(url string) (host, port, path string, err error) {
+	rest, ok := strings.CutPrefix(url, "http://")
+	if !ok {
+		return "", "", "", fmt.Errorf("unsupported url %q", url)
+	}
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		host, path = rest, "/"
+	} else {
+		host, path = rest[:slash], rest[slash:]
+	}
+	port = "80"
+	if c := strings.IndexByte(host, ':'); c >= 0 {
+		port = host[c+1:]
+		host = host[:c]
+	}
+	return host, port, path, nil
+}
+
+func readLine(p *kernel.Proc, sock int) (line string, rest []byte, err error) {
+	var acc []byte
+	buf := make([]byte, 4096)
+	for {
+		if i := indexByte(acc, '\n'); i >= 0 {
+			return string(acc[:i]), acc[i+1:], nil
+		}
+		n, err := p.Recv(sock, buf)
+		if err != nil {
+			return "", nil, err
+		}
+		if n == 0 {
+			return string(acc), nil, nil
+		}
+		acc = append(acc, buf[:n]...)
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// origindMain is the origin server the download benchmark fetches from:
+// it serves files below its docroot (argv[1]) on port 80 until it
+// receives "GET /__shutdown". It runs outside any sandbox, standing in
+// for the remote half of the Internet the paper's curl talked to.
+func origindMain(p *kernel.Proc, argv []string) int {
+	docroot := "/srv/origin"
+	if len(argv) > 1 {
+		docroot = argv[1]
+	}
+	port := "80"
+	if len(argv) > 2 {
+		port = argv[2]
+	}
+	l, err := p.Socket(netstack.DomainIP)
+	if err != nil {
+		stderr(p, "origind: socket: %v\n", err)
+		return 1
+	}
+	if err := p.Bind(l, port); err != nil {
+		stderr(p, "origind: bind: %v\n", err)
+		return 1
+	}
+	if err := p.Listen(l); err != nil {
+		stderr(p, "origind: listen: %v\n", err)
+		return 1
+	}
+	// Each connection is served concurrently so a stalled client can
+	// never wedge the shutdown request.
+	shutdown := make(chan struct{})
+	for {
+		conn, err := p.Accept(l)
+		if err != nil {
+			return 0 // listener closed
+		}
+		go func(conn int) {
+			line, _, err := readLine(p, conn)
+			if err != nil {
+				p.Close(conn)
+				return
+			}
+			path := strings.TrimSpace(strings.TrimPrefix(line, "GET "))
+			if path == "/__shutdown" {
+				p.Send(conn, []byte("OK 0\n"))
+				p.Close(conn)
+				close(shutdown)
+				p.Close(l) // unblocks Accept
+				return
+			}
+			data, err := readFile(p, joinPath(docroot, strings.TrimPrefix(path, "/")))
+			if err != nil {
+				p.Send(conn, []byte("ERR not found\n"))
+			} else {
+				p.Send(conn, []byte(fmt.Sprintf("OK %d\n", len(data))))
+				p.Send(conn, data)
+			}
+			p.Close(conn)
+		}(conn)
+		select {
+		case <-shutdown:
+			return 0
+		default:
+		}
+	}
+}

@@ -1,0 +1,634 @@
+package binaries
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/vfs"
+)
+
+// shMain is a small POSIX-flavoured shell: enough of /bin/sh to run the
+// grading case study's 61-line Bash script inside a SHILL sandbox
+// (§4.1). Supported: comments, variable assignment and expansion
+// ($VAR, ${VAR}, $1..$9, $?), command substitution $(cmd ...), for/do/done
+// over word lists, if/then/else/fi with [ -f ], [ -d ], [ -e ],
+// string equality tests, ! negation, && and ; sequencing, output
+// redirection (>, >>, 2>) and input redirection (<), exit, and external
+// command execution via the conventional search path.
+func shMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	var script string
+	var positional []string
+	switch {
+	case len(args) >= 2 && args[0] == "-c":
+		script = args[1]
+		positional = args[2:]
+	case len(args) >= 1:
+		data, err := readFile(p, args[0])
+		if err != nil {
+			stderr(p, "sh: %s: %v\n", args[0], err)
+			return 127
+		}
+		script = string(data)
+		positional = args[1:]
+	default:
+		stderr(p, "usage: sh script [args...] | sh -c 'commands'\n")
+		return 2
+	}
+	sh := &shell{p: p, vars: map[string]string{}, positional: positional}
+	return sh.runScript(script)
+}
+
+type shell struct {
+	p          *kernel.Proc
+	vars       map[string]string
+	positional []string
+	lastStatus int
+	exited     bool
+	exitCode   int
+}
+
+func (sh *shell) runScript(src string) int {
+	lines := strings.Split(src, "\n")
+	sh.runLines(lines, 0, len(lines))
+	if sh.exited {
+		return sh.exitCode
+	}
+	return sh.lastStatus
+}
+
+// runLines executes lines[from:to], handling block constructs.
+func (sh *shell) runLines(lines []string, from, to int) {
+	for i := from; i < to && !sh.exited; {
+		line := strings.TrimSpace(lines[i])
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			i++
+		case strings.HasPrefix(line, "for "):
+			end, body := sh.findBlock(lines, i, "done")
+			if end < 0 {
+				stderr(sh.p, "sh: for without done\n")
+				sh.lastStatus = 2
+				return
+			}
+			sh.runFor(line, lines, body, end)
+			i = end + 1
+		case strings.HasPrefix(line, "if "):
+			i = sh.runIf(lines, i, to)
+		default:
+			sh.lastStatus = sh.runLine(line)
+			i++
+		}
+	}
+}
+
+// findBlock locates the matching terminator for a block opened at start,
+// returning (endIndex, bodyStartIndex). Nested for/if blocks are skipped.
+func (sh *shell) findBlock(lines []string, start int, term string) (int, int) {
+	depth := 0
+	body := start + 1
+	// A "do" may be on the same line ("for x in a b; do") or alone.
+	if !strings.Contains(lines[start], "; do") && !strings.HasSuffix(strings.TrimSpace(lines[start]), " do") {
+		for body < len(lines) && strings.TrimSpace(lines[body]) != "do" {
+			body++
+		}
+		body++
+	}
+	for i := body; i < len(lines); i++ {
+		t := strings.TrimSpace(lines[i])
+		switch {
+		case strings.HasPrefix(t, "for ") || strings.HasPrefix(t, "if "):
+			depth++
+		case t == term && depth == 0:
+			return i, body
+		case (t == "done" || t == "fi") && depth > 0:
+			depth--
+		}
+	}
+	return -1, body
+}
+
+func (sh *shell) runFor(header string, lines []string, body, end int) {
+	header = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSpace(header), "do"), ";")
+	header = strings.TrimSpace(strings.TrimPrefix(header, "for "))
+	parts := strings.SplitN(header, " in ", 2)
+	if len(parts) != 2 {
+		stderr(sh.p, "sh: malformed for\n")
+		sh.lastStatus = 2
+		return
+	}
+	varName := strings.TrimSpace(parts[0])
+	words := sh.expandWords(parts[1])
+	for _, w := range words {
+		if sh.exited {
+			return
+		}
+		sh.vars[varName] = w
+		sh.runLines(lines, body, end)
+	}
+}
+
+// runIf executes an if/then/else/fi block starting at line i and returns
+// the index after "fi".
+func (sh *shell) runIf(lines []string, i, to int) int {
+	header := strings.TrimSpace(lines[i])
+	header = strings.TrimSuffix(strings.TrimSuffix(header, "then"), ";")
+	cond := strings.TrimSpace(strings.TrimPrefix(header, "if "))
+	// Find matching else/fi at depth 0.
+	depth := 0
+	elseAt, fiAt := -1, -1
+	body := i + 1
+	if !strings.Contains(lines[i], "then") {
+		for body < to && strings.TrimSpace(lines[body]) != "then" {
+			body++
+		}
+		body++
+	}
+	for j := body; j < to; j++ {
+		t := strings.TrimSpace(lines[j])
+		switch {
+		case strings.HasPrefix(t, "if ") || strings.HasPrefix(t, "for "):
+			depth++
+		case (t == "fi" || t == "done") && depth > 0:
+			depth--
+		case t == "else" && depth == 0 && elseAt < 0:
+			elseAt = j
+		case t == "fi" && depth == 0:
+			fiAt = j
+		}
+		if fiAt >= 0 {
+			break
+		}
+	}
+	if fiAt < 0 {
+		stderr(sh.p, "sh: if without fi\n")
+		sh.lastStatus = 2
+		return to
+	}
+	ok := sh.evalCond(cond)
+	if ok {
+		endBody := fiAt
+		if elseAt >= 0 {
+			endBody = elseAt
+		}
+		sh.runLines(lines, body, endBody)
+	} else if elseAt >= 0 {
+		sh.runLines(lines, elseAt+1, fiAt)
+	}
+	return fiAt + 1
+}
+
+func (sh *shell) evalCond(cond string) bool {
+	cond = strings.TrimSpace(cond)
+	negate := false
+	if strings.HasPrefix(cond, "! ") {
+		negate = true
+		cond = strings.TrimSpace(cond[2:])
+	}
+	result := false
+	if strings.HasPrefix(cond, "[") {
+		inner := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(cond, "["), "]"))
+		result = sh.evalTest(inner)
+	} else {
+		result = sh.runLine(cond) == 0
+	}
+	if negate {
+		return !result
+	}
+	return result
+}
+
+func (sh *shell) evalTest(expr string) bool {
+	fields := sh.expandWords(expr)
+	switch {
+	case len(fields) == 2 && fields[0] == "-f":
+		st, err := sh.p.FStatAt(kernel.AtCWD, fields[1], true)
+		return err == nil && st.Type == vfs.TypeFile
+	case len(fields) == 2 && fields[0] == "-d":
+		return isDir(sh.p, fields[1])
+	case len(fields) == 2 && fields[0] == "-e":
+		return exists(sh.p, fields[1])
+	case len(fields) == 2 && fields[0] == "-n":
+		return fields[1] != ""
+	case len(fields) == 2 && fields[0] == "-z":
+		return fields[1] == ""
+	case len(fields) == 3 && fields[1] == "=":
+		return fields[0] == fields[2]
+	case len(fields) == 3 && fields[1] == "!=":
+		return fields[0] != fields[2]
+	case len(fields) == 1:
+		return fields[0] != ""
+	}
+	return false
+}
+
+// runLine executes one command line, handling && chains and ;.
+func (sh *shell) runLine(line string) int {
+	status := 0
+	for _, seq := range splitTop(line, ';') {
+		cmds := strings.Split(seq, "&&")
+		status = 0
+		for _, c := range cmds {
+			status = sh.runSimple(strings.TrimSpace(c))
+			if status != 0 {
+				break
+			}
+			if sh.exited {
+				return sh.exitCode
+			}
+		}
+	}
+	return status
+}
+
+func (sh *shell) runSimple(cmd string) int {
+	if cmd == "" {
+		return 0
+	}
+	// Variable assignment: NAME=value (no spaces around '=').
+	if i := strings.IndexByte(cmd, '='); i > 0 && !strings.ContainsAny(cmd[:i], " \t$([") {
+		name := cmd[:i]
+		val := strings.Join(sh.expandWords(cmd[i+1:]), " ")
+		sh.vars[name] = val
+		return 0
+	}
+
+	words, redirs := sh.parseRedirects(cmd)
+	fields := sh.expandWords(strings.Join(words, " "))
+	if len(fields) == 0 {
+		return 0
+	}
+
+	switch fields[0] {
+	case "exit":
+		sh.exited = true
+		sh.exitCode = 0
+		if len(fields) > 1 {
+			fmt.Sscanf(fields[1], "%d", &sh.exitCode)
+		}
+		return sh.exitCode
+	case "cd":
+		if len(fields) > 1 {
+			if err := sh.p.Chdir(fields[1]); err != nil {
+				stderr(sh.p, "sh: cd: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	case "echo":
+		out := strings.Join(fields[1:], " ") + "\n"
+		return sh.withRedirects(redirs, func(stdoutFD int) int {
+			sh.p.Write(stdoutFD, []byte(out))
+			return 0
+		})
+	}
+
+	vn, err := resolveExecutable(sh.p, fields[0])
+	if err != nil {
+		stderr(sh.p, "sh: %s: command not found\n", fields[0])
+		return 127
+	}
+	return sh.withRedirects(redirs, func(stdoutFD int) int {
+		attr := kernel.SpawnAttr{}
+		if stdoutFD != 1 {
+			fd, err := sh.p.FD(stdoutFD)
+			if err == nil {
+				attr.Stdout = fd
+			}
+		}
+		if redirs.stdinPath != "" {
+			fd, err := sh.p.OpenAt(kernel.AtCWD, redirs.stdinPath, kernel.ORead, 0)
+			if err != nil {
+				stderr(sh.p, "sh: %s: %v\n", redirs.stdinPath, err)
+				return 1
+			}
+			defer sh.p.Close(fd)
+			desc, _ := sh.p.FD(fd)
+			attr.Stdin = desc
+		}
+		if redirs.stderrPath != "" {
+			fd, err := sh.p.OpenAt(kernel.AtCWD, redirs.stderrPath, kernel.OWrite|kernel.OCreate|kernel.OAppend, 0o644)
+			if err != nil {
+				stderr(sh.p, "sh: %s: %v\n", redirs.stderrPath, err)
+				return 1
+			}
+			defer sh.p.Close(fd)
+			desc, _ := sh.p.FD(fd)
+			attr.Stderr = desc
+		}
+		code, err := sh.p.SpawnWait(vn, fields[1:], attr)
+		if err != nil {
+			stderr(sh.p, "sh: %s: %v\n", fields[0], err)
+			return 126
+		}
+		return code
+	})
+}
+
+type redirects struct {
+	stdoutPath string
+	appendOut  bool
+	stdinPath  string
+	stderrPath string
+}
+
+// parseRedirects strips redirection operators from the token stream.
+func (sh *shell) parseRedirects(cmd string) ([]string, redirects) {
+	tokens := tokenize(cmd)
+	var words []string
+	var r redirects
+	for i := 0; i < len(tokens); i++ {
+		switch tokens[i] {
+		case ">":
+			if i+1 < len(tokens) {
+				r.stdoutPath = sh.expandOne(tokens[i+1])
+				i++
+			}
+		case ">>":
+			if i+1 < len(tokens) {
+				r.stdoutPath = sh.expandOne(tokens[i+1])
+				r.appendOut = true
+				i++
+			}
+		case "<":
+			if i+1 < len(tokens) {
+				r.stdinPath = sh.expandOne(tokens[i+1])
+				i++
+			}
+		case "2>":
+			if i+1 < len(tokens) {
+				r.stderrPath = sh.expandOne(tokens[i+1])
+				i++
+			}
+		default:
+			words = append(words, tokens[i])
+		}
+	}
+	return words, r
+}
+
+// withRedirects opens the stdout redirection target (if any) and invokes
+// fn with the descriptor to use as standard output.
+func (sh *shell) withRedirects(r redirects, fn func(stdoutFD int) int) int {
+	if r.stdoutPath == "" {
+		return fn(1)
+	}
+	flags := kernel.OWrite | kernel.OCreate
+	if r.appendOut {
+		flags |= kernel.OAppend
+	} else {
+		flags |= kernel.OTrunc
+	}
+	fd, err := sh.p.OpenAt(kernel.AtCWD, r.stdoutPath, flags, 0o644)
+	if err != nil {
+		stderr(sh.p, "sh: %s: %v\n", r.stdoutPath, err)
+		return 1
+	}
+	defer sh.p.Close(fd)
+	return fn(fd)
+}
+
+// expandWords tokenizes and expands variables and command substitutions.
+func (sh *shell) expandWords(s string) []string {
+	var out []string
+	for _, tok := range tokenize(s) {
+		expanded := sh.expandOne(tok)
+		if strings.HasPrefix(tok, "\"") || strings.HasPrefix(tok, "'") {
+			out = append(out, expanded)
+			continue
+		}
+		// Unquoted expansions split on whitespace, as sh does.
+		fields := strings.Fields(expanded)
+		if len(fields) == 0 && expanded == "" && !strings.ContainsAny(tok, "$`") {
+			out = append(out, expanded)
+			continue
+		}
+		out = append(out, fields...)
+	}
+	return out
+}
+
+// expandOne expands $VAR, ${VAR}, $1..$9, $?, and $(cmd) in one token.
+func (sh *shell) expandOne(tok string) string {
+	if strings.HasPrefix(tok, "'") {
+		return strings.Trim(tok, "'")
+	}
+	quoted := strings.HasPrefix(tok, "\"")
+	if quoted {
+		tok = strings.Trim(tok, "\"")
+	}
+	var b strings.Builder
+	for i := 0; i < len(tok); {
+		c := tok[i]
+		if c != '$' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 >= len(tok) {
+			b.WriteByte(c)
+			break
+		}
+		switch next := tok[i+1]; {
+		case next == '(':
+			depth := 1
+			j := i + 2
+			for ; j < len(tok) && depth > 0; j++ {
+				if tok[j] == '(' {
+					depth++
+				}
+				if tok[j] == ')' {
+					depth--
+				}
+			}
+			inner := tok[i+2 : j-1]
+			b.WriteString(strings.TrimSpace(sh.commandSubst(inner)))
+			i = j
+		case next == '{':
+			j := strings.IndexByte(tok[i:], '}')
+			if j < 0 {
+				b.WriteByte(c)
+				i++
+				continue
+			}
+			name := tok[i+2 : i+j]
+			b.WriteString(sh.lookupVar(name))
+			i += j + 1
+		case next == '?':
+			fmt.Fprintf(&b, "%d", sh.lastStatus)
+			i += 2
+		case next >= '0' && next <= '9':
+			idx := int(next - '1')
+			if idx >= 0 && idx < len(sh.positional) {
+				b.WriteString(sh.positional[idx])
+			}
+			i += 2
+		default:
+			j := i + 1
+			for j < len(tok) && (isAlnum(tok[j]) || tok[j] == '_') {
+				j++
+			}
+			if j == i+1 {
+				b.WriteByte(c)
+				i++
+				continue
+			}
+			b.WriteString(sh.lookupVar(tok[i+1 : j]))
+			i = j
+		}
+	}
+	return b.String()
+}
+
+func (sh *shell) lookupVar(name string) string { return sh.vars[name] }
+
+// commandSubst runs a command and captures its stdout.
+func (sh *shell) commandSubst(cmd string) string {
+	fields := sh.expandWords(cmd)
+	if len(fields) == 0 {
+		return ""
+	}
+	if fields[0] == "ls" {
+		// Fast path: $(ls dir) is the grading script's main use.
+		var names []string
+		dirs := fields[1:]
+		if len(dirs) == 0 {
+			dirs = []string{"."}
+		}
+		for _, d := range dirs {
+			fd, err := sh.p.OpenAt(kernel.AtCWD, d, kernel.ORead|kernel.ODirectory, 0)
+			if err != nil {
+				continue
+			}
+			ns, _ := sh.p.ReadDir(fd)
+			sh.p.Close(fd)
+			names = append(names, ns...)
+		}
+		return strings.Join(names, " ")
+	}
+	if fields[0] == "cat" && len(fields) == 2 {
+		data, err := readFile(sh.p, fields[1])
+		if err != nil {
+			return ""
+		}
+		return string(data)
+	}
+	// General case: run with a pipe as stdout.
+	rfd, wfd, err := sh.p.MakePipe()
+	if err != nil {
+		return ""
+	}
+	vn, err := resolveExecutable(sh.p, fields[0])
+	if err != nil {
+		sh.p.Close(rfd)
+		sh.p.Close(wfd)
+		return ""
+	}
+	wdesc, _ := sh.p.FD(wfd)
+	child, err := sh.p.Spawn(vn, fields[1:], kernel.SpawnAttr{Stdout: wdesc})
+	sh.p.Close(wfd)
+	if err != nil {
+		sh.p.Close(rfd)
+		return ""
+	}
+	data, _ := readAllFD(sh.p, rfd)
+	sh.p.Close(rfd)
+	sh.p.Wait(child.PID())
+	return string(data)
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// tokenize splits a command line into tokens, respecting single and
+// double quotes and recognising redirection operators.
+func tokenize(s string) []string {
+	var tokens []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		start := i
+		switch s[i] {
+		case '"', '\'':
+			q := s[i]
+			i++
+			for i < len(s) && s[i] != q {
+				i++
+			}
+			i++
+			tokens = append(tokens, s[start:min(i, len(s))])
+		case '>':
+			if i+1 < len(s) && s[i+1] == '>' {
+				tokens = append(tokens, ">>")
+				i += 2
+			} else {
+				tokens = append(tokens, ">")
+				i++
+			}
+		case '<':
+			tokens = append(tokens, "<")
+			i++
+		default:
+			for i < len(s) && s[i] != ' ' && s[i] != '\t' && s[i] != '>' && s[i] != '<' {
+				if s[i] == '$' && i+1 < len(s) && s[i+1] == '(' {
+					depth := 1
+					i += 2
+					for i < len(s) && depth > 0 {
+						if s[i] == '(' {
+							depth++
+						}
+						if s[i] == ')' {
+							depth--
+						}
+						i++
+					}
+					continue
+				}
+				i++
+			}
+			tok := s[start:i]
+			if tok == "2" && i < len(s) && s[i] == '>' {
+				tokens = append(tokens, "2>")
+				i++
+				continue
+			}
+			tokens = append(tokens, tok)
+		}
+	}
+	return tokens
+}
+
+// splitTop splits on sep at top level (outside quotes and $()).
+func splitTop(s string, sep byte) []string {
+	var parts []string
+	depth := 0
+	last := 0
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote != 0:
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == sep && depth == 0:
+			parts = append(parts, s[last:i])
+			last = i + 1
+		}
+	}
+	parts = append(parts, s[last:])
+	return parts
+}

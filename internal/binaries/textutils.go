@@ -1,0 +1,359 @@
+package binaries
+
+import (
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/vfs"
+)
+
+// grepMain searches files (or stdin) for a fixed substring pattern,
+// supporting the flags the Find case study needs: -H (print file name)
+// and -l (names only). The paper's task greps 15,376 .c files for
+// "mac_" (§4.1).
+func grepMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	printName, namesOnly, countOnly := false, false, false
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "-H":
+			printName = true
+		case "-l":
+			namesOnly = true
+		case "-c":
+			countOnly = true
+		default:
+			stderr(p, "grep: unknown flag %s\n", args[0])
+			return 2
+		}
+		args = args[1:]
+	}
+	if len(args) == 0 {
+		stderr(p, "usage: grep [-H|-l|-c] pattern [file...]\n")
+		return 2
+	}
+	pattern := args[0]
+	files := args[1:]
+
+	matched := false
+	grepOne := func(name string, data []byte) {
+		count := 0
+		for _, line := range strings.Split(string(data), "\n") {
+			if !strings.Contains(line, pattern) {
+				continue
+			}
+			matched = true
+			count++
+			if namesOnly {
+				stdout(p, "%s\n", name)
+				return
+			}
+			if countOnly {
+				continue
+			}
+			if printName && name != "" {
+				stdout(p, "%s:%s\n", name, line)
+			} else {
+				stdout(p, "%s\n", line)
+			}
+		}
+		if countOnly {
+			if name != "" {
+				stdout(p, "%s:%d\n", name, count)
+			} else {
+				stdout(p, "%d\n", count)
+			}
+		}
+	}
+
+	if len(files) == 0 {
+		data, err := readAllFD(p, 0)
+		if err != nil {
+			stderr(p, "grep: stdin: %v\n", err)
+			return 2
+		}
+		grepOne("", data)
+	}
+	status := 0
+	for _, f := range files {
+		data, err := readFile(p, f)
+		if err != nil {
+			stderr(p, "grep: %s: %v\n", f, err)
+			status = 2
+			continue
+		}
+		grepOne(f, data)
+	}
+	if status != 0 {
+		return status
+	}
+	if matched {
+		return 0
+	}
+	return 1
+}
+
+// findMain walks directories, filtering by -name glob and optionally
+// executing a command per match via -exec cmd {} \; — the shape of the
+// paper's simpler Find case study:
+//
+//	find /usr/src -name "*.c" -exec grep -H mac_ {} \;
+func findMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	var roots []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		roots = append(roots, args[0])
+		args = args[1:]
+	}
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	pattern := ""
+	var execCmd []string
+	typeFilter := byte(0)
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-name":
+			i++
+			if i >= len(args) {
+				stderr(p, "find: -name needs an argument\n")
+				return 64
+			}
+			pattern = args[i]
+		case "-type":
+			i++
+			if i >= len(args) || (args[i] != "f" && args[i] != "d") {
+				stderr(p, "find: -type needs f or d\n")
+				return 64
+			}
+			typeFilter = args[i][0]
+		case "-exec":
+			for j := i + 1; j < len(args); j++ {
+				if args[j] == ";" || args[j] == "\\;" {
+					execCmd = args[i+1 : j]
+					i = j
+					break
+				}
+			}
+			if execCmd == nil {
+				stderr(p, "find: -exec not terminated with ;\n")
+				return 64
+			}
+		default:
+			stderr(p, "find: unknown predicate %s\n", args[i])
+			return 64
+		}
+	}
+
+	status := 0
+	var visit func(path string)
+	visit = func(path string) {
+		st, err := p.FStatAt(kernel.AtCWD, path, false)
+		if err != nil {
+			stderr(p, "find: %s: %v\n", path, err)
+			status = 1
+			return
+		}
+		dir := st.Type == vfs.TypeDir
+		match := (pattern == "" || matchGlob(pattern, baseName(path))) &&
+			(typeFilter == 0 || (typeFilter == 'd') == dir)
+		if match {
+			if execCmd != nil {
+				cmd := make([]string, len(execCmd))
+				for i, c := range execCmd {
+					if c == "{}" {
+						cmd[i] = path
+					} else {
+						cmd[i] = c
+					}
+				}
+				if _, err := runCommand(p, cmd); err != nil {
+					stderr(p, "find: exec %s: %v\n", cmd[0], err)
+					status = 1
+				}
+			} else {
+				stdout(p, "%s\n", path)
+			}
+		}
+		if !dir {
+			return
+		}
+		fd, err := p.OpenAt(kernel.AtCWD, path, kernel.ORead|kernel.ODirectory, 0)
+		if err != nil {
+			stderr(p, "find: %s: %v\n", path, err)
+			status = 1
+			return
+		}
+		names, err := p.ReadDir(fd)
+		p.Close(fd)
+		if err != nil {
+			status = 1
+			return
+		}
+		for _, name := range names {
+			visit(joinPath(path, name))
+		}
+	}
+	for _, root := range roots {
+		visit(root)
+	}
+	return status
+}
+
+// matchGlob matches the restricted glob language find needs: '*' matches
+// any run of characters, '?' one character; no character classes.
+func matchGlob(pattern, name string) bool {
+	// Dynamic-programming match over pattern/name positions.
+	pi, ni := 0, 0
+	star, starN := -1, 0
+	for ni < len(name) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '?' || pattern[pi] == name[ni]):
+			pi++
+			ni++
+		case pi < len(pattern) && pattern[pi] == '*':
+			star, starN = pi, ni
+			pi++
+		case star >= 0:
+			starN++
+			ni = starN
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '*' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// diffMain compares two files line by line, printing differing lines and
+// exiting 1 when they differ — enough for the grading harness to score
+// submissions against expected test output.
+func diffMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	quiet := false
+	if len(args) > 0 && args[0] == "-q" {
+		quiet = true
+		args = args[1:]
+	}
+	if len(args) != 2 {
+		stderr(p, "usage: diff [-q] file1 file2\n")
+		return 2
+	}
+	a, err := readFile(p, args[0])
+	if err != nil {
+		stderr(p, "diff: %s: %v\n", args[0], err)
+		return 2
+	}
+	b, err := readFile(p, args[1])
+	if err != nil {
+		stderr(p, "diff: %s: %v\n", args[1], err)
+		return 2
+	}
+	if string(a) == string(b) {
+		return 0
+	}
+	if quiet {
+		stdout(p, "Files %s and %s differ\n", args[0], args[1])
+		return 1
+	}
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	max := len(al)
+	if len(bl) > max {
+		max = len(bl)
+	}
+	for i := 0; i < max; i++ {
+		var la, lb string
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la != lb {
+			if i < len(al) {
+				stdout(p, "< %s\n", la)
+			}
+			if i < len(bl) {
+				stdout(p, "> %s\n", lb)
+			}
+		}
+	}
+	return 1
+}
+
+// lddMain prints the shared libraries an executable depends on, reading
+// the dependency table the registry publishes. pkg_native runs it in a
+// sandbox to discover required library capabilities (§3.1.4).
+func lddMain(p *kernel.Proc, argv []string) int {
+	if len(argv) < 2 {
+		stderr(p, "usage: ldd file\n")
+		return 1
+	}
+	status := 0
+	for _, path := range argv[1:] {
+		data, err := readFile(p, path)
+		if err != nil {
+			stderr(p, "ldd: %s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		name := binNameFromImage(data)
+		if name == "" {
+			stderr(p, "ldd: %s: not a dynamic executable\n", path)
+			status = 1
+			continue
+		}
+		stdout(p, "%s:\n", path)
+		for _, lib := range Deps[name] {
+			stdout(p, "\t%s => /lib/%s\n", lib, lib)
+		}
+	}
+	return status
+}
+
+// binNameFromImage extracts the registered binary name from an
+// executable image ("#!bin:name\n").
+func binNameFromImage(data []byte) string {
+	s := string(data)
+	if !strings.HasPrefix(s, "#!bin:") {
+		return ""
+	}
+	s = s[len("#!bin:"):]
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// jpeginfoMain prints information about JPEG files (the §2 running
+// example). With -i it prints dimensions and size.
+func jpeginfoMain(p *kernel.Proc, argv []string) int {
+	args := argv[1:]
+	if len(args) > 0 && args[0] == "-i" {
+		args = args[1:]
+	}
+	if len(args) == 0 {
+		stderr(p, "usage: jpeginfo [-i] file...\n")
+		return 1
+	}
+	status := 0
+	for _, path := range args {
+		data, err := readFile(p, path)
+		if err != nil {
+			stderr(p, "jpeginfo: %s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		if len(data) < 4 || string(data[:4]) != "JFIF" {
+			stdout(p, "%s: not a JPEG file\n", path)
+			status = 1
+			continue
+		}
+		stdout(p, "%s %d bytes JFIF N 640x480 24bit\n", path, len(data))
+	}
+	return status
+}

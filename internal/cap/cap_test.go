@@ -1,0 +1,323 @@
+package cap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/errno"
+	"repro/internal/kernel"
+	"repro/internal/priv"
+)
+
+func world(t *testing.T) (*kernel.Kernel, *kernel.Proc) {
+	t.Helper()
+	k := kernel.New()
+	t.Cleanup(k.Shutdown)
+	files := map[string]string{
+		"/tree/a.txt":       "alpha",
+		"/tree/sub/b.jpg":   "JFIFb",
+		"/tree/sub/c.txt":   "gamma",
+		"/other/secret.txt": "hidden",
+	}
+	for path, data := range files {
+		if _, err := k.FS.WriteFile(path, []byte(data), 0o644, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k, k.NewProc(0, 0)
+}
+
+func fullDir(t *testing.T, k *kernel.Kernel, p *kernel.Proc, path string) *Capability {
+	t.Helper()
+	return NewDir(p, k.FS.MustResolve(path), priv.FullGrant())
+}
+
+func TestReadWriteAppend(t *testing.T) {
+	k, p := world(t)
+	f := NewFile(p, k.FS.MustResolve("/tree/a.txt"), priv.FullGrant())
+	data, err := f.Read()
+	if err != nil || string(data) != "alpha" {
+		t.Fatalf("Read = %q, %v", data, err)
+	}
+	if err := f.Write([]byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = f.Read()
+	if string(data) != "beta!" {
+		t.Fatalf("after write+append: %q", data)
+	}
+}
+
+func TestPrivilegeChecksPerOperation(t *testing.T) {
+	k, p := world(t)
+	vn := k.FS.MustResolve("/tree/a.txt")
+	cases := []struct {
+		name string
+		g    *priv.Grant
+		op   func(c *Capability) error
+	}{
+		{"read", priv.NewGrant(priv.RWrite), func(c *Capability) error { _, err := c.Read(); return err }},
+		{"write", priv.NewGrant(priv.RRead), func(c *Capability) error { return c.Write(nil) }},
+		{"append", priv.NewGrant(priv.RWrite), func(c *Capability) error { return c.Append(nil) }},
+		{"stat", priv.NewGrant(priv.RRead), func(c *Capability) error { _, err := c.Stat(); return err }},
+		{"path", priv.NewGrant(priv.RRead), func(c *Capability) error { _, err := c.Path(); return err }},
+		{"truncate", priv.NewGrant(priv.RWrite), func(c *Capability) error { return c.Truncate(0) }},
+		{"chmod", priv.NewGrant(priv.RWrite), func(c *Capability) error { return c.Chmod(0o600) }},
+	}
+	for _, cse := range cases {
+		c := NewFile(p, vn, cse.g)
+		err := cse.op(c)
+		var np *NoPrivilegeError
+		if !errors.As(err, &np) {
+			t.Errorf("%s without privilege: %v", cse.name, err)
+			continue
+		}
+		if !errors.Is(err, errno.EACCES) {
+			t.Errorf("%s error does not unwrap to EACCES", cse.name)
+		}
+	}
+}
+
+func TestLookupDerivesWithModifier(t *testing.T) {
+	k, p := world(t)
+	g := priv.NewGrant(priv.RLookup, priv.RContents).
+		WithDerived(priv.RLookup, priv.NewGrant(priv.RRead, priv.RPath, priv.RLookup, priv.RContents))
+	dir := NewDir(p, k.FS.MustResolve("/tree"), g)
+	child, err := dir.Lookup("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := child.Read(); err != nil {
+		t.Fatalf("derived read: %v", err)
+	}
+	if _, err := child.Stat(); err == nil {
+		t.Fatal("derived capability has +stat it should not")
+	}
+	// Without a modifier, derivation inherits the parent grant.
+	dir2 := fullDir(t, k, p, "/tree")
+	c2, _ := dir2.Lookup("a.txt")
+	if !c2.Grant().Rights.Has(priv.RWrite) {
+		t.Fatal("inherit derivation lost rights")
+	}
+}
+
+func TestLookupRejectsTraversal(t *testing.T) {
+	k, p := world(t)
+	dir := fullDir(t, k, p, "/tree/sub")
+	for _, name := range []string{"..", ".", "a/b", ""} {
+		if _, err := dir.Lookup(name); err == nil {
+			t.Errorf("Lookup(%q) succeeded; capability safety broken", name)
+		}
+	}
+}
+
+func TestContentsAndHasName(t *testing.T) {
+	k, p := world(t)
+	dir := fullDir(t, k, p, "/tree")
+	names, err := dir.Contents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a.txt" || names[1] != "sub" {
+		t.Fatalf("Contents = %v", names)
+	}
+}
+
+func TestCreateFileGrantsModifier(t *testing.T) {
+	k, p := world(t)
+	g := priv.NewGrant(priv.RCreateFile).
+		WithDerived(priv.RCreateFile, priv.NewGrant(priv.RAppend, priv.RStat))
+	dir := NewDir(p, k.FS.MustResolve("/tree"), g)
+	f, err := dir.CreateFile("new.log", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("entry")); err != nil {
+		t.Fatalf("append on created file: %v", err)
+	}
+	if _, err := f.Read(); err == nil {
+		t.Fatal("created file readable beyond its modifier")
+	}
+}
+
+func TestCreateDirUnlinkRename(t *testing.T) {
+	k, p := world(t)
+	dir := fullDir(t, k, p, "/tree")
+	sub, err := dir.CreateDir("work", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.CreateFile("x", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Unlink("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Rename("work", dir, "done"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Lookup("done"); err != nil {
+		t.Fatal("renamed dir missing")
+	}
+	if err := dir.Unlink("done"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnlinkNeedsTypeSpecificPrivilege(t *testing.T) {
+	k, p := world(t)
+	// unlink-file alone cannot remove a directory.
+	g := priv.NewGrant(priv.RLookup, priv.RUnlinkFile)
+	dir := NewDir(p, k.FS.MustResolve("/tree"), g)
+	if err := dir.Unlink("sub"); err == nil {
+		t.Fatal("removed a directory with only +unlink-file")
+	}
+	if err := dir.Unlink("a.txt"); err != nil {
+		t.Fatalf("unlink file: %v", err)
+	}
+}
+
+func TestUnlinkCapChecksIdentity(t *testing.T) {
+	k, p := world(t)
+	dir := fullDir(t, k, p, "/tree")
+	f, _ := dir.Lookup("a.txt")
+	other, _ := fullDir(t, k, p, "/tree/sub").Lookup("c.txt")
+	if err := dir.UnlinkCap("a.txt", other); err == nil {
+		t.Fatal("unlink_cap removed a different file")
+	}
+	if err := dir.UnlinkCap("a.txt", f); err != nil {
+		t.Fatalf("unlink_cap: %v", err)
+	}
+}
+
+func TestRestrictMonotoneAndBlame(t *testing.T) {
+	k, p := world(t)
+	f := NewFile(p, k.FS.MustResolve("/tree/a.txt"), priv.FullGrant())
+	r1 := f.Restrict(priv.NewGrant(priv.RRead, priv.RStat), "outer")
+	r2 := r1.Restrict(priv.NewGrant(priv.RRead, priv.RWrite), "inner")
+	// Intersection: only +read survives; +write cannot come back.
+	if r2.Grant().Rights.Has(priv.RWrite) || r2.Grant().Rights.Has(priv.RStat) {
+		t.Fatalf("restrict amplified: %v", r2.Grant())
+	}
+	err := r2.Write(nil)
+	var np *NoPrivilegeError
+	if !errors.As(err, &np) {
+		t.Fatal(err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "outer") || !strings.Contains(msg, "inner") {
+		t.Fatalf("blame chain missing from error: %s", msg)
+	}
+}
+
+// Property: restriction never adds rights, regardless of order.
+func TestRestrictNeverAmplifiesQuick(t *testing.T) {
+	k, p := world(t)
+	vn := k.FS.MustResolve("/tree/a.txt")
+	fn := func(bits1, bits2 uint32) bool {
+		g1 := priv.GrantOf(priv.Set(bits1) & priv.All)
+		g2 := priv.GrantOf(priv.Set(bits2) & priv.All)
+		c := NewFile(p, vn, priv.FullGrant()).Restrict(g1, "a").Restrict(g2, "b")
+		return g1.Rights.HasAll(c.Grant().Rights) && g2.Rights.HasAll(c.Grant().Rights)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathAndNameFallback(t *testing.T) {
+	k, p := world(t)
+	f := NewFile(p, k.FS.MustResolve("/tree/a.txt"), priv.FullGrant())
+	path, err := f.Path()
+	if err != nil || path != "/tree/a.txt" {
+		t.Fatalf("Path = %q, %v", path, err)
+	}
+	if f.Name() != "a.txt" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	// Unlink the file: Path falls back to the last known path (§3.1.3).
+	tree := fullDir(t, k, p, "/tree")
+	if err := tree.Unlink("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	path, err = f.Path()
+	if err != nil || path != "/tree/a.txt" {
+		t.Fatalf("fallback Path = %q, %v", path, err)
+	}
+}
+
+func TestPipeFactoryAndEnds(t *testing.T) {
+	_, p := world(t)
+	pf := NewPipeFactory(p)
+	r, w, err := pf.CreatePipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != KindPipeEnd || w.Kind() != KindPipeEnd {
+		t.Fatal("pipe ends have wrong kind")
+	}
+	// Ends are directional.
+	if err := r.Write([]byte("x")); err == nil {
+		t.Fatal("read end writable")
+	}
+	if _, err := w.Read(); err == nil {
+		t.Fatal("write end readable")
+	}
+	if err := w.Append([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := r.Read()
+	if err != nil || string(data) != "ping" {
+		t.Fatalf("pipe read = %q, %v", data, err)
+	}
+	// Closing the write end yields EOF on the read end.
+	w.Close()
+	data, err = r.Read()
+	if err != nil || len(data) != 0 {
+		t.Fatalf("EOF read = %q, %v", data, err)
+	}
+	// Pipes count as file capabilities (§2.2).
+	if !r.IsFile() {
+		t.Fatal("pipe end is not a file capability")
+	}
+}
+
+func TestSymlinkOps(t *testing.T) {
+	k, p := world(t)
+	dir := fullDir(t, k, p, "/tree")
+	if err := dir.CreateSymlink("ln", "a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	target, err := dir.ReadSymlink("ln")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := target.Read(); string(data) != "alpha" {
+		t.Fatalf("symlink target read = %q", data)
+	}
+	// Multi-component and dot-dot targets are rejected.
+	if err := dir.CreateSymlink("evil", "../other/secret.txt"); err != nil {
+		t.Fatal(err) // creating is fine...
+	}
+	if _, err := dir.ReadSymlink("evil"); err == nil {
+		t.Fatal("...but deriving through a traversing symlink must fail")
+	}
+}
+
+func TestLinkPrivileges(t *testing.T) {
+	k, p := world(t)
+	dir := fullDir(t, k, p, "/tree")
+	f, _ := dir.Lookup("a.txt")
+	weakFile := f.Restrict(priv.NewGrant(priv.RRead), "nolink")
+	if err := dir.Link("alias", weakFile); err == nil {
+		t.Fatal("linked a file without +link")
+	}
+	if err := dir.Link("alias", f); err != nil {
+		t.Fatalf("link: %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+package cap
+
+import (
+	"repro/internal/errno"
+	"repro/internal/kernel"
+	"repro/internal/netstack"
+	"repro/internal/priv"
+	"repro/internal/vfs"
+)
+
+// NewPipeFactory returns a pipe-factory capability: it encapsulates the
+// right to create new pipes (§3.1.1). Its create operation returns a
+// pair of pipe ends, each a file capability.
+func NewPipeFactory(proc *kernel.Proc) *Capability {
+	return &Capability{kind: KindPipeFactory, grant: priv.FullGrant(), proc: proc}
+}
+
+// CreatePipe creates a pipe, returning (readEnd, writeEnd).
+func (c *Capability) CreatePipe() (*Capability, *Capability, error) {
+	if c.kind != KindPipeFactory {
+		return nil, nil, errno.EINVAL
+	}
+	p := vfs.NewPipe()
+	r := &Capability{
+		kind:    KindPipeEnd,
+		grant:   priv.GrantOf(priv.NewSet(priv.RRead, priv.RStat)),
+		proc:    c.proc,
+		pipeObj: p, pipeRead: true,
+	}
+	w := &Capability{
+		kind:    KindPipeEnd,
+		grant:   priv.GrantOf(priv.NewSet(priv.RWrite, priv.RAppend, priv.RStat)),
+		proc:    c.proc,
+		pipeObj: p,
+	}
+	return r, w, nil
+}
+
+// Pipe returns the underlying pipe of a pipe-end capability.
+func (c *Capability) PipeObject() *vfs.Pipe { return c.pipeObj }
+
+// Close releases a pipe-end capability's reference so the peer observes
+// EOF (read end gone) or EPIPE (write end gone). Scripts that hand a
+// pipe end to a sandbox and then read the other end must close their
+// copy, exactly as with file descriptors. Non-pipe capabilities ignore
+// Close.
+func (c *Capability) Close() {
+	if c.kind != KindPipeEnd || c.pipeObj == nil || c.closed {
+		return
+	}
+	c.closed = true
+	if c.pipeRead {
+		c.pipeObj.CloseRead()
+	} else {
+		c.pipeObj.CloseWrite()
+	}
+}
+
+// PipeIsReadEnd reports whether a pipe-end capability is the read end.
+func (c *Capability) PipeIsReadEnd() bool { return c.pipeRead }
+
+// SocketFactoryDomain configures which address family a socket factory
+// mints sockets for.
+type SocketFactoryDomain = netstack.Domain
+
+// NewSocketFactory returns a socket-factory capability for the given
+// domain with the given socket privileges. In the prototype, SHILL
+// scripts cannot create or manipulate sockets directly (§3.1.1); the
+// factory exists to be granted to sandboxes, which then may create and
+// use sockets according to the factory's grant.
+func NewSocketFactory(proc *kernel.Proc, domain netstack.Domain, g *priv.Grant) *Capability {
+	return &Capability{kind: KindSocketFactory, grant: g, proc: proc, sockDomain: domain}
+}
+
+// SocketDomain returns the domain a socket-factory capability covers.
+func (c *Capability) SocketDomain() netstack.Domain { return c.sockDomain }

@@ -1,0 +1,118 @@
+package cap
+
+import (
+	"repro/internal/errno"
+	"repro/internal/kernel"
+	"repro/internal/netstack"
+	"repro/internal/priv"
+)
+
+// Socket capabilities are the extension the paper sketches in §3.1.1:
+// "In our prototype implementation, SHILL scripts cannot create or
+// manipulate sockets directly (which can be addressed by adding built-in
+// functions for socket operations to the language)." Here the built-ins
+// exist (the shill/sockets standard-library module), and every operation
+// is gated by the socket privileges of the factory capability the socket
+// was derived from — the same seven privileges the sandbox MAC policy
+// checks.
+
+// sockCap returns a socket capability derived from a factory.
+func sockCap(proc *kernel.Proc, domain netstack.Domain, g *priv.Grant, so *netstack.Socket) *Capability {
+	return &Capability{kind: KindSocket, grant: g, proc: proc, sockDomain: domain, sockObj: so}
+}
+
+// Socket returns the underlying socket of a socket capability.
+func (c *Capability) Socket() *netstack.Socket { return c.sockObj }
+
+// SocketConnect derives a connected socket capability from a socket
+// factory (requires +sock-create and +sock-connect).
+func (c *Capability) SocketConnect(addr string) (*Capability, error) {
+	if c.kind != KindSocketFactory {
+		return nil, errno.EINVAL
+	}
+	if err := c.require("sock-connect", priv.NewSet(priv.RSockCreate, priv.RSockConnect)); err != nil {
+		return nil, err
+	}
+	st := c.proc.Kernel().Net
+	so := st.NewSocket(c.sockDomain)
+	if err := st.Connect(so, addr); err != nil {
+		return nil, err
+	}
+	return sockCap(c.proc, c.sockDomain, c.grant, so), nil
+}
+
+// SocketListen derives a listening socket capability from a socket
+// factory (requires +sock-create, +sock-bind, and +sock-listen).
+func (c *Capability) SocketListen(addr string) (*Capability, error) {
+	if c.kind != KindSocketFactory {
+		return nil, errno.EINVAL
+	}
+	if err := c.require("sock-listen", priv.NewSet(priv.RSockCreate, priv.RSockBind, priv.RSockListen)); err != nil {
+		return nil, err
+	}
+	st := c.proc.Kernel().Net
+	so := st.NewSocket(c.sockDomain)
+	if err := st.Bind(so, addr); err != nil {
+		return nil, err
+	}
+	if err := st.Listen(so); err != nil {
+		st.Close(so)
+		return nil, err
+	}
+	return sockCap(c.proc, c.sockDomain, c.grant, so), nil
+}
+
+// SocketAccept accepts a connection on a listening socket capability
+// (requires +sock-accept); the new connection inherits the listener's
+// grant, as the sandbox's post-accept hook arranges.
+func (c *Capability) SocketAccept() (*Capability, error) {
+	if c.kind != KindSocket || c.sockObj == nil {
+		return nil, errno.EINVAL
+	}
+	if err := c.require("sock-accept", priv.NewSet(priv.RSockAccept)); err != nil {
+		return nil, err
+	}
+	conn, err := c.proc.Kernel().Net.Accept(c.sockObj)
+	if err != nil {
+		return nil, err
+	}
+	return sockCap(c.proc, c.sockDomain, c.grant, conn), nil
+}
+
+// SocketSend writes to a connected socket capability (+sock-send).
+func (c *Capability) SocketSend(data []byte) error {
+	if c.kind != KindSocket || c.sockObj == nil {
+		return errno.EINVAL
+	}
+	if err := c.require("sock-send", priv.NewSet(priv.RSockSend)); err != nil {
+		return err
+	}
+	_, err := c.proc.Kernel().Net.Send(c.sockObj, data)
+	return err
+}
+
+// SocketRecv reads from a connected socket capability (+sock-recv); an
+// empty result means the peer closed.
+func (c *Capability) SocketRecv() ([]byte, error) {
+	if c.kind != KindSocket || c.sockObj == nil {
+		return nil, errno.EINVAL
+	}
+	if err := c.require("sock-recv", priv.NewSet(priv.RSockRecv)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	n, err := c.proc.Kernel().Net.Recv(c.sockObj, buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// SocketClose shuts the socket down (no privilege needed: dropping
+// authority is always allowed).
+func (c *Capability) SocketClose() {
+	if c.kind == KindSocket && c.sockObj != nil && !c.closed {
+		c.closed = true
+		c.proc.Kernel().Net.Close(c.sockObj)
+	}
+}

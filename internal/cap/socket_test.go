@@ -1,0 +1,120 @@
+package cap
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/netstack"
+	"repro/internal/priv"
+)
+
+func netWorld(t *testing.T) (*kernel.Kernel, *kernel.Proc) {
+	t.Helper()
+	k := kernel.New()
+	t.Cleanup(k.Shutdown)
+	return k, k.NewProc(0, 0)
+}
+
+func TestSocketCapabilityEcho(t *testing.T) {
+	_, p := netWorld(t)
+	full := NewSocketFactory(p, netstack.DomainIP, priv.GrantOf(priv.AllSock))
+
+	l, err := full.SocketListen("5100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan string, 1)
+	go func() {
+		conn, err := l.SocketAccept()
+		if err != nil {
+			done <- "accept: " + err.Error()
+			return
+		}
+		msg, _ := conn.SocketRecv()
+		conn.SocketSend(append([]byte("re:"), msg...))
+		conn.SocketClose()
+		done <- ""
+	}()
+	c, err := full.SocketConnect("5100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SocketSend([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.SocketRecv()
+	if err != nil || string(reply) != "re:ping" {
+		t.Fatalf("reply = %q, %v", reply, err)
+	}
+	if msg := <-done; msg != "" {
+		t.Fatal(msg)
+	}
+	c.SocketClose()
+	l.SocketClose()
+}
+
+func TestSocketCapabilityPrivileges(t *testing.T) {
+	_, p := netWorld(t)
+	full := NewSocketFactory(p, netstack.DomainIP, priv.GrantOf(priv.AllSock))
+	l, err := full.SocketListen("5200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.SocketClose()
+	go func() {
+		for {
+			conn, err := l.SocketAccept()
+			if err != nil {
+				return
+			}
+			conn.SocketClose()
+		}
+	}()
+
+	// connect-only factory cannot listen.
+	connectOnly := NewSocketFactory(p, netstack.DomainIP,
+		priv.NewGrant(priv.RSockCreate, priv.RSockConnect, priv.RSockSend, priv.RSockRecv))
+	if _, err := connectOnly.SocketListen("5300"); err == nil {
+		t.Fatal("connect-only factory listened")
+	}
+	conn, err := connectOnly.SocketConnect("5200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The connection inherits the factory grant: accept is missing.
+	if _, err := conn.SocketAccept(); err == nil {
+		t.Fatal("plain connection accepted")
+	}
+	conn.SocketClose()
+
+	// A factory without create cannot do anything.
+	noCreate := NewSocketFactory(p, netstack.DomainIP, priv.NewGrant(priv.RSockConnect))
+	var np *NoPrivilegeError
+	if _, err := noCreate.SocketConnect("5200"); !errors.As(err, &np) {
+		t.Fatalf("create-less connect = %v", err)
+	}
+}
+
+func TestSocketOpsRejectWrongKinds(t *testing.T) {
+	k, p := netWorld(t)
+	if _, err := k.FS.WriteFile("/f", nil, 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	file := NewFile(p, k.FS.MustResolve("/f"), priv.FullGrant())
+	if _, err := file.SocketConnect("80"); err == nil {
+		t.Fatal("file capability connected")
+	}
+	if err := file.SocketSend(nil); err == nil {
+		t.Fatal("file capability sent")
+	}
+	if _, err := file.SocketRecv(); err == nil {
+		t.Fatal("file capability received")
+	}
+	// Restrict applies to factories too: attenuating away connect.
+	full := NewSocketFactory(p, netstack.DomainIP, priv.GrantOf(priv.AllSock))
+	weak := full.Restrict(priv.NewGrant(priv.RSockCreate), "contract")
+	if _, err := weak.SocketConnect("80"); err == nil {
+		t.Fatal("restricted factory connected")
+	}
+}

@@ -1,0 +1,191 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/errno"
+	"repro/internal/kernel"
+	"repro/internal/priv"
+)
+
+// TestMACNeverWeakensDAC is the §2.3 conjunction property: "an operation
+// on a resource by a sandboxed execution is permitted only if it passes
+// the checks performed by the operating system based on the user's
+// ambient authority and is also permitted by the capabilities possessed
+// by the sandbox." Whatever a sandbox is granted, it can never do
+// anything the same user could not do ambiently.
+func TestMACNeverWeakensDAC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := core.NewSystem(core.Config{InstallModule: true})
+	t.Cleanup(s.Close)
+
+	// A mix of files with varied ownership and modes.
+	paths := make([]string, 0, 24)
+	for i := 0; i < 24; i++ {
+		uid := []int{0, core.UserUID, 2222}[i%3]
+		mode := []uint16{0o600, 0o640, 0o644, 0o444, 0o200, 0o000}[i%6]
+		path := fmt.Sprintf("/mix/f%02d", i)
+		if _, err := s.K.FS.WriteFile(path, []byte("x"), mode, uid, uid); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+
+	ambient := s.K.NewProc(core.UserUID, core.UserUID)
+	for trial := 0; trial < 60; trial++ {
+		path := paths[rng.Intn(len(paths))]
+		flags := []kernel.OpenFlags{kernel.ORead, kernel.OWrite, kernel.ORead | kernel.OWrite}[rng.Intn(3)]
+
+		// Sandbox with generous grants (full privileges on everything).
+		sb, err := ambient.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sb.ShillInit(kernel.SessionOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		for _, dir := range []string{"/", "/mix"} {
+			if err := sb.ShillGrant(s.K.FS.MustResolve(dir), priv.FullGrant()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sb.ShillGrant(s.K.FS.MustResolve(path), priv.FullGrant()); err != nil {
+			t.Fatal(err)
+		}
+		if err := sb.ShillEnter(); err != nil {
+			t.Fatal(err)
+		}
+
+		_, ambientErr := ambient.OpenAt(kernel.AtCWD, path, flags, 0)
+		_, sandboxErr := sb.OpenAt(kernel.AtCWD, path, flags, 0)
+		if ambientErr != nil && sandboxErr == nil {
+			t.Fatalf("sandbox opened %s (flags %v) that DAC denies ambiently (%v)",
+				path, flags, ambientErr)
+		}
+		sb.Exit(0)
+		ambient.Wait(sb.PID())
+	}
+}
+
+// TestGrantlessSandboxCanDoNothing: with no grants at all, every
+// filesystem path operation fails.
+func TestGrantlessSandboxCanDoNothing(t *testing.T) {
+	_, sb := sandboxedProc(t)
+	ops := []func() error{
+		func() error { _, err := sb.OpenAt(kernel.AtCWD, "/etc/passwd", kernel.ORead, 0); return err },
+		func() error {
+			_, err := sb.OpenAt(kernel.AtCWD, "/tmp/new", kernel.OCreate|kernel.OWrite, 0o644)
+			return err
+		},
+		func() error { return sb.MkdirAt(kernel.AtCWD, "/tmp/d", 0o755) },
+		func() error { return sb.UnlinkAt(kernel.AtCWD, "/etc/passwd", false) },
+		func() error { _, err := sb.FStatAt(kernel.AtCWD, "/etc", true); return err },
+		func() error { return sb.SymlinkAt("x", kernel.AtCWD, "/tmp/ln") },
+		func() error { return sb.RenameAt(kernel.AtCWD, "/etc/passwd", kernel.AtCWD, "/etc/p2") },
+	}
+	for i, op := range ops {
+		if err := op(); !errors.Is(err, errno.EACCES) {
+			t.Errorf("op %d: err = %v, want EACCES", i, err)
+		}
+	}
+}
+
+// TestConcurrentSandboxesIsolated runs many sandboxes in parallel, each
+// with a private directory, and checks no writes cross over — the
+// integrity property behind per-student grading isolation, under
+// concurrency.
+func TestConcurrentSandboxesIsolated(t *testing.T) {
+	s := core.NewSystem(core.Config{InstallModule: true})
+	t.Cleanup(s.Close)
+	s.K.RegisterBinary("stamper", func(p *kernel.Proc, argv []string) int {
+		// Write the stamp into our own dir, then try to vandalise the
+		// neighbour named in argv[2].
+		fd, err := p.OpenAt(kernel.AtCWD, argv[1]+"/stamp", kernel.OCreate|kernel.OWrite, 0o644)
+		if err != nil {
+			return 1
+		}
+		p.Write(fd, []byte(argv[1]))
+		p.Close(fd)
+		if fd2, err := p.OpenAt(kernel.AtCWD, argv[2]+"/hacked", kernel.OCreate|kernel.OWrite, 0o644); err == nil {
+			p.Close(fd2)
+			return 2 // the vandalism succeeded: isolation broken
+		}
+		return 0
+	})
+	if _, err := s.K.FS.WriteFile("/bin/stamper", []byte("#!bin:stamper\n"), 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := s.K.FS.MkdirAll(fmt.Sprintf("/boxes/b%02d", i), 0o777, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			own := fmt.Sprintf("/boxes/b%02d", i)
+			other := fmt.Sprintf("/boxes/b%02d", (i+1)%n)
+			sb, err := s.Runtime.Fork()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := sb.ShillInit(kernel.SessionOptions{}); err != nil {
+				errs[i] = err
+				return
+			}
+			grants := map[string]*priv.Grant{
+				"/":            priv.NewGrant(priv.RLookup).WithDerived(priv.RLookup, &priv.Grant{}),
+				"/boxes":       priv.NewGrant(priv.RLookup).WithDerived(priv.RLookup, &priv.Grant{}),
+				"/bin":         priv.NewGrant(priv.RLookup).WithDerived(priv.RLookup, &priv.Grant{}),
+				"/bin/stamper": priv.GrantOf(priv.ExecFile),
+				own:            priv.FullGrant(),
+			}
+			for path, g := range grants {
+				if err := sb.ShillGrant(s.K.FS.MustResolve(path), g); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			if err := sb.ShillEnter(); err != nil {
+				errs[i] = err
+				return
+			}
+			code, err := sb.SpawnWait(s.K.FS.MustResolve("/bin/stamper"), []string{own, other}, kernel.SpawnAttr{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if code != 0 {
+				errs[i] = fmt.Errorf("stamper %d exit %d", i, code)
+			}
+			sb.Exit(0)
+			s.Runtime.Wait(sb.PID())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("sandbox %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		own := fmt.Sprintf("/boxes/b%02d", i)
+		if _, err := s.K.FS.Resolve(own + "/stamp"); err != nil {
+			t.Errorf("missing stamp in %s", own)
+		}
+		if _, err := s.K.FS.Resolve(own + "/hacked"); err == nil {
+			t.Errorf("cross-sandbox write into %s", own)
+		}
+	}
+}

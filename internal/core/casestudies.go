@@ -1,0 +1,554 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/binaries"
+	"repro/internal/kernel"
+	"repro/internal/netstack"
+)
+
+// Mode selects one of the paper's four benchmark configurations (§4.2).
+// Baseline vs Installed is a property of the System (whether the module
+// is loaded); drivers treat them identically — the point of the paired
+// configurations is precisely that the code path is the same.
+type Mode int
+
+// Benchmark configurations.
+const (
+	ModeAmbient   Mode = iota // Baseline / "SHILL installed": run the command directly
+	ModeSandboxed             // a SHILL script creates one sandbox for the command
+	ModeShill                 // the task rewritten in SHILL with fine-grained contracts
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAmbient:
+		return "ambient"
+	case ModeSandboxed:
+		return "sandboxed"
+	case ModeShill:
+		return "shill"
+	}
+	return "unknown"
+}
+
+// ScriptRunCmd is the generic "create a sandbox for one command" script
+// the Sandboxed configuration uses: the ambient driver hands it whatever
+// capabilities the command needs, unattenuated — the coarse-grained end
+// of SHILL's spectrum.
+const ScriptRunCmd = `#lang shill/cap
+require shill/native;
+
+provide run_cmd :
+  {wallet : native_wallet, argv : is_list, wd : is_dir,
+   out : file(+write, +append),
+   extras : is_list, socks : is_list} -> is_num;
+
+run_cmd = fun(wallet, argv, wd, out, extras, socks) {
+  w = pkg_native(nth(argv, 0), wallet);
+  w(rest(argv), stdout = out, stderr = out, workdir = wd,
+    extras = [wd] ++ extras ++ wallet_get(wallet, "PATH")
+                            ++ wallet_get(wallet, "LD_LIBRARY_PATH")
+                            ++ wallet_get(wallet, "dep:ocamlc")
+                            ++ wallet_get(wallet, "dep:ocamlrun"),
+    socket_factories = socks);
+};
+`
+
+// LoadCaseScripts installs every case-study script into the loader.
+func (s *System) LoadCaseScripts() {
+	s.Scripts["find.cap"] = ScriptFindPoly
+	s.Scripts["find_jpg.cap"] = ScriptFindJpg
+	s.Scripts["jpeginfo.cap"] = ScriptJpeginfoCap
+	s.Scripts["grade.cap"] = ScriptGradeCap
+	s.Scripts["grade_sandbox.cap"] = ScriptGradeSandboxCap
+	s.Scripts["pkg_emacs.cap"] = ScriptPkgEmacsCap
+	s.Scripts["apache.cap"] = ScriptApacheCap
+	s.Scripts["findgrep.cap"] = ScriptFindGrepSandboxCap
+	s.Scripts["findgrep_fine.cap"] = ScriptFindGrepFineCap
+	s.Scripts["run_cmd.cap"] = ScriptRunCmd
+}
+
+// ===========================================================================
+// Grading case study (§4.1)
+// ===========================================================================
+
+// GradingWorkload parameterises the course. The paper's full-scale run
+// created 5,371 sandboxes; with the SHILL version costing
+// students×(tests+2) command sandboxes plus 3 for pkg_native, 122
+// students × 42 tests reproduces that count exactly.
+type GradingWorkload struct {
+	Students int
+	Tests    int
+	// Malicious adds a cheater (reads another student's submission) and
+	// a vandal (corrupts the test suite) to the class.
+	Malicious bool
+}
+
+// DefaultGrading is the scaled-down default workload.
+var DefaultGrading = GradingWorkload{Students: 8, Tests: 4, Malicious: true}
+
+// FullScaleGrading reproduces the paper's sandbox count.
+var FullScaleGrading = GradingWorkload{Students: 122, Tests: 42, Malicious: true}
+
+// BuildGradingCourse stages /course: submissions, tests, empty work and
+// grades directories, and grade.sh.
+func (s *System) BuildGradingCourse(w GradingWorkload) {
+	fs := s.K.FS
+	for _, d := range []string{"/course", "/course/submissions", "/course/tests", "/course/work", "/course/grades"} {
+		if _, err := fs.MkdirAll(d, 0o755, UserUID, UserUID); err != nil {
+			panic("core: " + err.Error())
+		}
+	}
+	s.mustWrite("/course/grade.sh", []byte(GradeSh), 0o644, UserUID)
+	for i := 0; i < w.Tests; i++ {
+		s.mustWrite(fmt.Sprintf("/course/tests/t%03d", i),
+			[]byte(fmt.Sprintf("answer%03d", i)), 0o644, UserUID)
+	}
+	// Correct students print every expected answer.
+	var correct strings.Builder
+	for i := 0; i < w.Tests; i++ {
+		fmt.Fprintf(&correct, "print answer%03d\n", i)
+	}
+	for i := 0; i < w.Students; i++ {
+		name := fmt.Sprintf("student%03d", i)
+		src := correct.String()
+		switch {
+		case i%7 == 3: // wrong output
+			src = "print answer999\n"
+		case i%7 == 5: // does not compile
+			src = "let rec oops = syntax error\n"
+		}
+		s.mustWrite("/course/submissions/"+name+"/main.ml", []byte(src), 0o644, UserUID)
+	}
+	if w.Malicious {
+		// The cheater copies student000's answers by reading their
+		// submission at grading time.
+		s.mustWrite("/course/submissions/zz_cheater/main.ml",
+			[]byte("readfile /course/submissions/student000/main.ml\n"), 0o644, UserUID)
+		// The vandal corrupts the test suite, then answers correctly.
+		s.mustWrite("/course/submissions/zz_vandal/main.ml",
+			[]byte("writefile /course/tests/t000 pwned\n"+correct.String()), 0o644, UserUID)
+	}
+}
+
+// ResetGradingOutputs clears work and grades between runs.
+func (s *System) ResetGradingOutputs() {
+	s.clearDir("/course/work")
+	s.clearDir("/course/grades")
+}
+
+func (s *System) clearDir(path string) {
+	fs := s.K.FS
+	dir, err := fs.Resolve(path)
+	if err != nil {
+		return
+	}
+	names, _ := fs.ReadDir(dir)
+	for _, name := range names {
+		child, err := fs.Lookup(dir, name)
+		if err != nil {
+			continue
+		}
+		if child.IsDir() {
+			sub, _ := fs.PathOf(child)
+			s.clearDir(sub)
+			fs.Unlink(dir, name, true)
+		} else {
+			fs.Unlink(dir, name, false)
+		}
+	}
+}
+
+// RunGrading grades the whole course in the given mode.
+func (s *System) RunGrading(mode Mode) error {
+	s.LoadCaseScripts()
+	switch mode {
+	case ModeAmbient:
+		code, err := s.SpawnWaitAmbient("/bin/sh",
+			[]string{"/course/grade.sh", "/course/submissions", "/course/tests", "/course/work", "/course/grades"})
+		if err != nil {
+			return err
+		}
+		if code != 0 {
+			return fmt.Errorf("grade.sh exited with status %d", code)
+		}
+		return nil
+	case ModeSandboxed:
+		return s.RunAmbient("grade_sandbox.ambient", ScriptGradeAmbientSandbox)
+	case ModeShill:
+		return s.RunAmbient("grade.ambient", ScriptGradeAmbientShill)
+	}
+	return fmt.Errorf("unknown mode %v", mode)
+}
+
+// GradeFor returns a student's grade-log contents.
+func (s *System) GradeFor(student string) string {
+	vn, err := s.K.FS.Resolve("/course/grades/" + student)
+	if err != nil {
+		return ""
+	}
+	return string(vn.Bytes())
+}
+
+// ===========================================================================
+// Emacs package management (§4.1)
+// ===========================================================================
+
+// EmacsWorkload sizes the source tarball.
+type EmacsWorkload struct {
+	// SrcKB is the approximate size of each of the three C sources.
+	SrcKB int
+}
+
+// DefaultEmacs is the scaled-down tarball.
+var DefaultEmacs = EmacsWorkload{SrcKB: 64}
+
+// BuildEmacsOrigin stages the source tarball on the origin server and
+// prepares the user's build area and install prefix.
+func (s *System) BuildEmacsOrigin(w EmacsWorkload) {
+	src := make([]byte, w.SrcKB*1024)
+	for i := range src {
+		src[i] = "int emacs(){}\n"[i%14]
+	}
+	tar := binaries.BuildArchive([]binaries.ArchiveEntry{
+		{Path: "emacs-24.3", Dir: true},
+		{Path: "emacs-24.3/configure", Data: []byte("#!bin:configure\n")},
+		{Path: "emacs-24.3/src", Dir: true},
+		{Path: "emacs-24.3/src/emacs.c", Data: src},
+		{Path: "emacs-24.3/src/lisp.c", Data: src},
+		{Path: "emacs-24.3/src/buffer.c", Data: src},
+		{Path: "emacs-24.3/etc", Dir: true},
+		{Path: "emacs-24.3/etc/DOC", Data: []byte("Emacs documentation\n")},
+	})
+	s.mustWrite("/srv/origin/emacs-24.3.tar", tar, 0o644, 0)
+	for _, d := range []string{"/home/user/build", "/home/user/.local"} {
+		if _, err := s.K.FS.MkdirAll(d, 0o755, UserUID, UserUID); err != nil {
+			panic("core: " + err.Error())
+		}
+	}
+}
+
+// ResetEmacsOutputs clears the build area, downloads, and prefix.
+func (s *System) ResetEmacsOutputs() {
+	s.clearDir("/home/user/build")
+	s.clearDir("/home/user/.local")
+	s.clearDir("/home/user/Downloads")
+}
+
+// EmacsStep names one sub-benchmark of the package-management case
+// study (Figure 9's Download/Untar/Configure/Make/Install/Uninstall).
+type EmacsStep string
+
+// Emacs sub-benchmarks.
+const (
+	StepDownload  EmacsStep = "download"
+	StepUntar     EmacsStep = "untar"
+	StepConfigure EmacsStep = "configure"
+	StepMake      EmacsStep = "make"
+	StepInstall   EmacsStep = "install"
+	StepUninstall EmacsStep = "uninstall"
+)
+
+// AllEmacsSteps lists the sub-benchmarks in dependency order.
+var AllEmacsSteps = []EmacsStep{StepDownload, StepUntar, StepConfigure, StepMake, StepInstall, StepUninstall}
+
+// emacsCommands returns the command line for each step (the "command
+// line invocation to achieve the same task outside of SHILL", §4.2).
+func emacsCommand(step EmacsStep) (bin string, argv []string, wd string) {
+	switch step {
+	case StepDownload:
+		return "/usr/bin/curl", []string{"-o", "/home/user/Downloads/emacs-24.3.tar", "http://origin/emacs-24.3.tar"}, "/home/user/Downloads"
+	case StepUntar:
+		return "/usr/bin/tar", []string{"-xf", "/home/user/Downloads/emacs-24.3.tar", "-C", "/home/user/build"}, "/home/user/build"
+	case StepConfigure:
+		return "/bin/sh", []string{"-c", "./configure --prefix=/home/user/.local"}, "/home/user/build/emacs-24.3"
+	case StepMake:
+		return "/usr/bin/gmake", []string{"-C", "/home/user/build/emacs-24.3"}, "/home/user/build/emacs-24.3"
+	case StepInstall:
+		return "/usr/bin/gmake", []string{"-C", "/home/user/build/emacs-24.3", "install"}, "/home/user/build/emacs-24.3"
+	case StepUninstall:
+		return "/usr/bin/gmake", []string{"-C", "/home/user/build/emacs-24.3", "uninstall"}, "/home/user/build/emacs-24.3"
+	}
+	panic("core: unknown emacs step " + string(step))
+}
+
+// RunEmacsStep runs one sub-benchmark ambiently or in a single sandbox.
+// The origin server must be running for StepDownload.
+func (s *System) RunEmacsStep(step EmacsStep, mode Mode) error {
+	s.LoadCaseScripts()
+	bin, argv, wd := emacsCommand(step)
+	switch mode {
+	case ModeAmbient:
+		code, err := s.SpawnWaitAmbientDir(bin, argv, wd)
+		if err != nil {
+			return fmt.Errorf("%s: %w", step, err)
+		}
+		if code != 0 {
+			return fmt.Errorf("%s exited with status %d", step, code)
+		}
+		return nil
+	case ModeSandboxed:
+		ambient := s.genRunCmdAmbient(bin, argv, wd, step == StepDownload)
+		return s.RunAmbient(string(step)+".ambient", ambient)
+	}
+	return fmt.Errorf("emacs step %s has no %v configuration", step, mode)
+}
+
+// genRunCmdAmbient generates the ambient driver for the Sandboxed
+// configuration: open every path mentioned on the command line and hand
+// the capabilities to run_cmd.
+func (s *System) genRunCmdAmbient(bin string, argv []string, wd string, network bool) string {
+	var b strings.Builder
+	b.WriteString("#lang shill/ambient\n\nrequire shill/native;\nrequire \"run_cmd.cap\";\n\n")
+	b.WriteString("root = open_dir(\"/\");\nwallet = create_wallet();\n")
+	b.WriteString("populate_native_wallet(wallet, root,\n  \"/usr/local/sbin:/usr/bin:/bin\", \"/lib:/usr/local/lib\", pipe_factory());\n\n")
+	fmt.Fprintf(&b, "wd = open_dir(%q);\n", wd)
+	b.WriteString("out = open_file(\"/dev/console\");\n")
+
+	// Arguments that name existing filesystem objects become
+	// capabilities; everything else stays a string.
+	parts := []string{fmt.Sprintf("%q", baseNameOf(bin))}
+	capIdx := 0
+	for _, a := range argv {
+		if strings.HasPrefix(a, "/") {
+			if vn, err := s.K.FS.Resolve(a); err == nil {
+				capIdx++
+				varName := fmt.Sprintf("c%d", capIdx)
+				if vn.IsDir() {
+					fmt.Fprintf(&b, "%s = open_dir(%q);\n", varName, a)
+				} else {
+					fmt.Fprintf(&b, "%s = open_file(%q);\n", varName, a)
+				}
+				parts = append(parts, varName)
+				continue
+			}
+		}
+		parts = append(parts, fmt.Sprintf("%q", a))
+	}
+	socks := "[]"
+	if network {
+		b.WriteString("net = socket_factory(\"ip\");\n")
+		socks = "[net]"
+	}
+	fmt.Fprintf(&b, "run_cmd(wallet, [%s], wd, out, [], %s);\n", strings.Join(parts, ", "), socks)
+	return b.String()
+}
+
+func baseNameOf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// RunEmacsShill runs the full package-management script (the "Emacs"
+// column's SHILL version): download, unpack, configure, build, install,
+// uninstall, each under its own fine-grained contract.
+func (s *System) RunEmacsShill() error {
+	s.LoadCaseScripts()
+	return s.RunAmbient("pkg_emacs.ambient", ScriptPkgEmacsAmbient)
+}
+
+// ===========================================================================
+// Apache case study (§4.1)
+// ===========================================================================
+
+// ApacheWorkload sizes the served file and the benchmark run. The paper
+// used a 50 MB file, 5,000 requests, and up to 100 concurrent
+// connections.
+type ApacheWorkload struct {
+	FileMB      int
+	Requests    int
+	Concurrency int
+}
+
+// DefaultApache is the scaled-down benchmark.
+var DefaultApache = ApacheWorkload{FileMB: 4, Requests: 40, Concurrency: 8}
+
+// BuildWWW stages the document root, configuration, and log directory.
+func (s *System) BuildWWW(w ApacheWorkload) {
+	data := make([]byte, w.FileMB<<20)
+	for i := range data {
+		data[i] = byte('a' + i%26)
+	}
+	s.mustWrite("/usr/local/www/big.bin", data, 0o644, 0)
+	s.mustWrite("/usr/local/www/index.html", []byte("<html>it works</html>\n"), 0o644, 0)
+	conf := "Listen 8080\nDocumentRoot /usr/local/www\nAccessLog /var/log/httpd-access.log\n"
+	s.mustWrite("/usr/local/etc/apache22/httpd.conf", []byte(conf), 0o644, 0)
+	// The log directory must be writable by the (unprivileged) server.
+	if _, err := s.K.FS.MkdirAll("/var/log", 0o777, 0, 0); err != nil {
+		panic("core: " + err.Error())
+	}
+}
+
+// RunApache starts the server in the given mode, drives the ab workload
+// against it, shuts it down, and reports ab's exit status.
+func (s *System) RunApache(mode Mode, w ApacheWorkload) error {
+	s.LoadCaseScripts()
+	serverDone := make(chan error, 1)
+	switch mode {
+	case ModeAmbient:
+		vn, err := s.K.FS.Resolve("/usr/local/sbin/httpd")
+		if err != nil {
+			return err
+		}
+		console := kernel.NewVnodeFD(s.K.FS.MustResolve("/dev/console"), true, true, false)
+		child, err := s.Runtime.Spawn(vn, []string{"-f", "/usr/local/etc/apache22/httpd.conf"},
+			kernel.SpawnAttr{Stdin: console, Stdout: console, Stderr: console})
+		console.Release()
+		if err != nil {
+			return err
+		}
+		go func() {
+			_, werr := s.Runtime.Wait(child.PID())
+			serverDone <- werr
+		}()
+	case ModeSandboxed, ModeShill:
+		// Both SHILL configurations run the server through the apache
+		// script; the case study has one script (its contract IS the
+		// fine-grained version).
+		go func() {
+			serverDone <- s.RunAmbient("apache.ambient", ScriptApacheAmbient)
+		}()
+	}
+	if err := s.waitForListener("8080", 5*time.Second); err != nil {
+		return err
+	}
+	// Drive the load ambiently with ab, as the paper does.
+	code, err := s.SpawnWaitAmbient("/usr/bin/ab",
+		[]string{"-n", fmt.Sprint(w.Requests), "-c", fmt.Sprint(w.Concurrency), "http://localhost:8080/big.bin"})
+	s.shutdownListener("8080")
+	if serr := <-serverDone; serr != nil {
+		return fmt.Errorf("httpd: %w", serr)
+	}
+	if err != nil {
+		return err
+	}
+	if code != 0 {
+		return fmt.Errorf("ab exited with status %d", code)
+	}
+	return nil
+}
+
+// waitForListener polls until a connection to the port succeeds.
+func (s *System) waitForListener(port string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		sock := s.K.Net.NewSocket(netstack.DomainIP)
+		if err := s.K.Net.Connect(sock, port); err == nil {
+			s.K.Net.Send(sock, []byte("GET /index.html\n"))
+			buf := make([]byte, 256)
+			for {
+				n, _ := s.K.Net.Recv(sock, buf)
+				if n == 0 {
+					break
+				}
+			}
+			s.K.Net.Close(sock)
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("no listener on port %s after %v", port, timeout)
+}
+
+// shutdownListener sends the shutdown request.
+func (s *System) shutdownListener(port string) {
+	sock := s.K.Net.NewSocket(netstack.DomainIP)
+	if err := s.K.Net.Connect(sock, port); err == nil {
+		s.K.Net.Send(sock, []byte("GET /__shutdown\n"))
+		buf := make([]byte, 64)
+		s.K.Net.Recv(sock, buf)
+		s.K.Net.Close(sock)
+	}
+}
+
+// ===========================================================================
+// Find case study (§4.1)
+// ===========================================================================
+
+// FindWorkload sizes the source tree. The paper's tree had 57,817 files
+// of which 15,376 were .c files containing candidates for "mac_".
+type FindWorkload struct {
+	Dirs        int
+	FilesPerDir int
+	// CEvery makes every CEvery-th file a .c file.
+	CEvery int
+	// MatchEvery puts "mac_" into every MatchEvery-th .c file.
+	MatchEvery int
+}
+
+// DefaultFind is the scaled-down tree.
+var DefaultFind = FindWorkload{Dirs: 12, FilesPerDir: 24, CEvery: 4, MatchEvery: 2}
+
+// FullScaleFind approximates the paper's tree: 57,816 files, 15,376 .c.
+var FullScaleFind = FindWorkload{Dirs: 803, FilesPerDir: 72, CEvery: 4, MatchEvery: 2}
+
+// BuildSrcTree stages /usr/src and returns (totalFiles, cFiles,
+// matchingFiles).
+func (s *System) BuildSrcTree(w FindWorkload) (total, cFiles, matches int) {
+	fs := s.K.FS
+	cIdx := 0
+	for d := 0; d < w.Dirs; d++ {
+		dir := fmt.Sprintf("/usr/src/sys%03d", d)
+		if _, err := fs.MkdirAll(dir, 0o755, 0, 0); err != nil {
+			panic("core: " + err.Error())
+		}
+		for f := 0; f < w.FilesPerDir; f++ {
+			total++
+			name := fmt.Sprintf("file%03d.h", f)
+			content := "#include <sys/types.h>\nstatic int x;\n"
+			if f%w.CEvery == 0 {
+				cIdx++
+				cFiles++
+				name = fmt.Sprintf("file%03d.c", f)
+				if cIdx%w.MatchEvery == 0 {
+					matches++
+					content = "#include <sys/mac.h>\nint mac_policy_register(void);\n"
+				} else {
+					content = "int main(void) { return 0; }\n"
+				}
+			}
+			s.mustWrite(dir+"/"+name, []byte(content), 0o644, 0)
+		}
+	}
+	return total, cFiles, matches
+}
+
+// RunFind runs the find-and-grep task. ModeAmbient runs the command
+// directly; ModeSandboxed uses the single-sandbox script; ModeShill uses
+// the fine-grained per-file-sandbox version.
+func (s *System) RunFind(mode Mode) error {
+	s.LoadCaseScripts()
+	s.mustWrite("/home/user/matches.txt", nil, 0o644, UserUID)
+	switch mode {
+	case ModeAmbient:
+		code, err := s.SpawnWaitAmbient("/bin/sh",
+			[]string{"-c", "find /usr/src -name *.c -exec grep -H mac_ {} ';' > /home/user/matches.txt"})
+		if err != nil {
+			return err
+		}
+		if code != 0 {
+			return fmt.Errorf("find exited with status %d", code)
+		}
+		return nil
+	case ModeSandboxed:
+		return s.RunAmbient("findgrep.ambient", ScriptFindGrepAmbientSandbox)
+	case ModeShill:
+		return s.RunAmbient("findgrep_fine.ambient", ScriptFindGrepAmbientFine)
+	}
+	return fmt.Errorf("unknown mode %v", mode)
+}
+
+// Matches returns the find output.
+func (s *System) Matches() string {
+	vn, err := s.K.FS.Resolve("/home/user/matches.txt")
+	if err != nil {
+		return ""
+	}
+	return string(vn.Bytes())
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- Grading ---
+
+func gradingSystem(t *testing.T, install bool) *System {
+	t.Helper()
+	s := NewSystem(Config{InstallModule: install})
+	t.Cleanup(s.Close)
+	s.BuildGradingCourse(DefaultGrading)
+	return s
+}
+
+func checkHonestGrades(t *testing.T, s *System, mode Mode) {
+	t.Helper()
+	// student000 is correct: all tests pass.
+	g := s.GradeFor("student000")
+	if !strings.Contains(g, "compiled") || strings.Contains(g, "fail") {
+		t.Errorf("[%v] student000 grade = %q, want all passes", mode, g)
+	}
+	if got := strings.Count(g, "pass "); got != DefaultGrading.Tests {
+		t.Errorf("[%v] student000 passes = %d, want %d", mode, got, DefaultGrading.Tests)
+	}
+	// student003 (i%7==3) prints the wrong answer: compiled, all fails.
+	g = s.GradeFor("student003")
+	if !strings.Contains(g, "compiled") || strings.Contains(g, "pass ") {
+		t.Errorf("[%v] student003 grade = %q, want all fails", mode, g)
+	}
+	// student005 (i%7==5) does not compile.
+	g = s.GradeFor("student005")
+	if !strings.Contains(g, "compile-failed") {
+		t.Errorf("[%v] student005 grade = %q, want compile-failed", mode, g)
+	}
+}
+
+func TestGradingBaseline(t *testing.T) {
+	s := gradingSystem(t, false)
+	if err := s.RunGrading(ModeAmbient); err != nil {
+		t.Fatalf("baseline grading: %v\nconsole: %s", err, s.ConsoleText())
+	}
+	checkHonestGrades(t, s, ModeAmbient)
+	// With ambient authority the cheater reads student000's submission
+	// and passes; the vandal corrupts the test suite.
+	if g := s.GradeFor("zz_cheater"); !strings.Contains(g, "pass t000") {
+		t.Errorf("baseline cheater unexpectedly failed: %q", g)
+	}
+	vn, err := s.K.FS.Resolve("/course/tests/t000")
+	if err != nil || string(vn.Bytes()) != "pwned" {
+		t.Errorf("baseline vandal did not corrupt the test suite: %v %q", err, vn.Bytes())
+	}
+}
+
+func TestGradingSandboxed(t *testing.T) {
+	s := gradingSystem(t, true)
+	if err := s.RunGrading(ModeSandboxed); err != nil {
+		t.Fatalf("sandboxed grading: %v\nconsole: %s", err, s.ConsoleText())
+	}
+	checkHonestGrades(t, s, ModeSandboxed)
+	// The coarse sandbox protects the test suite...
+	vn, err := s.K.FS.Resolve("/course/tests/t000")
+	if err != nil || string(vn.Bytes()) == "pwned" {
+		t.Error("sandboxed vandal corrupted the test suite")
+	}
+	// ...but cannot isolate students from each other: the cheater's
+	// program runs with read access to all submissions (§4.1 motivates
+	// the SHILL version with exactly this gap).
+	if g := s.GradeFor("zz_cheater"); !strings.Contains(g, "pass t000") {
+		t.Errorf("sandboxed cheater was blocked, which the coarse sandbox cannot do: %q", g)
+	}
+}
+
+func TestGradingShillVersion(t *testing.T) {
+	s := gradingSystem(t, true)
+	if err := s.RunGrading(ModeShill); err != nil {
+		t.Fatalf("SHILL grading: %v\nconsole: %s", err, s.ConsoleText())
+	}
+	checkHonestGrades(t, s, ModeShill)
+	// Fine-grained isolation: the cheater's read of another submission
+	// fails inside its sandbox, so it passes no tests.
+	if g := s.GradeFor("zz_cheater"); strings.Contains(g, "pass ") {
+		t.Errorf("SHILL version let the cheater read another submission: %q", g)
+	}
+	// And the vandal cannot touch the test suite.
+	vn, err := s.K.FS.Resolve("/course/tests/t000")
+	if err != nil || string(vn.Bytes()) == "pwned" {
+		t.Error("SHILL version let the vandal corrupt the test suite")
+	}
+}
+
+// --- Emacs package management ---
+
+func TestEmacsStepsSandboxed(t *testing.T) {
+	s := NewSystem(Config{InstallModule: true})
+	t.Cleanup(s.Close)
+	s.BuildEmacsOrigin(DefaultEmacs)
+	stop, err := s.StartOrigin()
+	if err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	defer stop()
+	for _, step := range AllEmacsSteps {
+		if err := s.RunEmacsStep(step, ModeSandboxed); err != nil {
+			t.Fatalf("step %s: %v\nconsole: %s", step, err, s.ConsoleText())
+		}
+	}
+	if _, err := s.K.FS.Resolve("/home/user/.local/bin/emacs"); err == nil {
+		t.Fatal("uninstall left /home/user/.local/bin/emacs behind")
+	}
+}
+
+func TestEmacsStepsBaseline(t *testing.T) {
+	s := NewSystem(Config{InstallModule: false})
+	t.Cleanup(s.Close)
+	s.BuildEmacsOrigin(DefaultEmacs)
+	stop, err := s.StartOrigin()
+	if err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	defer stop()
+	for _, step := range AllEmacsSteps[:5] { // through install
+		if err := s.RunEmacsStep(step, ModeAmbient); err != nil {
+			t.Fatalf("step %s: %v\nconsole: %s", step, err, s.ConsoleText())
+		}
+	}
+	vn, err := s.K.FS.Resolve("/home/user/.local/bin/emacs")
+	if err != nil {
+		t.Fatalf("install did not produce emacs: %v\nconsole: %s", err, s.ConsoleText())
+	}
+	if !strings.HasPrefix(string(vn.Bytes()), "#!bin:") {
+		t.Fatal("installed emacs is not an executable image")
+	}
+}
+
+func TestEmacsShillVersion(t *testing.T) {
+	s := NewSystem(Config{InstallModule: true})
+	t.Cleanup(s.Close)
+	s.BuildEmacsOrigin(DefaultEmacs)
+	stop, err := s.StartOrigin()
+	if err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	defer stop()
+	if err := s.RunEmacsShill(); err != nil {
+		t.Fatalf("pkg_emacs: %v\nconsole: %s", err, s.ConsoleText())
+	}
+	// The script installs and then uninstalls; the DOC and binary must
+	// be gone, but the share directory (not in the manifest) remains.
+	if _, err := s.K.FS.Resolve("/home/user/.local/bin/emacs"); err == nil {
+		t.Fatal("uninstall left the emacs binary behind")
+	}
+	if _, err := s.K.FS.Resolve("/home/user/.local/share/emacs"); err != nil {
+		t.Fatal("uninstall removed more than its manifest")
+	}
+}
+
+// --- Apache ---
+
+func TestApacheSandboxed(t *testing.T) {
+	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	t.Cleanup(s.Close)
+	w := ApacheWorkload{FileMB: 1, Requests: 8, Concurrency: 4}
+	s.BuildWWW(w)
+	if err := s.RunApache(ModeSandboxed, w); err != nil {
+		t.Fatalf("apache: %v\nconsole: %s", err, s.ConsoleText())
+	}
+	out := s.ConsoleText()
+	if !strings.Contains(out, "Failed requests: 0") {
+		t.Fatalf("ab reported failures: %s", out)
+	}
+	// The access log was written through the write-only log capability.
+	vn, err := s.K.FS.Resolve("/var/log/httpd-access.log")
+	if err != nil {
+		t.Fatal("no access log written")
+	}
+	if got := strings.Count(string(vn.Bytes()), "GET /big.bin 200"); got != w.Requests {
+		t.Fatalf("access log has %d entries, want %d", got, w.Requests)
+	}
+}
+
+// TestApacheNotIsolatedFromSystem reproduces the §5 claim that SHILL
+// sandboxes, unlike container-style isolation, leave the rest of the
+// system live: while the sandboxed server runs, an ambient process adds
+// new web content and reads the growing log.
+func TestApacheNotIsolatedFromSystem(t *testing.T) {
+	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	t.Cleanup(s.Close)
+	w := ApacheWorkload{FileMB: 1, Requests: 2, Concurrency: 1}
+	s.BuildWWW(w)
+	s.LoadCaseScripts()
+
+	serverDone := make(chan error, 1)
+	go func() { serverDone <- s.RunAmbient("apache.ambient", ScriptApacheAmbient) }()
+	if err := s.waitForListener("8080", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrently add new content with ambient authority...
+	if _, err := s.K.FS.WriteFile("/usr/local/www/new.html", []byte("<p>fresh</p>"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// ...and fetch it through the running sandboxed server.
+	code, err := s.SpawnWaitAmbient("/usr/bin/curl", []string{"http://localhost:8080/new.html"})
+	if err != nil || code != 0 {
+		t.Fatalf("curl new content = %d, %v", code, err)
+	}
+	if out := s.ConsoleText(); !strings.Contains(out, "fresh") {
+		t.Fatalf("new content not served: %q", out)
+	}
+	// The log is readable ambiently while the server holds its
+	// write-only capability.
+	vn, err := s.K.FS.Resolve("/var/log/httpd-access.log")
+	if err != nil || !strings.Contains(string(vn.Bytes()), "GET /new.html 200") {
+		t.Fatal("log not visible to concurrent readers")
+	}
+	s.shutdownListener("8080")
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func TestApacheBaseline(t *testing.T) {
+	s := NewSystem(Config{InstallModule: false, ConsoleLimit: 1 << 20})
+	t.Cleanup(s.Close)
+	w := ApacheWorkload{FileMB: 1, Requests: 4, Concurrency: 2}
+	s.BuildWWW(w)
+	if err := s.RunApache(ModeAmbient, w); err != nil {
+		t.Fatalf("apache: %v\nconsole: %s", err, s.ConsoleText())
+	}
+	if out := s.ConsoleText(); !strings.Contains(out, "Failed requests: 0") {
+		t.Fatalf("ab reported failures: %s", out)
+	}
+}
+
+// --- Find ---
+
+func TestFindAllModes(t *testing.T) {
+	for _, mode := range []Mode{ModeAmbient, ModeSandboxed, ModeShill} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			s := NewSystem(Config{InstallModule: mode != ModeAmbient, ConsoleLimit: 1 << 20})
+			t.Cleanup(s.Close)
+			_, _, matches := s.BuildSrcTree(DefaultFind)
+			if err := s.RunFind(mode); err != nil {
+				t.Fatalf("find: %v\nconsole: %s", err, s.ConsoleText())
+			}
+			got := s.Matches()
+			lines := 0
+			for _, l := range strings.Split(got, "\n") {
+				if strings.Contains(l, "mac_") && strings.Contains(l, ".c:") {
+					lines++
+				}
+			}
+			if lines != matches {
+				t.Fatalf("matched %d lines, want %d\noutput: %s\nconsole: %s",
+					lines, matches, got, s.ConsoleText())
+			}
+		})
+	}
+}
+
+// TestFindShillSandboxCount verifies the fine-grained version creates a
+// sandbox per .c file (plus the pkg_native ldd sandbox), the behaviour
+// behind the paper's 15,292-sandbox figure.
+func TestFindShillSandboxCount(t *testing.T) {
+	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	t.Cleanup(s.Close)
+	_, cFiles, _ := s.BuildSrcTree(DefaultFind)
+	s.Prof.Reset()
+	if err := s.RunFind(ModeShill); err != nil {
+		t.Fatalf("find: %v", err)
+	}
+	got := s.Prof.Count(1) // prof.SandboxSetup
+	want := int64(cFiles + 1)
+	if got != want {
+		t.Fatalf("sandboxes = %d, want %d (one per .c file + ldd)", got, want)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// newTestSystem builds a machine with the SHILL module installed and the
+// paper's figure scripts loaded.
+func newTestSystem(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem(Config{InstallModule: true})
+	t.Cleanup(s.Close)
+	s.Scripts["find_jpg.cap"] = ScriptFindJpg
+	s.Scripts["find.cap"] = ScriptFindPoly
+	s.Scripts["jpeginfo.cap"] = ScriptJpeginfoCap
+	return s
+}
+
+func TestFigure4And6Jpeginfo(t *testing.T) {
+	s := newTestSystem(t)
+	s.mustWrite("/home/user/Documents/dog.jpg", []byte("JFIFdogdata"), 0o644, UserUID)
+	if err := s.RunAmbient("jpeginfo.ambient", ScriptJpeginfoAmbient); err != nil {
+		t.Fatalf("ambient script: %v", err)
+	}
+	out := s.ConsoleText()
+	if !strings.Contains(out, "640x480") {
+		t.Fatalf("jpeginfo output missing info line: %q", out)
+	}
+	if !strings.Contains(out, "dog.jpg") {
+		t.Fatalf("jpeginfo output missing file path: %q", out)
+	}
+}
+
+func TestFigure3FindJpg(t *testing.T) {
+	s := newTestSystem(t)
+	s.mustWrite("/home/user/pics/a.jpg", []byte("JFIFa"), 0o644, UserUID)
+	s.mustWrite("/home/user/pics/sub/b.jpg", []byte("JFIFb"), 0o644, UserUID)
+	s.mustWrite("/home/user/pics/notes.txt", []byte("x"), 0o644, UserUID)
+	s.mustWrite("/home/user/out.txt", nil, 0o644, UserUID)
+
+	ambient := `#lang shill/ambient
+require "find_jpg.cap";
+
+pics = open_dir("/home/user/pics");
+out = open_file("/home/user/out.txt");
+find_jpg(pics, out);
+`
+	if err := s.RunAmbient("main.ambient", ambient); err != nil {
+		t.Fatalf("ambient: %v", err)
+	}
+	got := string(s.K.FS.MustResolve("/home/user/out.txt").Bytes())
+	if !strings.Contains(got, "/home/user/pics/a.jpg") ||
+		!strings.Contains(got, "/home/user/pics/sub/b.jpg") {
+		t.Fatalf("find_jpg output = %q", got)
+	}
+	if strings.Contains(got, "notes.txt") {
+		t.Fatalf("find_jpg matched a non-jpg: %q", got)
+	}
+}
+
+// TestFigure5PolymorphicFind checks both halves of the §2.4.2 guarantee:
+// the filter may use privileges beyond the bound (here +path via
+// has_ext), while find's own body cannot.
+func TestFigure5PolymorphicFind(t *testing.T) {
+	s := newTestSystem(t)
+	s.mustWrite("/home/user/tree/x.c", []byte("int main(){}"), 0o644, UserUID)
+	s.mustWrite("/home/user/tree/sub/y.c", []byte("void f(){}"), 0o644, UserUID)
+	s.mustWrite("/home/user/tree/z.txt", []byte("no"), 0o644, UserUID)
+	s.mustWrite("/home/user/found.txt", nil, 0o644, UserUID)
+
+	ambient := `#lang shill/ambient
+require "find.cap";
+require "driver.cap";
+
+tree = open_dir("/home/user/tree");
+out = open_file("/home/user/found.txt");
+run_find(tree, out);
+`
+	s.Scripts["driver.cap"] = `#lang shill/cap
+require "find.cap";
+
+provide run_find :
+  {tree : dir(+contents, +lookup, +path, +stat, +read),
+   out : file(+append)} -> void;
+
+run_find = fun(tree, out) {
+  find(tree,
+       fun(f) { has_ext(f, "c"); },
+       fun(f) { append(out, path(f) + "\n"); });
+};
+`
+	if err := s.RunAmbient("main.ambient", ambient); err != nil {
+		t.Fatalf("ambient: %v", err)
+	}
+	got := string(s.K.FS.MustResolve("/home/user/found.txt").Bytes())
+	if !strings.Contains(got, "x.c") || !strings.Contains(got, "y.c") {
+		t.Fatalf("find output = %q", got)
+	}
+	if strings.Contains(got, "z.txt") {
+		t.Fatalf("filter failed: %q", got)
+	}
+}
+
+// TestPolymorphicBoundEnforced verifies that the body of a function with
+// a forall contract cannot exceed the bound even though the supplied
+// capability has more privileges.
+func TestPolymorphicBoundEnforced(t *testing.T) {
+	s := newTestSystem(t)
+	s.mustWrite("/home/user/tree/x.c", []byte("x"), 0o644, UserUID)
+
+	// sneaky_find tries to read file contents inside the body, which the
+	// bound {+lookup, +contents} does not allow.
+	s.Scripts["sneaky.cap"] = `#lang shill/cap
+
+provide sneaky :
+  forall X with {+lookup, +contents} .
+  {cur : X} -> void;
+
+sneaky = fun(cur) {
+  for name in contents(cur) {
+    child = lookup(cur, name);
+    if is_file(child) then
+      read(child);
+  }
+};
+`
+	ambient := `#lang shill/ambient
+require "sneaky.cap";
+
+tree = open_dir("/home/user/tree");
+sneaky(tree);
+`
+	err := s.RunAmbient("main.ambient", ambient)
+	if err == nil {
+		t.Fatal("sneaky body read beyond the polymorphic bound without a violation")
+	}
+	if !strings.Contains(err.Error(), "contract violation") {
+		t.Fatalf("expected a contract violation, got: %v", err)
+	}
+}
+
+// TestContractDeniesUndeclaredOperation is the core §2.2 guarantee: a
+// script whose contract grants only +append on out cannot read it.
+func TestContractDeniesUndeclaredOperation(t *testing.T) {
+	s := newTestSystem(t)
+	s.mustWrite("/home/user/secret.txt", []byte("secret"), 0o644, UserUID)
+
+	s.Scripts["leaky.cap"] = `#lang shill/cap
+
+provide leaky : {out : file(+append)} -> void;
+
+leaky = fun(out) {
+  read(out);
+};
+`
+	ambient := `#lang shill/ambient
+require "leaky.cap";
+
+out = open_file("/home/user/secret.txt");
+leaky(out);
+`
+	err := s.RunAmbient("main.ambient", ambient)
+	// read on an append-only capability yields a syserror value, which
+	// the script ignores; reading must NOT have succeeded. To observe,
+	// run a variant that appends the read result.
+	if err != nil {
+		t.Fatalf("leaky run failed unexpectedly: %v", err)
+	}
+
+	s.Scripts["leaky2.cap"] = `#lang shill/cap
+
+provide leaky2 : {out : file(+append), sink : file(+append)} -> void;
+
+leaky2 = fun(out, sink) {
+  data = read(out);
+  if !is_syserror(data) then
+    append(sink, data);
+};
+`
+	s.mustWrite("/home/user/sink.txt", nil, 0o644, UserUID)
+	ambient2 := `#lang shill/ambient
+require "leaky2.cap";
+
+out = open_file("/home/user/secret.txt");
+sink = open_file("/home/user/sink.txt");
+leaky2(out, sink);
+`
+	if err := s.RunAmbient("main2.ambient", ambient2); err != nil {
+		t.Fatalf("leaky2: %v", err)
+	}
+	if got := string(s.K.FS.MustResolve("/home/user/sink.txt").Bytes()); got != "" {
+		t.Fatalf("append-only capability leaked data: %q", got)
+	}
+}
+
+func TestAmbientRestrictions(t *testing.T) {
+	s := newTestSystem(t)
+	cases := []struct{ name, src string }{
+		{"function definition", "#lang shill/ambient\nf = fun(x) { x; };\n"},
+		{"if statement", "#lang shill/ambient\nif true then open_dir(\"/\");\n"},
+		{"for statement", "#lang shill/ambient\nfor x in [1] { x; }\n"},
+	}
+	for _, c := range cases {
+		if err := s.RunAmbient(c.name, c.src); err == nil {
+			t.Errorf("%s allowed in ambient script", c.name)
+		}
+	}
+}
+
+func TestCapScriptHasNoAmbientAuthority(t *testing.T) {
+	s := newTestSystem(t)
+	s.Scripts["grab.cap"] = `#lang shill/cap
+
+provide grab : {} -> void;
+
+grab = fun() {
+	open_dir("/");
+};
+`
+	err := s.RunAmbient("main.ambient", `#lang shill/ambient
+require "grab.cap";
+grab();
+`)
+	if err == nil || !strings.Contains(err.Error(), "unbound identifier") {
+		t.Fatalf("capability-safe script reached open_dir: %v", err)
+	}
+}
+
+func TestCapScriptCannotRequireAmbient(t *testing.T) {
+	s := newTestSystem(t)
+	s.Scripts["evil.cap"] = `#lang shill/cap
+require "helper.ambient";
+
+provide f : {} -> void;
+f = fun() { };
+`
+	s.Scripts["helper.ambient"] = "#lang shill/ambient\n"
+	err := s.RunAmbient("main.ambient", `#lang shill/ambient
+require "evil.cap";
+f();
+`)
+	if err == nil || !strings.Contains(err.Error(), "ambient") {
+		t.Fatalf("cap script required an ambient script: %v", err)
+	}
+}
+
+func TestSandboxCountsForJpeginfo(t *testing.T) {
+	s := newTestSystem(t)
+	s.mustWrite("/home/user/Documents/dog.jpg", []byte("JFIFdogdata"), 0o644, UserUID)
+	s.Prof.Reset()
+	if err := s.RunAmbient("jpeginfo.ambient", ScriptJpeginfoAmbient); err != nil {
+		t.Fatalf("ambient: %v", err)
+	}
+	// pkg_native runs ldd in one sandbox; the wrapper runs jpeginfo in a
+	// second (§4.2 counts sandboxes exactly this way for Download).
+	if got := s.Prof.Count(2); got != 2 { // prof.SandboxExec
+		t.Fatalf("sandbox count = %d, want 2", got)
+	}
+}

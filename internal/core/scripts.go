@@ -1,0 +1,110 @@
+package core
+
+// This file carries the SHILL scripts of the paper's figures and case
+// studies, embedded as constants so the interpreter tests, examples, and
+// the LoC table regenerator all share one copy. Line counts (reported by
+// cmd/benchfig -fig loc) are measured over these sources.
+
+// ScriptFindJpg is Figure 3 plus the refined contract of §2.2: recursively
+// find files with extension .jpg and append their paths to out.
+const ScriptFindJpg = `#lang shill/cap
+
+provide find_jpg :
+  {cur : dir(+contents, +lookup, +path) \/ file(+path),
+   out : file(+append)} -> void;
+
+find_jpg = fun(cur, out) {
+  # if cur is a file with extension jpg, output its path to out.
+  if is_file(cur) && has_ext(cur, "jpg") then
+    append(out, path(cur) + "\n");
+
+  # if cur is a directory, recur on its contents
+  if is_dir(cur) then
+    for name in contents(cur) {
+      child = lookup(cur, name);
+      if !is_syserror(child) then
+        find_jpg(child, out);
+    }
+};
+`
+
+// ScriptFindPoly is Figure 5: find with a bounded polymorphic contract.
+// The implementation cannot use more than +lookup and +contents on cur,
+// while filter and cmd receive the caller's full privileges.
+const ScriptFindPoly = `#lang shill/cap
+
+provide find :
+  forall X with {+lookup, +contents} .
+  {cur : X, filter : X -> is_bool, cmd : X -> void} -> void;
+
+find = fun(cur, filter, cmd) {
+  if is_file(cur) && filter(cur) then
+    cmd(cur);
+
+  # if cur is a directory, recur on its contents
+  if is_dir(cur) then
+    for name in contents(cur) {
+      child = lookup(cur, name);
+      if !is_syserror(child) then
+        find(child, filter, cmd);
+    }
+};
+`
+
+// ScriptJpeginfoCap is Figure 4: executing jpeginfo in a sandbox using a
+// native wallet.
+const ScriptJpeginfoCap = `#lang shill/cap
+require shill/native;
+
+provide jpeginfo :
+  {wallet : native_wallet, out : file(+write, +append),
+   arg : file(+read, +path)} -> void;
+
+jpeginfo = fun(wallet, out, arg) {
+  jpeg_wrapper = pkg_native("jpeginfo", wallet);
+  jpeg_wrapper(["-i", arg], stdout = out);
+};
+`
+
+// ScriptJpeginfoAmbient is Figure 6: the ambient script that mints
+// capabilities and invokes the capability-safe jpeginfo.
+const ScriptJpeginfoAmbient = `#lang shill/ambient
+
+require shill/native;
+require "jpeginfo.cap";
+
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root,
+  "/usr/bin:/bin",
+  "/lib:/usr/local/lib",
+  pipe_factory());
+
+dog = open_file("~/Documents/dog.jpg");
+jpeginfo(wallet, stdout, dog);
+`
+
+// ScriptFiles maps file names to the embedded script sources; it backs
+// cmd/genscripts and the examples/scripts consistency test.
+func ScriptFiles() map[string]string {
+	return map[string]string{
+		"find_jpg.cap":          ScriptFindJpg,
+		"find.cap":              ScriptFindPoly,
+		"jpeginfo.cap":          ScriptJpeginfoCap,
+		"jpeginfo.ambient":      ScriptJpeginfoAmbient,
+		"grade.sh":              GradeSh,
+		"grade.cap":             ScriptGradeCap,
+		"grade.ambient":         ScriptGradeAmbientShill,
+		"grade_sandbox.cap":     ScriptGradeSandboxCap,
+		"grade_sandbox.ambient": ScriptGradeAmbientSandbox,
+		"pkg_emacs.cap":         ScriptPkgEmacsCap,
+		"pkg_emacs.ambient":     ScriptPkgEmacsAmbient,
+		"apache.cap":            ScriptApacheCap,
+		"apache.ambient":        ScriptApacheAmbient,
+		"findgrep.cap":          ScriptFindGrepSandboxCap,
+		"findgrep.ambient":      ScriptFindGrepAmbientSandbox,
+		"findgrep_fine.cap":     ScriptFindGrepFineCap,
+		"findgrep_fine.ambient": ScriptFindGrepAmbientFine,
+		"run_cmd.cap":           ScriptRunCmd,
+	}
+}

@@ -1,0 +1,507 @@
+package core
+
+// Case-study scripts (§4.1). The comments above each constant record the
+// paper's reported line counts; cmd/benchfig -fig loc measures these
+// sources against them.
+
+// GradeSh is the baseline Bash grading script (paper: 61 lines). It
+// compiles each student's OCaml submission, runs it, and scores the
+// output against a test suite of expected strings, one result file per
+// student. It runs under /bin/sh both ambiently (Baseline) and inside a
+// single SHILL sandbox (Sandboxed).
+const GradeSh = `# grade.sh SUBMISSIONS TESTS WORK GRADES
+# Compile each student's OCaml submission and run it against the test
+# suite, recording per-student results under GRADES.
+subs=$1
+tests=$2
+work=$3
+grades=$4
+
+for student in $(ls $subs)
+do
+  sdir=$subs/$student
+  wdir=$work/$student
+  log=$grades/$student
+  mkdir $wdir
+  touch $log
+
+  # Stage the submission into the working directory.
+  if [ -f $sdir/main.ml ]
+  then
+    cp $sdir/main.ml $wdir/main.ml
+  else
+    echo no-submission >> $log
+  fi
+
+  # Compile.
+  if [ -f $wdir/main.ml ]
+  then
+    ocamlc -o $wdir/main.byte $wdir/main.ml 2> $wdir/compile.err
+    if [ -f $wdir/main.byte ]
+    then
+      echo compiled >> $log
+    else
+      echo compile-failed >> $log
+    fi
+  fi
+
+  # Run the submission and capture its output.
+  if [ -f $wdir/main.byte ]
+  then
+    ocamlrun $wdir/main.byte > $wdir/out.txt 2> $wdir/run.err
+    # Score: one expected string per test file.
+    for t in $(ls $tests)
+    do
+      expected=$(cat $tests/$t)
+      if grep $expected $wdir/out.txt >> $wdir/grep.out
+      then
+        echo pass $t >> $log
+      else
+        echo fail $t >> $log
+      fi
+    done
+  fi
+done
+echo grading-complete
+`
+
+// ScriptGradeSandboxCap wraps grade.sh in a capability-based sandbox
+// (paper: 22 lines of which 14 are the contract). The contract is the
+// coarse-grained guarantee: read submissions and tests, write only under
+// the working and grades directories, tmp only for its own files.
+const ScriptGradeSandboxCap = `#lang shill/cap
+require shill/native;
+require shill/contracts;
+
+provide grade_sandbox :
+  {wallet : native_wallet,
+   script : file(+read, +path, +stat),
+   subs   : dir(+contents, +stat, +path,
+                +lookup with {+read, +stat, +path, +contents, +lookup}),
+   tests  : readonly,
+   work   : dir(+contents, +stat, +path, +lookup with full_privileges,
+                +create_file with full_privileges,
+                +create_dir with full_privileges),
+   grades : dir(+contents, +stat, +path,
+                +lookup with {+write, +append, +stat, +path},
+                +create_file with {+write, +append, +stat, +path}),
+   tmp    : tmp_private,
+   out    : file(+write, +append)} -> is_num;
+
+grade_sandbox = fun(wallet, script, subs, tests, work, grades, tmp, out) {
+  shell = pkg_native("sh", wallet);
+  shell([script, subs, tests, work, grades],
+        stdout = out, stderr = out,
+        extras = [tmp] ++ wallet_get(wallet, "PATH")
+                       ++ wallet_get(wallet, "LD_LIBRARY_PATH")
+                       ++ wallet_get(wallet, "dep:ocamlc")
+                       ++ wallet_get(wallet, "dep:ocamlrun"));
+};
+`
+
+// ScriptGradeCap is the grading script written exclusively in SHILL
+// (paper: 78 lines of which 6 are contracts). Beyond the sandboxed
+// version it guarantees per-student isolation: grading one submission
+// can touch no other student's submission, working files, or results
+// (§4.1) — each compile/run sandbox receives only that student's
+// capabilities, and grade logs are created append-only.
+const ScriptGradeCap = `#lang shill/cap
+require shill/native;
+require shill/contracts;
+
+provide grade :
+  {wallet : native_wallet,
+   subs   : dir(+contents, +stat, +path,
+                +lookup with {+read, +stat, +path, +contents, +lookup}),
+   tests  : readonly,
+   work   : dir(+stat, +path, +create_dir with full_privileges),
+   grades : dir(+stat, +path, +create_file with {+append, +stat, +path}),
+   out    : file(+write, +append)} -> void;
+
+# Compile one staged submission; 0 exit means success.
+compile_one = fun(occ, wdir, wsrc, cerr) {
+  occ(["-o", path(wdir) + "/main.byte", wsrc],
+      stderr = cerr, extras = [wdir]);
+};
+
+# Run the compiled submission, capturing stdout.
+run_one = fun(orun, wdir, byte, outf, rerr) {
+  orun([byte], stdout = outf, stderr = rerr, extras = [wdir]);
+};
+
+# Score the output against every test, appending pass/fail lines to the
+# student's log. Each grep runs in its own sandbox holding only the
+# output file.
+score_one = fun(grp, tests, outf, wdir, log) {
+  for t in contents(tests) {
+    expected = read(lookup(tests, t));
+    sink = create_file(wdir, "grep." + t);
+    code = grp([expected, outf], stdout = sink);
+    if code == 0 then {
+      append(log, "pass " + t + "\n");
+    } else {
+      append(log, "fail " + t + "\n");
+    }
+  }
+};
+
+grade_one = fun(occ, orun, grp, tests, sdir, wdir, log) {
+  src = lookup(sdir, "main.ml");
+  if is_syserror(src) then {
+    append(log, "no-submission\n");
+  } else {
+    wsrc = create_file(wdir, "main.ml");
+    write(wsrc, read(src));
+    cerr = create_file(wdir, "compile.err");
+    code = compile_one(occ, wdir, wsrc, cerr);
+    if code == 0 then {
+      append(log, "compiled\n");
+      byte = lookup(wdir, "main.byte");
+      outf = create_file(wdir, "out.txt");
+      rerr = create_file(wdir, "run.err");
+      run_one(orun, wdir, byte, outf, rerr);
+      score_one(grp, tests, outf, wdir, log);
+    } else {
+      append(log, "compile-failed\n");
+    }
+  }
+};
+
+grade = fun(wallet, subs, tests, work, grades, out) {
+  occ = pkg_native("ocamlc", wallet);
+  orun = pkg_native("ocamlrun", wallet);
+  grp = pkg_native("grep", wallet);
+  for student in contents(subs) {
+    sdir = lookup(subs, student);
+    if is_dir(sdir) then {
+      wdir = create_dir(work, student);
+      log = create_file(grades, student);
+      grade_one(occ, orun, grp, tests, sdir, wdir, log);
+    }
+  }
+  append(out, "grading-complete\n");
+};
+`
+
+// ScriptGradeAmbientShill invokes the pure-SHILL grading script (paper:
+// 16 lines). Generated per run with the course paths baked in.
+const ScriptGradeAmbientShill = `#lang shill/ambient
+
+require shill/native;
+require "grade.cap";
+
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root,
+  "/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
+
+subs = open_dir("/course/submissions");
+tests = open_dir("/course/tests");
+work = open_dir("/course/work");
+grades = open_dir("/course/grades");
+out = open_file("/dev/console");
+grade(wallet, subs, tests, work, grades, out);
+`
+
+// ScriptGradeAmbientSandbox invokes the sandboxed-Bash grading script
+// (paper: 22 lines).
+const ScriptGradeAmbientSandbox = `#lang shill/ambient
+
+require shill/native;
+require "grade_sandbox.cap";
+
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root,
+  "/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
+
+script = open_file("/course/grade.sh");
+subs = open_dir("/course/submissions");
+tests = open_dir("/course/tests");
+work = open_dir("/course/work");
+grades = open_dir("/course/grades");
+tmp = open_dir("/tmp");
+out = open_file("/dev/console");
+grade_sandbox(wallet, script, subs, tests, work, grades, tmp, out);
+`
+
+// ScriptPkgEmacsCap is the Emacs package-management script (paper: 91
+// lines of capability-safe code of which 45 are contracts). Each
+// function's contract is its security interface: only fetch can reach
+// the network; only install_emacs may write under the prefix, and it may
+// not read, alter, or remove existing files there; uninstall_emacs may
+// remove exactly the files listed in its manifest argument.
+const ScriptPkgEmacsCap = `#lang shill/cap
+require shill/native;
+require shill/contracts;
+
+provide fetch :
+  {wallet : native_wallet,
+   net    : socket_factory,
+   dest   : dir(+stat, +path,
+                +create_file with {+read, +write, +append, +truncate, +stat, +path}),
+   url    : is_string,
+   fname  : is_string} -> is_num;
+
+provide unpack :
+  {wallet   : native_wallet,
+   tarball  : file(+read, +path, +stat),
+   buildtop : dir(+stat, +path, +contents,
+                  +lookup with full_privileges,
+                  +create_file with full_privileges,
+                  +create_dir with full_privileges)} -> is_num;
+
+provide configure_src :
+  {wallet : native_wallet,
+   build  : dir(+stat, +path, +contents, +read,
+                +lookup with full_privileges,
+                +create_file with full_privileges),
+   prefix : is_string} -> is_num;
+
+provide build_src :
+  {wallet : native_wallet,
+   build  : dir(+stat, +path, +contents, +read, +chdir,
+                +lookup with full_privileges,
+                +create_file with full_privileges)} -> is_num;
+
+provide install_emacs :
+  {wallet : native_wallet,
+   build  : dir(+stat, +path, +contents, +read, +chdir,
+                +lookup with {+read, +stat, +path, +contents, +lookup}),
+   prefix : dir(+stat, +path,
+                +lookup with {+lookup, +stat, +path,
+                              +create_file with {+write, +append, +chmod, +stat, +path},
+                              +create_dir with {+lookup, +stat, +path,
+                                                +create_file with {+write, +append, +chmod, +stat, +path},
+                                                +create_dir with full_privileges}},
+                +create_dir with {+lookup, +stat, +path,
+                                  +create_file with {+write, +append, +chmod, +stat, +path},
+                                  +create_dir with full_privileges},
+                +create_file with {+write, +append, +chmod, +stat, +path})} -> is_num;
+
+# The uninstall manifest: exactly the files the installer created.
+uninstall_manifest = fun(files) {
+  files == ["bin/emacs", "share/emacs/DOC"];
+};
+
+provide uninstall_emacs :
+  {prefix : dir(+stat, +path,
+                +lookup with {+lookup, +stat, +path, +contents,
+                              +unlink_file}),
+   files  : is_list && uninstall_manifest} -> void;
+
+fetch = fun(wallet, net, dest, url, fname) {
+  crl = pkg_native("curl", wallet);
+  target = create_file(dest, fname);
+  crl(["-o", target, url], socket_factories = [net]);
+};
+
+unpack = fun(wallet, tarball, buildtop) {
+  tr = pkg_native("tar", wallet);
+  tr(["-xf", tarball, "-C", buildtop], extras = [buildtop]);
+};
+
+configure_src = fun(wallet, build, prefix) {
+  shexe = pkg_native("sh", wallet);
+  shexe(["-c", "./configure --prefix=" + prefix],
+        workdir = build,
+        extras = [build] ++ wallet_get(wallet, "PATH")
+                         ++ wallet_get(wallet, "LD_LIBRARY_PATH"));
+};
+
+build_src = fun(wallet, build) {
+  mk = pkg_native("gmake", wallet);
+  mk(["-C", build],
+     extras = [build] ++ wallet_get(wallet, "PATH")
+                      ++ wallet_get(wallet, "LD_LIBRARY_PATH"));
+};
+
+install_emacs = fun(wallet, build, prefix) {
+  mk = pkg_native("gmake", wallet);
+  mk(["-C", build, "install"],
+     extras = [build, prefix] ++ wallet_get(wallet, "PATH")
+                              ++ wallet_get(wallet, "LD_LIBRARY_PATH"));
+};
+
+# Walk a relative path and unlink exactly its final component.
+remove_rel = fun(dir, parts, idx) {
+  name = nth(parts, idx);
+  if idx == length(parts) - 1 then {
+    unlink(dir, name);
+  } else {
+    child = lookup(dir, name);
+    if !is_syserror(child) then {
+      remove_rel(child, parts, idx + 1);
+    }
+  }
+};
+
+uninstall_emacs = fun(prefix, files) {
+  for f in files {
+    remove_rel(prefix, split(f, "/"), 0);
+  }
+};
+`
+
+// ScriptPkgEmacsAmbient drives the package manager end to end (paper:
+// 114 lines of ambient code). It mints exactly the capabilities each
+// step's contract demands.
+const ScriptPkgEmacsAmbient = `#lang shill/ambient
+
+require shill/native;
+require "pkg_emacs.cap";
+
+# Wallet for the build toolchain.
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root,
+  "/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
+
+# Step 1: download the source tarball. Only this step receives a
+# socket factory.
+net = socket_factory("ip");
+downloads = open_dir("/home/user/Downloads");
+fetch(wallet, net, downloads, "http://origin/emacs-24.3.tar", "emacs-24.3.tar");
+
+# Step 2: unpack into the build area.
+tarball = open_file("/home/user/Downloads/emacs-24.3.tar");
+buildtop = open_dir("/home/user/build");
+unpack(wallet, tarball, buildtop);
+
+# Step 3: configure.
+build = open_dir("/home/user/build/emacs-24.3");
+configure_src(wallet, build, "/home/user/.local");
+
+# Step 4: compile.
+build_src(wallet, build);
+
+# Step 5: install into the prefix.
+prefix = open_dir("/home/user/.local");
+install_emacs(wallet, build, prefix);
+
+# Step 6: uninstall again (the benchmark's final sub-task).
+uninstall_emacs(prefix, ["bin/emacs", "share/emacs/DOC"]);
+`
+
+// ScriptApacheCap sandboxes the Apache web server (paper: 30 lines of
+// which 20 are contracts): read-only configuration and content, the
+// ability to create and use sockets, and write-only access to logs.
+const ScriptApacheCap = `#lang shill/cap
+require shill/native;
+require shill/contracts;
+
+provide run_apache :
+  {wallet : native_wallet,
+   conf   : file(+read, +path, +stat),
+   docs   : dir(+contents, +stat, +path,
+                +lookup with {+read, +stat, +path, +contents, +lookup}),
+   logs   : dir(+contents, +stat, +path,
+                +lookup with {+write, +append, +stat, +path},
+                +create_file with {+write, +append, +stat, +path}),
+   net    : socket_factory} -> is_num;
+
+run_apache = fun(wallet, conf, docs, logs, net) {
+  httpd = pkg_native("httpd", wallet);
+  httpd(["-f", conf],
+        extras = [docs, logs],
+        socket_factories = [net]);
+};
+`
+
+// ScriptApacheAmbient launches the sandboxed web server (paper: 27
+// lines).
+const ScriptApacheAmbient = `#lang shill/ambient
+
+require shill/native;
+require "apache.cap";
+
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root,
+  "/usr/local/sbin:/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
+
+conf = open_file("/usr/local/etc/apache22/httpd.conf");
+docs = open_dir("/usr/local/www");
+logs = open_dir("/var/log");
+net = socket_factory("ip");
+run_apache(wallet, conf, docs, logs, net);
+`
+
+// ScriptFindGrepSandboxCap is the simpler Find case study (paper: 27
+// lines of which 5 are contracts): one sandbox around
+// "find /usr/src -name '*.c' -exec grep -H mac_ {} ;".
+const ScriptFindGrepSandboxCap = `#lang shill/cap
+require shill/native;
+require shill/contracts;
+
+provide findgrep :
+  {wallet : native_wallet,
+   src    : readonly,
+   out    : file(+write, +append)} -> is_num;
+
+findgrep = fun(wallet, src, out) {
+  fnd = pkg_native("find", wallet);
+  fnd([src, "-name", "*.c", "-exec", "grep", "-H", "mac_", "{}", ";"],
+      stdout = out,
+      extras = wallet_get(wallet, "PATH")
+            ++ wallet_get(wallet, "LD_LIBRARY_PATH"));
+};
+`
+
+// ScriptFindGrepAmbientSandbox drives the simple version (paper: 11
+// lines).
+const ScriptFindGrepAmbientSandbox = `#lang shill/ambient
+
+require shill/native;
+require "findgrep.cap";
+
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root,
+  "/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
+
+src = open_dir("/usr/src");
+out = open_file("/home/user/matches.txt");
+findgrep(wallet, src, out);
+`
+
+// ScriptFindGrepFineCap is the fine-grained Find (paper: 60 lines of
+// which 11 are contracts): the polymorphic find selects the files, and
+// each grep runs in a fresh sandbox holding exactly the file it greps —
+// so "the files that grep operates on are exactly the files selected by
+// the find function".
+const ScriptFindGrepFineCap = `#lang shill/cap
+require shill/native;
+require "find.cap";
+
+provide findgrep_fine :
+  {wallet : native_wallet,
+   src    : dir(+lookup, +contents, +stat, +path, +read),
+   out    : file(+write, +append)} -> void;
+
+# Each matching file is handed to grep in its own sandbox. The grep
+# wrapper is packaged once; its result contract is checked per sandbox.
+findgrep_fine = fun(wallet, src, out) {
+  grp = pkg_native("grep", wallet);
+  find(src,
+       fun(f) { has_ext(f, "c"); },
+       fun(f) { grp(["-H", "mac_", f], stdout = out); });
+};
+`
+
+// ScriptFindGrepAmbientFine drives the fine-grained version (paper: 9
+// lines).
+const ScriptFindGrepAmbientFine = `#lang shill/ambient
+
+require shill/native;
+require "findgrep_fine.cap";
+
+root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root,
+  "/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
+
+src = open_dir("/usr/src");
+out = open_file("/home/user/matches.txt");
+findgrep_fine(wallet, src, out);
+`

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// TestScriptFilesInSync keeps examples/scripts/ identical to the
+// embedded constants (regenerate with `go run ./cmd/genscripts`).
+func TestScriptFilesInSync(t *testing.T) {
+	for name, src := range ScriptFiles() {
+		path := filepath.Join("..", "..", "examples", "scripts", name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go run ./cmd/genscripts`)", name, err)
+		}
+		if string(data) != src {
+			t.Errorf("%s is out of sync with the embedded constant (run `go run ./cmd/genscripts`)", name)
+		}
+	}
+}
+
+// TestAllShippedScriptsParse parses every shipped SHILL script.
+func TestAllShippedScriptsParse(t *testing.T) {
+	for name, src := range ScriptFiles() {
+		if name == "grade.sh" {
+			continue // the Bash script is interpreted by /bin/sh
+		}
+		if _, err := lang.Parse(src); err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+		}
+	}
+}

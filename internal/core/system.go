@@ -1,0 +1,281 @@
+// Package core is the public façade of the SHILL reproduction: it
+// assembles a simulated machine (kernel, filesystem image, binaries,
+// loopback network), provides interpreters for SHILL scripts, and hosts
+// the paper's case-study drivers and workload builders.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/binaries"
+	"repro/internal/kernel"
+	"repro/internal/lang"
+	"repro/internal/netstack"
+	"repro/internal/prof"
+	"repro/internal/vfs"
+)
+
+// Config selects the machine configuration, mirroring the paper's
+// benchmark columns (§4.2).
+type Config struct {
+	// InstallModule loads the SHILL policy module ("SHILL installed").
+	// Without it the machine is the "Baseline" configuration.
+	InstallModule bool
+	// ConsoleLimit caps the console capture buffer (0 = unlimited).
+	ConsoleLimit int
+}
+
+// System is an assembled simulated machine.
+type System struct {
+	K       *kernel.Kernel
+	Runtime *kernel.Proc // uid 1001: the user's shell / SHILL runtime
+	RootSh  *kernel.Proc // uid 0: privileged helper (origin server, image tweaks)
+	Console *vfs.ConsoleDevice
+	Prof    *prof.Collector
+	Scripts lang.MapLoader
+}
+
+// UID of the unprivileged user every case study runs as.
+const UserUID = 1001
+
+// NewSystem builds a machine with the base image: binaries in /bin and
+// /usr/bin, libraries in /lib and /usr/local/lib, devices, /tmp, and a
+// home directory.
+func NewSystem(cfg Config) *System {
+	k := kernel.New()
+	binaries.Register(k)
+	if cfg.InstallModule {
+		k.InstallShillModule()
+	}
+	s := &System{
+		K:       k,
+		Prof:    prof.New(),
+		Console: vfs.NewConsoleDevice(),
+		Scripts: lang.MapLoader{},
+	}
+	if cfg.ConsoleLimit > 0 {
+		s.Console.SetLimit(cfg.ConsoleLimit)
+	}
+	s.buildBaseImage()
+	s.RootSh = k.NewProc(0, 0)
+	s.Runtime = k.NewProc(UserUID, UserUID)
+	if err := s.Runtime.Chdir("/home/user"); err != nil {
+		panic("core: " + err.Error())
+	}
+	return s
+}
+
+// Close shuts down background kernel workers.
+func (s *System) Close() { s.K.Shutdown() }
+
+// NewInterp creates a fresh interpreter over this system's runtime
+// process. Each interpreter construction is one "Racket startup" for
+// Figure 10 purposes.
+func (s *System) NewInterp() *lang.Interp {
+	return lang.NewInterp(s.Runtime, s.Scripts, s.Prof)
+}
+
+// binImage renders an executable image for a registered binary.
+func binImage(name string) []byte {
+	return []byte("#!bin:" + name + "\n")
+}
+
+// libImage renders a fake shared library with plausible bulk.
+func libImage(name string) []byte {
+	data := make([]byte, 8192)
+	copy(data, "\x7fELF shared library "+name)
+	return data
+}
+
+func (s *System) mustWrite(path string, data []byte, mode uint16, uid int) *vfs.Vnode {
+	vn, err := s.K.FS.WriteFile(path, data, mode, uid, uid)
+	if err != nil {
+		panic(fmt.Sprintf("core: write %s: %v", path, err))
+	}
+	return vn
+}
+
+func (s *System) buildBaseImage() {
+	fs := s.K.FS
+	mk := func(path string, mode uint16, uid int) {
+		if _, err := fs.MkdirAll(path, mode, uid, uid); err != nil {
+			panic("core: " + err.Error())
+		}
+	}
+	mk("/bin", 0o755, 0)
+	mk("/usr/bin", 0o755, 0)
+	mk("/usr/local/bin", 0o755, 0)
+	mk("/usr/local/sbin", 0o755, 0)
+	mk("/usr/local/etc/apache22", 0o755, 0)
+	mk("/usr/local/www", 0o755, 0)
+	mk("/usr/local/lib/ocaml", 0o755, 0)
+	mk("/lib", 0o755, 0)
+	mk("/etc", 0o755, 0)
+	mk("/tmp", 0o777, 0)
+	mk("/var/log", 0o777, 0)
+	mk("/home/user", 0o755, UserUID)
+	mk("/home/user/Downloads", 0o755, UserUID)
+	mk("/srv/origin", 0o755, 0)
+	mk("/usr/src", 0o755, 0)
+
+	// Binaries. The split matches FreeBSD convention loosely: core tools
+	// in /bin, the rest in /usr/bin, servers in /usr/local/sbin.
+	binDirs := map[string]string{
+		"cat": "/bin", "echo": "/bin", "cp": "/bin", "mv": "/bin",
+		"rm": "/bin", "mkdir": "/bin", "ls": "/bin", "head": "/bin",
+		"wc": "/bin", "touch": "/bin", "install": "/bin", "true": "/bin",
+		"false": "/bin", "sh": "/bin",
+		"grep": "/usr/bin", "find": "/usr/bin", "diff": "/usr/bin",
+		"tar": "/usr/bin", "curl": "/usr/bin", "ldd": "/usr/bin",
+		"jpeginfo": "/usr/bin", "ocamlc": "/usr/bin", "ocamlrun": "/usr/bin",
+		"ocamlyacc": "/usr/bin", "gmake": "/usr/bin", "cc": "/usr/bin",
+		"ab":    "/usr/bin",
+		"httpd": "/usr/local/sbin", "origind": "/usr/local/sbin",
+	}
+	for name, dir := range binDirs {
+		s.mustWrite(dir+"/"+name, binImage(name), 0o755, 0)
+	}
+	// Shared libraries.
+	for _, lib := range binaries.LibNames() {
+		dir := "/lib"
+		if lib == "libocaml.so.4" {
+			dir = "/usr/local/lib"
+		}
+		s.mustWrite(dir+"/"+lib, libImage(lib), 0o644, 0)
+	}
+	// OCaml standard library (the debugging-anecdote dependency, §4.1).
+	s.mustWrite("/usr/local/lib/ocaml/stdlib.cma", []byte("CAML1999stdlib"), 0o644, 0)
+	s.mustWrite("/usr/local/lib/ocaml/pervasives.cmi", []byte("CAML1999cmi"), 0o644, 0)
+
+	// /etc and devices.
+	s.mustWrite("/etc/passwd", []byte("root:0:0\nuser:1001:1001\n"), 0o644, 0)
+	s.mustWrite("/etc/resolv.conf", []byte("nameserver 10.0.0.1\n"), 0o644, 0)
+	dev, err := fs.MkdirAll("/dev", 0o755, 0, 0)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	if _, err := fs.Mkdev(dev, "null", 0o666, 0, 0, vfs.NullDevice{}); err != nil {
+		panic("core: " + err.Error())
+	}
+	if _, err := fs.Mkdev(dev, "zero", 0o666, 0, 0, vfs.ZeroDevice{}); err != nil {
+		panic("core: " + err.Error())
+	}
+	if _, err := fs.Mkdev(dev, "console", 0o666, 0, 0, s.Console); err != nil {
+		panic("core: " + err.Error())
+	}
+}
+
+// StartOrigin launches the origin web server (the "remote" host curl
+// downloads from) as root, outside any sandbox, and returns a stop
+// function. It serves /srv/origin on port 80.
+func (s *System) StartOrigin() (stop func(), err error) {
+	vn, err := s.K.FS.Resolve("/usr/local/sbin/origind")
+	if err != nil {
+		return nil, err
+	}
+	child, err := s.RootSh.Spawn(vn, []string{"/srv/origin", "80"}, kernel.SpawnAttr{})
+	if err != nil {
+		return nil, err
+	}
+	// Wait until the listener is bound.
+	bound := false
+	for i := 0; i < 2000 && !bound; i++ {
+		sock := s.K.Net.NewSocket(netstack.DomainIP)
+		if cerr := s.K.Net.Connect(sock, "80"); cerr == nil {
+			s.K.Net.Send(sock, []byte("GET /__ping\n"))
+			buf := make([]byte, 64)
+			s.K.Net.Recv(sock, buf)
+			s.K.Net.Close(sock)
+			bound = true
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if !bound {
+		s.RootSh.Kill(child.PID())
+		s.RootSh.Wait(child.PID())
+		return nil, fmt.Errorf("core: origin server did not start")
+	}
+	return func() {
+		sock := s.K.Net.NewSocket(netstack.DomainIP)
+		if cerr := s.K.Net.Connect(sock, "80"); cerr == nil {
+			s.K.Net.Send(sock, []byte("GET /__shutdown\n"))
+			buf := make([]byte, 16)
+			s.K.Net.Recv(sock, buf)
+			s.K.Net.Close(sock)
+		}
+		s.RootSh.Wait(child.PID())
+	}, nil
+}
+
+// RemovePath unlinks a single file, ignoring errors (bench resets).
+func (s *System) RemovePath(path string) {
+	dirPath, name := splitParent(path)
+	dir, err := s.K.FS.Resolve(dirPath)
+	if err != nil {
+		return
+	}
+	s.K.FS.Unlink(dir, name, false)
+}
+
+// RemoveTree removes a directory tree, ignoring errors (bench resets).
+func (s *System) RemoveTree(path string) {
+	s.clearDir(path)
+	dirPath, name := splitParent(path)
+	dir, err := s.K.FS.Resolve(dirPath)
+	if err != nil {
+		return
+	}
+	s.K.FS.Unlink(dir, name, true)
+}
+
+func splitParent(path string) (dir, name string) {
+	i := len(path) - 1
+	for i > 0 && path[i] != '/' {
+		i--
+	}
+	if i == 0 {
+		return "/", path[1:]
+	}
+	return path[:i], path[i+1:]
+}
+
+// ConsoleText returns and clears everything written to /dev/console.
+func (s *System) ConsoleText() string {
+	out := string(s.Console.Output())
+	s.Console.ResetOutput()
+	return out
+}
+
+// RunAmbient runs ambient script source through a fresh interpreter.
+func (s *System) RunAmbient(name, src string) error {
+	it := s.NewInterp()
+	return it.RunAmbient(name, src)
+}
+
+// SpawnWaitAmbient runs a command ambiently (the Baseline / "SHILL
+// installed" configurations): no sandbox, console stdio.
+func (s *System) SpawnWaitAmbient(path string, argv []string) (int, error) {
+	return s.SpawnWaitAmbientDir(path, argv, "")
+}
+
+// SpawnWaitAmbientDir is SpawnWaitAmbient with a working directory.
+func (s *System) SpawnWaitAmbientDir(path string, argv []string, dir string) (int, error) {
+	vn, err := s.K.FS.Resolve(path)
+	if err != nil {
+		return -1, err
+	}
+	attr := kernel.SpawnAttr{}
+	if dir != "" {
+		wd, err := s.K.FS.Resolve(dir)
+		if err != nil {
+			return -1, err
+		}
+		attr.Dir = wd
+	}
+	console := kernel.NewVnodeFD(s.K.FS.MustResolve("/dev/console"), true, true, false)
+	defer console.Release()
+	attr.Stdin, attr.Stdout, attr.Stderr = console, console, console
+	return s.Runtime.SpawnWait(vn, argv, attr)
+}

@@ -1,0 +1,41 @@
+// Package errno defines the errno-style sentinel errors shared by the
+// simulated kernel, VFS, and network stack. System calls in this
+// reproduction return these sentinels (possibly wrapped); callers test
+// them with errors.Is, the moral equivalent of comparing errno values.
+package errno
+
+import "errors"
+
+// Sentinel errors mirroring the FreeBSD errnos the paper's system
+// surfaces. EACCES in particular is what a SHILL sandbox returns when a
+// session holds insufficient privileges (§3.2.2).
+var (
+	EPERM        = errors.New("EPERM: operation not permitted")
+	ENOENT       = errors.New("ENOENT: no such file or directory")
+	ESRCH        = errors.New("ESRCH: no such process")
+	EINTR        = errors.New("EINTR: interrupted system call")
+	EIO          = errors.New("EIO: input/output error")
+	EBADF        = errors.New("EBADF: bad file descriptor")
+	ECHILD       = errors.New("ECHILD: no child processes")
+	EACCES       = errors.New("EACCES: permission denied")
+	EBUSY        = errors.New("EBUSY: device busy")
+	EEXIST       = errors.New("EEXIST: file exists")
+	EXDEV        = errors.New("EXDEV: cross-device link")
+	ENOTDIR      = errors.New("ENOTDIR: not a directory")
+	EISDIR       = errors.New("EISDIR: is a directory")
+	EINVAL       = errors.New("EINVAL: invalid argument")
+	EMFILE       = errors.New("EMFILE: too many open files")
+	EFBIG        = errors.New("EFBIG: file too large")
+	ENOSPC       = errors.New("ENOSPC: no space left on device")
+	EROFS        = errors.New("EROFS: read-only file system")
+	EMLINK       = errors.New("EMLINK: too many links")
+	EPIPE        = errors.New("EPIPE: broken pipe")
+	ENOTEMPTY    = errors.New("ENOTEMPTY: directory not empty")
+	ELOOP        = errors.New("ELOOP: too many levels of symbolic links")
+	ENOSYS       = errors.New("ENOSYS: function not implemented")
+	EADDRINUSE   = errors.New("EADDRINUSE: address already in use")
+	ECONNREFUSED = errors.New("ECONNREFUSED: connection refused")
+	ENOTCONN     = errors.New("ENOTCONN: socket is not connected")
+	EAGAIN       = errors.New("EAGAIN: resource temporarily unavailable")
+	ENAMETOOLONG = errors.New("ENAMETOOLONG: file name too long")
+)

@@ -1,0 +1,258 @@
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/errno"
+	"repro/internal/netstack"
+	"repro/internal/vfs"
+)
+
+// FDKind distinguishes the object behind a file descriptor.
+type FDKind int
+
+// Descriptor kinds.
+const (
+	FDFile FDKind = iota
+	FDDir
+	FDDevice
+	FDPipe
+	FDSocket
+)
+
+func (k FDKind) String() string {
+	switch k {
+	case FDFile:
+		return "file"
+	case FDDir:
+		return "dir"
+	case FDDevice:
+		return "device"
+	case FDPipe:
+		return "pipe"
+	case FDSocket:
+		return "socket"
+	}
+	return "unknown"
+}
+
+// fdInner is the shared open-file description: dup'd descriptors share
+// the offset and the close refcount, as POSIX requires.
+type fdInner struct {
+	kind FDKind
+
+	vn       *vfs.Vnode
+	pipe     *vfs.Pipe
+	pipeRead bool // which end of the pipe this descriptor is
+	sock     *netstack.Socket
+
+	mu  sync.Mutex
+	off int64
+
+	readable   bool
+	writable   bool
+	appendMode bool
+
+	// openPath is the path the object was reachable at when opened; the
+	// path(2) syscall falls back to it when the lookup cache misses
+	// ("SHILL uses the last known path at which the file was
+	// accessible", §3.1.3).
+	openPath string
+
+	refs int32
+}
+
+// FileDesc is a process's handle on an open-file description.
+type FileDesc struct {
+	inner  *fdInner
+	closed atomic.Bool
+}
+
+func newFD(inner *fdInner) *FileDesc {
+	inner.refs = 1
+	return &FileDesc{inner: inner}
+}
+
+// dup returns a descriptor sharing the open-file description.
+func (fd *FileDesc) dup() *FileDesc {
+	atomic.AddInt32(&fd.inner.refs, 1)
+	if fd.inner.kind == FDPipe {
+		if fd.inner.pipeRead {
+			fd.inner.pipe.AddReader()
+		} else {
+			fd.inner.pipe.AddWriter()
+		}
+	}
+	return &FileDesc{inner: fd.inner}
+}
+
+// close releases this handle; the last release closes the underlying
+// pipe end or socket.
+func (fd *FileDesc) close() {
+	if fd.closed.Swap(true) {
+		return
+	}
+	inner := fd.inner
+	if inner.kind == FDPipe {
+		if inner.pipeRead {
+			inner.pipe.CloseRead()
+		} else {
+			inner.pipe.CloseWrite()
+		}
+	}
+	if atomic.AddInt32(&inner.refs, -1) > 0 {
+		return
+	}
+	if inner.kind == FDSocket && inner.sock != nil {
+		inner.sock.Stack().Close(inner.sock)
+	}
+}
+
+// Kind returns the descriptor kind.
+func (fd *FileDesc) Kind() FDKind { return fd.inner.kind }
+
+// Vnode returns the underlying vnode (files, dirs, devices) or nil.
+func (fd *FileDesc) Vnode() *vfs.Vnode { return fd.inner.vn }
+
+// Pipe returns the underlying pipe, or nil.
+func (fd *FileDesc) Pipe() *vfs.Pipe { return fd.inner.pipe }
+
+// PipeReadEnd reports whether a pipe descriptor is the read end.
+func (fd *FileDesc) PipeReadEnd() bool { return fd.inner.pipeRead }
+
+// Socket returns the underlying socket, or nil.
+func (fd *FileDesc) Socket() *netstack.Socket { return fd.inner.sock }
+
+// Readable reports whether the descriptor was opened for reading.
+func (fd *FileDesc) Readable() bool { return fd.inner.readable }
+
+// Writable reports whether the descriptor was opened for writing.
+func (fd *FileDesc) Writable() bool { return fd.inner.writable }
+
+// OpenPath returns the path recorded at open time.
+func (fd *FileDesc) OpenPath() string { return fd.inner.openPath }
+
+// NewVnodeFD builds a descriptor for a vnode without going through
+// OpenAt. The SHILL runtime uses it to hand capability-backed
+// descriptors (e.g. a grade log opened append-only) to sandboxed
+// processes as stdio.
+func NewVnodeFD(vn *vfs.Vnode, readable, writable, appendMode bool) *FileDesc {
+	kind := FDFile
+	switch vn.Type() {
+	case vfs.TypeDir:
+		kind = FDDir
+	case vfs.TypeCharDev:
+		kind = FDDevice
+	}
+	return newFD(&fdInner{kind: kind, vn: vn, readable: readable, writable: writable, appendMode: appendMode})
+}
+
+// NewPipeFD builds a descriptor for one end of a pipe, taking its own
+// reference on that end (the owning capability keeps its reference; the
+// pipe end closes only when every holder has released).
+func NewPipeFD(p *vfs.Pipe, readEnd bool) *FileDesc {
+	if readEnd {
+		p.AddReader()
+	} else {
+		p.AddWriter()
+	}
+	return newFD(&fdInner{kind: FDPipe, pipe: p, pipeRead: readEnd, readable: readEnd, writable: !readEnd})
+}
+
+// Release closes a descriptor handle that was never installed in a
+// process's table (construction handles used while wiring stdio).
+func (fd *FileDesc) Release() { fd.close() }
+
+// SetCWDVnode sets the working directory without access checks; the
+// SHILL runtime uses it while configuring a sandbox before shill_enter.
+func (p *Proc) SetCWDVnode(vn *vfs.Vnode) {
+	p.mu.Lock()
+	p.cwd = vn
+	p.mu.Unlock()
+}
+
+// --- per-process descriptor table ---
+
+// allocFD installs desc at the lowest free descriptor number, honouring
+// RLIMIT_NOFILE.
+func (p *Proc) allocFD(desc *FileDesc) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.fds) >= p.limits.MaxOpenFiles {
+		return -1, errno.EMFILE
+	}
+	n := 0
+	for {
+		if _, used := p.fds[n]; !used {
+			break
+		}
+		n++
+	}
+	p.fds[n] = desc
+	return n, nil
+}
+
+// FD returns the descriptor for a number, or EBADF.
+func (p *Proc) FD(n int) (*FileDesc, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fd, ok := p.fds[n]
+	if !ok {
+		return nil, errno.EBADF
+	}
+	return fd, nil
+}
+
+// InstallFD places an externally constructed descriptor into the table
+// (used by the SHILL runtime to hand capabilities' descriptors to a
+// process). It duplicates desc, leaving the caller's handle open.
+func (p *Proc) InstallFD(desc *FileDesc) (int, error) {
+	return p.allocFD(desc.dup())
+}
+
+// SetStdio wires descriptor numbers 0-2, duplicating each non-nil slot.
+func (p *Proc) SetStdio(stdin, stdout, stderr *FileDesc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, d := range []*FileDesc{stdin, stdout, stderr} {
+		if d == nil {
+			continue
+		}
+		if old, ok := p.fds[i]; ok {
+			old.close()
+		}
+		p.fds[i] = d.dup()
+	}
+}
+
+// Close closes descriptor n.
+func (p *Proc) Close(n int) error {
+	p.mu.Lock()
+	fd, ok := p.fds[n]
+	if ok {
+		delete(p.fds, n)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return errno.EBADF
+	}
+	fd.close()
+	return nil
+}
+
+// Dup duplicates descriptor n onto a fresh number.
+func (p *Proc) Dup(n int) (int, error) {
+	fd, err := p.FD(n)
+	if err != nil {
+		return -1, err
+	}
+	return p.allocFD(fd.dup())
+}
+
+// NumOpenFDs reports the size of the descriptor table (tests).
+func (p *Proc) NumOpenFDs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.fds)
+}

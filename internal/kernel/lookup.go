@@ -1,0 +1,164 @@
+package kernel
+
+import (
+	"strings"
+
+	"repro/internal/errno"
+	"repro/internal/mac"
+	"repro/internal/vfs"
+)
+
+// maxSymlinkDepth bounds symlink chains, as MAXSYMLINKS does.
+const maxSymlinkDepth = 32
+
+// lookupStep resolves one path component inside dir on behalf of p,
+// running DAC search permission, the MAC lookup check, and — on success —
+// the mac_vnode_post_lookup hook that lets the SHILL policy propagate
+// privileges to the child (§3.2.2). This is the hot path the Figure 11
+// microbenchmarks measure: overhead grows linearly with the number of
+// lookup steps.
+func (p *Proc) lookupStep(dir *vfs.Vnode, comp string) (*vfs.Vnode, error) {
+	if !dir.IsDir() {
+		return nil, errno.ENOTDIR
+	}
+	cred := p.Cred()
+	if !dir.Accessible(cred.UID, cred.GID, vfs.ModeExec) {
+		return nil, errno.EACCES
+	}
+	if err := p.k.MAC.VnodeCheck(cred, dir, mac.OpVnodeLookup, comp); err != nil {
+		return nil, err
+	}
+	child, err := p.k.FS.Lookup(dir, comp)
+	if err != nil {
+		return nil, err
+	}
+	p.k.MAC.VnodePostLookup(cred, dir, child, comp)
+	return child, nil
+}
+
+// resolveSymlink reads a symlink's target after the MAC read-symlink
+// check and DAC read permission.
+func (p *Proc) resolveSymlink(link *vfs.Vnode) (string, error) {
+	cred := p.Cred()
+	if err := p.k.MAC.VnodeCheck(cred, link, mac.OpVnodeReadSymlink, ""); err != nil {
+		return "", err
+	}
+	return link.Readlink()
+}
+
+// lookupPath resolves path relative to base (or the root for absolute
+// paths), following intermediate symlinks always and the final symlink
+// only when followFinal is set.
+func (p *Proc) lookupPath(base *vfs.Vnode, path string, followFinal bool) (*vfs.Vnode, error) {
+	return p.lookupPathDepth(base, path, followFinal, 0)
+}
+
+func (p *Proc) lookupPathDepth(base *vfs.Vnode, path string, followFinal bool, depth int) (*vfs.Vnode, error) {
+	if depth > maxSymlinkDepth {
+		return nil, errno.ELOOP
+	}
+	if path == "" {
+		return nil, errno.ENOENT
+	}
+	cur := base
+	if strings.HasPrefix(path, "/") {
+		cur = p.k.FS.Root()
+	}
+	comps := splitComponents(path)
+	for i, comp := range comps {
+		child, err := p.lookupStep(cur, comp)
+		if err != nil {
+			return nil, err
+		}
+		if child.Type() == vfs.TypeSymlink {
+			last := i == len(comps)-1
+			if last && !followFinal {
+				return child, nil
+			}
+			target, err := p.resolveSymlink(child)
+			if err != nil {
+				return nil, err
+			}
+			resolved, err := p.lookupPathDepth(cur, target, true, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			child = resolved
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+// lookupParent resolves everything but the final component of path and
+// returns the parent directory plus the final name. The final component
+// must not be empty, ".", or ".." (creation sites need a real name).
+func (p *Proc) lookupParent(base *vfs.Vnode, path string) (*vfs.Vnode, string, error) {
+	if path == "" {
+		return nil, "", errno.ENOENT
+	}
+	cur := base
+	if strings.HasPrefix(path, "/") {
+		cur = p.k.FS.Root()
+	}
+	comps := splitComponents(path)
+	if len(comps) == 0 {
+		return nil, "", errno.EEXIST // path was "/" or "."
+	}
+	name := comps[len(comps)-1]
+	if name == "." || name == ".." {
+		return nil, "", errno.EINVAL
+	}
+	for _, comp := range comps[:len(comps)-1] {
+		child, err := p.lookupStep(cur, comp)
+		if err != nil {
+			return nil, "", err
+		}
+		if child.Type() == vfs.TypeSymlink {
+			target, err := p.resolveSymlink(child)
+			if err != nil {
+				return nil, "", err
+			}
+			child, err = p.lookupPathDepth(cur, target, true, 1)
+			if err != nil {
+				return nil, "", err
+			}
+		}
+		cur = child
+	}
+	if !cur.IsDir() {
+		return nil, "", errno.ENOTDIR
+	}
+	return cur, name, nil
+}
+
+func splitComponents(path string) []string {
+	raw := strings.Split(path, "/")
+	comps := raw[:0]
+	for _, c := range raw {
+		if c != "" {
+			comps = append(comps, c)
+		}
+	}
+	return comps
+}
+
+// baseDir interprets an AT-style dirfd: AtCWD means the process working
+// directory; otherwise the fd must be an open directory.
+func (p *Proc) baseDir(dirfd int) (*vfs.Vnode, error) {
+	if dirfd == AtCWD {
+		return p.CWD(), nil
+	}
+	fd, err := p.FD(dirfd)
+	if err != nil {
+		return nil, err
+	}
+	vn := fd.Vnode()
+	if vn == nil || !vn.IsDir() {
+		return nil, errno.ENOTDIR
+	}
+	return vn, nil
+}
+
+// AtCWD is the AT_FDCWD sentinel for *at syscalls.
+const AtCWD = -100

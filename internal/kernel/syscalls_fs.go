@@ -1,0 +1,786 @@
+package kernel
+
+import (
+	"repro/internal/errno"
+	"repro/internal/mac"
+	"repro/internal/vfs"
+)
+
+// OpenFlags mirror the open(2) flag vocabulary the runtime and binaries
+// need.
+type OpenFlags int
+
+// Open flags.
+const (
+	ORead OpenFlags = 1 << iota
+	OWrite
+	OAppend
+	OCreate
+	OExcl
+	OTrunc
+	ODirectory
+	ONoFollow
+)
+
+// OpenAt opens path relative to dirfd, performing DAC, MAC, and — for
+// newly created files — the mac_vnode_post_create hook. It is the
+// workhorse syscall for both SHILL's capability runtime and sandboxed
+// binaries.
+func (p *Proc) OpenAt(dirfd int, path string, flags OpenFlags, mode uint16) (int, error) {
+	base, err := p.baseDir(dirfd)
+	if err != nil {
+		return -1, err
+	}
+	cred := p.Cred()
+
+	var vn *vfs.Vnode
+	created := false
+	if flags&OCreate != 0 {
+		dir, name, err := p.lookupParent(base, path)
+		if err != nil {
+			return -1, err
+		}
+		existing, lerr := p.lookupStep(dir, name)
+		switch {
+		case lerr == nil:
+			if flags&OExcl != 0 {
+				return -1, errno.EEXIST
+			}
+			vn = existing
+		case lerr == errno.ENOENT:
+			if !dir.Accessible(cred.UID, cred.GID, vfs.ModeWrite) {
+				return -1, errno.EACCES
+			}
+			if err := p.k.MAC.VnodeCheck(cred, dir, mac.OpVnodeCreateFile, name); err != nil {
+				return -1, err
+			}
+			nv, cerr := p.k.FS.Create(dir, name, mode, cred.UID, cred.GID)
+			if cerr != nil {
+				return -1, cerr
+			}
+			p.k.MAC.VnodePostCreate(cred, dir, nv, name, mac.OpVnodeCreateFile)
+			vn = nv
+			created = true
+		default:
+			return -1, lerr
+		}
+	} else {
+		vn, err = p.lookupPath(base, path, flags&ONoFollow == 0)
+		if err != nil {
+			return -1, err
+		}
+	}
+	return p.openVnode(vn, flags, created)
+}
+
+// OpenVnode opens an already resolved vnode, as the capability runtime
+// does when it holds a vnode reference rather than a path. No lookup
+// checks run; open-mode checks still do.
+func (p *Proc) OpenVnode(vn *vfs.Vnode, flags OpenFlags) (int, error) {
+	return p.openVnode(vn, flags, false)
+}
+
+func (p *Proc) openVnode(vn *vfs.Vnode, flags OpenFlags, justCreated bool) (int, error) {
+	cred := p.Cred()
+	if vn.Type() == vfs.TypeSymlink {
+		return -1, errno.ELOOP
+	}
+	if vn.IsDir() && flags&(OWrite|OAppend|OTrunc) != 0 {
+		return -1, errno.EISDIR
+	}
+	if flags&ODirectory != 0 && !vn.IsDir() {
+		return -1, errno.ENOTDIR
+	}
+	// DAC open-mode checks. A just-created file is always accessible to
+	// its creator regardless of the creation mode, per POSIX.
+	if !justCreated {
+		if flags&ORead != 0 && !vn.Accessible(cred.UID, cred.GID, vfs.ModeRead) {
+			return -1, errno.EACCES
+		}
+		if flags&(OWrite|OAppend|OTrunc) != 0 && !vn.Accessible(cred.UID, cred.GID, vfs.ModeWrite) {
+			return -1, errno.EACCES
+		}
+	}
+	// MAC open-mode checks (skipped for the fresh create: post_create
+	// labelled the object for the creating session).
+	if !justCreated && !vn.IsDir() && vn.Type() != vfs.TypeCharDev {
+		if flags&ORead != 0 {
+			if err := p.k.MAC.VnodeCheck(cred, vn, mac.OpVnodeRead, ""); err != nil {
+				return -1, err
+			}
+		}
+		if flags&(OWrite|OAppend) != 0 {
+			if err := p.k.MAC.VnodeCheck(cred, vn, mac.OpVnodeWrite, ""); err != nil {
+				return -1, err
+			}
+		}
+	}
+	if flags&OTrunc != 0 {
+		if !justCreated {
+			if err := p.k.MAC.VnodeCheck(cred, vn, mac.OpVnodeTruncate, ""); err != nil {
+				return -1, err
+			}
+		}
+		if err := vn.Truncate(0); err != nil {
+			return -1, err
+		}
+	}
+	kind := FDFile
+	switch vn.Type() {
+	case vfs.TypeDir:
+		kind = FDDir
+	case vfs.TypeCharDev:
+		kind = FDDevice
+	}
+	path, _ := p.k.FS.PathOf(vn)
+	desc := newFD(&fdInner{
+		kind:       kind,
+		vn:         vn,
+		readable:   flags&ORead != 0 || vn.IsDir(),
+		writable:   flags&(OWrite|OAppend) != 0,
+		appendMode: flags&OAppend != 0,
+		openPath:   path,
+	})
+	return p.allocFD(desc)
+}
+
+// Read reads from a descriptor, advancing its offset. Per-operation MAC
+// checks run for files, pipes, and sockets; character devices are not
+// interposed on (§3.2.3 limitation, reproduced).
+func (p *Proc) Read(fdn int, buf []byte) (int, error) {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return 0, err
+	}
+	inner := fd.inner
+	if !inner.readable {
+		return 0, errno.EBADF
+	}
+	cred := p.Cred()
+	switch inner.kind {
+	case FDFile:
+		if err := p.k.MAC.VnodeCheck(cred, inner.vn, mac.OpVnodeRead, ""); err != nil {
+			return 0, err
+		}
+		inner.mu.Lock()
+		defer inner.mu.Unlock()
+		n, err := inner.vn.ReadAt(buf, inner.off)
+		inner.off += int64(n)
+		return n, err
+	case FDDevice:
+		return inner.vn.Device().DevRead(buf)
+	case FDPipe:
+		if !inner.pipeRead {
+			return 0, errno.EBADF
+		}
+		if err := p.k.MAC.PipeCheck(cred, inner.pipe, mac.OpPipeRead); err != nil {
+			return 0, err
+		}
+		return inner.pipe.Read(buf)
+	case FDSocket:
+		if err := p.k.MAC.SocketCheck(cred, inner.sock, mac.OpSockRecv); err != nil {
+			return 0, err
+		}
+		return p.k.Net.Recv(inner.sock, buf)
+	}
+	return 0, errno.EBADF
+}
+
+// Write writes to a descriptor, honouring append mode and RLIMIT_FSIZE.
+func (p *Proc) Write(fdn int, buf []byte) (int, error) {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return 0, err
+	}
+	inner := fd.inner
+	if !inner.writable {
+		return 0, errno.EBADF
+	}
+	cred := p.Cred()
+	switch inner.kind {
+	case FDFile:
+		if err := p.k.MAC.VnodeCheck(cred, inner.vn, mac.OpVnodeWrite, ""); err != nil {
+			return 0, err
+		}
+		if inner.vn.Size()+int64(len(buf)) > p.Limits().MaxFileSize {
+			return 0, errno.EFBIG
+		}
+		if inner.appendMode {
+			_, err := inner.vn.Append(buf)
+			return len(buf), err
+		}
+		inner.mu.Lock()
+		defer inner.mu.Unlock()
+		n, err := inner.vn.WriteAt(buf, inner.off)
+		inner.off += int64(n)
+		return n, err
+	case FDDevice:
+		return inner.vn.Device().DevWrite(buf)
+	case FDPipe:
+		if inner.pipeRead {
+			return 0, errno.EBADF
+		}
+		if err := p.k.MAC.PipeCheck(cred, inner.pipe, mac.OpPipeWrite); err != nil {
+			return 0, err
+		}
+		return inner.pipe.Write(buf)
+	case FDSocket:
+		if err := p.k.MAC.SocketCheck(cred, inner.sock, mac.OpSockSend); err != nil {
+			return 0, err
+		}
+		return p.k.Net.Send(inner.sock, buf)
+	}
+	return 0, errno.EBADF
+}
+
+// Pread reads at an explicit offset without moving the descriptor
+// offset. Only regular files support it.
+func (p *Proc) Pread(fdn int, buf []byte, off int64) (int, error) {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return 0, err
+	}
+	inner := fd.inner
+	if inner.kind != FDFile || !inner.readable {
+		return 0, errno.EBADF
+	}
+	if err := p.k.MAC.VnodeCheck(p.Cred(), inner.vn, mac.OpVnodeRead, ""); err != nil {
+		return 0, err
+	}
+	return inner.vn.ReadAt(buf, off)
+}
+
+// Pwrite writes at an explicit offset.
+func (p *Proc) Pwrite(fdn int, buf []byte, off int64) (int, error) {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return 0, err
+	}
+	inner := fd.inner
+	if inner.kind != FDFile || !inner.writable {
+		return 0, errno.EBADF
+	}
+	if err := p.k.MAC.VnodeCheck(p.Cred(), inner.vn, mac.OpVnodeWrite, ""); err != nil {
+		return 0, err
+	}
+	if off+int64(len(buf)) > p.Limits().MaxFileSize {
+		return 0, errno.EFBIG
+	}
+	return inner.vn.WriteAt(buf, off)
+}
+
+// Seek positions the descriptor offset (whence: 0=set, 1=cur, 2=end).
+func (p *Proc) Seek(fdn int, off int64, whence int) (int64, error) {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return 0, err
+	}
+	inner := fd.inner
+	if inner.kind != FDFile && inner.kind != FDDir {
+		return 0, errno.EINVAL
+	}
+	inner.mu.Lock()
+	defer inner.mu.Unlock()
+	var next int64
+	switch whence {
+	case 0:
+		next = off
+	case 1:
+		next = inner.off + off
+	case 2:
+		next = inner.vn.Size() + off
+	default:
+		return 0, errno.EINVAL
+	}
+	if next < 0 {
+		return 0, errno.EINVAL
+	}
+	inner.off = next
+	return next, nil
+}
+
+// MkdirAt creates a directory.
+func (p *Proc) MkdirAt(dirfd int, path string, mode uint16) error {
+	_, err := p.mkdirCommon(dirfd, path, mode)
+	return err
+}
+
+// FMkdirAt creates a directory and returns a descriptor for it — the
+// fd-returning mkdirat variant the SHILL module adds so the runtime can
+// derive a capability for the new directory without a race (§3.1.3).
+func (p *Proc) FMkdirAt(dirfd int, path string, mode uint16) (int, error) {
+	vn, err := p.mkdirCommon(dirfd, path, mode)
+	if err != nil {
+		return -1, err
+	}
+	return p.openVnode(vn, ORead|ODirectory, true)
+}
+
+func (p *Proc) mkdirCommon(dirfd int, path string, mode uint16) (*vfs.Vnode, error) {
+	base, err := p.baseDir(dirfd)
+	if err != nil {
+		return nil, err
+	}
+	dir, name, err := p.lookupParent(base, path)
+	if err != nil {
+		return nil, err
+	}
+	cred := p.Cred()
+	if !dir.Accessible(cred.UID, cred.GID, vfs.ModeWrite) {
+		return nil, errno.EACCES
+	}
+	if err := p.k.MAC.VnodeCheck(cred, dir, mac.OpVnodeCreateDir, name); err != nil {
+		return nil, err
+	}
+	vn, err := p.k.FS.Mkdir(dir, name, mode, cred.UID, cred.GID)
+	if err != nil {
+		return nil, err
+	}
+	p.k.MAC.VnodePostCreate(cred, dir, vn, name, mac.OpVnodeCreateDir)
+	return vn, nil
+}
+
+// SymlinkAt creates a symbolic link at dirfd/path pointing at target.
+func (p *Proc) SymlinkAt(target string, dirfd int, path string) error {
+	base, err := p.baseDir(dirfd)
+	if err != nil {
+		return err
+	}
+	dir, name, err := p.lookupParent(base, path)
+	if err != nil {
+		return err
+	}
+	cred := p.Cred()
+	if !dir.Accessible(cred.UID, cred.GID, vfs.ModeWrite) {
+		return errno.EACCES
+	}
+	if err := p.k.MAC.VnodeCheck(cred, dir, mac.OpVnodeCreateSymlink, name); err != nil {
+		return err
+	}
+	vn, err := p.k.FS.Symlink(dir, name, target, cred.UID, cred.GID)
+	if err != nil {
+		return err
+	}
+	p.k.MAC.VnodePostCreate(cred, dir, vn, name, mac.OpVnodeCreateSymlink)
+	return nil
+}
+
+// ReadlinkAt reads a symlink target.
+func (p *Proc) ReadlinkAt(dirfd int, path string) (string, error) {
+	base, err := p.baseDir(dirfd)
+	if err != nil {
+		return "", err
+	}
+	vn, err := p.lookupPath(base, path, false)
+	if err != nil {
+		return "", err
+	}
+	return p.resolveSymlink(vn)
+}
+
+// LinkAt installs a hard link: oldpath (resolved against olddirfd) is
+// linked at newdirfd/newpath. As the paper notes, the path-based linkat
+// cannot be TOCTOU-free; FLinkAt is the fd-based fix.
+func (p *Proc) LinkAt(olddirfd int, oldpath string, newdirfd int, newpath string) error {
+	oldBase, err := p.baseDir(olddirfd)
+	if err != nil {
+		return err
+	}
+	file, err := p.lookupPath(oldBase, oldpath, false)
+	if err != nil {
+		return err
+	}
+	return p.linkVnode(file, newdirfd, newpath)
+}
+
+// FLinkAt installs a link to the file behind filefd at dirfd/name: the
+// TOCTOU-free flinkat(2) the SHILL module adds (§3.1.3).
+func (p *Proc) FLinkAt(filefd int, dirfd int, name string) error {
+	fd, err := p.FD(filefd)
+	if err != nil {
+		return err
+	}
+	if fd.Vnode() == nil {
+		return errno.EBADF
+	}
+	return p.linkVnode(fd.Vnode(), dirfd, name)
+}
+
+func (p *Proc) linkVnode(file *vfs.Vnode, newdirfd int, newpath string) error {
+	newBase, err := p.baseDir(newdirfd)
+	if err != nil {
+		return err
+	}
+	dir, name, err := p.lookupParent(newBase, newpath)
+	if err != nil {
+		return err
+	}
+	cred := p.Cred()
+	if !dir.Accessible(cred.UID, cred.GID, vfs.ModeWrite) {
+		return errno.EACCES
+	}
+	if err := p.k.MAC.VnodeCheck(cred, file, mac.OpVnodeLink, name); err != nil {
+		return err
+	}
+	if err := p.k.MAC.VnodeCheck(cred, dir, mac.OpVnodeAddLink, name); err != nil {
+		return err
+	}
+	return p.k.FS.Link(dir, name, file)
+}
+
+// UnlinkAt removes dirfd/path. rmdir selects AT_REMOVEDIR semantics.
+// The MAC check is a disjunction: the subject needs the unlink-file (or
+// unlink-dir) privilege on the containing directory, or the unlink
+// privilege on the object itself — the latter is how "delete only files
+// that were created with the capability" (§5, Capsicum comparison) is
+// expressed.
+func (p *Proc) UnlinkAt(dirfd int, path string, rmdir bool) error {
+	base, err := p.baseDir(dirfd)
+	if err != nil {
+		return err
+	}
+	dir, name, err := p.lookupParent(base, path)
+	if err != nil {
+		return err
+	}
+	child, err := p.lookupStep(dir, name)
+	if err != nil {
+		return err
+	}
+	if err := p.checkUnlink(dir, child, rmdir); err != nil {
+		return err
+	}
+	return p.k.FS.Unlink(dir, name, rmdir)
+}
+
+// FUnlinkAt removes dirfd-relative name only if it still refers to the
+// file behind filefd: the funlinkat(2) the SHILL module adds.
+func (p *Proc) FUnlinkAt(dirfd int, filefd int, name string) error {
+	base, err := p.baseDir(dirfd)
+	if err != nil {
+		return err
+	}
+	fd, err := p.FD(filefd)
+	if err != nil {
+		return err
+	}
+	file := fd.Vnode()
+	if file == nil {
+		return errno.EBADF
+	}
+	if err := p.checkUnlink(base, file, false); err != nil {
+		return err
+	}
+	return p.k.FS.UnlinkIfSame(base, name, file)
+}
+
+func (p *Proc) checkUnlink(dir, child *vfs.Vnode, rmdir bool) error {
+	cred := p.Cred()
+	if !dir.Accessible(cred.UID, cred.GID, vfs.ModeWrite) {
+		return errno.EACCES
+	}
+	dirOp := mac.OpVnodeUnlinkFile
+	if rmdir || child.IsDir() {
+		dirOp = mac.OpVnodeUnlinkDir
+	}
+	dirErr := p.k.MAC.VnodeCheck(cred, dir, dirOp, "")
+	if dirErr == nil {
+		return nil
+	}
+	if p.k.MAC.VnodeCheck(cred, child, mac.OpVnodeUnlinked, "") == nil {
+		return nil
+	}
+	return dirErr
+}
+
+// RenameAt moves olddirfd/oldpath to newdirfd/newpath.
+func (p *Proc) RenameAt(olddirfd int, oldpath string, newdirfd int, newpath string) error {
+	oldBase, err := p.baseDir(olddirfd)
+	if err != nil {
+		return err
+	}
+	srcDir, srcName, err := p.lookupParent(oldBase, oldpath)
+	if err != nil {
+		return err
+	}
+	src, err := p.lookupStep(srcDir, srcName)
+	if err != nil {
+		return err
+	}
+	return p.renameCommon(srcDir, srcName, src, newdirfd, newpath)
+}
+
+// FRenameAt atomically unlinks dirfd-relative name if it still refers to
+// filefd's file and installs a link in the target directory — the
+// frenameat(2) the SHILL module adds.
+func (p *Proc) FRenameAt(filefd int, srcdirfd int, srcName string, dstdirfd int, dstName string) error {
+	srcBase, err := p.baseDir(srcdirfd)
+	if err != nil {
+		return err
+	}
+	fd, err := p.FD(filefd)
+	if err != nil {
+		return err
+	}
+	file := fd.Vnode()
+	if file == nil {
+		return errno.EBADF
+	}
+	cur, err := p.k.FS.Lookup(srcBase, srcName)
+	if err != nil {
+		return err
+	}
+	if cur != file {
+		return errno.EINVAL
+	}
+	return p.renameCommon(srcBase, srcName, file, dstdirfd, dstName)
+}
+
+func (p *Proc) renameCommon(srcDir *vfs.Vnode, srcName string, src *vfs.Vnode, dstdirfd int, dstPath string) error {
+	dstBase, err := p.baseDir(dstdirfd)
+	if err != nil {
+		return err
+	}
+	dstDir, dstName, err := p.lookupParent(dstBase, dstPath)
+	if err != nil {
+		return err
+	}
+	cred := p.Cred()
+	if !srcDir.Accessible(cred.UID, cred.GID, vfs.ModeWrite) ||
+		!dstDir.Accessible(cred.UID, cred.GID, vfs.ModeWrite) {
+		return errno.EACCES
+	}
+	// Removing from the source directory: unlink-file/dir on the dir or
+	// rename on the object.
+	dirOp := mac.OpVnodeUnlinkFile
+	if src.IsDir() {
+		dirOp = mac.OpVnodeUnlinkDir
+	}
+	srcErr := p.k.MAC.VnodeCheck(cred, srcDir, dirOp, "")
+	if srcErr != nil {
+		if p.k.MAC.VnodeCheck(cred, src, mac.OpVnodeRename, "") != nil {
+			return srcErr
+		}
+	}
+	if err := p.k.MAC.VnodeCheck(cred, dstDir, mac.OpVnodeAddLink, dstName); err != nil {
+		return err
+	}
+	return p.k.FS.Rename(srcDir, srcName, dstDir, dstName)
+}
+
+// FStat returns metadata for an open descriptor.
+func (p *Proc) FStat(fdn int) (vfs.Stat, error) {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	vn := fd.Vnode()
+	if vn == nil {
+		return vfs.Stat{}, errno.EBADF
+	}
+	if err := p.k.MAC.VnodeCheck(p.Cred(), vn, mac.OpVnodeStat, ""); err != nil {
+		return vfs.Stat{}, err
+	}
+	return vn.Stat(), nil
+}
+
+// FStatAt returns metadata for dirfd/path.
+func (p *Proc) FStatAt(dirfd int, path string, followLinks bool) (vfs.Stat, error) {
+	base, err := p.baseDir(dirfd)
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	vn, err := p.lookupPath(base, path, followLinks)
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	if err := p.k.MAC.VnodeCheck(p.Cred(), vn, mac.OpVnodeStat, ""); err != nil {
+		return vfs.Stat{}, err
+	}
+	return vn.Stat(), nil
+}
+
+// ReadDir lists an open directory's entries.
+func (p *Proc) ReadDir(fdn int) ([]string, error) {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return nil, err
+	}
+	vn := fd.Vnode()
+	if vn == nil || !vn.IsDir() {
+		return nil, errno.ENOTDIR
+	}
+	cred := p.Cred()
+	if !vn.Accessible(cred.UID, cred.GID, vfs.ModeRead) {
+		return nil, errno.EACCES
+	}
+	if err := p.k.MAC.VnodeCheck(cred, vn, mac.OpVnodeReaddir, ""); err != nil {
+		return nil, err
+	}
+	return p.k.FS.ReadDir(vn)
+}
+
+// FChmodAt changes permission bits.
+func (p *Proc) FChmodAt(dirfd int, path string, mode uint16) error {
+	base, err := p.baseDir(dirfd)
+	if err != nil {
+		return err
+	}
+	vn, err := p.lookupPath(base, path, true)
+	if err != nil {
+		return err
+	}
+	cred := p.Cred()
+	uid, _ := vn.Owner()
+	if cred.UID != 0 && cred.UID != uid {
+		return errno.EPERM
+	}
+	if err := p.k.MAC.VnodeCheck(cred, vn, mac.OpVnodeChmod, ""); err != nil {
+		return err
+	}
+	vn.Chmod(mode)
+	return nil
+}
+
+// FChownAt changes ownership. Only root may change the owner, per
+// classic UNIX DAC; the MAC chown check gates sandboxes.
+func (p *Proc) FChownAt(dirfd int, path string, uid, gid int) error {
+	base, err := p.baseDir(dirfd)
+	if err != nil {
+		return err
+	}
+	vn, err := p.lookupPath(base, path, true)
+	if err != nil {
+		return err
+	}
+	cred := p.Cred()
+	if cred.UID != 0 {
+		return errno.EPERM
+	}
+	if err := p.k.MAC.VnodeCheck(cred, vn, mac.OpVnodeChown, ""); err != nil {
+		return err
+	}
+	vn.Chown(uid, gid)
+	return nil
+}
+
+// UtimesAt updates a file's access and modification times. The
+// simulated VFS stamps "now"; owners and root may touch.
+func (p *Proc) UtimesAt(dirfd int, path string) error {
+	base, err := p.baseDir(dirfd)
+	if err != nil {
+		return err
+	}
+	vn, err := p.lookupPath(base, path, true)
+	if err != nil {
+		return err
+	}
+	cred := p.Cred()
+	uid, _ := vn.Owner()
+	if cred.UID != 0 && cred.UID != uid {
+		return errno.EPERM
+	}
+	if err := p.k.MAC.VnodeCheck(cred, vn, mac.OpVnodeUtimes, ""); err != nil {
+		return err
+	}
+	// Touch via a zero-length append, which updates mtime.
+	_, err = vn.Append(nil)
+	return err
+}
+
+// Truncate truncates an open descriptor's file to the given size.
+func (p *Proc) Truncate(fdn int, size int64) error {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return err
+	}
+	vn := fd.Vnode()
+	if vn == nil || !fd.Writable() {
+		return errno.EBADF
+	}
+	if err := p.k.MAC.VnodeCheck(p.Cred(), vn, mac.OpVnodeTruncate, ""); err != nil {
+		return err
+	}
+	return vn.Truncate(size)
+}
+
+// Chdir changes the working directory by path.
+func (p *Proc) Chdir(path string) error {
+	vn, err := p.lookupPath(p.CWD(), path, true)
+	if err != nil {
+		return err
+	}
+	return p.fchdirVnode(vn)
+}
+
+// FChdir changes the working directory to an open directory fd.
+func (p *Proc) FChdir(fdn int) error {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return err
+	}
+	vn := fd.Vnode()
+	if vn == nil {
+		return errno.EBADF
+	}
+	return p.fchdirVnode(vn)
+}
+
+func (p *Proc) fchdirVnode(vn *vfs.Vnode) error {
+	if !vn.IsDir() {
+		return errno.ENOTDIR
+	}
+	cred := p.Cred()
+	if !vn.Accessible(cred.UID, cred.GID, vfs.ModeExec) {
+		return errno.EACCES
+	}
+	if err := p.k.MAC.VnodeCheck(cred, vn, mac.OpVnodeChdir, ""); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.cwd = vn
+	p.mu.Unlock()
+	return nil
+}
+
+// Path implements the path(2) syscall the SHILL module adds: it
+// retrieves an accessible path for the descriptor from the filesystem
+// lookup cache, falling back to the last path the object was opened at
+// (§3.1.3).
+func (p *Proc) Path(fdn int) (string, error) {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return "", err
+	}
+	vn := fd.Vnode()
+	if vn == nil {
+		return "", errno.EBADF
+	}
+	if err := p.k.MAC.VnodeCheck(p.Cred(), vn, mac.OpVnodePathLookup, ""); err != nil {
+		return "", err
+	}
+	if path, ok := p.k.FS.PathOf(vn); ok {
+		return path, nil
+	}
+	if fd.OpenPath() != "" {
+		return fd.OpenPath(), nil
+	}
+	return "", errno.ENOENT
+}
+
+// MakePipe creates a pipe and returns (readFD, writeFD).
+func (p *Proc) MakePipe() (int, int, error) {
+	pipe := vfs.NewPipe()
+	r := newFD(&fdInner{kind: FDPipe, pipe: pipe, pipeRead: true, readable: true})
+	w := newFD(&fdInner{kind: FDPipe, pipe: pipe, writable: true})
+	rfd, err := p.allocFD(r)
+	if err != nil {
+		return -1, -1, err
+	}
+	wfd, err := p.allocFD(w)
+	if err != nil {
+		p.Close(rfd)
+		return -1, -1, err
+	}
+	return rfd, wfd, nil
+}

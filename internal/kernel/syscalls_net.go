@@ -1,0 +1,117 @@
+package kernel
+
+import (
+	"repro/internal/errno"
+	"repro/internal/mac"
+	"repro/internal/netstack"
+)
+
+// Socket creates a stream socket in the given domain. Families beyond IP
+// and Unix are denied outright, in and out of sandboxes (Figure 7:
+// "Sockets (other): Denied"). Inside a sandbox the SHILL policy requires
+// the session to hold a socket-factory capability for the domain
+// (§3.1.1), which also determines the privileges labelled onto the new
+// socket.
+func (p *Proc) Socket(domain netstack.Domain) (int, error) {
+	if domain != netstack.DomainIP && domain != netstack.DomainUnix {
+		return -1, errno.EPERM
+	}
+	sock := p.k.Net.NewSocket(domain)
+	if err := p.k.MAC.SocketCheck(p.Cred(), sock, mac.OpSockCreate); err != nil {
+		return -1, err
+	}
+	desc := newFD(&fdInner{kind: FDSocket, sock: sock, readable: true, writable: true})
+	return p.allocFD(desc)
+}
+
+func (p *Proc) sockFD(fdn int) (*netstack.Socket, error) {
+	fd, err := p.FD(fdn)
+	if err != nil {
+		return nil, err
+	}
+	if fd.Socket() == nil {
+		return nil, errno.EBADF // ENOTSOCK in spirit
+	}
+	return fd.Socket(), nil
+}
+
+// Bind binds the socket to an address.
+func (p *Proc) Bind(fdn int, addr string) error {
+	sock, err := p.sockFD(fdn)
+	if err != nil {
+		return err
+	}
+	if err := p.k.MAC.SocketCheck(p.Cred(), sock, mac.OpSockBind); err != nil {
+		return err
+	}
+	return p.k.Net.Bind(sock, addr)
+}
+
+// Listen marks the socket as accepting connections.
+func (p *Proc) Listen(fdn int) error {
+	sock, err := p.sockFD(fdn)
+	if err != nil {
+		return err
+	}
+	if err := p.k.MAC.SocketCheck(p.Cred(), sock, mac.OpSockListen); err != nil {
+		return err
+	}
+	return p.k.Net.Listen(sock)
+}
+
+// Accept blocks for a connection and returns its descriptor. The SHILL
+// policy's post-accept hook labels the new endpoint with the listener's
+// privileges.
+func (p *Proc) Accept(fdn int) (int, error) {
+	sock, err := p.sockFD(fdn)
+	if err != nil {
+		return -1, err
+	}
+	cred := p.Cred()
+	if err := p.k.MAC.SocketCheck(cred, sock, mac.OpSockAccept); err != nil {
+		return -1, err
+	}
+	conn, err := p.k.Net.Accept(sock)
+	if err != nil {
+		return -1, err
+	}
+	p.k.MAC.SocketPostAccept(cred, sock, conn)
+	desc := newFD(&fdInner{kind: FDSocket, sock: conn, readable: true, writable: true})
+	return p.allocFD(desc)
+}
+
+// Connect dials a listener.
+func (p *Proc) Connect(fdn int, addr string) error {
+	sock, err := p.sockFD(fdn)
+	if err != nil {
+		return err
+	}
+	if err := p.k.MAC.SocketCheck(p.Cred(), sock, mac.OpSockConnect); err != nil {
+		return err
+	}
+	return p.k.Net.Connect(sock, addr)
+}
+
+// Send writes to a connected socket.
+func (p *Proc) Send(fdn int, buf []byte) (int, error) {
+	sock, err := p.sockFD(fdn)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.k.MAC.SocketCheck(p.Cred(), sock, mac.OpSockSend); err != nil {
+		return 0, err
+	}
+	return p.k.Net.Send(sock, buf)
+}
+
+// Recv reads from a connected socket; 0, nil means peer close.
+func (p *Proc) Recv(fdn int, buf []byte) (int, error) {
+	sock, err := p.sockFD(fdn)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.k.MAC.SocketCheck(p.Cred(), sock, mac.OpSockRecv); err != nil {
+		return 0, err
+	}
+	return p.k.Net.Recv(sock, buf)
+}

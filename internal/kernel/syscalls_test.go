@@ -1,0 +1,423 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/errno"
+	"repro/internal/priv"
+	"repro/internal/vfs"
+)
+
+func TestSeekAndPwrite(t *testing.T) {
+	_, p := testWorld(t, false)
+	fd, err := p.OpenAt(AtCWD, "f.bin", ORead|OWrite|OCreate, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Write(fd, []byte("0123456789"))
+	if off, err := p.Seek(fd, 2, 0); err != nil || off != 2 {
+		t.Fatalf("SEEK_SET = %d, %v", off, err)
+	}
+	buf := make([]byte, 3)
+	p.Read(fd, buf)
+	if string(buf) != "234" {
+		t.Fatalf("read after seek = %q", buf)
+	}
+	if off, _ := p.Seek(fd, -1, 2); off != 9 {
+		t.Fatalf("SEEK_END = %d", off)
+	}
+	if _, err := p.Seek(fd, -100, 1); !errors.Is(err, errno.EINVAL) {
+		t.Fatal("negative seek accepted")
+	}
+	// Pwrite does not move the offset.
+	if _, err := p.Pwrite(fd, []byte("XX"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if off, _ := p.Seek(fd, 0, 1); off != 9 {
+		t.Fatalf("offset moved by pwrite: %d", off)
+	}
+	got := make([]byte, 2)
+	p.Pread(fd, got, 0)
+	if string(got) != "XX" {
+		t.Fatalf("pwrite contents = %q", got)
+	}
+}
+
+func TestDupSharesOffset(t *testing.T) {
+	_, p := testWorld(t, false)
+	fd, _ := p.OpenAt(AtCWD, "/etc/passwd", ORead, 0)
+	dup, err := p.Dup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	p.Read(fd, buf)
+	// The duplicate shares the file offset, as POSIX dup does.
+	n, _ := p.Read(dup, buf)
+	if n == 0 || buf[0] == 'r' {
+		t.Fatalf("dup did not share offset: %q", buf[:n])
+	}
+	p.Close(fd)
+	// Closing one descriptor leaves the other usable.
+	if _, err := p.Read(dup, buf); err != nil {
+		t.Fatalf("read after closing sibling: %v", err)
+	}
+}
+
+func TestReadDirRequiresContentsInSandbox(t *testing.T) {
+	k, p := testWorld(t, true)
+	sb := sandboxProc(t, p, map[string]*priv.Grant{
+		"/":           priv.NewGrant(priv.RLookup),
+		"/home":       priv.NewGrant(priv.RLookup),
+		"/home/alice": priv.NewGrant(priv.RLookup), // no +contents
+	})
+	fd, err := sb.OpenAt(AtCWD, "/home/alice", ORead|ODirectory, 0)
+	if err != nil {
+		t.Fatalf("open dir: %v", err)
+	}
+	if _, err := sb.ReadDir(fd); !errors.Is(err, errno.EACCES) {
+		t.Fatalf("readdir without +contents = %v", err)
+	}
+	sb2 := sandboxProc(t, p, map[string]*priv.Grant{
+		"/":           priv.NewGrant(priv.RLookup),
+		"/home":       priv.NewGrant(priv.RLookup),
+		"/home/alice": priv.NewGrant(priv.RLookup, priv.RContents),
+	})
+	fd2, _ := sb2.OpenAt(AtCWD, "/home/alice", ORead|ODirectory, 0)
+	names, err := sb2.ReadDir(fd2)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("readdir = %v, %v", names, err)
+	}
+	_ = k
+}
+
+func TestSymlinkCreationInSandbox(t *testing.T) {
+	_, p := testWorld(t, true)
+	sb := sandboxProc(t, p, map[string]*priv.Grant{
+		"/home/bob": priv.NewGrant(priv.RLookup),
+	})
+	if err := sb.SymlinkAt("target", AtCWD, "ln"); !errors.Is(err, errno.EACCES) {
+		t.Fatalf("symlink without +create-symlink = %v", err)
+	}
+	sb2 := sandboxProc(t, p, map[string]*priv.Grant{
+		"/home/bob": priv.NewGrant(priv.RLookup, priv.RCreateSymlink),
+	})
+	if err := sb2.SymlinkAt("target", AtCWD, "ln"); err != nil {
+		t.Fatalf("symlink with privilege: %v", err)
+	}
+}
+
+func TestRenameRequiresPrivileges(t *testing.T) {
+	k, p := testWorld(t, true)
+	if _, err := k.FS.WriteFile("/home/bob/f.txt", nil, 0o644, 1002, 1002); err != nil {
+		t.Fatal(err)
+	}
+	// Neither unlink-file on the dir nor rename on the object: denied.
+	sb := sandboxProc(t, p, map[string]*priv.Grant{
+		"/home/bob": priv.NewGrant(priv.RLookup, priv.RAddLink),
+	})
+	if err := sb.RenameAt(AtCWD, "f.txt", AtCWD, "g.txt"); !errors.Is(err, errno.EACCES) {
+		t.Fatalf("rename without privileges = %v", err)
+	}
+	// unlink-file on the directory suffices.
+	sb2 := sandboxProc(t, p, map[string]*priv.Grant{
+		"/home/bob": priv.NewGrant(priv.RLookup, priv.RAddLink, priv.RUnlinkFile),
+	})
+	if err := sb2.RenameAt(AtCWD, "f.txt", AtCWD, "g.txt"); err != nil {
+		t.Fatalf("rename with dir privilege: %v", err)
+	}
+	// Alternatively, +rename on the object itself.
+	if _, err := k.FS.WriteFile("/home/bob/h.txt", nil, 0o644, 1002, 1002); err != nil {
+		t.Fatal(err)
+	}
+	sb3 := sandboxProc(t, p, map[string]*priv.Grant{
+		"/home/bob":       priv.NewGrant(priv.RLookup, priv.RAddLink),
+		"/home/bob/h.txt": priv.NewGrant(priv.RRename),
+	})
+	if err := sb3.RenameAt(AtCWD, "h.txt", AtCWD, "i.txt"); err != nil {
+		t.Fatalf("rename with object privilege: %v", err)
+	}
+}
+
+func TestPathSyscallRequiresPathPrivilege(t *testing.T) {
+	_, p := testWorld(t, true)
+	sb := sandboxProc(t, p, map[string]*priv.Grant{
+		"/":                   priv.NewGrant(priv.RLookup),
+		"/home":               priv.NewGrant(priv.RLookup),
+		"/home/alice":         priv.NewGrant(priv.RLookup),
+		"/home/alice/dog.jpg": priv.NewGrant(priv.RRead),
+	})
+	fd, err := sb.OpenAt(AtCWD, "/home/alice/dog.jpg", ORead, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Path(fd); !errors.Is(err, errno.EACCES) {
+		t.Fatalf("path without +path = %v", err)
+	}
+}
+
+func TestSessionLogRecordsDenials(t *testing.T) {
+	_, p := testWorld(t, true)
+	child, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := child.ShillInit(SessionOptions{Logging: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.ShillEnter(); err != nil {
+		t.Fatal(err)
+	}
+	child.OpenAt(AtCWD, "/etc/passwd", ORead, 0) // denied
+	denials := child.Session().Log().Denials()
+	if len(denials) == 0 {
+		t.Fatal("denial not logged")
+	}
+	if denials[0].Kind.String() != "deny" {
+		t.Fatalf("kind = %v", denials[0].Kind)
+	}
+	if denials[0].String() == "" {
+		t.Fatal("empty log rendering")
+	}
+}
+
+func TestTruncateChecksMAC(t *testing.T) {
+	k, p := testWorld(t, true)
+	if _, err := k.FS.WriteFile("/home/bob/t.txt", []byte("data"), 0o666, 1002, 1002); err != nil {
+		t.Fatal(err)
+	}
+	sb := sandboxProc(t, p, map[string]*priv.Grant{
+		"/home/bob":       priv.NewGrant(priv.RLookup),
+		"/home/bob/t.txt": priv.NewGrant(priv.RWrite, priv.RAppend),
+	})
+	fd, err := sb.OpenAt(AtCWD, "t.txt", OWrite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Truncate(fd, 0); !errors.Is(err, errno.EACCES) {
+		t.Fatalf("truncate without +truncate = %v", err)
+	}
+	// O_TRUNC is checked at open too.
+	if _, err := sb.OpenAt(AtCWD, "t.txt", OWrite|OTrunc, 0); !errors.Is(err, errno.EACCES) {
+		t.Fatalf("O_TRUNC without +truncate = %v", err)
+	}
+}
+
+func TestChmodInSandbox(t *testing.T) {
+	k, p := testWorld(t, true)
+	if _, err := k.FS.WriteFile("/home/bob/m.txt", nil, 0o644, 1002, 1002); err != nil {
+		t.Fatal(err)
+	}
+	sb := sandboxProc(t, p, map[string]*priv.Grant{
+		"/home/bob":       priv.NewGrant(priv.RLookup),
+		"/home/bob/m.txt": priv.NewGrant(priv.RStat),
+	})
+	if err := sb.FChmodAt(AtCWD, "m.txt", 0o600); !errors.Is(err, errno.EACCES) {
+		t.Fatalf("chmod without +chmod = %v", err)
+	}
+	sb2 := sandboxProc(t, p, map[string]*priv.Grant{
+		"/home/bob":       priv.NewGrant(priv.RLookup),
+		"/home/bob/m.txt": priv.NewGrant(priv.RChmod),
+	})
+	if err := sb2.FChmodAt(AtCWD, "m.txt", 0o600); err != nil {
+		t.Fatalf("chmod with privilege: %v", err)
+	}
+	if mode := k.FS.MustResolve("/home/bob/m.txt").Mode(); mode != 0o600 {
+		t.Fatalf("mode = %o", mode)
+	}
+}
+
+func TestChownAndUtimes(t *testing.T) {
+	k, p := testWorld(t, true)
+	root := k.NewProc(0, 0)
+	if _, err := k.FS.WriteFile("/home/bob/o.txt", nil, 0o644, 1002, 1002); err != nil {
+		t.Fatal(err)
+	}
+	// Non-root chown: EPERM.
+	if err := p.FChownAt(AtCWD, "o.txt", 0, 0); !errors.Is(err, errno.EPERM) {
+		t.Fatalf("non-root chown = %v", err)
+	}
+	if err := root.FChownAt(AtCWD, "/home/bob/o.txt", 500, 500); err != nil {
+		t.Fatal(err)
+	}
+	uid, gid := k.FS.MustResolve("/home/bob/o.txt").Owner()
+	if uid != 500 || gid != 500 {
+		t.Fatalf("owner = %d:%d", uid, gid)
+	}
+	// Utimes: the new owner may touch; bob no longer may.
+	if err := p.UtimesAt(AtCWD, "o.txt"); !errors.Is(err, errno.EPERM) {
+		t.Fatalf("non-owner utimes = %v", err)
+	}
+	if err := root.UtimesAt(AtCWD, "/home/bob/o.txt"); err != nil {
+		t.Fatal(err)
+	}
+
+	// In a sandbox, chown/utimes demand their privileges.
+	if _, err := k.FS.WriteFile("/home/bob/s.txt", nil, 0o666, 1002, 1002); err != nil {
+		t.Fatal(err)
+	}
+	sb := sandboxProc(t, p, map[string]*priv.Grant{
+		"/home/bob":       priv.NewGrant(priv.RLookup),
+		"/home/bob/s.txt": priv.NewGrant(priv.RStat),
+	})
+	if err := sb.UtimesAt(AtCWD, "s.txt"); !errors.Is(err, errno.EACCES) {
+		t.Fatalf("sandbox utimes without +utimes = %v", err)
+	}
+	sb2 := sandboxProc(t, p, map[string]*priv.Grant{
+		"/home/bob":       priv.NewGrant(priv.RLookup),
+		"/home/bob/s.txt": priv.NewGrant(priv.RUtimes),
+	})
+	if err := sb2.UtimesAt(AtCWD, "s.txt"); err != nil {
+		t.Fatalf("sandbox utimes with privilege: %v", err)
+	}
+}
+
+func TestKernelPipeSyscalls(t *testing.T) {
+	_, p := testWorld(t, false)
+	r, w, err := p.MakePipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		p.Write(w, []byte("through the pipe"))
+		p.Close(w)
+	}()
+	buf := make([]byte, 32)
+	n, err := p.Read(r, buf)
+	if err != nil || string(buf[:n]) != "through the pipe" {
+		t.Fatalf("pipe read = %q, %v", buf[:n], err)
+	}
+	if n, _ := p.Read(r, buf); n != 0 {
+		t.Fatal("no EOF after writer close")
+	}
+	// Wrong-direction operations EBADF.
+	if _, err := p.Read(w, buf); !errors.Is(err, errno.EBADF) {
+		t.Fatal("read from write end")
+	}
+	if _, err := p.Write(r, []byte("x")); !errors.Is(err, errno.EBADF) {
+		t.Fatal("write to read end")
+	}
+}
+
+func TestStatThroughSyscalls(t *testing.T) {
+	_, p := testWorld(t, false)
+	st, err := p.FStatAt(AtCWD, "/home/alice/dog.jpg", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Type != vfs.TypeFile || st.Size != 8 || st.UID != 1001 {
+		t.Fatalf("stat = %+v", st)
+	}
+	fd, _ := p.OpenAt(AtCWD, "/home/alice/dog.jpg", ORead, 0)
+	st2, err := p.FStat(fd)
+	if err != nil || st2.Ino != st.Ino {
+		t.Fatalf("fstat = %+v, %v", st2, err)
+	}
+}
+
+func TestSysctlWriteRequiresRoot(t *testing.T) {
+	k, p := testWorld(t, false)
+	if err := p.SysctlSet("kern.ostype", "x"); !errors.Is(err, errno.EPERM) {
+		t.Fatalf("non-root sysctl write = %v", err)
+	}
+	root := k.NewProc(0, 0)
+	if err := root.SysctlSet("kern.custom", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := root.SysctlGet("kern.custom"); v != "1" {
+		t.Fatal("sysctl write lost")
+	}
+	if err := root.KenvSet("newvar", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.KldLoad("extra.ko"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range root.KldList() {
+		if m == "extra.ko" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("module not loaded")
+	}
+	if err := root.KldUnload("extra.ko"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.KldUnload("extra.ko"); !errors.Is(err, errno.ENOENT) {
+		t.Fatal("double unload succeeded")
+	}
+}
+
+func TestProcsSnapshotAndKill(t *testing.T) {
+	k, p := testWorld(t, false)
+	k.RegisterBinary("sleepy", func(p *Proc, argv []string) int {
+		<-p.Done()
+		return 0
+	})
+	vn, _ := k.FS.WriteFile("/bin/sleepy", []byte("#!bin:sleepy\n"), 0o755, 0, 0)
+	child, err := p.Spawn(vn, nil, SpawnAttr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := k.Procs()
+	found := false
+	for _, pid := range pids {
+		if pid == child.PID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("child missing from process table")
+	}
+	if err := p.Kill(child.PID()); err != nil {
+		t.Fatal(err)
+	}
+	code, err := p.Wait(child.PID())
+	if err != nil || code != 137 {
+		t.Fatalf("killed child = %d, %v", code, err)
+	}
+	if err := p.Kill(99999); !errors.Is(err, errno.ESRCH) {
+		t.Fatal("kill of missing pid")
+	}
+	if _, err := p.Wait(99999); !errors.Is(err, errno.ECHILD) {
+		t.Fatal("wait for non-child")
+	}
+}
+
+func TestMergeNoAmplifyUnionsPlainRights(t *testing.T) {
+	a := priv.NewGrant(priv.RRead)
+	b := priv.NewGrant(priv.RStat)
+	out := mergeNoAmplify(a, b)
+	if !out.Has(priv.RRead) || !out.Has(priv.RStat) {
+		t.Fatalf("plain rights not unioned: %v", out)
+	}
+	// Adopting a new deriving right keeps its modifier.
+	c := priv.NewGrant(priv.RLookup).WithDerived(priv.RLookup, priv.NewGrant(priv.RPath))
+	out = mergeNoAmplify(a, c)
+	if got := out.DerivedGrant(priv.RLookup); !got.Equal(priv.NewGrant(priv.RPath)) {
+		t.Fatalf("adopted modifier = %v", got)
+	}
+}
+
+func TestPolicyStats(t *testing.T) {
+	k, p := testWorld(t, true)
+	k.Policy.ResetStats()
+	sb := sandboxProc(t, p, map[string]*priv.Grant{
+		"/":           priv.NewGrant(priv.RLookup),
+		"/home":       priv.NewGrant(priv.RLookup),
+		"/home/alice": priv.GrantOf(priv.ReadOnlyDir),
+	})
+	fd, err := sb.OpenAt(AtCWD, "/home/alice/dog.jpg", ORead, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Read(fd, make([]byte, 4))
+	sb.OpenAt(AtCWD, "/etc/passwd", ORead, 0) // denied
+	st := k.Policy.Stats()
+	if st.Checks == 0 || st.Denials == 0 || st.Propagations == 0 || st.Grants == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,204 @@
+package lang
+
+// Node is any AST node; Line supports error reporting.
+type Node interface{ Pos() int }
+
+type base struct{ Line int }
+
+func (b base) Pos() int { return b.Line }
+
+// --- statements ---
+
+// Stmt is a statement node.
+type Stmt interface{ Node }
+
+// RequireStmt imports a module: require shill/native; or require "x.cap";
+type RequireStmt struct {
+	base
+	Module string // "shill/native" or a file name
+	IsFile bool
+}
+
+// ProvideStmt exports a binding under a contract:
+// provide find : {cur : ...} -> void;
+type ProvideStmt struct {
+	base
+	Name     string
+	Contract CExpr // nil means the trivial contract
+}
+
+// BindStmt is an immutable binding: name = expr;
+type BindStmt struct {
+	base
+	Name string
+	Expr Expr
+}
+
+// IfStmt is "if e then body [else body]".
+type IfStmt struct {
+	base
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// ForStmt is "for name in expr { body }".
+type ForStmt struct {
+	base
+	Var  string
+	Seq  Expr
+	Body []Stmt
+}
+
+// ExprStmt is a bare expression statement.
+type ExprStmt struct {
+	base
+	Expr Expr
+}
+
+// --- expressions ---
+
+// Expr is an expression node.
+type Expr interface{ Node }
+
+// Ident references a binding.
+type Ident struct {
+	base
+	Name string
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	base
+	Value string
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	base
+	Value float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	base
+	Value bool
+}
+
+// ListLit is [e1, e2, ...].
+type ListLit struct {
+	base
+	Elems []Expr
+}
+
+// FunLit is fun(a, b) { body }.
+type FunLit struct {
+	base
+	Params []string
+	Body   []Stmt
+}
+
+// CallExpr is f(a, b, name = v).
+type CallExpr struct {
+	base
+	Fn    Expr
+	Args  []Expr
+	Named []NamedArg
+}
+
+// NamedArg is a keyword argument in a call.
+type NamedArg struct {
+	Name string
+	Expr Expr
+}
+
+// UnaryExpr is !e or -e.
+type UnaryExpr struct {
+	base
+	Op string
+	X  Expr
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	base
+	Op   string
+	L, R Expr
+}
+
+// --- contract expressions ---
+
+// CExpr is a contract-language node.
+type CExpr interface{ Node }
+
+// CIdent references a contract binding (is_file, readonly, X, a
+// user-defined predicate, ...).
+type CIdent struct {
+	base
+	Name string
+}
+
+// CCap is file(+read, ...), dir(...), pipe(...), pipe_factory,
+// socket_factory(...).
+type CCap struct {
+	base
+	Kind  string // "file", "dir", "pipe", "pipe_factory", "socket_factory"
+	Privs []CPriv
+}
+
+// CPriv is one privilege inside a capability contract, optionally with a
+// derivation modifier: +lookup with {+path, +stat}.
+type CPriv struct {
+	Name string
+	With []CPriv // nil: inherit
+	// WithRef names a contract identifier after "with" (e.g. "with
+	// full_privileges"); mutually exclusive with With.
+	WithRef string
+}
+
+// COr is C1 \/ C2.
+type COr struct {
+	base
+	Branches []CExpr
+}
+
+// CAnd is C1 && C2.
+type CAnd struct {
+	base
+	Branches []CExpr
+}
+
+// CFunc is {a : C, b : C} -> R (Params) or X -> R (single anonymous
+// parameter).
+type CFunc struct {
+	base
+	Params []CParam
+	Named  []CParam
+	Result CExpr // nil = void
+}
+
+// CParam is one parameter of a function contract.
+type CParam struct {
+	Name string
+	C    CExpr
+}
+
+// CForall is forall X with {privs} . body.
+type CForall struct {
+	base
+	Var   string
+	Bound []CPriv
+	Body  CExpr
+}
+
+// CListOf is listof C.
+type CListOf struct {
+	base
+	Elem CExpr
+}
+
+// Script is a parsed SHILL script.
+type Script struct {
+	Dialect Dialect
+	Stmts   []Stmt
+}

@@ -1,0 +1,247 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/kernel"
+	"repro/internal/priv"
+)
+
+// fsProbe loads a module exporting probe : {root : full dir} -> any and
+// runs it against a fresh tree.
+func fsProbe(t *testing.T, body string, files map[string]string) (Value, error) {
+	t.Helper()
+	it := testInterp(t, MapLoader{"m.cap": `#lang shill/cap
+require shill/contracts;
+
+provide probe : {root : full_privileges && is_dir} -> any;
+
+probe = fun(root) {
+` + body + `
+};
+`})
+	k := it.Runtime.Kernel()
+	if _, err := k.FS.MkdirAll("/tree", 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for path, data := range files {
+		if _, err := k.FS.WriteFile("/tree"+path, []byte(data), 0o644, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := it.LoadModule("m.cap", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := cap.NewDir(it.Runtime, k.FS.MustResolve("/tree"), priv.FullGrant())
+	return m.Exports["probe"].(interface {
+		Call([]Value, map[string]Value) (Value, error)
+	}).Call([]Value{root}, nil)
+}
+
+func TestBuiltinFileOps(t *testing.T) {
+	got, err := fsProbe(t, `
+  f = lookup(root, "a.txt");
+  write(f, "fresh");
+  append(f, "+more");
+  read(f);`, map[string]string{"/a.txt": "old"})
+	if err != nil || got != "fresh+more" {
+		t.Fatalf("file ops = %v, %v", got, err)
+	}
+}
+
+func TestBuiltinCreateUnlinkRename(t *testing.T) {
+	got, err := fsProbe(t, `
+  d = create_dir(root, "sub");
+  f = create_file(d, "x.txt");
+  write(f, "data");
+  link(d, "alias", f);
+  rename(d, "x.txt", d, "y.txt");
+  a = read(lookup(d, "alias"));
+  b = read(lookup(d, "y.txt"));
+  unlink(d, "alias");
+  unlink(d, "y.txt");
+  unlink(root, "sub");
+  a + "/" + b;`, nil)
+	if err != nil || got != "data/data" {
+		t.Fatalf("create/unlink/rename = %v, %v", got, err)
+	}
+}
+
+func TestBuiltinMetadata(t *testing.T) {
+	got, err := fsProbe(t, `
+  f = lookup(root, "a.txt");
+  name(f) + ":" + size(f) + ":" + path(f) + ":" + to_string(has_ext(f, "txt"));`,
+		map[string]string{"/a.txt": "12345"})
+	if err != nil || got != "a.txt:5:/tree/a.txt:true" {
+		t.Fatalf("metadata = %v, %v", got, err)
+	}
+}
+
+func TestBuiltinSymlinkOps(t *testing.T) {
+	got, err := fsProbe(t, `
+  create_symlink(root, "ln", "a.txt");
+  target = read_symlink(root, "ln");
+  read(target);`, map[string]string{"/a.txt": "via-link"})
+	if err != nil || got != "via-link" {
+		t.Fatalf("symlink ops = %v, %v", got, err)
+	}
+}
+
+func TestBuiltinUnlinkCap(t *testing.T) {
+	got, err := fsProbe(t, `
+  f = lookup(root, "a.txt");
+  unlink_cap(root, "a.txt", f);
+  is_syserror(lookup(root, "a.txt"));`, map[string]string{"/a.txt": "x"})
+	if err != nil || got != true {
+		t.Fatalf("unlink_cap = %v, %v", got, err)
+	}
+}
+
+func TestBuiltinPipes(t *testing.T) {
+	it := testInterp(t, MapLoader{"m.cap": `#lang shill/cap
+
+provide probe : {pf : pipe_factory} -> any;
+
+probe = fun(pf) {
+  ends = create_pipe(pf);
+  r = nth(ends, 0);
+  w = nth(ends, 1);
+  append(w, "ping");
+  msg = read(r);
+  close(w);
+  close(r);
+  msg;
+};
+`})
+	m, err := it.LoadModule("m.cap", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := cap.NewPipeFactory(it.Runtime)
+	got, err := m.Exports["probe"].(interface {
+		Call([]Value, map[string]Value) (Value, error)
+	}).Call([]Value{pf}, nil)
+	if err != nil || got != "ping" {
+		t.Fatalf("pipes = %v, %v", got, err)
+	}
+}
+
+func TestBuiltinTypeErrors(t *testing.T) {
+	cases := []string{
+		`read(42);`,
+		`lookup(root, 42);`,
+		`append(lookup(root, "a.txt"), 42);`,
+		`has_ext(root, 42);`,
+		`create_file(root, 42);`,
+		`split("a", 1);`,
+		`nth("not a list", 0);`,
+		`length(42);`,
+		`strlen(42);`,
+	}
+	for _, body := range cases {
+		if _, err := fsProbe(t, body, map[string]string{"/a.txt": "x"}); err == nil {
+			t.Errorf("%q did not error", body)
+		}
+	}
+	// Kind mismatches on capabilities yield syserror values, not fatal
+	// errors: scripts can probe and recover (Figure 3's is_syserror).
+	got, err := fsProbe(t, `is_syserror(write(root, "x"));`, nil)
+	if err != nil || got != true {
+		t.Fatalf("write on a dir = %v, %v; want syserror value", got, err)
+	}
+}
+
+func TestExecArgumentValidation(t *testing.T) {
+	it := testInterp(t, MapLoader{"m.cap": `#lang shill/cap
+
+provide bad_argv : {f : file(+exec, +read, +path)} -> any;
+provide bad_named : {f : file(+exec, +read, +path)} -> any;
+
+bad_argv = fun(f) { exec(f, "not-a-list"); };
+bad_named = fun(f) { exec(f, [], extras = "not-a-list"); };
+`})
+	k := it.Runtime.Kernel()
+	k.RegisterBinary("true", func(p *kernel.Proc, argv []string) int { return 0 })
+	if _, err := k.FS.WriteFile("/bin/true", []byte("#!bin:true\n"), 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := it.LoadModule("m.cap", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe := cap.NewFile(it.Runtime, k.FS.MustResolve("/bin/true"), priv.FullGrant())
+	for _, name := range []string{"bad_argv", "bad_named"} {
+		if _, err := m.Exports[name].(interface {
+			Call([]Value, map[string]Value) (Value, error)
+		}).Call([]Value{exe}, nil); err == nil {
+			t.Errorf("%s did not error", name)
+		}
+	}
+}
+
+func TestAmbientOpenFailuresAreSyserrors(t *testing.T) {
+	it := testInterp(t, MapLoader{})
+	err := it.RunAmbient("m.ambient", `#lang shill/ambient
+missing = open_file("/no/such/file");
+wrong = open_dir("/home/user/nonexistent");
+`)
+	// Ambient opens of missing paths yield syserror values, not fatal
+	// errors; binding them is fine.
+	if err != nil {
+		t.Fatalf("ambient open failures should be values: %v", err)
+	}
+}
+
+func TestSealedOpsThroughBuiltins(t *testing.T) {
+	// has_ext and name work on sealed capabilities; read beyond the
+	// bound does not.
+	it := testInterp(t, MapLoader{"m.cap": `#lang shill/cap
+
+provide walk :
+  forall X with {+lookup, +contents} .
+  {cur : X} -> is_string;
+
+walk = fun(cur) {
+  names = contents(cur);
+  n = nth(names, 0);
+  child = lookup(cur, n);
+  name(child);
+};
+`})
+	k := it.Runtime.Kernel()
+	if _, err := k.FS.WriteFile("/tree/only.txt", []byte("x"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := it.LoadModule("m.cap", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := cap.NewDir(it.Runtime, k.FS.MustResolve("/tree"), priv.FullGrant())
+	got, err := m.Exports["walk"].(interface {
+		Call([]Value, map[string]Value) (Value, error)
+	}).Call([]Value{root}, nil)
+	if err != nil || got != "only.txt" {
+		t.Fatalf("sealed walk = %v, %v", got, err)
+	}
+}
+
+func TestViolationMessagesNameTheParty(t *testing.T) {
+	it := testInterp(t, MapLoader{"m.cap": `#lang shill/cap
+
+provide f : {n : is_num} -> is_num;
+f = fun(n) { "not a number"; };
+`})
+	m, err := it.LoadModule("m.cap", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Exports["f"].(interface {
+		Call([]Value, map[string]Value) (Value, error)
+	}).Call([]Value{1.0}, nil)
+	if err == nil || !strings.Contains(err.Error(), "m.cap") {
+		t.Fatalf("postcondition violation should blame the module: %v", err)
+	}
+}

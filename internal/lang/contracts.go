@@ -1,0 +1,248 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/contract"
+	"repro/internal/priv"
+)
+
+// polarity tracks which way values flow relative to the protected
+// function body, determining whether a polymorphic variable occurrence
+// seals (inbound) or unseals (outbound) — §2.4.2's dynamic sealing.
+type polarity int
+
+const (
+	polarityOut polarity = iota // value flows out of the body
+	polarityIn                  // value flows into the body
+)
+
+func (p polarity) flip() polarity {
+	if p == polarityIn {
+		return polarityOut
+	}
+	return polarityIn
+}
+
+// polyPair carries the seal/unseal contract pair for one quantified
+// variable.
+type polyPair struct {
+	seal, unseal contract.Contract
+}
+
+// evalContract converts a contract AST into a contract value.
+func (it *Interp) evalContract(ce CExpr, env *Env, pol polarity, polys map[string]polyPair) (contract.Contract, error) {
+	switch c := ce.(type) {
+	case *CIdent:
+		if pair, ok := polys[c.Name]; ok {
+			if pol == polarityIn {
+				return pair.seal, nil
+			}
+			return pair.unseal, nil
+		}
+		switch c.Name {
+		case "void":
+			return contract.Void, nil
+		case "any":
+			return contract.Any, nil
+		case "native_wallet":
+			return contract.NativeWallet, nil
+		}
+		v, ok := env.Lookup(c.Name)
+		if !ok {
+			return nil, fmt.Errorf("line %d: unbound contract %q", c.Pos(), c.Name)
+		}
+		switch t := v.(type) {
+		case contract.Contract:
+			return t, nil
+		case contract.Callable:
+			// A user-defined predicate written in SHILL (§2.4.2).
+			return userPred(c.Name, t), nil
+		default:
+			return nil, fmt.Errorf("line %d: %q is not a contract", c.Pos(), c.Name)
+		}
+	case *CCap:
+		grant, err := privGrant(c.Privs)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", c.Pos(), err)
+		}
+		var mask contract.CapKindMask
+		switch c.Kind {
+		case "file":
+			mask = contract.MaskFile
+		case "dir":
+			mask = contract.MaskDir
+		case "pipe":
+			mask = contract.MaskPipe
+		case "pipe_factory":
+			mask = contract.MaskPipeFactory
+		case "socket_factory":
+			mask = contract.MaskSocketFactory
+		default:
+			return nil, fmt.Errorf("line %d: unknown capability contract %q", c.Pos(), c.Kind)
+		}
+		if len(c.Privs) == 0 {
+			// Bare factory contracts demand only their own privilege
+			// family; pipe factories carry no checked privileges.
+			switch c.Kind {
+			case "socket_factory":
+				grant = priv.GrantOf(priv.AllSock)
+			default:
+				grant = nil // kind check only
+			}
+		}
+		return &contract.CapC{Mask: mask, Grant: grant}, nil
+	case *COr:
+		var branches []contract.Contract
+		for _, b := range c.Branches {
+			bc, err := it.evalContract(b, env, pol, polys)
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, bc)
+		}
+		return &contract.OrC{Branches: branches}, nil
+	case *CAnd:
+		var branches []contract.Contract
+		for _, b := range c.Branches {
+			bc, err := it.evalContract(b, env, pol, polys)
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, bc)
+		}
+		return &contract.AndC{Branches: branches}, nil
+	case *CListOf:
+		elem, err := it.evalContract(c.Elem, env, pol, polys)
+		if err != nil {
+			return nil, err
+		}
+		return &contract.ListC{Elem: elem}, nil
+	case *CFunc:
+		return it.evalFuncContract(c, env, pol, polys)
+	case *CForall:
+		bound, err := privGrant(c.Bound)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", c.Pos(), err)
+		}
+		bodyFn, ok := c.Body.(*CFunc)
+		if !ok {
+			return nil, fmt.Errorf("line %d: forall body must be a function contract", c.Pos())
+		}
+		// Validate eagerly so later instantiations cannot fail.
+		dummy := polyPair{seal: contract.Any, unseal: contract.Any}
+		valPolys := withPoly(polys, c.Var, dummy)
+		if _, err := it.evalFuncContract(bodyFn, env, pol, valPolys); err != nil {
+			return nil, err
+		}
+		captured := polys
+		return &contract.PolyC{
+			Var:   c.Var,
+			Bound: bound,
+			Body: func(sealVar, unsealVar contract.Contract) *contract.FuncC {
+				pp := withPoly(captured, c.Var, polyPair{seal: sealVar, unseal: unsealVar})
+				fc, err := it.evalFuncContract(bodyFn, env, polarityOut, pp)
+				if err != nil {
+					// Unreachable: validated above.
+					panic("lang: forall body re-evaluation failed: " + err.Error())
+				}
+				return fc
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown contract node %T", ce)
+}
+
+func withPoly(polys map[string]polyPair, name string, pair polyPair) map[string]polyPair {
+	out := make(map[string]polyPair, len(polys)+1)
+	for k, v := range polys {
+		out[k] = v
+	}
+	out[name] = pair
+	return out
+}
+
+func (it *Interp) evalFuncContract(c *CFunc, env *Env, pol polarity, polys map[string]polyPair) (*contract.FuncC, error) {
+	fc := &contract.FuncC{}
+	for _, p := range c.Params {
+		// Arguments flow opposite to the function value itself.
+		pc, err := it.evalContract(p.C, env, pol.flip(), polys)
+		if err != nil {
+			return nil, err
+		}
+		fc.Params = append(fc.Params, contract.Param{Name: p.Name, C: pc})
+	}
+	for _, p := range c.Named {
+		pc, err := it.evalContract(p.C, env, pol.flip(), polys)
+		if err != nil {
+			return nil, err
+		}
+		if fc.Named == nil {
+			fc.Named = make(map[string]contract.Contract)
+		}
+		fc.Named[p.Name] = pc
+	}
+	if c.Result != nil {
+		if id, ok := c.Result.(*CIdent); !ok || id.Name != "void" {
+			rc, err := it.evalContract(c.Result, env, pol, polys)
+			if err != nil {
+				return nil, err
+			}
+			fc.Result = rc
+		} else {
+			fc.Result = contract.Void
+		}
+	}
+	return fc, nil
+}
+
+// userPred wraps a SHILL function as a flat contract: the function is
+// called with the value and must return a boolean.
+func userPred(name string, fn contract.Callable) contract.Contract {
+	return &contract.Pred{Name: name, Fn: func(v contract.Value) bool {
+		out, err := fn.Call([]contract.Value{v}, nil)
+		if err != nil {
+			return false
+		}
+		b, ok := out.(bool)
+		return ok && b
+	}}
+}
+
+// privGrant converts privilege syntax (+read, +lookup with {...}) into a
+// Grant. Privilege names written with underscores map onto the paper's
+// hyphenated spelling (+create_file → create-file).
+func privGrant(privs []CPriv) (*priv.Grant, error) {
+	g := &priv.Grant{}
+	for _, p := range privs {
+		r, err := priv.ParseRight(strings.ReplaceAll(p.Name, "_", "-"))
+		if err != nil {
+			return nil, err
+		}
+		g.Rights = g.Rights.Add(r)
+		switch {
+		case p.With != nil:
+			sub, err := privGrant(p.With)
+			if err != nil {
+				return nil, err
+			}
+			if !r.Deriving() {
+				return nil, fmt.Errorf("privilege +%s does not take a with-modifier", p.Name)
+			}
+			if g.Derived == nil {
+				g.Derived = make(map[priv.Right]*priv.Grant)
+			}
+			g.Derived[r] = sub
+		case p.WithRef != "":
+			if p.WithRef != "full_privileges" {
+				return nil, fmt.Errorf("unknown with-reference %q (only full_privileges is supported)", p.WithRef)
+			}
+			if g.Derived == nil {
+				g.Derived = make(map[priv.Right]*priv.Grant)
+			}
+			g.Derived[r] = priv.FullGrant()
+		}
+	}
+	return g, nil
+}

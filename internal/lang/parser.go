@@ -1,0 +1,682 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse lexes and parses a complete script (including its #lang line).
+func Parse(src string) (*Script, error) {
+	dialect, body, err := SplitLang(src)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := Lex(body)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.at(TEOF) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return &Script{Dialect: dialect, Stmts: stmts}, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) at(kind TokKind) bool { return p.cur().Kind == kind }
+
+func (p *parser) is(text string) bool { return p.cur().Is(text) }
+
+func (p *parser) advance() Token {
+	t := p.cur()
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(text string) (Token, error) {
+	if !p.is(text) {
+		return p.cur(), p.errf("expected %q, found %s", text, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{t.Line, t.Col, fmt.Sprintf(format, args...)}
+}
+
+// --- statements ---
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Is("require"):
+		return p.requireStmt()
+	case t.Is("provide"):
+		return p.provideStmt()
+	case t.Is("if"):
+		return p.ifStmt()
+	case t.Is("for"):
+		return p.forStmt()
+	case t.Kind == TIdent && p.peek().Is("="):
+		name := p.advance().Text
+		p.advance() // '='
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BindStmt{base{t.Line}, name, e}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{base{t.Line}, e}, nil
+	}
+}
+
+func (p *parser) requireStmt() (Stmt, error) {
+	t := p.advance() // require
+	if p.at(TString) {
+		name := p.advance().Text
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &RequireStmt{base{t.Line}, name, true}, nil
+	}
+	// Module path: ident ("/" ident)*
+	if !p.at(TIdent) {
+		return nil, p.errf("require expects a module path or string, found %s", p.cur())
+	}
+	var parts []string
+	parts = append(parts, p.advance().Text)
+	for p.is("/") {
+		p.advance()
+		if !p.at(TIdent) {
+			return nil, p.errf("malformed module path")
+		}
+		parts = append(parts, p.advance().Text)
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &RequireStmt{base{t.Line}, strings.Join(parts, "/"), false}, nil
+}
+
+func (p *parser) provideStmt() (Stmt, error) {
+	t := p.advance() // provide
+	if !p.at(TIdent) {
+		return nil, p.errf("provide expects a name, found %s", p.cur())
+	}
+	name := p.advance().Text
+	var c CExpr
+	if p.is(":") {
+		p.advance()
+		var err error
+		c, err = p.contractExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &ProvideStmt{base{t.Line}, name, c}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.advance() // if
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("then"); err != nil {
+		return nil, err
+	}
+	thenBody, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	var elseBody []Stmt
+	if p.is("else") {
+		p.advance()
+		elseBody, err = p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{base{t.Line}, cond, thenBody, elseBody}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.advance() // for
+	if !p.at(TIdent) {
+		return nil, p.errf("for expects a variable name")
+	}
+	name := p.advance().Text
+	if _, err := p.expect("in"); err != nil {
+		return nil, err
+	}
+	seq, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{base{t.Line}, name, seq, body}, nil
+}
+
+func (p *parser) blockOrStmt() ([]Stmt, error) {
+	if p.is("{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.is("}") && !p.at(TEOF) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return stmts, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("||") {
+		t := p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{base{t.Line}, "||", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.eqExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("&&") {
+		t := p.advance()
+		r, err := p.eqExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{base{t.Line}, "&&", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) eqExpr() (Expr, error) {
+	l, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("==") || p.is("!=") {
+		t := p.advance()
+		r, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{base{t.Line}, t.Text, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("<") || p.is(">") || p.is("<=") || p.is(">=") {
+		t := p.advance()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{base{t.Line}, t.Text, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("+") || p.is("-") || p.is("++") {
+		t := p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{base{t.Line}, t.Text, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("*") || p.is("/") {
+		t := p.advance()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{base{t.Line}, t.Text, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.is("!") || p.is("-") {
+		t := p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{base{t.Line}, t.Text, x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("(") {
+		t := p.advance()
+		var args []Expr
+		var named []NamedArg
+		for !p.is(")") {
+			if p.at(TIdent) && p.peek().Is("=") {
+				name := p.advance().Text
+				p.advance() // '='
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				named = append(named, NamedArg{name, v})
+			} else {
+				if len(named) > 0 {
+					return nil, p.errf("positional argument after named argument")
+				}
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, v)
+			}
+			if p.is(",") {
+				p.advance()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		e = &CallExpr{base{t.Line}, e, args, named}
+	}
+	return e, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TNumber:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &NumberLit{base{t.Line}, v}, nil
+	case t.Kind == TString:
+		p.advance()
+		return &StringLit{base{t.Line}, t.Text}, nil
+	case t.Is("true"):
+		p.advance()
+		return &BoolLit{base{t.Line}, true}, nil
+	case t.Is("false"):
+		p.advance()
+		return &BoolLit{base{t.Line}, false}, nil
+	case t.Kind == TIdent:
+		p.advance()
+		return &Ident{base{t.Line}, t.Text}, nil
+	case t.Is("["):
+		p.advance()
+		var elems []Expr
+		for !p.is("]") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if p.is(",") {
+				p.advance()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		return &ListLit{base{t.Line}, elems}, nil
+	case t.Is("("):
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Is("fun"):
+		p.advance()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var params []string
+		for !p.is(")") {
+			if !p.at(TIdent) {
+				return nil, p.errf("expected parameter name, found %s", p.cur())
+			}
+			params = append(params, p.advance().Text)
+			if p.is(",") {
+				p.advance()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &FunLit{base{t.Line}, params, body}, nil
+	}
+	return nil, p.errf("unexpected %s", t)
+}
+
+// --- contract expressions ---
+
+func (p *parser) contractExpr() (CExpr, error) {
+	if p.is("forall") {
+		t := p.advance()
+		if !p.at(TIdent) {
+			return nil, p.errf("forall expects a variable name")
+		}
+		v := p.advance().Text
+		if _, err := p.expect("with"); err != nil {
+			return nil, err
+		}
+		bound, err := p.privSet()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("."); err != nil {
+			return nil, err
+		}
+		body, err := p.contractExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &CForall{base{t.Line}, v, bound, body}, nil
+	}
+	return p.contractOr()
+}
+
+func (p *parser) contractOr() (CExpr, error) {
+	l, err := p.contractAnd()
+	if err != nil {
+		return nil, err
+	}
+	if !p.is("\\/") {
+		return l, nil
+	}
+	branches := []CExpr{l}
+	for p.is("\\/") {
+		p.advance()
+		r, err := p.contractAnd()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, r)
+	}
+	return &COr{base{l.Pos()}, branches}, nil
+}
+
+func (p *parser) contractAnd() (CExpr, error) {
+	l, err := p.contractArrow()
+	if err != nil {
+		return nil, err
+	}
+	if !p.is("&&") {
+		return l, nil
+	}
+	branches := []CExpr{l}
+	for p.is("&&") {
+		p.advance()
+		r, err := p.contractArrow()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, r)
+	}
+	return &CAnd{base{l.Pos()}, branches}, nil
+}
+
+// contractArrow parses an atom possibly followed by "-> result": the
+// single-parameter function contract sugar (X -> is_bool).
+func (p *parser) contractArrow() (CExpr, error) {
+	atom, err := p.contractAtom()
+	if err != nil {
+		return nil, err
+	}
+	if !p.is("->") {
+		return atom, nil
+	}
+	p.advance()
+	res, err := p.contractArrow()
+	if err != nil {
+		return nil, err
+	}
+	return &CFunc{base{atom.Pos()}, []CParam{{Name: "_", C: atom}}, nil, res}, nil
+}
+
+func (p *parser) contractAtom() (CExpr, error) {
+	t := p.cur()
+	switch {
+	case t.Is("{"):
+		return p.funcContract()
+	case t.Is("("):
+		p.advance()
+		c, err := p.contractExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case t.Is("listof"):
+		p.advance()
+		elem, err := p.contractAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &CListOf{base{t.Line}, elem}, nil
+	case t.Kind == TIdent:
+		name := p.advance().Text
+		switch name {
+		case "file", "dir", "pipe", "socket_factory", "pipe_factory":
+			if p.is("(") {
+				p.advance()
+				privs, err := p.privList()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				return &CCap{base{t.Line}, name, privs}, nil
+			}
+			if name == "pipe_factory" || name == "socket_factory" {
+				return &CCap{base{t.Line}, name, nil}, nil
+			}
+			return &CIdent{base{t.Line}, "is_" + name}, nil
+		default:
+			return &CIdent{base{t.Line}, name}, nil
+		}
+	case t.Is("void"):
+		p.advance()
+		return &CIdent{base{t.Line}, "void"}, nil
+	}
+	return nil, p.errf("unexpected %s in contract", t)
+}
+
+// funcContract parses {a : C, b : C} and, if followed by ->, the result.
+// A bare {a : C} without an arrow is a syntax error — function contracts
+// always state a postcondition (§2.2).
+func (p *parser) funcContract() (CExpr, error) {
+	t := p.cur()
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var params []CParam
+	for !p.is("}") {
+		if !p.at(TIdent) {
+			return nil, p.errf("expected parameter name in function contract, found %s", p.cur())
+		}
+		name := p.advance().Text
+		if _, err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		c, err := p.contractExpr()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, CParam{name, c})
+		if p.is(",") {
+			p.advance()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("->"); err != nil {
+		return nil, err
+	}
+	res, err := p.contractExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CFunc{base{t.Line}, params, nil, res}, nil
+}
+
+// privList parses +a, +b with {...}, +c with ident, ...
+func (p *parser) privList() ([]CPriv, error) {
+	var privs []CPriv
+	for {
+		if !p.is("+") {
+			return nil, p.errf("expected privilege (+name), found %s", p.cur())
+		}
+		p.advance()
+		if !p.at(TIdent) && p.cur().Kind != TKeyword {
+			return nil, p.errf("expected privilege name, found %s", p.cur())
+		}
+		name := p.advance().Text
+		pr := CPriv{Name: name}
+		if p.is("with") {
+			p.advance()
+			if p.is("{") {
+				sub, err := p.privSet()
+				if err != nil {
+					return nil, err
+				}
+				pr.With = sub
+			} else if p.at(TIdent) {
+				pr.WithRef = p.advance().Text
+			} else {
+				return nil, p.errf("expected privilege set or identifier after with")
+			}
+		}
+		privs = append(privs, pr)
+		if p.is(",") {
+			p.advance()
+			continue
+		}
+		return privs, nil
+	}
+}
+
+// privSet parses {+a, +b, ...}.
+func (p *parser) privSet() ([]CPriv, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	privs, err := p.privList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return privs, nil
+}

@@ -1,0 +1,86 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds the parser random strings and random
+// token-shaped soup: it must return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	fn := func(raw string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", raw, r)
+			}
+		}()
+		Parse(raw)
+		Parse("#lang shill/cap\n" + raw)
+		Parse("#lang shill/ambient\n" + raw)
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserTokenSoup builds inputs from the language's own token
+// vocabulary, which reaches much deeper into the parser than random
+// bytes.
+func TestParserTokenSoup(t *testing.T) {
+	vocab := []string{
+		"provide", "require", "fun", "if", "then", "else", "for", "in",
+		"forall", "with", "true", "false", "listof",
+		"x", "file", "dir", "is_file", "\"s\"", "42",
+		"(", ")", "{", "}", "[", "]", ",", ";", ":", "=", "->", "+",
+		"-", "*", "/", "&&", "||", "!", "\\/", ".", "<", ">",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(40)
+		var b strings.Builder
+		b.WriteString("#lang shill/cap\n")
+		for j := 0; j < n; j++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			b.WriteByte(' ')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", b.String(), r)
+				}
+			}()
+			Parse(b.String())
+		}()
+	}
+}
+
+// TestLexerNeverPanics covers the tokenizer alone.
+func TestLexerNeverPanics(t *testing.T) {
+	fn := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", raw, r)
+			}
+		}()
+		Lex(string(raw))
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeepNestingTerminates guards the recursive-descent parser against
+// pathological nesting (it may error, but must return).
+func TestDeepNestingTerminates(t *testing.T) {
+	depth := 2000
+	src := "#lang shill/cap\nx = " + strings.Repeat("(", depth) + "1" +
+		strings.Repeat(")", depth) + ";\n"
+	if _, err := Parse(src); err != nil {
+		// An error is acceptable; hanging or crashing is not.
+		t.Logf("deep nesting rejected: %v", err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package lang implements the SHILL language (§2, §3.1): a lexer,
+// parser, and evaluator for the two dialects — capability-safe scripts
+// (#lang shill/cap) and ambient scripts (#lang shill/ambient) — plus the
+// contract sub-language that annotates provided functions.
+//
+// Capability safety is achieved exactly as the paper describes (§3.1.2):
+// the language has no mutable variables, capabilities are not
+// serialisable, resource access flows only through capability-consuming
+// builtins, and the ambient dialect is restricted to straight-line code
+// that mints capabilities and invokes capability-safe scripts.
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TKeyword
+	TString
+	TNumber
+	TPunct
+)
+
+// Token is one lexed token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TEOF:
+		return "end of script"
+	case TString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// Is reports whether the token is the given punctuation or keyword.
+func (t Token) Is(text string) bool {
+	return (t.Kind == TPunct || t.Kind == TKeyword) && t.Text == text
+}
+
+var keywords = map[string]bool{
+	"provide": true, "require": true, "fun": true,
+	"if": true, "then": true, "else": true,
+	"for": true, "in": true,
+	"forall": true, "with": true,
+	"true": true, "false": true,
+	"listof": true,
+}
+
+// multi-character punctuation, longest first.
+var punct2 = []string{"->", "==", "!=", "<=", ">=", "&&", "||", "\\/", "++"}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes a script body (after the #lang line has been stripped).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for j := 0; j < n; j++ {
+			if i+j < len(src) && src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '"':
+			startLine, startCol := line, col
+			advance(1)
+			var b strings.Builder
+			for i < len(src) && src[i] != '"' {
+				if src[i] == '\\' && i+1 < len(src) {
+					switch src[i+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '"':
+						b.WriteByte('"')
+					case '\\':
+						b.WriteByte('\\')
+					default:
+						b.WriteByte(src[i+1])
+					}
+					advance(2)
+					continue
+				}
+				b.WriteByte(src[i])
+				advance(1)
+			}
+			if i >= len(src) {
+				return nil, &SyntaxError{startLine, startCol, "unterminated string"}
+			}
+			advance(1)
+			toks = append(toks, Token{TString, b.String(), startLine, startCol})
+		case c >= '0' && c <= '9':
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, Token{TNumber, src[i:j], startLine, startCol})
+			advance(j - i)
+		case isIdentStart(c):
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			text := src[i:j]
+			kind := TIdent
+			if keywords[text] {
+				kind = TKeyword
+			}
+			toks = append(toks, Token{kind, text, startLine, startCol})
+			advance(j - i)
+		default:
+			startLine, startCol := line, col
+			matched := false
+			for _, p := range punct2 {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{TPunct, p, startLine, startCol})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("(){}[],;:=+-*/<>!.", rune(c)) {
+				toks = append(toks, Token{TPunct, string(c), startLine, startCol})
+				advance(1)
+				continue
+			}
+			return nil, &SyntaxError{line, col, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, Token{TEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// Dialect distinguishes the two SHILL languages.
+type Dialect int
+
+// Dialects.
+const (
+	DialectCap Dialect = iota
+	DialectAmbient
+)
+
+func (d Dialect) String() string {
+	if d == DialectAmbient {
+		return "shill/ambient"
+	}
+	return "shill/cap"
+}
+
+// SplitLang extracts the #lang line from a script, returning the dialect
+// and the remaining body. Scripts without a #lang line default to the
+// capability-safe dialect.
+func SplitLang(src string) (Dialect, string, error) {
+	trimmed := strings.TrimLeft(src, " \t\r\n")
+	if !strings.HasPrefix(trimmed, "#lang") {
+		return DialectCap, src, nil
+	}
+	nl := strings.IndexByte(trimmed, '\n')
+	header := trimmed
+	rest := ""
+	if nl >= 0 {
+		header = trimmed[:nl]
+		rest = trimmed[nl+1:]
+	}
+	switch strings.TrimSpace(strings.TrimPrefix(header, "#lang")) {
+	case "shill/cap":
+		return DialectCap, rest, nil
+	case "shill/ambient":
+		return DialectAmbient, rest, nil
+	default:
+		return DialectCap, "", fmt.Errorf("lang: unknown dialect in %q", header)
+	}
+}

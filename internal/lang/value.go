@@ -1,0 +1,201 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/cap"
+	"repro/internal/contract"
+	"repro/internal/wallet"
+)
+
+// Value is any SHILL runtime value: nil (void), bool, float64, string,
+// []Value, *cap.Capability, *contract.Sealed, *wallet.Wallet,
+// contract.Callable, contract.Contract, or SysError.
+type Value = contract.Value
+
+// SysError is an error-as-value: fallible builtins like lookup return it
+// instead of aborting, so scripts can test with is_syserror (Figure 3).
+type SysError struct{ Err error }
+
+func (e SysError) String() string { return "syserror: " + e.Err.Error() }
+
+// Env is a lexical environment. Bindings are immutable: SHILL "does not
+// have mutable variables" (§2.1); defining a name twice in one scope is
+// an error, while inner scopes may shadow outer ones.
+type Env struct {
+	parent *Env
+	vars   map[string]Value
+}
+
+// NewEnv creates an environment with the given parent.
+func NewEnv(parent *Env) *Env {
+	return &Env{parent: parent, vars: make(map[string]Value)}
+}
+
+// Define binds a name, failing on rebinding within the same scope.
+func (e *Env) Define(name string, v Value) error {
+	if _, exists := e.vars[name]; exists {
+		return fmt.Errorf("duplicate definition of %q (SHILL bindings are immutable)", name)
+	}
+	e.vars[name] = v
+	return nil
+}
+
+// Lookup resolves a name through the scope chain.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Closure is a user-defined SHILL function.
+type Closure struct {
+	name   string
+	params []string
+	body   []Stmt
+	env    *Env
+	interp *Interp
+}
+
+// FuncName implements contract.Callable.
+func (c *Closure) FuncName() string {
+	if c.name == "" {
+		return "<anonymous function>"
+	}
+	return c.name
+}
+
+// Call implements contract.Callable.
+func (c *Closure) Call(args []Value, named map[string]Value) (Value, error) {
+	if len(named) > 0 {
+		return nil, fmt.Errorf("%s does not accept named arguments", c.FuncName())
+	}
+	if len(args) != len(c.params) {
+		return nil, fmt.Errorf("%s expects %d arguments, got %d", c.FuncName(), len(c.params), len(args))
+	}
+	frame := NewEnv(c.env)
+	for i, p := range c.params {
+		if err := frame.Define(p, args[i]); err != nil {
+			return nil, err
+		}
+	}
+	return c.interp.evalBlock(c.body, frame)
+}
+
+// Builtin is a native function exposed to scripts.
+type Builtin struct {
+	Name    string
+	MinArgs int
+	MaxArgs int // -1: variadic
+	// NamedOK lists accepted named arguments; nil means none.
+	NamedOK []string
+	Fn      func(it *Interp, args []Value, named map[string]Value) (Value, error)
+
+	interp *Interp
+}
+
+// FuncName implements contract.Callable.
+func (b *Builtin) FuncName() string { return b.Name }
+
+// Call implements contract.Callable.
+func (b *Builtin) Call(args []Value, named map[string]Value) (Value, error) {
+	if len(args) < b.MinArgs || (b.MaxArgs >= 0 && len(args) > b.MaxArgs) {
+		if b.MaxArgs == b.MinArgs {
+			return nil, fmt.Errorf("%s expects %d arguments, got %d", b.Name, b.MinArgs, len(args))
+		}
+		return nil, fmt.Errorf("%s expects %d-%d arguments, got %d", b.Name, b.MinArgs, b.MaxArgs, len(args))
+	}
+	for name := range named {
+		ok := false
+		for _, allowed := range b.NamedOK {
+			if name == allowed {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("%s does not accept named argument %q", b.Name, name)
+		}
+	}
+	return b.Fn(b.interp, args, named)
+}
+
+// predValue makes a contract predicate double as a callable, so is_file
+// works both as a contract (cur : is_file) and as a function
+// (if is_file(cur) ...).
+type predValue struct{ *contract.Pred }
+
+// Call implements contract.Callable.
+func (p predValue) Call(args []Value, named map[string]Value) (Value, error) {
+	if len(args) != 1 || len(named) > 0 {
+		return nil, fmt.Errorf("%s expects exactly 1 argument", p.Name)
+	}
+	return p.Fn(args[0]), nil
+}
+
+// FuncName implements contract.Callable.
+func (p predValue) FuncName() string { return p.Name }
+
+// FormatValue renders a value for printing and error messages.
+func FormatValue(v Value) string {
+	switch t := v.(type) {
+	case nil:
+		return "void"
+	case bool:
+		if t {
+			return "true"
+		}
+		return "false"
+	case float64:
+		if t == float64(int64(t)) {
+			return fmt.Sprintf("%d", int64(t))
+		}
+		return fmt.Sprintf("%g", t)
+	case string:
+		return t
+	case []Value:
+		parts := make([]string, len(t))
+		for i, e := range t {
+			parts[i] = FormatValue(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case SysError:
+		return t.String()
+	case *cap.Capability:
+		return t.String()
+	case *contract.Sealed:
+		return t.String()
+	case *wallet.Wallet:
+		return "wallet{" + strings.Join(t.Keys(), ", ") + "}"
+	case contract.Callable:
+		return "#<procedure:" + t.FuncName() + ">"
+	case contract.Contract:
+		return "#<contract:" + t.String() + ">"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// truthy requires a real boolean; SHILL has no implicit coercion.
+func truthy(v Value, where string) (bool, error) {
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("%s requires a boolean, got %s", where, FormatValue(v))
+	}
+	return b, nil
+}
+
+// asSyserror converts Go errors from capability operations into SHILL
+// error values; contract violations stay fatal.
+func asSyserror(err error) (Value, error) {
+	var v *contract.Violation
+	if errors.As(err, &v) {
+		return nil, err
+	}
+	return SysError{Err: err}, nil
+}

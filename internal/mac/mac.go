@@ -1,0 +1,461 @@
+// Package mac is a reimplementation of the TrustedBSD MAC framework
+// architecture (Watson & Vance, 2003) that the paper builds its sandbox
+// on (§3.2): third-party policy modules register entry points, the
+// framework mediates access to sensitive kernel objects by invoking every
+// registered policy's checks, and a policy-agnostic label is attached to
+// each kernel object for policies to hang state off.
+//
+// The framework is deliberately object-agnostic: kernel objects implement
+// Labeled, and checks carry an operation code plus the subject
+// credential. Granularity quirks of the real framework that the paper
+// reports as limitations are reproduced by the operation vocabulary:
+// there is a single OpVnodeWrite entry point (so write and append cannot
+// be distinguished, §3.2.3) and there are no entry points around
+// character-device reads and writes (the kernel simply never calls the
+// framework for those operations).
+package mac
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is policy-agnostic per-object storage. Each registered policy may
+// store one slot value under its name. The zero value is ready to use.
+type Label struct {
+	mu    sync.RWMutex
+	slots map[string]any
+}
+
+// Get returns the slot value stored by the named policy, or nil.
+func (l *Label) Get(policy string) any {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.slots[policy]
+}
+
+// Set stores a slot value for the named policy.
+func (l *Label) Set(policy string, v any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.slots == nil {
+		l.slots = make(map[string]any)
+	}
+	l.slots[policy] = v
+}
+
+// GetOrInit returns the slot for the named policy, initialising it with
+// init() under the label lock if absent.
+func (l *Label) GetOrInit(policy string, init func() any) any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.slots == nil {
+		l.slots = make(map[string]any)
+	}
+	v, ok := l.slots[policy]
+	if !ok {
+		v = init()
+		l.slots[policy] = v
+	}
+	return v
+}
+
+// Labeled is implemented by every kernel object the framework can
+// mediate: vnodes, pipes, and sockets.
+type Labeled interface {
+	MACLabel() *Label
+}
+
+// Cred is a subject credential: the classic UNIX identity used for DAC
+// plus a label where policies (e.g. SHILL's session pointer) store
+// subject state.
+type Cred struct {
+	UID   int
+	GID   int
+	label Label
+}
+
+// NewCred returns a credential for the given identity.
+func NewCred(uid, gid int) *Cred { return &Cred{UID: uid, GID: gid} }
+
+// MACLabel returns the credential's label.
+func (c *Cred) MACLabel() *Label { return &c.label }
+
+// Fork returns a copy of the credential sharing policy state. In this
+// model policies store pointers in the label, so a shallow slot copy
+// shares the subject state exactly as inheriting a FreeBSD ucred does.
+func (c *Cred) Fork() *Cred {
+	nc := &Cred{UID: c.UID, GID: c.GID}
+	c.label.mu.RLock()
+	defer c.label.mu.RUnlock()
+	if c.label.slots != nil {
+		nc.label.slots = make(map[string]any, len(c.label.slots))
+		for k, v := range c.label.slots {
+			nc.label.slots[k] = v
+		}
+	}
+	return nc
+}
+
+// VnodeOp enumerates mediated vnode operations.
+type VnodeOp int
+
+// Vnode operations. OpVnodeWrite intentionally covers both write and
+// append: the framework "exposes a single entry point for operations
+// that write to filesystem objects" (§3.2.3).
+const (
+	OpVnodeLookup VnodeOp = iota
+	OpVnodeRead
+	OpVnodeWrite
+	OpVnodeStat
+	OpVnodeExec
+	OpVnodeReaddir
+	OpVnodeCreateFile
+	OpVnodeCreateDir
+	OpVnodeCreateSymlink
+	OpVnodeReadSymlink
+	OpVnodeUnlinkFile // removing a file entry from a directory
+	OpVnodeUnlinkDir  // removing a subdirectory entry
+	OpVnodeUnlinked   // the object being removed
+	OpVnodeLink       // the file being linked
+	OpVnodeAddLink    // the directory receiving the link
+	OpVnodeRename
+	OpVnodeChmod
+	OpVnodeChown
+	OpVnodeChflags
+	OpVnodeUtimes
+	OpVnodeTruncate
+	OpVnodeChdir
+	OpVnodePathLookup // the path(2) reverse-lookup added by the SHILL module
+)
+
+var vnodeOpNames = map[VnodeOp]string{
+	OpVnodeLookup:        "lookup",
+	OpVnodeRead:          "read",
+	OpVnodeWrite:         "write",
+	OpVnodeStat:          "stat",
+	OpVnodeExec:          "exec",
+	OpVnodeReaddir:       "readdir",
+	OpVnodeCreateFile:    "create-file",
+	OpVnodeCreateDir:     "create-dir",
+	OpVnodeCreateSymlink: "create-symlink",
+	OpVnodeReadSymlink:   "read-symlink",
+	OpVnodeUnlinkFile:    "unlink-file",
+	OpVnodeUnlinkDir:     "unlink-dir",
+	OpVnodeUnlinked:      "unlinked",
+	OpVnodeLink:          "link",
+	OpVnodeAddLink:       "add-link",
+	OpVnodeRename:        "rename",
+	OpVnodeChmod:         "chmod",
+	OpVnodeChown:         "chown",
+	OpVnodeChflags:       "chflags",
+	OpVnodeUtimes:        "utimes",
+	OpVnodeTruncate:      "truncate",
+	OpVnodeChdir:         "chdir",
+	OpVnodePathLookup:    "path-lookup",
+}
+
+func (op VnodeOp) String() string {
+	if s, ok := vnodeOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("vnode-op(%d)", int(op))
+}
+
+// PipeOp enumerates mediated pipe operations.
+type PipeOp int
+
+// Pipe operations.
+const (
+	OpPipeRead PipeOp = iota
+	OpPipeWrite
+	OpPipeStat
+)
+
+func (op PipeOp) String() string {
+	switch op {
+	case OpPipeRead:
+		return "pipe-read"
+	case OpPipeWrite:
+		return "pipe-write"
+	case OpPipeStat:
+		return "pipe-stat"
+	}
+	return fmt.Sprintf("pipe-op(%d)", int(op))
+}
+
+// SocketOp enumerates mediated socket operations.
+type SocketOp int
+
+// Socket operations, one per SHILL socket privilege.
+const (
+	OpSockCreate SocketOp = iota
+	OpSockBind
+	OpSockConnect
+	OpSockListen
+	OpSockAccept
+	OpSockSend
+	OpSockRecv
+)
+
+func (op SocketOp) String() string {
+	switch op {
+	case OpSockCreate:
+		return "sock-create"
+	case OpSockBind:
+		return "sock-bind"
+	case OpSockConnect:
+		return "sock-connect"
+	case OpSockListen:
+		return "sock-listen"
+	case OpSockAccept:
+		return "sock-accept"
+	case OpSockSend:
+		return "sock-send"
+	case OpSockRecv:
+		return "sock-recv"
+	}
+	return fmt.Sprintf("sock-op(%d)", int(op))
+}
+
+// ProcOp enumerates mediated inter-process operations.
+type ProcOp int
+
+// Process operations (§3.2.2 "Process interaction").
+const (
+	OpProcSignal ProcOp = iota
+	OpProcWait
+	OpProcDebug
+	OpProcSched // scheduling control (renice etc.)
+)
+
+func (op ProcOp) String() string {
+	switch op {
+	case OpProcSignal:
+		return "proc-signal"
+	case OpProcWait:
+		return "proc-wait"
+	case OpProcDebug:
+		return "proc-debug"
+	case OpProcSched:
+		return "proc-sched"
+	}
+	return fmt.Sprintf("proc-op(%d)", int(op))
+}
+
+// SystemOp enumerates mediated system-wide operations (Figure 7 rows).
+type SystemOp int
+
+// System operations.
+const (
+	OpSysctlRead SystemOp = iota
+	OpSysctlWrite
+	OpKenvRead
+	OpKenvWrite
+	OpKmodLoad
+	OpKmodUnload
+	OpPosixIPC
+	OpSysvIPC
+)
+
+func (op SystemOp) String() string {
+	switch op {
+	case OpSysctlRead:
+		return "sysctl-read"
+	case OpSysctlWrite:
+		return "sysctl-write"
+	case OpKenvRead:
+		return "kenv-read"
+	case OpKenvWrite:
+		return "kenv-write"
+	case OpKmodLoad:
+		return "kmod-load"
+	case OpKmodUnload:
+		return "kmod-unload"
+	case OpPosixIPC:
+		return "posix-ipc"
+	case OpSysvIPC:
+		return "sysv-ipc"
+	}
+	return fmt.Sprintf("system-op(%d)", int(op))
+}
+
+// Policy is a MAC policy module. Checks return nil to permit an
+// operation; any error denies it. Post hooks fire after an operation has
+// succeeded and may update labels; mac_vnode_post_lookup and
+// mac_vnode_post_create are the two entry points the paper added to the
+// framework (§3.2.2 "Derived capabilities").
+type Policy interface {
+	Name() string
+
+	VnodeCheck(cred *Cred, vn Labeled, op VnodeOp, name string) error
+	VnodePostLookup(cred *Cred, dir, child Labeled, name string)
+	VnodePostCreate(cred *Cred, dir, child Labeled, name string, op VnodeOp)
+
+	PipeCheck(cred *Cred, p Labeled, op PipeOp) error
+	SocketCheck(cred *Cred, so Labeled, op SocketOp) error
+	// SocketPostAccept fires after a listener accepts a connection so
+	// policies can propagate labels to the new endpoint.
+	SocketPostAccept(cred *Cred, listener, conn Labeled)
+	ProcCheck(cred, target *Cred, op ProcOp) error
+	SystemCheck(cred *Cred, op SystemOp, name string) error
+}
+
+// BasePolicy is a Policy that permits everything and hooks nothing.
+// Policies embed it and override the entry points they care about.
+type BasePolicy struct{}
+
+// VnodeCheck permits all vnode operations.
+func (BasePolicy) VnodeCheck(*Cred, Labeled, VnodeOp, string) error { return nil }
+
+// VnodePostLookup does nothing.
+func (BasePolicy) VnodePostLookup(*Cred, Labeled, Labeled, string) {}
+
+// VnodePostCreate does nothing.
+func (BasePolicy) VnodePostCreate(*Cred, Labeled, Labeled, string, VnodeOp) {}
+
+// PipeCheck permits all pipe operations.
+func (BasePolicy) PipeCheck(*Cred, Labeled, PipeOp) error { return nil }
+
+// SocketCheck permits all socket operations.
+func (BasePolicy) SocketCheck(*Cred, Labeled, SocketOp) error { return nil }
+
+// SocketPostAccept does nothing.
+func (BasePolicy) SocketPostAccept(*Cred, Labeled, Labeled) {}
+
+// ProcCheck permits all process operations.
+func (BasePolicy) ProcCheck(*Cred, *Cred, ProcOp) error { return nil }
+
+// SystemCheck permits all system operations.
+func (BasePolicy) SystemCheck(*Cred, SystemOp, string) error { return nil }
+
+// Framework composes registered policies: an operation is permitted only
+// if every policy permits it, mirroring the MAC framework's composition
+// of third-party modules with the kernel's DAC (§2.3). The policy list
+// is copy-on-write: registration replaces the published slice, so the
+// per-syscall check path is a single atomic load with no allocation —
+// matching the real framework's read-mostly design.
+type Framework struct {
+	mu       sync.Mutex   // serialises Register/Unregister
+	policies atomic.Value // []Policy
+}
+
+// NewFramework returns an empty framework (no policies: everything that
+// passes DAC is permitted — the paper's "Baseline" configuration).
+func NewFramework() *Framework {
+	f := &Framework{}
+	f.policies.Store([]Policy(nil))
+	return f
+}
+
+// Register adds a policy module. It corresponds to loading the SHILL
+// kernel module (the paper's "SHILL installed" configuration).
+func (f *Framework) Register(p Policy) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.policies.Load().([]Policy)
+	for _, q := range cur {
+		if q.Name() == p.Name() {
+			return fmt.Errorf("mac: policy %q already registered", p.Name())
+		}
+	}
+	next := make([]Policy, len(cur), len(cur)+1)
+	copy(next, cur)
+	f.policies.Store(append(next, p))
+	return nil
+}
+
+// Unregister removes a policy module by name.
+func (f *Framework) Unregister(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.policies.Load().([]Policy)
+	for i, q := range cur {
+		if q.Name() == name {
+			next := make([]Policy, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			f.policies.Store(next)
+			return nil
+		}
+	}
+	return fmt.Errorf("mac: policy %q not registered", name)
+}
+
+// Policies returns the published policy list. Callers must not mutate
+// it.
+func (f *Framework) Policies() []Policy {
+	return f.policies.Load().([]Policy)
+}
+
+// VnodeCheck runs every policy's vnode check.
+func (f *Framework) VnodeCheck(cred *Cred, vn Labeled, op VnodeOp, name string) error {
+	for _, p := range f.Policies() {
+		if err := p.VnodeCheck(cred, vn, op, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VnodePostLookup fires the post-lookup hook on every policy.
+func (f *Framework) VnodePostLookup(cred *Cred, dir, child Labeled, name string) {
+	for _, p := range f.Policies() {
+		p.VnodePostLookup(cred, dir, child, name)
+	}
+}
+
+// VnodePostCreate fires the post-create hook on every policy.
+func (f *Framework) VnodePostCreate(cred *Cred, dir, child Labeled, name string, op VnodeOp) {
+	for _, p := range f.Policies() {
+		p.VnodePostCreate(cred, dir, child, name, op)
+	}
+}
+
+// PipeCheck runs every policy's pipe check.
+func (f *Framework) PipeCheck(cred *Cred, pl Labeled, op PipeOp) error {
+	for _, p := range f.Policies() {
+		if err := p.PipeCheck(cred, pl, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SocketCheck runs every policy's socket check.
+func (f *Framework) SocketCheck(cred *Cred, so Labeled, op SocketOp) error {
+	for _, p := range f.Policies() {
+		if err := p.SocketCheck(cred, so, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SocketPostAccept fires the post-accept hook on every policy.
+func (f *Framework) SocketPostAccept(cred *Cred, listener, conn Labeled) {
+	for _, p := range f.Policies() {
+		p.SocketPostAccept(cred, listener, conn)
+	}
+}
+
+// ProcCheck runs every policy's process check.
+func (f *Framework) ProcCheck(cred, target *Cred, op ProcOp) error {
+	for _, p := range f.Policies() {
+		if err := p.ProcCheck(cred, target, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SystemCheck runs every policy's system check.
+func (f *Framework) SystemCheck(cred *Cred, op SystemOp, name string) error {
+	for _, p := range f.Policies() {
+		if err := p.SystemCheck(cred, op, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package mac
+
+import (
+	"errors"
+	"testing"
+)
+
+type obj struct{ label Label }
+
+func (o *obj) MACLabel() *Label { return &o.label }
+
+func TestLabelSlots(t *testing.T) {
+	var l Label
+	if l.Get("p") != nil {
+		t.Fatal("empty label returned a value")
+	}
+	l.Set("p", 42)
+	if l.Get("p") != 42 {
+		t.Fatal("Set/Get broken")
+	}
+	l.Set("q", "other")
+	if l.Get("p") != 42 || l.Get("q") != "other" {
+		t.Fatal("slots interfere")
+	}
+	calls := 0
+	v := l.GetOrInit("r", func() any { calls++; return "init" })
+	v2 := l.GetOrInit("r", func() any { calls++; return "again" })
+	if v != "init" || v2 != "init" || calls != 1 {
+		t.Fatalf("GetOrInit: %v, %v, %d calls", v, v2, calls)
+	}
+}
+
+func TestCredForkSharesPolicyState(t *testing.T) {
+	c := NewCred(1000, 1000)
+	shared := &struct{ x int }{7}
+	c.MACLabel().Set("pol", shared)
+	child := c.Fork()
+	if child.UID != 1000 {
+		t.Fatal("identity lost")
+	}
+	if child.MACLabel().Get("pol") != shared {
+		t.Fatal("policy state not shared across fork")
+	}
+	// But the slot maps are independent.
+	child.MACLabel().Set("pol", nil)
+	if c.MACLabel().Get("pol") != shared {
+		t.Fatal("child slot write leaked to parent")
+	}
+}
+
+type countPolicy struct {
+	BasePolicy
+	name   string
+	deny   bool
+	checks int
+	posts  int
+}
+
+func (p *countPolicy) Name() string { return p.name }
+func (p *countPolicy) VnodeCheck(*Cred, Labeled, VnodeOp, string) error {
+	p.checks++
+	if p.deny {
+		return errors.New("denied by " + p.name)
+	}
+	return nil
+}
+func (p *countPolicy) VnodePostLookup(*Cred, Labeled, Labeled, string) { p.posts++ }
+
+func TestFrameworkComposition(t *testing.T) {
+	f := NewFramework()
+	a := &countPolicy{name: "a"}
+	b := &countPolicy{name: "b", deny: true}
+	if err := f.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Register(&countPolicy{name: "a"}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	cred := NewCred(0, 0)
+	o := &obj{}
+	// Any policy's denial denies.
+	if err := f.VnodeCheck(cred, o, OpVnodeRead, ""); err == nil {
+		t.Fatal("composed check passed despite denial")
+	}
+	if a.checks != 1 || b.checks != 1 {
+		t.Fatalf("checks = %d, %d", a.checks, b.checks)
+	}
+	// Post hooks reach every policy.
+	f.VnodePostLookup(cred, o, o, "x")
+	if a.posts != 1 {
+		t.Fatal("post hook skipped")
+	}
+	// Unregister removes.
+	if err := f.Unregister("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.VnodeCheck(cred, o, OpVnodeRead, ""); err != nil {
+		t.Fatalf("check after unregister: %v", err)
+	}
+	if err := f.Unregister("b"); err == nil {
+		t.Fatal("double unregister succeeded")
+	}
+}
+
+func TestEmptyFrameworkPermitsEverything(t *testing.T) {
+	f := NewFramework()
+	cred := NewCred(0, 0)
+	o := &obj{}
+	if err := f.VnodeCheck(cred, o, OpVnodeWrite, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PipeCheck(cred, o, OpPipeRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SocketCheck(cred, o, OpSockCreate); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ProcCheck(cred, cred, OpProcSignal); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SystemCheck(cred, OpKmodUnload, "shill"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	// Spot-check the operation vocabulary used in logs.
+	if OpVnodeWrite.String() != "write" || OpVnodeCreateFile.String() != "create-file" {
+		t.Fatal("vnode op names")
+	}
+	if OpSockCreate.String() != "sock-create" || OpProcWait.String() != "proc-wait" {
+		t.Fatal("sock/proc op names")
+	}
+	if OpSysctlRead.String() != "sysctl-read" {
+		t.Fatal("system op names")
+	}
+}

@@ -1,0 +1,315 @@
+// Package netstack is an in-memory socket substrate: IP and Unix-domain
+// stream sockets over a loopback wire. It stands in for the FreeBSD
+// network stack in the paper's Apache case study and download benchmark.
+// Sockets carry MAC labels so the SHILL policy can gate the seven socket
+// operations (create, bind, connect, listen, accept, send, receive); the
+// kernel layer invokes those checks, not this package.
+package netstack
+
+import (
+	"sync"
+
+	"repro/internal/errno"
+	"repro/internal/mac"
+)
+
+// Domain distinguishes socket address families.
+type Domain int
+
+// Socket domains. The paper's Figure 7 permits capability-mediated IP
+// and Unix sockets and denies every other family.
+const (
+	DomainIP Domain = iota
+	DomainUnix
+	DomainOther // any unsupported family; always denied by the kernel
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainIP:
+		return "ip"
+	case DomainUnix:
+		return "unix"
+	}
+	return "other"
+}
+
+// sockBufCap bounds each direction's in-flight bytes.
+const sockBufCap = 256 * 1024
+
+// halfConn is one direction of an established connection.
+type halfConn struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newHalfConn() *halfConn {
+	h := &halfConn{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *halfConn) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		if h.closed {
+			return total, errno.EPIPE
+		}
+		space := sockBufCap - len(h.buf)
+		for space <= 0 && !h.closed {
+			h.cond.Wait()
+			space = sockBufCap - len(h.buf)
+		}
+		if h.closed {
+			return total, errno.EPIPE
+		}
+		n := len(p)
+		if n > space {
+			n = space
+		}
+		h.buf = append(h.buf, p[:n]...)
+		p = p[n:]
+		total += n
+		h.cond.Broadcast()
+	}
+	return total, nil
+}
+
+func (h *halfConn) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) == 0 {
+		if h.closed {
+			return 0, nil // EOF
+		}
+		h.cond.Wait()
+	}
+	n := copy(p, h.buf)
+	h.buf = h.buf[n:]
+	h.cond.Broadcast()
+	return n, nil
+}
+
+func (h *halfConn) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.cond.Broadcast()
+}
+
+// SockState tracks a socket through its lifecycle.
+type SockState int
+
+// Socket states.
+const (
+	StateNew SockState = iota
+	StateBound
+	StateListening
+	StateConnected
+	StateClosed
+)
+
+// Socket is a stream socket endpoint.
+type Socket struct {
+	stack  *Stack
+	domain Domain
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   SockState
+	addr    string // bound address ("port:N" or unix path)
+	backlog []*Socket
+	rx, tx  *halfConn
+	peer    *Socket
+
+	label mac.Label
+}
+
+// MACLabel returns the socket's MAC label.
+func (s *Socket) MACLabel() *mac.Label { return &s.label }
+
+// Stack returns the stack that owns the socket.
+func (s *Socket) Stack() *Stack { return s.stack }
+
+// Domain returns the socket's address family.
+func (s *Socket) Domain() Domain { return s.domain }
+
+// State returns the socket's lifecycle state.
+func (s *Socket) State() SockState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Addr returns the bound address, if any.
+func (s *Socket) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Stack is the loopback network: a table of bound listeners per domain.
+type Stack struct {
+	mu        sync.Mutex
+	listeners map[string]*Socket // key: domain-prefixed address
+}
+
+// New returns an empty loopback stack.
+func New() *Stack {
+	return &Stack{listeners: make(map[string]*Socket)}
+}
+
+// NewSocket creates an unbound socket. The kernel performs the MAC
+// sock-create check before calling this.
+func (st *Stack) NewSocket(d Domain) *Socket {
+	s := &Socket{stack: st, domain: d, state: StateNew}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func key(d Domain, addr string) string { return d.String() + "!" + addr }
+
+// Bind attaches the socket to an address (e.g. "8080" for IP, a path for
+// Unix sockets). Only one socket may be bound to an address at a time —
+// the constraint behind the paper's privilege-amplification socket
+// example (§3.2.2).
+func (st *Stack) Bind(s *Socket, addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateNew {
+		return errno.EINVAL
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k := key(s.domain, addr)
+	if _, taken := st.listeners[k]; taken {
+		return errno.EADDRINUSE
+	}
+	st.listeners[k] = s
+	s.addr = addr
+	s.state = StateBound
+	return nil
+}
+
+// Listen marks a bound socket as accepting connections.
+func (st *Stack) Listen(s *Socket) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateBound {
+		return errno.EINVAL
+	}
+	s.state = StateListening
+	return nil
+}
+
+// Connect dials the listener bound at addr in the socket's domain and
+// blocks until the connection is accepted or refused.
+func (st *Stack) Connect(s *Socket, addr string) error {
+	s.mu.Lock()
+	if s.state != StateNew {
+		s.mu.Unlock()
+		return errno.EINVAL
+	}
+	s.mu.Unlock()
+
+	st.mu.Lock()
+	l, ok := st.listeners[key(s.domain, addr)]
+	st.mu.Unlock()
+	if !ok {
+		return errno.ECONNREFUSED
+	}
+	l.mu.Lock()
+	if l.state != StateListening {
+		l.mu.Unlock()
+		return errno.ECONNREFUSED
+	}
+	// Build the two directions and the server-side endpoint.
+	c2s, s2c := newHalfConn(), newHalfConn()
+	srv := &Socket{stack: st, domain: s.domain, state: StateConnected, rx: c2s, tx: s2c, addr: l.addr}
+	srv.cond = sync.NewCond(&srv.mu)
+	srv.peer = s
+	l.backlog = append(l.backlog, srv)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+
+	s.mu.Lock()
+	s.rx, s.tx = s2c, c2s
+	s.state = StateConnected
+	s.peer = srv
+	s.mu.Unlock()
+	return nil
+}
+
+// Accept blocks until a connection is queued on the listener and returns
+// the server-side endpoint.
+func (st *Stack) Accept(l *Socket) (*Socket, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.state == StateListening && len(l.backlog) == 0 {
+		l.cond.Wait()
+	}
+	if l.state != StateListening {
+		return nil, errno.EINVAL
+	}
+	srv := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return srv, nil
+}
+
+// Send writes to the connection.
+func (st *Stack) Send(s *Socket, p []byte) (int, error) {
+	s.mu.Lock()
+	tx := s.tx
+	state := s.state
+	s.mu.Unlock()
+	if state != StateConnected || tx == nil {
+		return 0, errno.ENOTCONN
+	}
+	return tx.write(p)
+}
+
+// Recv reads from the connection; 0, nil means the peer closed.
+func (st *Stack) Recv(s *Socket, p []byte) (int, error) {
+	s.mu.Lock()
+	rx := s.rx
+	state := s.state
+	s.mu.Unlock()
+	if state != StateConnected || rx == nil {
+		return 0, errno.ENOTCONN
+	}
+	return rx.read(p)
+}
+
+// Close shuts the socket down: listeners are unbound (waking blocked
+// accepts) and connections close both directions.
+func (st *Stack) Close(s *Socket) {
+	s.mu.Lock()
+	prev := s.state
+	s.state = StateClosed
+	if s.rx != nil {
+		s.rx.close()
+	}
+	if s.tx != nil {
+		s.tx.close()
+	}
+	backlog := s.backlog
+	s.backlog = nil
+	s.cond.Broadcast()
+	addr, domain := s.addr, s.domain
+	s.mu.Unlock()
+
+	for _, queued := range backlog {
+		st.Close(queued)
+	}
+	if prev == StateBound || prev == StateListening {
+		st.mu.Lock()
+		if st.listeners[key(domain, addr)] == s {
+			delete(st.listeners, key(domain, addr))
+		}
+		st.mu.Unlock()
+	}
+}

@@ -1,0 +1,208 @@
+package netstack
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/errno"
+)
+
+func TestConnectAcceptEcho(t *testing.T) {
+	st := New()
+	l := st.NewSocket(DomainIP)
+	if err := st.Bind(l, "9000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Listen(l); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan string, 1)
+	go func() {
+		conn, err := st.Accept(l)
+		if err != nil {
+			done <- "accept: " + err.Error()
+			return
+		}
+		buf := make([]byte, 16)
+		n, _ := st.Recv(conn, buf)
+		st.Send(conn, buf[:n])
+		st.Close(conn)
+		done <- ""
+	}()
+	c := st.NewSocket(DomainIP)
+	if err := st.Connect(c, "9000"); err != nil {
+		t.Fatal(err)
+	}
+	st.Send(c, []byte("hello"))
+	buf := make([]byte, 16)
+	n, err := st.Recv(c, buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("echo = %q, %v", buf[:n], err)
+	}
+	if msg := <-done; msg != "" {
+		t.Fatal(msg)
+	}
+	// Peer closed: EOF.
+	if n, err := st.Recv(c, buf); n != 0 || err != nil {
+		t.Fatalf("EOF = %d, %v", n, err)
+	}
+}
+
+func TestConnectRefused(t *testing.T) {
+	st := New()
+	c := st.NewSocket(DomainIP)
+	if err := st.Connect(c, "7"); !errors.Is(err, errno.ECONNREFUSED) {
+		t.Fatalf("connect to unbound port = %v", err)
+	}
+}
+
+func TestAddrInUse(t *testing.T) {
+	st := New()
+	a := st.NewSocket(DomainIP)
+	if err := st.Bind(a, "80"); err != nil {
+		t.Fatal(err)
+	}
+	b := st.NewSocket(DomainIP)
+	if err := st.Bind(b, "80"); !errors.Is(err, errno.EADDRINUSE) {
+		t.Fatalf("second bind = %v", err)
+	}
+	// Different domains have separate namespaces.
+	u := st.NewSocket(DomainUnix)
+	if err := st.Bind(u, "80"); err != nil {
+		t.Fatalf("unix bind: %v", err)
+	}
+	// Closing the listener frees the address.
+	st.Close(a)
+	c := st.NewSocket(DomainIP)
+	if err := st.Bind(c, "80"); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	st := New()
+	s := st.NewSocket(DomainIP)
+	if err := st.Listen(s); !errors.Is(err, errno.EINVAL) {
+		t.Fatalf("listen unbound = %v", err)
+	}
+	if _, err := st.Send(s, []byte("x")); !errors.Is(err, errno.ENOTCONN) {
+		t.Fatalf("send unconnected = %v", err)
+	}
+	if _, err := st.Recv(s, make([]byte, 1)); !errors.Is(err, errno.ENOTCONN) {
+		t.Fatalf("recv unconnected = %v", err)
+	}
+}
+
+func TestSendToClosedPeer(t *testing.T) {
+	st := New()
+	l := st.NewSocket(DomainIP)
+	st.Bind(l, "81")
+	st.Listen(l)
+	accepted := make(chan *Socket, 1)
+	go func() {
+		conn, _ := st.Accept(l)
+		accepted <- conn
+	}()
+	c := st.NewSocket(DomainIP)
+	if err := st.Connect(c, "81"); err != nil {
+		t.Fatal(err)
+	}
+	conn := <-accepted
+	st.Close(conn)
+	if _, err := st.Send(c, []byte("x")); !errors.Is(err, errno.EPIPE) {
+		t.Fatalf("send to closed peer = %v", err)
+	}
+}
+
+func TestCloseListenerUnblocksAccept(t *testing.T) {
+	st := New()
+	l := st.NewSocket(DomainIP)
+	st.Bind(l, "82")
+	st.Listen(l)
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Accept(l)
+		done <- err
+	}()
+	st.Close(l)
+	if err := <-done; err == nil {
+		t.Fatal("accept returned nil after close")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	st := New()
+	l := st.NewSocket(DomainIP)
+	st.Bind(l, "83")
+	st.Listen(l)
+	const n = 16
+	go func() {
+		for i := 0; i < n; i++ {
+			conn, err := st.Accept(l)
+			if err != nil {
+				return
+			}
+			go func(conn *Socket) {
+				buf := make([]byte, 8)
+				cnt, _ := st.Recv(conn, buf)
+				st.Send(conn, buf[:cnt])
+				st.Close(conn)
+			}(conn)
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := st.NewSocket(DomainIP)
+			if err := st.Connect(c, "83"); err != nil {
+				t.Errorf("connect %d: %v", i, err)
+				return
+			}
+			msg := []byte{byte('a' + i%26)}
+			st.Send(c, msg)
+			buf := make([]byte, 4)
+			cnt, err := st.Recv(c, buf)
+			if err != nil || cnt != 1 || buf[0] != msg[0] {
+				t.Errorf("client %d echo mismatch", i)
+			}
+			st.Close(c)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestLargeTransferBackpressure(t *testing.T) {
+	st := New()
+	l := st.NewSocket(DomainIP)
+	st.Bind(l, "84")
+	st.Listen(l)
+	const total = sockBufCap * 3
+	go func() {
+		conn, _ := st.Accept(l)
+		data := make([]byte, total)
+		st.Send(conn, data)
+		st.Close(conn)
+	}()
+	c := st.NewSocket(DomainIP)
+	if err := st.Connect(c, "84"); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := st.Recv(c, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		got += n
+	}
+	if got != total {
+		t.Fatalf("received %d of %d bytes", got, total)
+	}
+}

@@ -1,0 +1,434 @@
+// Package priv defines SHILL's privilege lattice: the twenty-four
+// filesystem privileges and seven socket privileges that annotate
+// capabilities in the language and privilege maps in the kernel policy
+// (paper §3.1.1).
+//
+// A Right names a single privilege (e.g. RRead, RLookup). A Set is a
+// bitmask of rights. A Grant couples a Set with per-right derivation
+// modifiers: the paper's "+lookup with {+path, +stat}" becomes a Grant
+// whose Rights include RLookup and whose Derived map binds RLookup to a
+// sub-Grant containing RPath and RStat. A deriving right with no entry in
+// Derived passes the parent Grant through unchanged ("the derived
+// capability has the same privileges as its parent capability").
+package priv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Right enumerates every privilege SHILL distinguishes. Filesystem rights
+// come first (24 of them), then socket rights (7).
+type Right uint8
+
+// Filesystem privileges (paper §3.1.1: "twenty-four different privileges
+// for filesystem capabilities").
+const (
+	RRead Right = iota // read file contents
+	RWrite
+	RAppend
+	RStat
+	RPath // retrieve an accessible path for the capability
+	RExec
+	RContents // list directory entries
+	RLookup   // deriving: open a child of a directory
+	RCreateFile
+	RCreateDir
+	RCreateSymlink
+	RReadSymlink
+	RUnlinkFile // remove file entries from a directory
+	RUnlinkDir  // remove subdirectory entries from a directory
+	RUnlink     // permission for the object itself to be unlinked
+	RLink       // the file may be linked from elsewhere
+	RAddLink    // the directory may receive new links
+	RRename
+	RChmod
+	RChown
+	RChflags
+	RUtimes
+	RTruncate
+	RChdir
+
+	numFSRights = iota
+)
+
+// Socket privileges (paper §3.1.1: "seven different privileges for
+// sockets", refined by connection type).
+const (
+	RSockCreate Right = numFSRights + iota
+	RSockBind
+	RSockConnect
+	RSockListen
+	RSockAccept
+	RSockSend
+	RSockRecv
+
+	numRights = numFSRights + iota
+)
+
+// NumFSRights and NumSockRights report the size of each privilege family.
+const (
+	NumFSRights   = int(numFSRights)
+	NumSockRights = int(numRights) - int(numFSRights)
+	NumRights     = int(numRights)
+)
+
+var rightNames = [...]string{
+	RRead:          "read",
+	RWrite:         "write",
+	RAppend:        "append",
+	RStat:          "stat",
+	RPath:          "path",
+	RExec:          "exec",
+	RContents:      "contents",
+	RLookup:        "lookup",
+	RCreateFile:    "create-file",
+	RCreateDir:     "create-dir",
+	RCreateSymlink: "create-symlink",
+	RReadSymlink:   "read-symlink",
+	RUnlinkFile:    "unlink-file",
+	RUnlinkDir:     "unlink-dir",
+	RUnlink:        "unlink",
+	RLink:          "link",
+	RAddLink:       "add-link",
+	RRename:        "rename",
+	RChmod:         "chmod",
+	RChown:         "chown",
+	RChflags:       "chflags",
+	RUtimes:        "utimes",
+	RTruncate:      "truncate",
+	RChdir:         "chdir",
+	RSockCreate:    "sock-create",
+	RSockBind:      "sock-bind",
+	RSockConnect:   "sock-connect",
+	RSockListen:    "sock-listen",
+	RSockAccept:    "sock-accept",
+	RSockSend:      "sock-send",
+	RSockRecv:      "sock-recv",
+}
+
+// String returns the paper-style name of the right, e.g. "create-file".
+func (r Right) String() string {
+	if int(r) < len(rightNames) {
+		return rightNames[r]
+	}
+	return fmt.Sprintf("right(%d)", uint8(r))
+}
+
+// Valid reports whether r names a defined privilege.
+func (r Right) Valid() bool { return int(r) < NumRights }
+
+// Deriving reports whether exercising r produces a new capability whose
+// privileges may be attenuated by a "with {...}" modifier.
+func (r Right) Deriving() bool {
+	switch r {
+	case RLookup, RCreateFile, RCreateDir, RReadSymlink:
+		return true
+	}
+	return false
+}
+
+// ParseRight maps a paper-style name (with or without the leading '+') to
+// a Right.
+func ParseRight(name string) (Right, error) {
+	name = strings.TrimPrefix(name, "+")
+	for i, n := range rightNames {
+		if n == name {
+			return Right(i), nil
+		}
+	}
+	return 0, fmt.Errorf("priv: unknown privilege %q", name)
+}
+
+// Set is a bitmask of rights.
+type Set uint64
+
+// NewSet builds a Set from individual rights.
+func NewSet(rights ...Right) Set {
+	var s Set
+	for _, r := range rights {
+		s = s.Add(r)
+	}
+	return s
+}
+
+// Add returns s with r included.
+func (s Set) Add(r Right) Set { return s | 1<<uint(r) }
+
+// Remove returns s with r excluded.
+func (s Set) Remove(r Right) Set { return s &^ (1 << uint(r)) }
+
+// Has reports whether r is in s.
+func (s Set) Has(r Right) bool { return s&(1<<uint(r)) != 0 }
+
+// HasAll reports whether every right of o is in s.
+func (s Set) HasAll(o Set) bool { return s&o == o }
+
+// Union returns the union of s and o.
+func (s Set) Union(o Set) Set { return s | o }
+
+// Intersect returns the intersection of s and o.
+func (s Set) Intersect(o Set) Set { return s & o }
+
+// Minus returns the rights in s that are not in o.
+func (s Set) Minus(o Set) Set { return s &^ o }
+
+// Empty reports whether s contains no rights.
+func (s Set) Empty() bool { return s == 0 }
+
+// Rights returns the rights in s in numeric order.
+func (s Set) Rights() []Right {
+	var out []Right
+	for i := 0; i < NumRights; i++ {
+		if s.Has(Right(i)) {
+			out = append(out, Right(i))
+		}
+	}
+	return out
+}
+
+// Count returns the number of rights in s.
+func (s Set) Count() int {
+	n := 0
+	for i := 0; i < NumRights; i++ {
+		if s.Has(Right(i)) {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the set in contract syntax, e.g. "{+read, +stat}".
+func (s Set) String() string {
+	var names []string
+	for _, r := range s.Rights() {
+		names = append(names, "+"+r.String())
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// Common privilege bundles, mirroring SHILL's contracts stdlib (§3.1.4).
+var (
+	// ReadOnlyFile is file(+stat, +read, +path).
+	ReadOnlyFile = NewSet(RStat, RRead, RPath)
+	// ReadOnlyDir is dir(+read-symlink, +contents, +lookup, +stat, +read, +path).
+	ReadOnlyDir = NewSet(RReadSymlink, RContents, RLookup, RStat, RRead, RPath)
+	// WriteableFile extends ReadOnlyFile with write/append/truncate.
+	WriteableFile = ReadOnlyFile.Union(NewSet(RWrite, RAppend, RTruncate))
+	// ExecFile is the bundle needed to execute a binary.
+	ExecFile = NewSet(RExec, RStat, RRead, RPath)
+	// AllFS contains every filesystem right.
+	AllFS = allFS()
+	// AllSock contains every socket right.
+	AllSock = NewSet(RSockCreate, RSockBind, RSockConnect, RSockListen,
+		RSockAccept, RSockSend, RSockRecv)
+	// All contains every right.
+	All = AllFS.Union(AllSock)
+)
+
+func allFS() Set {
+	var s Set
+	for i := 0; i < NumFSRights; i++ {
+		s = s.Add(Right(i))
+	}
+	return s
+}
+
+// Grant is a set of rights plus optional derivation modifiers for the
+// deriving rights. The zero value is the empty grant (no authority).
+type Grant struct {
+	Rights Set
+	// Derived maps a deriving right to the grant that capabilities
+	// derived through it receive. A nil entry (or absent key) means the
+	// derived capability inherits this grant itself.
+	Derived map[Right]*Grant
+}
+
+// NewGrant returns a grant with exactly the given rights and no modifiers.
+func NewGrant(rights ...Right) *Grant { return &Grant{Rights: NewSet(rights...)} }
+
+// GrantOf returns a grant holding the given set with no modifiers.
+func GrantOf(s Set) *Grant { return &Grant{Rights: s} }
+
+// FullGrant returns a grant of every right, used by ambient scripts when
+// minting capabilities with the invoking user's full authority.
+func FullGrant() *Grant { return &Grant{Rights: All} }
+
+// Has reports whether the grant includes r.
+func (g *Grant) Has(r Right) bool {
+	if g == nil {
+		return false
+	}
+	return g.Rights.Has(r)
+}
+
+// HasAll reports whether the grant includes every right in s.
+func (g *Grant) HasAll(s Set) bool {
+	if g == nil {
+		return s.Empty()
+	}
+	return g.Rights.HasAll(s)
+}
+
+// WithDerived returns a copy of g where deriving right r carries the
+// modifier sub. It implements the contract syntax "+r with {…}".
+func (g *Grant) WithDerived(r Right, sub *Grant) *Grant {
+	out := g.Clone()
+	if out.Derived == nil {
+		out.Derived = make(map[Right]*Grant)
+	}
+	out.Derived[r] = sub
+	return out
+}
+
+// DerivedGrant returns the grant a capability derived via right r
+// receives: the modifier if one is present, otherwise g itself.
+func (g *Grant) DerivedGrant(r Right) *Grant {
+	if g == nil {
+		return nil
+	}
+	if sub, ok := g.Derived[r]; ok {
+		return sub
+	}
+	return g
+}
+
+// Clone returns a deep copy of g.
+func (g *Grant) Clone() *Grant {
+	if g == nil {
+		return nil
+	}
+	out := &Grant{Rights: g.Rights}
+	if g.Derived != nil {
+		out.Derived = make(map[Right]*Grant, len(g.Derived))
+		for r, sub := range g.Derived {
+			out.Derived[r] = sub.Clone()
+		}
+	}
+	return out
+}
+
+// Intersect returns the meet of g and o: rights are intersected and, for
+// each deriving right surviving the intersection, the modifiers are
+// intersected recursively. Contract application uses this to attenuate a
+// capability ("the consumer promises to use the capability as if it has
+// at most the specified privileges").
+func (g *Grant) Intersect(o *Grant) *Grant { return intersect(g, o, 0) }
+
+// maxModifierDepth bounds recursion through derivation modifiers;
+// deeper chains collapse to plain rights with inherited modifiers.
+const maxModifierDepth = 16
+
+func intersect(g, o *Grant, depth int) *Grant {
+	if g == nil || o == nil {
+		return &Grant{}
+	}
+	out := &Grant{Rights: g.Rights.Intersect(o.Rights)}
+	if depth > maxModifierDepth {
+		return out
+	}
+	for _, r := range out.Rights.Rights() {
+		if !r.Deriving() {
+			continue
+		}
+		gs, os := g.DerivedGrant(r), o.DerivedGrant(r)
+		if gs == g && os == o {
+			continue // both inherit: the intersection inherits too
+		}
+		sub := intersect(gs, os, depth+1)
+		if out.Derived == nil {
+			out.Derived = make(map[Right]*Grant)
+		}
+		out.Derived[r] = sub
+	}
+	return out
+}
+
+// Covers reports whether g confers at least the authority of o: o's
+// rights are a subset of g's, and for each deriving right the modifier
+// of g covers the modifier of o. Used by property tests to verify that
+// attenuation is monotone.
+func (g *Grant) Covers(o *Grant) bool {
+	return covers(g, o, 0)
+}
+
+func covers(g, o *Grant, depth int) bool {
+	if o == nil {
+		return true
+	}
+	if g == nil {
+		return o.Rights.Empty()
+	}
+	if !g.Rights.HasAll(o.Rights) {
+		return false
+	}
+	if depth > 32 { // self-referential "inherit" chains terminate here
+		return true
+	}
+	for _, r := range o.Rights.Rights() {
+		if !r.Deriving() {
+			continue
+		}
+		gd, od := g.DerivedGrant(r), o.DerivedGrant(r)
+		if gd == g && od == o {
+			continue // both inherit; same relationship holds
+		}
+		if !covers(gd, od, depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports structural equality of grants (treating an absent
+// modifier and a modifier equal to the parent as distinct).
+func (g *Grant) Equal(o *Grant) bool {
+	if g == nil || o == nil {
+		return g == o || (g.Rights.Empty() && o.Rights.Empty() &&
+			len(g.derivedKeys()) == 0 && len(o.derivedKeys()) == 0)
+	}
+	if g.Rights != o.Rights {
+		return false
+	}
+	gk, ok := g.derivedKeys(), o.derivedKeys()
+	if len(gk) != len(ok) {
+		return false
+	}
+	for _, r := range gk {
+		sub, present := o.Derived[r]
+		if !present || !g.Derived[r].Equal(sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Grant) derivedKeys() []Right {
+	if g == nil || len(g.Derived) == 0 {
+		return nil
+	}
+	keys := make([]Right, 0, len(g.Derived))
+	for r := range g.Derived {
+		keys = append(keys, r)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// String renders the grant in contract syntax, e.g.
+// "{+lookup with {+read, +stat}, +contents}".
+func (g *Grant) String() string {
+	if g == nil {
+		return "{}"
+	}
+	var parts []string
+	for _, r := range g.Rights.Rights() {
+		p := "+" + r.String()
+		if sub, ok := g.Derived[r]; ok && r.Deriving() {
+			p += " with " + sub.String()
+		}
+		parts = append(parts, p)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

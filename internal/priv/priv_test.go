@@ -1,0 +1,203 @@
+package priv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRightNamesRoundTrip(t *testing.T) {
+	for i := 0; i < NumRights; i++ {
+		r := Right(i)
+		got, err := ParseRight(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRight(%q) = %v, %v", r.String(), got, err)
+		}
+		// The '+' prefix is accepted too.
+		got, err = ParseRight("+" + r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRight(+%q) failed", r.String())
+		}
+	}
+	if _, err := ParseRight("no-such-privilege"); err == nil {
+		t.Error("unknown privilege parsed")
+	}
+}
+
+func TestPrivilegeCounts(t *testing.T) {
+	// The paper's counts: 24 filesystem privileges, 7 socket privileges
+	// (§3.1.1).
+	if NumFSRights != 24 {
+		t.Errorf("filesystem privileges = %d, want 24", NumFSRights)
+	}
+	if NumSockRights != 7 {
+		t.Errorf("socket privileges = %d, want 7", NumSockRights)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet(RRead, RWrite)
+	if !s.Has(RRead) || !s.Has(RWrite) || s.Has(RStat) {
+		t.Fatal("basic membership broken")
+	}
+	s = s.Add(RStat).Remove(RWrite)
+	if !s.Has(RStat) || s.Has(RWrite) {
+		t.Fatal("add/remove broken")
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if !AllFS.HasAll(ReadOnlyDir) {
+		t.Fatal("AllFS should cover ReadOnlyDir")
+	}
+	if AllFS.Intersect(AllSock) != 0 {
+		t.Fatal("FS and socket rights overlap")
+	}
+}
+
+func randomSet(rng *rand.Rand) Set {
+	var s Set
+	for i := 0; i < NumRights; i++ {
+		if rng.Intn(2) == 0 {
+			s = s.Add(Right(i))
+		}
+	}
+	return s
+}
+
+// Property: set algebra laws.
+func TestSetAlgebraProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := randomSet(rng), randomSet(rng)
+		if !a.Union(b).HasAll(a) || !a.Union(b).HasAll(b) {
+			t.Fatal("union not an upper bound")
+		}
+		if !a.HasAll(a.Intersect(b)) || !b.HasAll(a.Intersect(b)) {
+			t.Fatal("intersection not a lower bound")
+		}
+		if a.Minus(b).Intersect(b) != 0 {
+			t.Fatal("minus leaves common rights")
+		}
+		if a.Union(b) != b.Union(a) || a.Intersect(b) != b.Intersect(a) {
+			t.Fatal("commutativity broken")
+		}
+	}
+}
+
+func randomGrant(rng *rand.Rand, depth int) *Grant {
+	g := GrantOf(randomSet(rng))
+	if depth > 0 {
+		for _, r := range []Right{RLookup, RCreateFile, RCreateDir} {
+			if g.Has(r) && rng.Intn(2) == 0 {
+				g = g.WithDerived(r, randomGrant(rng, depth-1))
+			}
+		}
+	}
+	return g
+}
+
+// Property: Intersect is a lower bound under Covers, and attenuation is
+// monotone — the heart of "contracts can only restrict" (§2.2).
+func TestGrantIntersectMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		a, b := randomGrant(rng, 2), randomGrant(rng, 2)
+		meet := a.Intersect(b)
+		if !a.Covers(meet) {
+			t.Fatalf("a does not cover a∧b:\na = %v\nb = %v\nmeet = %v", a, b, meet)
+		}
+		if !b.Covers(meet) {
+			t.Fatalf("b does not cover a∧b:\na = %v\nb = %v\nmeet = %v", a, b, meet)
+		}
+	}
+}
+
+// Property: Covers is reflexive and FullGrant covers everything.
+func TestCoversProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	full := FullGrant()
+	for i := 0; i < 300; i++ {
+		g := randomGrant(rng, 2)
+		if !g.Covers(g) {
+			t.Fatalf("Covers not reflexive for %v", g)
+		}
+		if !full.Covers(GrantOf(g.Rights)) {
+			t.Fatalf("FullGrant does not cover %v", g.Rights)
+		}
+		if !g.Covers(&Grant{}) {
+			t.Fatal("grant does not cover the empty grant")
+		}
+	}
+}
+
+// Property: Clone produces an equal but independent grant.
+func TestGrantCloneIndependent(t *testing.T) {
+	g := NewGrant(RLookup, RRead).WithDerived(RLookup, NewGrant(RStat))
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Derived[RLookup].Rights = c.Derived[RLookup].Rights.Add(RWrite)
+	if g.Derived[RLookup].Rights.Has(RWrite) {
+		t.Fatal("clone shares modifier storage")
+	}
+}
+
+func TestDerivedGrantInheritance(t *testing.T) {
+	g := NewGrant(RLookup, RRead, RStat)
+	// No modifier: derived grant is the grant itself.
+	if g.DerivedGrant(RLookup) != g {
+		t.Fatal("missing modifier should inherit")
+	}
+	sub := NewGrant(RStat)
+	g2 := g.WithDerived(RLookup, sub)
+	if got := g2.DerivedGrant(RLookup); !got.Equal(sub) {
+		t.Fatalf("modifier not honoured: %v", got)
+	}
+	// WithDerived does not mutate the receiver.
+	if g.Derived != nil {
+		t.Fatal("WithDerived mutated the receiver")
+	}
+}
+
+func TestDerivingRights(t *testing.T) {
+	deriving := map[Right]bool{RLookup: true, RCreateFile: true, RCreateDir: true, RReadSymlink: true}
+	for i := 0; i < NumRights; i++ {
+		r := Right(i)
+		if r.Deriving() != deriving[r] {
+			t.Errorf("%v.Deriving() = %v", r, r.Deriving())
+		}
+	}
+}
+
+func TestGrantStringSyntax(t *testing.T) {
+	g := NewGrant(RLookup, RRead).WithDerived(RLookup, NewGrant(RPath, RStat))
+	s := g.String()
+	want := "{+read, +lookup with {+stat, +path}}"
+	if s != want {
+		t.Fatalf("String() = %q, want %q", s, want)
+	}
+}
+
+// quick.Check: rights survive a set round trip.
+func TestSetRoundTripQuick(t *testing.T) {
+	fn := func(raw []uint8) bool {
+		var rights []Right
+		for _, b := range raw {
+			r := Right(b % uint8(NumRights))
+			rights = append(rights, r)
+		}
+		s := NewSet(rights...)
+		for _, r := range rights {
+			if !s.Has(r) {
+				return false
+			}
+		}
+		back := s.Rights()
+		return NewSet(back...) == s
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package prof is the lightweight instrumentation behind the Figure 10
+// performance breakdown: total execution time, runtime startup, sandbox
+// setup, sandboxed execution, and remaining time (contract checking and
+// script evaluation).
+package prof
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Category labels one row of the Figure 10 breakdown.
+type Category int
+
+// Breakdown categories.
+const (
+	Startup Category = iota // interpreter startup (Racket startup in the paper)
+	SandboxSetup
+	SandboxExec
+	ContractCheck // attributed within "remaining time" in the paper
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case Startup:
+		return "runtime startup"
+	case SandboxSetup:
+		return "sandbox setup"
+	case SandboxExec:
+		return "sandboxed execution"
+	case ContractCheck:
+		return "contract checking"
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// Collector accumulates duration per category plus event counts. A nil
+// *Collector is valid and records nothing, so instrumented code can stay
+// unconditional.
+type Collector struct {
+	mu     sync.Mutex
+	totals [numCategories]time.Duration
+	counts [numCategories]int64
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// Add records a duration in a category.
+func (c *Collector) Add(cat Category, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.totals[cat] += d
+	c.counts[cat]++
+	c.mu.Unlock()
+}
+
+// Total returns the accumulated duration for a category.
+func (c *Collector) Total(cat Category) time.Duration {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totals[cat]
+}
+
+// Count returns how many events were recorded in a category. The
+// SandboxSetup count is the number of sandboxes created — the statistic
+// the paper reports per benchmark (Grading 5371, Find 15292, …).
+func (c *Collector) Count(cat Category) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[cat]
+}
+
+// Reset zeroes the collector.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.totals {
+		c.totals[i] = 0
+		c.counts[i] = 0
+	}
+}
+
+// Breakdown is a Figure 10-style report.
+type Breakdown struct {
+	Total        time.Duration
+	Startup      time.Duration
+	SandboxSetup time.Duration
+	SandboxExec  time.Duration
+	Remaining    time.Duration // total - startup - setup - exec
+	Sandboxes    int64
+}
+
+// Report computes the breakdown for a run that took total wall time.
+func (c *Collector) Report(total time.Duration) Breakdown {
+	b := Breakdown{
+		Total:        total,
+		Startup:      c.Total(Startup),
+		SandboxSetup: c.Total(SandboxSetup),
+		SandboxExec:  c.Total(SandboxExec),
+		Sandboxes:    c.Count(SandboxSetup),
+	}
+	b.Remaining = total - b.Startup - b.SandboxSetup - b.SandboxExec
+	if b.Remaining < 0 {
+		b.Remaining = 0
+	}
+	return b
+}
+
+// String renders the breakdown like Figure 10.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total %v | startup %v | sandbox setup %v | sandboxed execution %v | remaining %v | sandboxes %d",
+		b.Total.Round(time.Microsecond), b.Startup.Round(time.Microsecond),
+		b.SandboxSetup.Round(time.Microsecond), b.SandboxExec.Round(time.Microsecond),
+		b.Remaining.Round(time.Microsecond), b.Sandboxes)
+}

@@ -1,0 +1,62 @@
+package prof
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	c := New()
+	c.Add(SandboxSetup, 10*time.Millisecond)
+	c.Add(SandboxSetup, 5*time.Millisecond)
+	c.Add(SandboxExec, 20*time.Millisecond)
+	if c.Total(SandboxSetup) != 15*time.Millisecond {
+		t.Fatalf("Total = %v", c.Total(SandboxSetup))
+	}
+	if c.Count(SandboxSetup) != 2 || c.Count(SandboxExec) != 1 {
+		t.Fatal("counts wrong")
+	}
+	c.Reset()
+	if c.Total(SandboxSetup) != 0 || c.Count(SandboxSetup) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Add(Startup, time.Second) // must not panic
+	if c.Total(Startup) != 0 || c.Count(Startup) != 0 {
+		t.Fatal("nil collector returned data")
+	}
+	c.Reset()
+}
+
+func TestReportBreakdown(t *testing.T) {
+	c := New()
+	c.Add(Startup, 100*time.Millisecond)
+	c.Add(SandboxSetup, 200*time.Millisecond)
+	c.Add(SandboxExec, 300*time.Millisecond)
+	b := c.Report(time.Second)
+	if b.Remaining != 400*time.Millisecond {
+		t.Fatalf("remaining = %v", b.Remaining)
+	}
+	if b.Sandboxes != 1 {
+		t.Fatalf("sandboxes = %d", b.Sandboxes)
+	}
+	// Remaining clamps at zero when the categories overlap the total.
+	b = c.Report(100 * time.Millisecond)
+	if b.Remaining != 0 {
+		t.Fatalf("clamped remaining = %v", b.Remaining)
+	}
+	if b.String() == "" {
+		t.Fatal("empty breakdown string")
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	for _, c := range []Category{Startup, SandboxSetup, SandboxExec, ContractCheck} {
+		if c.String() == "" {
+			t.Fatalf("category %d has no name", c)
+		}
+	}
+}

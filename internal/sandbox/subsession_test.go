@@ -1,0 +1,110 @@
+package sandbox
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/kernel"
+	"repro/internal/mac"
+	"repro/internal/priv"
+	"repro/internal/stdlib"
+)
+
+// TestShillAwareExecutableAttenuates models §3.2.1's hierarchical
+// sessions: "a sandboxed process inside session S1 can spawn a process
+// inside a new session S2, which has fewer capabilities than S1. This
+// allows SHILL-aware executables to further attenuate their privileges."
+//
+// The "privsep" binary is SHILL-aware: it reads a config file, then
+// drops into a sub-session holding only the data file read-only before
+// processing, so a bug in the processing phase cannot touch the config.
+func TestShillAwareExecutableAttenuates(t *testing.T) {
+	k := kernel.New()
+	k.InstallShillModule()
+	t.Cleanup(k.Shutdown)
+
+	k.RegisterBinary("privsep", func(p *kernel.Proc, argv []string) int {
+		// Phase 1: full session privileges — read the config, and touch
+		// the data file so the parent session's privileges propagate to
+		// its vnode (a grant to the sub-session is checked against the
+		// parent's privileges *on that object*).
+		cfgFD, err := p.OpenAt(kernel.AtCWD, "/app/config", kernel.ORead, 0)
+		if err != nil {
+			p.Write(2, []byte("config: "+err.Error()+"\n"))
+			return 1
+		}
+		p.Close(cfgFD)
+		if _, err := p.FStatAt(kernel.AtCWD, "/app/data", true); err != nil {
+			p.Write(2, []byte("stat data: "+err.Error()+"\n"))
+			return 1
+		}
+
+		// Phase 2: attenuate. The new session gets only read on the data
+		// file — granted from (and checked against) the parent session's
+		// privileges.
+		fs := p.Kernel().FS
+		if _, err := p.ShillInit(kernel.SessionOptions{}); err != nil {
+			return 2
+		}
+		// Lookup grants derive nothing (matching what the parent's own
+		// ancestor grants can cover).
+		bareLookup := priv.NewGrant(priv.RLookup).WithDerived(priv.RLookup, &priv.Grant{})
+		grants := []struct {
+			vn mac.Labeled
+			g  *priv.Grant
+		}{
+			{fs.Root(), bareLookup},
+			{fs.MustResolve("/app"), bareLookup},
+			{fs.MustResolve("/app/data"), priv.NewGrant(priv.RRead)},
+		}
+		for _, grant := range grants {
+			if err := p.ShillGrant(grant.vn, grant.g); err != nil {
+				return 3
+			}
+		}
+		if err := p.ShillEnter(); err != nil {
+			return 3
+		}
+
+		// Processing phase: data is readable...
+		dFD, err := p.OpenAt(kernel.AtCWD, "/app/data", kernel.ORead, 0)
+		if err != nil {
+			p.Write(2, []byte("data: "+err.Error()+"\n"))
+			return 4
+		}
+		p.Close(dFD)
+		// ...but the config no longer is: the attenuation held.
+		if _, err := p.OpenAt(kernel.AtCWD, "/app/config", kernel.ORead, 0); err == nil {
+			p.Write(2, []byte("config still readable after attenuation\n"))
+			return 5
+		}
+		return 0
+	})
+
+	files := map[string]string{
+		"/bin/privsep": "#!bin:privsep\n",
+		"/app/config":  "secret=1",
+		"/app/data":    "payload",
+	}
+	for path, data := range files {
+		if _, err := k.FS.WriteFile(path, []byte(data), 0o755, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := k.NewProc(0, 0)
+	exe := cap.NewFile(p, k.FS.MustResolve("/bin/privsep"), stdlib.ExecGrant)
+	app := cap.NewDir(p, k.FS.MustResolve("/app"), priv.GrantOf(priv.ReadOnlyDir))
+
+	pf := cap.NewPipeFactory(p)
+	r, w, _ := pf.CreatePipe()
+	res, err := Exec(p, exe, nil, Options{Extras: []*cap.Capability{app}, Stderr: w})
+	w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 {
+		out, _ := r.Read()
+		t.Fatalf("privsep exit = %d: %s", res.ExitCode, strings.TrimSpace(string(out)))
+	}
+}

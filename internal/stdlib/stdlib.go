@@ -1,0 +1,64 @@
+// Package stdlib holds the data tables behind SHILL's standard library
+// (§3.1.4): the known-dependency map fed to populate_native_wallet and
+// the privilege bundles behind the contracts script's abbreviations
+// (readonly, writeable, ...). The callable standard-library modules
+// themselves live in internal/lang (they need interpreter access); this
+// package keeps the policy content reviewable in one place.
+package stdlib
+
+import "repro/internal/priv"
+
+// KnownDeps maps executable names to extra file resources those
+// executables depend on beyond their linked libraries. The entries
+// mirror the dependencies the paper's authors discovered through
+// debugging sandboxes (§4.1): OCaml tools search /usr/local/lib/ocaml,
+// and ocamlyacc (run under gmake) needs a temporary directory.
+var KnownDeps = map[string][]string{
+	"ocamlc":    {"/usr/local/lib/ocaml"},
+	"ocamlrun":  {"/usr/local/lib/ocaml"},
+	"ocamlyacc": {"/usr/local/lib/ocaml"},
+}
+
+// Contract privilege bundles (§3.1.4): "a programmer can specify the
+// contract readonly rather than the more verbose dir(+read-symlink,
+// +contents, +lookup, +stat, +read, +path) ∨ file(+stat, +read, +path)".
+var (
+	// ReadOnlyDirGrant is the directory half of readonly. Lookup
+	// inherits the same grant, so everything reachable is also readonly.
+	ReadOnlyDirGrant = priv.GrantOf(priv.ReadOnlyDir)
+	// ReadOnlyFileGrant is the file half of readonly.
+	ReadOnlyFileGrant = priv.GrantOf(priv.ReadOnlyFile)
+	// WriteableGrant extends readonly files with write authority.
+	WriteableGrant = priv.GrantOf(priv.WriteableFile)
+	// WriteOnlyGrant allows writing and appending but not reading — log
+	// files in the Apache case study.
+	WriteOnlyGrant = priv.GrantOf(priv.NewSet(priv.RWrite, priv.RAppend, priv.RStat, priv.RPath))
+	// AppendOnlyGrant is for grade logs: append, never overwrite.
+	AppendOnlyGrant = priv.GrantOf(priv.NewSet(priv.RAppend, priv.RStat, priv.RPath))
+	// ExecGrant is what a binary needs to be executed in a sandbox.
+	ExecGrant = priv.GrantOf(priv.ExecFile)
+	// PathDirGrant is what wallet PATH directories carry: search and
+	// derive executable capabilities.
+	PathDirGrant = func() *priv.Grant {
+		g := priv.GrantOf(priv.NewSet(priv.RLookup, priv.RContents, priv.RStat, priv.RPath, priv.RRead))
+		return g.WithDerived(priv.RLookup,
+			priv.GrantOf(priv.NewSet(priv.RExec, priv.RRead, priv.RStat, priv.RPath, priv.RLookup, priv.RContents)))
+	}()
+	// TmpGrant is the /tmp contract from the grading case study:
+	// "sandboxed processes can only read, modify, or delete files or
+	// directories they create" — create privileges whose modifiers give
+	// full control over created objects, but no authority over existing
+	// entries.
+	TmpGrant = func() *priv.Grant {
+		created := priv.GrantOf(priv.NewSet(
+			priv.RRead, priv.RWrite, priv.RAppend, priv.RStat, priv.RPath,
+			priv.RTruncate, priv.RUnlink, priv.RLookup, priv.RContents,
+			priv.RCreateFile, priv.RCreateDir))
+		g := priv.GrantOf(priv.NewSet(priv.RLookup, priv.RCreateFile, priv.RCreateDir, priv.RStat, priv.RPath))
+		g = g.WithDerived(priv.RCreateFile, created)
+		g = g.WithDerived(priv.RCreateDir, created)
+		// Lookup derives nothing: existing entries stay untouchable.
+		g = g.WithDerived(priv.RLookup, priv.GrantOf(priv.NewSet(priv.RStat, priv.RPath)))
+		return g
+	}()
+)

@@ -1,0 +1,103 @@
+package stdlib
+
+import (
+	"testing"
+
+	"repro/internal/priv"
+)
+
+// TestReadonlyMatchesPaper checks the §3.1.4 abbreviation: readonly =
+// dir(+read-symlink, +contents, +lookup, +stat, +read, +path) ∨
+// file(+stat, +read, +path).
+func TestReadonlyMatchesPaper(t *testing.T) {
+	wantDir := priv.NewSet(priv.RReadSymlink, priv.RContents, priv.RLookup,
+		priv.RStat, priv.RRead, priv.RPath)
+	if ReadOnlyDirGrant.Rights != wantDir {
+		t.Fatalf("readonly dir = %v, want %v", ReadOnlyDirGrant.Rights, wantDir)
+	}
+	wantFile := priv.NewSet(priv.RStat, priv.RRead, priv.RPath)
+	if ReadOnlyFileGrant.Rights != wantFile {
+		t.Fatalf("readonly file = %v, want %v", ReadOnlyFileGrant.Rights, wantFile)
+	}
+}
+
+func TestReadonlyConfersNoWriteAuthority(t *testing.T) {
+	forbidden := priv.NewSet(priv.RWrite, priv.RAppend, priv.RCreateFile,
+		priv.RCreateDir, priv.RUnlinkFile, priv.RUnlinkDir, priv.RChmod,
+		priv.RChown, priv.RTruncate, priv.RExec)
+	for _, g := range []*priv.Grant{ReadOnlyDirGrant, ReadOnlyFileGrant} {
+		if !g.Rights.Intersect(forbidden).Empty() {
+			t.Fatalf("readonly grant includes write authority: %v", g)
+		}
+	}
+}
+
+func TestWriteOnlyCannotRead(t *testing.T) {
+	if WriteOnlyGrant.Has(priv.RRead) {
+		t.Fatal("writeonly grant can read")
+	}
+	if !WriteOnlyGrant.Has(priv.RWrite) || !WriteOnlyGrant.Has(priv.RAppend) {
+		t.Fatal("writeonly grant cannot write (needs both +write and +append under the MAC rule)")
+	}
+}
+
+func TestAppendOnlyIsAppendOnly(t *testing.T) {
+	if AppendOnlyGrant.Has(priv.RWrite) || AppendOnlyGrant.Has(priv.RRead) ||
+		AppendOnlyGrant.Has(priv.RTruncate) {
+		t.Fatalf("append-only grant too strong: %v", AppendOnlyGrant)
+	}
+	if !AppendOnlyGrant.Has(priv.RAppend) {
+		t.Fatal("append-only grant cannot append")
+	}
+}
+
+// TestTmpGrantShape verifies the grading case study's /tmp contract:
+// "sandboxed processes can only read, modify, or delete files or
+// directories they create" (§4.1).
+func TestTmpGrantShape(t *testing.T) {
+	// Existing entries: lookup derives only stat+path.
+	lookupSub := TmpGrant.DerivedGrant(priv.RLookup)
+	if lookupSub.Has(priv.RRead) || lookupSub.Has(priv.RWrite) || lookupSub.Has(priv.RUnlink) {
+		t.Fatalf("tmp lookup modifier leaks authority over existing files: %v", lookupSub)
+	}
+	// Created entries: full control including deletion.
+	created := TmpGrant.DerivedGrant(priv.RCreateFile)
+	for _, r := range []priv.Right{priv.RRead, priv.RWrite, priv.RAppend, priv.RUnlink} {
+		if !created.Has(r) {
+			t.Fatalf("tmp create modifier missing %v", r)
+		}
+	}
+	if !TmpGrant.DerivedGrant(priv.RCreateDir).Has(priv.RCreateFile) {
+		t.Fatal("created directories cannot hold new files")
+	}
+	// The top grant itself carries no read/write on the directory.
+	if TmpGrant.Has(priv.RRead) || TmpGrant.Has(priv.RContents) {
+		t.Fatalf("tmp grant reads existing state: %v", TmpGrant)
+	}
+}
+
+func TestPathDirGrantDerivesExecutables(t *testing.T) {
+	sub := PathDirGrant.DerivedGrant(priv.RLookup)
+	if !sub.Has(priv.RExec) || !sub.Has(priv.RRead) {
+		t.Fatalf("PATH lookup modifier cannot run executables: %v", sub)
+	}
+	if sub.Has(priv.RWrite) || sub.Has(priv.RCreateFile) {
+		t.Fatalf("PATH lookup modifier can modify binaries: %v", sub)
+	}
+}
+
+func TestKnownDepsCoverOCamlAnecdote(t *testing.T) {
+	// §4.1: "OCaml searches for libraries in this directory" — the
+	// default table must carry it for every OCaml tool.
+	for _, tool := range []string{"ocamlc", "ocamlrun", "ocamlyacc"} {
+		found := false
+		for _, dep := range KnownDeps[tool] {
+			if dep == "/usr/local/lib/ocaml" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("KnownDeps[%s] missing /usr/local/lib/ocaml", tool)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package vfs
+
+import (
+	"sync"
+
+	"repro/internal/errno"
+	"repro/internal/mac"
+)
+
+// pipeBufCap mirrors the 64 KiB capacity of a FreeBSD pipe buffer.
+const pipeBufCap = 64 * 1024
+
+// Pipe is an anonymous pipe shared by a read end and a write end. SHILL
+// treats pipe ends as file capabilities (§2.2 "Following Unix convention,
+// file capabilities include capabilities for files, pipes, and devices").
+type Pipe struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []byte
+	readers int
+	writers int
+	label   mac.Label
+}
+
+// NewPipe returns a pipe with one reader and one writer reference.
+func NewPipe() *Pipe {
+	p := &Pipe{readers: 1, writers: 1}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// MACLabel returns the pipe's MAC label.
+func (p *Pipe) MACLabel() *mac.Label { return &p.label }
+
+// Read blocks until data is available or every writer has closed. It
+// returns 0, nil at EOF.
+func (p *Pipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		if p.writers == 0 {
+			return 0, nil // EOF
+		}
+		p.cond.Wait()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	p.cond.Broadcast()
+	return n, nil
+}
+
+// Write appends to the pipe buffer, blocking while the buffer is full.
+// Writing with no readers returns EPIPE.
+func (p *Pipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for len(b) > 0 {
+		if p.readers == 0 {
+			return total, errno.EPIPE
+		}
+		space := pipeBufCap - len(p.buf)
+		for space <= 0 {
+			p.cond.Wait()
+			if p.readers == 0 {
+				return total, errno.EPIPE
+			}
+			space = pipeBufCap - len(p.buf)
+		}
+		n := len(b)
+		if n > space {
+			n = space
+		}
+		p.buf = append(p.buf, b[:n]...)
+		b = b[n:]
+		total += n
+		p.cond.Broadcast()
+	}
+	return total, nil
+}
+
+// CloseRead drops a reader reference.
+func (p *Pipe) CloseRead() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readers > 0 {
+		p.readers--
+	}
+	p.cond.Broadcast()
+}
+
+// CloseWrite drops a writer reference.
+func (p *Pipe) CloseWrite() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.writers > 0 {
+		p.writers--
+	}
+	p.cond.Broadcast()
+}
+
+// AddReader adds a reader reference (fd duplication across fork).
+func (p *Pipe) AddReader() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.readers++
+}
+
+// AddWriter adds a writer reference.
+func (p *Pipe) AddWriter() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.writers++
+}
+
+// Buffered returns the number of bytes waiting in the pipe.
+func (p *Pipe) Buffered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}
+
+// --- standard character devices ---
+
+// NullDevice implements /dev/null: reads return EOF, writes are
+// discarded.
+type NullDevice struct{}
+
+// DevRead returns EOF.
+func (NullDevice) DevRead(p []byte) (int, error) { return 0, nil }
+
+// DevWrite discards p.
+func (NullDevice) DevWrite(p []byte) (int, error) { return len(p), nil }
+
+// ZeroDevice implements /dev/zero.
+type ZeroDevice struct{}
+
+// DevRead fills p with zero bytes.
+func (ZeroDevice) DevRead(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+// DevWrite discards p.
+func (ZeroDevice) DevWrite(p []byte) (int, error) { return len(p), nil }
+
+// ConsoleDevice is a capture-backed pseudo-terminal: writes accumulate
+// into an in-memory buffer that tests and the benchmark harness inspect,
+// and reads drain a scripted input buffer. Because the MAC framework
+// does not interpose on character-device I/O (§3.2.3), sandboxed
+// processes can always write here if handed the device — the documented
+// limitation, reproduced.
+type ConsoleDevice struct {
+	mu     sync.Mutex
+	out    []byte
+	in     []byte
+	maxOut int
+}
+
+// NewConsoleDevice returns a console with an unbounded capture buffer.
+func NewConsoleDevice() *ConsoleDevice { return &ConsoleDevice{} }
+
+// SetLimit caps the capture buffer; older output is discarded first.
+// Long-running benchmarks use it to bound memory.
+func (c *ConsoleDevice) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxOut = n
+}
+
+// DevRead drains scripted input.
+func (c *ConsoleDevice) DevRead(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.in) == 0 {
+		return 0, nil
+	}
+	n := copy(p, c.in)
+	c.in = c.in[n:]
+	return n, nil
+}
+
+// DevWrite captures output.
+func (c *ConsoleDevice) DevWrite(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = append(c.out, p...)
+	if c.maxOut > 0 && len(c.out) > c.maxOut {
+		c.out = c.out[len(c.out)-c.maxOut:]
+	}
+	return len(p), nil
+}
+
+// FeedInput appends scripted input for subsequent reads.
+func (c *ConsoleDevice) FeedInput(p []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.in = append(c.in, p...)
+}
+
+// Output returns a copy of everything written so far.
+func (c *ConsoleDevice) Output() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]byte, len(c.out))
+	copy(out, c.out)
+	return out
+}
+
+// ResetOutput clears the capture buffer.
+func (c *ConsoleDevice) ResetOutput() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = nil
+}

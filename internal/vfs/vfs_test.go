@@ -1,0 +1,474 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/errno"
+)
+
+func newTestFS(t *testing.T) *FS {
+	t.Helper()
+	return New()
+}
+
+func TestRootProperties(t *testing.T) {
+	fs := newTestFS(t)
+	root := fs.Root()
+	if !root.IsDir() {
+		t.Fatal("root is not a directory")
+	}
+	if p, ok := fs.PathOf(root); !ok || p != "/" {
+		t.Fatalf("PathOf(root) = %q, %v", p, ok)
+	}
+	if parent, err := fs.Lookup(root, ".."); err != nil || parent != root {
+		t.Fatalf("root/.. = %v, %v; want root", parent, err)
+	}
+}
+
+func TestCreateLookupReadWrite(t *testing.T) {
+	fs := newTestFS(t)
+	f, err := fs.Create(fs.Root(), "hello.txt", 0o644, 1000, 1000)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got, err := fs.Lookup(fs.Root(), "hello.txt")
+	if err != nil || got != f {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	buf := make([]byte, 16)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil || string(buf[:n]) != "hello world" {
+		t.Fatalf("ReadAt = %q, %v", buf[:n], err)
+	}
+	if n, _ := f.ReadAt(buf, 100); n != 0 {
+		t.Fatalf("read past EOF returned %d bytes", n)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	fs := newTestFS(t)
+	if _, err := fs.Create(fs.Root(), "x", 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(fs.Root(), "x", 0o644, 0, 0); !errors.Is(err, errno.EEXIST) {
+		t.Fatalf("duplicate create err = %v, want EEXIST", err)
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	fs := newTestFS(t)
+	for _, name := range []string{"", "a/b", "a\x00b", ".", ".."} {
+		if _, err := fs.Create(fs.Root(), name, 0o644, 0, 0); err == nil {
+			t.Errorf("Create(%q) succeeded, want error", name)
+		}
+	}
+	long := make([]byte, 256)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := fs.Create(fs.Root(), string(long), 0o644, 0, 0); err == nil {
+		t.Error("Create(256-char name) succeeded, want error")
+	}
+}
+
+func TestMkdirNesting(t *testing.T) {
+	fs := newTestFS(t)
+	a, err := fs.Mkdir(fs.Root(), "a", 0o755, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.Mkdir(a, "b", 0o755, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := fs.PathOf(b); !ok || p != "/a/b" {
+		t.Fatalf("PathOf = %q, %v", p, ok)
+	}
+	if parent, _ := fs.Lookup(b, ".."); parent != a {
+		t.Fatal("b/.. != a")
+	}
+}
+
+func TestAppendIsAtomicOffset(t *testing.T) {
+	fs := newTestFS(t)
+	f, _ := fs.Create(fs.Root(), "log", 0o644, 0, 0)
+	off1, _ := f.Append([]byte("aa"))
+	off2, _ := f.Append([]byte("bb"))
+	if off1 != 0 || off2 != 2 {
+		t.Fatalf("append offsets = %d, %d", off1, off2)
+	}
+	if !bytes.Equal(f.Bytes(), []byte("aabb")) {
+		t.Fatalf("contents = %q", f.Bytes())
+	}
+}
+
+func TestUnlinkSemantics(t *testing.T) {
+	fs := newTestFS(t)
+	d, _ := fs.Mkdir(fs.Root(), "d", 0o755, 0, 0)
+	f, _ := fs.Create(d, "f", 0o644, 0, 0)
+
+	if err := fs.Unlink(fs.Root(), "d", false); !errors.Is(err, errno.EISDIR) {
+		t.Fatalf("unlink dir without rmdir = %v, want EISDIR", err)
+	}
+	if err := fs.Unlink(fs.Root(), "d", true); !errors.Is(err, errno.ENOTEMPTY) {
+		t.Fatalf("rmdir non-empty = %v, want ENOTEMPTY", err)
+	}
+	if err := fs.Unlink(d, "f", true); !errors.Is(err, errno.ENOTDIR) {
+		t.Fatalf("rmdir file = %v, want ENOTDIR", err)
+	}
+	if err := fs.Unlink(d, "f", false); err != nil {
+		t.Fatalf("unlink file: %v", err)
+	}
+	if _, ok := fs.PathOf(f); ok {
+		t.Fatal("unlinked file still has a cached path")
+	}
+	if err := fs.Unlink(fs.Root(), "d", true); err != nil {
+		t.Fatalf("rmdir empty: %v", err)
+	}
+}
+
+func TestUnlinkIfSame(t *testing.T) {
+	fs := newTestFS(t)
+	d, _ := fs.Mkdir(fs.Root(), "d", 0o755, 0, 0)
+	f1, _ := fs.Create(d, "f", 0o644, 0, 0)
+
+	// Simulate the TOCTOU race: replace d/f with another file.
+	if err := fs.Unlink(d, "f", false); err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := fs.Create(d, "f", 0o644, 0, 0)
+	if err := fs.UnlinkIfSame(d, "f", f1); !errors.Is(err, errno.EINVAL) {
+		t.Fatalf("UnlinkIfSame stale = %v, want EINVAL", err)
+	}
+	if err := fs.UnlinkIfSame(d, "f", f2); err != nil {
+		t.Fatalf("UnlinkIfSame fresh: %v", err)
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	fs := newTestFS(t)
+	f, _ := fs.Create(fs.Root(), "a", 0o644, 0, 0)
+	d, _ := fs.Mkdir(fs.Root(), "d", 0o755, 0, 0)
+	if err := fs.Link(d, "b", f); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if st := f.Stat(); st.Nlink != 2 {
+		t.Fatalf("nlink = %d, want 2", st.Nlink)
+	}
+	got, err := fs.Lookup(d, "b")
+	if err != nil || got != f {
+		t.Fatal("link does not resolve to the same vnode")
+	}
+	if err := fs.Link(d, "sub", d); !errors.Is(err, errno.EPERM) {
+		t.Fatalf("hard-linking a directory = %v, want EPERM", err)
+	}
+	// Unlink the original; the path cache should fall over to the link.
+	if err := fs.Unlink(fs.Root(), "a", false); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stat(); st.Nlink != 1 {
+		t.Fatalf("nlink after unlink = %d", st.Nlink)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := newTestFS(t)
+	a, _ := fs.Mkdir(fs.Root(), "a", 0o755, 0, 0)
+	b, _ := fs.Mkdir(fs.Root(), "b", 0o755, 0, 0)
+	f, _ := fs.Create(a, "f", 0o644, 0, 0)
+	if err := fs.Rename(a, "f", b, "g"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, err := fs.Lookup(a, "f"); !errors.Is(err, errno.ENOENT) {
+		t.Fatal("source entry survived rename")
+	}
+	if got, _ := fs.Lookup(b, "g"); got != f {
+		t.Fatal("renamed entry is a different vnode")
+	}
+	if p, _ := fs.PathOf(f); p != "/b/g" {
+		t.Fatalf("PathOf after rename = %q", p)
+	}
+}
+
+func TestRenameIntoOwnSubtree(t *testing.T) {
+	fs := newTestFS(t)
+	a, _ := fs.Mkdir(fs.Root(), "a", 0o755, 0, 0)
+	sub, _ := fs.Mkdir(a, "sub", 0o755, 0, 0)
+	if err := fs.Rename(fs.Root(), "a", sub, "x"); !errors.Is(err, errno.EINVAL) {
+		t.Fatalf("rename into own subtree = %v, want EINVAL", err)
+	}
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	fs := newTestFS(t)
+	src, _ := fs.Create(fs.Root(), "src", 0o644, 0, 0)
+	dst, _ := fs.Create(fs.Root(), "dst", 0o644, 0, 0)
+	if err := fs.Rename(fs.Root(), "src", fs.Root(), "dst"); err != nil {
+		t.Fatalf("Rename replace: %v", err)
+	}
+	if got, _ := fs.Lookup(fs.Root(), "dst"); got != src {
+		t.Fatal("target was not replaced")
+	}
+	if st := dst.Stat(); st.Nlink != 0 {
+		t.Fatalf("replaced target nlink = %d", st.Nlink)
+	}
+}
+
+func TestSymlink(t *testing.T) {
+	fs := newTestFS(t)
+	if _, err := fs.Symlink(fs.Root(), "ln", "/target", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	ln, _ := fs.Lookup(fs.Root(), "ln")
+	target, err := ln.Readlink()
+	if err != nil || target != "/target" {
+		t.Fatalf("Readlink = %q, %v", target, err)
+	}
+	f, _ := fs.Create(fs.Root(), "file", 0o644, 0, 0)
+	if _, err := f.Readlink(); !errors.Is(err, errno.EINVAL) {
+		t.Fatal("Readlink on regular file should fail")
+	}
+}
+
+func TestDACAccessible(t *testing.T) {
+	fs := newTestFS(t)
+	f, _ := fs.Create(fs.Root(), "f", 0o640, 1000, 100)
+	cases := []struct {
+		uid, gid int
+		want     uint16
+		ok       bool
+	}{
+		{1000, 100, ModeRead | ModeWrite, true}, // owner rw
+		{1000, 100, ModeExec, false},            // owner no exec
+		{2000, 100, ModeRead, true},             // group r
+		{2000, 100, ModeWrite, false},           // group no w
+		{2000, 200, ModeRead, false},            // other none
+		{0, 0, ModeRead | ModeWrite, true},      // root bypass
+		{0, 0, ModeExec, false},                 // root exec needs some x bit
+	}
+	for i, c := range cases {
+		if got := f.Accessible(c.uid, c.gid, c.want); got != c.ok {
+			t.Errorf("case %d: Accessible(%d,%d,%o) = %v, want %v", i, c.uid, c.gid, c.want, got, c.ok)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := newTestFS(t)
+	f, _ := fs.Create(fs.Root(), "f", 0o644, 0, 0)
+	f.SetBytes([]byte("abcdef"))
+	if err := f.Truncate(3); err != nil || string(f.Bytes()) != "abc" {
+		t.Fatalf("shrink: %q, %v", f.Bytes(), err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Bytes(), []byte("abc\x00\x00")) {
+		t.Fatalf("grow: %q", f.Bytes())
+	}
+	if err := f.Truncate(-1); !errors.Is(err, errno.EINVAL) {
+		t.Fatal("negative truncate should fail")
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := newTestFS(t)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := fs.Create(fs.Root(), name, 0o644, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := fs.ReadDir(fs.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("ReadDir = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestMkdirAllAndWriteFile(t *testing.T) {
+	fs := newTestFS(t)
+	if _, err := fs.WriteFile("/usr/local/lib/libc.so", []byte("elf"), 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	v := fs.MustResolve("/usr/local/lib/libc.so")
+	if string(v.Bytes()) != "elf" {
+		t.Fatal("contents mismatch")
+	}
+	// MkdirAll over an existing file component fails.
+	if _, err := fs.MkdirAll("/usr/local/lib/libc.so/x", 0o755, 0, 0); !errors.Is(err, errno.ENOTDIR) {
+		t.Fatalf("MkdirAll through file = %v", err)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	fs := newTestFS(t)
+	fs.MustResolve("/")
+	if _, err := fs.WriteFile("/a/b/c.txt", nil, 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	fs.Walk(fs.Root(), func(p string, v *Vnode) { paths = append(paths, p) })
+	want := map[string]bool{"/": true, "/a": true, "/a/b": true, "/a/b/c.txt": true}
+	if len(paths) != len(want) {
+		t.Fatalf("Walk visited %v", paths)
+	}
+	for _, p := range paths {
+		if !want[p] {
+			t.Fatalf("unexpected path %q", p)
+		}
+	}
+}
+
+func TestPipeReadWriteEOF(t *testing.T) {
+	p := NewPipe()
+	go func() {
+		p.Write([]byte("hello"))
+		p.CloseWrite()
+	}()
+	buf := make([]byte, 8)
+	n, err := p.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("Read = %q, %v", buf[:n], err)
+	}
+	n, err = p.Read(buf)
+	if n != 0 || err != nil {
+		t.Fatalf("EOF read = %d, %v", n, err)
+	}
+}
+
+func TestPipeWriteAfterReaderClose(t *testing.T) {
+	p := NewPipe()
+	p.CloseRead()
+	if _, err := p.Write([]byte("x")); !errors.Is(err, errno.EPIPE) {
+		t.Fatalf("write to closed pipe = %v, want EPIPE", err)
+	}
+}
+
+func TestPipeBackpressure(t *testing.T) {
+	p := NewPipe()
+	big := make([]byte, pipeBufCap+1024)
+	done := make(chan struct{})
+	go func() {
+		p.Write(big)
+		close(done)
+	}()
+	// Drain until the writer can finish.
+	total := 0
+	buf := make([]byte, 4096)
+	for total < len(big) {
+		n, err := p.Read(buf)
+		if err != nil {
+			t.Errorf("Read: %v", err)
+			return
+		}
+		total += n
+	}
+	<-done
+}
+
+func TestDevices(t *testing.T) {
+	fs := newTestFS(t)
+	dev, _ := fs.MkdirAll("/dev", 0o755, 0, 0)
+	null, err := fs.Mkdev(dev, "null", 0o666, 0, 0, NullDevice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := null.Device().DevRead(make([]byte, 4)); n != 0 {
+		t.Fatal("/dev/null read should be EOF")
+	}
+	zero := ZeroDevice{}
+	buf := []byte{1, 2, 3}
+	zero.DevRead(buf)
+	if buf[0] != 0 || buf[2] != 0 {
+		t.Fatal("/dev/zero should zero the buffer")
+	}
+	con := NewConsoleDevice()
+	con.DevWrite([]byte("out"))
+	if string(con.Output()) != "out" {
+		t.Fatal("console capture mismatch")
+	}
+	con.FeedInput([]byte("in"))
+	got := make([]byte, 2)
+	con.DevRead(got)
+	if string(got) != "in" {
+		t.Fatal("console input mismatch")
+	}
+}
+
+// Property: PathOf is the inverse of resolution for every created path.
+func TestPathOfRoundTrip(t *testing.T) {
+	fs := newTestFS(t)
+	fn := func(rawNames []string) bool {
+		cur := fs.Root()
+		path := ""
+		for _, raw := range rawNames {
+			name := sanitizeName(raw)
+			if name == "" {
+				continue
+			}
+			next, err := fs.Lookup(cur, name)
+			if err != nil {
+				next, err = fs.Mkdir(cur, name, 0o755, 0, 0)
+				if err != nil {
+					return false
+				}
+			}
+			if !next.IsDir() {
+				continue
+			}
+			cur = next
+			path += "/" + name
+		}
+		if path == "" {
+			path = "/"
+		}
+		got, ok := fs.PathOf(cur)
+		return ok && got == path
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '/' || r == 0 || r == '.' {
+			continue
+		}
+		out = append(out, r)
+		if len(out) >= 32 {
+			break
+		}
+	}
+	return string(out)
+}
+
+// Property: nlink of a directory equals 2 + number of subdirectories.
+func TestDirNlinkInvariant(t *testing.T) {
+	fs := newTestFS(t)
+	d, _ := fs.Mkdir(fs.Root(), "d", 0o755, 0, 0)
+	subs := []string{"a", "b", "c"}
+	for _, s := range subs {
+		fs.Mkdir(d, s, 0o755, 0, 0)
+	}
+	fs.Create(d, "file", 0o644, 0, 0) // files don't count
+	if st := d.Stat(); st.Nlink != 2+len(subs) {
+		t.Fatalf("dir nlink = %d, want %d", st.Nlink, 2+len(subs))
+	}
+	fs.Unlink(d, "a", true)
+	if st := d.Stat(); st.Nlink != 2+len(subs)-1 {
+		t.Fatalf("dir nlink after rmdir = %d", st.Nlink)
+	}
+}

@@ -1,0 +1,163 @@
+// Package wallet implements SHILL's capability wallets (§2.4.1, §3.1.4):
+// maps from strings to lists of capabilities that "automate and simplify
+// the discovery, packaging, and management of capabilities that
+// sandboxes need to run executables".
+//
+// A native wallet is the particular wallet shape the standard library's
+// populate_native_wallet builds: PATH and LIBPATH search directories, a
+// map of known library dependencies, and a pipe factory. pkg_native (in
+// internal/stdlib) consumes it.
+package wallet
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cap"
+	"repro/internal/errno"
+)
+
+// Well-known native-wallet keys.
+const (
+	KeyPath        = "PATH"            // executable search directories
+	KeyLibPath     = "LD_LIBRARY_PATH" // library search directories
+	KeyPipeFactory = "pipe-factory"
+	// DepPrefix prefixes per-library known-dependency entries, e.g.
+	// "dep:ocamlc" lists extra resources the ocamlc executable needs.
+	DepPrefix = "dep:"
+)
+
+// Wallet is a mutable map from keys to capability lists. Wallets are the
+// only mechanism for "controlled sharing of capabilities" (§2.1); they
+// are capability values themselves and flow through contracts.
+type Wallet struct {
+	mu sync.RWMutex
+	m  map[string][]*cap.Capability
+}
+
+// New returns an empty wallet.
+func New() *Wallet {
+	return &Wallet{m: make(map[string][]*cap.Capability)}
+}
+
+// Put appends capabilities under a key.
+func (w *Wallet) Put(key string, caps ...*cap.Capability) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.m[key] = append(w.m[key], caps...)
+}
+
+// Set replaces the capabilities under a key.
+func (w *Wallet) Set(key string, caps []*cap.Capability) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.m[key] = append([]*cap.Capability(nil), caps...)
+}
+
+// Get returns the capabilities under a key.
+func (w *Wallet) Get(key string) []*cap.Capability {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]*cap.Capability(nil), w.m[key]...)
+}
+
+// Has reports whether the key is present and non-empty.
+func (w *Wallet) Has(key string) bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.m[key]) > 0
+}
+
+// Keys returns the wallet's keys, sorted.
+func (w *Wallet) Keys() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	keys := make([]string, 0, len(w.m))
+	for k := range w.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Restrict returns a copy of the wallet with every capability attenuated
+// by the per-key grants (contract application over wallets). Keys absent
+// from grants pass through unchanged.
+func (w *Wallet) Restrict(blame string, restrict func(key string, c *cap.Capability) *cap.Capability) *Wallet {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := New()
+	for k, caps := range w.m {
+		rcaps := make([]*cap.Capability, 0, len(caps))
+		for _, c := range caps {
+			rcaps = append(rcaps, restrict(k, c))
+		}
+		out.m[k] = rcaps
+	}
+	_ = blame
+	return out
+}
+
+// IsNative reports whether the wallet has the native-wallet shape:
+// a PATH, a LIBPATH, and a pipe factory (§3.1.4).
+func (w *Wallet) IsNative() bool {
+	return w.Has(KeyPath) && w.Has(KeyLibPath) && w.Has(KeyPipeFactory)
+}
+
+// FindExecutable searches the PATH directories, in order, for a child
+// with the given name, deriving a capability through each directory's
+// lookup privilege. The name must be a single component (capability
+// safety: wallets present "a familiar path-based interface" but remain
+// capability safe, §2.4.1).
+func (w *Wallet) FindExecutable(name string) (*cap.Capability, error) {
+	return w.searchDirs(KeyPath, name)
+}
+
+// FindLibrary searches the LIBPATH directories for a library file.
+func (w *Wallet) FindLibrary(name string) (*cap.Capability, error) {
+	return w.searchDirs(KeyLibPath, name)
+}
+
+func (w *Wallet) searchDirs(key, name string) (*cap.Capability, error) {
+	if strings.ContainsAny(name, "/\x00") || name == "" || name == "." || name == ".." {
+		return nil, errno.EINVAL
+	}
+	for _, dir := range w.Get(key) {
+		if !dir.IsDir() {
+			continue
+		}
+		child, err := dir.Lookup(name)
+		if err == nil {
+			return child, nil
+		}
+	}
+	return nil, errno.ENOENT
+}
+
+// KnownDeps returns the extra capabilities recorded for an executable
+// name via DepPrefix entries.
+func (w *Wallet) KnownDeps(name string) []*cap.Capability {
+	return w.Get(DepPrefix + name)
+}
+
+// PipeFactory returns the wallet's pipe factory, or nil.
+func (w *Wallet) PipeFactory() *cap.Capability {
+	pf := w.Get(KeyPipeFactory)
+	if len(pf) == 0 {
+		return nil
+	}
+	return pf[0]
+}
+
+// All returns every capability in the wallet (used when granting a whole
+// wallet to a sandbox).
+func (w *Wallet) All() []*cap.Capability {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var out []*cap.Capability
+	for _, caps := range w.m {
+		out = append(out, caps...)
+	}
+	return out
+}

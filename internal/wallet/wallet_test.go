@@ -1,0 +1,146 @@
+package wallet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cap"
+	"repro/internal/errno"
+	"repro/internal/kernel"
+	"repro/internal/priv"
+)
+
+func world(t *testing.T) (*kernel.Kernel, *kernel.Proc) {
+	t.Helper()
+	k := kernel.New()
+	t.Cleanup(k.Shutdown)
+	for _, path := range []string{"/bin/cat", "/usr/bin/grep", "/lib/libc.so.7"} {
+		if _, err := k.FS.WriteFile(path, []byte("#!bin:x\n"), 0o755, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k, k.NewProc(0, 0)
+}
+
+func dirCap(k *kernel.Kernel, p *kernel.Proc, path string) *cap.Capability {
+	return cap.NewDir(p, k.FS.MustResolve(path), priv.FullGrant())
+}
+
+func TestPutGetKeys(t *testing.T) {
+	k, p := world(t)
+	w := New()
+	bin := dirCap(k, p, "/bin")
+	w.Put(KeyPath, bin)
+	w.Put(KeyPath, dirCap(k, p, "/usr/bin"))
+	if got := len(w.Get(KeyPath)); got != 2 {
+		t.Fatalf("PATH entries = %d", got)
+	}
+	if !w.Has(KeyPath) || w.Has(KeyLibPath) {
+		t.Fatal("Has broken")
+	}
+	keys := w.Keys()
+	if len(keys) != 1 || keys[0] != KeyPath {
+		t.Fatalf("Keys = %v", keys)
+	}
+	// Get returns a copy: mutating it does not affect the wallet.
+	got := w.Get(KeyPath)
+	got[0] = nil
+	if w.Get(KeyPath)[0] == nil {
+		t.Fatal("Get aliases internal storage")
+	}
+}
+
+func TestFindExecutableSearchOrder(t *testing.T) {
+	k, p := world(t)
+	w := New()
+	w.Put(KeyPath, dirCap(k, p, "/bin"), dirCap(k, p, "/usr/bin"))
+	c, err := w.FindExecutable("grep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path, _ := c.Path(); path != "/usr/bin/grep" {
+		t.Fatalf("found %s", path)
+	}
+	if _, err := w.FindExecutable("nonesuch"); !errors.Is(err, errno.ENOENT) {
+		t.Fatalf("missing executable = %v", err)
+	}
+}
+
+func TestFindExecutableCapabilitySafety(t *testing.T) {
+	k, p := world(t)
+	w := New()
+	w.Put(KeyPath, dirCap(k, p, "/bin"))
+	// Path-like names must be rejected: the wallet's path-based interface
+	// stays capability safe (§2.4.1).
+	for _, name := range []string{"../etc/passwd", "a/b", "..", ".", ""} {
+		if _, err := w.FindExecutable(name); err == nil {
+			t.Errorf("FindExecutable(%q) succeeded", name)
+		}
+	}
+}
+
+func TestFindExecutableRespectsLookupPrivilege(t *testing.T) {
+	k, p := world(t)
+	w := New()
+	noLookup := cap.NewDir(p, k.FS.MustResolve("/bin"), priv.NewGrant(priv.RContents))
+	w.Put(KeyPath, noLookup)
+	if _, err := w.FindExecutable("cat"); err == nil {
+		t.Fatal("found an executable through a lookup-less capability")
+	}
+}
+
+func TestKnownDeps(t *testing.T) {
+	k, p := world(t)
+	w := New()
+	lib := dirCap(k, p, "/lib")
+	w.Put(DepPrefix+"ocamlc", lib)
+	deps := w.KnownDeps("ocamlc")
+	if len(deps) != 1 || deps[0] != lib {
+		t.Fatalf("KnownDeps = %v", deps)
+	}
+	if len(w.KnownDeps("other")) != 0 {
+		t.Fatal("unexpected deps")
+	}
+}
+
+func TestIsNative(t *testing.T) {
+	k, p := world(t)
+	w := New()
+	if w.IsNative() {
+		t.Fatal("empty wallet is native")
+	}
+	w.Put(KeyPath, dirCap(k, p, "/bin"))
+	w.Put(KeyLibPath, dirCap(k, p, "/lib"))
+	w.Put(KeyPipeFactory, cap.NewPipeFactory(p))
+	if !w.IsNative() {
+		t.Fatal("complete wallet not native")
+	}
+	if w.PipeFactory() == nil {
+		t.Fatal("PipeFactory nil")
+	}
+}
+
+func TestRestrictProducesNewWallet(t *testing.T) {
+	k, p := world(t)
+	w := New()
+	w.Put(KeyPath, dirCap(k, p, "/bin"))
+	r := w.Restrict("test", func(key string, c *cap.Capability) *cap.Capability {
+		return c.Restrict(priv.NewGrant(priv.RLookup), "test")
+	})
+	if r.Get(KeyPath)[0].Grant().Rights.Has(priv.RRead) {
+		t.Fatal("restriction not applied")
+	}
+	if !w.Get(KeyPath)[0].Grant().Rights.Has(priv.RRead) {
+		t.Fatal("original wallet modified")
+	}
+}
+
+func TestAll(t *testing.T) {
+	k, p := world(t)
+	w := New()
+	w.Put(KeyPath, dirCap(k, p, "/bin"))
+	w.Put(KeyLibPath, dirCap(k, p, "/lib"))
+	if got := len(w.All()); got != 2 {
+		t.Fatalf("All = %d entries", got)
+	}
+}
