@@ -17,4 +17,35 @@
 //	go test -bench BenchmarkFigure11 .   # syscall microbenchmarks
 //
 // or run cmd/benchfig for paper-style tables.
+//
+// # Testing
+//
+// The tier-1 gate is
+//
+//	go build ./... && go test ./...
+//
+// The kernel serves concurrent sandbox sessions (see
+// internal/core/parallel.go), so the concurrency-sensitive packages
+// should also be run under the race detector — CI does both:
+//
+//	go vet ./...
+//	go test -race -timeout=5m ./...
+//
+// The multi-session workload itself is exercised by the parallel tests
+// in internal/core/scripts_parallel_test.go and measured by
+//
+//	go test -bench BenchmarkParallelGrading .
+//
+// which grades N private courses concurrently (sessions=1, 4, 16), each
+// session in its own runtime process with its own console device, and
+// reports aggregate scripts/sec. Config.SpawnLatency simulates the real
+// testbed's fork/exec cost so the scaling reflects overlap of genuine
+// per-sandbox blocking.
+//
+// Fuzzing (internal/lang/fuzz_test.go): the parser must never panic and
+// sandboxed evaluation must never escape its granted capabilities.
+// Plain `go test` replays the seed corpus; run the engines with
+//
+//	go test ./internal/lang -fuzz=FuzzParse -fuzztime=30s
+//	go test ./internal/lang -fuzz=FuzzEval  -fuzztime=30s
 package repro

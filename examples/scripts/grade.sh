@@ -1,0 +1,54 @@
+# grade.sh SUBMISSIONS TESTS WORK GRADES
+# Compile each student's OCaml submission and run it against the test
+# suite, recording per-student results under GRADES.
+subs=$1
+tests=$2
+work=$3
+grades=$4
+
+for student in $(ls $subs)
+do
+  sdir=$subs/$student
+  wdir=$work/$student
+  log=$grades/$student
+  mkdir $wdir
+  touch $log
+
+  # Stage the submission into the working directory.
+  if [ -f $sdir/main.ml ]
+  then
+    cp $sdir/main.ml $wdir/main.ml
+  else
+    echo no-submission >> $log
+  fi
+
+  # Compile.
+  if [ -f $wdir/main.ml ]
+  then
+    ocamlc -o $wdir/main.byte $wdir/main.ml 2> $wdir/compile.err
+    if [ -f $wdir/main.byte ]
+    then
+      echo compiled >> $log
+    else
+      echo compile-failed >> $log
+    fi
+  fi
+
+  # Run the submission and capture its output.
+  if [ -f $wdir/main.byte ]
+  then
+    ocamlrun $wdir/main.byte > $wdir/out.txt 2> $wdir/run.err
+    # Score: one expected string per test file.
+    for t in $(ls $tests)
+    do
+      expected=$(cat $tests/$t)
+      if grep $expected $wdir/out.txt >> $wdir/grep.out
+      then
+        echo pass $t >> $log
+      else
+        echo fail $t >> $log
+      fi
+    done
+  fi
+done
+echo grading-complete

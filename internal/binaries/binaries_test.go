@@ -3,6 +3,7 @@ package binaries
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/netstack"
@@ -371,14 +372,26 @@ func TestCurlAgainstOrigind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Wait for bind.
-	for i := 0; i < 1000; i++ {
+	// Wait for bind, yielding between attempts so the server goroutine
+	// actually gets scheduled (a hot loop can exhaust its attempts
+	// before origind ever binds).
+	bound := false
+	deadline := time.Now().Add(30 * time.Second)
+	for !bound && time.Now().Before(deadline) {
 		s := k.Net.NewSocket(netstack.DomainIP)
 		if err := k.Net.Connect(s, "80"); err == nil {
 			k.Net.Send(s, []byte("GET /__ping\n"))
 			k.Net.Close(s)
-			break
+			bound = true
+		} else {
+			// Close failed probes too: they would otherwise sit in the
+			// stack's live-socket registry until shutdown.
+			k.Net.Close(s)
+			time.Sleep(50 * time.Microsecond)
 		}
+	}
+	if !bound {
+		t.Fatal("origind never bound port 80")
 	}
 	if code, _ := run(t, k, p, con, "curl", "-o", "dl.bin", "http://origin/file.bin"); code != 0 {
 		t.Fatal("curl failed")

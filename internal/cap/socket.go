@@ -36,6 +36,10 @@ func (c *Capability) SocketConnect(addr string) (*Capability, error) {
 	st := c.proc.Kernel().Net
 	so := st.NewSocket(c.sockDomain)
 	if err := st.Connect(so, addr); err != nil {
+		// Close the failed socket so it leaves the stack's live-socket
+		// registry: a connect-retry loop would otherwise pin one dead
+		// socket per attempt until stack shutdown.
+		st.Close(so)
 		return nil, err
 	}
 	return sockCap(c.proc, c.sockDomain, c.grant, so), nil
@@ -53,6 +57,7 @@ func (c *Capability) SocketListen(addr string) (*Capability, error) {
 	st := c.proc.Kernel().Net
 	so := st.NewSocket(c.sockDomain)
 	if err := st.Bind(so, addr); err != nil {
+		st.Close(so)
 		return nil, err
 	}
 	if err := st.Listen(so); err != nil {

@@ -97,15 +97,21 @@ var FullScaleGrading = GradingWorkload{Students: 122, Tests: 42, Malicious: true
 // BuildGradingCourse stages /course: submissions, tests, empty work and
 // grades directories, and grade.sh.
 func (s *System) BuildGradingCourse(w GradingWorkload) {
+	s.BuildGradingCourseAt("/course", w)
+}
+
+// BuildGradingCourseAt stages a full course tree under an arbitrary
+// root, so concurrent sessions can each grade a private course.
+func (s *System) BuildGradingCourseAt(root string, w GradingWorkload) {
 	fs := s.K.FS
-	for _, d := range []string{"/course", "/course/submissions", "/course/tests", "/course/work", "/course/grades"} {
-		if _, err := fs.MkdirAll(d, 0o755, UserUID, UserUID); err != nil {
+	for _, d := range []string{"", "/submissions", "/tests", "/work", "/grades"} {
+		if _, err := fs.MkdirAll(root+d, 0o755, UserUID, UserUID); err != nil {
 			panic("core: " + err.Error())
 		}
 	}
-	s.mustWrite("/course/grade.sh", []byte(GradeSh), 0o644, UserUID)
+	s.mustWrite(root+"/grade.sh", []byte(GradeSh), 0o644, UserUID)
 	for i := 0; i < w.Tests; i++ {
-		s.mustWrite(fmt.Sprintf("/course/tests/t%03d", i),
+		s.mustWrite(fmt.Sprintf("%s/tests/t%03d", root, i),
 			[]byte(fmt.Sprintf("answer%03d", i)), 0o644, UserUID)
 	}
 	// Correct students print every expected answer.
@@ -122,23 +128,26 @@ func (s *System) BuildGradingCourse(w GradingWorkload) {
 		case i%7 == 5: // does not compile
 			src = "let rec oops = syntax error\n"
 		}
-		s.mustWrite("/course/submissions/"+name+"/main.ml", []byte(src), 0o644, UserUID)
+		s.mustWrite(root+"/submissions/"+name+"/main.ml", []byte(src), 0o644, UserUID)
 	}
 	if w.Malicious {
 		// The cheater copies student000's answers by reading their
 		// submission at grading time.
-		s.mustWrite("/course/submissions/zz_cheater/main.ml",
-			[]byte("readfile /course/submissions/student000/main.ml\n"), 0o644, UserUID)
+		s.mustWrite(root+"/submissions/zz_cheater/main.ml",
+			[]byte("readfile "+root+"/submissions/student000/main.ml\n"), 0o644, UserUID)
 		// The vandal corrupts the test suite, then answers correctly.
-		s.mustWrite("/course/submissions/zz_vandal/main.ml",
-			[]byte("writefile /course/tests/t000 pwned\n"+correct.String()), 0o644, UserUID)
+		s.mustWrite(root+"/submissions/zz_vandal/main.ml",
+			[]byte("writefile "+root+"/tests/t000 pwned\n"+correct.String()), 0o644, UserUID)
 	}
 }
 
 // ResetGradingOutputs clears work and grades between runs.
-func (s *System) ResetGradingOutputs() {
-	s.clearDir("/course/work")
-	s.clearDir("/course/grades")
+func (s *System) ResetGradingOutputs() { s.ResetGradingOutputsAt("/course") }
+
+// ResetGradingOutputsAt clears a course's work and grades directories.
+func (s *System) ResetGradingOutputsAt(root string) {
+	s.clearDir(root + "/work")
+	s.clearDir(root + "/grades")
 }
 
 func (s *System) clearDir(path string) {

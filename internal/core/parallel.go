@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/lang"
+	"repro/internal/vfs"
+)
+
+// This file is the multi-session workload layer: a System can execute N
+// independent sandboxed scripts concurrently, each in its own runtime
+// process with its own console device, the way a production SHILL host
+// would serve many users at once. The kernel's per-subsystem locking
+// (internal/kernel, internal/netstack, internal/vfs) is what makes this
+// safe; the parallel Figure 9 benchmarks in bench_test.go are what make
+// it measured rather than asserted.
+
+// SessionCtx is one isolated execution context: a dedicated runtime
+// process (uid UserUID, cwd /home/user) and a private console device at
+// /dev/pts/<index>. Contexts are created once per index and reused, so
+// repeated runs do not grow the process table.
+type SessionCtx struct {
+	Index       int
+	Proc        *kernel.Proc
+	Console     *vfs.ConsoleDevice
+	ConsolePath string
+}
+
+// NewInterp builds a fresh interpreter whose ambient authority is this
+// session's process and whose stdin/stdout/stderr builtins bind the
+// session's private console rather than the shared /dev/console.
+func (ctx *SessionCtx) NewInterp(s *System) *lang.Interp {
+	it := lang.NewInterp(ctx.Proc, s.Scripts, s.Prof)
+	it.ConsolePath = ctx.ConsolePath
+	return it
+}
+
+// Session returns the i-th session context, creating it (and its
+// console device) on first use.
+func (s *System) Session(i int) *SessionCtx {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	for len(s.sessions) <= i {
+		idx := len(s.sessions)
+		console := vfs.NewConsoleDevice()
+		if s.consoleLimit > 0 {
+			console.SetLimit(s.consoleLimit)
+		}
+		path := fmt.Sprintf("/dev/pts/%d", idx)
+		dir, err := s.K.FS.MkdirAll("/dev/pts", 0o755, 0, 0)
+		if err != nil {
+			panic("core: " + err.Error())
+		}
+		if _, err := s.K.FS.Mkdev(dir, fmt.Sprint(idx), 0o666, 0, 0, console); err != nil {
+			panic("core: " + err.Error())
+		}
+		proc := s.K.NewProc(UserUID, UserUID)
+		if err := proc.Chdir("/home/user"); err != nil {
+			panic("core: " + err.Error())
+		}
+		s.sessions = append(s.sessions, &SessionCtx{
+			Index: idx, Proc: proc, Console: console, ConsolePath: path,
+		})
+	}
+	return s.sessions[i]
+}
+
+// SessionResult reports one session's outcome.
+type SessionResult struct {
+	Index   int
+	Err     error
+	Output  string // everything the session wrote to its console
+	Elapsed time.Duration
+}
+
+// RunSessions executes fn once per session index, concurrently, one
+// goroutine per session. Each invocation receives its own SessionCtx;
+// console output is captured (and the capture buffer cleared) per
+// session. The returned slice is ordered by index; the returned error
+// is the first session error, if any.
+func (s *System) RunSessions(n int, fn func(ctx *SessionCtx) error) ([]SessionResult, error) {
+	results := make([]SessionResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ctx := s.Session(i)
+		ctx.Console.ResetOutput()
+		wg.Add(1)
+		go func(i int, ctx *SessionCtx) {
+			defer wg.Done()
+			start := time.Now()
+			err := fn(ctx)
+			results[i] = SessionResult{
+				Index:   i,
+				Err:     err,
+				Output:  string(ctx.Console.Output()),
+				Elapsed: time.Since(start),
+			}
+			ctx.Console.ResetOutput()
+		}(i, ctx)
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("session %d: %w", i, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// GradingRoot returns the course root a parallel grading session uses.
+func GradingRoot(i int) string { return fmt.Sprintf("/course/s%03d", i) }
+
+// PrepareGradingSessions stages one private course tree per session (if
+// not already staged) and resets its outputs, so RunGradingSessions can
+// be called repeatedly from a benchmark loop.
+func (s *System) PrepareGradingSessions(n int, w GradingWorkload) {
+	s.LoadCaseScripts()
+	for i := 0; i < n; i++ {
+		s.Session(i) // ensure console + proc exist
+		root := GradingRoot(i)
+		s.sessMu.Lock()
+		if s.stagedGrading == nil {
+			s.stagedGrading = make(map[string]GradingWorkload)
+		}
+		staged, ok := s.stagedGrading[root]
+		s.sessMu.Unlock()
+		_, rerr := s.K.FS.Resolve(root)
+		if rerr != nil || !ok || staged != w {
+			if rerr == nil {
+				s.clearDir(root) // workload changed: drop the stale tree
+			}
+			s.BuildGradingCourseAt(root, w)
+			s.sessMu.Lock()
+			s.stagedGrading[root] = w
+			s.sessMu.Unlock()
+		}
+		s.ResetGradingOutputsAt(root)
+	}
+}
+
+// RunGradingSessions grades n private courses concurrently, one session
+// each, in the given mode — the parallel variant of the Figure 9
+// grading case study.
+func (s *System) RunGradingSessions(n int, mode Mode, w GradingWorkload) ([]SessionResult, error) {
+	s.PrepareGradingSessions(n, w)
+	return s.RunPreparedGradingSessions(n, mode)
+}
+
+// RunPreparedGradingSessions grades the n courses most recently staged
+// by PrepareGradingSessions without re-staging or resetting them, so a
+// benchmark's timed region measures grading alone.
+func (s *System) RunPreparedGradingSessions(n int, mode Mode) ([]SessionResult, error) {
+	return s.RunSessions(n, func(ctx *SessionCtx) error {
+		return s.runGradingSession(ctx, mode, GradingRoot(ctx.Index))
+	})
+}
+
+// runGradingSession grades one course root inside one session context.
+func (s *System) runGradingSession(ctx *SessionCtx, mode Mode, root string) error {
+	switch mode {
+	case ModeAmbient:
+		code, err := s.spawnWaitConsole(ctx.Proc, ctx.ConsolePath, "/bin/sh",
+			[]string{root + "/grade.sh", root + "/submissions", root + "/tests", root + "/work", root + "/grades"}, "")
+		if err != nil {
+			return err
+		}
+		if code != 0 {
+			return fmt.Errorf("grade.sh exited with status %d", code)
+		}
+		return nil
+	case ModeSandboxed:
+		return ctx.NewInterp(s).RunAmbient("grade_sandbox.ambient",
+			GradeAmbientSandboxAt(root, ctx.ConsolePath))
+	case ModeShill:
+		return ctx.NewInterp(s).RunAmbient("grade.ambient",
+			GradeAmbientShillAt(root, ctx.ConsolePath))
+	}
+	return fmt.Errorf("unknown mode %v", mode)
+}
+
+// GradeAt returns a student's grade-log contents under a course root.
+func (s *System) GradeAt(root, student string) string {
+	vn, err := s.K.FS.Resolve(root + "/grades/" + student)
+	if err != nil {
+		return ""
+	}
+	return string(vn.Bytes())
+}

@@ -183,9 +183,12 @@ grade = fun(wallet, subs, tests, work, grades, out) {
 };
 `
 
-// ScriptGradeAmbientShill invokes the pure-SHILL grading script (paper:
-// 16 lines). Generated per run with the course paths baked in.
-const ScriptGradeAmbientShill = `#lang shill/ambient
+// GradeAmbientShillAt renders the ambient driver for the pure-SHILL
+// grading script (paper: 16 lines) with the course root and console
+// device path baked in, so concurrent sessions can each grade their own
+// course tree and write to their own console.
+func GradeAmbientShillAt(root, console string) string {
+	return `#lang shill/ambient
 
 require shill/native;
 require "grade.cap";
@@ -195,17 +198,24 @@ wallet = create_wallet();
 populate_native_wallet(wallet, root,
   "/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
 
-subs = open_dir("/course/submissions");
-tests = open_dir("/course/tests");
-work = open_dir("/course/work");
-grades = open_dir("/course/grades");
-out = open_file("/dev/console");
+subs = open_dir("` + root + `/submissions");
+tests = open_dir("` + root + `/tests");
+work = open_dir("` + root + `/work");
+grades = open_dir("` + root + `/grades");
+out = open_file("` + console + `");
 grade(wallet, subs, tests, work, grades, out);
 `
+}
 
-// ScriptGradeAmbientSandbox invokes the sandboxed-Bash grading script
-// (paper: 22 lines).
-const ScriptGradeAmbientSandbox = `#lang shill/ambient
+// ScriptGradeAmbientShill invokes the pure-SHILL grading script against
+// the default course at /course.
+var ScriptGradeAmbientShill = GradeAmbientShillAt("/course", "/dev/console")
+
+// GradeAmbientSandboxAt renders the ambient driver for the
+// sandboxed-Bash grading script (paper: 22 lines) with the course root
+// and console device path baked in.
+func GradeAmbientSandboxAt(root, console string) string {
+	return `#lang shill/ambient
 
 require shill/native;
 require "grade_sandbox.cap";
@@ -215,15 +225,20 @@ wallet = create_wallet();
 populate_native_wallet(wallet, root,
   "/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
 
-script = open_file("/course/grade.sh");
-subs = open_dir("/course/submissions");
-tests = open_dir("/course/tests");
-work = open_dir("/course/work");
-grades = open_dir("/course/grades");
+script = open_file("` + root + `/grade.sh");
+subs = open_dir("` + root + `/submissions");
+tests = open_dir("` + root + `/tests");
+work = open_dir("` + root + `/work");
+grades = open_dir("` + root + `/grades");
 tmp = open_dir("/tmp");
-out = open_file("/dev/console");
+out = open_file("` + console + `");
 grade_sandbox(wallet, script, subs, tests, work, grades, tmp, out);
 `
+}
+
+// ScriptGradeAmbientSandbox invokes the sandboxed-Bash grading script
+// against the default course at /course.
+var ScriptGradeAmbientSandbox = GradeAmbientSandboxAt("/course", "/dev/console")
 
 // ScriptPkgEmacsCap is the Emacs package-management script (paper: 91
 // lines of capability-safe code of which 45 are contracts). Each

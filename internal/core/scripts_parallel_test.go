@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests exercise the concurrent multi-session path end to end
+// (run them under -race): N sessions, each with its own runtime
+// process, console device, and course tree, grade simultaneously
+// against one shared kernel. They assert both that the runs succeed and
+// that isolation holds — no session's output or grades bleed into
+// another's.
+
+func parallelWorkload() GradingWorkload {
+	return GradingWorkload{Students: 3, Tests: 2, Malicious: true}
+}
+
+func TestParallelGradingShill(t *testing.T) {
+	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	t.Cleanup(s.Close)
+	const n = 4
+	w := parallelWorkload()
+	results, err := s.RunGradingSessions(n, ModeShill, w)
+	if err != nil {
+		t.Fatalf("parallel grading: %v", err)
+	}
+	for _, r := range results {
+		if !strings.Contains(r.Output, "grading-complete") {
+			t.Errorf("session %d console = %q, want grading-complete", r.Index, r.Output)
+		}
+		// Consoles are private: exactly one completion marker each.
+		if got := strings.Count(r.Output, "grading-complete"); got != 1 {
+			t.Errorf("session %d completion markers = %d, want 1", r.Index, got)
+		}
+		root := GradingRoot(r.Index)
+		g := s.GradeAt(root, "student000")
+		if !strings.Contains(g, "compiled") || strings.Contains(g, "fail") {
+			t.Errorf("session %d student000 grade = %q, want all passes", r.Index, g)
+		}
+		if got := strings.Count(g, "pass "); got != w.Tests {
+			t.Errorf("session %d student000 passes = %d, want %d", r.Index, got, w.Tests)
+		}
+		// The SHILL version confines the vandal in every session: no
+		// course's test suite is corrupted.
+		vn, err := s.K.FS.Resolve(root + "/tests/t000")
+		if err != nil {
+			t.Fatalf("session %d: %v", r.Index, err)
+		}
+		if string(vn.Bytes()) != "answer000" {
+			t.Errorf("session %d vandal corrupted tests: %q", r.Index, vn.Bytes())
+		}
+	}
+}
+
+// TestParallelGradingWorkloadSwitch: staging is keyed on the workload,
+// not just on the course root existing — rerunning with a different
+// GradingWorkload must rebuild the trees, not silently grade the old
+// course.
+func TestParallelGradingWorkloadSwitch(t *testing.T) {
+	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	t.Cleanup(s.Close)
+	const n = 2
+	small := GradingWorkload{Students: 3, Tests: 2}
+	big := GradingWorkload{Students: 10, Tests: 5, Malicious: true}
+	for _, w := range []GradingWorkload{small, big, small} {
+		if _, err := s.RunGradingSessions(n, ModeShill, w); err != nil {
+			t.Fatalf("grading %+v: %v", w, err)
+		}
+		want := w.Students
+		if w.Malicious {
+			want += 2 // zz_cheater and zz_vandal
+		}
+		for i := 0; i < n; i++ {
+			root := GradingRoot(i)
+			dir, err := s.K.FS.Resolve(root + "/submissions")
+			if err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+			names, _ := s.K.FS.ReadDir(dir)
+			if len(names) != want {
+				t.Errorf("session %d with %+v: %d submissions, want %d", i, w, len(names), want)
+			}
+			grades, err := s.K.FS.Resolve(root + "/grades")
+			if err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+			graded, _ := s.K.FS.ReadDir(grades)
+			if len(graded) != want {
+				t.Errorf("session %d with %+v: %d grades, want %d", i, w, len(graded), want)
+			}
+		}
+	}
+}
+
+func TestParallelGradingSandboxed(t *testing.T) {
+	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	t.Cleanup(s.Close)
+	const n = 3
+	results, err := s.RunGradingSessions(n, ModeSandboxed, parallelWorkload())
+	if err != nil {
+		t.Fatalf("parallel sandboxed grading: %v", err)
+	}
+	for _, r := range results {
+		if !strings.Contains(r.Output, "grading-complete") {
+			t.Errorf("session %d console = %q, want grading-complete", r.Index, r.Output)
+		}
+	}
+}
+
+func TestParallelGradingRepeatable(t *testing.T) {
+	// Back-to-back runs over the same sessions must reuse contexts (no
+	// process-table growth) and still produce clean results.
+	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	t.Cleanup(s.Close)
+	const n = 2
+	w := parallelWorkload()
+	if _, err := s.RunGradingSessions(n, ModeShill, w); err != nil {
+		t.Fatal(err)
+	}
+	procsAfterFirst := len(s.K.Procs())
+	for round := 0; round < 2; round++ {
+		results, err := s.RunGradingSessions(n, ModeShill, w)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, r := range results {
+			if !strings.Contains(r.Output, "grading-complete") {
+				t.Errorf("round %d session %d console = %q", round, r.Index, r.Output)
+			}
+		}
+	}
+	if got := len(s.K.Procs()); got > procsAfterFirst {
+		t.Errorf("process table grew across runs: %d -> %d", procsAfterFirst, got)
+	}
+}
+
+func TestRunSessionsIsolatedConsoles(t *testing.T) {
+	// The generic runner: each session writes a distinct marker through
+	// its own console device; captures must not interleave.
+	s := NewSystem(Config{InstallModule: true})
+	t.Cleanup(s.Close)
+	const n = 8
+	results, err := s.RunSessions(n, func(ctx *SessionCtx) error {
+		marker := fmt.Sprintf("session-%d-marker", ctx.Index)
+		code, err := s.spawnWaitConsole(ctx.Proc, ctx.ConsolePath, "/bin/echo", []string{marker}, "")
+		if err != nil {
+			return err
+		}
+		if code != 0 {
+			return fmt.Errorf("echo exited %d", code)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		want := fmt.Sprintf("session-%d-marker\n", r.Index)
+		if r.Output != want {
+			t.Errorf("session %d console = %q, want %q", r.Index, r.Output, want)
+		}
+		if r.Elapsed < 0 || r.Elapsed > time.Minute {
+			t.Errorf("session %d implausible elapsed %v", r.Index, r.Elapsed)
+		}
+	}
+}
+
+func TestRunSessionsStdoutBuiltinIsolated(t *testing.T) {
+	// The ambient stdout/stderr builtins must bind each session's
+	// private console, not the shared /dev/console.
+	s := NewSystem(Config{InstallModule: true})
+	t.Cleanup(s.Close)
+	const n = 4
+	results, err := s.RunSessions(n, func(ctx *SessionCtx) error {
+		src := fmt.Sprintf("#lang shill/ambient\n\nappend(stdout, \"builtin-%d\\n\");\n", ctx.Index)
+		return ctx.NewInterp(s).RunAmbient("stdout.ambient", src)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		want := fmt.Sprintf("builtin-%d\n", r.Index)
+		if r.Output != want {
+			t.Errorf("session %d console = %q, want %q", r.Index, r.Output, want)
+		}
+	}
+	if shared := s.ConsoleText(); shared != "" {
+		t.Errorf("shared /dev/console captured session output: %q", shared)
+	}
+}
+
+func TestParallelGradingThroughputScales(t *testing.T) {
+	// The qualitative version of BenchmarkParallelGrading: with
+	// simulated spawn latency (standing in for the real testbed's
+	// fork/exec cost) concurrent sessions must finish much faster than
+	// the same work run back to back.
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20, SpawnLatency: 2 * time.Millisecond})
+	t.Cleanup(s.Close)
+	const n = 8
+	w := GradingWorkload{Students: 2, Tests: 1}
+	s.PrepareGradingSessions(n, w) // stage outside the timed region
+
+	serial := time.Duration(0)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if _, err := s.RunGradingSessions(1, ModeShill, w); err != nil {
+			t.Fatal(err)
+		}
+		serial += time.Since(start)
+	}
+	start := time.Now()
+	if _, err := s.RunGradingSessions(n, ModeShill, w); err != nil {
+		t.Fatal(err)
+	}
+	parallel := time.Since(start)
+	// Require a clear win, not statistical noise: 8 concurrent sessions
+	// should beat 8 serial runs by at least 2x when latency dominates.
+	if parallel > serial/2 {
+		t.Errorf("parallel %v vs serial %v: expected at least 2x speedup", parallel, serial)
+	}
+}

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/binaries"
@@ -24,6 +25,11 @@ type Config struct {
 	InstallModule bool
 	// ConsoleLimit caps the console capture buffer (0 = unlimited).
 	ConsoleLimit int
+	// SpawnLatency, when non-zero, simulates the fork/exec cost of the
+	// paper's real testbed on every Exec (see kernel.SetSpawnLatency).
+	// Parallel-session benchmarks enable it so throughput scaling
+	// reflects overlap of genuine per-sandbox blocking.
+	SpawnLatency time.Duration
 }
 
 // System is an assembled simulated machine.
@@ -34,6 +40,19 @@ type System struct {
 	Console *vfs.ConsoleDevice
 	Prof    *prof.Collector
 	Scripts lang.MapLoader
+
+	consoleLimit int
+
+	// Isolated per-index session contexts (see parallel.go), created
+	// lazily and reused across runs so repeated benchmark iterations do
+	// not leak processes or console devices.
+	sessMu   sync.Mutex
+	sessions []*SessionCtx
+
+	// stagedGrading records, per course root, the workload its tree was
+	// last built for, so PrepareGradingSessions rebuilds when the caller
+	// switches workloads instead of silently grading the stale course.
+	stagedGrading map[string]GradingWorkload
 }
 
 // UID of the unprivileged user every case study runs as.
@@ -56,6 +75,10 @@ func NewSystem(cfg Config) *System {
 	}
 	if cfg.ConsoleLimit > 0 {
 		s.Console.SetLimit(cfg.ConsoleLimit)
+	}
+	s.consoleLimit = cfg.ConsoleLimit
+	if cfg.SpawnLatency > 0 {
+		k.SetSpawnLatency(cfg.SpawnLatency)
 	}
 	s.buildBaseImage()
 	s.RootSh = k.NewProc(0, 0)
@@ -262,6 +285,13 @@ func (s *System) SpawnWaitAmbient(path string, argv []string) (int, error) {
 
 // SpawnWaitAmbientDir is SpawnWaitAmbient with a working directory.
 func (s *System) SpawnWaitAmbientDir(path string, argv []string, dir string) (int, error) {
+	return s.spawnWaitConsole(s.Runtime, "/dev/console", path, argv, dir)
+}
+
+// spawnWaitConsole runs a command through an arbitrary process with an
+// arbitrary console device as stdio — the per-session variant backing
+// both the ambient helpers above and the parallel session runner.
+func (s *System) spawnWaitConsole(proc *kernel.Proc, consolePath, path string, argv []string, dir string) (int, error) {
 	vn, err := s.K.FS.Resolve(path)
 	if err != nil {
 		return -1, err
@@ -274,8 +304,8 @@ func (s *System) SpawnWaitAmbientDir(path string, argv []string, dir string) (in
 		}
 		attr.Dir = wd
 	}
-	console := kernel.NewVnodeFD(s.K.FS.MustResolve("/dev/console"), true, true, false)
+	console := kernel.NewVnodeFD(s.K.FS.MustResolve(consolePath), true, true, false)
 	defer console.Release()
 	attr.Stdin, attr.Stdout, attr.Stderr = console, console, console
-	return s.Runtime.SpawnWait(vn, argv, attr)
+	return proc.SpawnWait(vn, argv, attr)
 }

@@ -36,6 +36,7 @@ var (
 	EADDRINUSE   = errors.New("EADDRINUSE: address already in use")
 	ECONNREFUSED = errors.New("ECONNREFUSED: connection refused")
 	ENOTCONN     = errors.New("ENOTCONN: socket is not connected")
+	ECONNABORTED = errors.New("ECONNABORTED: software caused connection abort")
 	EAGAIN       = errors.New("EAGAIN: resource temporarily unavailable")
 	ENAMETOOLONG = errors.New("ENAMETOOLONG: file name too long")
 )

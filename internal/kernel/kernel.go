@@ -19,6 +19,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/errno"
 	"repro/internal/mac"
@@ -47,7 +49,12 @@ func DefaultUlimits() Ulimits {
 	return Ulimits{MaxOpenFiles: 1024, MaxFileSize: 1 << 34, MaxProcs: 4096}
 }
 
-// Kernel owns every simulated kernel subsystem.
+// Kernel owns every simulated kernel subsystem. Locking is
+// per-subsystem so independent sandbox sessions never serialise on one
+// global lock: the process table, the binary registry, sysctl, kenv,
+// kmod, and IPC each carry their own mutex; PID and session-ID
+// allocation are atomics; fd tables, sessions, privilege maps, vnodes,
+// and sockets all have object-local locks of their own.
 type Kernel struct {
 	FS  *vfs.FS
 	Net *netstack.Stack
@@ -55,10 +62,19 @@ type Kernel struct {
 
 	Policy *ShillPolicy // nil until InstallShillModule
 
-	mu       sync.Mutex
-	procs    map[int]*Proc
-	nextPID  int
+	procsMu sync.RWMutex
+	procs   map[int]*Proc
+	nextPID atomic.Int64
+
+	binMu    sync.RWMutex
 	binaries map[string]BinMain
+
+	// spawnLatency, when non-zero, is slept in the child before its
+	// binary runs: a stand-in for the fork/exec and image-load cost of
+	// the paper's real FreeBSD testbed, which the in-memory simulator
+	// otherwise collapses to ~0. Parallel-session benchmarks enable it
+	// so that throughput scaling reflects overlap of real blocking.
+	spawnLatency atomic.Int64
 
 	sysctlMu sync.RWMutex
 	sysctl   map[string]string
@@ -73,7 +89,7 @@ type Kernel struct {
 	posixSems map[string]int
 	sysvShm   map[int][]byte
 
-	nextSessionID uint64
+	nextSessionID atomic.Uint64
 
 	// cleaner drains asynchronous session teardown, mirroring "the
 	// kernel's asynchronous cleanup of expired SHILL sandbox sessions"
@@ -151,14 +167,23 @@ func (k *Kernel) startCleaner() {
 	})
 }
 
-// Shutdown stops background workers. Safe to call multiple times and
-// concurrently with exiting processes.
+// Shutdown stops background workers and tears down the network stack,
+// waking any accepters still blocked on listeners. Safe to call
+// multiple times and concurrently with exiting processes.
 func (k *Kernel) Shutdown() {
 	k.shutdownOnce.Do(func() {
+		k.Net.Shutdown()
 		close(k.cleanerDone)
 		k.cleanerWG.Wait()
 	})
 }
+
+// SetSpawnLatency configures the simulated per-exec latency (0 disables
+// it, the default). See the field comment on Kernel.spawnLatency.
+func (k *Kernel) SetSpawnLatency(d time.Duration) { k.spawnLatency.Store(int64(d)) }
+
+// SpawnLatency returns the configured simulated exec latency.
+func (k *Kernel) SpawnLatency() time.Duration { return time.Duration(k.spawnLatency.Load()) }
 
 func (k *Kernel) enqueueCleanup(s *Session) {
 	if k.Policy == nil {
@@ -176,8 +201,8 @@ func (k *Kernel) enqueueCleanup(s *Session) {
 // Image builders then place files whose contents are "#!bin:<name>\n" to
 // make the binary invocable.
 func (k *Kernel) RegisterBinary(name string, main BinMain) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.binMu.Lock()
+	defer k.binMu.Unlock()
 	k.binaries[name] = main
 }
 
@@ -193,9 +218,9 @@ func (k *Kernel) binaryFor(vn *vfs.Vnode) (BinMain, string, error) {
 		rest = rest[:i]
 	}
 	name := strings.TrimSpace(rest)
-	k.mu.Lock()
+	k.binMu.RLock()
 	main, ok := k.binaries[name]
-	k.mu.Unlock()
+	k.binMu.RUnlock()
 	if !ok {
 		return nil, name, errno.ENOSYS
 	}
@@ -239,12 +264,9 @@ type Proc struct {
 // the filesystem root. It models a login shell: no sandbox session, full
 // ambient authority subject to DAC.
 func (k *Kernel) NewProc(uid, gid int) *Proc {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.nextPID++
 	p := &Proc{
 		k:        k,
-		pid:      k.nextPID,
+		pid:      int(k.nextPID.Add(1)),
 		cred:     mac.NewCred(uid, gid),
 		cwd:      k.FS.Root(),
 		fds:      make(map[int]*FileDesc),
@@ -253,7 +275,9 @@ func (k *Kernel) NewProc(uid, gid int) *Proc {
 		done:     make(chan struct{}),
 		limits:   DefaultUlimits(),
 	}
+	k.procsMu.Lock()
 	k.procs[p.pid] = p
+	k.procsMu.Unlock()
 	return p
 }
 
@@ -411,18 +435,18 @@ func (p *Proc) Wait(pid int) (int, error) {
 	p.mu.Lock()
 	delete(p.children, pid)
 	p.mu.Unlock()
-	p.k.mu.Lock()
+	p.k.procsMu.Lock()
 	delete(p.k.procs, pid)
-	p.k.mu.Unlock()
+	p.k.procsMu.Unlock()
 	return code, nil
 }
 
 // Kill delivers a (simulated) fatal signal to the target process after
 // the MAC signal check. Only termination is modelled.
 func (p *Proc) Kill(pid int) error {
-	p.k.mu.Lock()
+	p.k.procsMu.RLock()
 	target, ok := p.k.procs[pid]
-	p.k.mu.Unlock()
+	p.k.procsMu.RUnlock()
 	if !ok {
 		return errno.ESRCH
 	}
@@ -582,8 +606,8 @@ func (p *Proc) ShmGet(key int, size int) error {
 
 // Procs returns a snapshot of live pids, for tests.
 func (k *Kernel) Procs() []int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.procsMu.RLock()
+	defer k.procsMu.RUnlock()
 	pids := make([]int, 0, len(k.procs))
 	for pid := range k.procs {
 		pids = append(pids, pid)

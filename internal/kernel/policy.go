@@ -23,7 +23,13 @@ type privMap struct {
 }
 
 // pmOf returns the object's privilege map, creating it on first use.
+// The read path is tried first so that concurrent sessions touching an
+// already-labelled object (shared binaries, library directories) never
+// take the label's exclusive lock.
 func pmOf(l *mac.Label) *privMap {
+	if v := l.Get(policyName); v != nil {
+		return v.(*privMap)
+	}
 	return l.GetOrInit(policyName, func() any {
 		return &privMap{m: make(map[*Session]*priv.Grant)}
 	}).(*privMap)
@@ -56,6 +62,20 @@ func (pm *privMap) get(s *Session) *priv.Grant {
 func (pm *privMap) install(s *Session, g *priv.Grant, amplify bool) (created bool) {
 	if g == nil {
 		return false
+	}
+	// Fast path: repeated propagation installs the same derived grant on
+	// every lookup of the same child. Under the no-amplify rule a merge
+	// where the existing entry already holds every incoming right is a
+	// no-op (plain rights union to themselves; for deriving rights the
+	// existing modifier always stands), so the write lock — and the
+	// Clone it guards — can be skipped entirely.
+	if !amplify {
+		pm.mu.RLock()
+		existing, ok := pm.m[s]
+		pm.mu.RUnlock()
+		if ok && existing.HasAll(g.Rights) {
+			return false
+		}
 	}
 	pm.mu.Lock()
 	defer pm.mu.Unlock()

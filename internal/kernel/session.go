@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/errno"
 	"repro/internal/mac"
@@ -136,7 +137,7 @@ func (p *Proc) ShillInit(opts SessionOptions) (*Session, error) {
 	p.mu.Unlock()
 
 	s := &Session{
-		id:         atomic.AddUint64(&p.k.nextSessionID, 1),
+		id:         p.k.nextSessionID.Add(1),
 		parent:     parentSession,
 		k:          p.k,
 		sockGrants: make(map[netstack.Domain]*priv.Grant),
@@ -268,11 +269,9 @@ func (p *Proc) Fork() (*Proc, error) {
 	}
 
 	k := p.k
-	k.mu.Lock()
-	k.nextPID++
 	child := &Proc{
 		k:        k,
-		pid:      k.nextPID,
+		pid:      int(k.nextPID.Add(1)),
 		parent:   p,
 		cred:     cred.Fork(),
 		cwd:      cwd,
@@ -283,8 +282,9 @@ func (p *Proc) Fork() (*Proc, error) {
 		limits:   limits,
 		session:  session,
 	}
+	k.procsMu.Lock()
 	k.procs[child.pid] = child
-	k.mu.Unlock()
+	k.procsMu.Unlock()
 
 	if session != nil {
 		session.addProc()
@@ -313,7 +313,11 @@ func (p *Proc) Exec(vn *vfs.Vnode, argv []string) error {
 	if err != nil {
 		return err
 	}
+	latency := p.k.SpawnLatency()
 	go func() {
+		if latency > 0 {
+			time.Sleep(latency)
+		}
 		code := main(p, append([]string{name}, argv...))
 		p.exit(code)
 	}()

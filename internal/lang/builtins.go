@@ -626,9 +626,14 @@ func (it *Interp) bindAmbient(env *Env) {
 	}
 }
 
-// consoleCap returns a capability for /dev/console if the image has one.
+// consoleCap returns a capability for the interpreter's console device
+// (ConsolePath, defaulting to /dev/console) if the image has one.
 func (it *Interp) consoleCap() *cap.Capability {
-	vn, err := it.Runtime.Kernel().FS.Resolve("/dev/console")
+	path := it.ConsolePath
+	if path == "" {
+		path = "/dev/console"
+	}
+	vn, err := it.Runtime.Kernel().FS.Resolve(path)
 	if err != nil {
 		return nil
 	}

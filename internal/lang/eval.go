@@ -2,6 +2,7 @@ package lang
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/contract"
@@ -43,8 +44,19 @@ type Interp struct {
 	Loader  Loader
 	Prof    *prof.Collector
 
+	// ConsolePath is the device the ambient stdin/stdout/stderr
+	// builtins bind to ("" means /dev/console). Parallel session
+	// runners point it at the session's private console so builtin
+	// output cannot interleave across sessions.
+	ConsolePath string
+
 	modules map[string]*Module
 	globals *Env
+
+	// callDepth tracks live closure invocations (atomically, since a
+	// module's exports may be called from several goroutines) so
+	// runaway recursion is cut off at maxCallDepth.
+	callDepth atomic.Int32
 }
 
 // NewInterp builds an interpreter. Construction cost is attributed to

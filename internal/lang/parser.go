@@ -29,9 +29,29 @@ func Parse(src string) (*Script, error) {
 }
 
 type parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	depth int
 }
+
+// maxParseDepth bounds recursive-descent nesting (parenthesised
+// expressions, list literals, nested blocks, unary chains, contract
+// atoms). Without it a deeply nested input — the kind a fuzzer grows
+// from a parenthesised seed — overflows the goroutine stack, which Go
+// turns into an unrecoverable runtime death rather than a returnable
+// error. Mirrors maxCallDepth on the eval side.
+const maxParseDepth = 2048
+
+// enter/leave bracket every self-recursive production.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("nesting depth exceeds %d", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) cur() Token  { return p.toks[p.pos] }
 func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
@@ -63,6 +83,10 @@ func (p *parser) errf(format string, args ...any) error {
 // --- statements ---
 
 func (p *parser) stmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.Is("require"):
@@ -220,7 +244,13 @@ func (p *parser) block() ([]Stmt, error) {
 
 // --- expressions (precedence climbing) ---
 
-func (p *parser) expr() (Expr, error) { return p.orExpr() }
+func (p *parser) expr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.orExpr()
+}
 
 func (p *parser) orExpr() (Expr, error) {
 	l, err := p.andExpr()
@@ -320,6 +350,10 @@ func (p *parser) mulExpr() (Expr, error) {
 
 func (p *parser) unary() (Expr, error) {
 	if p.is("!") || p.is("-") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		t := p.advance()
 		x, err := p.unary()
 		if err != nil {
@@ -539,6 +573,10 @@ func (p *parser) contractArrow() (CExpr, error) {
 }
 
 func (p *parser) contractAtom() (CExpr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.Is("{"):

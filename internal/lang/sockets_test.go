@@ -3,6 +3,7 @@ package lang
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cap"
 	"repro/internal/netstack"
@@ -68,16 +69,28 @@ func TestSocketExtensionEcho(t *testing.T) {
 		}
 		serverDone <- got
 	}()
-	// Wait for the listener.
+	// Wait for the listener. The retry loop must yield between attempts:
+	// a hot loop can exhaust its budget before the server goroutine ever
+	// runs, leaving the accepter parked forever (the old 600s hang).
 	st := it.Runtime.Kernel().Net
-	for i := 0; i < 10000; i++ {
+	probed := false
+	deadline := time.Now().Add(30 * time.Second)
+	for !probed && time.Now().Before(deadline) {
 		probe := st.NewSocket(netstack.DomainIP)
 		if err := st.Connect(probe, "4500"); err == nil {
 			// This probe IS the connection the server accepts; close it
 			// and let the real client talk on a fresh serve cycle below.
 			st.Close(probe)
-			break
+			probed = true
+		} else {
+			// Failed probes must be closed too, or each one stays in
+			// the stack's live-socket registry until shutdown.
+			st.Close(probe)
+			time.Sleep(50 * time.Microsecond)
 		}
+	}
+	if !probed {
+		t.Fatal("server never bound port 4500")
 	}
 	// The probe consumed the accept; serve again for the real client.
 	<-serverDone
@@ -90,11 +103,16 @@ func TestSocketExtensionEcho(t *testing.T) {
 	}()
 	var reply Value
 	var perr error
-	for i := 0; i < 10000; i++ {
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
 		reply, perr = pingFn.Call([]Value{factory, "4500"}, nil)
-		if _, isErr := reply.(SysError); !isErr && perr == nil {
+		_, isErr := reply.(SysError)
+		if perr == nil && !isErr {
 			break
 		}
+		// Connection refused (listener not re-bound yet): retry after a
+		// yield instead of burning the attempt budget in a hot loop.
+		time.Sleep(50 * time.Microsecond)
 	}
 	if perr != nil {
 		t.Fatal(perr)

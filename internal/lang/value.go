@@ -70,6 +70,11 @@ func (c *Closure) FuncName() string {
 	return c.name
 }
 
+// maxCallDepth bounds script recursion: a runaway script (the kind
+// grammar-based shell fuzzers synthesize) gets an error instead of
+// exhausting the Go stack and killing the whole process.
+const maxCallDepth = 4096
+
 // Call implements contract.Callable.
 func (c *Closure) Call(args []Value, named map[string]Value) (Value, error) {
 	if len(named) > 0 {
@@ -78,6 +83,11 @@ func (c *Closure) Call(args []Value, named map[string]Value) (Value, error) {
 	if len(args) != len(c.params) {
 		return nil, fmt.Errorf("%s expects %d arguments, got %d", c.FuncName(), len(c.params), len(args))
 	}
+	if c.interp.callDepth.Add(1) > maxCallDepth {
+		c.interp.callDepth.Add(-1)
+		return nil, fmt.Errorf("%s: call depth exceeds %d", c.FuncName(), maxCallDepth)
+	}
+	defer c.interp.callDepth.Add(-1)
 	frame := NewEnv(c.env)
 	for i, p := range c.params {
 		if err := frame.Define(p, args[i]); err != nil {

@@ -153,14 +153,50 @@ func (s *Socket) Addr() string {
 }
 
 // Stack is the loopback network: a table of bound listeners per domain.
+// The listener table is read-mostly (every Connect consults it, binds
+// and closes mutate it), so it is guarded by an RWMutex rather than
+// serialising all dials through one exclusive lock.
 type Stack struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	listeners map[string]*Socket // key: domain-prefixed address
+	socks     map[*Socket]struct{}
+	down      bool // Shutdown was called
 }
 
 // New returns an empty loopback stack.
 func New() *Stack {
-	return &Stack{listeners: make(map[string]*Socket)}
+	return &Stack{
+		listeners: make(map[string]*Socket),
+		socks:     make(map[*Socket]struct{}),
+	}
+}
+
+func (st *Stack) register(s *Socket) {
+	st.mu.Lock()
+	st.socks[s] = struct{}{}
+	st.mu.Unlock()
+}
+
+// Shutdown tears the stack down: every live socket — listeners and
+// established connections alike — is closed, which wakes any goroutine
+// still parked in Accept or Recv with an error instead of leaving it on
+// a condition variable forever. Subsequent binds fail with
+// ECONNABORTED; Shutdown is idempotent.
+func (st *Stack) Shutdown() {
+	st.mu.Lock()
+	if st.down {
+		st.mu.Unlock()
+		return
+	}
+	st.down = true
+	snapshot := make([]*Socket, 0, len(st.socks))
+	for s := range st.socks {
+		snapshot = append(snapshot, s)
+	}
+	st.mu.Unlock()
+	for _, s := range snapshot {
+		st.Close(s)
+	}
 }
 
 // NewSocket creates an unbound socket. The kernel performs the MAC
@@ -168,6 +204,7 @@ func New() *Stack {
 func (st *Stack) NewSocket(d Domain) *Socket {
 	s := &Socket{stack: st, domain: d, state: StateNew}
 	s.cond = sync.NewCond(&s.mu)
+	st.register(s)
 	return s
 }
 
@@ -185,6 +222,9 @@ func (st *Stack) Bind(s *Socket, addr string) error {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.down {
+		return errno.ECONNABORTED
+	}
 	k := key(s.domain, addr)
 	if _, taken := st.listeners[k]; taken {
 		return errno.EADDRINUSE
@@ -216,9 +256,9 @@ func (st *Stack) Connect(s *Socket, addr string) error {
 	}
 	s.mu.Unlock()
 
-	st.mu.Lock()
+	st.mu.RLock()
 	l, ok := st.listeners[key(s.domain, addr)]
-	st.mu.Unlock()
+	st.mu.RUnlock()
 	if !ok {
 		return errno.ECONNREFUSED
 	}
@@ -232,6 +272,7 @@ func (st *Stack) Connect(s *Socket, addr string) error {
 	srv := &Socket{stack: st, domain: s.domain, state: StateConnected, rx: c2s, tx: s2c, addr: l.addr}
 	srv.cond = sync.NewCond(&srv.mu)
 	srv.peer = s
+	st.register(srv)
 	l.backlog = append(l.backlog, srv)
 	l.cond.Broadcast()
 	l.mu.Unlock()
@@ -245,12 +286,17 @@ func (st *Stack) Connect(s *Socket, addr string) error {
 }
 
 // Accept blocks until a connection is queued on the listener and returns
-// the server-side endpoint.
+// the server-side endpoint. Closing the listener (or shutting the stack
+// down) wakes every blocked accepter, which then returns ECONNABORTED —
+// a blocked Accept never outlives its listener.
 func (st *Stack) Accept(l *Socket) (*Socket, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for l.state == StateListening && len(l.backlog) == 0 {
 		l.cond.Wait()
+	}
+	if l.state == StateClosed {
+		return nil, errno.ECONNABORTED
 	}
 	if l.state != StateListening {
 		return nil, errno.EINVAL
@@ -305,11 +351,12 @@ func (st *Stack) Close(s *Socket) {
 	for _, queued := range backlog {
 		st.Close(queued)
 	}
+	st.mu.Lock()
+	delete(st.socks, s)
 	if prev == StateBound || prev == StateListening {
-		st.mu.Lock()
 		if st.listeners[key(domain, addr)] == s {
 			delete(st.listeners, key(domain, addr))
 		}
-		st.mu.Unlock()
 	}
+	st.mu.Unlock()
 }

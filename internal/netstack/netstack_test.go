@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/errno"
 )
@@ -204,5 +205,98 @@ func TestLargeTransferBackpressure(t *testing.T) {
 	}
 	if got != total {
 		t.Fatalf("received %d of %d bytes", got, total)
+	}
+}
+
+// TestCloseListenerAbortsBlockedAccept is the regression test for the
+// internal/lang 600s hang: an accepter parked on a listener's condition
+// variable must be woken by Close and must see ECONNABORTED, not wait
+// for a connection that can never arrive.
+func TestCloseListenerAbortsBlockedAccept(t *testing.T) {
+	st := New()
+	l := st.NewSocket(DomainIP)
+	if err := st.Bind(l, "90"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Listen(l); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, err := st.Accept(l)
+		done <- err
+	}()
+	<-started
+	st.Close(l)
+	if err := <-done; !errors.Is(err, errno.ECONNABORTED) {
+		t.Fatalf("accept after close = %v, want ECONNABORTED", err)
+	}
+}
+
+// TestStackShutdownWakesAccepters: shutting the whole stack down closes
+// every listener, wakes all blocked accepters, and refuses new binds.
+func TestStackShutdownWakesAccepters(t *testing.T) {
+	st := New()
+	const n = 4
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		l := st.NewSocket(DomainIP)
+		if err := st.Bind(l, "91"+string(rune('0'+i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Listen(l); err != nil {
+			t.Fatal(err)
+		}
+		go func(l *Socket) {
+			_, err := st.Accept(l)
+			errs <- err
+		}(l)
+	}
+	st.Shutdown()
+	for i := 0; i < n; i++ {
+		if err := <-errs; !errors.Is(err, errno.ECONNABORTED) {
+			t.Fatalf("accept after shutdown = %v, want ECONNABORTED", err)
+		}
+	}
+	s := st.NewSocket(DomainIP)
+	if err := st.Bind(s, "999"); !errors.Is(err, errno.ECONNABORTED) {
+		t.Fatalf("bind after shutdown = %v, want ECONNABORTED", err)
+	}
+	st.Shutdown() // idempotent
+}
+
+// TestStackShutdownWakesBlockedRecv: a goroutine parked in Recv on an
+// established connection whose peer was abandoned (never closed) must
+// be woken by Shutdown, not leak forever.
+func TestStackShutdownWakesBlockedRecv(t *testing.T) {
+	st := New()
+	l := st.NewSocket(DomainIP)
+	if err := st.Bind(l, "95"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Listen(l); err != nil {
+		t.Fatal(err)
+	}
+	c := st.NewSocket(DomainIP)
+	if err := st.Connect(c, "95"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := st.Accept(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 16)
+		st.Recv(srv, buf) // blocks: the client never sends and never closes
+		close(done)
+	}()
+	st.Shutdown()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Recv still blocked after stack shutdown")
 	}
 }
