@@ -1,0 +1,262 @@
+// Command shill-audit runs SHILL scripts with the audit subsystem
+// enabled and explains what the security layers decided: which
+// operations were checked, which were denied and by which layer (DAC,
+// MAC policy, SHILL policy, capability runtime, contract system), and
+// the provenance of every capability involved — the forge, wallet, or
+// contract that produced it.
+//
+// Usage:
+//
+//	shill-audit [-workload name] report     script.ambient [more ...]
+//	shill-audit [-workload name] trace PATH script.ambient [more ...]
+//	shill-audit [-workload name] why-denied script.ambient [more ...]
+//
+// report prints an event summary (counts by kind, layer, verdict, and
+// session). trace prints every retained event touching PATH. why-denied
+// explains each denial: the deciding layer, the operation and object,
+// the missing privileges, and — for capability-level denials — the
+// contract chain that attenuated the capability plus its full lineage.
+//
+// Script failures do not stop the walkthrough: the audit trail of a
+// failing script is exactly what the tool exists to explain. Try it on
+// the built-in demo:
+//
+//	shill-audit -workload demo why-denied examples/scripts/why_denied.ambient
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/lang"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: shill-audit [-workload name] report|trace|why-denied [PATH] script.ambient ...")
+	return 2
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shill-audit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "demo", "image to stage: demo, grading, emacs, apache, find, none")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	args := fs.Args()
+	if len(args) < 2 {
+		return usage(stderr)
+	}
+	cmd := args[0]
+	args = args[1:]
+	var tracePath string
+	switch cmd {
+	case "report", "why-denied":
+	case "trace":
+		if len(args) < 2 {
+			return usage(stderr)
+		}
+		tracePath = args[0]
+		args = args[1:]
+	default:
+		// Reject typos before staging a workload and running scripts.
+		fmt.Fprintf(stderr, "shill-audit: unknown command %q\n", cmd)
+		return usage(stderr)
+	}
+
+	s := core.NewSystem(core.Config{InstallModule: true})
+	defer s.Close()
+	if err := stageWorkload(s, *workload); err != nil {
+		fmt.Fprintf(stderr, "shill-audit: %v\n", err)
+		return 1
+	}
+
+	// Run every script, collecting failures rather than stopping: the
+	// audit trail of a failed run is the product, not a problem.
+	var scriptErrs []error
+	for _, script := range args {
+		src, err := os.ReadFile(script)
+		if err != nil {
+			fmt.Fprintf(stderr, "shill-audit: %v\n", err)
+			return 1
+		}
+		loader := hostLoader{dir: filepath.Dir(script), fallback: s.Scripts}
+		it := lang.NewInterp(s.Runtime, loader, s.Prof)
+		if rerr := it.RunAmbient(filepath.Base(script), string(src)); rerr != nil {
+			scriptErrs = append(scriptErrs, fmt.Errorf("%s: %w", script, rerr))
+		}
+	}
+
+	log := s.Audit()
+	switch cmd {
+	case "report":
+		report(stdout, log)
+	case "trace":
+		trace(stdout, log, tracePath)
+	case "why-denied":
+		whyDenied(stdout, log, scriptErrs)
+	}
+	for _, e := range scriptErrs {
+		fmt.Fprintf(stderr, "shill-audit: script failed: %v\n", e)
+	}
+	return 0
+}
+
+// hostLoader resolves required scripts from the host filesystem with
+// the built-in case scripts as fallback (same policy as cmd/shill).
+type hostLoader struct {
+	dir      string
+	fallback lang.MapLoader
+}
+
+// Load implements lang.Loader.
+func (l hostLoader) Load(name string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(l.dir, name))
+	if err == nil {
+		return string(data), nil
+	}
+	return l.fallback.Load(name)
+}
+
+func report(w io.Writer, log *audit.Log) {
+	events := log.Query(audit.Filter{})
+	sum := audit.Summarize(events)
+	fmt.Fprintf(w, "audit report: %d retained events, %d recorded in total\n", sum.Total, log.Emits())
+
+	fmt.Fprintln(w, "\nby kind:")
+	kinds := make([]audit.Kind, 0, len(sum.ByKind))
+	for k := range sum.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-12s %6d\n", k, sum.ByKind[k])
+	}
+
+	fmt.Fprintln(w, "\nby deciding layer (checked operations):")
+	layers := make([]audit.Layer, 0, len(sum.ByLayer))
+	for l := range sum.ByLayer {
+		layers = append(layers, l)
+	}
+	sort.Slice(layers, func(i, j int) bool { return layers[i] < layers[j] })
+	for _, l := range layers {
+		fmt.Fprintf(w, "  %-12s %6d\n", l, sum.ByLayer[l])
+	}
+
+	fmt.Fprintf(w, "\nverdicts: %d allowed, %d denied\n", sum.ByVerdict[audit.Allow], sum.ByVerdict[audit.Deny])
+
+	sessions := make([]uint64, 0, len(sum.Sessions))
+	for id := range sum.Sessions {
+		sessions = append(sessions, id)
+	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i] < sessions[j] })
+	fmt.Fprintln(w, "\nby session (0 = ambient):")
+	for _, id := range sessions {
+		fmt.Fprintf(w, "  session %-4d %6d events\n", id, sum.Sessions[id])
+	}
+
+	if len(sum.Denied) > 0 {
+		fmt.Fprintf(w, "\n%d denials — run `shill-audit why-denied` for provenance\n", len(sum.Denied))
+	}
+}
+
+func trace(w io.Writer, log *audit.Log, path string) {
+	events := log.Query(audit.Filter{Path: path})
+	if len(events) == 0 {
+		fmt.Fprintf(w, "no retained events touch %q\n", path)
+		return
+	}
+	fmt.Fprintf(w, "%d events touching %q:\n", len(events), path)
+	for _, e := range events {
+		fmt.Fprintln(w, audit.FormatEvent(e))
+		if e.CapID != 0 && (e.Kind == audit.KindCapDeny || e.Kind == audit.KindContract) {
+			fmt.Fprintf(w, "       lineage: %s\n", audit.FormatLineage(log.Lineage(e.CapID)))
+		}
+	}
+}
+
+func whyDenied(w io.Writer, log *audit.Log, scriptErrs []error) {
+	denials := log.Denials()
+	if len(denials) == 0 {
+		fmt.Fprintln(w, "no denials recorded: every checked operation was allowed")
+		return
+	}
+	fmt.Fprintf(w, "%d denial(s) recorded:\n", len(denials))
+	for _, e := range denials {
+		fmt.Fprintf(w, "\ndenial #%d\n", e.Seq)
+		fmt.Fprintf(w, "  layer:    %s", e.Layer)
+		if e.Policy != "" && e.Layer == audit.LayerMAC {
+			fmt.Fprintf(w, " (policy %q)", e.Policy)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  op:       %s\n", e.Op)
+		if e.Object != "" {
+			fmt.Fprintf(w, "  object:   %s\n", e.Object)
+		}
+		if e.Session != 0 {
+			fmt.Fprintf(w, "  session:  %d\n", e.Session)
+		} else {
+			fmt.Fprintf(w, "  session:  ambient\n")
+		}
+		if !e.Rights.Empty() {
+			fmt.Fprintf(w, "  missing:  %v\n", e.Rights)
+		}
+		switch {
+		case e.Kind == audit.KindCapDeny && e.Detail != "":
+			fmt.Fprintf(w, "  denied by contract: %s\n", e.Detail)
+		case e.Kind == audit.KindContract:
+			fmt.Fprintf(w, "  contract: %s (%s)\n", e.Object, e.Detail)
+		case e.Detail != "":
+			fmt.Fprintf(w, "  rule:     %s\n", e.Detail)
+		}
+		if e.CapID != 0 {
+			fmt.Fprintf(w, "  capability: cap#%d\n", e.CapID)
+			fmt.Fprintf(w, "  lineage:  %s\n", audit.FormatLineage(log.Lineage(e.CapID)))
+		}
+	}
+	// Structured reasons that surfaced as script errors add the
+	// language-level view of the same denials.
+	for _, err := range scriptErrs {
+		if d := audit.ReasonFor(err); d != nil {
+			fmt.Fprintf(w, "\nscript error carried provenance: %v\n", d)
+		}
+	}
+}
+
+func stageWorkload(s *core.System, name string) error {
+	s.LoadCaseScripts()
+	switch name {
+	case "none":
+		return nil
+	case "demo":
+		if _, err := s.K.FS.WriteFile("/home/user/Documents/dog.jpg", []byte("JFIFdog"), 0o644, core.UserUID, core.UserUID); err != nil {
+			return err
+		}
+		_, err := s.K.FS.WriteFile("/home/user/Documents/cat.jpg", []byte("JFIFcat"), 0o644, core.UserUID, core.UserUID)
+		return err
+	case "grading":
+		s.BuildGradingCourse(core.DefaultGrading)
+		return nil
+	case "emacs":
+		s.BuildEmacsOrigin(core.DefaultEmacs)
+		_, err := s.StartOrigin()
+		return err
+	case "apache":
+		s.BuildWWW(core.DefaultApache)
+		return nil
+	case "find":
+		s.BuildSrcTree(core.DefaultFind)
+		return nil
+	}
+	return fmt.Errorf("unknown workload %q", name)
+}

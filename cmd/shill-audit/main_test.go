@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// writeDemo stages the built-in why_denied demo scripts in a temp dir.
+func writeDemo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := core.ScriptFiles()
+	for _, name := range []string{"why_denied.ambient", "why_denied.cap"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(files[name]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, "why_denied.ambient")
+}
+
+// TestWhyDeniedNamesContract is the acceptance check: why-denied on the
+// demo denial must name the exact contract that rejected the write and
+// the capability's lineage back to its forge.
+func TestWhyDeniedNamesContract(t *testing.T) {
+	script := writeDemo(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-workload", "demo", "why-denied", script}, &out, &errOut); code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"layer:    capability",
+		"op:       write",
+		"object:   /home/user/Documents/dog.jpg",
+		"missing:  {+write}",
+		"denied by contract: file(+read, +stat)",
+		"open_file(/home/user/Documents/dog.jpg) -> restrict[file(+read, +stat)]",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("why-denied output missing %q\n--- output ---\n%s", want, got)
+		}
+	}
+	// The script's failure itself is reported on stderr, not swallowed.
+	if !strings.Contains(errOut.String(), "script failed") {
+		t.Errorf("stderr did not report the script failure: %s", errOut.String())
+	}
+}
+
+func TestReportCountsDenial(t *testing.T) {
+	script := writeDemo(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-workload", "demo", "report", script}, &out, &errOut); code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"cap-deny", "1 denials", "by kind:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report output missing %q\n--- output ---\n%s", want, got)
+		}
+	}
+}
+
+func TestTraceFollowsPath(t *testing.T) {
+	script := writeDemo(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-workload", "demo", "trace", "dog.jpg", script}, &out, &errOut); code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "cap-new") || !strings.Contains(got, "cap-deny") {
+		t.Errorf("trace output missing lineage events:\n%s", got)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"report"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing script: exit %d", code)
+	}
+	if code := run([]string{"nonsense", "x.ambient"}, &out, &errOut); code == 0 {
+		t.Fatal("unknown command accepted")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/cap"
 	"repro/internal/core"
 	"repro/internal/netstack"
@@ -39,6 +40,7 @@ func main() {
 	debug := flag.Bool("debug", false, "debugging mode: auto-grant missing privileges and log them")
 	policyFile := flag.String("policy", "", "policy file of capability grants")
 	workload := flag.String("workload", "demo", "image to stage: demo, grading, emacs, apache, find, none")
+	auditDump := flag.Bool("audit", false, "print the session's audit trail (with deciding layers) to stderr after the run")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -120,6 +122,21 @@ func main() {
 
 	res, err := sandbox.Exec(s.Runtime, exe, sargs, opts)
 	fmt.Print(s.ConsoleText())
+	if *auditDump {
+		// Dump before any exit: a failed exec is exactly the case the
+		// trail explains (e.g. the policy lacked +exec on the binary).
+		filter := audit.Filter{}
+		label := "all sessions"
+		if res.Session != nil {
+			filter.Session = res.Session.ID()
+			label = fmt.Sprintf("session %d", res.Session.ID())
+		}
+		events := s.Audit().Query(filter)
+		fmt.Fprintf(os.Stderr, "--- audit trail: %s, %d retained events ---\n", label, len(events))
+		for _, e := range events {
+			fmt.Fprintln(os.Stderr, audit.FormatEvent(e))
+		}
+	}
 	if err != nil {
 		fail("exec: %v", err)
 	}

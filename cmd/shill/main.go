@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/lang"
 )
@@ -31,6 +32,7 @@ func main() {
 	noModule := flag.Bool("no-module", false, "do not install the SHILL kernel module (Baseline configuration)")
 	workload := flag.String("workload", "demo", "image to stage: demo, grading, emacs, apache, find, none")
 	quiet := flag.Bool("quiet", false, "suppress the console dump after each script")
+	auditDump := flag.Bool("audit", false, "print the audit trail's denials (with provenance) to stderr after each script")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: shill [flags] script.ambient ...")
@@ -51,18 +53,47 @@ func main() {
 			fmt.Fprintf(os.Stderr, "shill: %v\n", err)
 			os.Exit(1)
 		}
+		// Remember where the trail stood so this script's dump reports
+		// only its own denials, not an earlier script's.
+		sinceSeq := s.Audit().Seq()
 		loader := hostLoader{dir: filepath.Dir(script), fallback: s.Scripts}
 		it := lang.NewInterp(s.Runtime, loader, s.Prof)
 		if err := it.RunAmbient(filepath.Base(script), string(src)); err != nil {
 			fmt.Fprintf(os.Stderr, "shill: %s: %v\n", script, err)
+			// Name the missing privilege explicitly when the error chain
+			// carries structured provenance (internal/audit.DenyReason).
+			if d := audit.ReasonFor(err); d != nil {
+				fmt.Fprintf(os.Stderr, "shill: denied: %v\n", d)
+			}
 			if out := s.ConsoleText(); out != "" {
 				fmt.Fprintf(os.Stderr, "--- console ---\n%s", out)
 			}
+			dumpDenials(s, *auditDump, sinceSeq)
 			os.Exit(1)
 		}
 		if !*quiet {
 			fmt.Print(s.ConsoleText())
 		}
+		dumpDenials(s, *auditDump, sinceSeq)
+	}
+}
+
+// dumpDenials prints the denials the audit trail recorded after
+// sinceSeq — including ones that never surfaced as script errors
+// because a sandboxed binary swallowed the errno — so a failing run
+// always names the privilege it was missing.
+func dumpDenials(s *core.System, enabled bool, sinceSeq uint64) {
+	if !enabled {
+		return
+	}
+	denials := s.Audit().Query(audit.Filter{Verdict: audit.Deny, SinceSeq: sinceSeq})
+	if len(denials) == 0 {
+		fmt.Fprintln(os.Stderr, "--- audit: no denials recorded ---")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "--- audit: %d denial(s); shill-audit why-denied explains lineage ---\n", len(denials))
+	for _, e := range denials {
+		fmt.Fprintln(os.Stderr, audit.FormatEvent(e))
 	}
 }
 

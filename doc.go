@@ -5,9 +5,30 @@
 // (vfs, mac, kernel, netstack), SHILL's capability and contract layers
 // (priv, cap, contract, wallet), the capability-based sandbox and the
 // simulated native executables it confines (sandbox, binaries), the
-// SHILL language itself (lang, stdlib), and the assembled system with
-// the paper's case studies (core). See DESIGN.md for the full inventory
-// and EXPERIMENTS.md for the paper-versus-measured results.
+// SHILL language itself (lang, stdlib), the capability provenance and
+// audit subsystem (audit), and the assembled system with the paper's
+// case studies (core). See README.md for the architecture map, DESIGN.md
+// for the full inventory, and EXPERIMENTS.md for the paper-versus-
+// measured results.
+//
+// # Audit trail and explainable denials
+//
+// internal/audit records every security-relevant decision in an
+// always-on, sharded, lock-free event log: syscall allow/deny with the
+// deciding layer (DAC, MAC policy, SHILL policy), capability grants and
+// propagation, capability minting/derivation lineage, contract check
+// outcomes, and sandbox spawn/exit. Deny paths return structured
+// *audit.DenyReason errors that unwrap to the usual errno sentinels, so
+// errors.Is keeps working while the message names the missing
+// privilege and the contract that withheld it. Inspect a run with
+//
+//	shill -audit script.ambient
+//	shill-sandbox -audit -- command ...
+//	shill-audit report|trace PATH|why-denied script.ambient
+//
+// Overhead is measured by BenchmarkParallelGrading's audit=true/false
+// dimension (acceptance: <5% scripts/sec; measured ≈0-2%) and
+// attributed in the Figure-10 breakdown via prof.AuditEmit.
 //
 // The benchmarks in bench_test.go regenerate every figure of the
 // paper's evaluation:
@@ -36,11 +57,11 @@
 //
 //	go test -bench BenchmarkParallelGrading .
 //
-// which grades N private courses concurrently (sessions=1, 4, 16), each
-// session in its own runtime process with its own console device, and
-// reports aggregate scripts/sec. Config.SpawnLatency simulates the real
-// testbed's fork/exec cost so the scaling reflects overlap of genuine
-// per-sandbox blocking.
+// which grades N private courses concurrently (sessions=1, 4, 16; with
+// the audit trail on and off), each session in its own runtime process
+// with its own console device, and reports aggregate scripts/sec.
+// Config.SpawnLatency simulates the real testbed's fork/exec cost so
+// the scaling reflects overlap of genuine per-sandbox blocking.
 //
 // Fuzzing (internal/lang/fuzz_test.go): the parser must never panic and
 // sandboxed evaluation must never escape its granted capabilities.

@@ -1,0 +1,301 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/errno"
+	"repro/internal/priv"
+)
+
+func TestEmitAssignsGlobalOrder(t *testing.T) {
+	l := NewLog(0, 0)
+	a := l.SessionShard(1)
+	b := l.SessionShard(2)
+	if s1 := l.Emit(a, Event{Kind: KindGrant, Op: "grant"}); s1 != 1 {
+		t.Fatalf("first seq = %d", s1)
+	}
+	if s2 := l.Emit(b, Event{Kind: KindGrant, Op: "grant"}); s2 != 2 {
+		t.Fatalf("second seq = %d", s2)
+	}
+	if l.Emits() != 2 {
+		t.Fatalf("emits = %d", l.Emits())
+	}
+	// Events land on their own shards, stamped with the session id.
+	ea, eb := a.Snapshot(), b.Snapshot()
+	if len(ea) != 1 || len(eb) != 1 {
+		t.Fatalf("snapshot sizes = %d, %d", len(ea), len(eb))
+	}
+	if ea[0].Session != 1 || eb[0].Session != 2 {
+		t.Fatalf("sessions = %d, %d", ea[0].Session, eb[0].Session)
+	}
+}
+
+func TestDisabledLogRecordsNothing(t *testing.T) {
+	l := NewLog(0, 0)
+	l.SetEnabled(false)
+	if seq := l.Emit(nil, Event{Kind: KindSyscall}); seq != 0 {
+		t.Fatalf("disabled emit returned seq %d", seq)
+	}
+	if l.Emits() != 0 || len(l.Global().Snapshot()) != 0 {
+		t.Fatal("disabled log retained events")
+	}
+	l.SetEnabled(true)
+	if seq := l.Emit(nil, Event{Kind: KindSyscall}); seq == 0 {
+		t.Fatal("re-enabled log did not record")
+	}
+	var nilLog *Log
+	if nilLog.Emit(nil, Event{}) != 0 || nilLog.Enabled() {
+		t.Fatal("nil log must be inert")
+	}
+}
+
+// TestRingWraparound shrinks the ring and overflows it: the shard must
+// retain exactly the most recent events, in order.
+func TestRingWraparound(t *testing.T) {
+	l := NewLog(8, 4)
+	sh := l.SessionShard(7)
+	for i := 0; i < 20; i++ {
+		l.Emit(sh, Event{Kind: KindSyscall, Verdict: Allow, Op: fmt.Sprintf("op%d", i)})
+	}
+	got := sh.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("retained %d events, want ring size 8", len(got))
+	}
+	for i, e := range got {
+		wantSeq := uint64(13 + i) // events 13..20 survive
+		if e.Seq != wantSeq {
+			t.Fatalf("slot %d seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+	}
+	if sh.Emitted() != 20 {
+		t.Fatalf("Emitted = %d", sh.Emitted())
+	}
+}
+
+// TestDenyRetention is the property the side ring exists for: a denial
+// followed by a flood of allowed operations must still be retrievable.
+func TestDenyRetention(t *testing.T) {
+	l := NewLog(8, 4)
+	sh := l.SessionShard(3)
+	l.Emit(sh, Event{Kind: KindSyscall, Verdict: Deny, Layer: LayerPolicy, Op: "write", Object: "/secret"})
+	for i := 0; i < 100; i++ {
+		l.Emit(sh, Event{Kind: KindSyscall, Verdict: Allow, Op: "read"})
+	}
+	denials := l.Denials()
+	if len(denials) != 1 {
+		t.Fatalf("denials = %d, want 1", len(denials))
+	}
+	if denials[0].Op != "write" || denials[0].Object != "/secret" {
+		t.Fatalf("retained denial = %+v", denials[0])
+	}
+	// The denial also shows up (exactly once) in the full query.
+	all := l.Query(Filter{Session: 3})
+	count := 0
+	for _, e := range all {
+		if e.Verdict == Deny {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("deny appears %d times in query", count)
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	l := NewLog(0, 0)
+	s1, s2 := l.SessionShard(1), l.SessionShard(2)
+	l.Emit(s1, Event{Kind: KindSyscall, Verdict: Allow, Layer: LayerPolicy, Op: "read", Object: "/a/x"})
+	l.Emit(s1, Event{Kind: KindSyscall, Verdict: Deny, Layer: LayerPolicy, Op: "write", Object: "/a/x", Rights: priv.NewSet(priv.RWrite)})
+	l.Emit(s2, Event{Kind: KindCapDeny, Verdict: Deny, Layer: LayerCapability, Op: "write", Object: "/b/y", CapID: 9})
+	l.Emit(nil, Event{Kind: KindSpawn, Op: "exec", Object: "sh"})
+
+	if got := l.Query(Filter{Session: 1}); len(got) != 2 {
+		t.Fatalf("session filter: %d", len(got))
+	}
+	if got := l.Query(Filter{Verdict: Deny}); len(got) != 2 {
+		t.Fatalf("verdict filter: %d", len(got))
+	}
+	if got := l.Query(Filter{Layer: LayerCapability}); len(got) != 1 || got[0].CapID != 9 {
+		t.Fatalf("layer filter: %+v", got)
+	}
+	if got := l.Query(Filter{Path: "/a/"}); len(got) != 2 {
+		t.Fatalf("path filter: %d", len(got))
+	}
+	if got := l.Query(Filter{Global: true}); len(got) != 1 || got[0].Kind != KindSpawn {
+		t.Fatalf("global filter: %+v", got)
+	}
+	if got := l.Query(Filter{CapID: 9}); len(got) != 1 {
+		t.Fatalf("cap filter: %d", len(got))
+	}
+	all := l.Query(Filter{})
+	if len(all) != 4 {
+		t.Fatalf("unfiltered: %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Seq >= all[i].Seq {
+			t.Fatal("query result not in sequence order")
+		}
+	}
+	if got := l.Query(Filter{SinceSeq: all[2].Seq}); len(got) != 1 {
+		t.Fatalf("since filter: %d", len(got))
+	}
+}
+
+func TestLineageWalk(t *testing.T) {
+	l := NewLog(0, 0)
+	l.Emit(nil, Event{Kind: KindCapNew, Op: "mint", Object: "/home", CapID: 1, Detail: "open_dir"})
+	l.Emit(nil, Event{Kind: KindCapDerive, Op: "lookup", Object: "docs", CapID: 2, Parent: 1})
+	l.Emit(nil, Event{Kind: KindCapDerive, Op: "restrict", Object: "/home/docs", CapID: 3, Parent: 2, Detail: "file(+read)"})
+	chain := l.Lineage(3)
+	if len(chain) != 3 {
+		t.Fatalf("lineage length = %d", len(chain))
+	}
+	if chain[0].CapID != 1 || chain[2].CapID != 3 {
+		t.Fatalf("lineage order wrong: %+v", chain)
+	}
+	rendered := FormatLineage(chain)
+	want := `open_dir(/home) -> lookup "docs" -> restrict[file(+read)]`
+	if rendered != want {
+		t.Fatalf("FormatLineage = %q, want %q", rendered, want)
+	}
+	if FormatLineage(nil) == "" {
+		t.Fatal("empty lineage must still render")
+	}
+}
+
+// TestConcurrentEmitNoRace hammers one log from many goroutines across
+// shared and private shards; run under -race this proves the lock-free
+// hot path is data-race-free, and afterwards every retained event must
+// be internally consistent (seq matches the op stamped with it).
+func TestConcurrentEmitNoRace(t *testing.T) {
+	l := NewLog(64, 16)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			own := l.SessionShard(uint64(g + 1))
+			for i := 0; i < perG; i++ {
+				sh := own
+				if i%5 == 0 {
+					sh = l.Global() // shared-shard contention
+				}
+				v := Allow
+				if i%17 == 0 {
+					v = Deny
+				}
+				l.Emit(sh, Event{Kind: KindSyscall, Verdict: v, Op: fmt.Sprintf("g%d", g), Detail: fmt.Sprint(i)})
+			}
+		}(g)
+	}
+	// Concurrent readers while writers run.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = l.Query(Filter{Verdict: Deny})
+				_ = l.Global().Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Emits() != goroutines*perG {
+		t.Fatalf("emits = %d, want %d", l.Emits(), goroutines*perG)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range l.Query(Filter{}) {
+		if seen[e.Seq] {
+			t.Fatalf("seq %d retained twice", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestSessionShardEviction(t *testing.T) {
+	l := NewLog(0, 0)
+	for i := 1; i <= maxSessionShards+10; i++ {
+		sh := l.SessionShard(uint64(i))
+		l.Emit(sh, Event{Kind: KindSpawn, Op: "shill-init"})
+	}
+	ids := l.Sessions()
+	if len(ids) != maxSessionShards {
+		t.Fatalf("retained %d session shards, want %d", len(ids), maxSessionShards)
+	}
+	if ids[0] != 11 {
+		t.Fatalf("oldest retained session = %d, want 11 (1..10 evicted)", ids[0])
+	}
+	// Re-requesting an evicted session id mints a fresh shard.
+	if sh := l.SessionShard(1); sh == nil || sh.Session() != 1 {
+		t.Fatal("evicted session id not re-creatable")
+	}
+}
+
+func TestDenyReasonErrorAndUnwrap(t *testing.T) {
+	d := &DenyReason{
+		Layer: LayerPolicy, Policy: "shill", Op: "write", Object: "/course/tests",
+		Session: 4, Missing: priv.NewSet(priv.RWrite, priv.RAppend),
+		Blame: []string{"file(+read)"}, Errno: errno.EACCES,
+	}
+	if !errors.Is(d, errno.EACCES) {
+		t.Fatal("DenyReason must unwrap to its errno")
+	}
+	msg := d.Error()
+	for _, want := range []string{"EACCES", `"write"`, "/course/tests", "shill-policy", "session 4", "+write", "file(+read)"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() missing %q: %s", want, msg)
+		}
+	}
+	if ReasonFor(fmt.Errorf("wrapped: %w", d)) != d {
+		t.Fatal("ReasonFor must find the reason through wrapping")
+	}
+	if ReasonFor(errno.EPERM) != nil {
+		t.Fatal("ReasonFor on a bare errno must be nil")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	if Annotate(nil, "p", "op", "obj") != nil {
+		t.Fatal("nil must pass through")
+	}
+	// Bare errors from third-party policies gain MAC provenance.
+	err := Annotate(errno.EPERM, "biba", "write", "/etc")
+	d := ReasonFor(err)
+	if d == nil || d.Layer != LayerMAC || d.Policy != "biba" {
+		t.Fatalf("annotated = %+v", d)
+	}
+	if !errors.Is(err, errno.EPERM) {
+		t.Fatal("annotation must preserve errors.Is")
+	}
+	// Existing reasons keep their fields; only a missing policy is filled.
+	orig := &DenyReason{Layer: LayerPolicy, Op: "read", Errno: errno.EACCES}
+	if got := Annotate(orig, "shill", "x", "y"); ReasonFor(got) != orig {
+		t.Fatal("existing reason replaced")
+	}
+	if orig.Policy != "shill" {
+		t.Fatal("missing policy not filled in")
+	}
+}
+
+func TestSummarizeAndFormat(t *testing.T) {
+	l := NewLog(0, 0)
+	sh := l.SessionShard(1)
+	l.Emit(sh, Event{Kind: KindSyscall, Verdict: Allow, Layer: LayerPolicy, Op: "read"})
+	l.Emit(sh, Event{Kind: KindSyscall, Verdict: Deny, Layer: LayerPolicy, Op: "write", Object: "/x", Rights: priv.NewSet(priv.RWrite), CapID: 2, Parent: 1, Detail: "why"})
+	sum := Summarize(l.Query(Filter{}))
+	if sum.Total != 2 || sum.ByVerdict[Deny] != 1 || len(sum.Denied) != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	line := FormatEvent(sum.Denied[0])
+	for _, want := range []string{"deny", "shill-policy", "write", "/x", "cap#2", "why"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("FormatEvent missing %q: %s", want, line)
+		}
+	}
+}

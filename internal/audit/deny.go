@@ -1,0 +1,119 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/priv"
+)
+
+// Layer names the part of the system that decided an operation. Values
+// start at 1 so a zero-valued Filter field means "any layer".
+type Layer uint8
+
+// Deciding layers, ordered the way a syscall traverses them: DAC first,
+// then the MAC framework's registered policies (of which the SHILL
+// policy is one), then — inside the language runtime — the capability
+// layer and the contract system.
+const (
+	LayerDAC        Layer = iota + 1 // classic UNIX permission bits
+	LayerMAC                         // a registered MAC policy module
+	LayerPolicy                      // the SHILL policy's privilege maps
+	LayerCapability                  // the language-level capability grant
+	LayerContract                    // a contract violation
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerDAC:
+		return "DAC"
+	case LayerMAC:
+		return "MAC"
+	case LayerPolicy:
+		return "shill-policy"
+	case LayerCapability:
+		return "capability"
+	case LayerContract:
+		return "contract"
+	}
+	return "unknown"
+}
+
+// DenyReason is a structured denial: the provenance of an EPERM/EACCES.
+// It implements error and unwraps to the underlying errno sentinel, so
+// every existing errors.Is(err, errno.EACCES) check keeps working while
+// the message — and the fields, for tools like shill-audit — explain
+// which layer, operation, object, and missing privilege produced the
+// denial (the explainability §3.2.2's logging facility gestures at).
+type DenyReason struct {
+	Layer   Layer
+	Policy  string   // deciding MAC policy module, when Layer is MAC/Policy
+	Op      string   // operation that was refused
+	Object  string   // object path or name, best-effort
+	Session uint64   // denied session, 0 if ambient
+	Missing priv.Set // privileges the subject lacked
+	CapID   uint64   // capability involved, if the denial is capability-level
+	Blame   []string // contract chain that attenuated the capability
+	Seq     uint64   // audit sequence number of the recorded denial event
+	Errno   error    // underlying sentinel (errno.EACCES, errno.EPERM, …)
+}
+
+// Error renders the full provenance in one line, so even a bare %v in a
+// script's stderr names the missing privilege.
+func (d *DenyReason) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: operation %q", d.Errno, d.Op)
+	if d.Object != "" {
+		fmt.Fprintf(&b, " on %s", d.Object)
+	}
+	fmt.Fprintf(&b, " denied by %s", d.Layer)
+	if d.Policy != "" && d.Layer == LayerMAC {
+		fmt.Fprintf(&b, " policy %q", d.Policy)
+	}
+	if d.Session != 0 {
+		fmt.Fprintf(&b, " (session %d)", d.Session)
+	}
+	if !d.Missing.Empty() {
+		fmt.Fprintf(&b, ": missing privileges %v", d.Missing)
+	}
+	if len(d.Blame) > 0 {
+		fmt.Fprintf(&b, " (restricted by: %s)", strings.Join(d.Blame, " <- "))
+	}
+	return b.String()
+}
+
+// Unwrap exposes the errno sentinel to errors.Is.
+func (d *DenyReason) Unwrap() error { return d.Errno }
+
+// ReasonFor extracts the structured denial from an error chain, or nil.
+func ReasonFor(err error) *DenyReason {
+	var d *DenyReason
+	if errors.As(err, &d) {
+		return d
+	}
+	return nil
+}
+
+// Annotate attributes a MAC-framework denial to the policy module that
+// produced it. Errors that already carry a DenyReason keep it (the
+// SHILL policy builds richer ones itself); bare errors from third-party
+// policy modules are wrapped so the deciding layer is never lost.
+func Annotate(err error, policy, op, object string) error {
+	if err == nil {
+		return nil
+	}
+	if d := ReasonFor(err); d != nil {
+		if d.Policy == "" {
+			d.Policy = policy
+		}
+		return err
+	}
+	return &DenyReason{
+		Layer:  LayerMAC,
+		Policy: policy,
+		Op:     op,
+		Object: object,
+		Errno:  err,
+	}
+}

@@ -1,0 +1,209 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Filter selects events. The zero value matches everything; set a field
+// to narrow. Session 0 means any session; use GlobalSession for the
+// ambient shard specifically.
+type Filter struct {
+	Session  uint64 // exact session id; 0 = any
+	Global   bool   // only the ambient (session-less) shard
+	Kind     Kind   // 0 = any
+	Verdict  Verdict
+	Layer    Layer
+	Path     string // substring match against Object
+	CapID    uint64 // events concerning this capability (as subject or parent)
+	SinceSeq uint64 // only events with Seq > SinceSeq
+}
+
+func (f Filter) match(e *Event) bool {
+	if f.Kind != 0 && e.Kind != f.Kind {
+		return false
+	}
+	if f.Verdict != 0 && e.Verdict != f.Verdict {
+		return false
+	}
+	if f.Layer != 0 && e.Layer != f.Layer {
+		return false
+	}
+	if f.Path != "" && !strings.Contains(e.Object, f.Path) {
+		return false
+	}
+	if f.CapID != 0 && e.CapID != f.CapID && e.Parent != f.CapID {
+		return false
+	}
+	if f.SinceSeq != 0 && e.Seq <= f.SinceSeq {
+		return false
+	}
+	return true
+}
+
+// Query returns the retained events matching the filter, in global
+// sequence order. It walks only the shards the filter selects.
+func (l *Log) Query(f Filter) []Event {
+	if l == nil {
+		return nil
+	}
+	var shards []*Shard
+	switch {
+	case f.Global:
+		shards = []*Shard{l.global}
+	case f.Session != 0:
+		l.mu.RLock()
+		if sh := l.shards[f.Session]; sh != nil {
+			shards = []*Shard{sh}
+		}
+		l.mu.RUnlock()
+	default:
+		shards = append(shards, l.global)
+		l.mu.RLock()
+		for _, sh := range l.shards {
+			shards = append(shards, sh)
+		}
+		l.mu.RUnlock()
+	}
+	var out []Event
+	for _, sh := range shards {
+		for _, e := range sh.Snapshot() {
+			if f.match(&e) {
+				out = append(out, e)
+			}
+		}
+	}
+	sortEvents(out)
+	return out
+}
+
+// Denials returns every retained denial, most recent last.
+func (l *Log) Denials() []Event {
+	return l.Query(Filter{Verdict: Deny})
+}
+
+// Lineage reconstructs a capability's provenance chain: the sequence of
+// cap-new / cap-derive events from the forge that minted its oldest
+// retained ancestor down to the capability itself. The chain is bounded
+// by ring retention — a long-lived capability's origin may have been
+// overwritten, in which case the chain starts at the oldest retained
+// link.
+func (l *Log) Lineage(capID uint64) []Event {
+	if l == nil || capID == 0 {
+		return nil
+	}
+	// Index derivation events by the capability they produced. Later
+	// events win, matching "the most recent derivation of this id".
+	byCap := make(map[uint64]Event)
+	for _, e := range l.Query(Filter{}) {
+		if e.Kind == KindCapNew || e.Kind == KindCapDerive {
+			byCap[e.CapID] = e
+		}
+	}
+	var chain []Event
+	for id := capID; id != 0; {
+		e, ok := byCap[id]
+		if !ok {
+			break
+		}
+		chain = append([]Event{e}, chain...)
+		if len(chain) > 256 { // defensive: lineage cycles cannot happen, but cap the walk
+			break
+		}
+		id = e.Parent
+	}
+	return chain
+}
+
+// FormatLineage renders a lineage chain as a one-line provenance trail,
+// e.g. "open_dir(/home/user) -> lookup "Documents" -> restrict[file(+read)]".
+func FormatLineage(chain []Event) string {
+	if len(chain) == 0 {
+		return "(no retained lineage)"
+	}
+	parts := make([]string, 0, len(chain))
+	for _, e := range chain {
+		switch e.Kind {
+		case KindCapNew:
+			origin := e.Detail
+			if origin == "" {
+				origin = "forge"
+			}
+			parts = append(parts, fmt.Sprintf("%s(%s)", origin, e.Object))
+		case KindCapDerive:
+			switch e.Op {
+			case "restrict":
+				parts = append(parts, fmt.Sprintf("restrict[%s]", e.Detail))
+			default:
+				parts = append(parts, fmt.Sprintf("%s %q", e.Op, e.Object))
+			}
+		}
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Summary aggregates a set of events for reports.
+type Summary struct {
+	Total     int
+	ByKind    map[Kind]int
+	ByLayer   map[Layer]int
+	ByVerdict map[Verdict]int
+	Denied    []Event // denial events, in order
+	Sessions  map[uint64]int
+}
+
+// Summarize aggregates events.
+func Summarize(events []Event) Summary {
+	s := Summary{
+		ByKind:    make(map[Kind]int),
+		ByLayer:   make(map[Layer]int),
+		ByVerdict: make(map[Verdict]int),
+		Sessions:  make(map[uint64]int),
+	}
+	for _, e := range events {
+		s.Total++
+		s.ByKind[e.Kind]++
+		if e.Layer != 0 {
+			s.ByLayer[e.Layer]++
+		}
+		if e.Verdict != 0 {
+			s.ByVerdict[e.Verdict]++
+		}
+		s.Sessions[e.Session]++
+		if e.Verdict == Deny {
+			s.Denied = append(s.Denied, e)
+		}
+	}
+	return s
+}
+
+// FormatEvent renders one event the way shill-audit prints it.
+func FormatEvent(e Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%-6d s%-3d %-10s", e.Seq, e.Session, e.Kind)
+	if e.Verdict != 0 {
+		fmt.Fprintf(&b, " %-5s", e.Verdict)
+	}
+	if e.Layer != 0 {
+		fmt.Fprintf(&b, " [%s]", e.Layer)
+	}
+	if e.Op != "" {
+		fmt.Fprintf(&b, " %s", e.Op)
+	}
+	if e.Object != "" {
+		fmt.Fprintf(&b, " %s", e.Object)
+	}
+	if !e.Rights.Empty() {
+		fmt.Fprintf(&b, " %v", e.Rights)
+	}
+	if e.CapID != 0 {
+		fmt.Fprintf(&b, " cap#%d", e.CapID)
+		if e.Parent != 0 {
+			fmt.Fprintf(&b, "<-cap#%d", e.Parent)
+		}
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}

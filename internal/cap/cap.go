@@ -15,7 +15,9 @@ package cap
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/audit"
 	"repro/internal/errno"
 	"repro/internal/kernel"
 	"repro/internal/netstack"
@@ -76,10 +78,18 @@ func (e *NoPrivilegeError) Error() string {
 // Unwrap lets errors.Is treat privilege failures as EACCES.
 func (e *NoPrivilegeError) Unwrap() error { return errno.EACCES }
 
+// capIDs mints the process-wide capability identities the audit
+// subsystem's lineage records refer to. Every constructed or derived
+// capability gets a fresh id, so provenance chains never alias.
+var capIDs atomic.Uint64
+
+func nextCapID() uint64 { return capIDs.Add(1) }
+
 // Capability is a SHILL capability value. The zero value is invalid;
 // construct capabilities with the New* functions or derive them through
 // operations.
 type Capability struct {
+	id    uint64 // audit-lineage identity
 	kind  Kind
 	grant *priv.Grant
 	blame []string
@@ -101,13 +111,13 @@ type Capability struct {
 // NewFile wraps a vnode as a file capability with the given grant.
 func NewFile(proc *kernel.Proc, vn *vfs.Vnode, g *priv.Grant) *Capability {
 	path, _ := proc.Kernel().FS.PathOf(vn)
-	return &Capability{kind: KindFile, grant: g, proc: proc, vn: vn, lastPath: path}
+	return &Capability{id: nextCapID(), kind: KindFile, grant: g, proc: proc, vn: vn, lastPath: path}
 }
 
 // NewDir wraps a directory vnode as a directory capability.
 func NewDir(proc *kernel.Proc, vn *vfs.Vnode, g *priv.Grant) *Capability {
 	path, _ := proc.Kernel().FS.PathOf(vn)
-	return &Capability{kind: KindDir, grant: g, proc: proc, vn: vn, lastPath: path}
+	return &Capability{id: nextCapID(), kind: KindDir, grant: g, proc: proc, vn: vn, lastPath: path}
 }
 
 // NewForVnode wraps a vnode with the kind matching its type.
@@ -116,6 +126,38 @@ func NewForVnode(proc *kernel.Proc, vn *vfs.Vnode, g *priv.Grant) *Capability {
 		return NewDir(proc, vn, g)
 	}
 	return NewFile(proc, vn, g)
+}
+
+// ID returns the capability's audit-lineage identity.
+func (c *Capability) ID() uint64 { return c.id }
+
+// auditLog returns the owning kernel's audit log.
+func (c *Capability) auditLog() *audit.Log { return c.proc.Kernel().Audit() }
+
+// emitDerive records a lineage link: this capability produced child via
+// the named operation.
+func (c *Capability) emitDerive(child *Capability, op, object string, rights priv.Set, detail string) {
+	c.auditLog().Emit(c.proc.AuditShard(), audit.Event{
+		Kind: audit.KindCapDerive, Op: op, Object: object,
+		CapID: child.id, Parent: c.id, Rights: rights, Detail: detail,
+	})
+}
+
+// Announce records the forge that minted this capability (open_dir,
+// populate_native_wallet, a policy file, …) as the root of its lineage.
+func (c *Capability) Announce(origin string) *Capability {
+	c.auditLog().Emit(c.proc.AuditShard(), audit.Event{
+		Kind: audit.KindCapNew, Op: "mint", Object: c.lastPath,
+		CapID: c.id, Rights: rightsOf(c.grant), Detail: origin,
+	})
+	return c
+}
+
+func rightsOf(g *priv.Grant) priv.Set {
+	if g == nil {
+		return 0
+	}
+	return g.Rights
 }
 
 // Kind returns the capability's kind.
@@ -158,8 +200,10 @@ func (c *Capability) String() string {
 // the raw capability, only the wrapped one.
 func (c *Capability) Restrict(g *priv.Grant, blame string) *Capability {
 	out := *c
+	out.id = nextCapID()
 	out.grant = c.grant.Intersect(g)
 	out.blame = append(append([]string(nil), c.blame...), blame)
+	c.emitDerive(&out, "restrict", c.lastPath, rightsOf(out.grant), blame)
 	return &out
 }
 
@@ -167,16 +211,27 @@ func (c *Capability) Restrict(g *priv.Grant, blame string) *Capability {
 // minting only; not reachable from capability-safe code).
 func (c *Capability) WithGrant(g *priv.Grant) *Capability {
 	out := *c
+	out.id = nextCapID()
 	out.grant = g
+	c.emitDerive(&out, "with-grant", c.lastPath, rightsOf(g), "")
 	return &out
 }
 
-// require verifies the capability holds every right in need.
+// require verifies the capability holds every right in need. A failure
+// is both recorded in the audit log (kind cap-deny, naming the contract
+// chain that attenuated the capability) and returned as a
+// NoPrivilegeError carrying the same provenance.
 func (c *Capability) require(op string, need priv.Set) error {
 	if c.grant.HasAll(need) {
 		return nil
 	}
-	return &NoPrivilegeError{Op: op, Missing: need.Minus(c.grant.Rights), Blame: c.blame}
+	missing := need.Minus(rightsOf(c.grant))
+	c.auditLog().Emit(c.proc.AuditShard(), audit.Event{
+		Kind: audit.KindCapDeny, Verdict: audit.Deny, Layer: audit.LayerCapability,
+		Op: op, Object: c.lastPath, CapID: c.id, Rights: missing,
+		Detail: strings.Join(c.blame, " <- "),
+	})
+	return &NoPrivilegeError{Op: op, Missing: missing, Blame: c.blame}
 }
 
 // --- file operations ---
@@ -386,6 +441,7 @@ func (c *Capability) Lookup(name string) (*Capability, error) {
 	derived := c.grant.DerivedGrant(priv.RLookup)
 	out := NewForVnode(c.proc, child, derived)
 	out.blame = c.blame
+	c.emitDerive(out, "lookup", name, rightsOf(derived), "")
 	return out, nil
 }
 
@@ -417,6 +473,7 @@ func (c *Capability) ReadSymlink(name string) (*Capability, error) {
 	derived := c.grant.DerivedGrant(priv.RReadSymlink)
 	out := NewForVnode(c.proc, child, derived)
 	out.blame = c.blame
+	c.emitDerive(out, "read-symlink", name, rightsOf(derived), "")
 	return out, nil
 }
 
@@ -440,6 +497,7 @@ func (c *Capability) CreateFile(name string, mode uint16) (*Capability, error) {
 	derived := c.grant.DerivedGrant(priv.RCreateFile)
 	out := NewFile(c.proc, vn, derived)
 	out.blame = c.blame
+	c.emitDerive(out, "create-file", name, rightsOf(derived), "")
 	return out, nil
 }
 
@@ -462,6 +520,7 @@ func (c *Capability) CreateDir(name string, mode uint16) (*Capability, error) {
 	derived := c.grant.DerivedGrant(priv.RCreateDir)
 	out := NewDir(c.proc, vn, derived)
 	out.blame = c.blame
+	c.emitDerive(out, "create-dir", name, rightsOf(derived), "")
 	return out, nil
 }
 

@@ -12,7 +12,7 @@ import (
 // right to create new pipes (§3.1.1). Its create operation returns a
 // pair of pipe ends, each a file capability.
 func NewPipeFactory(proc *kernel.Proc) *Capability {
-	return &Capability{kind: KindPipeFactory, grant: priv.FullGrant(), proc: proc}
+	return &Capability{id: nextCapID(), kind: KindPipeFactory, grant: priv.FullGrant(), proc: proc}
 }
 
 // CreatePipe creates a pipe, returning (readEnd, writeEnd).
@@ -22,17 +22,21 @@ func (c *Capability) CreatePipe() (*Capability, *Capability, error) {
 	}
 	p := vfs.NewPipe()
 	r := &Capability{
+		id:      nextCapID(),
 		kind:    KindPipeEnd,
 		grant:   priv.GrantOf(priv.NewSet(priv.RRead, priv.RStat)),
 		proc:    c.proc,
 		pipeObj: p, pipeRead: true,
 	}
 	w := &Capability{
+		id:      nextCapID(),
 		kind:    KindPipeEnd,
 		grant:   priv.GrantOf(priv.NewSet(priv.RWrite, priv.RAppend, priv.RStat)),
 		proc:    c.proc,
 		pipeObj: p,
 	}
+	c.emitDerive(r, "create-pipe", "pipe(read)", rightsOf(r.grant), "")
+	c.emitDerive(w, "create-pipe", "pipe(write)", rightsOf(w.grant), "")
 	return r, w, nil
 }
 
@@ -69,7 +73,7 @@ type SocketFactoryDomain = netstack.Domain
 // factory exists to be granted to sandboxes, which then may create and
 // use sockets according to the factory's grant.
 func NewSocketFactory(proc *kernel.Proc, domain netstack.Domain, g *priv.Grant) *Capability {
-	return &Capability{kind: KindSocketFactory, grant: g, proc: proc, sockDomain: domain}
+	return &Capability{id: nextCapID(), kind: KindSocketFactory, grant: g, proc: proc, sockDomain: domain, lastPath: "socket(" + domain.String() + ")"}
 }
 
 // SocketDomain returns the domain a socket-factory capability covers.

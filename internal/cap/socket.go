@@ -2,7 +2,6 @@ package cap
 
 import (
 	"repro/internal/errno"
-	"repro/internal/kernel"
 	"repro/internal/netstack"
 	"repro/internal/priv"
 )
@@ -16,9 +15,16 @@ import (
 // was derived from — the same seven privileges the sandbox MAC policy
 // checks.
 
-// sockCap returns a socket capability derived from a factory.
-func sockCap(proc *kernel.Proc, domain netstack.Domain, g *priv.Grant, so *netstack.Socket) *Capability {
-	return &Capability{kind: KindSocket, grant: g, proc: proc, sockDomain: domain, sockObj: so}
+// sockCap returns a socket capability derived from parent (a factory or
+// a listening socket), recording the lineage link.
+func sockCap(parent *Capability, op string, so *netstack.Socket) *Capability {
+	out := &Capability{
+		id: nextCapID(), kind: KindSocket, grant: parent.grant,
+		proc: parent.proc, sockDomain: parent.sockDomain, sockObj: so,
+		lastPath: "socket(" + parent.sockDomain.String() + ")",
+	}
+	parent.emitDerive(out, op, out.lastPath, rightsOf(out.grant), "")
+	return out
 }
 
 // Socket returns the underlying socket of a socket capability.
@@ -42,7 +48,7 @@ func (c *Capability) SocketConnect(addr string) (*Capability, error) {
 		st.Close(so)
 		return nil, err
 	}
-	return sockCap(c.proc, c.sockDomain, c.grant, so), nil
+	return sockCap(c, "sock-connect", so), nil
 }
 
 // SocketListen derives a listening socket capability from a socket
@@ -64,7 +70,7 @@ func (c *Capability) SocketListen(addr string) (*Capability, error) {
 		st.Close(so)
 		return nil, err
 	}
-	return sockCap(c.proc, c.sockDomain, c.grant, so), nil
+	return sockCap(c, "sock-listen", so), nil
 }
 
 // SocketAccept accepts a connection on a listening socket capability
@@ -81,7 +87,7 @@ func (c *Capability) SocketAccept() (*Capability, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sockCap(c.proc, c.sockDomain, c.grant, conn), nil
+	return sockCap(c, "sock-accept", conn), nil
 }
 
 // SocketSend writes to a connected socket capability (+sock-send).

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cap"
 	"repro/internal/priv"
 	"repro/internal/wallet"
@@ -262,28 +263,55 @@ func (c *CapC) String() string {
 	return c.Mask.String() + g
 }
 
-// Apply verifies kind and wraps the capability.
+// Apply verifies kind and wraps the capability. The outcome — pass or
+// violation — is recorded in the audit log so a trace shows which
+// contract admitted or rejected each capability.
 func (c *CapC) Apply(v Value, b Blame) (Value, error) {
 	capv, ok := v.(*cap.Capability)
 	if !ok {
 		return nil, violate(c, b, "expected a %s capability, got %s", c.Mask, Describe(v))
 	}
 	if !c.Mask.match(capv.Kind()) {
+		auditOutcome(capv, c.String(), b, false, "kind mismatch")
 		return nil, violate(c, b, "expected a %s capability, got a %s capability", c.Mask, capv.Kind())
 	}
 	if c.Grant == nil {
+		auditOutcome(capv, c.String(), b, true, "")
 		return capv, nil
 	}
 	// The provider must supply at least the promised privileges.
 	if !capv.Grant().Covers(c.Grant) {
 		missing := c.Grant.Rights.Minus(capv.Grant().Rights)
+		auditOutcome(capv, c.String(), b, false, fmt.Sprintf("lacks promised privileges %v", missing))
 		return nil, violate(c, b, "capability lacks promised privileges %v", missing)
 	}
 	label := c.Label
 	if label == "" {
 		label = c.String()
 	}
+	auditOutcome(capv, label, b, true, "")
 	return capv.Restrict(c.Grant, label), nil
+}
+
+// auditOutcome records a capability contract check in the audit log of
+// the kernel the capability belongs to.
+func auditOutcome(capv *cap.Capability, contractName string, b Blame, pass bool, detail string) {
+	p := capv.Proc()
+	if p == nil {
+		return
+	}
+	verdict := audit.Allow
+	if !pass {
+		verdict = audit.Deny
+		if detail == "" {
+			detail = "violation"
+		}
+		detail += ", blaming " + b.Pos
+	}
+	p.Kernel().Audit().Emit(p.AuditShard(), audit.Event{
+		Kind: audit.KindContract, Verdict: verdict, Layer: audit.LayerContract,
+		Op: "cap-contract", Object: contractName, CapID: capv.ID(), Detail: detail,
+	})
 }
 
 // --- combinators ---

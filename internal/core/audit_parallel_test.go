@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/kernel"
+	"repro/internal/priv"
+)
+
+// TestAuditNoCrossSessionBleed runs 16 concurrent workload sessions
+// against one kernel, each spawning its own sandbox session that is
+// denied a write on a session-private path, and asserts — under the
+// race detector in CI — that every session's audit shard contains only
+// its own events: the denial for its own path, never a sibling's.
+func TestAuditNoCrossSessionBleed(t *testing.T) {
+	const n = 16
+	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	defer s.Close()
+
+	// One private file per workload session.
+	for i := 0; i < n; i++ {
+		path := fmt.Sprintf("/audit/s%02d/secret.txt", i)
+		if _, err := s.K.FS.WriteFile(path, []byte("x"), 0o666, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	kernelSession := make([]uint64, n)
+	_, err := s.RunSessions(n, func(ctx *SessionCtx) error {
+		dirPath := fmt.Sprintf("/audit/s%02d", ctx.Index)
+		sb, err := ctx.Proc.Fork()
+		if err != nil {
+			return err
+		}
+		if _, err := sb.ShillInit(kernel.SessionOptions{}); err != nil {
+			return err
+		}
+		grant := func(path string, g *priv.Grant) error {
+			return sb.ShillGrant(s.K.FS.MustResolve(path), g)
+		}
+		if err := grant("/", priv.NewGrant(priv.RLookup, priv.RStat, priv.RPath)); err != nil {
+			return err
+		}
+		if err := grant("/audit", priv.NewGrant(priv.RLookup, priv.RStat, priv.RPath)); err != nil {
+			return err
+		}
+		if err := grant(dirPath, priv.GrantOf(priv.ReadOnlyDir)); err != nil {
+			return err
+		}
+		if err := sb.ShillEnter(); err != nil {
+			return err
+		}
+		kernelSession[ctx.Index] = sb.Session().ID()
+
+		// Allowed read, then a denied write on the private file.
+		fd, err := sb.OpenAt(kernel.AtCWD, dirPath+"/secret.txt", kernel.ORead, 0)
+		if err != nil {
+			return fmt.Errorf("read should be allowed: %w", err)
+		}
+		sb.Close(fd)
+		if _, err := sb.OpenAt(kernel.AtCWD, dirPath+"/secret.txt", kernel.OWrite, 0); err == nil {
+			return fmt.Errorf("write should be denied")
+		}
+		sb.Exit(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	log := s.Audit()
+	for i := 0; i < n; i++ {
+		id := kernelSession[i]
+		events := log.Query(audit.Filter{Session: id})
+		if len(events) == 0 {
+			t.Fatalf("session %d (index %d): no events", id, i)
+		}
+		ownDir := fmt.Sprintf("/audit/s%02d", i)
+		var denials int
+		for _, e := range events {
+			if e.Session != id {
+				t.Fatalf("index %d: event from session %d on shard %d: %s",
+					i, e.Session, id, audit.FormatEvent(e))
+			}
+			// Any event naming an /audit/ path must name OUR directory.
+			if strings.Contains(e.Object, "/audit/") && !strings.Contains(e.Object, ownDir) {
+				t.Fatalf("index %d: foreign path in event: %s", i, audit.FormatEvent(e))
+			}
+			if e.Verdict == audit.Deny {
+				denials++
+				if e.Object != ownDir+"/secret.txt" {
+					t.Fatalf("index %d: denial names %q, want own secret", i, e.Object)
+				}
+				if e.Layer != audit.LayerPolicy || !e.Rights.Has(priv.RWrite) {
+					t.Fatalf("index %d: denial lacks provenance: %s", i, audit.FormatEvent(e))
+				}
+			}
+		}
+		if denials != 1 {
+			t.Fatalf("index %d: %d denials, want exactly 1", i, denials)
+		}
+	}
+}
+
+// TestAuditTrailAcrossGradingSessions runs the real multi-session
+// grading workload and checks each kernel session's shard is
+// self-consistent (stamped with its own id) while the global sequencer
+// kept all events totally ordered.
+func TestAuditTrailAcrossGradingSessions(t *testing.T) {
+	const n = 4
+	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	defer s.Close()
+	if _, err := s.RunGradingSessions(n, ModeShill, GradingWorkload{Students: 2, Tests: 1}); err != nil {
+		t.Fatal(err)
+	}
+	log := s.Audit()
+	if log.Emits() == 0 {
+		t.Fatal("grading emitted no audit events")
+	}
+	for _, id := range log.Sessions() {
+		events := log.Query(audit.Filter{Session: id})
+		for _, e := range events {
+			if e.Session != id {
+				t.Fatalf("shard %d holds event stamped %d", id, e.Session)
+			}
+		}
+		for i := 1; i < len(events); i++ {
+			if events[i-1].Seq >= events[i].Seq {
+				t.Fatalf("shard %d not in sequence order", id)
+			}
+		}
+	}
+}

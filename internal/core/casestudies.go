@@ -70,6 +70,8 @@ func (s *System) LoadCaseScripts() {
 	s.Scripts["findgrep.cap"] = ScriptFindGrepSandboxCap
 	s.Scripts["findgrep_fine.cap"] = ScriptFindGrepFineCap
 	s.Scripts["run_cmd.cap"] = ScriptRunCmd
+	s.Scripts["why_denied.cap"] = ScriptWhyDeniedCap
+	s.Scripts["why_denied.ambient"] = ScriptWhyDeniedAmbient
 }
 
 // ===========================================================================

@@ -84,10 +84,43 @@ dog = open_file("~/Documents/dog.jpg");
 jpeginfo(wallet, stdout, dog);
 `
 
+// ScriptWhyDeniedCap is the audit-subsystem demo: a capability-safe
+// function whose contract attenuates its file argument to read-only, so
+// the write in its body is denied at the capability layer with the
+// contract recorded as blame. Running the companion ambient script and
+// then `shill-audit why-denied` names this contract as the layer that
+// rejected the operation.
+const ScriptWhyDeniedCap = `#lang shill/cap
+
+provide peek : {f : file(+read, +stat)} -> void;
+
+peek = fun(f) {
+  # Reading is within the contract...
+  r = read(f);
+  # ...but writing is not: the contract above attenuated f to
+  # (+read, +stat), so the capability layer denies this operation.
+  w = write(f, "tampered");
+  if is_syserror(w) then
+    error("peek could not write: " + to_string(w));
+};
+`
+
+// ScriptWhyDeniedAmbient mints a full-privilege file capability and
+// hands it to peek, whose contract strips the write privilege — the
+// denial the shill-audit walkthrough explains.
+const ScriptWhyDeniedAmbient = `#lang shill/ambient
+require "why_denied.cap";
+
+doc = open_file("~/Documents/dog.jpg");
+peek(doc);
+`
+
 // ScriptFiles maps file names to the embedded script sources; it backs
 // cmd/genscripts and the examples/scripts consistency test.
 func ScriptFiles() map[string]string {
 	return map[string]string{
+		"why_denied.cap":        ScriptWhyDeniedCap,
+		"why_denied.ambient":    ScriptWhyDeniedAmbient,
 		"find_jpg.cap":          ScriptFindJpg,
 		"find.cap":              ScriptFindPoly,
 		"jpeginfo.cap":          ScriptJpeginfoCap,

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/binaries"
 	"repro/internal/kernel"
 	"repro/internal/lang"
@@ -30,6 +31,10 @@ type Config struct {
 	// Parallel-session benchmarks enable it so throughput scaling
 	// reflects overlap of genuine per-sandbox blocking.
 	SpawnLatency time.Duration
+	// AuditDisabled turns the always-on audit trail off — the control
+	// configuration for measuring audit overhead (BenchmarkParallelGrading
+	// runs audit=on vs audit=off).
+	AuditDisabled bool
 }
 
 // System is an assembled simulated machine.
@@ -80,6 +85,9 @@ func NewSystem(cfg Config) *System {
 	if cfg.SpawnLatency > 0 {
 		k.SetSpawnLatency(cfg.SpawnLatency)
 	}
+	if cfg.AuditDisabled {
+		k.Audit().SetEnabled(false)
+	}
 	s.buildBaseImage()
 	s.RootSh = k.NewProc(0, 0)
 	s.Runtime = k.NewProc(UserUID, UserUID)
@@ -91,6 +99,14 @@ func NewSystem(cfg Config) *System {
 
 // Close shuts down background kernel workers.
 func (s *System) Close() { s.K.Shutdown() }
+
+// Audit returns the machine's audit log.
+func (s *System) Audit() *audit.Log { return s.K.Audit() }
+
+// FlushAuditProf attributes the audit subsystem's accumulated emission
+// time to the Prof collector's AuditEmit category. Figure-10 style
+// reports call it just before Prof.Report.
+func (s *System) FlushAuditProf() { s.K.Audit().FlushProf(s.Prof) }
 
 // NewInterp creates a fresh interpreter over this system's runtime
 // process. Each interpreter construction is one "Racket startup" for

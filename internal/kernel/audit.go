@@ -1,0 +1,33 @@
+package kernel
+
+import (
+	"repro/internal/audit"
+	"repro/internal/errno"
+	"repro/internal/vfs"
+)
+
+// denyDAC builds, records, and returns the structured denial for a
+// classic permission-bits failure — the first layer of §2.3's "passes
+// the checks performed by the operating system based on the user's
+// ambient authority and is also permitted by the capabilities". The
+// reverse path lookup only runs on this cold failure path.
+func (p *Proc) denyDAC(op string, vn *vfs.Vnode) error {
+	path, ok := p.k.FS.PathOf(vn)
+	if !ok {
+		path = "(unlinked)"
+	}
+	var sessID uint64
+	sh := p.k.aud.Global()
+	if s := p.Session(); s != nil {
+		sessID, sh = s.id, s.shard
+	}
+	reason := &audit.DenyReason{
+		Layer: audit.LayerDAC, Op: op, Object: path,
+		Session: sessID, Errno: errno.EACCES,
+	}
+	reason.Seq = p.k.aud.Emit(sh, audit.Event{
+		Kind: audit.KindSyscall, Verdict: audit.Deny, Layer: audit.LayerDAC,
+		Op: op, Object: path, Detail: "UNIX permission bits",
+	})
+	return reason
+}

@@ -1,0 +1,169 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/errno"
+	"repro/internal/priv"
+)
+
+// sandboxedProc builds a kernel with one entered session holding only a
+// read grant on /data.
+func sandboxedProc(t *testing.T) (*Kernel, *Proc) {
+	t.Helper()
+	k := New()
+	k.InstallShillModule()
+	t.Cleanup(k.Shutdown)
+	if _, err := k.FS.WriteFile("/data/f.txt", []byte("hi"), 0o666, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProc(0, 0)
+	sb, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.ShillInit(SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	grant := func(path string, g *priv.Grant) {
+		if err := sb.ShillGrant(k.FS.MustResolve(path), g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grant("/", priv.NewGrant(priv.RLookup, priv.RStat, priv.RPath))
+	grant("/data", priv.GrantOf(priv.ReadOnlyDir))
+	if err := sb.ShillEnter(); err != nil {
+		t.Fatal(err)
+	}
+	return k, sb
+}
+
+// TestPolicyDenyCarriesProvenance is the DenyReason end of the audit
+// tentpole: a policy denial must unwrap to EACCES as before AND name
+// the layer, operation, object, session, and missing privileges.
+func TestPolicyDenyCarriesProvenance(t *testing.T) {
+	_, sb := sandboxedProc(t)
+	_, err := sb.OpenAt(AtCWD, "/data/f.txt", OWrite, 0)
+	if !errors.Is(err, errno.EACCES) {
+		t.Fatalf("err = %v, want EACCES", err)
+	}
+	d := audit.ReasonFor(err)
+	if d == nil {
+		t.Fatalf("denial carries no DenyReason: %v", err)
+	}
+	if d.Layer != audit.LayerPolicy || d.Policy != "shill" {
+		t.Fatalf("layer/policy = %v/%q", d.Layer, d.Policy)
+	}
+	if d.Op != "write" {
+		t.Fatalf("op = %q", d.Op)
+	}
+	if d.Object != "/data/f.txt" {
+		t.Fatalf("object = %q", d.Object)
+	}
+	if d.Session != sb.Session().ID() {
+		t.Fatalf("session = %d, want %d", d.Session, sb.Session().ID())
+	}
+	if !d.Missing.Has(priv.RWrite) {
+		t.Fatalf("missing = %v, want +write", d.Missing)
+	}
+	if d.Seq == 0 {
+		t.Fatal("denial was not recorded in the audit log")
+	}
+}
+
+// TestSystemAndProcDenyReasons covers the formerly bare-EPERM paths:
+// Figure 7 system denials and the process-interaction policy.
+func TestSystemAndProcDenyReasons(t *testing.T) {
+	k, sb := sandboxedProc(t)
+
+	_, err := sb.KenvGet("kernelname")
+	if !errors.Is(err, errno.EPERM) {
+		t.Fatalf("kenv read = %v, want EPERM", err)
+	}
+	d := audit.ReasonFor(err)
+	if d == nil || d.Layer != audit.LayerPolicy || d.Op != "kenv-read" {
+		t.Fatalf("kenv deny reason = %+v", d)
+	}
+
+	outsider := k.NewProc(0, 0)
+	kerr := sb.Kill(outsider.PID())
+	if !errors.Is(kerr, errno.EPERM) {
+		t.Fatalf("kill = %v, want EPERM", kerr)
+	}
+	if d := audit.ReasonFor(kerr); d == nil || d.Op != "proc-signal" {
+		t.Fatalf("kill deny reason = %+v", d)
+	}
+}
+
+// TestDACDenyCarriesProvenance: an open blocked by permission bits (not
+// by SHILL) must name DAC as the deciding layer.
+func TestDACDenyCarriesProvenance(t *testing.T) {
+	k := New()
+	k.InstallShillModule()
+	t.Cleanup(k.Shutdown)
+	if _, err := k.FS.WriteFile("/root-only.txt", []byte("x"), 0o600, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProc(1001, 1001)
+	_, err := p.OpenAt(AtCWD, "/root-only.txt", ORead, 0)
+	if !errors.Is(err, errno.EACCES) {
+		t.Fatalf("err = %v", err)
+	}
+	d := audit.ReasonFor(err)
+	if d == nil || d.Layer != audit.LayerDAC {
+		t.Fatalf("DAC denial reason = %+v", d)
+	}
+	if d.Object != "/root-only.txt" {
+		t.Fatalf("object = %q", d.Object)
+	}
+}
+
+// TestSessionAuditTrail checks the session lifecycle events land on the
+// session's shard: init, enter, exec, denial, proc exit.
+func TestSessionAuditTrail(t *testing.T) {
+	k, sb := sandboxedProc(t)
+	sb.OpenAt(AtCWD, "/data/f.txt", OWrite, 0) // a denial
+	events := k.Audit().Query(audit.Filter{Session: sb.Session().ID()})
+	var kinds []audit.Kind
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := map[audit.Kind]bool{audit.KindSpawn: false, audit.KindGrant: false, audit.KindSyscall: false}
+	for _, kd := range kinds {
+		if _, ok := want[kd]; ok {
+			want[kd] = true
+		}
+	}
+	for kd, ok := range want {
+		if !ok {
+			t.Errorf("session trail missing kind %v (got %v)", kd, kinds)
+		}
+	}
+	for _, e := range events {
+		if e.Session != sb.Session().ID() {
+			t.Fatalf("foreign session %d event on shard %d", e.Session, sb.Session().ID())
+		}
+	}
+}
+
+// TestAuditDisabledSkipsRecording: with the log disabled the same
+// denial still fails with EACCES and a DenyReason, but nothing is
+// recorded (and Seq stays 0).
+func TestAuditDisabledSkipsRecording(t *testing.T) {
+	k, sb := sandboxedProc(t)
+	k.Audit().SetEnabled(false)
+	before := k.Audit().Emits()
+	_, err := sb.OpenAt(AtCWD, "/data/f.txt", OWrite, 0)
+	if !errors.Is(err, errno.EACCES) {
+		t.Fatalf("err = %v", err)
+	}
+	d := audit.ReasonFor(err)
+	if d == nil || d.Seq != 0 {
+		t.Fatalf("disabled-log reason = %+v", d)
+	}
+	if k.Audit().Emits() != before {
+		t.Fatal("disabled log recorded events")
+	}
+}

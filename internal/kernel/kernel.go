@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/errno"
 	"repro/internal/mac"
 	"repro/internal/netstack"
@@ -59,6 +60,12 @@ type Kernel struct {
 	FS  *vfs.FS
 	Net *netstack.Stack
 	MAC *mac.Framework
+
+	// aud is the always-on capability provenance and audit log
+	// (internal/audit): every security-relevant decision lands here,
+	// sharded per session. Disable it with Audit().SetEnabled(false)
+	// for overhead comparisons.
+	aud *audit.Log
 
 	Policy *ShillPolicy // nil until InstallShillModule
 
@@ -111,6 +118,7 @@ func New() *Kernel {
 		FS:          vfs.New(),
 		Net:         netstack.New(),
 		MAC:         mac.NewFramework(),
+		aud:         audit.NewLog(0, 0),
 		procs:       make(map[int]*Proc),
 		binaries:    make(map[string]BinMain),
 		sysctl:      map[string]string{"kern.ostype": "ShillOS", "kern.osrelease": "9.2-SIM", "hw.ncpu": "6"},
@@ -177,6 +185,9 @@ func (k *Kernel) Shutdown() {
 		k.cleanerWG.Wait()
 	})
 }
+
+// Audit returns the kernel's audit log.
+func (k *Kernel) Audit() *audit.Log { return k.aud }
 
 // SetSpawnLatency configures the simulated per-exec latency (0 disables
 // it, the default). See the field comment on Kernel.spawnLatency.
@@ -301,6 +312,17 @@ func (p *Proc) Session() *Session {
 	return p.session
 }
 
+// AuditShard returns the audit shard events from this process should
+// land on: the session's shard when the process runs in a session, the
+// global shard otherwise. The capability runtime (internal/cap) uses it
+// to attribute lineage events.
+func (p *Proc) AuditShard() *audit.Shard {
+	if s := p.Session(); s != nil {
+		return s.shard
+	}
+	return p.k.aud.Global()
+}
+
 // Limits returns the process resource limits.
 func (p *Proc) Limits() Ulimits {
 	p.mu.Lock()
@@ -403,8 +425,16 @@ func (p *Proc) exit(code int) {
 	}
 	close(p.done)
 
-	if sess != nil && sess.procExited() {
-		p.k.enqueueCleanup(sess)
+	if sess != nil {
+		if p.k.aud.Enabled() {
+			p.k.aud.Emit(sess.shard, audit.Event{
+				Kind: audit.KindExit, Op: "proc-exit",
+				Detail: fmt.Sprintf("pid %d, status %d", p.pid, code),
+			})
+		}
+		if sess.procExited() {
+			p.k.enqueueCleanup(sess)
+		}
 	}
 }
 

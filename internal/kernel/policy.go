@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/audit"
 	"repro/internal/errno"
 	"repro/internal/mac"
 	"repro/internal/netstack"
@@ -278,15 +279,30 @@ func enteredSession(cred *mac.Cred) *Session {
 }
 
 // grantObject installs a grant for the session on an object's privilege
-// map, recording it for teardown and logging.
+// map, recording it for teardown, logging, and the audit trail. The
+// audit event fires only when the install creates the session's entry
+// on the object: the grant phase re-grants shared ancestors (bare
+// lookup on /, /usr, …) once per capability, and those no-op merges
+// would otherwise dominate the trail — and pay a reverse path lookup
+// each — without adding information.
 func (pol *ShillPolicy) grantObject(s *Session, obj mac.Labeled, g *priv.Grant) {
 	pm := pmOf(obj.MACLabel())
-	if pm.install(s, g, pol.allowAmplify.Load()) {
+	created := pm.install(s, g, pol.allowAmplify.Load())
+	if created {
 		s.recordLabeled(pm)
 	}
 	pol.grants.Add(1)
-	if s.log != nil {
-		s.log.add(LogEntry{Kind: LogGrant, Op: "grant", Object: pol.objName(obj), Rights: g.Rights})
+	if s.log != nil || created {
+		objName := pol.objName(obj) // one reverse lookup serves both records
+		if s.log != nil {
+			s.log.add(LogEntry{Kind: LogGrant, Op: "grant", Object: objName, Rights: g.Rights})
+		}
+		if created {
+			pol.k.aud.Emit(s.shard, audit.Event{
+				Kind: audit.KindGrant, Layer: audit.LayerPolicy, Policy: policyName,
+				Op: "grant", Object: objName, Rights: g.Rights,
+			})
+		}
 	}
 }
 
@@ -306,24 +322,59 @@ func (pol *ShillPolicy) objName(obj mac.Labeled) string {
 	return "object"
 }
 
-// deny records and returns a denial, or auto-grants in debug mode.
-func (pol *ShillPolicy) deny(s *Session, obj mac.Labeled, op string, need priv.Set) error {
+// deny records and returns a structured denial, or auto-grants in debug
+// mode. held is the grant the session actually holds on the object (nil
+// when it holds none); the returned *audit.DenyReason names exactly the
+// privileges that were missing, and the denial is retained in the audit
+// log's per-shard denial ring so it survives allow-event churn.
+func (pol *ShillPolicy) deny(s *Session, obj mac.Labeled, op string, need priv.Set, held *priv.Grant) error {
 	if s.debug {
 		pol.autoGrants.Add(1)
 		pm := pmOf(obj.MACLabel())
 		if pm.install(s, priv.GrantOf(need), pol.allowAmplify.Load()) {
 			s.recordLabeled(pm)
 		}
+		objName := pol.objName(obj)
 		if s.log != nil {
-			s.log.add(LogEntry{Kind: LogAutoGrant, Op: op, Object: pol.objName(obj), Rights: need})
+			s.log.add(LogEntry{Kind: LogAutoGrant, Op: op, Object: objName, Rights: need})
 		}
+		pol.k.aud.Emit(s.shard, audit.Event{
+			Kind: audit.KindAutoGrant, Layer: audit.LayerPolicy, Policy: policyName,
+			Op: op, Object: objName, Rights: need,
+		})
 		return nil
 	}
 	pol.denials.Add(1)
+	objName := pol.objName(obj)
 	if s.log != nil {
-		s.log.add(LogEntry{Kind: LogDeny, Op: op, Object: pol.objName(obj), Rights: need})
+		s.log.add(LogEntry{Kind: LogDeny, Op: op, Object: objName, Rights: need})
 	}
-	return errno.EACCES
+	missing := need
+	if held != nil {
+		missing = need.Minus(held.Rights)
+	}
+	reason := &audit.DenyReason{
+		Layer: audit.LayerPolicy, Policy: policyName,
+		Op: op, Object: objName, Session: s.id,
+		Missing: missing, Errno: errno.EACCES,
+	}
+	reason.Seq = pol.k.aud.Emit(s.shard, audit.Event{
+		Kind: audit.KindSyscall, Verdict: audit.Deny,
+		Layer: audit.LayerPolicy, Policy: policyName,
+		Op: op, Object: objName, Rights: missing,
+	})
+	return reason
+}
+
+// allow records a permitted check. The object is identified by the
+// operation's name component only — reverse-resolving a full path on
+// every allowed syscall would dwarf the cost of the check itself.
+func (pol *ShillPolicy) allow(s *Session, op, name string) {
+	pol.k.aud.Emit(s.shard, audit.Event{
+		Kind: audit.KindSyscall, Verdict: audit.Allow,
+		Layer: audit.LayerPolicy, Policy: policyName,
+		Op: op, Object: name,
+	})
 }
 
 // VnodeCheck verifies the session holds the privileges the operation
@@ -336,13 +387,14 @@ func (pol *ShillPolicy) VnodeCheck(cred *mac.Cred, vn mac.Labeled, op mac.VnodeO
 	pol.checks.Add(1)
 	need, ok := requiredVnodeRights[op]
 	if !ok {
-		return pol.deny(s, vn, op.String(), 0)
+		return pol.deny(s, vn, op.String(), 0, nil)
 	}
 	g := pmPeek(vn.MACLabel()).get(s)
 	if g.HasAll(need) {
+		pol.allow(s, op.String(), name)
 		return nil
 	}
-	return pol.deny(s, vn, op.String(), need)
+	return pol.deny(s, vn, op.String(), need, g)
 }
 
 // VnodePostLookup propagates privileges from a directory to a child
@@ -366,13 +418,28 @@ func (pol *ShillPolicy) VnodePostLookup(cred *mac.Cred, dir, child mac.Labeled, 
 	if derived == nil || derived.Rights.Empty() {
 		return
 	}
+	pol.propagate(s, child, "lookup", name, derived)
+}
+
+// propagate installs a derived grant on child and records it. The audit
+// event fires only when the install creates the entry: re-walking the
+// same path re-installs the same derived grant, which would flood the
+// ring with duplicates.
+func (pol *ShillPolicy) propagate(s *Session, child mac.Labeled, op, name string, derived *priv.Grant) {
 	pm := pmOf(child.MACLabel())
-	if pm.install(s, derived, pol.allowAmplify.Load()) {
+	created := pm.install(s, derived, pol.allowAmplify.Load())
+	if created {
 		s.recordLabeled(pm)
 	}
 	pol.propagations.Add(1)
 	if s.log != nil {
-		s.log.add(LogEntry{Kind: LogPropagate, Op: "lookup", Object: name, Rights: derived.Rights})
+		s.log.add(LogEntry{Kind: LogPropagate, Op: op, Object: name, Rights: derived.Rights})
+	}
+	if created {
+		pol.k.aud.Emit(s.shard, audit.Event{
+			Kind: audit.KindPropagate, Layer: audit.LayerPolicy, Policy: policyName,
+			Op: op, Object: name, Rights: derived.Rights,
+		})
 	}
 }
 
@@ -402,14 +469,7 @@ func (pol *ShillPolicy) VnodePostCreate(cred *mac.Cred, dir, child mac.Labeled, 
 	if derived == nil || derived.Rights.Empty() {
 		return
 	}
-	pm := pmOf(child.MACLabel())
-	if pm.install(s, derived, pol.allowAmplify.Load()) {
-		s.recordLabeled(pm)
-	}
-	pol.propagations.Add(1)
-	if s.log != nil {
-		s.log.add(LogEntry{Kind: LogPropagate, Op: "create", Object: name, Rights: derived.Rights})
-	}
+	pol.propagate(s, child, "create", name, derived)
 }
 
 // PipeCheck verifies pipe privileges.
@@ -430,9 +490,10 @@ func (pol *ShillPolicy) PipeCheck(cred *mac.Cred, p mac.Labeled, op mac.PipeOp) 
 	}
 	g := pmPeek(p.MACLabel()).get(s)
 	if g.HasAll(need) {
+		pol.allow(s, op.String(), "")
 		return nil
 	}
-	return pol.deny(s, p, op.String(), need)
+	return pol.deny(s, p, op.String(), need, g)
 }
 
 // SocketCheck verifies socket privileges. Creation consults the
@@ -449,25 +510,27 @@ func (pol *ShillPolicy) SocketCheck(cred *mac.Cred, so mac.Labeled, op mac.Socke
 	if op == mac.OpSockCreate {
 		sock, ok := so.(*netstack.Socket)
 		if !ok {
-			return pol.deny(s, so, op.String(), priv.NewSet(r))
+			return pol.deny(s, so, op.String(), priv.NewSet(r), nil)
 		}
 		s.mu.Lock()
 		factory := s.sockGrants[sock.Domain()]
 		s.mu.Unlock()
 		if !factory.Has(priv.RSockCreate) {
-			return pol.deny(s, so, op.String(), priv.NewSet(r))
+			return pol.deny(s, so, op.String(), priv.NewSet(r), factory)
 		}
 		pm := pmOf(so.MACLabel())
 		if pm.install(s, factory, pol.allowAmplify.Load()) {
 			s.recordLabeled(pm)
 		}
+		pol.allow(s, op.String(), sock.Domain().String())
 		return nil
 	}
 	g := pmPeek(so.MACLabel()).get(s)
 	if g.Has(r) {
+		pol.allow(s, op.String(), "")
 		return nil
 	}
-	return pol.deny(s, so, op.String(), priv.NewSet(r))
+	return pol.deny(s, so, op.String(), priv.NewSet(r), g)
 }
 
 // SocketPostAccept labels an accepted connection with the listener's
@@ -498,13 +561,25 @@ func (pol *ShillPolicy) ProcCheck(cred, target *mac.Cred, op mac.ProcOp) error {
 	pol.checks.Add(1)
 	t := sessionOf(target)
 	if t != nil && t.isDescendantOf(s) {
+		pol.allow(s, op.String(), "process")
 		return nil
 	}
 	pol.denials.Add(1)
 	if s.log != nil {
 		s.log.add(LogEntry{Kind: LogDeny, Op: op.String(), Object: "process"})
 	}
-	return errno.EPERM
+	reason := &audit.DenyReason{
+		Layer: audit.LayerPolicy, Policy: policyName,
+		Op: op.String(), Object: "process", Session: s.id,
+		Errno: errno.EPERM,
+	}
+	reason.Seq = pol.k.aud.Emit(s.shard, audit.Event{
+		Kind: audit.KindSyscall, Verdict: audit.Deny,
+		Layer: audit.LayerPolicy, Policy: policyName,
+		Op: op.String(), Object: "process",
+		Detail: "target process is outside the session hierarchy (§3.2.2 process interaction)",
+	})
+	return reason
 }
 
 // SystemCheck enforces the Figure 7 policy rows: sysctl is read-only in
@@ -517,13 +592,25 @@ func (pol *ShillPolicy) SystemCheck(cred *mac.Cred, op mac.SystemOp, name string
 	}
 	pol.checks.Add(1)
 	if op == mac.OpSysctlRead {
+		pol.allow(s, op.String(), name)
 		return nil
 	}
 	pol.denials.Add(1)
 	if s.log != nil {
 		s.log.add(LogEntry{Kind: LogDeny, Op: op.String(), Object: name})
 	}
-	return errno.EPERM
+	reason := &audit.DenyReason{
+		Layer: audit.LayerPolicy, Policy: policyName,
+		Op: op.String(), Object: name, Session: s.id,
+		Errno: errno.EPERM,
+	}
+	reason.Seq = pol.k.aud.Emit(s.shard, audit.Event{
+		Kind: audit.KindSyscall, Verdict: audit.Deny,
+		Layer: audit.LayerPolicy, Policy: policyName,
+		Op: op.String(), Object: name,
+		Detail: "denied for all sandboxes (Figure 7 policy rows)",
+	})
+	return reason
 }
 
 // GrantToSession is the kernel-internal grant used by the runtime when

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/errno"
 	"repro/internal/mac"
 	"repro/internal/netstack"
@@ -37,6 +38,10 @@ type Session struct {
 
 	log   *SessionLog
 	debug bool
+
+	// shard is the session's audit-log shard, cached at creation so the
+	// policy's hot check path emits events without any map lookup.
+	shard *audit.Shard
 }
 
 // ID returns the session id.
@@ -53,6 +58,9 @@ func (s *Session) Debug() bool { return s.debug }
 
 // Log returns the session's log, or nil if logging is disabled.
 func (s *Session) Log() *SessionLog { return s.log }
+
+// AuditShard returns the session's audit-log shard.
+func (s *Session) AuditShard() *audit.Shard { return s.shard }
 
 // isDescendantOf reports whether s is t or a descendant of t.
 func (s *Session) isDescendantOf(t *Session) bool {
@@ -108,6 +116,12 @@ func (s *Session) teardown() {
 	for _, pm := range labeled {
 		pm.remove(s)
 	}
+	if s.k.aud.Enabled() {
+		s.k.aud.Emit(s.shard, audit.Event{
+			Kind: audit.KindExit, Op: "session-teardown",
+			Detail: fmt.Sprintf("scrubbed %d privilege maps", len(labeled)),
+		})
+	}
 	if s.parent != nil && s.parent.decRef() {
 		s.k.enqueueCleanup(s.parent)
 	}
@@ -147,6 +161,21 @@ func (p *Proc) ShillInit(opts SessionOptions) (*Session, error) {
 		s.log = &SessionLog{}
 	}
 	s.refs = 1
+	// A disabled log allocates no shard: the audit=off configuration
+	// must not pay per-spawn ring allocation or the log's creation
+	// lock. Emissions tolerate a nil shard (they fall back to the
+	// global shard, and are no-ops while the log stays disabled).
+	if p.k.aud.Enabled() {
+		s.shard = p.k.aud.SessionShard(s.id)
+		parentID := uint64(0)
+		if parentSession != nil {
+			parentID = parentSession.id
+		}
+		p.k.aud.Emit(s.shard, audit.Event{
+			Kind: audit.KindSpawn, Op: "shill-init",
+			Detail: fmt.Sprintf("pid %d, parent session %d", p.pid, parentID),
+		})
+	}
 
 	// The child session holds a reference on its parent: a parent's
 	// privileges must remain inspectable while any descendant session
@@ -235,6 +264,10 @@ func (p *Proc) ShillGrantSocketFactory(domain netstack.Domain, g *priv.Grant) er
 	if s.log != nil {
 		s.log.add(LogEntry{Kind: LogGrant, Op: "socket-factory", Object: domain.String(), Rights: g.Rights})
 	}
+	p.k.aud.Emit(s.shard, audit.Event{
+		Kind: audit.KindGrant, Op: "socket-factory",
+		Object: "socket(" + domain.String() + ")", Rights: g.Rights,
+	})
 	return nil
 }
 
@@ -249,6 +282,7 @@ func (p *Proc) ShillEnter() error {
 		return errno.EINVAL
 	}
 	s.entered.Store(true)
+	p.k.aud.Emit(s.shard, audit.Event{Kind: audit.KindSpawn, Op: "shill-enter"})
 	return nil
 }
 
@@ -304,7 +338,7 @@ func (p *Proc) Exec(vn *vfs.Vnode, argv []string) error {
 	}
 	cred := p.Cred()
 	if !vn.Accessible(cred.UID, cred.GID, vfs.ModeExec) {
-		return errno.EACCES
+		return p.denyDAC("exec", vn)
 	}
 	if err := p.k.MAC.VnodeCheck(cred, vn, mac.OpVnodeExec, ""); err != nil {
 		return err
@@ -312,6 +346,12 @@ func (p *Proc) Exec(vn *vfs.Vnode, argv []string) error {
 	main, name, err := p.k.binaryFor(vn)
 	if err != nil {
 		return err
+	}
+	if s := p.Session(); s != nil && p.k.aud.Enabled() {
+		p.k.aud.Emit(s.shard, audit.Event{
+			Kind: audit.KindSpawn, Op: "exec", Object: name,
+			Detail: fmt.Sprintf("pid %d", p.pid),
+		})
 	}
 	latency := p.k.SpawnLatency()
 	go func() {

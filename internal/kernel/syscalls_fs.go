@@ -49,7 +49,7 @@ func (p *Proc) OpenAt(dirfd int, path string, flags OpenFlags, mode uint16) (int
 			vn = existing
 		case lerr == errno.ENOENT:
 			if !dir.Accessible(cred.UID, cred.GID, vfs.ModeWrite) {
-				return -1, errno.EACCES
+				return -1, p.denyDAC("create", dir)
 			}
 			if err := p.k.MAC.VnodeCheck(cred, dir, mac.OpVnodeCreateFile, name); err != nil {
 				return -1, err
@@ -95,10 +95,10 @@ func (p *Proc) openVnode(vn *vfs.Vnode, flags OpenFlags, justCreated bool) (int,
 	// its creator regardless of the creation mode, per POSIX.
 	if !justCreated {
 		if flags&ORead != 0 && !vn.Accessible(cred.UID, cred.GID, vfs.ModeRead) {
-			return -1, errno.EACCES
+			return -1, p.denyDAC("open-read", vn)
 		}
 		if flags&(OWrite|OAppend|OTrunc) != 0 && !vn.Accessible(cred.UID, cred.GID, vfs.ModeWrite) {
-			return -1, errno.EACCES
+			return -1, p.denyDAC("open-write", vn)
 		}
 	}
 	// MAC open-mode checks (skipped for the fresh create: post_create

@@ -581,7 +581,11 @@ func (it *Interp) bindAmbient(env *Env) {
 		}
 		// The capability has all privileges the invoking user is allowed
 		// for this resource (§2.5); DAC still applies at operation time.
-		return cap.NewForVnode(it.Runtime, vn, priv.FullGrant()), nil
+		origin := "open_file"
+		if wantDir {
+			origin = "open_dir"
+		}
+		return cap.NewForVnode(it.Runtime, vn, priv.FullGrant()).Announce(origin), nil
 	}
 
 	bi("open_file", 1, 1, func(it *Interp, args []Value, _ map[string]Value) (Value, error) {
@@ -599,7 +603,7 @@ func (it *Interp) bindAmbient(env *Env) {
 		return open(path, true)
 	})
 	bi("pipe_factory", 0, 0, func(it *Interp, args []Value, _ map[string]Value) (Value, error) {
-		return cap.NewPipeFactory(it.Runtime), nil
+		return cap.NewPipeFactory(it.Runtime).Announce("pipe_factory"), nil
 	})
 	bi("socket_factory", 1, 1, func(it *Interp, args []Value, _ map[string]Value) (Value, error) {
 		domain, ok := args[0].(string)
@@ -615,7 +619,7 @@ func (it *Interp) bindAmbient(env *Env) {
 		default:
 			return nil, fmt.Errorf("socket_factory expects \"ip\" or \"unix\", got %q", domain)
 		}
-		return cap.NewSocketFactory(it.Runtime, d, priv.GrantOf(priv.AllSock)), nil
+		return cap.NewSocketFactory(it.Runtime, d, priv.GrantOf(priv.AllSock)).Announce("socket_factory"), nil
 	})
 
 	// Standard streams: console-device capabilities.

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/audit"
 )
 
 // Label is policy-agnostic per-object storage. Each registered policy may
@@ -130,7 +132,10 @@ const (
 	OpVnodePathLookup // the path(2) reverse-lookup added by the SHILL module
 )
 
-var vnodeOpNames = map[VnodeOp]string{
+// vnodeOpNames is indexed by VnodeOp: String() sits on the audit
+// subsystem's per-check hot path, so the lookup is an array index
+// rather than a map access.
+var vnodeOpNames = [...]string{
 	OpVnodeLookup:        "lookup",
 	OpVnodeRead:          "read",
 	OpVnodeWrite:         "write",
@@ -157,8 +162,8 @@ var vnodeOpNames = map[VnodeOp]string{
 }
 
 func (op VnodeOp) String() string {
-	if s, ok := vnodeOpNames[op]; ok {
-		return s
+	if op >= 0 && int(op) < len(vnodeOpNames) {
+		return vnodeOpNames[op]
 	}
 	return fmt.Sprintf("vnode-op(%d)", int(op))
 }
@@ -389,11 +394,14 @@ func (f *Framework) Policies() []Policy {
 	return f.policies.Load().([]Policy)
 }
 
-// VnodeCheck runs every policy's vnode check.
+// VnodeCheck runs every policy's vnode check. A denial is annotated
+// with the name of the policy module that produced it (audit.Annotate),
+// so the deciding layer survives into the caller's error chain even for
+// third-party policies that return bare errnos.
 func (f *Framework) VnodeCheck(cred *Cred, vn Labeled, op VnodeOp, name string) error {
 	for _, p := range f.Policies() {
 		if err := p.VnodeCheck(cred, vn, op, name); err != nil {
-			return err
+			return audit.Annotate(err, p.Name(), op.String(), name)
 		}
 	}
 	return nil
@@ -417,7 +425,7 @@ func (f *Framework) VnodePostCreate(cred *Cred, dir, child Labeled, name string,
 func (f *Framework) PipeCheck(cred *Cred, pl Labeled, op PipeOp) error {
 	for _, p := range f.Policies() {
 		if err := p.PipeCheck(cred, pl, op); err != nil {
-			return err
+			return audit.Annotate(err, p.Name(), op.String(), "pipe")
 		}
 	}
 	return nil
@@ -427,7 +435,7 @@ func (f *Framework) PipeCheck(cred *Cred, pl Labeled, op PipeOp) error {
 func (f *Framework) SocketCheck(cred *Cred, so Labeled, op SocketOp) error {
 	for _, p := range f.Policies() {
 		if err := p.SocketCheck(cred, so, op); err != nil {
-			return err
+			return audit.Annotate(err, p.Name(), op.String(), "socket")
 		}
 	}
 	return nil
@@ -444,7 +452,7 @@ func (f *Framework) SocketPostAccept(cred *Cred, listener, conn Labeled) {
 func (f *Framework) ProcCheck(cred, target *Cred, op ProcOp) error {
 	for _, p := range f.Policies() {
 		if err := p.ProcCheck(cred, target, op); err != nil {
-			return err
+			return audit.Annotate(err, p.Name(), op.String(), "process")
 		}
 	}
 	return nil
@@ -454,7 +462,7 @@ func (f *Framework) ProcCheck(cred, target *Cred, op ProcOp) error {
 func (f *Framework) SystemCheck(cred *Cred, op SystemOp, name string) error {
 	for _, p := range f.Policies() {
 		if err := p.SystemCheck(cred, op, name); err != nil {
-			return err
+			return audit.Annotate(err, p.Name(), op.String(), name)
 		}
 	}
 	return nil

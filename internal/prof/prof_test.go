@@ -54,9 +54,29 @@ func TestReportBreakdown(t *testing.T) {
 }
 
 func TestCategoryNames(t *testing.T) {
-	for _, c := range []Category{Startup, SandboxSetup, SandboxExec, ContractCheck} {
+	for _, c := range []Category{Startup, SandboxSetup, SandboxExec, ContractCheck, AuditEmit} {
 		if c.String() == "" {
 			t.Fatalf("category %d has no name", c)
 		}
+	}
+}
+
+// TestAuditEmitBreakdown verifies the AuditEmit category is attributed
+// in the Figure-10 breakdown and subtracted from the remaining bucket,
+// so audit overhead never masquerades as script-evaluation time.
+func TestAuditEmitBreakdown(t *testing.T) {
+	c := New()
+	c.Add(Startup, 100*time.Millisecond)
+	c.Add(SandboxExec, 300*time.Millisecond)
+	c.Add(AuditEmit, 50*time.Millisecond)
+	b := c.Report(time.Second)
+	if b.AuditEmit != 50*time.Millisecond {
+		t.Fatalf("AuditEmit = %v, want 50ms", b.AuditEmit)
+	}
+	if b.Remaining != 550*time.Millisecond {
+		t.Fatalf("remaining = %v, want 550ms (audit time must be excluded)", b.Remaining)
+	}
+	if got := c.Total(AuditEmit); got != 50*time.Millisecond {
+		t.Fatalf("Total(AuditEmit) = %v", got)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cap"
 	"repro/internal/errno"
 	"repro/internal/kernel"
@@ -172,6 +173,18 @@ func Exec(runtime *kernel.Proc, exe *cap.Capability, args []Arg, opts Options) (
 	}
 	opts.Prof.Add(prof.SandboxSetup, time.Since(setupStart))
 
+	// The Enabled gate keeps the disabled configuration from paying the
+	// reverse path lookup (Name) and detail formatting per spawn.
+	aud := runtime.Kernel().Audit()
+	var exePath string
+	if aud.Enabled() {
+		exePath = exe.Name() // Name needs no +path privilege, unlike Path
+		aud.Emit(session.AuditShard(), audit.Event{
+			Kind: audit.KindSpawn, Op: "sandbox-exec", Object: exePath,
+			CapID: exe.ID(), Detail: fmt.Sprintf("%d grants", len(grants)),
+		})
+	}
+
 	execStart := time.Now()
 	if err := child.Exec(exe.Vnode(), argv); err != nil {
 		return fail(err)
@@ -180,6 +193,12 @@ func Exec(runtime *kernel.Proc, exe *cap.Capability, args []Arg, opts Options) (
 	opts.Prof.Add(prof.SandboxExec, time.Since(execStart))
 	if err != nil {
 		return Result{Session: session}, err
+	}
+	if aud.Enabled() {
+		aud.Emit(session.AuditShard(), audit.Event{
+			Kind: audit.KindExit, Op: "sandbox-exit", Object: exePath,
+			Detail: fmt.Sprintf("status %d", code),
+		})
 	}
 	return Result{ExitCode: code, Session: session}, nil
 }
