@@ -8,29 +8,44 @@ package repro
 // by how much — is what EXPERIMENTS.md compares.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
 
+	"repro/internal/binaries"
 	"repro/internal/contract"
-	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/priv"
 	"repro/internal/prof"
+	"repro/shill"
 )
 
 // fig9Config pairs a configuration label with how to build and run it.
 type fig9Config struct {
 	name    string
 	install bool
-	mode    core.Mode
+	mode    shill.Mode
 }
 
 var fig9Configs = []fig9Config{
-	{"Baseline", false, core.ModeAmbient},
-	{"ShillInstalled", true, core.ModeAmbient},
-	{"Sandboxed", true, core.ModeSandboxed},
-	{"ShillVersion", true, core.ModeShill},
+	{"Baseline", false, shill.ModeAmbient},
+	{"ShillInstalled", true, shill.ModeAmbient},
+	{"Sandboxed", true, shill.ModeSandboxed},
+	{"ShillVersion", true, shill.ModeShill},
+}
+
+// bg: benchmarks run without deadlines.
+var bg = context.Background()
+
+// benchMachine builds a machine, failing the benchmark on error.
+func benchMachine(b *testing.B, opts ...shill.Option) *shill.Machine {
+	b.Helper()
+	m, err := shill.NewMachine(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
 }
 
 // --- Figure 9: Grading ---
@@ -38,17 +53,17 @@ var fig9Configs = []fig9Config{
 func BenchmarkFigure9Grading(b *testing.B) {
 	for _, cfg := range fig9Configs {
 		b.Run(cfg.name, func(b *testing.B) {
-			s := core.NewSystem(core.Config{InstallModule: cfg.install, ConsoleLimit: 1 << 20})
+			s := benchMachine(b, shill.WithModule(cfg.install), shill.WithConsoleLimit(1<<20))
 			defer s.Close()
-			s.BuildGradingCourse(core.GradingWorkload{Students: core.DefaultGrading.Students,
-				Tests: core.DefaultGrading.Tests, Malicious: false})
+			s.BuildGradingCourse(shill.GradingWorkload{Students: shill.DefaultGrading.Students,
+				Tests: shill.DefaultGrading.Tests, Malicious: false})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				s.ResetGradingOutputs()
 				s.ConsoleText()
 				b.StartTimer()
-				if err := s.RunGrading(cfg.mode); err != nil {
+				if err := s.RunGrading(bg, cfg.mode); err != nil {
 					b.Fatalf("grading[%s]: %v", cfg.name, err)
 				}
 			}
@@ -75,14 +90,16 @@ func BenchmarkParallelGrading(b *testing.B) {
 	for _, n := range []int{1, 4, 16} {
 		for _, auditOn := range []bool{true, false} {
 			b.Run(fmt.Sprintf("sessions=%d/audit=%v", n, auditOn), func(b *testing.B) {
-				s := core.NewSystem(core.Config{
-					InstallModule: true,
-					ConsoleLimit:  1 << 20,
-					SpawnLatency:  500 * time.Microsecond,
-					AuditDisabled: !auditOn,
-				})
+				opts := []shill.Option{
+					shill.WithConsoleLimit(1 << 20),
+					shill.WithSpawnLatency(500 * time.Microsecond),
+				}
+				if !auditOn {
+					opts = append(opts, shill.WithAuditDisabled())
+				}
+				s := benchMachine(b, opts...)
 				defer s.Close()
-				w := core.GradingWorkload{Students: 4, Tests: 2}
+				w := shill.GradingWorkload{Students: 4, Tests: 2}
 				b.ResetTimer()
 				var graded time.Duration
 				for i := 0; i < b.N; i++ {
@@ -90,7 +107,7 @@ func BenchmarkParallelGrading(b *testing.B) {
 					s.PrepareGradingSessions(n, w) // stage + reset outside the timed region
 					b.StartTimer()
 					start := time.Now()
-					if _, err := s.RunPreparedGradingSessions(n, core.ModeShill); err != nil {
+					if _, err := s.RunPreparedGradingSessions(bg, n, shill.ModeShill); err != nil {
 						b.Fatalf("parallel grading[%d]: %v", n, err)
 					}
 					graded += time.Since(start)
@@ -104,16 +121,16 @@ func BenchmarkParallelGrading(b *testing.B) {
 // --- Figure 9: Emacs package management sub-benchmarks ---
 
 // emacsBenchSetup prepares the prerequisite state for a step.
-func emacsBenchSetup(s *core.System, step core.EmacsStep) error {
-	order := map[core.EmacsStep]int{
-		core.StepDownload: 0, core.StepUntar: 1, core.StepConfigure: 2,
-		core.StepMake: 3, core.StepInstall: 4, core.StepUninstall: 5,
+func emacsBenchSetup(s *shill.Machine, step shill.EmacsStep) error {
+	order := map[shill.EmacsStep]int{
+		shill.StepDownload: 0, shill.StepUntar: 1, shill.StepConfigure: 2,
+		shill.StepMake: 3, shill.StepInstall: 4, shill.StepUninstall: 5,
 	}
-	for _, prior := range core.AllEmacsSteps {
+	for _, prior := range shill.AllEmacsSteps {
 		if order[prior] >= order[step] {
 			return nil
 		}
-		if err := s.RunEmacsStep(prior, core.ModeAmbient); err != nil {
+		if err := s.RunEmacsStep(bg, prior, shill.ModeAmbient); err != nil {
 			return fmt.Errorf("setup %s: %w", prior, err)
 		}
 	}
@@ -121,34 +138,34 @@ func emacsBenchSetup(s *core.System, step core.EmacsStep) error {
 }
 
 // emacsBenchReset undoes one step so it can run again.
-func emacsBenchReset(s *core.System, step core.EmacsStep) error {
+func emacsBenchReset(s *shill.Machine, step shill.EmacsStep) error {
 	switch step {
-	case core.StepDownload:
+	case shill.StepDownload:
 		s.RemovePath("/home/user/Downloads/emacs-24.3.tar")
-	case core.StepUntar:
+	case shill.StepUntar:
 		s.RemoveTree("/home/user/build/emacs-24.3")
-	case core.StepConfigure:
+	case shill.StepConfigure:
 		s.RemovePath("/home/user/build/emacs-24.3/Makefile")
 		s.RemovePath("/home/user/build/emacs-24.3/config.status")
-	case core.StepMake:
+	case shill.StepMake:
 		s.RemovePath("/home/user/build/emacs-24.3/emacs")
-	case core.StepInstall:
+	case shill.StepInstall:
 		s.RemoveTree("/home/user/.local/bin")
 		s.RemoveTree("/home/user/.local/share")
-	case core.StepUninstall:
+	case shill.StepUninstall:
 		// Re-install before each uninstall iteration.
-		return s.RunEmacsStep(core.StepInstall, core.ModeAmbient)
+		return s.RunEmacsStep(bg, shill.StepInstall, shill.ModeAmbient)
 	}
 	return nil
 }
 
 func BenchmarkFigure9Emacs(b *testing.B) {
-	for _, step := range core.AllEmacsSteps {
+	for _, step := range shill.AllEmacsSteps {
 		for _, cfg := range fig9Configs[:3] { // no separate SHILL version per sub-step
 			b.Run(fmt.Sprintf("%s/%s", step, cfg.name), func(b *testing.B) {
-				s := core.NewSystem(core.Config{InstallModule: cfg.install, ConsoleLimit: 1 << 20})
+				s := benchMachine(b, shill.WithModule(cfg.install), shill.WithConsoleLimit(1<<20))
 				defer s.Close()
-				s.BuildEmacsOrigin(core.DefaultEmacs)
+				s.BuildEmacsOrigin(shill.DefaultEmacs)
 				stop, err := s.StartOrigin()
 				if err != nil {
 					b.Fatalf("origin: %v", err)
@@ -165,7 +182,7 @@ func BenchmarkFigure9Emacs(b *testing.B) {
 					}
 					s.ConsoleText()
 					b.StartTimer()
-					if err := s.RunEmacsStep(step, cfg.mode); err != nil {
+					if err := s.RunEmacsStep(bg, step, cfg.mode); err != nil {
 						b.Fatalf("%s[%s]: %v", step, cfg.name, err)
 					}
 				}
@@ -177,9 +194,9 @@ func BenchmarkFigure9Emacs(b *testing.B) {
 // BenchmarkFigure9EmacsShill is the "Emacs" column's SHILL version: the
 // whole package-management script with per-function contracts.
 func BenchmarkFigure9EmacsShill(b *testing.B) {
-	s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	s := benchMachine(b, shill.WithConsoleLimit(1<<20))
 	defer s.Close()
-	s.BuildEmacsOrigin(core.DefaultEmacs)
+	s.BuildEmacsOrigin(shill.DefaultEmacs)
 	stop, err := s.StartOrigin()
 	if err != nil {
 		b.Fatalf("origin: %v", err)
@@ -191,7 +208,7 @@ func BenchmarkFigure9EmacsShill(b *testing.B) {
 		s.ResetEmacsOutputs()
 		s.ConsoleText()
 		b.StartTimer()
-		if err := s.RunEmacsShill(); err != nil {
+		if err := s.RunEmacsShill(bg); err != nil {
 			b.Fatalf("pkg_emacs: %v", err)
 		}
 	}
@@ -203,14 +220,14 @@ func BenchmarkFigure9Apache(b *testing.B) {
 	configs := []fig9Config{fig9Configs[0], fig9Configs[1], fig9Configs[2]}
 	for _, cfg := range configs {
 		b.Run(cfg.name, func(b *testing.B) {
-			s := core.NewSystem(core.Config{InstallModule: cfg.install, ConsoleLimit: 1 << 20})
+			s := benchMachine(b, shill.WithModule(cfg.install), shill.WithConsoleLimit(1<<20))
 			defer s.Close()
-			w := core.ApacheWorkload{FileMB: 2, Requests: 20, Concurrency: 8}
+			w := shill.ApacheWorkload{FileMB: 2, Requests: 20, Concurrency: 8}
 			s.BuildWWW(w)
 			b.SetBytes(int64(w.FileMB) << 20 * int64(w.Requests))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := s.RunApache(cfg.mode, w); err != nil {
+				if _, err := s.RunApache(bg, cfg.mode, w); err != nil {
 					b.Fatalf("apache[%s]: %v", cfg.name, err)
 				}
 			}
@@ -223,12 +240,12 @@ func BenchmarkFigure9Apache(b *testing.B) {
 func BenchmarkFigure9Find(b *testing.B) {
 	for _, cfg := range fig9Configs {
 		b.Run(cfg.name, func(b *testing.B) {
-			s := core.NewSystem(core.Config{InstallModule: cfg.install, ConsoleLimit: 1 << 20})
+			s := benchMachine(b, shill.WithModule(cfg.install), shill.WithConsoleLimit(1<<20))
 			defer s.Close()
-			s.BuildSrcTree(core.DefaultFind)
+			s.BuildSrcTree(shill.DefaultFind)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := s.RunFind(cfg.mode); err != nil {
+				if err := s.RunFind(bg, cfg.mode); err != nil {
 					b.Fatalf("find[%s]: %v", cfg.name, err)
 				}
 			}
@@ -245,58 +262,58 @@ func BenchmarkFigure9Find(b *testing.B) {
 func BenchmarkFigure10(b *testing.B) {
 	cases := []struct {
 		name string
-		prep func(*core.System)
-		run  func(*core.System) error
+		prep func(*shill.Machine)
+		run  func(*shill.Machine) error
 	}{
-		{"Uninstall", func(s *core.System) {
-			s.BuildEmacsOrigin(core.DefaultEmacs)
+		{"Uninstall", func(s *shill.Machine) {
+			s.BuildEmacsOrigin(shill.DefaultEmacs)
 			stop, err := s.StartOrigin()
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.Cleanup(stop)
-			if err := emacsBenchSetup(s, core.StepUninstall); err != nil {
+			if err := emacsBenchSetup(s, shill.StepUninstall); err != nil {
 				b.Fatal(err)
 			}
-			if err := s.RunEmacsStep(core.StepInstall, core.ModeAmbient); err != nil {
+			if err := s.RunEmacsStep(bg, shill.StepInstall, shill.ModeAmbient); err != nil {
 				b.Fatal(err)
 			}
-		}, func(s *core.System) error {
-			if err := s.RunEmacsStep(core.StepInstall, core.ModeAmbient); err != nil {
+		}, func(s *shill.Machine) error {
+			if err := s.RunEmacsStep(bg, shill.StepInstall, shill.ModeAmbient); err != nil {
 				return err
 			}
-			return s.RunEmacsStep(core.StepUninstall, core.ModeSandboxed)
+			return s.RunEmacsStep(bg, shill.StepUninstall, shill.ModeSandboxed)
 		}},
-		{"Download", func(s *core.System) {
-			s.BuildEmacsOrigin(core.DefaultEmacs)
+		{"Download", func(s *shill.Machine) {
+			s.BuildEmacsOrigin(shill.DefaultEmacs)
 			stop, err := s.StartOrigin()
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.Cleanup(stop)
-		}, func(s *core.System) error {
+		}, func(s *shill.Machine) error {
 			s.RemovePath("/home/user/Downloads/emacs-24.3.tar")
-			return s.RunEmacsStep(core.StepDownload, core.ModeSandboxed)
+			return s.RunEmacsStep(bg, shill.StepDownload, shill.ModeSandboxed)
 		}},
-		{"Grading", func(s *core.System) {
-			s.BuildGradingCourse(core.GradingWorkload{Students: core.DefaultGrading.Students,
-				Tests: core.DefaultGrading.Tests})
-		}, func(s *core.System) error {
+		{"Grading", func(s *shill.Machine) {
+			s.BuildGradingCourse(shill.GradingWorkload{Students: shill.DefaultGrading.Students,
+				Tests: shill.DefaultGrading.Tests})
+		}, func(s *shill.Machine) error {
 			s.ResetGradingOutputs()
-			return s.RunGrading(core.ModeShill)
+			return s.RunGrading(bg, shill.ModeShill)
 		}},
-		{"Find", func(s *core.System) {
-			s.BuildSrcTree(core.DefaultFind)
-		}, func(s *core.System) error {
-			return s.RunFind(core.ModeShill)
+		{"Find", func(s *shill.Machine) {
+			s.BuildSrcTree(shill.DefaultFind)
+		}, func(s *shill.Machine) error {
+			return s.RunFind(bg, shill.ModeShill)
 		}},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
-			s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+			s := benchMachine(b, shill.WithConsoleLimit(1<<20))
 			defer s.Close()
 			c.prep(s)
-			s.Prof.Reset()
+			s.Prof().Reset()
 			contract.ResetCheckTime()
 			b.ResetTimer()
 			start := time.Now()
@@ -307,7 +324,7 @@ func BenchmarkFigure10(b *testing.B) {
 			}
 			total := time.Since(start)
 			s.FlushAuditProf()
-			bd := s.Prof.Report(total)
+			bd := s.Prof().Report(total)
 			n := float64(b.N)
 			b.ReportMetric(bd.Startup.Seconds()/n, "startup-s/op")
 			b.ReportMetric(bd.SandboxSetup.Seconds()/n, "setup-s/op")
@@ -532,15 +549,21 @@ func BenchmarkAblationPropagation(b *testing.B) {
 }
 
 // BenchmarkSandboxSetup isolates the cost of creating one sandbox (the
-// unit cost behind Grading's 5,371 and Find's 15,292 setups).
+// unit cost behind Grading's 5,371 and Find's 15,292 setups). It works
+// on a bare kernel: the sandbox lifecycle is below the embedding API.
 func BenchmarkSandboxSetup(b *testing.B) {
-	s := core.NewSystem(core.Config{InstallModule: true})
-	defer s.Close()
-	vn := s.K.FS.MustResolve("/bin/true")
-	_ = vn
+	k := kernel.New()
+	binaries.Register(k)
+	k.InstallShillModule()
+	b.Cleanup(k.Shutdown)
+	if _, err := k.FS.WriteFile("/bin/true", []byte("#!bin:true\n"), 0o755, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	runtime := k.NewProc(1001, 1001)
+	vn := k.FS.MustResolve("/bin/true")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		child, err := s.Runtime.Fork()
+		child, err := runtime.Fork()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -556,7 +579,7 @@ func BenchmarkSandboxSetup(b *testing.B) {
 		if err := child.Exec(vn, nil); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.Runtime.Wait(child.PID()); err != nil {
+		if _, err := runtime.Wait(child.PID()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -566,7 +589,7 @@ func BenchmarkSandboxSetup(b *testing.B) {
 // pkg_native result contract, checked once per sandbox, dominates
 // contract time in the paper's profile.
 func BenchmarkContractCheck(b *testing.B) {
-	s := core.NewSystem(core.Config{InstallModule: true})
+	s := benchMachine(b)
 	defer s.Close()
 	c := &contract.FuncC{
 		Params: []contract.Param{{Name: "args", C: contract.IsList}},
@@ -596,27 +619,29 @@ func (benchCallable) Call([]contract.Value, map[string]contract.Value) (contract
 // calls "Racket startup" — the dominant cost of the Download and
 // Uninstall benchmarks (§4.2).
 func BenchmarkInterpreterStartup(b *testing.B) {
-	s := core.NewSystem(core.Config{InstallModule: true})
+	s := benchMachine(b)
 	defer s.Close()
+	sess := s.DefaultSession()
+	src := "#lang shill/ambient\n"
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		it := s.NewInterp()
-		_ = it
+		if _, err := sess.Run(bg, shill.Script{Name: "empty.ambient", Source: src}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 // BenchmarkPkgNative measures wallet construction plus pkg_native — the
 // per-tool packaging cost, including the ldd sandbox.
 func BenchmarkPkgNative(b *testing.B) {
-	s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	s := benchMachine(b, shill.WithConsoleLimit(1<<20))
 	defer s.Close()
-	s.LoadCaseScripts()
-	s.Scripts["pkg.cap"] = `#lang shill/cap
+	s.AddScript("pkg.cap", `#lang shill/cap
 require shill/native;
 
 provide pack : {wallet : native_wallet} -> any;
 pack = fun(wallet) { pkg_native("grep", wallet); };
-`
+`)
 	ambient := `#lang shill/ambient
 require shill/native;
 require "pkg.cap";
@@ -626,9 +651,10 @@ wallet = create_wallet();
 populate_native_wallet(wallet, root, "/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
 pack(wallet);
 `
+	sess := s.DefaultSession()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.RunAmbient("bench.ambient", ambient); err != nil {
+		if _, err := sess.Run(bg, shill.Script{Name: "bench.ambient", Source: ambient}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,9 +33,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/priv"
+	"repro/shill"
 )
 
 func main() {
@@ -63,6 +64,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// ctx: benchfig drives the machine without deadlines; per-run
+// cancellation belongs to embedders and the CLI tools.
+var ctx = context.Background()
+
+// newMachine builds a benchmark machine, panicking on staging failure.
+func newMachine(opts ...shill.Option) *shill.Machine {
+	m, err := shill.NewMachine(opts...)
+	if err != nil {
+		panic("benchfig: " + err.Error())
+	}
+	return m
 }
 
 // --- statistics ---
@@ -120,50 +134,53 @@ func figure9(reps int, full bool) {
 	}
 	fmt.Println()
 
-	grading := core.DefaultGrading
-	find := core.DefaultFind
-	apache := core.ApacheWorkload{FileMB: 2, Requests: 20, Concurrency: 8}
-	emacs := core.DefaultEmacs
+	grading := shill.DefaultGrading
+	find := shill.DefaultFind
+	apache := shill.ApacheWorkload{FileMB: 2, Requests: 20, Concurrency: 8}
+	emacs := shill.DefaultEmacs
 	if full {
-		grading = core.FullScaleGrading
-		find = core.FullScaleFind
-		apache = core.ApacheWorkload{FileMB: 50, Requests: 500, Concurrency: 100}
-		emacs = core.EmacsWorkload{SrcKB: 2048}
+		grading = shill.FullScaleGrading
+		find = shill.FullScaleFind
+		apache = shill.ApacheWorkload{FileMB: 50, Requests: 500, Concurrency: 100}
+		emacs = shill.EmacsWorkload{SrcKB: 2048}
 	}
 	grading.Malicious = false
 
 	type runner struct {
 		name  string
-		modes map[string]func() (*core.System, func() error)
+		modes map[string]func() (*shill.Machine, func() error)
 	}
-	mkGrading := func(install bool, mode core.Mode) func() (*core.System, func() error) {
-		return func() (*core.System, func() error) {
-			s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
+	mkGrading := func(install bool, mode shill.Mode) func() (*shill.Machine, func() error) {
+		return func() (*shill.Machine, func() error) {
+			s := newMachine(shill.WithModule(install), shill.WithConsoleLimit(1<<20))
 			s.BuildGradingCourse(grading)
 			return s, func() error {
 				s.ResetGradingOutputs()
 				s.ConsoleText()
-				return s.RunGrading(mode)
+				return s.RunGrading(ctx, mode)
 			}
 		}
 	}
-	mkFind := func(install bool, mode core.Mode) func() (*core.System, func() error) {
-		return func() (*core.System, func() error) {
-			s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
+	mkFind := func(install bool, mode shill.Mode) func() (*shill.Machine, func() error) {
+		return func() (*shill.Machine, func() error) {
+			s := newMachine(shill.WithModule(install), shill.WithConsoleLimit(1<<20))
 			s.BuildSrcTree(find)
-			return s, func() error { return s.RunFind(mode) }
+			return s, func() error { return s.RunFind(ctx, mode) }
 		}
 	}
-	mkApache := func(install bool, mode core.Mode) func() (*core.System, func() error) {
-		return func() (*core.System, func() error) {
-			s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
+	mkApache := func(install bool, mode shill.Mode) func() (*shill.Machine, func() error) {
+		return func() (*shill.Machine, func() error) {
+			s := newMachine(shill.WithModule(install), shill.WithConsoleLimit(1<<20))
 			s.BuildWWW(apache)
-			return s, func() error { return s.RunApache(mode, apache) }
+			return s, func() error {
+				_, err := s.RunApache(ctx, mode, apache)
+				return err
+			}
 		}
 	}
-	mkEmacs := func(install bool, mode core.Mode, shill bool) func() (*core.System, func() error) {
-		return func() (*core.System, func() error) {
-			s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
+	mkEmacs := func(install bool, mode shill.Mode, shillVer bool) func() (*shill.Machine, func() error) {
+		return func() (*shill.Machine, func() error) {
+			s := newMachine(shill.WithModule(install), shill.WithConsoleLimit(1<<20))
 			s.BuildEmacsOrigin(emacs)
 			if _, err := s.StartOrigin(); err != nil {
 				panic(err)
@@ -171,11 +188,11 @@ func figure9(reps int, full bool) {
 			return s, func() error {
 				s.ResetEmacsOutputs()
 				s.ConsoleText()
-				if shill {
-					return s.RunEmacsShill()
+				if shillVer {
+					return s.RunEmacsShill(ctx)
 				}
-				for _, step := range core.AllEmacsSteps {
-					if err := s.RunEmacsStep(step, mode); err != nil {
+				for _, step := range shill.AllEmacsSteps {
+					if err := s.RunEmacsStep(ctx, step, mode); err != nil {
 						return fmt.Errorf("%s: %w", step, err)
 					}
 				}
@@ -185,29 +202,29 @@ func figure9(reps int, full bool) {
 	}
 
 	benchmarks := []runner{
-		{"Grading", map[string]func() (*core.System, func() error){
-			"Baseline":        mkGrading(false, core.ModeAmbient),
-			"SHILL installed": mkGrading(true, core.ModeAmbient),
-			"Sandboxed":       mkGrading(true, core.ModeSandboxed),
-			"SHILL version":   mkGrading(true, core.ModeShill),
+		{"Grading", map[string]func() (*shill.Machine, func() error){
+			"Baseline":        mkGrading(false, shill.ModeAmbient),
+			"SHILL installed": mkGrading(true, shill.ModeAmbient),
+			"Sandboxed":       mkGrading(true, shill.ModeSandboxed),
+			"SHILL version":   mkGrading(true, shill.ModeShill),
 		}},
-		{"Emacs", map[string]func() (*core.System, func() error){
-			"Baseline":        mkEmacs(false, core.ModeAmbient, false),
-			"SHILL installed": mkEmacs(true, core.ModeAmbient, false),
-			"Sandboxed":       mkEmacs(true, core.ModeSandboxed, false),
-			"SHILL version":   mkEmacs(true, core.ModeShill, true),
+		{"Emacs", map[string]func() (*shill.Machine, func() error){
+			"Baseline":        mkEmacs(false, shill.ModeAmbient, false),
+			"SHILL installed": mkEmacs(true, shill.ModeAmbient, false),
+			"Sandboxed":       mkEmacs(true, shill.ModeSandboxed, false),
+			"SHILL version":   mkEmacs(true, shill.ModeShill, true),
 		}},
-		{"Apache", map[string]func() (*core.System, func() error){
-			"Baseline":        mkApache(false, core.ModeAmbient),
-			"SHILL installed": mkApache(true, core.ModeAmbient),
-			"Sandboxed":       mkApache(true, core.ModeSandboxed),
-			"SHILL version":   mkApache(true, core.ModeSandboxed), // the apache script IS the SHILL version
+		{"Apache", map[string]func() (*shill.Machine, func() error){
+			"Baseline":        mkApache(false, shill.ModeAmbient),
+			"SHILL installed": mkApache(true, shill.ModeAmbient),
+			"Sandboxed":       mkApache(true, shill.ModeSandboxed),
+			"SHILL version":   mkApache(true, shill.ModeSandboxed), // the apache script IS the SHILL version
 		}},
-		{"Find", map[string]func() (*core.System, func() error){
-			"Baseline":        mkFind(false, core.ModeAmbient),
-			"SHILL installed": mkFind(true, core.ModeAmbient),
-			"Sandboxed":       mkFind(true, core.ModeSandboxed),
-			"SHILL version":   mkFind(true, core.ModeShill),
+		{"Find", map[string]func() (*shill.Machine, func() error){
+			"Baseline":        mkFind(false, shill.ModeAmbient),
+			"SHILL installed": mkFind(true, shill.ModeAmbient),
+			"Sandboxed":       mkFind(true, shill.ModeSandboxed),
+			"SHILL version":   mkFind(true, shill.ModeShill),
 		}},
 	}
 
@@ -230,26 +247,26 @@ func figure9(reps int, full bool) {
 	}
 	fmt.Println("\nEmacs sub-benchmarks (Baseline / SHILL installed / Sandboxed):")
 	subConfigs := []string{"Baseline", "SHILL installed", "Sandboxed"}
-	for _, step := range core.AllEmacsSteps {
+	for _, step := range shill.AllEmacsSteps {
 		samples := map[string]*sample{}
 		for _, cfg := range subConfigs {
 			install := cfg != "Baseline"
-			mode := core.ModeAmbient
+			mode := shill.ModeAmbient
 			if cfg == "Sandboxed" {
-				mode = core.ModeSandboxed
+				mode = shill.ModeSandboxed
 			}
-			s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
+			s := newMachine(shill.WithModule(install), shill.WithConsoleLimit(1<<20))
 			s.BuildEmacsOrigin(emacs)
 			stop, err := s.StartOrigin()
 			if err != nil {
 				panic(err)
 			}
 			// Prepare prerequisite state ambiently.
-			for _, prior := range core.AllEmacsSteps {
+			for _, prior := range shill.AllEmacsSteps {
 				if prior == step {
 					break
 				}
-				if err := s.RunEmacsStep(prior, core.ModeAmbient); err != nil {
+				if err := s.RunEmacsStep(ctx, prior, shill.ModeAmbient); err != nil {
 					panic(err)
 				}
 			}
@@ -258,7 +275,7 @@ func figure9(reps int, full bool) {
 				resetEmacsStep(s, step)
 				s.ConsoleText()
 				start := time.Now()
-				if err := s.RunEmacsStep(step, mode); err != nil {
+				if err := s.RunEmacsStep(ctx, step, mode); err != nil {
 					fmt.Fprintf(os.Stderr, "benchfig: %s/%s: %v\n", step, cfg, err)
 					os.Exit(1)
 				}
@@ -271,22 +288,22 @@ func figure9(reps int, full bool) {
 	}
 }
 
-func resetEmacsStep(s *core.System, step core.EmacsStep) {
+func resetEmacsStep(s *shill.Machine, step shill.EmacsStep) {
 	switch step {
-	case core.StepDownload:
+	case shill.StepDownload:
 		s.RemovePath("/home/user/Downloads/emacs-24.3.tar")
-	case core.StepUntar:
+	case shill.StepUntar:
 		s.RemoveTree("/home/user/build/emacs-24.3")
-	case core.StepConfigure:
+	case shill.StepConfigure:
 		s.RemovePath("/home/user/build/emacs-24.3/Makefile")
 		s.RemovePath("/home/user/build/emacs-24.3/config.status")
-	case core.StepMake:
+	case shill.StepMake:
 		s.RemovePath("/home/user/build/emacs-24.3/emacs")
-	case core.StepInstall:
+	case shill.StepInstall:
 		s.RemoveTree("/home/user/.local/bin")
 		s.RemoveTree("/home/user/.local/share")
-	case core.StepUninstall:
-		s.RunEmacsStep(core.StepInstall, core.ModeAmbient)
+	case shill.StepUninstall:
+		s.RunEmacsStep(ctx, shill.StepInstall, shill.ModeAmbient)
 	}
 }
 
@@ -297,65 +314,65 @@ func figure10(full bool) {
 	fmt.Printf("%-12s %12s %12s %12s %12s %12s %12s %10s\n",
 		"benchmark", "total", "startup", "sbx setup", "sbx exec", "audit", "remaining", "sandboxes")
 
-	grading := core.DefaultGrading
-	find := core.DefaultFind
+	grading := shill.DefaultGrading
+	find := shill.DefaultFind
 	if full {
-		grading = core.FullScaleGrading
-		find = core.FullScaleFind
+		grading = shill.FullScaleGrading
+		find = shill.FullScaleFind
 	}
 	grading.Malicious = false
 
 	type c struct {
 		name string
-		prep func(*core.System)
-		run  func(*core.System) error
+		prep func(*shill.Machine)
+		run  func(*shill.Machine) error
 	}
 	cases := []c{
-		{"Uninstall", func(s *core.System) {
-			s.BuildEmacsOrigin(core.DefaultEmacs)
+		{"Uninstall", func(s *shill.Machine) {
+			s.BuildEmacsOrigin(shill.DefaultEmacs)
 			if _, err := s.StartOrigin(); err != nil {
 				panic(err)
 			}
-			for _, step := range core.AllEmacsSteps[:5] {
-				if err := s.RunEmacsStep(step, core.ModeAmbient); err != nil {
+			for _, step := range shill.AllEmacsSteps[:5] {
+				if err := s.RunEmacsStep(ctx, step, shill.ModeAmbient); err != nil {
 					panic(err)
 				}
 			}
-		}, func(s *core.System) error {
-			return s.RunEmacsStep(core.StepUninstall, core.ModeSandboxed)
+		}, func(s *shill.Machine) error {
+			return s.RunEmacsStep(ctx, shill.StepUninstall, shill.ModeSandboxed)
 		}},
-		{"Download", func(s *core.System) {
-			s.BuildEmacsOrigin(core.DefaultEmacs)
+		{"Download", func(s *shill.Machine) {
+			s.BuildEmacsOrigin(shill.DefaultEmacs)
 			if _, err := s.StartOrigin(); err != nil {
 				panic(err)
 			}
-		}, func(s *core.System) error {
+		}, func(s *shill.Machine) error {
 			s.RemovePath("/home/user/Downloads/emacs-24.3.tar")
-			return s.RunEmacsStep(core.StepDownload, core.ModeSandboxed)
+			return s.RunEmacsStep(ctx, shill.StepDownload, shill.ModeSandboxed)
 		}},
-		{"Grading", func(s *core.System) {
+		{"Grading", func(s *shill.Machine) {
 			s.BuildGradingCourse(grading)
-		}, func(s *core.System) error {
+		}, func(s *shill.Machine) error {
 			s.ResetGradingOutputs()
-			return s.RunGrading(core.ModeShill)
+			return s.RunGrading(ctx, shill.ModeShill)
 		}},
-		{"Find", func(s *core.System) {
+		{"Find", func(s *shill.Machine) {
 			s.BuildSrcTree(find)
-		}, func(s *core.System) error {
-			return s.RunFind(core.ModeShill)
+		}, func(s *shill.Machine) error {
+			return s.RunFind(ctx, shill.ModeShill)
 		}},
 	}
 	for _, cs := range cases {
-		s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+		s := newMachine(shill.WithConsoleLimit(1 << 20))
 		cs.prep(s)
-		s.Prof.Reset()
+		s.Prof().Reset()
 		start := time.Now()
 		if err := cs.run(s); err != nil {
 			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", cs.name, err)
 			os.Exit(1)
 		}
 		s.FlushAuditProf()
-		bd := s.Prof.Report(time.Since(start))
+		bd := s.Prof().Report(time.Since(start))
 		fmt.Printf("%-12s %12v %12v %12v %12v %12v %12v %10d\n",
 			cs.name,
 			bd.Total.Round(time.Microsecond),
@@ -546,19 +563,19 @@ func figureLoC() {
 		paper string
 	}
 	entries := []entry{
-		{"grade.sh (Bash)", core.GradeSh, false, "61"},
-		{"grade_sandbox.cap", core.ScriptGradeSandboxCap, true, "22 (14 contract)"},
-		{"grade_sandbox ambient", core.ScriptGradeAmbientSandbox, false, "22"},
-		{"grade.cap (pure SHILL)", core.ScriptGradeCap, true, "78 (6 contract)"},
-		{"grade ambient", core.ScriptGradeAmbientShill, false, "16"},
-		{"pkg_emacs.cap", core.ScriptPkgEmacsCap, true, "91 (45 contract)"},
-		{"pkg_emacs ambient", core.ScriptPkgEmacsAmbient, false, "114"},
-		{"apache.cap", core.ScriptApacheCap, true, "30 (20 contract)"},
-		{"apache ambient", core.ScriptApacheAmbient, false, "27"},
-		{"findgrep.cap", core.ScriptFindGrepSandboxCap, true, "27 (5 contract)"},
-		{"findgrep ambient", core.ScriptFindGrepAmbientSandbox, false, "11"},
-		{"findgrep_fine.cap", core.ScriptFindGrepFineCap, true, "60 (11 contract)"},
-		{"findgrep_fine ambient", core.ScriptFindGrepAmbientFine, false, "9"},
+		{"grade.sh (Bash)", shill.GradeSh, false, "61"},
+		{"grade_sandbox.cap", shill.ScriptGradeSandboxCap, true, "22 (14 contract)"},
+		{"grade_sandbox ambient", shill.ScriptGradeAmbientSandbox, false, "22"},
+		{"grade.cap (pure SHILL)", shill.ScriptGradeCap, true, "78 (6 contract)"},
+		{"grade ambient", shill.ScriptGradeAmbientShill, false, "16"},
+		{"pkg_emacs.cap", shill.ScriptPkgEmacsCap, true, "91 (45 contract)"},
+		{"pkg_emacs ambient", shill.ScriptPkgEmacsAmbient, false, "114"},
+		{"apache.cap", shill.ScriptApacheCap, true, "30 (20 contract)"},
+		{"apache ambient", shill.ScriptApacheAmbient, false, "27"},
+		{"findgrep.cap", shill.ScriptFindGrepSandboxCap, true, "27 (5 contract)"},
+		{"findgrep ambient", shill.ScriptFindGrepAmbientSandbox, false, "11"},
+		{"findgrep_fine.cap", shill.ScriptFindGrepFineCap, true, "60 (11 contract)"},
+		{"findgrep_fine ambient", shill.ScriptFindGrepAmbientFine, false, "9"},
 	}
 	for _, e := range entries {
 		total, contractLines := countScript(e.src)
@@ -668,7 +685,7 @@ func figureParallel(reps int, jsonPath string) {
 	fmt.Printf("%-10s %16s %16s %12s\n", "sessions", "audit on", "audit off", "overhead")
 
 	const latency = 500 * time.Microsecond
-	w := core.GradingWorkload{Students: 4, Tests: 2}
+	w := shill.GradingWorkload{Students: 4, Tests: 2}
 	res := parallelResult{
 		Benchmark: "parallel-grading", Reps: reps,
 		SpawnLatencyUS: int(latency / time.Microsecond),
@@ -682,15 +699,17 @@ func figureParallel(reps int, jsonPath string) {
 	// second. A warmup rep per arm is discarded (first run stages caches
 	// and lazily creates session contexts).
 	measure := func(n int) (parallelRow, parallelRow) {
-		systems := map[bool]*core.System{}
+		systems := map[bool]*shill.Machine{}
 		samples := map[bool]*sample{true: {}, false: {}}
 		for _, auditOn := range []bool{true, false} {
-			systems[auditOn] = core.NewSystem(core.Config{
-				InstallModule: true,
-				ConsoleLimit:  1 << 20,
-				SpawnLatency:  latency,
-				AuditDisabled: !auditOn,
-			})
+			opts := []shill.Option{
+				shill.WithConsoleLimit(1 << 20),
+				shill.WithSpawnLatency(latency),
+			}
+			if !auditOn {
+				opts = append(opts, shill.WithAuditDisabled())
+			}
+			systems[auditOn] = newMachine(opts...)
 			defer systems[auditOn].Close()
 		}
 		for r := 0; r < reps+1; r++ {
@@ -698,7 +717,7 @@ func figureParallel(reps int, jsonPath string) {
 				s := systems[auditOn]
 				s.PrepareGradingSessions(n, w)
 				start := time.Now()
-				if _, err := s.RunPreparedGradingSessions(n, core.ModeShill); err != nil {
+				if _, err := s.RunPreparedGradingSessions(ctx, n, shill.ModeShill); err != nil {
 					fmt.Fprintf(os.Stderr, "benchfig: parallel[%d]: %v\n", n, err)
 					os.Exit(1)
 				}

@@ -1,11 +1,11 @@
 // Command genscripts regenerates examples/scripts/ from the embedded
-// case-study script constants in internal/core, so the SHILL sources are
+// case-study script constants re-exported by repro/shill, so the SHILL sources are
 // browsable as ordinary files (and runnable with cmd/shill). Run from
 // the repository root:
 //
 //	go run ./cmd/genscripts
 //
-// TestScriptFilesInSync (internal/core) fails if the files drift from
+// TestScriptFilesInSync (repro/shill) fails if the files drift from
 // the constants.
 package main
 
@@ -13,15 +13,15 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/shill"
 )
 
 func main() {
-	for name, src := range core.ScriptFiles() {
+	for name, src := range shill.ScriptFiles() {
 		if err := os.WriteFile("examples/scripts/"+name, []byte(src), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("wrote %d scripts to examples/scripts/\n", len(core.ScriptFiles()))
+	fmt.Printf("wrote %d scripts to examples/scripts/\n", len(shill.ScriptFiles()))
 }

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,8 +34,7 @@ import (
 	"sort"
 
 	"repro/internal/audit"
-	"repro/internal/core"
-	"repro/internal/lang"
+	"repro/shill"
 )
 
 func main() {
@@ -74,12 +74,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return usage(stderr)
 	}
 
-	s := core.NewSystem(core.Config{InstallModule: true})
-	defer s.Close()
-	if err := stageWorkload(s, *workload); err != nil {
+	m, err := shill.NewMachine(shill.WithWorkload(shill.Workload(*workload)))
+	if err != nil {
 		fmt.Fprintf(stderr, "shill-audit: %v\n", err)
 		return 1
 	}
+	defer m.Close()
+	session := m.DefaultSession()
 
 	// Run every script, collecting failures rather than stopping: the
 	// audit trail of a failed run is the product, not a problem.
@@ -90,14 +91,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "shill-audit: %v\n", err)
 			return 1
 		}
-		loader := hostLoader{dir: filepath.Dir(script), fallback: s.Scripts}
-		it := lang.NewInterp(s.Runtime, loader, s.Prof)
-		if rerr := it.RunAmbient(filepath.Base(script), string(src)); rerr != nil {
+		if _, rerr := session.Run(context.Background(), shill.Script{
+			Name:   filepath.Base(script),
+			Source: string(src),
+			Resolver: shill.ChainResolver{
+				shill.HostDirResolver{Dir: filepath.Dir(script)},
+				m.Resolver(),
+			},
+		}); rerr != nil {
 			scriptErrs = append(scriptErrs, fmt.Errorf("%s: %w", script, rerr))
 		}
 	}
 
-	log := s.Audit()
+	log := m.AuditLog()
 	switch cmd {
 	case "report":
 		report(stdout, log)
@@ -110,22 +116,6 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "shill-audit: script failed: %v\n", e)
 	}
 	return 0
-}
-
-// hostLoader resolves required scripts from the host filesystem with
-// the built-in case scripts as fallback (same policy as cmd/shill).
-type hostLoader struct {
-	dir      string
-	fallback lang.MapLoader
-}
-
-// Load implements lang.Loader.
-func (l hostLoader) Load(name string) (string, error) {
-	data, err := os.ReadFile(filepath.Join(l.dir, name))
-	if err == nil {
-		return string(data), nil
-	}
-	return l.fallback.Load(name)
 }
 
 func report(w io.Writer, log *audit.Log) {
@@ -231,32 +221,4 @@ func whyDenied(w io.Writer, log *audit.Log, scriptErrs []error) {
 			fmt.Fprintf(w, "\nscript error carried provenance: %v\n", d)
 		}
 	}
-}
-
-func stageWorkload(s *core.System, name string) error {
-	s.LoadCaseScripts()
-	switch name {
-	case "none":
-		return nil
-	case "demo":
-		if _, err := s.K.FS.WriteFile("/home/user/Documents/dog.jpg", []byte("JFIFdog"), 0o644, core.UserUID, core.UserUID); err != nil {
-			return err
-		}
-		_, err := s.K.FS.WriteFile("/home/user/Documents/cat.jpg", []byte("JFIFcat"), 0o644, core.UserUID, core.UserUID)
-		return err
-	case "grading":
-		s.BuildGradingCourse(core.DefaultGrading)
-		return nil
-	case "emacs":
-		s.BuildEmacsOrigin(core.DefaultEmacs)
-		_, err := s.StartOrigin()
-		return err
-	case "apache":
-		s.BuildWWW(core.DefaultApache)
-		return nil
-	case "find":
-		s.BuildSrcTree(core.DefaultFind)
-		return nil
-	}
-	return fmt.Errorf("unknown workload %q", name)
 }

@@ -6,14 +6,14 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/core"
+	"repro/shill"
 )
 
 // writeDemo stages the built-in why_denied demo scripts in a temp dir.
 func writeDemo(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	files := core.ScriptFiles()
+	files := shill.ScriptFiles()
 	for _, name := range []string{"why_denied.ambient", "why_denied.cap"} {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(files[name]), 0o644); err != nil {
 			t.Fatal(err)

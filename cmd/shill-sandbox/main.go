@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	shill-sandbox [-debug] [-policy file] [-workload name] -- command arg...
+//	shill-sandbox [-debug] [-policy file] [-workload name] [-timeout d] -- command arg...
 //
 // Policy file syntax, one grant per line:
 //
@@ -22,266 +22,93 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/audit"
-	"repro/internal/cap"
-	"repro/internal/core"
-	"repro/internal/netstack"
-	"repro/internal/priv"
-	"repro/internal/sandbox"
-	"repro/internal/stdlib"
+	"repro/shill"
 )
 
 func main() {
-	debug := flag.Bool("debug", false, "debugging mode: auto-grant missing privileges and log them")
-	policyFile := flag.String("policy", "", "policy file of capability grants")
-	workload := flag.String("workload", "demo", "image to stage: demo, grading, emacs, apache, find, none")
-	auditDump := flag.Bool("audit", false, "print the session's audit trail (with deciding layers) to stderr after the run")
-	flag.Parse()
-	args := flag.Args()
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("shill-sandbox", flag.ExitOnError)
+	debug := fs.Bool("debug", false, "debugging mode: auto-grant missing privileges and log them")
+	policyFile := fs.String("policy", "", "policy file of capability grants")
+	workload := fs.String("workload", "demo", "image to stage: demo, grading, emacs, apache, find, none")
+	auditDump := fs.Bool("audit", false, "print the session's audit trail (with deciding layers) to stderr after the run")
+	timeout := fs.Duration("timeout", 0, "wall-time limit for the sandboxed command (0 = none)")
+	fs.Parse(argv)
+	args := fs.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: shill-sandbox [flags] -- command arg...")
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
-	s := core.NewSystem(core.Config{InstallModule: true})
-	defer s.Close()
-	if err := stage(s, *workload); err != nil {
-		fail("%v", err)
+	m, err := shill.NewMachine(shill.WithWorkload(shill.Workload(*workload)))
+	if err != nil {
+		return fail("%v", err)
 	}
+	defer m.Close()
 
-	var grants []grantLine
+	var policy *shill.SandboxPolicy
 	if *policyFile != "" {
 		data, err := os.ReadFile(*policyFile)
 		if err != nil {
-			fail("%v", err)
+			return fail("%v", err)
 		}
-		grants, err = parsePolicy(string(data))
+		policy, err = shill.ParseSandboxPolicy(string(data))
 		if err != nil {
-			fail("policy: %v", err)
+			return fail("policy: %v", err)
 		}
 	}
 
-	// Resolve the executable and its library dependencies.
-	exePath := args[0]
-	if !strings.Contains(exePath, "/") {
-		for _, dir := range []string{"/bin/", "/usr/bin/", "/usr/local/sbin/"} {
-			if _, err := s.K.FS.Resolve(dir + exePath); err == nil {
-				exePath = dir + exePath
-				break
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := m.ExecSandboxed(ctx, shill.SandboxCommand{
+		Argv:   args,
+		Policy: policy,
+		Debug:  *debug,
+	})
+	if res != nil {
+		fmt.Print(res.Console)
+		if *auditDump {
+			// Dump before any exit: a failed exec is exactly the case the
+			// trail explains (e.g. the policy lacked +exec on the binary).
+			fmt.Fprintf(os.Stderr, "--- audit trail: session %d, %d retained events ---\n",
+				res.SessionID, len(res.Trail))
+			for _, line := range res.Trail {
+				fmt.Fprintln(os.Stderr, line)
 			}
-		}
-	}
-	exeVn, err := s.K.FS.Resolve(exePath)
-	if err != nil {
-		fail("command %s: %v", args[0], err)
-	}
-	exe := cap.NewFile(s.Runtime, exeVn, stdlib.ExecGrant)
-
-	opts := sandbox.Options{
-		Debug:   *debug,
-		Logging: true,
-		Prof:    s.Prof,
-		Stdout:  consoleCap(s),
-		Stderr:  consoleCap(s),
-		Stdin:   consoleCap(s),
-	}
-	// Library directories ride along read-only, as pkg_native would
-	// arrange.
-	for _, libDir := range []string{"/lib", "/usr/local/lib"} {
-		vn, err := s.K.FS.Resolve(libDir)
-		if err == nil {
-			opts.Extras = append(opts.Extras, cap.NewDir(s.Runtime, vn, stdlib.ReadOnlyDirGrant))
-		}
-	}
-	sargs := make([]sandbox.Arg, 0, len(args)-1)
-	for _, a := range args[1:] {
-		sargs = append(sargs, sandbox.StrArg(a))
-	}
-	for _, g := range grants {
-		if g.socket != "" {
-			domain := netstack.DomainIP
-			if g.socket == "unix" {
-				domain = netstack.DomainUnix
-			}
-			opts.SocketFactories = append(opts.SocketFactories,
-				cap.NewSocketFactory(s.Runtime, domain, g.grant))
-			continue
-		}
-		vn, err := s.K.FS.Resolve(g.path)
-		if err != nil {
-			fail("policy: %s: %v", g.path, err)
-		}
-		opts.Extras = append(opts.Extras, cap.NewForVnode(s.Runtime, vn, g.grant))
-	}
-
-	res, err := sandbox.Exec(s.Runtime, exe, sargs, opts)
-	fmt.Print(s.ConsoleText())
-	if *auditDump {
-		// Dump before any exit: a failed exec is exactly the case the
-		// trail explains (e.g. the policy lacked +exec on the binary).
-		filter := audit.Filter{}
-		label := "all sessions"
-		if res.Session != nil {
-			filter.Session = res.Session.ID()
-			label = fmt.Sprintf("session %d", res.Session.ID())
-		}
-		events := s.Audit().Query(filter)
-		fmt.Fprintf(os.Stderr, "--- audit trail: %s, %d retained events ---\n", label, len(events))
-		for _, e := range events {
-			fmt.Fprintln(os.Stderr, audit.FormatEvent(e))
 		}
 	}
 	if err != nil {
-		fail("exec: %v", err)
+		return fail("%v", err)
 	}
-	if log := res.Session.Log(); log != nil {
-		denials := log.Denials()
-		autos := log.AutoGrants()
-		if len(denials) > 0 {
-			fmt.Fprintln(os.Stderr, "--- denied operations ---")
-			for _, e := range denials {
-				fmt.Fprintln(os.Stderr, e)
-			}
-		}
-		if len(autos) > 0 {
-			fmt.Fprintln(os.Stderr, "--- privileges auto-granted in debug mode (add these to your policy) ---")
-			for _, e := range autos {
-				fmt.Fprintln(os.Stderr, e)
-			}
+	if len(res.Denials) > 0 {
+		fmt.Fprintln(os.Stderr, "--- denied operations ---")
+		for _, e := range res.Denials {
+			fmt.Fprintln(os.Stderr, e)
 		}
 	}
-	os.Exit(res.ExitCode)
+	if len(res.AutoGrants) > 0 {
+		fmt.Fprintln(os.Stderr, "--- privileges auto-granted in debug mode (add these to your policy) ---")
+		for _, e := range res.AutoGrants {
+			fmt.Fprintln(os.Stderr, e)
+		}
+	}
+	return res.ExitStatus
 }
 
-func consoleCap(s *core.System) *cap.Capability {
-	vn := s.K.FS.MustResolve("/dev/console")
-	return cap.NewFile(s.Runtime, vn, priv.FullGrant())
-}
-
-func fail(format string, args ...any) {
+func fail(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "shill-sandbox: "+format+"\n", args...)
-	os.Exit(1)
-}
-
-func stage(s *core.System, name string) error {
-	switch name {
-	case "none":
-		return nil
-	case "demo":
-		_, err := s.K.FS.WriteFile("/home/user/Documents/dog.jpg", []byte("JFIFdog"), 0o644, core.UserUID, core.UserUID)
-		return err
-	case "grading":
-		s.BuildGradingCourse(core.DefaultGrading)
-	case "emacs":
-		s.BuildEmacsOrigin(core.DefaultEmacs)
-		_, err := s.StartOrigin()
-		return err
-	case "apache":
-		s.BuildWWW(core.DefaultApache)
-	case "find":
-		s.BuildSrcTree(core.DefaultFind)
-	default:
-		return fmt.Errorf("unknown workload %q", name)
-	}
-	return nil
-}
-
-// grantLine is one parsed policy grant.
-type grantLine struct {
-	path   string // filesystem grants
-	socket string // "ip" or "unix" for socket-factory grants
-	grant  *priv.Grant
-}
-
-// parsePolicy parses the policy file format.
-func parsePolicy(src string) ([]grantLine, error) {
-	var out []grantLine
-	for lineNo, line := range strings.Split(src, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.SplitN(line, " ", 2)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("line %d: want \"<path> <privileges>\"", lineNo+1)
-		}
-		target := fields[0]
-		rest := strings.TrimSpace(fields[1])
-		g := grantLine{}
-		if target == "socket" {
-			sub := strings.SplitN(rest, " ", 2)
-			if len(sub) != 2 || (sub[0] != "ip" && sub[0] != "unix") {
-				return nil, fmt.Errorf("line %d: want \"socket ip|unix <privileges>\"", lineNo+1)
-			}
-			g.socket = sub[0]
-			rest = sub[1]
-		} else {
-			if !strings.HasPrefix(target, "/") {
-				target = "/home/user/" + target
-			}
-			g.path = target
-		}
-		grant, err := parseGrant(rest)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
-		}
-		g.grant = grant
-		out = append(out, g)
-	}
-	return out, nil
-}
-
-// parseGrant parses "+a, +b with (+c, +d), +e".
-func parseGrant(s string) (*priv.Grant, error) {
-	g := &priv.Grant{}
-	for len(s) > 0 {
-		s = strings.TrimLeft(s, " \t,")
-		if s == "" {
-			break
-		}
-		if !strings.HasPrefix(s, "+") {
-			return nil, fmt.Errorf("expected +privilege at %q", s)
-		}
-		s = s[1:]
-		end := strings.IndexAny(s, " ,\t")
-		name := s
-		if end >= 0 {
-			name = s[:end]
-			s = s[end:]
-		} else {
-			s = ""
-		}
-		r, err := priv.ParseRight(strings.ReplaceAll(name, "_", "-"))
-		if err != nil {
-			return nil, err
-		}
-		g.Rights = g.Rights.Add(r)
-		s = strings.TrimLeft(s, " \t")
-		if strings.HasPrefix(s, "with") {
-			s = strings.TrimLeft(s[4:], " \t")
-			if !strings.HasPrefix(s, "(") {
-				return nil, fmt.Errorf("expected ( after with")
-			}
-			close := strings.IndexByte(s, ')')
-			if close < 0 {
-				return nil, fmt.Errorf("unterminated with(...)")
-			}
-			sub, err := parseGrant(s[1:close])
-			if err != nil {
-				return nil, err
-			}
-			if g.Derived == nil {
-				g.Derived = make(map[priv.Right]*priv.Grant)
-			}
-			g.Derived[r] = sub
-			s = s[close+1:]
-		}
-	}
-	return g, nil
+	return 1
 }

@@ -1,11 +1,11 @@
-// Command shill runs a SHILL ambient script against a freshly built
-// simulated machine (see internal/core): the interpreter plays the role
+// Command shill runs SHILL ambient scripts against a freshly built
+// simulated machine (see repro/shill): the interpreter plays the role
 // of the paper's Racket front end, and the machine stands in for
 // FreeBSD 9.2 with the SHILL kernel module loaded.
 //
 // Usage:
 //
-//	shill [-no-module] [-workload name] script.ambient [more.ambient ...]
+//	shill [-no-module] [-workload name] [-timeout d] script.ambient [more.ambient ...]
 //
 // Scripts are read from the host filesystem; require "x.cap" resolves
 // first against the host directory of the requiring script, then against
@@ -14,131 +14,127 @@
 //
 // The -workload flag stages one of the paper's case-study images before
 // running: grading, emacs, apache, find, or demo (a home directory with
-// a few JPEGs).
+// a few JPEGs). The -timeout flag bounds each script's wall time via
+// context cancellation; a runaway script is stopped and reported, and
+// the run continues with the next script.
+//
+// Every script runs to a per-script exit status; the command's own exit
+// status is the first non-zero script status (scripts after a failure
+// still run, and the machine always shuts down cleanly).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
-	"repro/internal/audit"
-	"repro/internal/core"
-	"repro/internal/lang"
+	"repro/shill"
 )
 
 func main() {
-	noModule := flag.Bool("no-module", false, "do not install the SHILL kernel module (Baseline configuration)")
-	workload := flag.String("workload", "demo", "image to stage: demo, grading, emacs, apache, find, none")
-	quiet := flag.Bool("quiet", false, "suppress the console dump after each script")
-	auditDump := flag.Bool("audit", false, "print the audit trail's denials (with provenance) to stderr after each script")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: shill [flags] script.ambient ...")
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	s := core.NewSystem(core.Config{InstallModule: !*noModule})
-	defer s.Close()
-	if err := stageWorkload(s, *workload); err != nil {
-		fmt.Fprintf(os.Stderr, "shill: %v\n", err)
-		os.Exit(1)
-	}
-
-	for _, script := range flag.Args() {
-		src, err := os.ReadFile(script)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "shill: %v\n", err)
-			os.Exit(1)
-		}
-		// Remember where the trail stood so this script's dump reports
-		// only its own denials, not an earlier script's.
-		sinceSeq := s.Audit().Seq()
-		loader := hostLoader{dir: filepath.Dir(script), fallback: s.Scripts}
-		it := lang.NewInterp(s.Runtime, loader, s.Prof)
-		if err := it.RunAmbient(filepath.Base(script), string(src)); err != nil {
-			fmt.Fprintf(os.Stderr, "shill: %s: %v\n", script, err)
-			// Name the missing privilege explicitly when the error chain
-			// carries structured provenance (internal/audit.DenyReason).
-			if d := audit.ReasonFor(err); d != nil {
-				fmt.Fprintf(os.Stderr, "shill: denied: %v\n", d)
-			}
-			if out := s.ConsoleText(); out != "" {
-				fmt.Fprintf(os.Stderr, "--- console ---\n%s", out)
-			}
-			dumpDenials(s, *auditDump, sinceSeq)
-			os.Exit(1)
-		}
-		if !*quiet {
-			fmt.Print(s.ConsoleText())
-		}
-		dumpDenials(s, *auditDump, sinceSeq)
-	}
+	os.Exit(run(os.Args[1:]))
 }
 
-// dumpDenials prints the denials the audit trail recorded after
-// sinceSeq — including ones that never surfaced as script errors
-// because a sandboxed binary swallowed the errno — so a failing run
-// always names the privilege it was missing.
-func dumpDenials(s *core.System, enabled bool, sinceSeq uint64) {
-	if !enabled {
+func run(argv []string) int {
+	fs := flag.NewFlagSet("shill", flag.ExitOnError)
+	noModule := fs.Bool("no-module", false, "do not install the SHILL kernel module (Baseline configuration)")
+	workload := fs.String("workload", "demo", "image to stage: demo, grading, emacs, apache, find, none")
+	quiet := fs.Bool("quiet", false, "suppress the console dump after each script")
+	auditDump := fs.Bool("audit", false, "print each script's denial provenance to stderr")
+	timeout := fs.Duration("timeout", 0, "per-script wall-time limit (0 = none); a script over the limit is cancelled")
+	fs.Parse(argv)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: shill [flags] script.ambient ...")
+		fs.Usage()
+		return 2
+	}
+
+	m, err := shill.NewMachine(
+		shill.WithModule(!*noModule),
+		shill.WithWorkload(shill.Workload(*workload)),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shill: %v\n", err)
+		return 1
+	}
+	defer m.Close()
+	// The CLI runs on the default (shared-console) session so scripts
+	// that open /dev/console by name land in the captured output.
+	session := m.DefaultSession()
+
+	status := 0
+	for _, script := range fs.Args() {
+		code := runScript(m, session, script, *quiet, *auditDump, *timeout)
+		if code != 0 && status == 0 {
+			status = code
+		}
+	}
+	return status
+}
+
+// runScript runs one script file to a per-script exit status.
+func runScript(m *shill.Machine, session *shill.Session, script string, quiet, auditDump bool, timeout time.Duration) int {
+	src, err := os.ReadFile(script)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shill: %v\n", err)
+		return 1
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := session.Run(ctx, shill.Script{
+		Name:   filepath.Base(script),
+		Source: string(src),
+		// Required scripts resolve against the script's host directory
+		// first, then the machine's built-in case-study scripts.
+		Resolver: shill.ChainResolver{
+			shill.HostDirResolver{Dir: filepath.Dir(script)},
+			m.Resolver(),
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shill: %s: %v\n", script, err)
+		// Name the missing privilege explicitly when the error chain
+		// carries structured provenance.
+		if d := shill.DenyReasonFor(err); d != nil {
+			fmt.Fprintf(os.Stderr, "shill: denied: %v\n", d)
+		}
+		if res != nil && res.Console != "" {
+			fmt.Fprintf(os.Stderr, "--- console ---\n%s", res.Console)
+		}
+		dumpDenials(res, auditDump)
+		if res != nil && res.ExitStatus != 0 {
+			return res.ExitStatus
+		}
+		return 1
+	}
+	if !quiet {
+		fmt.Print(res.Console)
+	}
+	dumpDenials(res, auditDump)
+	return res.ExitStatus
+}
+
+// dumpDenials prints the denials the run's audit window recorded —
+// including ones that never surfaced as script errors because a
+// sandboxed binary swallowed the errno — so a failing run always names
+// the privilege it was missing.
+func dumpDenials(res *shill.Result, enabled bool) {
+	if !enabled || res == nil {
 		return
 	}
-	denials := s.Audit().Query(audit.Filter{Verdict: audit.Deny, SinceSeq: sinceSeq})
-	if len(denials) == 0 {
+	if len(res.Denials) == 0 {
 		fmt.Fprintln(os.Stderr, "--- audit: no denials recorded ---")
 		return
 	}
-	fmt.Fprintf(os.Stderr, "--- audit: %d denial(s); shill-audit why-denied explains lineage ---\n", len(denials))
-	for _, e := range denials {
-		fmt.Fprintln(os.Stderr, audit.FormatEvent(e))
+	fmt.Fprintf(os.Stderr, "--- audit: %d denial(s); shill-audit why-denied explains lineage ---\n", len(res.Denials))
+	for _, d := range res.Denials {
+		fmt.Fprintln(os.Stderr, d)
 	}
-}
-
-// hostLoader resolves required scripts from the host filesystem with the
-// built-in scripts as a fallback.
-type hostLoader struct {
-	dir      string
-	fallback lang.MapLoader
-}
-
-// Load implements lang.Loader.
-func (l hostLoader) Load(name string) (string, error) {
-	data, err := os.ReadFile(filepath.Join(l.dir, name))
-	if err == nil {
-		return string(data), nil
-	}
-	return l.fallback.Load(name)
-}
-
-func stageWorkload(s *core.System, name string) error {
-	// The built-in case-study scripts are always available to require.
-	s.LoadCaseScripts()
-	switch name {
-	case "none":
-		return nil
-	case "demo":
-		if _, err := s.K.FS.WriteFile("/home/user/Documents/dog.jpg", []byte("JFIFdog"), 0o644, core.UserUID, core.UserUID); err != nil {
-			return err
-		}
-		_, err := s.K.FS.WriteFile("/home/user/Documents/cat.jpg", []byte("JFIFcat"), 0o644, core.UserUID, core.UserUID)
-		return err
-	case "grading":
-		s.BuildGradingCourse(core.DefaultGrading)
-		return nil
-	case "emacs":
-		s.BuildEmacsOrigin(core.DefaultEmacs)
-		stop, err := s.StartOrigin()
-		_ = stop // runs for the process lifetime
-		return err
-	case "apache":
-		s.BuildWWW(core.DefaultApache)
-		return nil
-	case "find":
-		s.BuildSrcTree(core.DefaultFind)
-		return nil
-	}
-	return fmt.Errorf("unknown workload %q", name)
 }

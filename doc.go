@@ -1,15 +1,24 @@
 // Package repro is a from-scratch Go reproduction of SHILL: A Secure
 // Shell Scripting Language (Moore, Dimoulas, King, Chong; OSDI 2014).
 //
-// The library lives under internal/: a simulated FreeBSD-like kernel
+// The supported entry surface is the public embedding package
+// repro/shill: shill.NewMachine assembles a simulated machine,
+// Machine.NewSession hands out first-class sessions (own process, own
+// console, own audit window), and Session.Run executes SHILL scripts
+// under a context.Context — cancellation stops the eval loop and wakes
+// blocking kernel waits, and every Result carries the run's console
+// output, windowed denial provenance, and profile samples. The
+// command-line tools, examples, and benchmarks all build on it.
+//
+// The mechanism lives under internal/: a simulated FreeBSD-like kernel
 // (vfs, mac, kernel, netstack), SHILL's capability and contract layers
 // (priv, cap, contract, wallet), the capability-based sandbox and the
 // simulated native executables it confines (sandbox, binaries), the
 // SHILL language itself (lang, stdlib), the capability provenance and
-// audit subsystem (audit), and the assembled system with the paper's
-// case studies (core). See README.md for the architecture map, DESIGN.md
-// for the full inventory, and EXPERIMENTS.md for the paper-versus-
-// measured results.
+// audit subsystem (audit), and machine assembly plus workload staging
+// (core). See README.md for the architecture map, DESIGN.md for the
+// full inventory, and EXPERIMENTS.md for the paper-versus-measured
+// results.
 //
 // # Audit trail and explainable denials
 //
@@ -45,15 +54,21 @@
 //
 //	go build ./... && go test ./...
 //
-// The kernel serves concurrent sandbox sessions (see
-// internal/core/parallel.go), so the concurrency-sensitive packages
-// should also be run under the race detector — CI does both:
+// The kernel serves concurrent sandbox sessions (see shill/parallel.go
+// and shill/session.go), so the concurrency-sensitive packages should
+// also be run under the race detector — CI does both, plus the
+// embedding-boundary guard (scripts/check-api-boundary.sh: cmd/* and
+// examples/* must not import internal/core) and the godoc examples
+// (go test ./shill -run Example):
 //
 //	go vet ./...
 //	go test -race -timeout=5m ./...
 //
 // The multi-session workload itself is exercised by the parallel tests
-// in internal/core/scripts_parallel_test.go and measured by
+// in shill/parallel_test.go, the cancellation contract by
+// shill/cancel_test.go (a runaway script cancelled via context deadline
+// returns promptly, leaks nothing, and leaves its session reusable),
+// and throughput is measured by
 //
 //	go test -bench BenchmarkParallelGrading .
 //

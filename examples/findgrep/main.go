@@ -12,34 +12,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"repro/internal/core"
+	"repro/shill"
 )
 
 func main() {
-	w := core.FindWorkload{Dirs: 8, FilesPerDir: 16, CEvery: 4, MatchEvery: 2}
+	w := shill.FindWorkload{Dirs: 8, FilesPerDir: 16, CEvery: 4, MatchEvery: 2}
 
 	for _, cfg := range []struct {
 		name string
-		mode core.Mode
+		mode shill.Mode
 	}{
-		{"single sandbox (findgrep.cap)", core.ModeSandboxed},
-		{"per-file sandboxes (findgrep_fine.cap)", core.ModeShill},
+		{"single sandbox (findgrep.cap)", shill.ModeSandboxed},
+		{"per-file sandboxes (findgrep_fine.cap)", shill.ModeShill},
 	} {
-		s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+		s, err := shill.NewMachine(shill.WithConsoleLimit(1 << 20))
+		if err != nil {
+			log.Fatal(err)
+		}
 		total, cFiles, matches := s.BuildSrcTree(w)
-		s.Prof.Reset()
-		if err := s.RunFind(cfg.mode); err != nil {
+		s.Prof().Reset()
+		if err := s.RunFind(context.Background(), cfg.mode); err != nil {
 			log.Fatalf("%s: %v\nconsole: %s", cfg.name, err, s.ConsoleText())
 		}
 		got := strings.Count(s.Matches(), "mac_") - strings.Count(s.Matches(), "mac_-less")
 		fmt.Printf("%s\n", cfg.name)
 		fmt.Printf("  files visited: %d, .c files: %d, matching lines: %d (expected %d)\n",
 			total, cFiles, got, matches)
-		fmt.Printf("  sandboxes created: %d\n\n", s.Prof.Count(1))
+		fmt.Printf("  sandboxes created: %d\n\n", s.SandboxCount())
 		s.Close()
 	}
 

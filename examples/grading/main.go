@@ -10,15 +10,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"repro/internal/core"
+	"repro/shill"
 )
 
 func main() {
-	workload := core.GradingWorkload{Students: 6, Tests: 3, Malicious: true}
+	workload := shill.GradingWorkload{Students: 6, Tests: 3, Malicious: true}
 
 	type outcome struct {
 		mode          string
@@ -31,24 +32,27 @@ func main() {
 	for _, cfg := range []struct {
 		name    string
 		install bool
-		mode    core.Mode
+		mode    shill.Mode
 	}{
-		{"Baseline (ambient bash)", false, core.ModeAmbient},
-		{"Sandboxed bash (coarse contract)", true, core.ModeSandboxed},
-		{"Pure SHILL (fine-grained contracts)", true, core.ModeShill},
+		{"Baseline (ambient bash)", false, shill.ModeAmbient},
+		{"Sandboxed bash (coarse contract)", true, shill.ModeSandboxed},
+		{"Pure SHILL (fine-grained contracts)", true, shill.ModeShill},
 	} {
-		s := core.NewSystem(core.Config{InstallModule: cfg.install, ConsoleLimit: 1 << 20})
+		s, err := shill.NewMachine(shill.WithModule(cfg.install), shill.WithConsoleLimit(1<<20))
+		if err != nil {
+			log.Fatal(err)
+		}
 		s.BuildGradingCourse(workload)
-		if err := s.RunGrading(cfg.mode); err != nil {
+		if err := s.RunGrading(context.Background(), cfg.mode); err != nil {
 			log.Fatalf("%s: %v\nconsole: %s", cfg.name, err, s.ConsoleText())
 		}
 		honest := s.GradeFor("student000")
 		cheater := s.GradeFor("zz_cheater")
-		tests := s.K.FS.MustResolve("/course/tests/t000").Bytes()
+		tests, _ := s.ReadFile("/course/tests/t000")
 		results = append(results, outcome{
 			mode:          cfg.name,
 			cheaterPassed: contains(cheater, "pass t000"),
-			testsCorrupt:  string(tests) == "pwned",
+			testsCorrupt:  tests == "pwned",
 			honestOK:      contains(honest, "compiled") && !contains(honest, "fail"),
 		})
 		s.Close()

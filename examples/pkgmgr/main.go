@@ -9,16 +9,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/shill"
 )
 
 func main() {
-	s := core.NewSystem(core.Config{InstallModule: true})
+	s, err := shill.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer s.Close()
-	s.BuildEmacsOrigin(core.DefaultEmacs)
+	s.BuildEmacsOrigin(shill.DefaultEmacs)
 	stop, err := s.StartOrigin()
 	if err != nil {
 		log.Fatal(err)
@@ -26,12 +30,12 @@ func main() {
 	defer stop()
 
 	fmt.Println("Running the full package-management pipeline (pkg_emacs.cap)...")
-	if err := s.RunEmacsShill(); err != nil {
+	if err := s.RunEmacsShill(context.Background()); err != nil {
 		log.Fatalf("pkg_emacs: %v\nconsole: %s", err, s.ConsoleText())
 	}
 	fmt.Print(s.ConsoleText())
 
-	fmt.Printf("sandboxes created: %d\n\n", s.Prof.Count(1))
+	fmt.Printf("sandboxes created: %d\n\n", s.SandboxCount())
 	fmt.Println("Security interface recap:")
 	fmt.Println("  fetch          socket factory + create-only Downloads capability")
 	fmt.Println("  unpack         read tarball, full rights only inside the build area")
@@ -40,23 +44,23 @@ func main() {
 	fmt.Println("  uninstall      may remove exactly [bin/emacs, share/emacs/DOC]")
 
 	// Show the install/uninstall end state.
-	if _, err := s.K.FS.Resolve("/home/user/.local/bin/emacs"); err != nil {
+	if _, err := s.ReadFile("/home/user/.local/bin/emacs"); err != nil {
 		fmt.Println("\nafter uninstall: /home/user/.local/bin/emacs removed ✔")
 	}
-	if _, err := s.K.FS.Resolve("/home/user/.local/share/emacs"); err == nil {
+	if _, err := s.ReadFile("/home/user/.local/share/emacs"); err == nil {
 		fmt.Println("after uninstall: directories outside the manifest preserved ✔")
 	}
 
 	// Demonstrate the uninstall manifest contract rejecting a broader
 	// list.
-	s.LoadCaseScripts()
 	evil := `#lang shill/ambient
 require "pkg_emacs.cap";
 
 prefix = open_dir("/home/user/.local");
 uninstall_emacs(prefix, ["bin/emacs", "share/emacs/DOC", "share"]);
 `
-	if err := s.RunAmbient("evil.ambient", evil); err != nil {
+	if _, err := s.DefaultSession().Run(context.Background(),
+		shill.Script{Name: "evil.ambient", Source: evil}); err != nil {
 		fmt.Printf("\nuninstalling beyond the manifest is a contract violation:\n%v\n", err)
 	} else {
 		log.Fatal("manifest contract failed to reject a broader file list")

@@ -10,36 +10,42 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/shill"
 )
 
 func main() {
-	s := core.NewSystem(core.Config{InstallModule: true})
-	defer s.Close()
-	s.LoadCaseScripts()
+	m, err := shill.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	session := m.DefaultSession()
 
 	// A photo in the user's home directory (the simulated JPEG format
 	// starts with "JFIF").
-	if _, err := s.K.FS.WriteFile("/home/user/Documents/dog.jpg",
-		[]byte("JFIFdog-picture-bytes"), 0o644, core.UserUID, core.UserUID); err != nil {
+	if err := m.WriteFile("/home/user/Documents/dog.jpg",
+		[]byte("JFIFdog-picture-bytes"), 0o644, shill.UserUID); err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("== capability-safe script (Figure 4) ==")
-	fmt.Print(core.ScriptJpeginfoCap)
+	fmt.Print(shill.ScriptJpeginfoCap)
 	fmt.Println("== ambient script (Figure 6) ==")
-	fmt.Print(core.ScriptJpeginfoAmbient)
+	fmt.Print(shill.ScriptJpeginfoAmbient)
 
-	if err := s.RunAmbient("jpeginfo.ambient", core.ScriptJpeginfoAmbient); err != nil {
+	res, err := session.Run(context.Background(),
+		shill.Script{Name: "jpeginfo.ambient", Source: shill.ScriptJpeginfoAmbient})
+	if err != nil {
 		log.Fatalf("script failed: %v", err)
 	}
 	fmt.Println("== console output ==")
-	fmt.Print(s.ConsoleText())
+	fmt.Print(res.Console)
 	fmt.Printf("\nsandboxes created: %d (one for pkg_native's ldd run, one for jpeginfo)\n",
-		s.Prof.Count(1))
+		m.SandboxCount())
 
 	// The contract is the security guarantee: the same script cannot be
 	// tricked into writing the photo, because the arg capability only
@@ -51,7 +57,7 @@ require "evil.cap";
 dog = open_file("/home/user/Documents/dog.jpg");
 scribble(dog);
 `
-	s.Scripts["evil.cap"] = `#lang shill/cap
+	m.AddScript("evil.cap", `#lang shill/cap
 
 provide scribble : {f : file(+read, +path)} -> void;
 
@@ -61,11 +67,12 @@ scribble = fun(f) {
     err;
   }
 };
-`
-	if err := s.RunAmbient("evil.ambient", evil); err != nil {
+`)
+	if _, err := session.Run(context.Background(),
+		shill.Script{Name: "evil.ambient", Source: evil}); err != nil {
 		fmt.Printf("write through a read-only capability: %v\n", err)
 	} else {
-		data := s.K.FS.MustResolve("/home/user/Documents/dog.jpg").Bytes()
-		fmt.Printf("file contents after the attempt: %q (unchanged)\n", string(data[:7]))
+		data, _ := m.ReadFile("/home/user/Documents/dog.jpg")
+		fmt.Printf("file contents after the attempt: %q (unchanged)\n", data[:7])
 	}
 }

@@ -10,33 +10,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"repro/internal/core"
+	"repro/shill"
 )
 
 func main() {
-	s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
+	s, err := shill.NewMachine(shill.WithConsoleLimit(1 << 20))
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer s.Close()
-	w := core.ApacheWorkload{FileMB: 1, Requests: 10, Concurrency: 4}
+	w := shill.ApacheWorkload{FileMB: 1, Requests: 10, Concurrency: 4}
 	s.BuildWWW(w)
 
 	fmt.Println("Starting sandboxed httpd and running the benchmark client...")
-	if err := s.RunApache(core.ModeSandboxed, w); err != nil {
+	res, err := s.RunApache(context.Background(), shill.ModeSandboxed, w)
+	if err != nil {
 		log.Fatalf("apache: %v\nconsole: %s", err, s.ConsoleText())
 	}
-	out := s.ConsoleText()
+	out := res.Console
 	for _, line := range strings.Split(out, "\n") {
 		if strings.Contains(line, "requests") || strings.Contains(line, "transferred") {
 			fmt.Println(" ", strings.TrimSpace(line))
 		}
 	}
 
-	logData := s.K.FS.MustResolve("/var/log/httpd-access.log").Bytes()
+	logData, _ := s.ReadFile("/var/log/httpd-access.log")
 	fmt.Printf("\naccess log (%d bytes), written through a write-only capability:\n", len(logData))
-	lines := strings.Split(strings.TrimSpace(string(logData)), "\n")
+	lines := strings.Split(strings.TrimSpace(logData), "\n")
 	for i, l := range lines {
 		if i >= 3 {
 			fmt.Printf("  ... %d more\n", len(lines)-3)

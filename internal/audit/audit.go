@@ -203,6 +203,14 @@ type Log struct {
 
 	global *Shard
 
+	// denyAll is a log-wide ring of the most recent denials across every
+	// shard. Windowed queries (DenyReasonsSince, per-run Result denial
+	// slices) scan this small ring instead of walking every session
+	// shard, so attaching denial provenance to each run stays O(ring)
+	// however many sessions the kernel has served.
+	denyAllCursor atomic.Uint64
+	denyAll       []atomic.Pointer[Event]
+
 	mu         sync.RWMutex
 	shards     map[uint64]*Shard
 	shardOrder []uint64 // insertion order, for bounded-history eviction
@@ -232,8 +240,34 @@ func NewLog(shardSize, denySize int) *Log {
 		shards:      make(map[uint64]*Shard),
 	}
 	l.global = newShard(0, l.shardSize, l.denySize)
+	l.denyAll = make([]atomic.Pointer[Event], l.denySize)
 	l.enabled.Store(true)
 	return l
+}
+
+// putDeny records a denial in the log-wide denial ring.
+func (l *Log) putDeny(e *Event) {
+	i := l.denyAllCursor.Add(1) - 1
+	l.denyAll[i%uint64(len(l.denyAll))].Store(e)
+}
+
+// RecentDenials returns the denials retained by the log-wide denial
+// ring whose sequence number is greater than since, in emission order.
+// This is the cheap windowed view; per-session rings still retain their
+// own denials for session-filtered queries.
+func (l *Log) RecentDenials(since uint64) []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, 0, 8)
+	for i := range l.denyAll {
+		e := l.denyAll[i].Load()
+		if e != nil && e.Seq > since {
+			out = append(out, *e)
+		}
+	}
+	sortEvents(out)
+	return out
 }
 
 func newShard(session uint64, size, denySize int) *Shard {
@@ -323,6 +357,9 @@ func (l *Log) Emit(sh *Shard, e Event) uint64 {
 		e.Session = sh.session
 	}
 	sh.put(&e)
+	if e.Verdict == Deny {
+		l.putDeny(&e)
+	}
 	if timed {
 		l.emitNanos.Add(int64(time.Since(start)) * timingSample)
 	}

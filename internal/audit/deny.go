@@ -63,7 +63,10 @@ type DenyReason struct {
 // script's stderr names the missing privilege.
 func (d *DenyReason) Error() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%v: operation %q", d.Errno, d.Op)
+	if d.Errno != nil {
+		fmt.Fprintf(&b, "%v: ", d.Errno)
+	}
+	fmt.Fprintf(&b, "operation %q", d.Op)
 	if d.Object != "" {
 		fmt.Fprintf(&b, " on %s", d.Object)
 	}

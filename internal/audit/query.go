@@ -82,6 +82,37 @@ func (l *Log) Denials() []Event {
 	return l.Query(Filter{Verdict: Deny})
 }
 
+// DenyReasonsSince reconstructs structured DenyReasons from the denial
+// events recorded after the sequence point since (exclusive) — the
+// windowed view a per-run Result carries, so each run reports its own
+// denials instead of the whole log's history. Events carry no errno, so
+// reconstructed reasons unwrap to nil; reasons that travelled as errors
+// through the script keep their original sentinel.
+func (l *Log) DenyReasonsSince(since uint64) []*DenyReason {
+	if l == nil {
+		return nil
+	}
+	events := l.RecentDenials(since)
+	out := make([]*DenyReason, 0, len(events))
+	for _, e := range events {
+		d := &DenyReason{
+			Layer:   e.Layer,
+			Policy:  e.Policy,
+			Op:      e.Op,
+			Object:  e.Object,
+			Session: e.Session,
+			Missing: e.Rights,
+			CapID:   e.CapID,
+			Seq:     e.Seq,
+		}
+		if e.Kind == KindCapDeny && e.Detail != "" {
+			d.Blame = []string{e.Detail}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 // Lineage reconstructs a capability's provenance chain: the sequence of
 // cap-new / cap-derive events from the forge that minted its oldest
 // retained ancestor down to the capability itself. The chain is bounded

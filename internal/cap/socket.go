@@ -83,7 +83,7 @@ func (c *Capability) SocketAccept() (*Capability, error) {
 	if err := c.require("sock-accept", priv.NewSet(priv.RSockAccept)); err != nil {
 		return nil, err
 	}
-	conn, err := c.proc.Kernel().Net.Accept(c.sockObj)
+	conn, err := c.proc.Kernel().Net.AcceptIntr(c.sockObj, c.proc.IntrChan())
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +98,7 @@ func (c *Capability) SocketSend(data []byte) error {
 	if err := c.require("sock-send", priv.NewSet(priv.RSockSend)); err != nil {
 		return err
 	}
-	_, err := c.proc.Kernel().Net.Send(c.sockObj, data)
+	_, err := c.proc.Kernel().Net.SendIntr(c.sockObj, data, c.proc.IntrChan())
 	return err
 }
 
@@ -112,7 +112,7 @@ func (c *Capability) SocketRecv() ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, 4096)
-	n, err := c.proc.Kernel().Net.Recv(c.sockObj, buf)
+	n, err := c.proc.Kernel().Net.RecvIntr(c.sockObj, buf, c.proc.IntrChan())
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@
 package conformance
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -15,9 +16,26 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/netstack"
 	"repro/internal/priv"
+	"repro/internal/prof"
 	"repro/internal/sandbox"
 	"repro/internal/stdlib"
+	"repro/shill"
 )
+
+// bg: conformance runs have no deadlines.
+var bg = context.Background()
+
+// newMachine builds a machine through the public embedding API, for the
+// subtests that exercise drivers rather than raw kernel surfaces.
+func newMachine(t *testing.T, opts ...shill.Option) *shill.Machine {
+	t.Helper()
+	m, err := shill.NewMachine(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
 
 // sandboxedProc builds a machine and an entered session with no grants.
 func sandboxedProc(t *testing.T) (*core.System, *kernel.Proc) {
@@ -149,13 +167,13 @@ func TestFigure7ProtectionMatrix(t *testing.T) {
 	})
 
 	t.Run("language: no ambient resource builtins", func(t *testing.T) {
-		s := core.NewSystem(core.Config{InstallModule: true})
-		t.Cleanup(s.Close)
-		s.Scripts["probe.cap"] = `#lang shill/cap
+		m := newMachine(t)
+		m.AddScript("probe.cap", `#lang shill/cap
 provide probe : {} -> void;
 probe = fun() { sysctl("kern.ostype"); };
-`
-		err := s.RunAmbient("m.ambient", "#lang shill/ambient\nrequire \"probe.cap\";\nprobe();\n")
+`)
+		_, err := m.DefaultSession().Run(bg, shill.Script{Name: "m.ambient",
+			Source: "#lang shill/ambient\nrequire \"probe.cap\";\nprobe();\n"})
 		if err == nil || !strings.Contains(err.Error(), "unbound identifier") {
 			t.Fatalf("language sysctl = %v", err)
 		}
@@ -169,13 +187,11 @@ probe = fun() { sysctl("kern.ostype"); };
 // in a sandbox granting it that capability; and the sandboxed process
 // can read foo.txt — and nothing else.
 func TestFigure2CapabilityLifecycle(t *testing.T) {
-	s := core.NewSystem(core.Config{InstallModule: true})
-	t.Cleanup(s.Close)
-	if _, err := s.K.FS.WriteFile("/home/user/foo.txt", []byte("foo-data"), 0o644, core.UserUID, core.UserUID); err != nil {
+	m := newMachine(t)
+	if err := m.WriteFile("/home/user/foo.txt", []byte("foo-data"), 0o644, shill.UserUID); err != nil {
 		t.Fatal(err)
 	}
-	s.LoadCaseScripts()
-	s.Scripts["reader.cap"] = `#lang shill/cap
+	m.AddScript("reader.cap", `#lang shill/cap
 require shill/native;
 
 provide read_in_sandbox :
@@ -191,7 +207,7 @@ read_in_sandbox = fun(wallet, f, out) {
   werr = write(f, "defaced");
   if is_syserror(werr) then { code; } else { 0 - 1; }
 };
-`
+`)
 	ambient := `#lang shill/ambient
 require shill/native;
 require "reader.cap";
@@ -203,13 +219,14 @@ foo = open_file("/home/user/foo.txt");
 out = open_file("/dev/console");
 read_in_sandbox(wallet, foo, out);
 `
-	if err := s.RunAmbient("fig2.ambient", ambient); err != nil {
+	res, err := m.DefaultSession().Run(bg, shill.Script{Name: "fig2.ambient", Source: ambient})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if out := s.ConsoleText(); !strings.Contains(out, "foo-data") {
-		t.Fatalf("sandboxed cat did not read foo.txt: %q", out)
+	if !strings.Contains(res.Console, "foo-data") {
+		t.Fatalf("sandboxed cat did not read foo.txt: %q", res.Console)
 	}
-	if got := string(s.K.FS.MustResolve("/home/user/foo.txt").Bytes()); got != "foo-data" {
+	if got, _ := m.ReadFile("/home/user/foo.txt"); got != "foo-data" {
 		t.Fatalf("foo.txt was modified through a +read capability: %q", got)
 	}
 }
@@ -220,52 +237,49 @@ read_in_sandbox(wallet, foo, out);
 // Download creates 2; Uninstall's gmake run creates 2 (ldd + gmake).
 func TestSandboxCountsMatchPaperFormula(t *testing.T) {
 	t.Run("grading", func(t *testing.T) {
-		s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
-		t.Cleanup(s.Close)
-		w := core.GradingWorkload{Students: 5, Tests: 3}
-		s.BuildGradingCourse(w)
-		s.Prof.Reset()
-		if err := s.RunGrading(core.ModeShill); err != nil {
+		m := newMachine(t, shill.WithConsoleLimit(1<<20))
+		w := shill.GradingWorkload{Students: 5, Tests: 3}
+		m.BuildGradingCourse(w)
+		m.Prof().Reset()
+		if err := m.RunGrading(bg, shill.ModeShill); err != nil {
 			t.Fatal(err)
 		}
 		want := int64(w.Students*(w.Tests+2) + 3)
-		if got := s.Prof.Count(1); got != want {
+		if got := m.Prof().Count(prof.SandboxSetup); got != want {
 			t.Fatalf("grading sandboxes = %d, want %d", got, want)
 		}
 	})
 	t.Run("grading full-scale formula hits 5371", func(t *testing.T) {
-		w := core.FullScaleGrading
+		w := shill.FullScaleGrading
 		if got := w.Students*(w.Tests+2) + 3; got != 5371 {
 			t.Fatalf("formula gives %d, paper says 5371", got)
 		}
 	})
 	t.Run("find", func(t *testing.T) {
-		s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
-		t.Cleanup(s.Close)
-		_, cFiles, _ := s.BuildSrcTree(core.DefaultFind)
-		s.Prof.Reset()
-		if err := s.RunFind(core.ModeShill); err != nil {
+		m := newMachine(t, shill.WithConsoleLimit(1<<20))
+		_, cFiles, _ := m.BuildSrcTree(shill.DefaultFind)
+		m.Prof().Reset()
+		if err := m.RunFind(bg, shill.ModeShill); err != nil {
 			t.Fatal(err)
 		}
-		if got := s.Prof.Count(1); got != int64(cFiles+1) {
+		if got := m.Prof().Count(prof.SandboxSetup); got != int64(cFiles+1) {
 			t.Fatalf("find sandboxes = %d, want %d", got, cFiles+1)
 		}
 	})
 	t.Run("download", func(t *testing.T) {
-		s := core.NewSystem(core.Config{InstallModule: true, ConsoleLimit: 1 << 20})
-		t.Cleanup(s.Close)
-		s.BuildEmacsOrigin(core.DefaultEmacs)
-		stop, err := s.StartOrigin()
+		m := newMachine(t, shill.WithConsoleLimit(1<<20))
+		m.BuildEmacsOrigin(shill.DefaultEmacs)
+		stop, err := m.StartOrigin()
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer stop()
-		s.Prof.Reset()
-		if err := s.RunEmacsStep(core.StepDownload, core.ModeSandboxed); err != nil {
+		m.Prof().Reset()
+		if err := m.RunEmacsStep(bg, shill.StepDownload, shill.ModeSandboxed); err != nil {
 			t.Fatal(err)
 		}
 		// "one for pkg-native and one for the executable, curl" (§4.2).
-		if got := s.Prof.Count(1); got != 2 {
+		if got := m.Prof().Count(prof.SandboxSetup); got != 2 {
 			t.Fatalf("download sandboxes = %d, want 2", got)
 		}
 	})
@@ -378,13 +392,16 @@ func TestAttenuationOnlyProperty(t *testing.T) {
 // makes succeeds exactly as without the module.
 func TestPayAsYouGo(t *testing.T) {
 	run := func(install bool) string {
-		s := core.NewSystem(core.Config{InstallModule: install, ConsoleLimit: 1 << 20})
-		defer s.Close()
-		s.BuildGradingCourse(core.GradingWorkload{Students: 3, Tests: 2})
-		if err := s.RunGrading(core.ModeAmbient); err != nil {
+		m, err := shill.NewMachine(shill.WithModule(install), shill.WithConsoleLimit(1<<20))
+		if err != nil {
 			t.Fatal(err)
 		}
-		return s.GradeFor("student000") + s.GradeFor("student001") + s.GradeFor("student002")
+		defer m.Close()
+		m.BuildGradingCourse(shill.GradingWorkload{Students: 3, Tests: 2})
+		if err := m.RunGrading(bg, shill.ModeAmbient); err != nil {
+			t.Fatal(err)
+		}
+		return m.GradeFor("student000") + m.GradeFor("student001") + m.GradeFor("student002")
 	}
 	if run(false) != run(true) {
 		t.Fatal("module installation changed unsandboxed behaviour")

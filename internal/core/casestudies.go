@@ -3,76 +3,15 @@ package core
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"repro/internal/binaries"
-	"repro/internal/kernel"
-	"repro/internal/netstack"
 )
 
-// Mode selects one of the paper's four benchmark configurations (§4.2).
-// Baseline vs Installed is a property of the System (whether the module
-// is loaded); drivers treat them identically — the point of the paired
-// configurations is precisely that the code path is the same.
-type Mode int
-
-// Benchmark configurations.
-const (
-	ModeAmbient   Mode = iota // Baseline / "SHILL installed": run the command directly
-	ModeSandboxed             // a SHILL script creates one sandbox for the command
-	ModeShill                 // the task rewritten in SHILL with fine-grained contracts
-)
-
-func (m Mode) String() string {
-	switch m {
-	case ModeAmbient:
-		return "ambient"
-	case ModeSandboxed:
-		return "sandboxed"
-	case ModeShill:
-		return "shill"
-	}
-	return "unknown"
-}
-
-// ScriptRunCmd is the generic "create a sandbox for one command" script
-// the Sandboxed configuration uses: the ambient driver hands it whatever
-// capabilities the command needs, unattenuated — the coarse-grained end
-// of SHILL's spectrum.
-const ScriptRunCmd = `#lang shill/cap
-require shill/native;
-
-provide run_cmd :
-  {wallet : native_wallet, argv : is_list, wd : is_dir,
-   out : file(+write, +append),
-   extras : is_list, socks : is_list} -> is_num;
-
-run_cmd = fun(wallet, argv, wd, out, extras, socks) {
-  w = pkg_native(nth(argv, 0), wallet);
-  w(rest(argv), stdout = out, stderr = out, workdir = wd,
-    extras = [wd] ++ extras ++ wallet_get(wallet, "PATH")
-                            ++ wallet_get(wallet, "LD_LIBRARY_PATH")
-                            ++ wallet_get(wallet, "dep:ocamlc")
-                            ++ wallet_get(wallet, "dep:ocamlrun"),
-    socket_factories = socks);
-};
-`
-
-// LoadCaseScripts installs every case-study script into the loader.
-func (s *System) LoadCaseScripts() {
-	s.Scripts["find.cap"] = ScriptFindPoly
-	s.Scripts["find_jpg.cap"] = ScriptFindJpg
-	s.Scripts["jpeginfo.cap"] = ScriptJpeginfoCap
-	s.Scripts["grade.cap"] = ScriptGradeCap
-	s.Scripts["grade_sandbox.cap"] = ScriptGradeSandboxCap
-	s.Scripts["pkg_emacs.cap"] = ScriptPkgEmacsCap
-	s.Scripts["apache.cap"] = ScriptApacheCap
-	s.Scripts["findgrep.cap"] = ScriptFindGrepSandboxCap
-	s.Scripts["findgrep_fine.cap"] = ScriptFindGrepFineCap
-	s.Scripts["run_cmd.cap"] = ScriptRunCmd
-	s.Scripts["why_denied.cap"] = ScriptWhyDeniedCap
-	s.Scripts["why_denied.ambient"] = ScriptWhyDeniedAmbient
-}
+// This file stages the paper's case-study workloads (§4.1): the grading
+// course, the emacs source tarball on the origin server, the Apache
+// document root, and the find source tree. The drivers that run these
+// workloads (ambient, sandboxed, and SHILL configurations) live in
+// repro/shill.
 
 // ===========================================================================
 // Grading case study (§4.1)
@@ -141,6 +80,30 @@ func (s *System) BuildGradingCourseAt(root string, w GradingWorkload) {
 		s.mustWrite(root+"/submissions/zz_vandal/main.ml",
 			[]byte("writefile "+root+"/tests/t000 pwned\n"+correct.String()), 0o644, UserUID)
 	}
+	s.stagedMu.Lock()
+	if s.stagedGrading == nil {
+		s.stagedGrading = make(map[string]GradingWorkload)
+	}
+	s.stagedGrading[root] = w
+	s.stagedMu.Unlock()
+}
+
+// EnsureGradingCourseAt stages the course tree under root for workload w
+// if it is missing or was last staged for a different workload, then
+// resets its work and grades outputs — the idempotent staging step
+// behind repeated (benchmark) grading runs.
+func (s *System) EnsureGradingCourseAt(root string, w GradingWorkload) {
+	s.stagedMu.Lock()
+	staged, ok := s.stagedGrading[root]
+	s.stagedMu.Unlock()
+	_, rerr := s.K.FS.Resolve(root)
+	if rerr != nil || !ok || staged != w {
+		if rerr == nil {
+			s.ClearDir(root) // workload changed: drop the stale tree
+		}
+		s.BuildGradingCourseAt(root, w)
+	}
+	s.ResetGradingOutputsAt(root)
 }
 
 // ResetGradingOutputs clears work and grades between runs.
@@ -148,11 +111,13 @@ func (s *System) ResetGradingOutputs() { s.ResetGradingOutputsAt("/course") }
 
 // ResetGradingOutputsAt clears a course's work and grades directories.
 func (s *System) ResetGradingOutputsAt(root string) {
-	s.clearDir(root + "/work")
-	s.clearDir(root + "/grades")
+	s.ClearDir(root + "/work")
+	s.ClearDir(root + "/grades")
 }
 
-func (s *System) clearDir(path string) {
+// ClearDir removes a directory's contents (not the directory itself),
+// ignoring errors — the staging-reset primitive.
+func (s *System) ClearDir(path string) {
 	fs := s.K.FS
 	dir, err := fs.Resolve(path)
 	if err != nil {
@@ -166,43 +131,12 @@ func (s *System) clearDir(path string) {
 		}
 		if child.IsDir() {
 			sub, _ := fs.PathOf(child)
-			s.clearDir(sub)
+			s.ClearDir(sub)
 			fs.Unlink(dir, name, true)
 		} else {
 			fs.Unlink(dir, name, false)
 		}
 	}
-}
-
-// RunGrading grades the whole course in the given mode.
-func (s *System) RunGrading(mode Mode) error {
-	s.LoadCaseScripts()
-	switch mode {
-	case ModeAmbient:
-		code, err := s.SpawnWaitAmbient("/bin/sh",
-			[]string{"/course/grade.sh", "/course/submissions", "/course/tests", "/course/work", "/course/grades"})
-		if err != nil {
-			return err
-		}
-		if code != 0 {
-			return fmt.Errorf("grade.sh exited with status %d", code)
-		}
-		return nil
-	case ModeSandboxed:
-		return s.RunAmbient("grade_sandbox.ambient", ScriptGradeAmbientSandbox)
-	case ModeShill:
-		return s.RunAmbient("grade.ambient", ScriptGradeAmbientShill)
-	}
-	return fmt.Errorf("unknown mode %v", mode)
-}
-
-// GradeFor returns a student's grade-log contents.
-func (s *System) GradeFor(student string) string {
-	vn, err := s.K.FS.Resolve("/course/grades/" + student)
-	if err != nil {
-		return ""
-	}
-	return string(vn.Bytes())
 }
 
 // ===========================================================================
@@ -245,123 +179,9 @@ func (s *System) BuildEmacsOrigin(w EmacsWorkload) {
 
 // ResetEmacsOutputs clears the build area, downloads, and prefix.
 func (s *System) ResetEmacsOutputs() {
-	s.clearDir("/home/user/build")
-	s.clearDir("/home/user/.local")
-	s.clearDir("/home/user/Downloads")
-}
-
-// EmacsStep names one sub-benchmark of the package-management case
-// study (Figure 9's Download/Untar/Configure/Make/Install/Uninstall).
-type EmacsStep string
-
-// Emacs sub-benchmarks.
-const (
-	StepDownload  EmacsStep = "download"
-	StepUntar     EmacsStep = "untar"
-	StepConfigure EmacsStep = "configure"
-	StepMake      EmacsStep = "make"
-	StepInstall   EmacsStep = "install"
-	StepUninstall EmacsStep = "uninstall"
-)
-
-// AllEmacsSteps lists the sub-benchmarks in dependency order.
-var AllEmacsSteps = []EmacsStep{StepDownload, StepUntar, StepConfigure, StepMake, StepInstall, StepUninstall}
-
-// emacsCommands returns the command line for each step (the "command
-// line invocation to achieve the same task outside of SHILL", §4.2).
-func emacsCommand(step EmacsStep) (bin string, argv []string, wd string) {
-	switch step {
-	case StepDownload:
-		return "/usr/bin/curl", []string{"-o", "/home/user/Downloads/emacs-24.3.tar", "http://origin/emacs-24.3.tar"}, "/home/user/Downloads"
-	case StepUntar:
-		return "/usr/bin/tar", []string{"-xf", "/home/user/Downloads/emacs-24.3.tar", "-C", "/home/user/build"}, "/home/user/build"
-	case StepConfigure:
-		return "/bin/sh", []string{"-c", "./configure --prefix=/home/user/.local"}, "/home/user/build/emacs-24.3"
-	case StepMake:
-		return "/usr/bin/gmake", []string{"-C", "/home/user/build/emacs-24.3"}, "/home/user/build/emacs-24.3"
-	case StepInstall:
-		return "/usr/bin/gmake", []string{"-C", "/home/user/build/emacs-24.3", "install"}, "/home/user/build/emacs-24.3"
-	case StepUninstall:
-		return "/usr/bin/gmake", []string{"-C", "/home/user/build/emacs-24.3", "uninstall"}, "/home/user/build/emacs-24.3"
-	}
-	panic("core: unknown emacs step " + string(step))
-}
-
-// RunEmacsStep runs one sub-benchmark ambiently or in a single sandbox.
-// The origin server must be running for StepDownload.
-func (s *System) RunEmacsStep(step EmacsStep, mode Mode) error {
-	s.LoadCaseScripts()
-	bin, argv, wd := emacsCommand(step)
-	switch mode {
-	case ModeAmbient:
-		code, err := s.SpawnWaitAmbientDir(bin, argv, wd)
-		if err != nil {
-			return fmt.Errorf("%s: %w", step, err)
-		}
-		if code != 0 {
-			return fmt.Errorf("%s exited with status %d", step, code)
-		}
-		return nil
-	case ModeSandboxed:
-		ambient := s.genRunCmdAmbient(bin, argv, wd, step == StepDownload)
-		return s.RunAmbient(string(step)+".ambient", ambient)
-	}
-	return fmt.Errorf("emacs step %s has no %v configuration", step, mode)
-}
-
-// genRunCmdAmbient generates the ambient driver for the Sandboxed
-// configuration: open every path mentioned on the command line and hand
-// the capabilities to run_cmd.
-func (s *System) genRunCmdAmbient(bin string, argv []string, wd string, network bool) string {
-	var b strings.Builder
-	b.WriteString("#lang shill/ambient\n\nrequire shill/native;\nrequire \"run_cmd.cap\";\n\n")
-	b.WriteString("root = open_dir(\"/\");\nwallet = create_wallet();\n")
-	b.WriteString("populate_native_wallet(wallet, root,\n  \"/usr/local/sbin:/usr/bin:/bin\", \"/lib:/usr/local/lib\", pipe_factory());\n\n")
-	fmt.Fprintf(&b, "wd = open_dir(%q);\n", wd)
-	b.WriteString("out = open_file(\"/dev/console\");\n")
-
-	// Arguments that name existing filesystem objects become
-	// capabilities; everything else stays a string.
-	parts := []string{fmt.Sprintf("%q", baseNameOf(bin))}
-	capIdx := 0
-	for _, a := range argv {
-		if strings.HasPrefix(a, "/") {
-			if vn, err := s.K.FS.Resolve(a); err == nil {
-				capIdx++
-				varName := fmt.Sprintf("c%d", capIdx)
-				if vn.IsDir() {
-					fmt.Fprintf(&b, "%s = open_dir(%q);\n", varName, a)
-				} else {
-					fmt.Fprintf(&b, "%s = open_file(%q);\n", varName, a)
-				}
-				parts = append(parts, varName)
-				continue
-			}
-		}
-		parts = append(parts, fmt.Sprintf("%q", a))
-	}
-	socks := "[]"
-	if network {
-		b.WriteString("net = socket_factory(\"ip\");\n")
-		socks = "[net]"
-	}
-	fmt.Fprintf(&b, "run_cmd(wallet, [%s], wd, out, [], %s);\n", strings.Join(parts, ", "), socks)
-	return b.String()
-}
-
-func baseNameOf(path string) string {
-	if i := strings.LastIndexByte(path, '/'); i >= 0 {
-		return path[i+1:]
-	}
-	return path
-}
-
-// RunEmacsShill runs the full package-management script (the "Emacs"
-// column's SHILL version): download, unpack, configure, build, install,
-// uninstall, each under its own fine-grained contract.
-func (s *System) RunEmacsShill() error {
-	s.LoadCaseScripts()
-	return s.RunAmbient("pkg_emacs.ambient", ScriptPkgEmacsAmbient)
+	s.ClearDir("/home/user/build")
+	s.ClearDir("/home/user/.local")
+	s.ClearDir("/home/user/Downloads")
 }
 
 // ===========================================================================
@@ -393,88 +213,6 @@ func (s *System) BuildWWW(w ApacheWorkload) {
 	// The log directory must be writable by the (unprivileged) server.
 	if _, err := s.K.FS.MkdirAll("/var/log", 0o777, 0, 0); err != nil {
 		panic("core: " + err.Error())
-	}
-}
-
-// RunApache starts the server in the given mode, drives the ab workload
-// against it, shuts it down, and reports ab's exit status.
-func (s *System) RunApache(mode Mode, w ApacheWorkload) error {
-	s.LoadCaseScripts()
-	serverDone := make(chan error, 1)
-	switch mode {
-	case ModeAmbient:
-		vn, err := s.K.FS.Resolve("/usr/local/sbin/httpd")
-		if err != nil {
-			return err
-		}
-		console := kernel.NewVnodeFD(s.K.FS.MustResolve("/dev/console"), true, true, false)
-		child, err := s.Runtime.Spawn(vn, []string{"-f", "/usr/local/etc/apache22/httpd.conf"},
-			kernel.SpawnAttr{Stdin: console, Stdout: console, Stderr: console})
-		console.Release()
-		if err != nil {
-			return err
-		}
-		go func() {
-			_, werr := s.Runtime.Wait(child.PID())
-			serverDone <- werr
-		}()
-	case ModeSandboxed, ModeShill:
-		// Both SHILL configurations run the server through the apache
-		// script; the case study has one script (its contract IS the
-		// fine-grained version).
-		go func() {
-			serverDone <- s.RunAmbient("apache.ambient", ScriptApacheAmbient)
-		}()
-	}
-	if err := s.waitForListener("8080", 5*time.Second); err != nil {
-		return err
-	}
-	// Drive the load ambiently with ab, as the paper does.
-	code, err := s.SpawnWaitAmbient("/usr/bin/ab",
-		[]string{"-n", fmt.Sprint(w.Requests), "-c", fmt.Sprint(w.Concurrency), "http://localhost:8080/big.bin"})
-	s.shutdownListener("8080")
-	if serr := <-serverDone; serr != nil {
-		return fmt.Errorf("httpd: %w", serr)
-	}
-	if err != nil {
-		return err
-	}
-	if code != 0 {
-		return fmt.Errorf("ab exited with status %d", code)
-	}
-	return nil
-}
-
-// waitForListener polls until a connection to the port succeeds.
-func (s *System) waitForListener(port string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		sock := s.K.Net.NewSocket(netstack.DomainIP)
-		if err := s.K.Net.Connect(sock, port); err == nil {
-			s.K.Net.Send(sock, []byte("GET /index.html\n"))
-			buf := make([]byte, 256)
-			for {
-				n, _ := s.K.Net.Recv(sock, buf)
-				if n == 0 {
-					break
-				}
-			}
-			s.K.Net.Close(sock)
-			return nil
-		}
-		time.Sleep(time.Millisecond)
-	}
-	return fmt.Errorf("no listener on port %s after %v", port, timeout)
-}
-
-// shutdownListener sends the shutdown request.
-func (s *System) shutdownListener(port string) {
-	sock := s.K.Net.NewSocket(netstack.DomainIP)
-	if err := s.K.Net.Connect(sock, port); err == nil {
-		s.K.Net.Send(sock, []byte("GET /__shutdown\n"))
-		buf := make([]byte, 64)
-		s.K.Net.Recv(sock, buf)
-		s.K.Net.Close(sock)
 	}
 }
 
@@ -528,38 +266,4 @@ func (s *System) BuildSrcTree(w FindWorkload) (total, cFiles, matches int) {
 		}
 	}
 	return total, cFiles, matches
-}
-
-// RunFind runs the find-and-grep task. ModeAmbient runs the command
-// directly; ModeSandboxed uses the single-sandbox script; ModeShill uses
-// the fine-grained per-file-sandbox version.
-func (s *System) RunFind(mode Mode) error {
-	s.LoadCaseScripts()
-	s.mustWrite("/home/user/matches.txt", nil, 0o644, UserUID)
-	switch mode {
-	case ModeAmbient:
-		code, err := s.SpawnWaitAmbient("/bin/sh",
-			[]string{"-c", "find /usr/src -name *.c -exec grep -H mac_ {} ';' > /home/user/matches.txt"})
-		if err != nil {
-			return err
-		}
-		if code != 0 {
-			return fmt.Errorf("find exited with status %d", code)
-		}
-		return nil
-	case ModeSandboxed:
-		return s.RunAmbient("findgrep.ambient", ScriptFindGrepAmbientSandbox)
-	case ModeShill:
-		return s.RunAmbient("findgrep_fine.ambient", ScriptFindGrepAmbientFine)
-	}
-	return fmt.Errorf("unknown mode %v", mode)
-}
-
-// Matches returns the find output.
-func (s *System) Matches() string {
-	vn, err := s.K.FS.Resolve("/home/user/matches.txt")
-	if err != nil {
-		return ""
-	}
-	return string(vn.Bytes())
 }

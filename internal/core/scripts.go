@@ -5,6 +5,45 @@ package core
 // the LoC table regenerator all share one copy. Line counts (reported by
 // cmd/benchfig -fig loc) are measured over these sources.
 
+// ScriptRunCmd is the generic "create a sandbox for one command" script
+// the Sandboxed configuration uses: the ambient driver hands it whatever
+// capabilities the command needs, unattenuated — the coarse-grained end
+// of SHILL's spectrum.
+const ScriptRunCmd = `#lang shill/cap
+require shill/native;
+
+provide run_cmd :
+  {wallet : native_wallet, argv : is_list, wd : is_dir,
+   out : file(+write, +append),
+   extras : is_list, socks : is_list} -> is_num;
+
+run_cmd = fun(wallet, argv, wd, out, extras, socks) {
+  w = pkg_native(nth(argv, 0), wallet);
+  w(rest(argv), stdout = out, stderr = out, workdir = wd,
+    extras = [wd] ++ extras ++ wallet_get(wallet, "PATH")
+                            ++ wallet_get(wallet, "LD_LIBRARY_PATH")
+                            ++ wallet_get(wallet, "dep:ocamlc")
+                            ++ wallet_get(wallet, "dep:ocamlrun"),
+    socket_factories = socks);
+};
+`
+
+// LoadCaseScripts installs every case-study script into the loader.
+func (s *System) LoadCaseScripts() {
+	s.Scripts["find.cap"] = ScriptFindPoly
+	s.Scripts["find_jpg.cap"] = ScriptFindJpg
+	s.Scripts["jpeginfo.cap"] = ScriptJpeginfoCap
+	s.Scripts["grade.cap"] = ScriptGradeCap
+	s.Scripts["grade_sandbox.cap"] = ScriptGradeSandboxCap
+	s.Scripts["pkg_emacs.cap"] = ScriptPkgEmacsCap
+	s.Scripts["apache.cap"] = ScriptApacheCap
+	s.Scripts["findgrep.cap"] = ScriptFindGrepSandboxCap
+	s.Scripts["findgrep_fine.cap"] = ScriptFindGrepFineCap
+	s.Scripts["run_cmd.cap"] = ScriptRunCmd
+	s.Scripts["why_denied.cap"] = ScriptWhyDeniedCap
+	s.Scripts["why_denied.ambient"] = ScriptWhyDeniedAmbient
+}
+
 // ScriptFindJpg is Figure 3 plus the refined contract of §2.2: recursively
 // find files with extension .jpg and append their paths to out.
 const ScriptFindJpg = `#lang shill/cap

@@ -1,7 +1,9 @@
-// Package core is the public façade of the SHILL reproduction: it
-// assembles a simulated machine (kernel, filesystem image, binaries,
-// loopback network), provides interpreters for SHILL scripts, and hosts
-// the paper's case-study drivers and workload builders.
+// Package core assembles and stages the simulated machine of the SHILL
+// reproduction: the kernel, the base filesystem image, the registered
+// binaries, the loopback network, and the case-study workload builders
+// (§4.1). It is deliberately mechanism-only — the supported way to run
+// scripts, manage sessions, and drive the case studies is the public
+// embedding package repro/shill, which builds on this one.
 package core
 
 import (
@@ -37,7 +39,8 @@ type Config struct {
 	AuditDisabled bool
 }
 
-// System is an assembled simulated machine.
+// System is an assembled simulated machine: kernel, image, and staging
+// state. Script execution and session management live in repro/shill.
 type System struct {
 	K       *kernel.Kernel
 	Runtime *kernel.Proc // uid 1001: the user's shell / SHILL runtime
@@ -46,17 +49,14 @@ type System struct {
 	Prof    *prof.Collector
 	Scripts lang.MapLoader
 
-	consoleLimit int
-
-	// Isolated per-index session contexts (see parallel.go), created
-	// lazily and reused across runs so repeated benchmark iterations do
-	// not leak processes or console devices.
-	sessMu   sync.Mutex
-	sessions []*SessionCtx
+	// ConsoleLimit echoes Config.ConsoleLimit so per-session console
+	// devices created on top of this machine inherit the same cap.
+	ConsoleLimit int
 
 	// stagedGrading records, per course root, the workload its tree was
-	// last built for, so PrepareGradingSessions rebuilds when the caller
+	// last built for, so EnsureGradingCourseAt rebuilds when the caller
 	// switches workloads instead of silently grading the stale course.
+	stagedMu      sync.Mutex
 	stagedGrading map[string]GradingWorkload
 }
 
@@ -81,7 +81,7 @@ func NewSystem(cfg Config) *System {
 	if cfg.ConsoleLimit > 0 {
 		s.Console.SetLimit(cfg.ConsoleLimit)
 	}
-	s.consoleLimit = cfg.ConsoleLimit
+	s.ConsoleLimit = cfg.ConsoleLimit
 	if cfg.SpawnLatency > 0 {
 		k.SetSpawnLatency(cfg.SpawnLatency)
 	}
@@ -108,13 +108,6 @@ func (s *System) Audit() *audit.Log { return s.K.Audit() }
 // reports call it just before Prof.Report.
 func (s *System) FlushAuditProf() { s.K.Audit().FlushProf(s.Prof) }
 
-// NewInterp creates a fresh interpreter over this system's runtime
-// process. Each interpreter construction is one "Racket startup" for
-// Figure 10 purposes.
-func (s *System) NewInterp() *lang.Interp {
-	return lang.NewInterp(s.Runtime, s.Scripts, s.Prof)
-}
-
 // binImage renders an executable image for a registered binary.
 func binImage(name string) []byte {
 	return []byte("#!bin:" + name + "\n")
@@ -125,6 +118,12 @@ func libImage(name string) []byte {
 	data := make([]byte, 8192)
 	copy(data, "\x7fELF shared library "+name)
 	return data
+}
+
+// MustWrite writes a file into the image, panicking on failure — the
+// staging-time counterpart of a fatal provisioning error.
+func (s *System) MustWrite(path string, data []byte, mode uint16, uid int) *vfs.Vnode {
+	return s.mustWrite(path, data, mode, uid)
 }
 
 func (s *System) mustWrite(path string, data []byte, mode uint16, uid int) *vfs.Vnode {
@@ -205,9 +204,28 @@ func (s *System) buildBaseImage() {
 	}
 }
 
+// NewSessionConsole creates a private console device at /dev/pts/<name>
+// with the machine's configured capture limit — the per-session console
+// repro/shill binds each Session's stdio builtins to.
+func (s *System) NewSessionConsole(name string) (*vfs.ConsoleDevice, string) {
+	console := vfs.NewConsoleDevice()
+	if s.ConsoleLimit > 0 {
+		console.SetLimit(s.ConsoleLimit)
+	}
+	dir, err := s.K.FS.MkdirAll("/dev/pts", 0o755, 0, 0)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	if _, err := s.K.FS.Mkdev(dir, name, 0o666, 0, 0, console); err != nil {
+		panic("core: " + err.Error())
+	}
+	return console, "/dev/pts/" + name
+}
+
 // StartOrigin launches the origin web server (the "remote" host curl
 // downloads from) as root, outside any sandbox, and returns a stop
-// function. It serves /srv/origin on port 80.
+// function. It serves /srv/origin on port 80. Readiness is a listener
+// notification from the network stack, not a connect-poll loop.
 func (s *System) StartOrigin() (stop func(), err error) {
 	vn, err := s.K.FS.Resolve("/usr/local/sbin/origind")
 	if err != nil {
@@ -217,24 +235,10 @@ func (s *System) StartOrigin() (stop func(), err error) {
 	if err != nil {
 		return nil, err
 	}
-	// Wait until the listener is bound.
-	bound := false
-	for i := 0; i < 2000 && !bound; i++ {
-		sock := s.K.Net.NewSocket(netstack.DomainIP)
-		if cerr := s.K.Net.Connect(sock, "80"); cerr == nil {
-			s.K.Net.Send(sock, []byte("GET /__ping\n"))
-			buf := make([]byte, 64)
-			s.K.Net.Recv(sock, buf)
-			s.K.Net.Close(sock)
-			bound = true
-		} else {
-			time.Sleep(100 * time.Microsecond)
-		}
-	}
-	if !bound {
+	if err := s.K.Net.WaitListener(netstack.DomainIP, "80", 5*time.Second, nil); err != nil {
 		s.RootSh.Kill(child.PID())
 		s.RootSh.Wait(child.PID())
-		return nil, fmt.Errorf("core: origin server did not start")
+		return nil, fmt.Errorf("core: origin server did not start: %w", err)
 	}
 	return func() {
 		sock := s.K.Net.NewSocket(netstack.DomainIP)
@@ -260,7 +264,7 @@ func (s *System) RemovePath(path string) {
 
 // RemoveTree removes a directory tree, ignoring errors (bench resets).
 func (s *System) RemoveTree(path string) {
-	s.clearDir(path)
+	s.ClearDir(path)
 	dirPath, name := splitParent(path)
 	dir, err := s.K.FS.Resolve(dirPath)
 	if err != nil {
@@ -278,50 +282,4 @@ func splitParent(path string) (dir, name string) {
 		return "/", path[1:]
 	}
 	return path[:i], path[i+1:]
-}
-
-// ConsoleText returns and clears everything written to /dev/console.
-func (s *System) ConsoleText() string {
-	out := string(s.Console.Output())
-	s.Console.ResetOutput()
-	return out
-}
-
-// RunAmbient runs ambient script source through a fresh interpreter.
-func (s *System) RunAmbient(name, src string) error {
-	it := s.NewInterp()
-	return it.RunAmbient(name, src)
-}
-
-// SpawnWaitAmbient runs a command ambiently (the Baseline / "SHILL
-// installed" configurations): no sandbox, console stdio.
-func (s *System) SpawnWaitAmbient(path string, argv []string) (int, error) {
-	return s.SpawnWaitAmbientDir(path, argv, "")
-}
-
-// SpawnWaitAmbientDir is SpawnWaitAmbient with a working directory.
-func (s *System) SpawnWaitAmbientDir(path string, argv []string, dir string) (int, error) {
-	return s.spawnWaitConsole(s.Runtime, "/dev/console", path, argv, dir)
-}
-
-// spawnWaitConsole runs a command through an arbitrary process with an
-// arbitrary console device as stdio — the per-session variant backing
-// both the ambient helpers above and the parallel session runner.
-func (s *System) spawnWaitConsole(proc *kernel.Proc, consolePath, path string, argv []string, dir string) (int, error) {
-	vn, err := s.K.FS.Resolve(path)
-	if err != nil {
-		return -1, err
-	}
-	attr := kernel.SpawnAttr{}
-	if dir != "" {
-		wd, err := s.K.FS.Resolve(dir)
-		if err != nil {
-			return -1, err
-		}
-		attr.Dir = wd
-	}
-	console := kernel.NewVnodeFD(s.K.FS.MustResolve(consolePath), true, true, false)
-	defer console.Release()
-	attr.Stdin, attr.Stdout, attr.Stderr = console, console, console
-	return proc.SpawnWait(vn, argv, attr)
 }

@@ -39,4 +39,5 @@ var (
 	ECONNABORTED = errors.New("ECONNABORTED: software caused connection abort")
 	EAGAIN       = errors.New("EAGAIN: resource temporarily unavailable")
 	ENAMETOOLONG = errors.New("ENAMETOOLONG: file name too long")
+	ETIMEDOUT    = errors.New("ETIMEDOUT: operation timed out")
 )

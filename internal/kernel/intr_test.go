@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/errno"
+)
+
+// intrWorld builds a kernel with one registered binary that runs until
+// its process is killed.
+func intrWorld(t *testing.T) (*Kernel, *Proc) {
+	t.Helper()
+	k := New()
+	k.InstallShillModule()
+	t.Cleanup(k.Shutdown)
+	k.RegisterBinary("spin", func(p *Proc, argv []string) int {
+		for {
+			if p.Exited() {
+				return 0
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if _, err := k.FS.WriteFile("/bin/spin", []byte("#!bin:spin\n"), 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProc(0, 0)
+	return k, p
+}
+
+func TestWaitInterrupted(t *testing.T) {
+	k, p := intrWorld(t)
+	vn := k.FS.MustResolve("/bin/spin")
+	child, err := p.Spawn(vn, nil, SpawnAttr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, werr := p.Wait(child.PID())
+		done <- werr
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Interrupt()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errno.EINTR) {
+			t.Fatalf("interrupted wait = %v, want EINTR", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait still blocked after Interrupt")
+	}
+	// The interrupted parent can still clean up: KillWait reaps the
+	// child even while the interrupt gate is raised.
+	if code, err := p.KillWait(child.PID()); err != nil || code != 137 {
+		t.Fatalf("KillWait = %d, %v", code, err)
+	}
+	p.ClearInterrupt()
+	if p.Interrupted() {
+		t.Fatal("interrupt gate still raised after ClearInterrupt")
+	}
+	if len(k.Procs()) != 1 {
+		t.Fatalf("process table = %v, want only the parent", k.Procs())
+	}
+}
+
+func TestWaitReapsExitedChildDespiteInterrupt(t *testing.T) {
+	k, p := intrWorld(t)
+	vn := k.FS.MustResolve("/bin/spin")
+	child, err := p.Spawn(vn, nil, SpawnAttr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.Exit(3)
+	p.Interrupt()
+	defer p.ClearInterrupt()
+	code, err := p.Wait(child.PID())
+	if err != nil || code != 3 {
+		t.Fatalf("Wait on exited child under interrupt = %d, %v; want 3, nil", code, err)
+	}
+	_ = k
+}
+
+func TestKillDescendantsReapsTree(t *testing.T) {
+	k, p := intrWorld(t)
+	vn := k.FS.MustResolve("/bin/spin")
+	for i := 0; i < 3; i++ {
+		if _, err := p.Spawn(vn, nil, SpawnAttr{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(k.Procs()); got != 4 {
+		t.Fatalf("before: %d procs, want 4", got)
+	}
+	p.KillDescendants()
+	if got := len(k.Procs()); got != 1 {
+		t.Fatalf("after KillDescendants: procs = %v, want only the parent", k.Procs())
+	}
+}
+
+func TestSpawnLatencySleepEndsWithProcess(t *testing.T) {
+	k, p := intrWorld(t)
+	k.SetSpawnLatency(10 * time.Second)
+	vn := k.FS.MustResolve("/bin/spin")
+	child, err := p.Spawn(vn, nil, SpawnAttr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Killing the child during its simulated exec latency must not leave
+	// a goroutine sleeping out the full latency before running the
+	// binary on a corpse.
+	start := time.Now()
+	if _, err := p.KillWait(child.PID()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("kill during spawn latency took %v", elapsed)
+	}
+}

@@ -269,6 +269,60 @@ type Proc struct {
 	done     chan struct{}
 	limits   Ulimits
 	session  *Session
+
+	// intr is the process's interrupt gate: Interrupt closes the current
+	// channel, waking every blocking wait (Wait, socket accept/recv/send)
+	// with EINTR — the mechanism context cancellation rides to stop a
+	// runaway script without killing its runtime process. ClearInterrupt
+	// re-arms the gate so the process is reusable for the next run.
+	intrMu sync.Mutex
+	intrCh chan struct{}
+	intrOn bool
+}
+
+// IntrChan returns the channel closed when the process is interrupted.
+// Blocking system calls select on it; it is replaced (re-armed) by
+// ClearInterrupt.
+func (p *Proc) IntrChan() <-chan struct{} {
+	p.intrMu.Lock()
+	defer p.intrMu.Unlock()
+	if p.intrCh == nil {
+		p.intrCh = make(chan struct{})
+	}
+	return p.intrCh
+}
+
+// Interrupt marks the process interrupted: every in-flight and future
+// blocking wait returns EINTR until ClearInterrupt. Idempotent.
+func (p *Proc) Interrupt() {
+	p.intrMu.Lock()
+	defer p.intrMu.Unlock()
+	if p.intrOn {
+		return
+	}
+	p.intrOn = true
+	if p.intrCh == nil {
+		p.intrCh = make(chan struct{})
+	}
+	close(p.intrCh)
+}
+
+// ClearInterrupt re-arms the interrupt gate after a cancelled run, so
+// the process (and the session built on it) stays reusable.
+func (p *Proc) ClearInterrupt() {
+	p.intrMu.Lock()
+	defer p.intrMu.Unlock()
+	if p.intrOn {
+		p.intrOn = false
+		p.intrCh = make(chan struct{})
+	}
+}
+
+// Interrupted reports whether the interrupt gate is currently raised.
+func (p *Proc) Interrupted() bool {
+	p.intrMu.Lock()
+	defer p.intrMu.Unlock()
+	return p.intrOn
 }
 
 // NewProc creates a top-level process with the given identity, rooted at
@@ -444,7 +498,11 @@ func (p *Proc) Exit(code int) { p.exit(code) }
 
 // Wait blocks until the child with the given pid exits and returns its
 // exit status, enforcing the MAC process-wait policy (§3.2.2: a sandboxed
-// process cannot wait for a process outside its session).
+// process cannot wait for a process outside its session). If the waiting
+// process is interrupted while the child is still running, Wait returns
+// EINTR without reaping; a child that has already exited is always
+// reaped, even under interruption, so cancellation cleanup can still
+// collect corpses.
 func (p *Proc) Wait(pid int) (int, error) {
 	p.mu.Lock()
 	child, ok := p.children[pid]
@@ -456,19 +514,66 @@ func (p *Proc) Wait(pid int) (int, error) {
 	if err := p.k.MAC.ProcCheck(cred, child.Cred(), mac.OpProcWait); err != nil {
 		return -1, err
 	}
-	<-child.done
+	select {
+	case <-child.done:
+	default:
+		select {
+		case <-child.done:
+		case <-p.IntrChan():
+			return -1, errno.EINTR
+		}
+	}
+	return p.reap(child), nil
+}
+
+// reap collects an exited child's status and removes it from the process
+// tables.
+func (p *Proc) reap(child *Proc) int {
 	child.mu.Lock()
 	code := child.exitCode
 	child.state = ProcReaped
 	child.mu.Unlock()
 
 	p.mu.Lock()
-	delete(p.children, pid)
+	delete(p.children, child.pid)
 	p.mu.Unlock()
 	p.k.procsMu.Lock()
-	delete(p.k.procs, pid)
+	delete(p.k.procs, child.pid)
 	p.k.procsMu.Unlock()
-	return code, nil
+	return code
+}
+
+// KillWait forcibly terminates a child (and its whole descendant tree)
+// and reaps it, bypassing the MAC signal check — the kernel-internal
+// teardown path a cancelled run uses to not leak processes. It returns
+// the child's exit status (137 if the kill was what stopped it).
+func (p *Proc) KillWait(pid int) (int, error) {
+	p.mu.Lock()
+	child, ok := p.children[pid]
+	p.mu.Unlock()
+	if !ok {
+		return -1, errno.ECHILD
+	}
+	child.KillDescendants()
+	child.exit(137)
+	<-child.done
+	return p.reap(child), nil
+}
+
+// KillDescendants terminates and reaps every live descendant of the
+// process, leaving the process itself running. Combined with Interrupt
+// it implements cancellation: the runtime process survives (the session
+// stays reusable) while everything it spawned is torn down.
+func (p *Proc) KillDescendants() {
+	p.mu.Lock()
+	pids := make([]int, 0, len(p.children))
+	for pid := range p.children {
+		pids = append(pids, pid)
+	}
+	p.mu.Unlock()
+	for _, pid := range pids {
+		p.KillWait(pid)
+	}
 }
 
 // Kill delivers a (simulated) fatal signal to the target process after

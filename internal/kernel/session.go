@@ -356,7 +356,16 @@ func (p *Proc) Exec(vn *vfs.Vnode, argv []string) error {
 	latency := p.k.SpawnLatency()
 	go func() {
 		if latency > 0 {
-			time.Sleep(latency)
+			// The simulated fork/exec latency must not outlive the
+			// process: a killed (cancelled) child stops sleeping and
+			// never runs its binary.
+			t := time.NewTimer(latency)
+			select {
+			case <-t.C:
+			case <-p.done:
+				t.Stop()
+				return
+			}
 		}
 		code := main(p, append([]string{name}, argv...))
 		p.exit(code)

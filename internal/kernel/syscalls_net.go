@@ -71,7 +71,7 @@ func (p *Proc) Accept(fdn int) (int, error) {
 	if err := p.k.MAC.SocketCheck(cred, sock, mac.OpSockAccept); err != nil {
 		return -1, err
 	}
-	conn, err := p.k.Net.Accept(sock)
+	conn, err := p.k.Net.AcceptIntr(sock, p.IntrChan())
 	if err != nil {
 		return -1, err
 	}
@@ -101,7 +101,7 @@ func (p *Proc) Send(fdn int, buf []byte) (int, error) {
 	if err := p.k.MAC.SocketCheck(p.Cred(), sock, mac.OpSockSend); err != nil {
 		return 0, err
 	}
-	return p.k.Net.Send(sock, buf)
+	return p.k.Net.SendIntr(sock, buf, p.IntrChan())
 }
 
 // Recv reads from a connected socket; 0, nil means peer close.
@@ -113,5 +113,5 @@ func (p *Proc) Recv(fdn int, buf []byte) (int, error) {
 	if err := p.k.MAC.SocketCheck(p.Cred(), sock, mac.OpSockRecv); err != nil {
 		return 0, err
 	}
-	return p.k.Net.Recv(sock, buf)
+	return p.k.Net.RecvIntr(sock, buf, p.IntrChan())
 }

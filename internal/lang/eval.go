@@ -1,6 +1,7 @@
 package lang
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,40 @@ type Interp struct {
 	// module's exports may be called from several goroutines) so
 	// runaway recursion is cut off at maxCallDepth.
 	callDepth atomic.Int32
+
+	// runCtx, when set, is polled at every statement boundary and
+	// closure call, so cancelling the context stops the eval loop of a
+	// runaway script. Stored atomically because the fuzz/race harnesses
+	// drive one interpreter from several goroutines.
+	runCtx atomic.Pointer[context.Context]
+}
+
+// SetContext installs (or, with nil, removes) the context the eval loop
+// polls for cancellation. The interpreter only observes Done/Err; the
+// caller remains responsible for interrupting any kernel-level waits the
+// script's process may be parked in (kernel.Proc.Interrupt).
+func (it *Interp) SetContext(ctx context.Context) {
+	if ctx == nil {
+		it.runCtx.Store(nil)
+		return
+	}
+	it.runCtx.Store(&ctx)
+}
+
+// checkCancel returns the cancellation error once the installed context
+// is done. The fast path is one atomic load.
+func (it *Interp) checkCancel() error {
+	ctxp := it.runCtx.Load()
+	if ctxp == nil {
+		return nil
+	}
+	ctx := *ctxp
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("script canceled: %w", context.Cause(ctx))
+	default:
+		return nil
+	}
 }
 
 // NewInterp builds an interpreter. Construction cost is attributed to
@@ -226,6 +261,12 @@ func (it *Interp) evalBlock(stmts []Stmt, env *Env) (Value, error) {
 }
 
 func (it *Interp) evalStmt(s Stmt, env *Env) (Value, error) {
+	// Every statement — including each iteration of a for body — is a
+	// cancellation point, so a context deadline stops even a pure
+	// compute loop that never enters the kernel.
+	if err := it.checkCancel(); err != nil {
+		return nil, err
+	}
 	switch st := s.(type) {
 	case *BindStmt:
 		v, err := it.evalExpr(st.Expr, env)

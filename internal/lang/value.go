@@ -83,6 +83,9 @@ func (c *Closure) Call(args []Value, named map[string]Value) (Value, error) {
 	if len(args) != len(c.params) {
 		return nil, fmt.Errorf("%s expects %d arguments, got %d", c.FuncName(), len(c.params), len(args))
 	}
+	if err := c.interp.checkCancel(); err != nil {
+		return nil, err
+	}
 	if c.interp.callDepth.Add(1) > maxCallDepth {
 		c.interp.callDepth.Add(-1)
 		return nil, fmt.Errorf("%s: call depth exceeds %d", c.FuncName(), maxCallDepth)

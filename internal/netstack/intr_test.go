@@ -1,0 +1,224 @@
+package netstack
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/errno"
+)
+
+// --- interruptible waits ---
+
+func TestAcceptIntrWokenByInterrupt(t *testing.T) {
+	st := New()
+	defer st.Shutdown()
+	l := st.NewSocket(DomainIP)
+	if err := st.Bind(l, "71"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Listen(l); err != nil {
+		t.Fatal(err)
+	}
+	intr := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.AcceptIntr(l, intr)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the accepter park
+	close(intr)
+	select {
+	case err := <-done:
+		if !errors.Is(err, errno.EINTR) {
+			t.Fatalf("interrupted accept = %v, want EINTR", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept still blocked after interrupt")
+	}
+	// The listener survives the interruption: a real connection is still
+	// accepted afterwards.
+	c := st.NewSocket(DomainIP)
+	if err := st.Connect(c, "71"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AcceptIntr(l, nil); err != nil {
+		t.Fatalf("accept after interruption = %v", err)
+	}
+}
+
+func TestRecvIntrWokenByInterrupt(t *testing.T) {
+	st := New()
+	defer st.Shutdown()
+	l := st.NewSocket(DomainIP)
+	if err := st.Bind(l, "72"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Listen(l); err != nil {
+		t.Fatal(err)
+	}
+	c := st.NewSocket(DomainIP)
+	if err := st.Connect(c, "72"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Accept(l); err != nil {
+		t.Fatal(err)
+	}
+	intr := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, err := st.RecvIntr(c, buf, intr)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(intr)
+	select {
+	case err := <-done:
+		if !errors.Is(err, errno.EINTR) {
+			t.Fatalf("interrupted recv = %v, want EINTR", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv still blocked after interrupt")
+	}
+}
+
+func TestAcceptIntrAlreadyFired(t *testing.T) {
+	st := New()
+	defer st.Shutdown()
+	l := st.NewSocket(DomainIP)
+	if err := st.Bind(l, "73"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Listen(l); err != nil {
+		t.Fatal(err)
+	}
+	intr := make(chan struct{})
+	close(intr)
+	if _, err := st.AcceptIntr(l, intr); !errors.Is(err, errno.EINTR) {
+		t.Fatalf("accept with pre-fired interrupt = %v, want EINTR", err)
+	}
+}
+
+// --- listener-ready notification (the ex-poll-loop) ---
+
+func TestWaitListenerSignalledByListen(t *testing.T) {
+	st := New()
+	defer st.Shutdown()
+	done := make(chan error, 1)
+	go func() {
+		done <- st.WaitListener(DomainIP, "81", 5*time.Second, nil)
+	}()
+	time.Sleep(10 * time.Millisecond) // waiter parks before the bind
+	l := st.NewSocket(DomainIP)
+	if err := st.Bind(l, "81"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Listen(l); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitListener = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitListener missed the Listen signal")
+	}
+}
+
+func TestWaitListenerImmediateWhenListening(t *testing.T) {
+	st := New()
+	defer st.Shutdown()
+	l := st.NewSocket(DomainIP)
+	if err := st.Bind(l, "82"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Listen(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WaitListener(DomainIP, "82", time.Second, nil); err != nil {
+		t.Fatalf("WaitListener on live listener = %v", err)
+	}
+}
+
+func TestWaitListenerTimeout(t *testing.T) {
+	st := New()
+	defer st.Shutdown()
+	start := time.Now()
+	err := st.WaitListener(DomainIP, "83", 30*time.Millisecond, nil)
+	if !errors.Is(err, errno.ETIMEDOUT) {
+		t.Fatalf("WaitListener with nobody listening = %v, want ETIMEDOUT", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout far exceeded the requested bound")
+	}
+}
+
+func TestWaitListenerInterrupted(t *testing.T) {
+	st := New()
+	defer st.Shutdown()
+	intr := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- st.WaitListener(DomainIP, "84", 10*time.Second, intr)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(intr)
+	select {
+	case err := <-done:
+		if !errors.Is(err, errno.EINTR) {
+			t.Fatalf("interrupted WaitListener = %v, want EINTR", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitListener ignored the interrupt")
+	}
+}
+
+func TestWaitListenerLeavesNoWaiterEntries(t *testing.T) {
+	st := New()
+	defer st.Shutdown()
+	// Timed-out probes of never-bound addresses must not grow the ready
+	// map for the stack's lifetime.
+	for i := 0; i < 5; i++ {
+		addr := string(rune('a' + i))
+		if err := st.WaitListener(DomainIP, addr, time.Millisecond, nil); !errors.Is(err, errno.ETIMEDOUT) {
+			t.Fatalf("probe %d = %v", i, err)
+		}
+	}
+	// The immediate-success path must clean up after itself too.
+	l := st.NewSocket(DomainIP)
+	if err := st.Bind(l, "86"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Listen(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WaitListener(DomainIP, "86", time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	n := len(st.ready)
+	st.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("ready map retains %d entries after all waiters left", n)
+	}
+}
+
+func TestWaitListenerWokenByShutdown(t *testing.T) {
+	st := New()
+	done := make(chan error, 1)
+	go func() {
+		done <- st.WaitListener(DomainIP, "85", 10*time.Second, nil)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	st.Shutdown()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errno.ECONNABORTED) {
+			t.Fatalf("WaitListener after shutdown = %v, want ECONNABORTED", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitListener survived stack shutdown")
+	}
+}

@@ -8,10 +8,39 @@ package netstack
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/errno"
 	"repro/internal/mac"
 )
+
+// interrupted reports whether an interrupt channel has fired. A nil
+// channel never interrupts, so uninterruptible callers pass nil and pay
+// nothing.
+func interrupted(intr <-chan struct{}) bool {
+	if intr == nil {
+		return false
+	}
+	select {
+	case <-intr:
+		return true
+	default:
+		return false
+	}
+}
+
+// watch wakes cond via wake() when intr fires, until stop is closed.
+// Blocking waits arm a watcher only once they are actually about to
+// park, so the established fast paths never pay a goroutine spawn.
+func watch(intr <-chan struct{}, stop <-chan struct{}, wake func()) {
+	go func() {
+		select {
+		case <-intr:
+			wake()
+		case <-stop:
+		}
+	}()
+}
 
 // Domain distinguishes socket address families.
 type Domain int
@@ -51,16 +80,32 @@ func newHalfConn() *halfConn {
 	return h
 }
 
-func (h *halfConn) write(p []byte) (int, error) {
+// wake re-evaluates any waiter's condition (interrupt delivery).
+func (h *halfConn) wake() {
+	h.mu.Lock()
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *halfConn) write(p []byte, intr <-chan struct{}) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	total := 0
+	var stop chan struct{}
 	for len(p) > 0 {
 		if h.closed {
 			return total, errno.EPIPE
 		}
 		space := sockBufCap - len(h.buf)
 		for space <= 0 && !h.closed {
+			if interrupted(intr) {
+				return total, errno.EINTR
+			}
+			if intr != nil && stop == nil {
+				stop = make(chan struct{})
+				defer close(stop)
+				watch(intr, stop, h.wake)
+			}
 			h.cond.Wait()
 			space = sockBufCap - len(h.buf)
 		}
@@ -79,12 +124,21 @@ func (h *halfConn) write(p []byte) (int, error) {
 	return total, nil
 }
 
-func (h *halfConn) read(p []byte) (int, error) {
+func (h *halfConn) read(p []byte, intr <-chan struct{}) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	var stop chan struct{}
 	for len(h.buf) == 0 {
 		if h.closed {
 			return 0, nil // EOF
+		}
+		if interrupted(intr) {
+			return 0, errno.EINTR
+		}
+		if intr != nil && stop == nil {
+			stop = make(chan struct{})
+			defer close(stop)
+			watch(intr, stop, h.wake)
 		}
 		h.cond.Wait()
 	}
@@ -161,6 +215,21 @@ type Stack struct {
 	listeners map[string]*Socket // key: domain-prefixed address
 	socks     map[*Socket]struct{}
 	down      bool // Shutdown was called
+
+	// ready holds one broadcast entry per address with waiters parked in
+	// WaitListener; Listen closes the channel the moment a listener
+	// starts accepting, so server-readiness is a notification instead of
+	// the connect-poll loop the case-study drivers used to spin. Entries
+	// are refcounted by their waiters and removed when the last waiter
+	// leaves, so timed-out probes of never-bound addresses cannot grow
+	// the map.
+	ready map[string]*listenWaiter
+}
+
+// listenWaiter is one address's readiness broadcast.
+type listenWaiter struct {
+	ch   chan struct{}
+	refs int
 }
 
 // New returns an empty loopback stack.
@@ -168,6 +237,7 @@ func New() *Stack {
 	return &Stack{
 		listeners: make(map[string]*Socket),
 		socks:     make(map[*Socket]struct{}),
+		ready:     make(map[string]*listenWaiter),
 	}
 }
 
@@ -192,6 +262,10 @@ func (st *Stack) Shutdown() {
 	snapshot := make([]*Socket, 0, len(st.socks))
 	for s := range st.socks {
 		snapshot = append(snapshot, s)
+	}
+	for k, w := range st.ready {
+		close(w.ch) // wake WaitListener waiters; they observe down
+		delete(st.ready, k)
 	}
 	st.mu.Unlock()
 	for _, s := range snapshot {
@@ -235,15 +309,83 @@ func (st *Stack) Bind(s *Socket, addr string) error {
 	return nil
 }
 
-// Listen marks a bound socket as accepting connections.
+// Listen marks a bound socket as accepting connections and wakes every
+// WaitListener waiter parked on its address.
 func (st *Stack) Listen(s *Socket) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.state != StateBound {
+		s.mu.Unlock()
 		return errno.EINVAL
 	}
 	s.state = StateListening
+	k := key(s.domain, s.addr)
+	s.mu.Unlock()
+
+	st.mu.Lock()
+	if w, ok := st.ready[k]; ok {
+		close(w.ch)
+		delete(st.ready, k)
+	}
+	st.mu.Unlock()
 	return nil
+}
+
+// WaitListener blocks until a listener is accepting connections at addr
+// in the given domain, the timeout elapses (ETIMEDOUT), intr fires
+// (EINTR), or the stack shuts down (ECONNABORTED). Readiness is a
+// condition signalled by Listen, not a poll: waiters park on a channel
+// and wake the instant the server is reachable.
+func (st *Stack) WaitListener(d Domain, addr string, timeout time.Duration, intr <-chan struct{}) error {
+	k := key(d, addr)
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		st.mu.Lock()
+		if st.down {
+			st.mu.Unlock()
+			return errno.ECONNABORTED
+		}
+		l := st.listeners[k]
+		w, ok := st.ready[k]
+		if !ok {
+			w = &listenWaiter{ch: make(chan struct{})}
+			st.ready[k] = w
+		}
+		w.refs++
+		st.mu.Unlock()
+		// The waiter is registered before the state check, so a Listen
+		// racing with this probe is never missed — it will close w.ch.
+		// (Checking l outside st.mu also keeps the s.mu -> st.mu lock
+		// order Listen uses.)
+		var err error
+		done := false
+		if l != nil && l.State() == StateListening {
+			done = true
+		} else {
+			select {
+			case <-w.ch:
+				// Signalled: loop to re-check (the listener may already
+				// have closed again, or the stack may be shutting down).
+			case <-deadline:
+				done, err = true, errno.ETIMEDOUT
+			case <-intr:
+				done, err = true, errno.EINTR
+			}
+		}
+		st.mu.Lock()
+		w.refs--
+		if w.refs == 0 && st.ready[k] == w {
+			delete(st.ready, k) // last waiter out removes the entry
+		}
+		st.mu.Unlock()
+		if done {
+			return err
+		}
+	}
 }
 
 // Connect dials the listener bound at addr in the socket's domain and
@@ -290,9 +432,31 @@ func (st *Stack) Connect(s *Socket, addr string) error {
 // down) wakes every blocked accepter, which then returns ECONNABORTED —
 // a blocked Accept never outlives its listener.
 func (st *Stack) Accept(l *Socket) (*Socket, error) {
+	return st.AcceptIntr(l, nil)
+}
+
+// AcceptIntr is Accept with an interrupt channel: when intr fires while
+// the accepter is parked, it returns EINTR instead of waiting for a
+// connection. A nil intr makes it identical to Accept. This is what lets
+// a context cancellation stop a script blocked in socket_accept without
+// tearing the listener down.
+func (st *Stack) AcceptIntr(l *Socket, intr <-chan struct{}) (*Socket, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var stop chan struct{}
 	for l.state == StateListening && len(l.backlog) == 0 {
+		if interrupted(intr) {
+			return nil, errno.EINTR
+		}
+		if intr != nil && stop == nil {
+			stop = make(chan struct{})
+			defer close(stop)
+			watch(intr, stop, func() {
+				l.mu.Lock()
+				l.cond.Broadcast()
+				l.mu.Unlock()
+			})
+		}
 		l.cond.Wait()
 	}
 	if l.state == StateClosed {
@@ -308,6 +472,13 @@ func (st *Stack) Accept(l *Socket) (*Socket, error) {
 
 // Send writes to the connection.
 func (st *Stack) Send(s *Socket, p []byte) (int, error) {
+	return st.SendIntr(s, p, nil)
+}
+
+// SendIntr is Send with an interrupt channel (see AcceptIntr): a sender
+// parked on a full buffer returns EINTR with the partial count when intr
+// fires.
+func (st *Stack) SendIntr(s *Socket, p []byte, intr <-chan struct{}) (int, error) {
 	s.mu.Lock()
 	tx := s.tx
 	state := s.state
@@ -315,11 +486,17 @@ func (st *Stack) Send(s *Socket, p []byte) (int, error) {
 	if state != StateConnected || tx == nil {
 		return 0, errno.ENOTCONN
 	}
-	return tx.write(p)
+	return tx.write(p, intr)
 }
 
 // Recv reads from the connection; 0, nil means the peer closed.
 func (st *Stack) Recv(s *Socket, p []byte) (int, error) {
+	return st.RecvIntr(s, p, nil)
+}
+
+// RecvIntr is Recv with an interrupt channel (see AcceptIntr): a reader
+// parked on an empty buffer returns EINTR when intr fires.
+func (st *Stack) RecvIntr(s *Socket, p []byte, intr <-chan struct{}) (int, error) {
 	s.mu.Lock()
 	rx := s.rx
 	state := s.state
@@ -327,7 +504,7 @@ func (st *Stack) Recv(s *Socket, p []byte) (int, error) {
 	if state != StateConnected || rx == nil {
 		return 0, errno.ENOTCONN
 	}
-	return rx.read(p)
+	return rx.read(p, intr)
 }
 
 // Close shuts the socket down: listeners are unbound (waking blocked

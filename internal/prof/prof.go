@@ -84,6 +84,50 @@ func (c *Collector) Count(cat Category) int64 {
 	return c.counts[cat]
 }
 
+// Sample is one category's accumulated duration and event count — the
+// unit of the per-run profiles repro/shill attaches to each Result.
+type Sample struct {
+	Category Category
+	Total    time.Duration
+	Count    int64
+}
+
+// Samples snapshots every category, in category order (including zero
+// rows, so two snapshots subtract positionally).
+func (c *Collector) Samples() []Sample {
+	out := make([]Sample, numCategories)
+	if c == nil {
+		for i := range out {
+			out[i].Category = Category(i)
+		}
+		return out
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range out {
+		out[i] = Sample{Category: Category(i), Total: c.totals[i], Count: c.counts[i]}
+	}
+	return out
+}
+
+// SamplesSince subtracts an earlier snapshot from a later one and keeps
+// the categories that advanced — the profile of just the work between
+// the two snapshots.
+func SamplesSince(before, after []Sample) []Sample {
+	var out []Sample
+	for i := range after {
+		s := after[i]
+		if i < len(before) {
+			s.Total -= before[i].Total
+			s.Count -= before[i].Count
+		}
+		if s.Total != 0 || s.Count != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Reset zeroes the collector.
 func (c *Collector) Reset() {
 	if c == nil {

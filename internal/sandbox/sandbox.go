@@ -7,6 +7,7 @@
 package sandbox
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -190,9 +191,19 @@ func Exec(runtime *kernel.Proc, exe *cap.Capability, args []Arg, opts Options) (
 		return fail(err)
 	}
 	code, err := runtime.Wait(child.PID())
+	if errors.Is(err, errno.EINTR) {
+		// The runtime was interrupted (context cancellation) while the
+		// sandboxed executable was still running: tear the child down and
+		// reap it so a cancelled run leaks neither processes nor session
+		// privilege-map entries, then surface the interruption.
+		if killed, kerr := runtime.KillWait(child.PID()); kerr == nil {
+			code = killed
+		}
+		err = fmt.Errorf("sandbox: execution interrupted: %w", errno.EINTR)
+	}
 	opts.Prof.Add(prof.SandboxExec, time.Since(execStart))
 	if err != nil {
-		return Result{Session: session}, err
+		return Result{ExitCode: code, Session: session}, err
 	}
 	if aud.Enabled() {
 		aud.Emit(session.AuditShard(), audit.Event{

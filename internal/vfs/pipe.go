@@ -1,6 +1,7 @@
 package vfs
 
 import (
+	"io"
 	"sync"
 
 	"repro/internal/errno"
@@ -157,6 +158,7 @@ type ConsoleDevice struct {
 	out    []byte
 	in     []byte
 	maxOut int
+	tee    io.Writer
 }
 
 // NewConsoleDevice returns a console with an unbounded capture buffer.
@@ -182,7 +184,7 @@ func (c *ConsoleDevice) DevRead(p []byte) (int, error) {
 	return n, nil
 }
 
-// DevWrite captures output.
+// DevWrite captures output and mirrors it to the tee writer, if set.
 func (c *ConsoleDevice) DevWrite(p []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -190,7 +192,20 @@ func (c *ConsoleDevice) DevWrite(p []byte) (int, error) {
 	if c.maxOut > 0 && len(c.out) > c.maxOut {
 		c.out = c.out[len(c.out)-c.maxOut:]
 	}
+	if c.tee != nil {
+		c.tee.Write(p) // best-effort: a failing tee must not fail the device
+	}
 	return len(p), nil
+}
+
+// SetTee mirrors every subsequent write to w as it happens — the live
+// streaming view of a session's console. The tee runs under the device
+// lock, so w should be fast (a pipe, a buffer, os.Stdout); nil disables
+// mirroring.
+func (c *ConsoleDevice) SetTee(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tee = w
 }
 
 // FeedInput appends scripted input for subsequent reads.

@@ -1,0 +1,20 @@
+#!/bin/sh
+# check-api-boundary.sh — keep the embedding boundary honest.
+#
+# The supported programmatic surface is repro/shill; commands and
+# examples must build on it, never on the internal machine-assembly
+# package. Run from the repository root (CI does).
+set -eu
+
+fail=0
+for dir in cmd examples; do
+    if matches=$(grep -rn '"repro/internal/core"' "$dir" 2>/dev/null); then
+        echo "error: $dir/* imports repro/internal/core; use repro/shill instead:" >&2
+        echo "$matches" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "api boundary ok: no internal/core imports under cmd/ or examples/"

@@ -1,0 +1,36 @@
+package shill
+
+import "repro/internal/audit"
+
+// Aliases re-exporting the audit vocabulary embedders need to inspect a
+// Result or query the machine's log, without importing internal
+// packages.
+
+// DenyReason is a structured denial: the provenance of an EPERM/EACCES
+// (deciding layer, operation, object, missing privileges, contract
+// blame chain). It implements error and unwraps to the errno sentinel.
+type DenyReason = audit.DenyReason
+
+// AuditEvent is one immutable audit record.
+type AuditEvent = audit.Event
+
+// AuditFilter selects audit events; the zero value matches everything.
+type AuditFilter = audit.Filter
+
+// Audit verdicts and layers, for filters.
+const (
+	AuditAllow = audit.Allow
+	AuditDeny  = audit.Deny
+)
+
+// DenyReasonFor extracts the structured denial from an error chain, or
+// nil — how an embedder asks "why exactly was this run refused?".
+func DenyReasonFor(err error) *DenyReason { return audit.ReasonFor(err) }
+
+// FormatAuditEvent renders one event the way cmd/shill-audit prints it.
+func FormatAuditEvent(e AuditEvent) string { return audit.FormatEvent(e) }
+
+// AuditEvents queries the machine's retained audit events.
+func (m *Machine) AuditEvents(f AuditFilter) []AuditEvent {
+	return m.sys.Audit().Query(f)
+}

@@ -1,6 +1,7 @@
-package core
+package shill
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -17,61 +18,61 @@ import (
 // its own events: the denial for its own path, never a sibling's.
 func TestAuditNoCrossSessionBleed(t *testing.T) {
 	const n = 16
-	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
-	defer s.Close()
+	m := newTestMachine(t, WithConsoleLimit(1<<20))
+	fs := m.kernel().FS
 
 	// One private file per workload session.
 	for i := 0; i < n; i++ {
 		path := fmt.Sprintf("/audit/s%02d/secret.txt", i)
-		if _, err := s.K.FS.WriteFile(path, []byte("x"), 0o666, 0, 0); err != nil {
+		if _, err := fs.WriteFile(path, []byte("x"), 0o666, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	kernelSession := make([]uint64, n)
-	_, err := s.RunSessions(n, func(ctx *SessionCtx) error {
-		dirPath := fmt.Sprintf("/audit/s%02d", ctx.Index)
-		sb, err := ctx.Proc.Fork()
+	_, err := m.RunSessions(bg, n, func(ctx context.Context, s *Session) (*Result, error) {
+		dirPath := fmt.Sprintf("/audit/s%02d", s.Index())
+		sb, err := s.proc.Fork()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if _, err := sb.ShillInit(kernel.SessionOptions{}); err != nil {
-			return err
+			return nil, err
 		}
 		grant := func(path string, g *priv.Grant) error {
-			return sb.ShillGrant(s.K.FS.MustResolve(path), g)
+			return sb.ShillGrant(fs.MustResolve(path), g)
 		}
 		if err := grant("/", priv.NewGrant(priv.RLookup, priv.RStat, priv.RPath)); err != nil {
-			return err
+			return nil, err
 		}
 		if err := grant("/audit", priv.NewGrant(priv.RLookup, priv.RStat, priv.RPath)); err != nil {
-			return err
+			return nil, err
 		}
 		if err := grant(dirPath, priv.GrantOf(priv.ReadOnlyDir)); err != nil {
-			return err
+			return nil, err
 		}
 		if err := sb.ShillEnter(); err != nil {
-			return err
+			return nil, err
 		}
-		kernelSession[ctx.Index] = sb.Session().ID()
+		kernelSession[s.Index()] = sb.Session().ID()
 
 		// Allowed read, then a denied write on the private file.
 		fd, err := sb.OpenAt(kernel.AtCWD, dirPath+"/secret.txt", kernel.ORead, 0)
 		if err != nil {
-			return fmt.Errorf("read should be allowed: %w", err)
+			return nil, fmt.Errorf("read should be allowed: %w", err)
 		}
 		sb.Close(fd)
 		if _, err := sb.OpenAt(kernel.AtCWD, dirPath+"/secret.txt", kernel.OWrite, 0); err == nil {
-			return fmt.Errorf("write should be denied")
+			return nil, fmt.Errorf("write should be denied")
 		}
 		sb.Exit(0)
-		return nil
+		return nil, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	log := s.Audit()
+	log := m.AuditLog()
 	for i := 0; i < n; i++ {
 		id := kernelSession[i]
 		events := log.Query(audit.Filter{Session: id})
@@ -111,12 +112,11 @@ func TestAuditNoCrossSessionBleed(t *testing.T) {
 // kept all events totally ordered.
 func TestAuditTrailAcrossGradingSessions(t *testing.T) {
 	const n = 4
-	s := NewSystem(Config{InstallModule: true, ConsoleLimit: 1 << 20})
-	defer s.Close()
-	if _, err := s.RunGradingSessions(n, ModeShill, GradingWorkload{Students: 2, Tests: 1}); err != nil {
+	m := newTestMachine(t, WithConsoleLimit(1<<20))
+	if _, err := m.RunGradingSessions(bg, n, ModeShill, GradingWorkload{Students: 2, Tests: 1}); err != nil {
 		t.Fatal(err)
 	}
-	log := s.Audit()
+	log := m.AuditLog()
 	if log.Emits() == 0 {
 		t.Fatal("grading emitted no audit events")
 	}

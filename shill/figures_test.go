@@ -1,43 +1,66 @@
-package core
+package shill
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"repro/internal/prof"
 )
 
-// newTestSystem builds a machine with the SHILL module installed and the
-// paper's figure scripts loaded.
-func newTestSystem(t *testing.T) *System {
+// Ports of the paper-figure tests onto the public embedding API: the
+// machine is built with NewMachine, scripts run through sessions, and
+// results are read back through Result and the staging helpers.
+
+var bg = context.Background()
+
+// newTestMachine builds a machine with the SHILL module installed and
+// the paper's figure scripts loaded.
+func newTestMachine(t *testing.T, opts ...Option) *Machine {
 	t.Helper()
-	s := NewSystem(Config{InstallModule: true})
-	t.Cleanup(s.Close)
-	s.Scripts["find_jpg.cap"] = ScriptFindJpg
-	s.Scripts["find.cap"] = ScriptFindPoly
-	s.Scripts["jpeginfo.cap"] = ScriptJpeginfoCap
-	return s
+	m, err := NewMachine(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// runAmbient runs an ambient script on the default session.
+func runAmbient(m *Machine, name, src string) (*Result, error) {
+	return m.DefaultSession().Run(bg, Script{Name: name, Source: src})
+}
+
+func mustReadFile(t *testing.T, m *Machine, path string) string {
+	t.Helper()
+	out, err := m.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return out
 }
 
 func TestFigure4And6Jpeginfo(t *testing.T) {
-	s := newTestSystem(t)
-	s.mustWrite("/home/user/Documents/dog.jpg", []byte("JFIFdogdata"), 0o644, UserUID)
-	if err := s.RunAmbient("jpeginfo.ambient", ScriptJpeginfoAmbient); err != nil {
+	m := newTestMachine(t)
+	m.sys.MustWrite("/home/user/Documents/dog.jpg", []byte("JFIFdogdata"), 0o644, UserUID)
+	res, err := runAmbient(m, "jpeginfo.ambient", ScriptJpeginfoAmbient)
+	if err != nil {
 		t.Fatalf("ambient script: %v", err)
 	}
-	out := s.ConsoleText()
-	if !strings.Contains(out, "640x480") {
-		t.Fatalf("jpeginfo output missing info line: %q", out)
+	if !strings.Contains(res.Console, "640x480") {
+		t.Fatalf("jpeginfo output missing info line: %q", res.Console)
 	}
-	if !strings.Contains(out, "dog.jpg") {
-		t.Fatalf("jpeginfo output missing file path: %q", out)
+	if !strings.Contains(res.Console, "dog.jpg") {
+		t.Fatalf("jpeginfo output missing file path: %q", res.Console)
 	}
 }
 
 func TestFigure3FindJpg(t *testing.T) {
-	s := newTestSystem(t)
-	s.mustWrite("/home/user/pics/a.jpg", []byte("JFIFa"), 0o644, UserUID)
-	s.mustWrite("/home/user/pics/sub/b.jpg", []byte("JFIFb"), 0o644, UserUID)
-	s.mustWrite("/home/user/pics/notes.txt", []byte("x"), 0o644, UserUID)
-	s.mustWrite("/home/user/out.txt", nil, 0o644, UserUID)
+	m := newTestMachine(t)
+	m.sys.MustWrite("/home/user/pics/a.jpg", []byte("JFIFa"), 0o644, UserUID)
+	m.sys.MustWrite("/home/user/pics/sub/b.jpg", []byte("JFIFb"), 0o644, UserUID)
+	m.sys.MustWrite("/home/user/pics/notes.txt", []byte("x"), 0o644, UserUID)
+	m.sys.MustWrite("/home/user/out.txt", nil, 0o644, UserUID)
 
 	ambient := `#lang shill/ambient
 require "find_jpg.cap";
@@ -46,10 +69,10 @@ pics = open_dir("/home/user/pics");
 out = open_file("/home/user/out.txt");
 find_jpg(pics, out);
 `
-	if err := s.RunAmbient("main.ambient", ambient); err != nil {
+	if _, err := runAmbient(m, "main.ambient", ambient); err != nil {
 		t.Fatalf("ambient: %v", err)
 	}
-	got := string(s.K.FS.MustResolve("/home/user/out.txt").Bytes())
+	got := mustReadFile(t, m, "/home/user/out.txt")
 	if !strings.Contains(got, "/home/user/pics/a.jpg") ||
 		!strings.Contains(got, "/home/user/pics/sub/b.jpg") {
 		t.Fatalf("find_jpg output = %q", got)
@@ -63,11 +86,11 @@ find_jpg(pics, out);
 // the filter may use privileges beyond the bound (here +path via
 // has_ext), while find's own body cannot.
 func TestFigure5PolymorphicFind(t *testing.T) {
-	s := newTestSystem(t)
-	s.mustWrite("/home/user/tree/x.c", []byte("int main(){}"), 0o644, UserUID)
-	s.mustWrite("/home/user/tree/sub/y.c", []byte("void f(){}"), 0o644, UserUID)
-	s.mustWrite("/home/user/tree/z.txt", []byte("no"), 0o644, UserUID)
-	s.mustWrite("/home/user/found.txt", nil, 0o644, UserUID)
+	m := newTestMachine(t)
+	m.sys.MustWrite("/home/user/tree/x.c", []byte("int main(){}"), 0o644, UserUID)
+	m.sys.MustWrite("/home/user/tree/sub/y.c", []byte("void f(){}"), 0o644, UserUID)
+	m.sys.MustWrite("/home/user/tree/z.txt", []byte("no"), 0o644, UserUID)
+	m.sys.MustWrite("/home/user/found.txt", nil, 0o644, UserUID)
 
 	ambient := `#lang shill/ambient
 require "find.cap";
@@ -77,7 +100,7 @@ tree = open_dir("/home/user/tree");
 out = open_file("/home/user/found.txt");
 run_find(tree, out);
 `
-	s.Scripts["driver.cap"] = `#lang shill/cap
+	m.AddScript("driver.cap", `#lang shill/cap
 require "find.cap";
 
 provide run_find :
@@ -89,11 +112,11 @@ run_find = fun(tree, out) {
        fun(f) { has_ext(f, "c"); },
        fun(f) { append(out, path(f) + "\n"); });
 };
-`
-	if err := s.RunAmbient("main.ambient", ambient); err != nil {
+`)
+	if _, err := runAmbient(m, "main.ambient", ambient); err != nil {
 		t.Fatalf("ambient: %v", err)
 	}
-	got := string(s.K.FS.MustResolve("/home/user/found.txt").Bytes())
+	got := mustReadFile(t, m, "/home/user/found.txt")
 	if !strings.Contains(got, "x.c") || !strings.Contains(got, "y.c") {
 		t.Fatalf("find output = %q", got)
 	}
@@ -106,12 +129,12 @@ run_find = fun(tree, out) {
 // a forall contract cannot exceed the bound even though the supplied
 // capability has more privileges.
 func TestPolymorphicBoundEnforced(t *testing.T) {
-	s := newTestSystem(t)
-	s.mustWrite("/home/user/tree/x.c", []byte("x"), 0o644, UserUID)
+	m := newTestMachine(t)
+	m.sys.MustWrite("/home/user/tree/x.c", []byte("x"), 0o644, UserUID)
 
 	// sneaky_find tries to read file contents inside the body, which the
 	// bound {+lookup, +contents} does not allow.
-	s.Scripts["sneaky.cap"] = `#lang shill/cap
+	m.AddScript("sneaky.cap", `#lang shill/cap
 
 provide sneaky :
   forall X with {+lookup, +contents} .
@@ -124,14 +147,14 @@ sneaky = fun(cur) {
       read(child);
   }
 };
-`
+`)
 	ambient := `#lang shill/ambient
 require "sneaky.cap";
 
 tree = open_dir("/home/user/tree");
 sneaky(tree);
 `
-	err := s.RunAmbient("main.ambient", ambient)
+	_, err := runAmbient(m, "main.ambient", ambient)
 	if err == nil {
 		t.Fatal("sneaky body read beyond the polymorphic bound without a violation")
 	}
@@ -143,24 +166,24 @@ sneaky(tree);
 // TestContractDeniesUndeclaredOperation is the core §2.2 guarantee: a
 // script whose contract grants only +append on out cannot read it.
 func TestContractDeniesUndeclaredOperation(t *testing.T) {
-	s := newTestSystem(t)
-	s.mustWrite("/home/user/secret.txt", []byte("secret"), 0o644, UserUID)
+	m := newTestMachine(t)
+	m.sys.MustWrite("/home/user/secret.txt", []byte("secret"), 0o644, UserUID)
 
-	s.Scripts["leaky.cap"] = `#lang shill/cap
+	m.AddScript("leaky.cap", `#lang shill/cap
 
 provide leaky : {out : file(+append)} -> void;
 
 leaky = fun(out) {
   read(out);
 };
-`
+`)
 	ambient := `#lang shill/ambient
 require "leaky.cap";
 
 out = open_file("/home/user/secret.txt");
 leaky(out);
 `
-	err := s.RunAmbient("main.ambient", ambient)
+	_, err := runAmbient(m, "main.ambient", ambient)
 	// read on an append-only capability yields a syserror value, which
 	// the script ignores; reading must NOT have succeeded. To observe,
 	// run a variant that appends the read result.
@@ -168,7 +191,7 @@ leaky(out);
 		t.Fatalf("leaky run failed unexpectedly: %v", err)
 	}
 
-	s.Scripts["leaky2.cap"] = `#lang shill/cap
+	m.AddScript("leaky2.cap", `#lang shill/cap
 
 provide leaky2 : {out : file(+append), sink : file(+append)} -> void;
 
@@ -177,8 +200,8 @@ leaky2 = fun(out, sink) {
   if !is_syserror(data) then
     append(sink, data);
 };
-`
-	s.mustWrite("/home/user/sink.txt", nil, 0o644, UserUID)
+`)
+	m.sys.MustWrite("/home/user/sink.txt", nil, 0o644, UserUID)
 	ambient2 := `#lang shill/ambient
 require "leaky2.cap";
 
@@ -186,39 +209,39 @@ out = open_file("/home/user/secret.txt");
 sink = open_file("/home/user/sink.txt");
 leaky2(out, sink);
 `
-	if err := s.RunAmbient("main2.ambient", ambient2); err != nil {
+	if _, err := runAmbient(m, "main2.ambient", ambient2); err != nil {
 		t.Fatalf("leaky2: %v", err)
 	}
-	if got := string(s.K.FS.MustResolve("/home/user/sink.txt").Bytes()); got != "" {
+	if got := mustReadFile(t, m, "/home/user/sink.txt"); got != "" {
 		t.Fatalf("append-only capability leaked data: %q", got)
 	}
 }
 
 func TestAmbientRestrictions(t *testing.T) {
-	s := newTestSystem(t)
+	m := newTestMachine(t)
 	cases := []struct{ name, src string }{
 		{"function definition", "#lang shill/ambient\nf = fun(x) { x; };\n"},
 		{"if statement", "#lang shill/ambient\nif true then open_dir(\"/\");\n"},
 		{"for statement", "#lang shill/ambient\nfor x in [1] { x; }\n"},
 	}
 	for _, c := range cases {
-		if err := s.RunAmbient(c.name, c.src); err == nil {
+		if _, err := runAmbient(m, c.name, c.src); err == nil {
 			t.Errorf("%s allowed in ambient script", c.name)
 		}
 	}
 }
 
 func TestCapScriptHasNoAmbientAuthority(t *testing.T) {
-	s := newTestSystem(t)
-	s.Scripts["grab.cap"] = `#lang shill/cap
+	m := newTestMachine(t)
+	m.AddScript("grab.cap", `#lang shill/cap
 
 provide grab : {} -> void;
 
 grab = fun() {
 	open_dir("/");
 };
-`
-	err := s.RunAmbient("main.ambient", `#lang shill/ambient
+`)
+	_, err := runAmbient(m, "main.ambient", `#lang shill/ambient
 require "grab.cap";
 grab();
 `)
@@ -228,15 +251,15 @@ grab();
 }
 
 func TestCapScriptCannotRequireAmbient(t *testing.T) {
-	s := newTestSystem(t)
-	s.Scripts["evil.cap"] = `#lang shill/cap
+	m := newTestMachine(t)
+	m.AddScript("evil.cap", `#lang shill/cap
 require "helper.ambient";
 
 provide f : {} -> void;
 f = fun() { };
-`
-	s.Scripts["helper.ambient"] = "#lang shill/ambient\n"
-	err := s.RunAmbient("main.ambient", `#lang shill/ambient
+`)
+	m.AddScript("helper.ambient", "#lang shill/ambient\n")
+	_, err := runAmbient(m, "main.ambient", `#lang shill/ambient
 require "evil.cap";
 f();
 `)
@@ -246,15 +269,26 @@ f();
 }
 
 func TestSandboxCountsForJpeginfo(t *testing.T) {
-	s := newTestSystem(t)
-	s.mustWrite("/home/user/Documents/dog.jpg", []byte("JFIFdogdata"), 0o644, UserUID)
-	s.Prof.Reset()
-	if err := s.RunAmbient("jpeginfo.ambient", ScriptJpeginfoAmbient); err != nil {
+	m := newTestMachine(t)
+	m.sys.MustWrite("/home/user/Documents/dog.jpg", []byte("JFIFdogdata"), 0o644, UserUID)
+	m.Prof().Reset()
+	res, err := runAmbient(m, "jpeginfo.ambient", ScriptJpeginfoAmbient)
+	if err != nil {
 		t.Fatalf("ambient: %v", err)
 	}
 	// pkg_native runs ldd in one sandbox; the wrapper runs jpeginfo in a
 	// second (§4.2 counts sandboxes exactly this way for Download).
-	if got := s.Prof.Count(2); got != 2 { // prof.SandboxExec
+	if got := m.Prof().Count(prof.SandboxExec); got != 2 {
 		t.Fatalf("sandbox count = %d, want 2", got)
+	}
+	// The same counts ride on the per-run profile samples.
+	var perRun int64
+	for _, s := range res.Prof {
+		if s.Category == prof.SandboxExec {
+			perRun = s.Count
+		}
+	}
+	if perRun != 2 {
+		t.Fatalf("per-run sandbox count = %d, want 2", perRun)
 	}
 }

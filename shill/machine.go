@@ -1,0 +1,296 @@
+// Package shill is the public embedding API of the SHILL reproduction
+// (OSDI '14): it assembles a simulated machine running the SHILL kernel
+// module, hands out first-class sandbox-capable sessions, and runs SHILL
+// scripts with context cancellation, per-run consoles, windowed denial
+// provenance, and per-run profiles.
+//
+// The three-step shape every embedder uses:
+//
+//	m, err := shill.NewMachine(shill.WithWorkload(shill.WorkloadDemo))
+//	defer m.Close()
+//	s := m.NewSession()
+//	res, err := s.Run(ctx, shill.Script{Name: "main.ambient", Source: src})
+//
+// Result carries the script's exit status, everything it wrote to the
+// session's console, the structured audit.DenyReason slice for exactly
+// this run (seq-windowed, not the whole log), and the run's profile
+// samples. Cancelling ctx interrupts the interpreter's eval loop and
+// every blocking kernel wait (process wait, socket accept/recv/send),
+// kills whatever the run spawned, and leaves the session reusable.
+package shill
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/prof"
+)
+
+// UserUID is the uid of the unprivileged user sessions run as.
+const UserUID = core.UserUID
+
+// Workload names a stageable case-study image (§4.1).
+type Workload string
+
+// Stageable workloads, mirroring the -workload flag of the command-line
+// tools.
+const (
+	WorkloadNone    Workload = "none"
+	WorkloadDemo    Workload = "demo" // a home directory with a few JPEGs
+	WorkloadGrading Workload = "grading"
+	WorkloadEmacs   Workload = "emacs" // also starts the origin server
+	WorkloadApache  Workload = "apache"
+	WorkloadFind    Workload = "find"
+)
+
+// config collects the functional options of NewMachine.
+type config struct {
+	module        bool
+	consoleLimit  int
+	spawnLatency  time.Duration
+	auditDisabled bool
+	workload      Workload
+	resolver      ScriptResolver
+}
+
+// Option configures NewMachine.
+type Option func(*config)
+
+// WithModule selects whether the SHILL kernel module is installed
+// (true, the default — the "SHILL installed" configuration) or not
+// (false — the paper's "Baseline").
+func WithModule(installed bool) Option {
+	return func(c *config) { c.module = installed }
+}
+
+// WithWorkload stages a case-study image during machine construction.
+func WithWorkload(w Workload) Option {
+	return func(c *config) { c.workload = w }
+}
+
+// WithSpawnLatency simulates the fork/exec cost of the paper's real
+// testbed on every exec (the in-memory simulator otherwise collapses it
+// to ~0); parallel-session benchmarks enable it so throughput scaling
+// reflects overlap of genuine blocking.
+func WithSpawnLatency(d time.Duration) Option {
+	return func(c *config) { c.spawnLatency = d }
+}
+
+// WithAuditDisabled turns the always-on audit trail off — the control
+// configuration for measuring audit overhead.
+func WithAuditDisabled() Option {
+	return func(c *config) { c.auditDisabled = true }
+}
+
+// WithConsoleLimit caps every console capture buffer (machine console
+// and per-session consoles alike); 0 means unbounded.
+func WithConsoleLimit(n int) Option {
+	return func(c *config) { c.consoleLimit = n }
+}
+
+// WithScriptResolver prepends a resolver to the machine's script-lookup
+// chain; the built-in case-study scripts remain the fallback.
+func WithScriptResolver(r ScriptResolver) Option {
+	return func(c *config) { c.resolver = r }
+}
+
+// Machine is an assembled simulated machine: the kernel, the base
+// image, a staged workload, and a pool of sessions. It replaces the
+// internal core.System façade as the supported entry surface.
+type Machine struct {
+	sys      *core.System
+	resolver ScriptResolver
+
+	mu       sync.Mutex
+	sessions []*Session // pool, indexed; entries are reused across runs
+	free     []int      // indexes returned by Session.Close
+	def      *Session   // the shared-console default session
+}
+
+// NewMachine builds a machine with the base image (binaries, libraries,
+// devices, home directory), installs the SHILL module unless disabled,
+// loads the built-in case-study scripts, and stages the requested
+// workload.
+func NewMachine(opts ...Option) (*Machine, error) {
+	cfg := config{module: true, workload: WorkloadNone}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sys := core.NewSystem(core.Config{
+		InstallModule: cfg.module,
+		ConsoleLimit:  cfg.consoleLimit,
+		SpawnLatency:  cfg.spawnLatency,
+		AuditDisabled: cfg.auditDisabled,
+	})
+	m := &Machine{sys: sys}
+	sys.LoadCaseScripts()
+	base := ScriptResolver(builtinResolver{sys})
+	if cfg.resolver != nil {
+		m.resolver = ChainResolver{cfg.resolver, base}
+	} else {
+		m.resolver = base
+	}
+	if err := m.Stage(cfg.workload); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Stage builds a case-study workload image on the machine (idempotent
+// for repeated staging of the same workload).
+func (m *Machine) Stage(w Workload) error {
+	s := m.sys
+	switch w {
+	case WorkloadNone, "":
+		return nil
+	case WorkloadDemo:
+		if _, err := s.K.FS.WriteFile("/home/user/Documents/dog.jpg", []byte("JFIFdog"), 0o644, UserUID, UserUID); err != nil {
+			return err
+		}
+		_, err := s.K.FS.WriteFile("/home/user/Documents/cat.jpg", []byte("JFIFcat"), 0o644, UserUID, UserUID)
+		return err
+	case WorkloadGrading:
+		s.BuildGradingCourse(core.DefaultGrading)
+		return nil
+	case WorkloadEmacs:
+		s.BuildEmacsOrigin(core.DefaultEmacs)
+		stop, err := s.StartOrigin()
+		_ = stop // runs for the machine lifetime
+		return err
+	case WorkloadApache:
+		s.BuildWWW(core.DefaultApache)
+		return nil
+	case WorkloadFind:
+		s.BuildSrcTree(core.DefaultFind)
+		return nil
+	}
+	return fmt.Errorf("shill: unknown workload %q", w)
+}
+
+// Close shuts the machine down: background kernel workers stop and any
+// goroutine still parked in a kernel wait is woken.
+func (m *Machine) Close() { m.sys.Close() }
+
+// Resolver returns the machine's script-lookup chain (user resolvers
+// first, built-in case-study scripts last).
+func (m *Machine) Resolver() ScriptResolver { return m.resolver }
+
+// Prof returns the machine-wide profile collector (the Figure 10
+// accumulation across runs; each Result additionally carries the
+// samples of its own run).
+func (m *Machine) Prof() *prof.Collector { return m.sys.Prof }
+
+// FlushAuditProf attributes the audit subsystem's accumulated emission
+// time to the profile's AuditEmit category (call before Prof().Report).
+func (m *Machine) FlushAuditProf() { m.sys.FlushAuditProf() }
+
+// SandboxCount reports how many sandboxes the machine has created — the
+// statistic the paper reports per benchmark (Grading 5,371, …).
+func (m *Machine) SandboxCount() int64 { return m.sys.Prof.Count(prof.SandboxSetup) }
+
+// AuditLog exposes the machine's audit log for provenance queries
+// (lineage, trace, summaries). Per-run denials are already on Result.
+func (m *Machine) AuditLog() *audit.Log { return m.sys.Audit() }
+
+// AuditSeq returns the audit log's current sequence point; pass it to
+// AuditDenialsSince to window a manual query the way Session.Run does.
+func (m *Machine) AuditSeq() uint64 { return m.sys.Audit().Seq() }
+
+// AuditDenialsSince returns the structured denials recorded after the
+// given sequence point.
+func (m *Machine) AuditDenialsSince(since uint64) []*DenyReason {
+	return m.sys.Audit().DenyReasonsSince(since)
+}
+
+// ConsoleText returns and clears everything written to the machine's
+// shared console (/dev/console) — the default session's device.
+func (m *Machine) ConsoleText() string {
+	out := string(m.sys.Console.Output())
+	m.sys.Console.ResetOutput()
+	return out
+}
+
+// WriteFile writes a file into the image (staging helper).
+func (m *Machine) WriteFile(path string, data []byte, mode uint16, uid int) error {
+	_, err := m.sys.K.FS.WriteFile(path, data, mode, uid, uid)
+	return err
+}
+
+// ReadFile reads a file from the image.
+func (m *Machine) ReadFile(path string) (string, error) {
+	vn, err := m.sys.K.FS.Resolve(path)
+	if err != nil {
+		return "", err
+	}
+	return string(vn.Bytes()), nil
+}
+
+// MkdirAll creates a directory path in the image (staging helper).
+func (m *Machine) MkdirAll(path string, mode uint16, uid int) error {
+	_, err := m.sys.K.FS.MkdirAll(path, mode, uid, uid)
+	return err
+}
+
+// RemovePath unlinks a single file, ignoring errors (bench resets).
+func (m *Machine) RemovePath(path string) { m.sys.RemovePath(path) }
+
+// RemoveTree removes a directory tree, ignoring errors (bench resets).
+func (m *Machine) RemoveTree(path string) { m.sys.RemoveTree(path) }
+
+// LookPath resolves a bare executable name against the image's standard
+// binary directories; absolute or relative paths return unchanged when
+// they resolve.
+func (m *Machine) LookPath(name string) (string, error) {
+	if strings.Contains(name, "/") {
+		if _, err := m.sys.K.FS.Resolve(name); err != nil {
+			return "", fmt.Errorf("shill: %s: %w", name, err)
+		}
+		return name, nil
+	}
+	for _, dir := range []string{"/bin/", "/usr/bin/", "/usr/local/bin/", "/usr/local/sbin/"} {
+		if _, err := m.sys.K.FS.Resolve(dir + name); err == nil {
+			return dir + name, nil
+		}
+	}
+	return "", fmt.Errorf("shill: executable %q not found on image PATH", name)
+}
+
+// AddScript installs (or replaces) a named script in the machine's
+// built-in script table, making it requirable by every session.
+func (m *Machine) AddScript(name, src string) { m.sys.Scripts[name] = src }
+
+// StartOrigin launches the origin web server (serving /srv/origin on
+// port 80) and returns a stop function.
+func (m *Machine) StartOrigin() (stop func(), err error) { return m.sys.StartOrigin() }
+
+// Staging delegations: workload builders remain mechanism in
+// internal/core; these are the supported handles.
+
+// BuildGradingCourse stages the default grading course at /course.
+func (m *Machine) BuildGradingCourse(w GradingWorkload) { m.sys.BuildGradingCourse(w) }
+
+// ResetGradingOutputs clears /course work and grades between runs.
+func (m *Machine) ResetGradingOutputs() { m.sys.ResetGradingOutputs() }
+
+// BuildEmacsOrigin stages the emacs tarball on the origin server.
+func (m *Machine) BuildEmacsOrigin(w EmacsWorkload) { m.sys.BuildEmacsOrigin(w) }
+
+// ResetEmacsOutputs clears the build area, downloads, and prefix.
+func (m *Machine) ResetEmacsOutputs() { m.sys.ResetEmacsOutputs() }
+
+// BuildWWW stages the Apache document root and configuration.
+func (m *Machine) BuildWWW(w ApacheWorkload) { m.sys.BuildWWW(w) }
+
+// BuildSrcTree stages the find case study's source tree.
+func (m *Machine) BuildSrcTree(w FindWorkload) (total, cFiles, matches int) {
+	return m.sys.BuildSrcTree(w)
+}
+
+// kernelOf gives session internals access to the kernel.
+func (m *Machine) kernel() *kernel.Kernel { return m.sys.K }

@@ -1,0 +1,85 @@
+package shill
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// ScriptResolver resolves a required script name to its source text. It
+// unifies the two loading mechanisms the reproduction grew separately —
+// the in-memory script table and the command-line tools' host-directory
+// loader — behind one interface: map, host-dir, and chained
+// implementations are provided, and anything satisfying the interface
+// plugs into WithScriptResolver or Script.Resolver.
+type ScriptResolver interface {
+	Load(name string) (string, error)
+}
+
+// MapResolver serves scripts from an in-memory table.
+type MapResolver map[string]string
+
+// Load implements ScriptResolver.
+func (m MapResolver) Load(name string) (string, error) {
+	src, ok := m[name]
+	if !ok {
+		return "", fmt.Errorf("shill: no script %q", name)
+	}
+	return src, nil
+}
+
+// HostDirResolver serves scripts from a directory on the host
+// filesystem — what `require "x.cap"` resolves against when running a
+// script file with cmd/shill.
+type HostDirResolver struct {
+	Dir string
+}
+
+// Load implements ScriptResolver.
+func (h HostDirResolver) Load(name string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(h.Dir, name))
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// ChainResolver tries each resolver in order and returns the first hit;
+// the last error wins when every link misses.
+type ChainResolver []ScriptResolver
+
+// Load implements ScriptResolver.
+func (c ChainResolver) Load(name string) (string, error) {
+	var err error
+	for _, r := range c {
+		if r == nil {
+			continue
+		}
+		var src string
+		if src, err = r.Load(name); err == nil {
+			return src, nil
+		}
+	}
+	if err == nil {
+		err = fmt.Errorf("shill: no script %q", name)
+	}
+	return "", err
+}
+
+// builtinResolver serves the machine's live script table (the built-in
+// case-study scripts plus anything added with AddScript).
+type builtinResolver struct {
+	sys *core.System
+}
+
+// Load implements ScriptResolver.
+func (b builtinResolver) Load(name string) (string, error) {
+	return b.sys.Scripts.Load(name)
+}
+
+// ScriptFiles maps file names to the embedded case-study script
+// sources; it backs cmd/genscripts and the examples/scripts consistency
+// test.
+func ScriptFiles() map[string]string { return core.ScriptFiles() }

@@ -1,4 +1,4 @@
-package main
+package shill
 
 import (
 	"testing"
@@ -50,10 +50,11 @@ func TestParsePolicy(t *testing.T) {
 out.txt    +write, +append
 socket ip  +sock-create, +sock-connect, +sock-send, +sock-recv
 `
-	grants, err := parsePolicy(src)
+	policy, err := ParseSandboxPolicy(src)
 	if err != nil {
 		t.Fatal(err)
 	}
+	grants := policy.grants
 	if len(grants) != 3 {
 		t.Fatalf("grants = %d", len(grants))
 	}
@@ -74,8 +75,8 @@ func TestParsePolicyErrors(t *testing.T) {
 		"/path\n",                   // missing privileges
 		"socket tcp +sock-create\n", // unknown domain
 	} {
-		if _, err := parsePolicy(src); err == nil {
-			t.Errorf("parsePolicy(%q) succeeded", src)
+		if _, err := ParseSandboxPolicy(src); err == nil {
+			t.Errorf("ParseSandboxPolicy(%q) succeeded", src)
 		}
 	}
 }

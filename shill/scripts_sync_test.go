@@ -1,4 +1,4 @@
-package core
+package shill
 
 import (
 	"os"
@@ -12,7 +12,7 @@ import (
 // embedded constants (regenerate with `go run ./cmd/genscripts`).
 func TestScriptFilesInSync(t *testing.T) {
 	for name, src := range ScriptFiles() {
-		path := filepath.Join("..", "..", "examples", "scripts", name)
+		path := filepath.Join("..", "examples", "scripts", name)
 		data, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatalf("%s: %v (run `go run ./cmd/genscripts`)", name, err)
