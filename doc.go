@@ -84,4 +84,41 @@
 //
 //	go test ./internal/lang -fuzz=FuzzParse -fuzztime=30s
 //	go test ./internal/lang -fuzz=FuzzEval  -fuzztime=30s
+//
+// Both corpora are seeded with grammar-generated structured programs
+// (committed under internal/lang/testdata/fuzz/), so byte mutation
+// starts from inputs that already exercise contracts, sandboxes, and
+// sockets.
+//
+// # Generative conformance and the differential security oracle
+//
+// The paper's §2.3 security claim is a property over all programs, so
+// beyond the hand-written conformance tests the tree carries a
+// generative harness:
+//
+//   - internal/gen emits seed-deterministic, well-typed SHILL programs
+//     (built as lang ASTs via the exported builders, rendered through
+//     lang.Render) together with a Manifest of every path, port, and
+//     privilege the program may exercise. Each program renders as a
+//     paired capability-sandboxed variant (provide contract = exactly
+//     the manifest's grants) and an ambient variant (bare provide).
+//   - internal/oracle executes both variants on shill.Machine sessions
+//     and checks three properties per program: no-escape (filesystem +
+//     netstack snapshot diff confined to the manifest, via
+//     Machine.SnapshotFS and Machine.NetListeners), DAC-conjunction
+//     (at the first divergent op, sandboxed success implies ambient
+//     success), and deny-provenance (every sandbox-only failure is
+//     explained by an audit.DenyReason naming a privilege absent from
+//     the manifest, and no capability denial names a granted one).
+//   - cmd/shill-soak runs generated pairs continuously across K
+//     concurrent sessions of one shared machine and greedily minimizes
+//     any failure to a small reproducer (-seed, -n, -duration,
+//     -sessions, -json).
+//
+// Determinism is the debugging contract: a failure is reproducible from
+// its printed seed alone,
+//
+//	go test ./internal/oracle -run TestGeneratedConformance -short           # >=200 pairs
+//	go test ./internal/oracle -run TestGeneratedConformance -gen.seed=S -gen.n=1
+//	go run ./cmd/shill-soak -duration 30s -json SOAK.json
 package repro

@@ -217,6 +217,16 @@ func (c *Capability) WithGrant(g *priv.Grant) *Capability {
 	return &out
 }
 
+// Demand verifies the capability holds every right in need, recording a
+// cap-deny audit event on failure exactly like the capability's own
+// operations do. External consumers (the sandbox's exec gate) use it so
+// their privilege refusals carry the same audited provenance — a denial
+// that skips the log would break the conformance oracle's
+// deny-provenance property.
+func (c *Capability) Demand(op string, need priv.Set) error {
+	return c.require(op, need)
+}
+
 // require verifies the capability holds every right in need. A failure
 // is both recorded in the audit log (kind cap-deny, naming the contract
 // chain that attenuated the capability) and returned as a

@@ -1,0 +1,416 @@
+// Package gen is a grammar-based, seed-deterministic generator of SHILL
+// programs for conformance testing (in the spirit of ShellFuzzer's
+// grammar-directed shell fuzzing). Unlike the byte-level FuzzParse /
+// FuzzEval engines, gen emits well-formed typed ASTs — capability
+// operations, control flow, closures, pipes, sockets, sandboxed exec,
+// and deliberate escape attempts — together with a Manifest of every
+// path, port, and privilege the program may legitimately exercise.
+//
+// Every program renders in two paired variants (render.go): a
+// capability-sandboxed form, whose provide contract attenuates the
+// workspace to exactly the manifest's privilege grant, and an ambient
+// form whose bare provide leaves the invoking user's full authority
+// intact. The differential oracle (internal/oracle) executes both and
+// checks the paper's §2.3 security property op by op.
+//
+// Determinism contract: New(seed).Program() always yields the same
+// program, and rendering is pure — a failure reported by seed is
+// reproducible from the seed alone.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"path"
+
+	"repro/internal/priv"
+)
+
+// OpKind enumerates generated operations.
+type OpKind int
+
+// Operation kinds. Cap-producing kinds may carry nested Deps executed
+// only in their success branch.
+const (
+	OpLookup      OpKind = iota // lookup(dir, name) -> cap
+	OpCreateFile                // create_file(dir, name) -> cap
+	OpCreateDir                 // create_dir(dir, name) -> cap
+	OpWrite                     // write(file, data)
+	OpAppend                    // append(file, data)
+	OpRead                      // read(file)
+	OpSize                      // size(cap)
+	OpPath                      // path(cap)
+	OpContents                  // contents(dir), for-loop logging entries
+	OpUnlink                    // unlink(dir, name)
+	OpLink                      // link(dir, name, file)
+	OpRename                    // rename(dir, a, dir2, b)
+	OpSymlink                   // create_symlink(dir, name, target)
+	OpReadSymlink               // read_symlink(dir, name) -> cap
+	OpResolve                   // resolve(dir, relpath) -> cap (shill/filesys)
+	OpPipe                      // create_pipe + write/read through both ends
+	OpSock                      // listen/connect/accept/send/recv/close stereotype
+	OpExec                      // exec(exe, argv, stdout=out) in a fresh sandbox
+	OpEscape                    // lookup(dir, "..") — must fail everywhere
+	OpExecEscape                // exec(exe, [outside-path]) — sandbox must deny
+	OpCompute                   // pure closure arithmetic (language-only)
+
+	numOpKinds
+)
+
+var opKindNames = [...]string{
+	"lookup", "create_file", "create_dir", "write", "append", "read",
+	"size", "path", "contents", "unlink", "link", "rename", "symlink",
+	"read_symlink", "resolve", "pipe", "sock", "exec", "escape",
+	"exec_escape", "compute",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one generated operation. Src/Src2 reference the variable that
+// holds the operand capability: VarWS for the workspace parameter,
+// otherwise the ID of the producing op. Deps run inside the op's
+// success branch and may use its result.
+type Op struct {
+	ID    int
+	Kind  OpKind
+	Src   int
+	Src2  int
+	Name  string
+	Name2 string
+	Data  string
+	Port  int // abstract port slot (render maps slot -> PortBase+slot)
+	N     int // numeric payload for OpCompute
+	Deps  []*Op
+}
+
+// VarWS is the Src value referencing the workspace parameter.
+const VarWS = -1
+
+// Label returns the status label the rendered program prints for this
+// op ("op<ID>"); composite ops print sub-labels ("op<ID>.c").
+func (o *Op) Label() string { return fmt.Sprintf("op%d", o.ID) }
+
+// StageEntry is one pre-created workspace object, with DAC-relevant
+// ownership and mode. Owner 0 is root; otherwise the unprivileged user.
+type StageEntry struct {
+	Rel   string // path relative to the workspace root
+	Dir   bool
+	Mode  uint16
+	Root  bool // owned by root (DAC bites for the user)
+	Data  string
+}
+
+// Manifest declares everything a program may legitimately exercise:
+// the per-parameter privilege grants, the staged workspace tree, the
+// executable, and the abstract port slots. The oracle attributes each
+// denial to the parameter owning the denied object and judges it
+// against that parameter's grant (oracle.grantFor); escape ops target
+// objects outside every entry here, whose grant is therefore empty.
+type Manifest struct {
+	Grant     priv.Set // workspace contract privileges (inherited at every depth)
+	OutGrant  priv.Set // console capability privileges (always +append)
+	SockGrant priv.Set // socket-factory privileges
+	ExeGrant  priv.Set // executable file privileges
+	Exe       string   // absolute path of the executable parameter
+	Stage     []StageEntry
+	Ports     int // number of abstract port slots used (0..Ports-1)
+}
+
+// Program is one generated conformance program: a typed op tree plus
+// its manifest. Render (render.go) turns it into the paired script
+// variants.
+type Program struct {
+	Seed     int64
+	Ops      []*Op
+	Manifest Manifest
+}
+
+// NumOps counts every op in the tree, composites included.
+func (p *Program) NumOps() int {
+	n := 0
+	var walk func(ops []*Op)
+	walk = func(ops []*Op) {
+		for _, o := range ops {
+			n++
+			walk(o.Deps)
+		}
+	}
+	walk(p.Ops)
+	return n
+}
+
+// Clone deep-copies the program (minimization mutates copies).
+func (p *Program) Clone() *Program {
+	out := &Program{Seed: p.Seed, Manifest: p.Manifest}
+	out.Manifest.Stage = append([]StageEntry(nil), p.Manifest.Stage...)
+	var cloneOps func(ops []*Op) []*Op
+	cloneOps = func(ops []*Op) []*Op {
+		if ops == nil {
+			return nil
+		}
+		cp := make([]*Op, len(ops))
+		for i, o := range ops {
+			oc := *o
+			oc.Deps = cloneOps(o.Deps)
+			cp[i] = &oc
+		}
+		return cp
+	}
+	out.Ops = cloneOps(p.Ops)
+	return out
+}
+
+// Generator produces Programs from a deterministic PRNG.
+type Generator struct {
+	rng    *rand.Rand
+	nextID int
+}
+
+// New returns a generator seeded deterministically.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), nextID: 0}
+}
+
+// chance reports true with probability p.
+func (g *Generator) chance(p float64) bool { return g.rng.Float64() < p }
+
+// pick returns a uniformly random element.
+func pick[T any](g *Generator, xs []T) T { return xs[g.rng.Intn(len(xs))] }
+
+// capVar tracks a variable holding a capability during generation.
+type capVar struct {
+	id    int  // VarWS or producing op ID
+	isDir bool
+}
+
+// genState carries the in-scope capability variables while the op tree
+// is built.
+type genState struct {
+	g     *Generator
+	prog  *Program
+	names []string // plausible entry names (staged + created)
+}
+
+// workspace privilege pool, with inclusion probabilities. +stat is
+// always granted so the set is never empty (an empty privilege list is
+// not valid contract syntax).
+var wsPrivPool = []struct {
+	r priv.Right
+	p float64
+}{
+	{priv.RLookup, 0.95},
+	{priv.RContents, 0.80},
+	{priv.RRead, 0.80},
+	{priv.RWrite, 0.65},
+	{priv.RAppend, 0.65},
+	{priv.RPath, 0.85},
+	{priv.RCreateFile, 0.70},
+	{priv.RCreateDir, 0.60},
+	{priv.RUnlinkFile, 0.55},
+	{priv.RUnlinkDir, 0.45},
+	{priv.RAddLink, 0.50},
+	{priv.RLink, 0.50},
+	{priv.RCreateSymlink, 0.50},
+	{priv.RReadSymlink, 0.50},
+	{priv.RTruncate, 0.40},
+	{priv.RExec, 0.30},
+}
+
+var sockPrivPool = []struct {
+	r priv.Right
+	p float64
+}{
+	{priv.RSockBind, 0.85},
+	{priv.RSockListen, 0.85},
+	{priv.RSockAccept, 0.85},
+	{priv.RSockConnect, 0.85},
+	{priv.RSockSend, 0.85},
+	{priv.RSockRecv, 0.85},
+}
+
+// executables the exe parameter may bind to. cat consumes a capability
+// (or escape path) argument; echo takes a plain string; true takes
+// nothing.
+var exePool = []string{"/bin/cat", "/bin/echo", "/bin/true"}
+
+// staged file modes with DAC variety (root-owned entries use the same
+// pool, so some are unreadable or unwritable for the user in BOTH
+// variants — exactly the conjunction cases worth generating).
+var modePool = []uint16{0o644, 0o600, 0o444, 0o200, 0o000, 0o640}
+
+// Program generates one program.
+func (g *Generator) Program() *Program {
+	prog := &Program{}
+	m := &prog.Manifest
+
+	// Privilege grants.
+	m.Grant = priv.NewSet(priv.RStat)
+	for _, e := range wsPrivPool {
+		if g.chance(e.p) {
+			m.Grant = m.Grant.Add(e.r)
+		}
+	}
+	m.OutGrant = priv.NewSet(priv.RAppend)
+	m.SockGrant = priv.NewSet(priv.RSockCreate)
+	for _, e := range sockPrivPool {
+		if g.chance(e.p) {
+			m.SockGrant = m.SockGrant.Add(e.r)
+		}
+	}
+	m.Exe = pick(g, exePool)
+	m.ExeGrant = priv.NewSet(priv.RStat, priv.RRead, priv.RPath)
+	if g.chance(0.8) {
+		m.ExeGrant = m.ExeGrant.Add(priv.RExec)
+	}
+
+	// Staged workspace skeleton plus random extras.
+	m.Stage = []StageEntry{
+		{Rel: "a", Dir: true, Mode: 0o755},
+		{Rel: "a/b", Dir: true, Mode: 0o755},
+		{Rel: "f1.txt", Mode: 0o644, Data: "data-f1"},
+		{Rel: "a/f2.txt", Mode: 0o644, Data: "data-f2"},
+		{Rel: "a/b/deep.txt", Mode: 0o644, Data: "data-deep"},
+		{Rel: "locked.txt", Mode: 0o600, Root: true, Data: "locked"},
+		{Rel: "roroot.txt", Mode: 0o644, Root: true, Data: "root-readonly"},
+	}
+	for i, n := 0, g.rng.Intn(4); i < n; i++ {
+		m.Stage = append(m.Stage, StageEntry{
+			Rel:  fmt.Sprintf("x%d.txt", i),
+			Mode: pick(g, modePool),
+			Root: g.chance(0.4),
+			Data: fmt.Sprintf("data-x%d", i),
+		})
+	}
+
+	st := &genState{g: g, prog: prog}
+	for _, e := range m.Stage {
+		if !e.Dir {
+			st.names = append(st.names, path.Base(e.Rel))
+		}
+	}
+	st.names = append(st.names, "a", "b", "nope.txt")
+
+	// Top-level ops against the workspace.
+	ws := capVar{id: VarWS, isDir: true}
+	nTop := 4 + g.rng.Intn(5)
+	for i := 0; i < nTop; i++ {
+		if op := st.genOp(ws, 2); op != nil {
+			prog.Ops = append(prog.Ops, op)
+		}
+	}
+	// An exec escape is only a real attempt when the executable opens
+	// its path argument: echo prints the string and true ignores it.
+	// Pin cat for programs that carry one, so every OpExecEscape truly
+	// tries to reach outside the manifest.
+	if prog.usesKind(OpExecEscape) {
+		m.Exe = "/bin/cat"
+	}
+	return prog
+}
+
+// freshName mints a new entry name and records it as plausible for
+// later lookups.
+func (st *genState) freshName(prefix string, id int) string {
+	n := fmt.Sprintf("%s%d", prefix, id)
+	st.names = append(st.names, n)
+	return n
+}
+
+func (st *genState) anyName() string { return pick(st.g, st.names) }
+
+// genOp generates one op against the capability variable src. depth
+// bounds dependent-op nesting.
+func (st *genState) genOp(src capVar, depth int) *Op {
+	g := st.g
+	st.g.nextID++
+	op := &Op{ID: st.g.nextID, Src: src.id}
+
+	// Weighted kind choice, respecting the operand's kind.
+	var kinds []OpKind
+	if src.isDir {
+		kinds = []OpKind{
+			OpLookup, OpLookup, OpLookup, OpContents, OpContents,
+			OpCreateFile, OpCreateFile, OpCreateDir, OpUnlink, OpRename,
+			OpLink, OpSymlink, OpReadSymlink, OpResolve, OpSize, OpPath,
+			OpPipe, OpSock, OpExec, OpEscape, OpExecEscape, OpCompute,
+		}
+	} else {
+		kinds = []OpKind{
+			OpRead, OpRead, OpWrite, OpWrite, OpAppend, OpSize, OpPath,
+			OpExec, OpCompute,
+		}
+	}
+	op.Kind = pick(g, kinds)
+
+	switch op.Kind {
+	case OpLookup, OpReadSymlink:
+		op.Name = st.anyName()
+		st.genDeps(op, capVar{id: op.ID, isDir: g.chance(0.5)}, depth)
+	case OpCreateFile:
+		op.Name = st.freshName("n", op.ID)
+		st.genDeps(op, capVar{id: op.ID, isDir: false}, depth)
+	case OpCreateDir:
+		op.Name = st.freshName("d", op.ID)
+		st.genDeps(op, capVar{id: op.ID, isDir: true}, depth)
+	case OpResolve:
+		// Mostly legitimate multi-component paths; sometimes a ".."
+		// escape, which the capability layer must reject as EINVAL.
+		if g.chance(0.25) {
+			op.Name = "../" + st.anyName() // ".." escape: EINVAL in every variant
+		} else {
+			op.Name = pick(g, []string{"a/b", "a/f2.txt", "a/b/deep.txt", "a/nope"})
+		}
+		st.genDeps(op, capVar{id: op.ID, isDir: g.chance(0.5)}, depth)
+	case OpWrite, OpAppend:
+		op.Data = fmt.Sprintf("w%d-data", op.ID)
+	case OpUnlink:
+		op.Name = st.anyName()
+	case OpLink:
+		// link(dir, newname, file): the file operand is the same dir's
+		// child by a fresh lookup in the rendered code; keep it simple
+		// by linking the workspace file f1.txt when operating on ws.
+		op.Name = st.freshName("l", op.ID)
+		op.Name2 = "f1.txt"
+	case OpRename:
+		op.Name = st.anyName()
+		op.Name2 = st.freshName("r", op.ID)
+	case OpSymlink:
+		op.Name = st.freshName("s", op.ID)
+		op.Name2 = st.anyName() // single-component target
+	case OpSock:
+		op.Port = st.prog.Manifest.Ports
+		st.prog.Manifest.Ports++
+		op.Data = fmt.Sprintf("ping-%d", op.ID)
+	case OpPipe:
+		op.Data = fmt.Sprintf("pipe-%d", op.ID)
+	case OpExec:
+		// cat consumes the operand capability as an argument when it is
+		// a file; echo gets a string; true gets nothing.
+		op.Data = fmt.Sprintf("hello-%d", op.ID)
+	case OpEscape:
+		op.Name = ".."
+	case OpExecEscape:
+		op.Name = pick(g, []string{"/gen/secret/leak.txt", "/etc/passwd", "/gen/secret"})
+	case OpCompute:
+		op.N = 1 + g.rng.Intn(9)
+	}
+	return op
+}
+
+// genDeps populates an op's success-branch dependents.
+func (st *genState) genDeps(op *Op, result capVar, depth int) {
+	if depth <= 0 {
+		return
+	}
+	n := st.g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		if d := st.genOp(result, depth-1); d != nil {
+			op.Deps = append(op.Deps, d)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package gen_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/lang"
+)
+
+// TestGeneratorDeterministic: the same seed always yields the same
+// program and the same rendered sources — the reproducibility contract
+// failure reports depend on.
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p1 := gen.New(seed).Program()
+		p2 := gen.New(seed).Program()
+		cfg := gen.RenderConfig{Root: "/gen/p0/sbx", Console: "/dev/pts/0", PortBase: 21000}
+		d1, m1 := p1.Render(cfg)
+		d2, m2 := p2.Render(cfg)
+		if d1 != d2 || m1 != m2 {
+			t.Fatalf("seed %d: generation is not deterministic", seed)
+		}
+		if p1.NumOps() != p2.NumOps() {
+			t.Fatalf("seed %d: op counts differ", seed)
+		}
+	}
+}
+
+// TestRenderedProgramsParse: both variants of every generated program
+// are valid SHILL (the module in the cap dialect, the driver ambient),
+// and the sandboxed module's contract carries the manifest's privilege
+// spelling.
+func TestRenderedProgramsParse(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := gen.New(seed).Program()
+		for _, amb := range []bool{false, true} {
+			cfg := gen.RenderConfig{
+				Root: "/gen/p1/v", Console: "/dev/pts/1",
+				PortBase: 22000, Ambient: amb,
+			}
+			driver, module := p.Render(cfg)
+			ds, err := lang.Parse(driver)
+			if err != nil {
+				t.Fatalf("seed %d ambient=%v: driver does not parse: %v\n%s", seed, amb, err, driver)
+			}
+			if ds.Dialect != lang.DialectAmbient {
+				t.Fatalf("seed %d: driver dialect wrong", seed)
+			}
+			ms, err := lang.Parse(module)
+			if err != nil {
+				t.Fatalf("seed %d ambient=%v: module does not parse: %v\n%s", seed, amb, err, module)
+			}
+			if ms.Dialect != lang.DialectCap {
+				t.Fatalf("seed %d: module dialect wrong", seed)
+			}
+			if amb && strings.Contains(module, "provide run :") {
+				t.Fatalf("seed %d: ambient variant must not attenuate:\n%s", seed, module)
+			}
+		}
+	}
+}
+
+// TestProgramClone: clones are deep — mutating a clone's op tree leaves
+// the original untouched (minimization relies on this).
+func TestProgramClone(t *testing.T) {
+	p := gen.New(7).Program()
+	c := p.Clone()
+	if c.NumOps() != p.NumOps() {
+		t.Fatalf("clone op count differs")
+	}
+	before := p.NumOps()
+	c.Ops = c.Ops[:1]
+	if len(c.Ops[0].Deps) > 0 {
+		c.Ops[0].Deps = nil
+	}
+	if p.NumOps() != before {
+		t.Fatalf("mutating the clone changed the original")
+	}
+}
+
+// TestManifestNonEmptyGrants: contract rendering requires every
+// privilege list to be non-empty, whatever the seed.
+func TestManifestNonEmptyGrants(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		m := gen.New(seed).Program().Manifest
+		if m.Grant.Empty() || m.OutGrant.Empty() || m.SockGrant.Empty() || m.ExeGrant.Empty() {
+			t.Fatalf("seed %d: empty grant would render invalid contract syntax: %+v", seed, m)
+		}
+	}
+}

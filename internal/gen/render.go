@@ -1,0 +1,298 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/lang"
+)
+
+// RenderConfig parameterises rendering: where the workspace root and
+// console live on the target machine, which port range the program's
+// abstract slots map to, and whether to render the ambient form.
+// Sandboxed and ambient variants of one program must use distinct Root
+// and PortBase values so their effects never collide on a shared
+// machine.
+type RenderConfig struct {
+	Root     string // absolute workspace root (staged per Manifest.Stage)
+	Console  string // console device path for status output
+	PortBase int    // abstract port slot 0 renders as PortBase+0, ...
+	Ambient  bool   // true: bare provide (full ambient authority)
+	Module   string // module file name; default "gen.cap"
+}
+
+// ModuleName returns the module file name the driver requires.
+func (c RenderConfig) ModuleName() string {
+	if c.Module == "" {
+		return "gen.cap"
+	}
+	return c.Module
+}
+
+// Render renders the program as a paired (driver, module) source. The
+// driver is an ambient script that mints the parameter capabilities and
+// invokes the module's run function; the module carries the op tree.
+// With cfg.Ambient false the module's provide contract attenuates every
+// parameter to exactly the manifest's grants (the capability-sandboxed
+// form); with cfg.Ambient true the provide is bare, so the capabilities
+// keep the invoking user's full authority and only DAC restrains the
+// run (the ambient form).
+func (p *Program) Render(cfg RenderConfig) (driver, module string) {
+	return p.renderDriver(cfg), p.renderModule(cfg)
+}
+
+func (p *Program) renderDriver(cfg RenderConfig) string {
+	s := lang.NewScript(lang.DialectAmbient,
+		lang.NewRequire(cfg.ModuleName(), true),
+		lang.NewBind("ws", lang.NewCall(lang.NewIdent("open_dir"), lang.NewString(cfg.Root))),
+		lang.NewBind("out", lang.NewCall(lang.NewIdent("open_file"), lang.NewString(cfg.Console))),
+		lang.NewBind("pf", lang.NewCall(lang.NewIdent("pipe_factory"))),
+		lang.NewBind("sf", lang.NewCall(lang.NewIdent("socket_factory"), lang.NewString("ip"))),
+		lang.NewBind("exe", lang.NewCall(lang.NewIdent("open_file"), lang.NewString(p.Manifest.Exe))),
+		lang.NewExprStmt(lang.NewCall(lang.NewIdent("run"),
+			lang.NewIdent("ws"), lang.NewIdent("out"), lang.NewIdent("pf"),
+			lang.NewIdent("sf"), lang.NewIdent("exe"))),
+	)
+	return lang.Render(s)
+}
+
+func (p *Program) renderModule(cfg RenderConfig) string {
+	r := &renderer{cfg: cfg, prog: p}
+	var stmts []lang.Stmt
+	stmts = append(stmts, lang.NewRequire("shill/io", false))
+	if p.usesKind(OpSock) {
+		stmts = append(stmts, lang.NewRequire("shill/sockets", false))
+	}
+	if p.usesKind(OpResolve) {
+		stmts = append(stmts, lang.NewRequire("shill/filesys", false))
+	}
+	if cfg.Ambient {
+		stmts = append(stmts, lang.NewProvide("run", nil))
+	} else {
+		m := &p.Manifest
+		stmts = append(stmts, lang.NewProvide("run", lang.NewCFunc(
+			[]lang.CParam{
+				{Name: "ws", C: lang.NewCCap("dir", lang.PrivsOf(m.Grant))},
+				{Name: "out", C: lang.NewCCap("file", lang.PrivsOf(m.OutGrant))},
+				{Name: "pf", C: lang.NewCCap("pipe_factory", nil)},
+				{Name: "sf", C: lang.NewCCap("socket_factory", lang.PrivsOf(m.SockGrant))},
+				{Name: "exe", C: lang.NewCCap("file", lang.PrivsOf(m.ExeGrant))},
+			},
+			lang.NewCIdent("any"),
+		)))
+	}
+	var body []lang.Stmt
+	for _, op := range p.Ops {
+		body = append(body, r.renderOp(op)...)
+	}
+	stmts = append(stmts, lang.NewBind("run",
+		lang.NewFun([]string{"ws", "out", "pf", "sf", "exe"}, body...)))
+	return lang.Render(lang.NewScript(lang.DialectCap, stmts...))
+}
+
+func (p *Program) usesKind(k OpKind) bool {
+	found := false
+	var walk func(ops []*Op)
+	walk = func(ops []*Op) {
+		for _, o := range ops {
+			if o.Kind == k {
+				found = true
+			}
+			walk(o.Deps)
+		}
+	}
+	walk(p.Ops)
+	return found
+}
+
+// renderer holds rendering state for one variant.
+type renderer struct {
+	cfg  RenderConfig
+	prog *Program
+}
+
+// varOf names the variable holding a capability reference.
+func varOf(id int) string {
+	if id == VarWS {
+		return "ws"
+	}
+	return fmt.Sprintf("r%d", id)
+}
+
+func id(name string) *lang.Ident     { return lang.NewIdent(name) }
+func str(v string) *lang.StringLit   { return lang.NewString(v) }
+func num(v float64) *lang.NumberLit  { return lang.NewNumber(v) }
+func call(fn string, args ...lang.Expr) *lang.CallExpr {
+	return lang.NewCall(id(fn), args...)
+}
+
+// status emits fprintf(out, "\n<label>=<token>\n"). The leading
+// newline guarantees the status starts a fresh console line even when
+// the preceding output (an exec'd cat of a file with no trailing
+// newline) did not terminate its own — otherwise the status would glue
+// onto it and the oracle's parser would drop it.
+func status(label, token string) lang.Stmt {
+	return lang.NewExprStmt(call("fprintf", id("out"), str("\n"+label+"="+token+"\n")))
+}
+
+// statusExit emits fprintf(out, "\n<label>=x%v\n", v) — the numeric
+// verdict form used for exec exit codes.
+func statusExit(label string, v lang.Expr) lang.Stmt {
+	return lang.NewExprStmt(call("fprintf", id("out"), str("\n"+label+"=x%v\n"), v))
+}
+
+// guard renders: dst = expr; if is_syserror(dst) then {label=err}
+// else {label=ok; okBody...}.
+func guard(dst string, expr lang.Expr, label string, okBody []lang.Stmt) []lang.Stmt {
+	return []lang.Stmt{
+		lang.NewBind(dst, expr),
+		lang.NewIf(call("is_syserror", id(dst)),
+			[]lang.Stmt{status(label, "err")},
+			append([]lang.Stmt{status(label, "ok")}, okBody...),
+		),
+	}
+}
+
+func (r *renderer) port(slot int) string {
+	return strconv.Itoa(r.cfg.PortBase + slot)
+}
+
+// renderOp renders one op (and its success-branch dependents).
+func (r *renderer) renderOp(op *Op) []lang.Stmt {
+	lbl := op.Label()
+	dst := varOf(op.ID)
+	src := id(varOf(op.Src))
+	var deps []lang.Stmt
+	for _, d := range op.Deps {
+		deps = append(deps, r.renderOp(d)...)
+	}
+	switch op.Kind {
+	case OpLookup, OpEscape:
+		return guard(dst, call("lookup", src, str(op.Name)), lbl, deps)
+	case OpCreateFile:
+		return guard(dst, call("create_file", src, str(op.Name)), lbl, deps)
+	case OpCreateDir:
+		return guard(dst, call("create_dir", src, str(op.Name)), lbl, deps)
+	case OpReadSymlink:
+		return guard(dst, call("read_symlink", src, str(op.Name)), lbl, deps)
+	case OpResolve:
+		return guard(dst, call("resolve", src, str(op.Name)), lbl, deps)
+	case OpWrite:
+		return guard(dst, call("write", src, str(op.Data)), lbl, nil)
+	case OpAppend:
+		return guard(dst, call("append", src, str(op.Data)), lbl, nil)
+	case OpRead:
+		return guard(dst, call("read", src), lbl, nil)
+	case OpSize:
+		return guard(dst, call("size", src), lbl, nil)
+	case OpPath:
+		return guard(dst, call("path", src), lbl, nil)
+	case OpContents:
+		loopVar := "n" + strconv.Itoa(op.ID)
+		loop := lang.NewFor(loopVar, id(dst), []lang.Stmt{
+			lang.NewExprStmt(call("fprintf", id("out"),
+				str("log"+strconv.Itoa(op.ID)+"=%s\n"), id(loopVar))),
+		})
+		return guard(dst, call("contents", src), lbl, []lang.Stmt{loop})
+	case OpUnlink:
+		return guard(dst, call("unlink", src, str(op.Name)), lbl, nil)
+	case OpLink:
+		// Guard the file lookup so a denied lookup reads as op failure
+		// instead of aborting the script with a type error.
+		lk := "k" + strconv.Itoa(op.ID)
+		inner := guard(dst, call("link", src, str(op.Name), id(lk)), lbl, nil)
+		return []lang.Stmt{
+			lang.NewBind(lk, call("lookup", src, str(op.Name2))),
+			lang.NewIf(call("is_syserror", id(lk)),
+				[]lang.Stmt{status(lbl, "err")},
+				inner,
+			),
+		}
+	case OpRename:
+		return guard(dst, call("rename", src, str(op.Name), src, str(op.Name2)), lbl, nil)
+	case OpSymlink:
+		return guard(dst, call("create_symlink", src, str(op.Name), str(op.Name2)), lbl, nil)
+	case OpPipe:
+		wv := "w" + strconv.Itoa(op.ID)
+		rv := "g" + strconv.Itoa(op.ID)
+		uv := "u" + strconv.Itoa(op.ID)
+		vv := "v" + strconv.Itoa(op.ID)
+		okBody := []lang.Stmt{
+			lang.NewBind(rv, call("nth", id(dst), num(0))),
+			lang.NewBind(wv, call("nth", id(dst), num(1))),
+		}
+		okBody = append(okBody, guard(uv, call("write", id(wv), str(op.Data)), lbl+".w", nil)...)
+		okBody = append(okBody, guard(vv, call("read", id(rv)), lbl+".r", nil)...)
+		return guard(dst, call("create_pipe", id("pf")), lbl, okBody)
+	case OpSock:
+		port := str(r.port(op.Port))
+		lv := "l" + strconv.Itoa(op.ID)
+		cv := "c" + strconv.Itoa(op.ID)
+		av := "a" + strconv.Itoa(op.ID)
+		sv := "s" + strconv.Itoa(op.ID)
+		vv := "v" + strconv.Itoa(op.ID)
+		recv := guard(vv, call("socket_recv", id(av)), lbl+".r", nil)
+		send := guard(sv, call("socket_send", id(cv), str(op.Data)), lbl+".s", recv)
+		accept := guard(av, call("socket_accept", id(lv)), lbl+".a",
+			append(send, lang.NewExprStmt(call("socket_close", id(av)))))
+		connect := guard(cv, call("socket_connect", id("sf"), port), lbl+".c",
+			append(accept, lang.NewExprStmt(call("socket_close", id(cv)))))
+		listen := guard(lv, call("socket_listen", id("sf"), port), lbl+".l",
+			append(connect, lang.NewExprStmt(call("socket_close", id(lv)))))
+		return listen
+	case OpExec:
+		args, named := r.execArgs(op, src)
+		return []lang.Stmt{
+			lang.NewBind(dst, lang.NewCallNamed(id("exec"), args, named)),
+			lang.NewIf(call("is_syserror", id(dst)),
+				[]lang.Stmt{status(lbl, "err")},
+				[]lang.Stmt{statusExit(lbl, id(dst))},
+			),
+		}
+	case OpExecEscape:
+		named := []lang.NamedArg{{Name: "stdout", Expr: id("out")}}
+		args := []lang.Expr{id("exe"), lang.NewList(str(op.Name))}
+		return []lang.Stmt{
+			lang.NewBind(dst, lang.NewCallNamed(id("exec"), args, named)),
+			lang.NewIf(call("is_syserror", id(dst)),
+				[]lang.Stmt{status(lbl, "err")},
+				[]lang.Stmt{statusExit(lbl, id(dst))},
+			),
+		}
+	case OpCompute:
+		fv := "f" + strconv.Itoa(op.ID)
+		n := float64(op.N)
+		fn := lang.NewFun([]string{"x"},
+			lang.NewExprStmt(lang.NewBinary("+",
+				lang.NewBinary("*", id("x"), num(2)), num(n))))
+		want := num(n*2 + n)
+		return []lang.Stmt{
+			lang.NewBind(fv, fn),
+			lang.NewBind(dst, lang.NewCall(id(fv), num(n))),
+			lang.NewIf(lang.NewBinary("==", id(dst), want),
+				[]lang.Stmt{status(lbl, "ok")},
+				[]lang.Stmt{status(lbl, "err")},
+			),
+		}
+	}
+	return []lang.Stmt{status(lbl, "skip")}
+}
+
+// execArgs assembles the exec call for OpExec: cat consumes the operand
+// capability when it is not the workspace itself, echo gets a plain
+// string, true runs bare. Output always lands on the console so exit
+// codes and any file content stay visible to the oracle's comparator.
+func (r *renderer) execArgs(op *Op, src lang.Expr) ([]lang.Expr, []lang.NamedArg) {
+	named := []lang.NamedArg{{Name: "stdout", Expr: id("out")}}
+	switch r.prog.Manifest.Exe {
+	case "/bin/cat":
+		if op.Src != VarWS {
+			return []lang.Expr{id("exe"), lang.NewList(src)}, named
+		}
+		return []lang.Expr{id("exe"), lang.NewList()}, named
+	case "/bin/echo":
+		return []lang.Expr{id("exe"), lang.NewList(str(op.Data))}, named
+	default: // /bin/true
+		return []lang.Expr{id("exe"), lang.NewList()}, named
+	}
+}

@@ -1,0 +1,123 @@
+package lang
+
+import (
+	"strings"
+
+	"repro/internal/priv"
+)
+
+// AST builders: exported constructors for every node the grammar-based
+// script generator (internal/gen) assembles programmatically. The node
+// types themselves are exported but embed the unexported position base,
+// so out-of-package code cannot use composite literals; these
+// constructors are the supported way to build a Script that Render can
+// turn back into parseable source. Builders leave positions at zero —
+// generated programs get real positions when their rendered source is
+// parsed for execution.
+
+// NewScript assembles a script in the given dialect.
+func NewScript(d Dialect, stmts ...Stmt) *Script {
+	return &Script{Dialect: d, Stmts: stmts}
+}
+
+// NewRequire builds "require module;" (module path) or "require
+// \"file\";" (isFile).
+func NewRequire(module string, isFile bool) *RequireStmt {
+	return &RequireStmt{Module: module, IsFile: isFile}
+}
+
+// NewProvide builds "provide name : contract;" (nil contract for a bare
+// provide).
+func NewProvide(name string, c CExpr) *ProvideStmt {
+	return &ProvideStmt{Name: name, Contract: c}
+}
+
+// NewBind builds "name = expr;".
+func NewBind(name string, e Expr) *BindStmt {
+	return &BindStmt{Name: name, Expr: e}
+}
+
+// NewIf builds "if cond then { then... } [else { else... }]". A nil else
+// renders without the else arm.
+func NewIf(cond Expr, then, els []Stmt) *IfStmt {
+	return &IfStmt{Cond: cond, Then: then, Else: els}
+}
+
+// NewFor builds "for v in seq { body... }".
+func NewFor(v string, seq Expr, body []Stmt) *ForStmt {
+	return &ForStmt{Var: v, Seq: seq, Body: body}
+}
+
+// NewExprStmt builds a bare expression statement "expr;".
+func NewExprStmt(e Expr) *ExprStmt { return &ExprStmt{Expr: e} }
+
+// NewIdent references a binding.
+func NewIdent(name string) *Ident { return &Ident{Name: name} }
+
+// NewString builds a string literal.
+func NewString(v string) *StringLit { return &StringLit{Value: v} }
+
+// NewNumber builds a numeric literal.
+func NewNumber(v float64) *NumberLit { return &NumberLit{Value: v} }
+
+// NewBool builds true/false.
+func NewBool(v bool) *BoolLit { return &BoolLit{Value: v} }
+
+// NewList builds [e1, e2, ...].
+func NewList(elems ...Expr) *ListLit { return &ListLit{Elems: elems} }
+
+// NewFun builds fun(params...) { body... }.
+func NewFun(params []string, body ...Stmt) *FunLit {
+	return &FunLit{Params: params, Body: body}
+}
+
+// NewCall builds f(args...).
+func NewCall(fn Expr, args ...Expr) *CallExpr {
+	return &CallExpr{Fn: fn, Args: args}
+}
+
+// NewCallNamed builds f(args..., name = v, ...).
+func NewCallNamed(fn Expr, args []Expr, named []NamedArg) *CallExpr {
+	return &CallExpr{Fn: fn, Args: args, Named: named}
+}
+
+// NewUnary builds !x or -x.
+func NewUnary(op string, x Expr) *UnaryExpr { return &UnaryExpr{Op: op, X: x} }
+
+// NewBinary builds a binary operation.
+func NewBinary(op string, l, r Expr) *BinaryExpr {
+	return &BinaryExpr{Op: op, L: l, R: r}
+}
+
+// --- contract builders ---
+
+// NewCIdent references a contract binding (any, is_file, readonly, ...).
+func NewCIdent(name string) *CIdent { return &CIdent{Name: name} }
+
+// NewCCap builds a capability contract of the given kind ("file", "dir",
+// "pipe", "pipe_factory", "socket_factory") with the given privileges.
+func NewCCap(kind string, privs []CPriv) *CCap {
+	return &CCap{Kind: kind, Privs: privs}
+}
+
+// NewCFunc builds {a : C, ...} -> result. A nil result renders as void.
+func NewCFunc(params []CParam, result CExpr) *CFunc {
+	return &CFunc{Params: params, Result: result}
+}
+
+// NewCListOf builds listof elem.
+func NewCListOf(elem CExpr) *CListOf { return &CListOf{Elem: elem} }
+
+// PrivsOf converts a privilege set into contract syntax (+read,
+// +create_file, ...), spelling hyphenated privilege names with
+// underscores the way the parser expects. No derivation modifiers are
+// attached, so capabilities derived through any right inherit the full
+// set — the semantics internal/gen's manifests rely on.
+func PrivsOf(s priv.Set) []CPriv {
+	rights := s.Rights()
+	out := make([]CPriv, 0, len(rights))
+	for _, r := range rights {
+		out = append(out, CPriv{Name: strings.ReplaceAll(r.String(), "-", "_")})
+	}
+	return out
+}

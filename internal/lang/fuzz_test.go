@@ -17,12 +17,31 @@ import (
 
 	"repro/internal/cap"
 	"repro/internal/core"
+	"repro/internal/gen"
 	"repro/internal/kernel"
 	"repro/internal/lang"
 	"repro/internal/priv"
 	"repro/internal/prof"
 	"repro/internal/vfs"
 )
+
+// addGenSeeds seeds a fuzz target with grammar-generated structured
+// scripts (the ShellFuzzer lesson: byte-level mutation finds far more
+// when it starts from grammatically rich inputs). Committed corpus
+// files under testdata/fuzz mirror a selection of these so `go test`
+// replays them even without this helper.
+func addGenSeeds(f *testing.F, modulesOnly bool, n int) {
+	for i := 0; i < n; i++ {
+		p := gen.New(int64(1000 + i)).Program()
+		driver, module := p.Render(gen.RenderConfig{
+			Root: "/gen/fuzz", Console: "/dev/console", PortBase: 23000,
+		})
+		f.Add(module)
+		if !modulesOnly {
+			f.Add(driver)
+		}
+	}
+}
 
 // FuzzParse: the parser may reject anything but must always return.
 func FuzzParse(f *testing.F) {
@@ -35,6 +54,7 @@ func FuzzParse(f *testing.F) {
 	f.Add("#lang shill/cap\nf = fun(x) { f(x); };\n")
 	f.Add("#lang shill/cap\nx = " + strings.Repeat("(", 512) + "1" + strings.Repeat(")", 512) + ";\n")
 	f.Add("#lang shill/cap\nprovide p : {d : dir(+lookup)} -> any;\np = fun(d) { lookup(d, \"..\"); };\n")
+	addGenSeeds(f, false, 12)
 	f.Fuzz(func(t *testing.T, src string) {
 		// A panic (or a hang) fails the fuzz run; any error is fine.
 		_, _ = lang.Parse(src)
@@ -141,6 +161,10 @@ func FuzzEval(f *testing.F) {
 	f.Add("#lang shill/cap\nprovide p : {d : any} -> any;\np = fun(d) { w = create_file(d, \"a\"); write(w, \"data\"); read(w); };\n")
 	f.Add("#lang shill/cap\nprovide p : {d : any} -> any;\np = fun(d) { for n in contents(d) { unlink(lookup(d, n)); } };\n")
 	f.Add("#lang shill/cap\nf = fun(x) { f(x); };\nprovide p : {d : any} -> any;\np = fun(d) { f(d); };\n")
+	// Generated cap modules: loading evaluates their top level and the
+	// provide contract machinery; the export calls below then exercise
+	// whatever arity happens to match.
+	addGenSeeds(f, true, 8)
 	f.Fuzz(func(t *testing.T, src string) {
 		k, proc, scratch := fuzzWorld(t)
 		before := snapshotOutside(k)

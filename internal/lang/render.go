@@ -1,0 +1,223 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Render pretty-prints a script back to parseable SHILL source,
+// including its #lang line. Render is a fixpoint under parsing: for any
+// script s, Render(Parse(Render(s))) == Render(s) — the property the
+// grammar-based generator needs so a program can be re-parsed, shrunk,
+// and re-rendered without drifting. Nested expressions are always
+// parenthesised, which keeps the output unambiguous without tracking
+// operator precedence.
+func Render(s *Script) string {
+	var b strings.Builder
+	b.WriteString("#lang " + s.Dialect.String() + "\n")
+	renderStmts(&b, s.Stmts, 0)
+	return b.String()
+}
+
+func indentOf(n int) string { return strings.Repeat("  ", n) }
+
+func renderStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		renderStmt(b, s, depth)
+	}
+}
+
+func renderStmt(b *strings.Builder, s Stmt, depth int) {
+	ind := indentOf(depth)
+	switch st := s.(type) {
+	case *RequireStmt:
+		if st.IsFile {
+			fmt.Fprintf(b, "%srequire %s;\n", ind, quoteString(st.Module))
+		} else {
+			fmt.Fprintf(b, "%srequire %s;\n", ind, st.Module)
+		}
+	case *ProvideStmt:
+		if st.Contract == nil {
+			fmt.Fprintf(b, "%sprovide %s;\n", ind, st.Name)
+		} else {
+			fmt.Fprintf(b, "%sprovide %s : %s;\n", ind, st.Name, renderContract(st.Contract))
+		}
+	case *BindStmt:
+		fmt.Fprintf(b, "%s%s = %s;\n", ind, st.Name, renderExpr(st.Expr, depth))
+	case *IfStmt:
+		fmt.Fprintf(b, "%sif %s then {\n", ind, renderExpr(st.Cond, depth))
+		renderStmts(b, st.Then, depth+1)
+		if st.Else != nil {
+			fmt.Fprintf(b, "%s} else {\n", ind)
+			renderStmts(b, st.Else, depth+1)
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	case *ForStmt:
+		fmt.Fprintf(b, "%sfor %s in %s {\n", ind, st.Var, renderExpr(st.Seq, depth))
+		renderStmts(b, st.Body, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s%s;\n", ind, renderExpr(st.Expr, depth))
+	default:
+		// Unknown node kinds render as a comment so the output stays
+		// parseable; the round-trip test would still catch the loss.
+		fmt.Fprintf(b, "%s# <unrenderable %T>\n", ind, s)
+	}
+}
+
+// renderExpr renders an expression. depth is the statement indentation
+// for multi-line function literals.
+func renderExpr(e Expr, depth int) string {
+	switch ex := e.(type) {
+	case *Ident:
+		return ex.Name
+	case *StringLit:
+		return quoteString(ex.Value)
+	case *NumberLit:
+		return renderNumber(ex.Value)
+	case *BoolLit:
+		if ex.Value {
+			return "true"
+		}
+		return "false"
+	case *ListLit:
+		parts := make([]string, len(ex.Elems))
+		for i, el := range ex.Elems {
+			parts[i] = renderExpr(el, depth)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *FunLit:
+		var b strings.Builder
+		fmt.Fprintf(&b, "fun(%s) {\n", strings.Join(ex.Params, ", "))
+		renderStmts(&b, ex.Body, depth+1)
+		b.WriteString(indentOf(depth) + "}")
+		return b.String()
+	case *CallExpr:
+		var parts []string
+		for _, a := range ex.Args {
+			parts = append(parts, renderExpr(a, depth))
+		}
+		for _, na := range ex.Named {
+			parts = append(parts, na.Name+" = "+renderExpr(na.Expr, depth))
+		}
+		return renderOperand(ex.Fn, depth) + "(" + strings.Join(parts, ", ") + ")"
+	case *UnaryExpr:
+		return ex.Op + renderOperand(ex.X, depth)
+	case *BinaryExpr:
+		return renderOperand(ex.L, depth) + " " + ex.Op + " " + renderOperand(ex.R, depth)
+	}
+	return fmt.Sprintf("<unrenderable %T>", e)
+}
+
+// renderOperand parenthesises compound sub-expressions so the output
+// never depends on precedence.
+func renderOperand(e Expr, depth int) string {
+	switch e.(type) {
+	case *BinaryExpr, *UnaryExpr, *FunLit:
+		return "(" + renderExpr(e, depth) + ")"
+	}
+	return renderExpr(e, depth)
+}
+
+// renderNumber emits a float in the syntax the lexer accepts (digits and
+// an optional dot — no exponent, no sign; negatives render as unary
+// minus).
+func renderNumber(v float64) string {
+	if v < 0 {
+		return "-" + renderNumber(-v)
+	}
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// quoteString emits a double-quoted string using only the escapes the
+// lexer understands (\n, \t, \", \\).
+func quoteString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// --- contract rendering ---
+
+func renderContract(c CExpr) string {
+	switch ct := c.(type) {
+	case *CIdent:
+		return ct.Name
+	case *CCap:
+		if len(ct.Privs) == 0 {
+			return ct.Kind
+		}
+		return ct.Kind + "(" + renderPrivList(ct.Privs) + ")"
+	case *COr:
+		parts := make([]string, len(ct.Branches))
+		for i, br := range ct.Branches {
+			parts[i] = renderContractAtom(br)
+		}
+		return strings.Join(parts, ` \/ `)
+	case *CAnd:
+		parts := make([]string, len(ct.Branches))
+		for i, br := range ct.Branches {
+			parts[i] = renderContractAtom(br)
+		}
+		return strings.Join(parts, " && ")
+	case *CFunc:
+		var parts []string
+		for _, p := range ct.Params {
+			parts = append(parts, p.Name+" : "+renderContract(p.C))
+		}
+		res := "void"
+		if ct.Result != nil {
+			res = renderContract(ct.Result)
+		}
+		return "{" + strings.Join(parts, ", ") + "} -> " + res
+	case *CForall:
+		return "forall " + ct.Var + " with {" + renderPrivList(ct.Bound) + "} . " + renderContract(ct.Body)
+	case *CListOf:
+		return "listof " + renderContractAtom(ct.Elem)
+	}
+	return fmt.Sprintf("<unrenderable %T>", c)
+}
+
+// renderContractAtom parenthesises compound contracts in operand
+// position.
+func renderContractAtom(c CExpr) string {
+	switch c.(type) {
+	case *COr, *CAnd, *CFunc, *CForall:
+		return "(" + renderContract(c) + ")"
+	}
+	return renderContract(c)
+}
+
+func renderPrivList(privs []CPriv) string {
+	parts := make([]string, len(privs))
+	for i, p := range privs {
+		s := "+" + p.Name
+		switch {
+		case p.With != nil:
+			s += " with {" + renderPrivList(p.With) + "}"
+		case p.WithRef != "":
+			s += " with " + p.WithRef
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ", ")
+}

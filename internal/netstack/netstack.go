@@ -7,6 +7,7 @@
 package netstack
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -245,6 +246,29 @@ func (st *Stack) register(s *Socket) {
 	st.mu.Lock()
 	st.socks[s] = struct{}{}
 	st.mu.Unlock()
+}
+
+// Listeners returns the domain-prefixed addresses currently bound
+// ("ip!80", "unix!/tmp/sock"), sorted. Conformance oracles snapshot it
+// before and after a run: a generated program must never leave a
+// listener on an address outside its manifest.
+func (st *Stack) Listeners() []string {
+	st.mu.RLock()
+	out := make([]string, 0, len(st.listeners))
+	for k := range st.listeners {
+		out = append(out, k)
+	}
+	st.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// LiveSockets reports how many sockets are registered (bound, listening,
+// or connected and not yet closed) — a leak signal for soak harnesses.
+func (st *Stack) LiveSockets() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.socks)
 }
 
 // Shutdown tears the stack down: every live socket — listeners and

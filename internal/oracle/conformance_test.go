@@ -1,0 +1,124 @@
+package oracle_test
+
+import (
+	"context"
+	"flag"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/oracle"
+)
+
+// genSeed selects the conformance run's base seed. The default is
+// fixed, so CI is deterministic; a failure report prints the per-
+// program seed, and re-running with -gen.seed=<that seed> -gen.n=1
+// replays exactly the failing pair.
+var (
+	genSeed = flag.Int64("gen.seed", 1, "base seed for generated conformance programs")
+	genN    = flag.Int("gen.n", 0, "program pair count (0: 200 in -short, 600 otherwise)")
+)
+
+// TestGeneratedConformance is the tentpole property test: ≥200
+// generated program pairs (sandboxed vs ambient), each executed on a
+// fresh machine and held to all three oracle properties — no-escape,
+// DAC-conjunction, and deny-provenance. Every program is reproducible
+// from the printed seed alone.
+func TestGeneratedConformance(t *testing.T) {
+	n := *genN
+	if n == 0 {
+		n = 600
+		if testing.Short() {
+			n = 200
+		}
+	}
+	t.Logf("conformance: base seed %d, %d program pairs (reproduce one: -gen.seed=<seed> -gen.n=1)", *genSeed, n)
+
+	ctx := context.Background()
+	ops, divergences, denials, failures := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		seed := oracle.SubSeed(*genSeed, int64(i))
+		if *genN == 1 {
+			seed = *genSeed // replay mode: the flag IS the program seed
+		}
+		p := gen.New(seed).Program()
+		p.Seed = seed
+		res, err := oracle.CheckExclusive(ctx, p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ops += res.Ops
+		denials += len(res.SbxDenials)
+		if res.Divergent != "" {
+			divergences++
+		}
+		if res.Failed() {
+			failures++
+			driver, module := p.Render(gen.RenderConfig{
+				Root: "/gen/p0/sbx", Console: "/dev/pts/0", PortBase: 21000,
+			})
+			t.Errorf("seed %d violates the security property:\n  %v\n--- sandboxed console ---\n%s\n--- ambient console ---\n%s\n--- driver ---\n%s--- module ---\n%s",
+				seed, res.Violations, res.SbxConsole, res.AmbConsole, driver, module)
+			if failures > 3 {
+				t.Fatalf("stopping after %d failing seeds; reproduce one with -gen.seed=%d -gen.n=1", failures, seed)
+			}
+		}
+	}
+	t.Logf("conformance: %d pairs, %d ops, %d sandbox-only failures explained by audited denials, %d windowed denials",
+		n, ops, divergences, denials)
+	if divergences == 0 {
+		t.Errorf("no sandbox-only failures across %d programs — the generator stopped exercising denials (oracle would be vacuous)", n)
+	}
+}
+
+// TestOracleDetectsSeededEscape proves the no-escape check is not
+// vacuous: a direct write outside a program's manifest (simulated by
+// mutating the protected tree between the oracle's snapshots via a
+// tampering op injected at the machine level) must be flagged. We
+// simulate the escape by staging a program whose manifest root is A
+// while the harness writes under the protected tree mid-run.
+func TestOracleDetectsSeededEscape(t *testing.T) {
+	p := gen.New(42).Program()
+	p.Seed = 42
+	res, err := oracle.CheckTampered(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Property == "no-escape" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tampered run produced no no-escape violation: %v", res.Violations)
+	}
+}
+
+// TestGeneratedConformanceSharedSessions runs a short soak shape in
+// process: concurrent sessions on one machine, shared-mode checks. It
+// is the -race qualification for the soak path.
+func TestGeneratedConformanceSharedSessions(t *testing.T) {
+	n := 24
+	if testing.Short() {
+		n = 12
+	}
+	report, err := oracle.Soak(context.Background(), oracle.SoakOptions{
+		Seed:     *genSeed,
+		Sessions: 4,
+		Programs: n,
+		Duration: 2 * time.Minute,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Ok() {
+		t.Fatalf("shared-session soak failed: %+v", report.Failures)
+	}
+	if report.Programs < n {
+		t.Fatalf("soak checked %d programs, want %d", report.Programs, n)
+	}
+	t.Logf("shared soak: %d programs, %d ops, %d denials, %d live sockets at end",
+		report.Programs, report.Ops, report.Denials, report.LiveSockets)
+}

@@ -1,0 +1,82 @@
+package oracle
+
+import "repro/internal/gen"
+
+// CheckFn re-runs a candidate program and reports whether it still
+// fails the oracle. Minimize calls it with progressively smaller
+// programs; implementations must check each candidate on fresh
+// workspace roots (Checker.CheckProgram already stages per call).
+type CheckFn func(p *gen.Program) bool
+
+// MaxMinimizeChecks bounds the total re-executions one minimization may
+// spend, so shrinking a flaky failure cannot stall a soak run.
+const MaxMinimizeChecks = 200
+
+// Minimize greedily shrinks a failing program: it repeatedly tries
+// deleting one op subtree at a time (pre-order), keeping every deletion
+// after which check still fails, until no single deletion preserves the
+// failure or the check budget is exhausted. The result reproduces the
+// failure with a (locally) minimal op tree — typically a handful of
+// statements naming exactly the operations that disagree.
+func Minimize(p *gen.Program, check CheckFn) *gen.Program {
+	cur := p.Clone()
+	checks := 0
+	for {
+		shrunk := false
+		paths := opPaths(cur)
+		for _, path := range paths {
+			if checks >= MaxMinimizeChecks {
+				return cur
+			}
+			cand := cur.Clone()
+			if !removeAt(cand, path) {
+				continue
+			}
+			checks++
+			if check(cand) {
+				cur = cand
+				shrunk = true
+				break // indices shifted; recompute paths
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// opPaths enumerates every op's position as a child-index path, in
+// pre-order. Removing earlier (bigger) subtrees first shrinks fastest.
+func opPaths(p *gen.Program) [][]int {
+	var out [][]int
+	var walk func(ops []*gen.Op, prefix []int)
+	walk = func(ops []*gen.Op, prefix []int) {
+		for i, o := range ops {
+			path := append(append([]int(nil), prefix...), i)
+			out = append(out, path)
+			walk(o.Deps, path)
+		}
+	}
+	walk(p.Ops, nil)
+	return out
+}
+
+// removeAt deletes the op subtree at the given child-index path.
+func removeAt(p *gen.Program, path []int) bool {
+	if len(path) == 0 {
+		return false
+	}
+	ops := &p.Ops
+	for _, idx := range path[:len(path)-1] {
+		if idx >= len(*ops) {
+			return false
+		}
+		ops = &(*ops)[idx].Deps
+	}
+	i := path[len(path)-1]
+	if i >= len(*ops) {
+		return false
+	}
+	*ops = append(append([]*gen.Op(nil), (*ops)[:i]...), (*ops)[i+1:]...)
+	return true
+}

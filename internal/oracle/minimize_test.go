@@ -1,0 +1,71 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/oracle"
+)
+
+func countKind(p *gen.Program, k gen.OpKind) int {
+	n := 0
+	var walk func(ops []*gen.Op)
+	walk = func(ops []*gen.Op) {
+		for _, o := range ops {
+			if o.Kind == k {
+				n++
+			}
+			walk(o.Deps)
+		}
+	}
+	walk(p.Ops)
+	return n
+}
+
+// TestMinimizeShrinksToCulprit: against a synthetic oracle that fails
+// whenever the program contains a lookup op, Minimize must shrink any
+// failing program to a script whose op tree is nothing but (one path
+// to) the culprit — in particular, at most 10 statements.
+func TestMinimizeShrinksToCulprit(t *testing.T) {
+	// Find a seed with a rich program containing several lookups.
+	var p *gen.Program
+	for seed := int64(0); ; seed++ {
+		cand := gen.New(seed).Program()
+		if countKind(cand, gen.OpLookup) >= 2 && cand.NumOps() >= 8 {
+			p = cand
+			break
+		}
+		if seed > 500 {
+			t.Fatal("no suitable seed found")
+		}
+	}
+	fails := func(c *gen.Program) bool { return countKind(c, gen.OpLookup) > 0 }
+	min := oracle.Minimize(p, fails)
+	if !fails(min) {
+		t.Fatalf("minimized program no longer fails")
+	}
+	if got := min.NumOps(); got > 10 {
+		t.Fatalf("minimized program has %d ops, want <= 10 (original %d)", got, p.NumOps())
+	}
+	if countKind(min, gen.OpLookup) != 1 {
+		t.Fatalf("minimized program keeps %d lookups, want exactly the culprit", countKind(min, gen.OpLookup))
+	}
+	// And it still renders to a valid pair.
+	driver, module := min.Render(gen.RenderConfig{Root: "/x", Console: "/dev/pts/0", PortBase: 21000})
+	if driver == "" || module == "" {
+		t.Fatal("minimized program failed to render")
+	}
+	t.Logf("minimized %d -> %d ops", p.NumOps(), min.NumOps())
+}
+
+// TestMinimizeKeepsFailureUnderRealOracle: minimizing against the real
+// oracle with a program that does NOT fail returns it unchanged (the
+// greedy loop must terminate without shrinking a passing program).
+func TestMinimizeNoFailureNoChange(t *testing.T) {
+	p := gen.New(11).Program()
+	fails := func(c *gen.Program) bool { return false }
+	min := oracle.Minimize(p, fails)
+	if min.NumOps() != p.NumOps() {
+		t.Fatalf("minimize changed a passing program: %d -> %d ops", p.NumOps(), min.NumOps())
+	}
+}

@@ -1,0 +1,197 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gen"
+	"repro/shill"
+)
+
+// SoakOptions configure a soak run: N generated program pairs checked
+// across K concurrent sessions of one shared machine, the production
+// shape a SHILL host serves.
+type SoakOptions struct {
+	Seed     int64
+	Sessions int           // concurrent sessions (default 4)
+	Duration time.Duration // stop generating after this long (0: no limit)
+	Programs int           // stop after this many programs (0: no limit)
+	Minimize bool          // shrink failures on a fresh machine afterwards
+	Logf     func(format string, args ...any)
+}
+
+// SoakFailure is one failing program, reproducible from its seed.
+type SoakFailure struct {
+	Seed       int64    `json:"seed"`
+	Session    int      `json:"session"`
+	Ops        int      `json:"ops"`
+	Violations []string `json:"violations"`
+	// Minimized fields are set when SoakOptions.Minimize reproduced and
+	// shrank the failure on a fresh exclusive machine.
+	MinimizedOps    int    `json:"minimized_ops,omitempty"`
+	MinimizedModule string `json:"minimized_module,omitempty"`
+}
+
+// SoakReport summarises a soak run; cmd/shill-soak emits it as JSON.
+type SoakReport struct {
+	Seed        int64         `json:"seed"`
+	Sessions    int           `json:"sessions"`
+	Programs    int           `json:"programs"`
+	Ops         int           `json:"ops"`
+	Denials     int           `json:"denials_windowed"`
+	Divergences int           `json:"sandbox_only_failures"`
+	Elapsed     float64       `json:"elapsed_sec"`
+	LiveSockets int           `json:"live_sockets_at_end"`
+	Failures    []SoakFailure `json:"failures,omitempty"`
+}
+
+// Ok reports whether the soak saw zero property violations.
+func (r *SoakReport) Ok() bool { return len(r.Failures) == 0 }
+
+// SubSeed derives program i's generator seed from the run seed; the
+// mixing keeps neighbouring programs decorrelated while staying fully
+// reproducible from (seed, i).
+func SubSeed(seed int64, i int64) int64 {
+	x := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return int64(x)
+}
+
+// Soak runs generated conformance pairs across concurrent sessions of
+// one shared machine until the duration or program budget is spent,
+// then (optionally) minimizes each failure on a fresh exclusive
+// machine. The returned report is complete even when ctx is cancelled
+// early.
+func Soak(ctx context.Context, opts SoakOptions) (*SoakReport, error) {
+	if opts.Sessions <= 0 {
+		opts.Sessions = 4
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	m, err := shill.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	if err := StageProtected(m); err != nil {
+		return nil, err
+	}
+	checker := &Checker{M: m, Exclusive: false}
+
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.Duration > 0 {
+		deadline = start.Add(opts.Duration)
+	}
+
+	var next atomic.Int64
+	var mu sync.Mutex
+	report := &SoakReport{Seed: opts.Seed, Sessions: opts.Sessions}
+
+	results := m.StreamSessions(ctx, opts.Sessions, func(ctx context.Context, s *shill.Session) (*shill.Result, error) {
+		for {
+			if ctx.Err() != nil {
+				return nil, nil
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return nil, nil
+			}
+			idx := next.Add(1) - 1
+			if opts.Programs > 0 && idx >= int64(opts.Programs) {
+				return nil, nil
+			}
+			seed := SubSeed(opts.Seed, idx)
+			p := gen.New(seed).Program()
+			p.Seed = seed
+			inst := Instance{
+				Base:     fmt.Sprintf("/gen/s%d/p%d", s.Index(), idx),
+				PortBase: SharedPortMin + int(idx%((SharedPortMax-SharedPortMin)/(2*portSlotSpan)))*2*portSlotSpan,
+			}
+			pr := checker.CheckProgram(ctx, s, p, inst)
+			if pr.Canceled {
+				return nil, nil // operator shutdown mid-check; not a verdict
+			}
+			mu.Lock()
+			report.Programs++
+			report.Ops += pr.Ops
+			report.Denials += len(pr.SbxDenials)
+			if pr.Divergent != "" {
+				report.Divergences++
+			}
+			if pr.Failed() {
+				f := SoakFailure{Seed: seed, Session: s.Index(), Ops: pr.Ops}
+				for _, v := range pr.Violations {
+					f.Violations = append(f.Violations, v.String())
+				}
+				report.Failures = append(report.Failures, f)
+				logf("soak: seed %d FAILED: %v", seed, pr.Violations)
+			} else if report.Programs%200 == 0 {
+				logf("soak: %d programs, %d ops, %d windowed denials, %d sandbox-only failures explained",
+					report.Programs, report.Ops, report.Denials, report.Divergences)
+			}
+			mu.Unlock()
+		}
+	})
+	for range results {
+	}
+	report.Elapsed = time.Since(start).Seconds()
+	report.LiveSockets = m.NetLiveSockets()
+
+	if opts.Minimize && ctx.Err() == nil {
+		for i := range report.Failures {
+			minimizeFailure(ctx, &report.Failures[i], logf)
+		}
+	}
+	return report, nil
+}
+
+// minimizeFailure reproduces a failing seed on a fresh exclusive
+// machine and shrinks it. A failure that does not reproduce in
+// isolation is left unminimized (its seed still replays the soak).
+func minimizeFailure(ctx context.Context, f *SoakFailure, logf func(string, ...any)) {
+	check := func(p *gen.Program) bool {
+		if ctx.Err() != nil {
+			return false // cancelled: stop shrinking rather than mis-shrink
+		}
+		res, err := CheckExclusive(ctx, p)
+		return err == nil && res.Failed() && !res.Canceled
+	}
+	orig := gen.New(f.Seed).Program()
+	orig.Seed = f.Seed
+	if !check(orig) {
+		logf("soak: seed %d does not reproduce in isolation; keeping unminimized", f.Seed)
+		return
+	}
+	minp := Minimize(orig, check)
+	f.MinimizedOps = minp.NumOps()
+	_, module := minp.Render(gen.RenderConfig{
+		Root: "/gen/min/sbx", Console: "/dev/pts/0", PortBase: 21000,
+	})
+	f.MinimizedModule = module
+	logf("soak: seed %d minimized from %d to %d ops", f.Seed, orig.NumOps(), f.MinimizedOps)
+}
+
+// CheckExclusive checks one program on a dedicated fresh machine — the
+// strongest configuration (whole-image no-escape snapshots, full
+// soundness checks). TestGeneratedConformance and the minimizer use it.
+func CheckExclusive(ctx context.Context, p *gen.Program) (*PairResult, error) {
+	m, err := shill.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	if err := StageProtected(m); err != nil {
+		return nil, err
+	}
+	s := m.NewSession()
+	defer s.Close()
+	c := &Checker{M: m, Exclusive: true}
+	return c.CheckProgram(ctx, s, p, Instance{Base: "/gen/p0", PortBase: 21000}), nil
+}

@@ -77,8 +77,11 @@ func Exec(runtime *kernel.Proc, exe *cap.Capability, args []Arg, opts Options) (
 	if exe == nil || exe.Vnode() == nil {
 		return Result{}, errno.EINVAL
 	}
-	if !exe.Grant().Has(priv.RExec) {
-		return Result{}, &cap.NoPrivilegeError{Op: "exec", Missing: priv.NewSet(priv.RExec), Blame: exe.BlameChain()}
+	// Demand (not a bare grant check) so the refusal is recorded in the
+	// audit log like every other capability denial — the conformance
+	// oracle matches script-visible failures against audited denials.
+	if err := exe.Demand("exec", priv.NewSet(priv.RExec)); err != nil {
+		return Result{}, err
 	}
 
 	child, err := runtime.Fork()

@@ -20,16 +20,25 @@
 package shill
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/prof"
+	"repro/internal/vfs"
 )
+
+// ErrMachineClosed is returned by Session.Run and Session.RunCommand
+// after Machine.Close: a closed machine's kernel workers and network
+// stack are torn down, so running scripts against it would yield
+// undefined half-alive behavior rather than a meaningful result.
+var ErrMachineClosed = errors.New("shill: machine is closed")
 
 // UserUID is the uid of the unprivileged user sessions run as.
 const UserUID = core.UserUID
@@ -105,6 +114,7 @@ func WithScriptResolver(r ScriptResolver) Option {
 type Machine struct {
 	sys      *core.System
 	resolver ScriptResolver
+	closed   atomic.Bool
 
 	mu       sync.Mutex
 	sessions []*Session // pool, indexed; entries are reused across runs
@@ -174,8 +184,16 @@ func (m *Machine) Stage(w Workload) error {
 }
 
 // Close shuts the machine down: background kernel workers stop and any
-// goroutine still parked in a kernel wait is woken.
-func (m *Machine) Close() { m.sys.Close() }
+// goroutine still parked in a kernel wait is woken. Subsequent Run and
+// RunCommand calls on any of the machine's sessions return
+// ErrMachineClosed.
+func (m *Machine) Close() {
+	m.closed.Store(true)
+	m.sys.Close()
+}
+
+// Closed reports whether Close has been called.
+func (m *Machine) Closed() bool { return m.closed.Load() }
 
 // Resolver returns the machine's script-lookup chain (user resolvers
 // first, built-in case-study scripts last).
@@ -291,6 +309,47 @@ func (m *Machine) BuildWWW(w ApacheWorkload) { m.sys.BuildWWW(w) }
 func (m *Machine) BuildSrcTree(w FindWorkload) (total, cFiles, matches int) {
 	return m.sys.BuildSrcTree(w)
 }
+
+// Snapshot hooks: conformance oracles (internal/oracle, cmd/shill-soak)
+// capture the machine's observable state before and after a run and
+// diff it against the run's manifest — the no-escape property of §2.3.
+
+// SnapshotFS walks the whole filesystem image and returns a map from
+// absolute path to a stable content fingerprint ("dir", "dev",
+// "link:<target>", or "file:<bytes>"). Paths for which skip returns
+// true are omitted (and, for directories, not descended into at the
+// value level — their subtree entries are individually skipped too). A
+// nil skip snapshots everything.
+func (m *Machine) SnapshotFS(skip func(path string) bool) map[string]string {
+	fs := m.sys.K.FS
+	snap := make(map[string]string, 256)
+	fs.Walk(fs.Root(), func(path string, v *vfs.Vnode) {
+		if skip != nil && skip(path) {
+			return
+		}
+		switch {
+		case v.IsDir():
+			snap[path] = "dir"
+		case v.Type() == vfs.TypeSymlink:
+			target, _ := v.Readlink()
+			snap[path] = "link:" + target
+		case v.Type() == vfs.TypeCharDev:
+			snap[path] = "dev"
+		default:
+			snap[path] = "file:" + string(v.Bytes())
+		}
+	})
+	return snap
+}
+
+// NetListeners returns the domain-prefixed addresses with a bound
+// listener ("ip!8080"), sorted — the network half of a no-escape
+// snapshot.
+func (m *Machine) NetListeners() []string { return m.sys.K.Net.Listeners() }
+
+// NetLiveSockets reports how many sockets are live on the stack — a
+// leak signal for soak harnesses.
+func (m *Machine) NetLiveSockets() int { return m.sys.K.Net.LiveSockets() }
 
 // kernelOf gives session internals access to the kernel.
 func (m *Machine) kernel() *kernel.Kernel { return m.sys.K }

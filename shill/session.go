@@ -177,6 +177,9 @@ type Result struct {
 func (s *Session) Run(ctx context.Context, script Script) (*Result, error) {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
+	if s.m.Closed() {
+		return nil, ErrMachineClosed
+	}
 	resolver := script.Resolver
 	if resolver == nil {
 		resolver = s.m.resolver
@@ -229,6 +232,9 @@ func (s *Session) RunCommand(ctx context.Context, argv []string, dir string) (*R
 	}
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
+	if s.m.Closed() {
+		return nil, ErrMachineClosed
+	}
 
 	path, err := s.m.LookPath(argv[0])
 	if err != nil {
