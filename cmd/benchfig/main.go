@@ -16,10 +16,11 @@
 //	benchfig -fig 9 -full      # paper-scale workloads (slow)
 //	benchfig -fig 9 -reps 20   # more repetitions
 //	benchfig -fig parallel -json BENCH_parallel.json
+//	benchfig -fig serve    -json BENCH_serve.json
 //
 // -json writes a machine-readable result file alongside the printed
-// table (currently supported by -fig parallel); CI uploads it as an
-// artifact so the performance trajectory accumulates across commits.
+// table (supported by -fig parallel and -fig serve); CI uploads them as
+// artifacts so the performance trajectory accumulates across commits.
 package main
 
 import (
@@ -33,13 +34,17 @@ import (
 	"strings"
 	"time"
 
+	"net/http/httptest"
+
 	"repro/internal/kernel"
 	"repro/internal/priv"
+	"repro/internal/server"
+	"repro/internal/server/loadgen"
 	"repro/shill"
 )
 
 func main() {
-	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep, parallel")
+	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep, parallel, serve")
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 50)")
 	full := flag.Bool("full", false, "use paper-scale workloads")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (fig parallel)")
@@ -60,6 +65,8 @@ func main() {
 		figureSweep(*reps)
 	case "parallel":
 		figureParallel(*reps, *jsonPath)
+	case "serve":
+		figureServe(*jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -749,6 +756,96 @@ func figureParallel(reps int, jsonPath string) {
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+}
+
+// --- serving benchmark ---
+
+// serveResult is the BENCH_serve.json document: the loadgen report of
+// one in-process shilld run, plus the shape of the load.
+type serveResult struct {
+	Benchmark string      `json:"benchmark"`
+	Mix       loadgen.Mix `json:"mix"`
+	Tenants   int         `json:"tenants"`
+	loadgen.Report
+}
+
+// figureServe starts an in-process shilld (the same server.New +
+// Handler cmd/shilld serves), drives it with the closed-loop load
+// generator at 16 clients, and reports req/s, latency percentiles, and
+// the deny-path overhead — the repo's first serving benchmark.
+func figureServe(jsonPath string) {
+	fmt.Println("Serving benchmark: in-process shilld, 16 closed-loop clients, mixed allow/deny/cancel")
+
+	srv := server.New(server.Config{
+		MaxMachines:      8,
+		MaxConcurrent:    32,
+		TenantConcurrent: 16,
+		MaxQueue:         128,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		srv.Drain(dctx)
+		ts.Close()
+	}()
+
+	cfg := loadgen.Config{
+		URL:     ts.URL,
+		Clients: 16,
+		Tenants: 4,
+		Mix:     loadgen.DefaultMix,
+	}
+
+	// Warmup builds the tenant machines and JITs the paths; discarded.
+	warm := cfg
+	warm.Requests = 64
+	if _, err := loadgen.Run(ctx, warm); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: serve warmup: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg.Requests = 1024
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: serve: %v\n", err)
+		os.Exit(1)
+	}
+	if rep.Bad() > 0 || rep.HTTPErrors > 0 {
+		fmt.Fprintf(os.Stderr, "benchfig: serve produced %d malformed responses, %d http errors\n",
+			rep.Bad(), rep.HTTPErrors)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "", "req/s", "p50", "p99", "max")
+	row := func(name string, l loadgen.LatencySummary, rps float64) {
+		r := ""
+		if rps > 0 {
+			r = fmt.Sprintf("%.1f", rps)
+		}
+		fmt.Printf("%-10s %12s %10.2fms %10.2fms %10.2fms\n", name, r, l.P50Ms, l.P99Ms, l.MaxMs)
+	}
+	row("overall", rep.Latency, rep.ReqPerSec)
+	row("allow", rep.AllowLatency, 0)
+	row("deny", rep.DenyLatency, 0)
+	row("cancel", rep.CancelLatency, 0)
+	fmt.Printf("outcomes: %d allowed, %d denied, %d canceled, %d rejected\n",
+		rep.Allowed, rep.Denied, rep.Canceled, rep.Rejected)
+	fmt.Printf("deny-path overhead: %+.1f%% (p50 vs allow)\n", rep.DenyOverheadPct)
+
+	if jsonPath != "" {
+		doc := serveResult{Benchmark: "serve", Mix: cfg.Mix, Tenants: cfg.Tenants, Report: *rep}
+		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
 			os.Exit(1)

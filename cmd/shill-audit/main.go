@@ -176,7 +176,8 @@ func trace(w io.Writer, log *audit.Log, path string) {
 }
 
 func whyDenied(w io.Writer, log *audit.Log, scriptErrs []error) {
-	denials := log.Denials()
+	// The same query path shilld serves over GET /v1/audit/why-denied.
+	denials := audit.Explain(log, 0)
 	if len(denials) == 0 {
 		fmt.Fprintln(w, "no denials recorded: every checked operation was allowed")
 		return
@@ -198,8 +199,8 @@ func whyDenied(w io.Writer, log *audit.Log, scriptErrs []error) {
 		} else {
 			fmt.Fprintf(w, "  session:  ambient\n")
 		}
-		if !e.Rights.Empty() {
-			fmt.Fprintf(w, "  missing:  %v\n", e.Rights)
+		if !e.Missing.Empty() {
+			fmt.Fprintf(w, "  missing:  %v\n", e.Missing)
 		}
 		switch {
 		case e.Kind == audit.KindCapDeny && e.Detail != "":
@@ -211,7 +212,7 @@ func whyDenied(w io.Writer, log *audit.Log, scriptErrs []error) {
 		}
 		if e.CapID != 0 {
 			fmt.Fprintf(w, "  capability: cap#%d\n", e.CapID)
-			fmt.Fprintf(w, "  lineage:  %s\n", audit.FormatLineage(log.Lineage(e.CapID)))
+			fmt.Fprintf(w, "  lineage:  %s\n", e.Lineage)
 		}
 	}
 	// Structured reasons that surfaced as script errors add the

@@ -1,0 +1,105 @@
+// Command shill-load is the closed-loop load generator for shilld: N
+// concurrent clients drive a daemon with a mix of allowed, denied, and
+// cancelled runs, verify every response's shape (denials must carry
+// structured provenance; cancelled runs must report cancellation), and
+// print throughput plus a latency histogram — the serving benchmark of
+// this reproduction.
+//
+// Usage:
+//
+//	shill-load -url http://127.0.0.1:8377 [-c 16] [-n 256 | -duration 30s]
+//	           [-mix 60/30/10] [-tenants 4] [-json REPORT.json] [-check]
+//
+// -mix is allow/deny/cancel percentages. -check exits 1 if any response
+// had the wrong shape (a denied run without provenance, a cancel that
+// did not cancel) or any transport error occurred — the smoke-test
+// mode CI uses.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/server/loadgen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	url := flag.String("url", "http://127.0.0.1:8377", "shilld base URL")
+	clients := flag.Int("c", 16, "concurrent closed-loop clients")
+	requests := flag.Int("n", 256, "total requests (0: run for -duration)")
+	duration := flag.Duration("duration", 0, "run for this long instead of -n requests")
+	mixFlag := flag.String("mix", "60/30/10", "allow/deny/cancel percentages")
+	tenants := flag.Int("tenants", 4, "tenants to spread requests over")
+	deadlineMs := flag.Int("deadline-ms", 10_000, "allow/deny request deadline")
+	cancelMs := flag.Int("cancel-ms", 80, "cancel-kind request deadline")
+	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
+	check := flag.Bool("check", false, "exit 1 on any malformed response or transport error")
+	flag.Parse()
+
+	var mix loadgen.Mix
+	if _, err := fmt.Sscanf(*mixFlag, "%d/%d/%d", &mix.AllowPct, &mix.DenyPct, &mix.CancelPct); err != nil {
+		fmt.Fprintf(os.Stderr, "shill-load: bad -mix %q: %v\n", *mixFlag, err)
+		return 2
+	}
+	cfg := loadgen.Config{
+		URL:              *url,
+		Clients:          *clients,
+		Requests:         *requests,
+		Duration:         *duration,
+		Mix:              mix,
+		Tenants:          *tenants,
+		DeadlineMs:       *deadlineMs,
+		CancelDeadlineMs: *cancelMs,
+	}
+	if *duration > 0 {
+		cfg.Requests = 0
+	}
+
+	rep, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shill-load: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("shill-load: %d clients, %d requests in %.2fs = %.1f req/s\n",
+		rep.Clients, rep.Requests, rep.ElapsedSec, rep.ReqPerSec)
+	fmt.Printf("  outcomes: %d allowed, %d denied, %d canceled, %d rejected (429), %d http errors\n",
+		rep.Allowed, rep.Denied, rep.Canceled, rep.Rejected, rep.HTTPErrors)
+	fmt.Printf("  malformed: %d (allow %d, deny %d, cancel %d)\n",
+		rep.Bad(), rep.BadAllow, rep.BadDeny, rep.BadCancel)
+	row := func(name string, l loadgen.LatencySummary) {
+		fmt.Printf("  %-8s n=%-5d p50=%8.2fms p90=%8.2fms p99=%8.2fms max=%8.2fms\n",
+			name, l.Count, l.P50Ms, l.P90Ms, l.P99Ms, l.MaxMs)
+	}
+	row("overall", rep.Latency)
+	row("allow", rep.AllowLatency)
+	row("deny", rep.DenyLatency)
+	row("cancel", rep.CancelLatency)
+	fmt.Printf("  deny-path overhead: %+.1f%% (p50 vs allow)\n", rep.DenyOverheadPct)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shill-load: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "shill-load: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  wrote %s\n", *jsonPath)
+	}
+
+	if *check && (rep.Bad() > 0 || rep.HTTPErrors > 0) {
+		fmt.Fprintln(os.Stderr, "shill-load: -check failed: malformed responses or transport errors")
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+// Command shilld is the SHILL script-execution daemon: a multi-tenant
+// HTTP/JSON service over the repro/shill embedding API. Clients POST
+// scripts (inline source, a built-in script name, or a native argv)
+// with a tenant name and a deadline, and receive the exit status, the
+// console output, and the structured provenance of every denial — a
+// rejected request is explainable over the wire the same way
+// `shill-audit why-denied` explains it locally.
+//
+// Usage:
+//
+//	shilld [-addr :8377] [-workload demo] [-max-machines 8]
+//	       [-max-concurrent 16] [-tenant-concurrent 4] [-max-queue 64]
+//	       [-default-deadline 10s] [-max-deadline 60s]
+//	       [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/run              {tenant, script|scriptName|argv, args, deadlineMs, stream}
+//	GET  /v1/audit/why-denied ?tenant=NAME&since=SEQ
+//	GET  /healthz             200 ok | 503 draining
+//	GET  /metrics             Prometheus text format
+//
+// Each tenant runs on its own simulated machine (own kernel, image,
+// network stack, audit log), pooled with LRU eviction. Admission is a
+// bounded queue with per-tenant quotas; overload answers 429 +
+// Retry-After. SIGTERM drains gracefully: in-flight runs finish, new
+// runs are refused, every machine is closed, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/shill"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8377", "listen address")
+	workload := flag.String("workload", "demo", "workload staged on each tenant machine: demo, grading, apache, find, none")
+	maxMachines := flag.Int("max-machines", 8, "max tenant machines (LRU-evicted when idle)")
+	maxConcurrent := flag.Int("max-concurrent", 16, "max globally concurrent runs")
+	tenantConcurrent := flag.Int("tenant-concurrent", 4, "max concurrent runs per tenant")
+	maxQueue := flag.Int("max-queue", 64, "max runs queued for a slot before 429")
+	defaultDeadline := flag.Duration("default-deadline", 10*time.Second, "deadline for runs that specify none")
+	maxDeadline := flag.Duration("max-deadline", 60*time.Second, "clamp for client-requested deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxMachines:      *maxMachines,
+		MaxConcurrent:    *maxConcurrent,
+		TenantConcurrent: *tenantConcurrent,
+		MaxQueue:         *maxQueue,
+		DefaultDeadline:  *defaultDeadline,
+		MaxDeadline:      *maxDeadline,
+		MachineOptions: func(string) []shill.Option {
+			return []shill.Option{shill.WithWorkload(shill.Workload(*workload))}
+		},
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "shilld: listening on %s (workload=%s machines<=%d concurrent<=%d)\n",
+		*addr, *workload, *maxMachines, *maxConcurrent)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "shilld: %v\n", err)
+		srv.Close()
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "shilld: %v: draining (timeout %v)\n", s, *drainTimeout)
+	}
+
+	// Graceful drain: flip health to 503 and refuse new runs first, then
+	// stop accepting connections once in-flight handlers return, then
+	// close every tenant machine.
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(ctx)
+	drainErr := srv.Drain(ctx)
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "shilld: shutdown: %v\n", shutdownErr)
+		return 1
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "shilld: drain: %v\n", drainErr)
+		return 1
+	}
+	if !srv.MachinesClosed() {
+		fmt.Fprintln(os.Stderr, "shilld: drain left machines open")
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "shilld: drained cleanly")
+	return 0
+}

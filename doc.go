@@ -121,4 +121,37 @@
 //	go test ./internal/oracle -run TestGeneratedConformance -short           # >=200 pairs
 //	go test ./internal/oracle -run TestGeneratedConformance -gen.seed=S -gen.n=1
 //	go run ./cmd/shill-soak -duration 30s -json SOAK.json
+//
+// # The execution service (shilld)
+//
+// internal/server + cmd/shilld turn the embedding API into a
+// multi-tenant HTTP/JSON daemon — the trust model of the paper
+// (running untrusted scripts safely) as a network service. Clients
+// POST {tenant, script|scriptName|argv, args, deadlineMs, stream} to
+// /v1/run and receive {exitStatus, console, denials, elapsedNs, ...},
+// where denials is the run's []*audit.DenyReason — layer, op, object,
+// missing privileges, contract blame — JSON round-trippable (decoded
+// reasons still satisfy errors.Is against the errno sentinels), so a
+// rejected request is explainable over the wire. GET
+// /v1/audit/why-denied?tenant=T serves audit.Explain, the same query
+// path cmd/shill-audit prints, with full capability lineage.
+//
+// Isolation is per-tenant machines (own kernel, image, netstack, audit
+// log) in an LRU registry bounded by MaxMachines; admission control is
+// a bounded queue plus per-tenant concurrency quotas (429 +
+// Retry-After on overload); request deadlines and client disconnects
+// feed Session.Run's context, so an abandoned request kills its
+// sandboxed process tree (proved by internal/server tests). Runs end
+// with a socket sweep (lang.Interp.CloseLeftoverSockets): a cancelled
+// script's listeners do not stay bound on the pooled session.
+// Operability: /healthz, /metrics (req/s, queue depth, active runs,
+// per-machine shill.MachineStats), and graceful SIGTERM drain that
+// finishes in-flight runs and closes every machine.
+//
+// cmd/shill-load is the closed-loop load generator (concurrency, an
+// allow/deny/cancel mix, latency percentiles, response-shape checks);
+// `benchfig -fig serve` drives it against an in-process daemon and
+// writes BENCH_serve.json; scripts/shilld-smoke.sh is the end-to-end
+// CI smoke (32 mixed clients, why-denied JSON assertions, clean
+// SIGTERM drain).
 package repro

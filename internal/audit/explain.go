@@ -1,0 +1,62 @@
+package audit
+
+import "repro/internal/priv"
+
+// Explain is the shared why-denied query path: it turns the log's
+// retained denial events into self-contained, JSON-ready explanations —
+// the deciding layer, operation, object, missing privileges, contract
+// blame, and (for capability-level denials) the full forge-to-denial
+// lineage. cmd/shill-audit prints these; shilld serves them over
+// GET /v1/audit/why-denied, so a rejected request is explainable over
+// the wire with exactly the provenance the CLI shows locally.
+
+// Explanation is one denial, explained.
+type Explanation struct {
+	Seq     uint64   `json:"seq"`
+	Session uint64   `json:"session"`
+	Kind    Kind     `json:"kind"`
+	Layer   Layer    `json:"layer"`
+	Policy  string   `json:"policy,omitempty"`
+	Op      string   `json:"op"`
+	Object  string   `json:"object,omitempty"`
+	Missing priv.Set `json:"missing,omitempty"`
+	// Detail carries the kind-specific context: the contract that
+	// attenuated the capability (cap-deny), the contract label and
+	// outcome (contract), or the deciding rule (syscall denials).
+	Detail  string `json:"detail,omitempty"`
+	CapID   uint64 `json:"capId,omitempty"`
+	Lineage string `json:"lineage,omitempty"`
+}
+
+// Explain returns an explanation for every retained denial recorded
+// after the sequence point since (exclusive); since 0 explains the
+// whole retained log. A nil log explains nothing.
+func Explain(l *Log, since uint64) []Explanation {
+	if l == nil {
+		return nil
+	}
+	events := l.Denials()
+	out := make([]Explanation, 0, len(events))
+	for _, e := range events {
+		if e.Seq <= since {
+			continue
+		}
+		ex := Explanation{
+			Seq:     e.Seq,
+			Session: e.Session,
+			Kind:    e.Kind,
+			Layer:   e.Layer,
+			Policy:  e.Policy,
+			Op:      e.Op,
+			Object:  e.Object,
+			Missing: e.Rights,
+			Detail:  e.Detail,
+			CapID:   e.CapID,
+		}
+		if e.CapID != 0 {
+			ex.Lineage = FormatLineage(l.Lineage(e.CapID))
+		}
+		out = append(out, ex)
+	}
+	return out
+}

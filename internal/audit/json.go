@@ -1,0 +1,118 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/errno"
+	"repro/internal/priv"
+)
+
+// JSON encoding: DenyReason is part of shilld's wire format — a client
+// that POSTs a script receives the structured provenance of every
+// denial the run recorded. Layers and kinds travel as their display
+// names, privilege sets as name lists, and the errno as its canonical
+// message, so a denial survives encode→decode with errors.Is intact.
+
+// MarshalText renders the layer name ("DAC", "shill-policy", …).
+func (l Layer) MarshalText() ([]byte, error) { return []byte(l.String()), nil }
+
+// UnmarshalText parses a layer name produced by MarshalText.
+func (l *Layer) UnmarshalText(b []byte) error {
+	s := string(b)
+	for c := LayerDAC; c <= LayerContract; c++ {
+		if c.String() == s {
+			*l = c
+			return nil
+		}
+	}
+	return fmt.Errorf("audit: unknown layer %q", s)
+}
+
+// MarshalText renders the kind name ("syscall", "cap-deny", …).
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind name produced by MarshalText.
+func (k *Kind) UnmarshalText(b []byte) error {
+	s := string(b)
+	for c := KindSyscall; c <= KindExit; c++ {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("audit: unknown kind %q", s)
+}
+
+// MarshalText renders the verdict name ("allow", "deny").
+func (v Verdict) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText parses a verdict name produced by MarshalText.
+func (v *Verdict) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case Allow.String():
+		*v = Allow
+	case Deny.String():
+		*v = Deny
+	default:
+		return fmt.Errorf("audit: unknown verdict %q", string(b))
+	}
+	return nil
+}
+
+// denyReasonJSON is the wire shape of a DenyReason; Errno travels as
+// its canonical message.
+type denyReasonJSON struct {
+	Layer   Layer    `json:"layer"`
+	Policy  string   `json:"policy,omitempty"`
+	Op      string   `json:"op"`
+	Object  string   `json:"object,omitempty"`
+	Session uint64   `json:"session,omitempty"`
+	Missing priv.Set `json:"missing,omitempty"`
+	CapID   uint64   `json:"capId,omitempty"`
+	Blame   []string `json:"blame,omitempty"`
+	Seq     uint64   `json:"seq,omitempty"`
+	Errno   string   `json:"errno,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d *DenyReason) MarshalJSON() ([]byte, error) {
+	w := denyReasonJSON{
+		Layer:   d.Layer,
+		Policy:  d.Policy,
+		Op:      d.Op,
+		Object:  d.Object,
+		Session: d.Session,
+		Missing: d.Missing,
+		CapID:   d.CapID,
+		Blame:   d.Blame,
+		Seq:     d.Seq,
+	}
+	if d.Errno != nil {
+		w.Errno = d.Errno.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded reason's Errno
+// is the canonical sentinel when the message names one, so errors.Is
+// checks against errno.EACCES et al. keep working across the wire.
+func (d *DenyReason) UnmarshalJSON(b []byte) error {
+	var w denyReasonJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*d = DenyReason{
+		Layer:   w.Layer,
+		Policy:  w.Policy,
+		Op:      w.Op,
+		Object:  w.Object,
+		Session: w.Session,
+		Missing: w.Missing,
+		CapID:   w.CapID,
+		Blame:   w.Blame,
+		Seq:     w.Seq,
+		Errno:   errno.Canonical(w.Errno),
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package audit
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/errno"
+	"repro/internal/priv"
+)
+
+// A denial must survive encode→decode with its provenance intact: the
+// wire is how shilld explains rejections to remote clients, so a lossy
+// round trip would silently strip the explanation.
+
+func TestDenyReasonJSONRoundTrip(t *testing.T) {
+	orig := &DenyReason{
+		Layer:   LayerCapability,
+		Op:      "write",
+		Object:  "/home/user/Documents/dog.jpg",
+		Session: 7,
+		Missing: priv.NewSet(priv.RWrite, priv.RAppend),
+		CapID:   42,
+		Blame:   []string{"peek : {f : file(+read, +stat)} -> void"},
+		Seq:     1234,
+		Errno:   errno.EACCES,
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DenyReason
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+	if !reflect.DeepEqual(&got, orig) {
+		t.Fatalf("round trip lost provenance:\n sent %+v\n got  %+v\n wire %s", orig, &got, data)
+	}
+	// The decoded errno is the canonical sentinel, not a lookalike.
+	if !errors.Is(&got, errno.EACCES) {
+		t.Fatalf("decoded reason does not unwrap to errno.EACCES: %v", got.Errno)
+	}
+	// And the one-line rendering still names the missing privileges.
+	if want := orig.Error(); got.Error() != want {
+		t.Fatalf("decoded message = %q, want %q", got.Error(), want)
+	}
+}
+
+func TestDenyReasonJSONLayers(t *testing.T) {
+	for l := LayerDAC; l <= LayerContract; l++ {
+		orig := &DenyReason{Layer: l, Op: "open", Errno: errno.EPERM}
+		if l == LayerMAC {
+			orig.Policy = "mac_test"
+		}
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got DenyReason
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("layer %v: %v", l, err)
+		}
+		if got.Layer != l || got.Policy != orig.Policy {
+			t.Fatalf("layer %v round-tripped to %v (policy %q)", l, got.Layer, got.Policy)
+		}
+	}
+}
+
+func TestDenyReasonJSONUnknownErrno(t *testing.T) {
+	var got DenyReason
+	if err := json.Unmarshal([]byte(`{"layer":"DAC","op":"open","errno":"EWEIRD: not a real errno"}`), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Errno == nil || got.Errno.Error() != "EWEIRD: not a real errno" {
+		t.Fatalf("unknown errno message not preserved: %v", got.Errno)
+	}
+}
+
+func TestPrivSetJSONRoundTrip(t *testing.T) {
+	for _, s := range []priv.Set{0, priv.ReadOnlyDir, priv.All, priv.AllSock} {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got priv.Set
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: %v", data, err)
+		}
+		if got != s {
+			t.Fatalf("set %v round-tripped to %v via %s", s, got, data)
+		}
+	}
+	var bad priv.Set
+	if err := json.Unmarshal([]byte(`["no-such-right"]`), &bad); err == nil {
+		t.Fatal("unknown right decoded without error")
+	}
+}
+
+func TestExplainWindowsAndLineage(t *testing.T) {
+	l := NewLog(64, 16)
+	sh := l.SessionShard(3)
+	l.Emit(l.Global(), Event{Kind: KindCapNew, CapID: 9, Detail: "forge:open-dir", Verdict: Allow})
+	before := l.Seq()
+	l.Emit(sh, Event{
+		Kind: KindCapDeny, Verdict: Deny, Layer: LayerCapability, Session: 3,
+		Op: "write", Object: "/tmp/x", Rights: priv.NewSet(priv.RWrite),
+		CapID: 9, Detail: "peek-contract",
+	})
+	all := Explain(l, 0)
+	if len(all) != 1 {
+		t.Fatalf("Explain(0) = %d explanations, want 1", len(all))
+	}
+	ex := all[0]
+	if ex.Layer != LayerCapability || ex.Op != "write" || ex.Detail != "peek-contract" || ex.Session != 3 {
+		t.Fatalf("explanation lost fields: %+v", ex)
+	}
+	if ex.Lineage == "" {
+		t.Fatalf("cap-deny explanation has no lineage: %+v", ex)
+	}
+	if got := Explain(l, before); len(got) != 1 {
+		t.Fatalf("Explain(since=%d) = %d, want 1", before, len(got))
+	}
+	if got := Explain(l, l.Seq()); len(got) != 0 {
+		t.Fatalf("Explain(since=now) = %d, want 0", len(got))
+	}
+	// Explanations are wire-ready.
+	if _, err := json.Marshal(all); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -127,3 +127,9 @@ func (c *Capability) SocketClose() {
 		c.proc.Kernel().Net.Close(c.sockObj)
 	}
 }
+
+// SocketOpen reports whether the capability still holds a live socket —
+// the run-end leftover sweep uses it to count what a script left bound.
+func (c *Capability) SocketOpen() bool {
+	return c.kind == KindSocket && c.sockObj != nil && !c.closed
+}

@@ -41,3 +41,28 @@ var (
 	ENAMETOOLONG = errors.New("ENAMETOOLONG: file name too long")
 	ETIMEDOUT    = errors.New("ETIMEDOUT: operation timed out")
 )
+
+// sentinels lists every defined errno, for message-based lookup.
+var sentinels = []error{
+	EPERM, ENOENT, ESRCH, EINTR, EIO, EBADF, ECHILD, EACCES, EBUSY,
+	EEXIST, EXDEV, ENOTDIR, EISDIR, EINVAL, EMFILE, EFBIG, ENOSPC,
+	EROFS, EMLINK, EPIPE, ENOTEMPTY, ELOOP, ENOSYS, EADDRINUSE,
+	ECONNREFUSED, ENOTCONN, ECONNABORTED, EAGAIN, ENAMETOOLONG,
+	ETIMEDOUT,
+}
+
+// Canonical maps an error message back to the sentinel that produced
+// it, so an errno decoded from the wire satisfies the same errors.Is
+// checks as the original. Unknown messages return a fresh error with
+// the message preserved; empty messages return nil.
+func Canonical(msg string) error {
+	if msg == "" {
+		return nil
+	}
+	for _, s := range sentinels {
+		if s.Error() == msg {
+			return s
+		}
+	}
+	return errors.New(msg)
+}

@@ -64,6 +64,10 @@ type Interp struct {
 	// runaway script. Stored atomically because the fuzz/race harnesses
 	// drive one interpreter from several goroutines.
 	runCtx atomic.Pointer[context.Context]
+
+	// socks registers every socket the run mints so leftovers can be
+	// closed when the run ends (see sockets.go).
+	socks sockTracker
 }
 
 // SetContext installs (or, with nil, removes) the context the eval loop

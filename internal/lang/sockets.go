@@ -1,0 +1,47 @@
+package lang
+
+import (
+	"sync"
+
+	"repro/internal/cap"
+)
+
+// Language-level sockets are minted straight on the network stack (not
+// in any process's descriptor table), so nothing closes them when a run
+// ends: a pooled session outlives its runs, and a cancelled — or merely
+// sloppy — script would otherwise leave its listeners bound forever.
+// The interpreter therefore tracks every socket its builtins mint, and
+// the run driver sweeps leftovers with CloseLeftoverSockets.
+
+// sockTracker is the per-interpreter registry of minted sockets.
+type sockTracker struct {
+	mu    sync.Mutex
+	socks []*cap.Capability
+}
+
+// trackSocket remembers a socket capability minted by this run.
+func (it *Interp) trackSocket(c *cap.Capability) {
+	it.socks.mu.Lock()
+	it.socks.socks = append(it.socks.socks, c)
+	it.socks.mu.Unlock()
+}
+
+// CloseLeftoverSockets closes every socket this interpreter minted and
+// the script did not close itself, returning how many were still open.
+// Callers run it after every script, successful or cancelled; scripts
+// that close their sockets (as the generated conformance programs do)
+// are unaffected.
+func (it *Interp) CloseLeftoverSockets() int {
+	it.socks.mu.Lock()
+	socks := it.socks.socks
+	it.socks.socks = nil
+	it.socks.mu.Unlock()
+	n := 0
+	for _, c := range socks {
+		if c.SocketOpen() {
+			n++
+			c.SocketClose()
+		}
+	}
+	return n
+}

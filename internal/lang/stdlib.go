@@ -165,6 +165,7 @@ func (it *Interp) stdlibModule(name string) (*Module, error) {
 			if err != nil {
 				return asSyserror(err)
 			}
+			it.trackSocket(c)
 			return c, nil
 		})
 		bi("socket_listen", 2, 2, nil, func(it *Interp, args []Value, _ map[string]Value) (Value, error) {
@@ -180,6 +181,7 @@ func (it *Interp) stdlibModule(name string) (*Module, error) {
 			if err != nil {
 				return asSyserror(err)
 			}
+			it.trackSocket(c)
 			return c, nil
 		})
 		bi("socket_accept", 1, 1, nil, func(it *Interp, args []Value, _ map[string]Value) (Value, error) {
@@ -191,6 +193,7 @@ func (it *Interp) stdlibModule(name string) (*Module, error) {
 			if aerr != nil {
 				return asSyserror(aerr)
 			}
+			it.trackSocket(c)
 			return c, nil
 		})
 		bi("socket_send", 2, 2, nil, func(it *Interp, args []Value, _ map[string]Value) (Value, error) {

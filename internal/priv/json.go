@@ -1,0 +1,38 @@
+package priv
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encoding: a Set travels on the wire as the sorted list of
+// paper-style privilege names, e.g. ["read","stat","path"], so a denial
+// serialized by shilld is readable without knowing the bitmask layout
+// and round-trips exactly through ParseRight.
+
+// MarshalJSON implements json.Marshaler.
+func (s Set) MarshalJSON() ([]byte, error) {
+	names := make([]string, 0, s.Count())
+	for _, r := range s.Rights() {
+		names = append(names, r.String())
+	}
+	return json.Marshal(names)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Set) UnmarshalJSON(b []byte) error {
+	var names []string
+	if err := json.Unmarshal(b, &names); err != nil {
+		return fmt.Errorf("priv: Set: %w", err)
+	}
+	var out Set
+	for _, n := range names {
+		r, err := ParseRight(n)
+		if err != nil {
+			return err
+		}
+		out = out.Add(r)
+	}
+	*s = out
+	return nil
+}

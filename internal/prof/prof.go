@@ -87,9 +87,9 @@ func (c *Collector) Count(cat Category) int64 {
 // Sample is one category's accumulated duration and event count — the
 // unit of the per-run profiles repro/shill attaches to each Result.
 type Sample struct {
-	Category Category
-	Total    time.Duration
-	Count    int64
+	Category Category      `json:"category"`
+	Total    time.Duration `json:"totalNs"`
+	Count    int64         `json:"count"`
 }
 
 // Samples snapshots every category, in category order (including zero

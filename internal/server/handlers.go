@@ -1,0 +1,277 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/audit"
+	"repro/shill"
+)
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /v1/run              execute a script (or argv) for a tenant
+//	GET  /v1/audit/why-denied explain a tenant's recorded denials
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             Prometheus-style text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/audit/why-denied", s.handleWhyDenied)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (s *Server) writeAdmitError(w http.ResponseWriter, err error) {
+	var ae *admitError
+	if errors.As(err, &ae) {
+		if ae.retryAfter > 0 {
+			secs := int(ae.retryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		writeJSON(w, ae.status, errorResponse{Error: ae.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+}
+
+// handleRun is the execution endpoint. Admission order: drain gate,
+// tenant machine + quota, then a global slot (bounded queue). The
+// request deadline and the client's own disconnection both feed the
+// run's context, so either kills the sandboxed process tree.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Add(1)
+
+	var req RunRequest
+	body := io.LimitReader(r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if !validTenant(req.Tenant) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "tenant must be 1-64 chars of [A-Za-z0-9._-]"})
+		return
+	}
+	nsel := 0
+	for _, set := range []bool{req.Script != "", req.ScriptName != "", len(req.Argv) > 0} {
+		if set {
+			nsel++
+		}
+	}
+	if nsel != 1 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "exactly one of script, scriptName, argv required"})
+		return
+	}
+
+	// beginRequest checks the drain flag and joins the in-flight group
+	// atomically (gateMu), so Drain never closes machines under a run
+	// it did not wait for and inflight.Add never races inflight.Wait.
+	if !s.beginRequest() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+	defer s.inflight.Done()
+
+	t, err := s.acquireTenant(req.Tenant)
+	if err != nil {
+		s.writeAdmitError(w, err)
+		return
+	}
+	defer s.releaseTenant(t)
+
+	// Script resolution happens before a slot is consumed: a 404 should
+	// not cost queue capacity.
+	src := req.Script
+	name := "request.ambient"
+	if req.ScriptName != "" {
+		if src, err = t.m.Resolver().Load(req.ScriptName); err != nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		name = req.ScriptName
+	}
+	if len(req.Args) > 0 && len(req.Argv) == 0 {
+		src = spliceArgs(src, req.Args)
+	}
+
+	queueStart := time.Now()
+	if err := s.acquireSlot(r.Context()); err != nil {
+		s.writeAdmitError(w, err)
+		return
+	}
+	defer func() { <-s.slots }()
+	queuedMs := float64(time.Since(queueStart)) / float64(time.Millisecond)
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+		if deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	sess := t.m.NewSession()
+	defer sess.Close()
+	s.met.activeRuns.Add(1)
+	defer s.met.activeRuns.Add(-1)
+
+	if req.Stream {
+		s.streamRun(ctx, w, sess, req, name, src, queuedMs)
+		return
+	}
+
+	resp := s.execute(ctx, sess, req, name, src, queuedMs)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute runs the request on an admitted session and shapes the
+// response; run failures (denials, cancellations, nonzero exits) are
+// results, not transport errors.
+func (s *Server) execute(ctx context.Context, sess *shill.Session, req RunRequest, name, src string, queuedMs float64) *RunResponse {
+	var res *shill.Result
+	var err error
+	if len(req.Argv) > 0 {
+		res, err = sess.RunCommand(ctx, req.Argv, req.Dir)
+	} else {
+		res, err = sess.Run(ctx, shill.Script{Name: name, Source: src})
+	}
+
+	resp := &RunResponse{Tenant: req.Tenant, QueuedMs: queuedMs}
+	if res != nil {
+		resp.Result = *res
+	} else {
+		resp.Script = name
+		resp.ExitStatus = -1
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		if ctx.Err() != nil {
+			resp.Canceled = true
+			s.met.canceled.Add(1)
+		}
+		// Count a denied run only when it failed: the seq-windowed
+		// Denials slice can include a concurrent neighbour's denials on
+		// a shared tenant machine, so a successful run with a populated
+		// window is not a denial. (Scripts may swallow the DenyReason
+		// into a plain script error, so the window — not the error
+		// chain — is the reliable signal on a failed run.)
+		if audit.ReasonFor(err) != nil || len(resp.Denials) > 0 {
+			s.met.denied.Add(1)
+		}
+	}
+	return resp
+}
+
+// streamRun answers with NDJSON: one {"console": ...} event per
+// console write, then a final {"result": ...} event. The console tee
+// feeds a pump goroutine so the session's console device never blocks
+// on the network.
+func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, sess *shill.Session, req RunRequest, name, src string, queuedMs float64) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	p := newPump()
+	pumpDone := make(chan struct{})
+	go func() {
+		defer close(pumpDone)
+		p.pumpTo(w, flusher)
+	}()
+	sess.StreamConsole(p)
+
+	resp := s.execute(ctx, sess, req, name, src, queuedMs)
+
+	sess.StreamConsole(nil)
+	p.close()
+	<-pumpDone
+
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(StreamEvent{Result: resp})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleWhyDenied serves the shill-audit why-denied query path over
+// the wire: every retained denial of the tenant's machine, explained
+// with layer, op, object, missing privileges, contract blame, and
+// capability lineage. ?since=N windows the reply to denials recorded
+// after that audit sequence point.
+func (s *Server) handleWhyDenied(w http.ResponseWriter, r *http.Request) {
+	tenantName := r.URL.Query().Get("tenant")
+	if !validTenant(tenantName) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "tenant must be 1-64 chars of [A-Za-z0-9._-]"})
+		return
+	}
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "since must be an audit sequence number"})
+			return
+		}
+		since = v
+	}
+	t := s.lookupTenant(tenantName)
+	if t == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no machine for tenant %q", tenantName)})
+		return
+	}
+	log := t.m.AuditLog()
+	resp := WhyDeniedResponse{
+		Tenant:   tenantName,
+		Since:    since,
+		AuditSeq: log.Seq(),
+		Denials:  audit.Explain(log, since),
+	}
+	if resp.Denials == nil {
+		resp.Denials = []audit.Explanation{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status     string  `json:"status"`
+		UptimeSec  float64 `json:"uptimeSec"`
+		Tenants    int     `json:"tenants"`
+		ActiveRuns int64   `json:"activeRuns"`
+	}
+	h := health{
+		Status:     "ok",
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Tenants:    s.Tenants(),
+		ActiveRuns: s.met.activeRuns.Load(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}

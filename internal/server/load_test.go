@@ -1,0 +1,103 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/loadgen"
+)
+
+// The acceptance run: 64 concurrent closed-loop clients against one
+// in-process shilld, mixed allowed/denied/cancelled requests across 4
+// tenant machines. Must be race-clean (CI runs ./... under -race),
+// every response must have the right shape (denials carry provenance,
+// cancels report cancellation), cancelled requests must leave zero
+// session/process/socket leaks, and the drain must close every
+// machine.
+func TestServe64ConcurrentMixedLoad(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+
+	s := server.New(server.Config{
+		MaxMachines:      8,
+		MaxConcurrent:    64,
+		TenantConcurrent: 32,
+		MaxQueue:         256,
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	requests := 256
+	if testing.Short() {
+		requests = 128
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		URL:      ts.URL,
+		Clients:  64,
+		Requests: requests,
+		Tenants:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load: %d req in %.2fs (%.0f req/s), %d allowed / %d denied / %d canceled / %d rejected",
+		rep.Requests, rep.ElapsedSec, rep.ReqPerSec, rep.Allowed, rep.Denied, rep.Canceled, rep.Rejected)
+
+	if rep.HTTPErrors != 0 {
+		t.Fatalf("%d transport/status errors", rep.HTTPErrors)
+	}
+	if bad := rep.Bad(); bad != 0 {
+		t.Fatalf("%d malformed responses (badAllow=%d badDeny=%d badCancel=%d)",
+			bad, rep.BadAllow, rep.BadDeny, rep.BadCancel)
+	}
+	if rep.Allowed == 0 || rep.Denied == 0 || rep.Canceled == 0 {
+		t.Fatalf("mix did not exercise all kinds: %+v", rep)
+	}
+
+	// Every machine settles back to zero active sessions and zero live
+	// sockets — cancelled accepts included.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		clean := true
+		stats := s.MachineStats()
+		for _, st := range stats {
+			if st.ActiveSessions != 0 || st.LiveSockets != 0 {
+				clean = false
+			}
+		}
+		if clean {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("machines did not settle after load: %+v", stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !s.MachinesClosed() {
+		t.Fatal("drain left machines open")
+	}
+	ts.Close()
+
+	// Zero goroutine leaks across the whole serve-and-drain cycle.
+	settleDeadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= goroutinesBefore {
+			break
+		}
+		if time.Now().After(settleDeadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", goroutinesBefore, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

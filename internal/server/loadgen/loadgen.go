@@ -1,0 +1,357 @@
+// Package loadgen is the closed-loop load generator behind
+// cmd/shill-load and `benchfig -fig serve`: N concurrent clients drive
+// a shilld endpoint with a configurable mix of allowed, denied, and
+// cancelled runs, verify each response's shape (a deny response must
+// carry structured provenance; a cancel response must report
+// cancellation), and report throughput plus a latency histogram.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/server"
+)
+
+// Mix is the request blend in percent; the three fields must sum to
+// 100. Kinds are interleaved deterministically, so e.g. 60/30/10 sends
+// exactly that blend regardless of scheduling.
+type Mix struct {
+	AllowPct  int `json:"allowPct"`
+	DenyPct   int `json:"denyPct"`
+	CancelPct int `json:"cancelPct"`
+}
+
+// DefaultMix is 60% allowed, 30% denied, 10% cancelled.
+var DefaultMix = Mix{AllowPct: 60, DenyPct: 30, CancelPct: 10}
+
+// Config tunes a load run.
+type Config struct {
+	// URL is the shilld base URL (e.g. http://127.0.0.1:8377).
+	URL string
+	// Clients is the closed-loop concurrency. Default 16.
+	Clients int
+	// Requests is the total request budget across all clients; 0 means
+	// run until Duration elapses.
+	Requests int
+	// Duration bounds the run in time; 0 means run until Requests.
+	Duration time.Duration
+	// Mix is the request blend; zero value means DefaultMix.
+	Mix Mix
+	// Tenants spreads requests round-robin over this many tenants
+	// (t0, t1, …). Default 4.
+	Tenants int
+	// DeadlineMs is the allow/deny request deadline. Default 10000.
+	DeadlineMs int
+	// CancelDeadlineMs is the short deadline that forces the cancel
+	// kind's blocking script to be killed server-side. Default 80.
+	CancelDeadlineMs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Requests <= 0 && c.Duration <= 0 {
+		c.Requests = 256
+	}
+	if c.Mix == (Mix{}) {
+		c.Mix = DefaultMix
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.DeadlineMs <= 0 {
+		c.DeadlineMs = 10_000
+	}
+	if c.CancelDeadlineMs <= 0 {
+		c.CancelDeadlineMs = 80
+	}
+	return c
+}
+
+// LatencySummary condenses a latency sample set.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P90Ms float64 `json:"p90Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+}
+
+// Report is the outcome of one load run; it doubles as the
+// BENCH_serve.json document.
+type Report struct {
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	ElapsedSec float64 `json:"elapsedSec"`
+	ReqPerSec  float64 `json:"reqPerSec"`
+
+	Allowed  int `json:"allowed"`
+	Denied   int `json:"denied"`
+	Canceled int `json:"canceled"`
+	// Rejected counts 429 backpressure answers (they are the admission
+	// control working, not failures).
+	Rejected int `json:"rejected"`
+	// HTTPErrors counts transport failures and unexpected statuses.
+	HTTPErrors int `json:"httpErrors"`
+	// BadAllow / BadDeny / BadCancel count responses whose shape was
+	// wrong: an allowed run that failed, a denied run without
+	// structured provenance, a cancel run that was not cancelled. A
+	// healthy server reports zero for all three.
+	BadAllow  int `json:"badAllow"`
+	BadDeny   int `json:"badDeny"`
+	BadCancel int `json:"badCancel"`
+
+	Latency       LatencySummary `json:"latency"`
+	AllowLatency  LatencySummary `json:"allowLatency"`
+	DenyLatency   LatencySummary `json:"denyLatency"`
+	CancelLatency LatencySummary `json:"cancelLatency"`
+	// DenyOverheadPct is the deny-path p50 relative to the allow-path
+	// p50, in percent — the cost of producing a denial with provenance.
+	DenyOverheadPct float64 `json:"denyOverheadPct"`
+}
+
+// Bad reports whether any response had the wrong shape.
+func (r *Report) Bad() int { return r.BadAllow + r.BadDeny + r.BadCancel }
+
+// The request kinds. Allow and deny go through built-in scripts every
+// default shilld machine resolves; cancel blocks on a socket accept
+// (each request on its own port so concurrent cancels don't collide)
+// until its short deadline kills it server-side.
+const (
+	kindAllow = iota
+	kindDeny
+	kindCancel
+)
+
+const allowScript = "#lang shill/ambient\n\nappend(stdout, \"ok\\n\");\n"
+
+func cancelScript(port int) string {
+	return fmt.Sprintf(`#lang shill/ambient
+require shill/sockets;
+
+append(stdout, "blocking\n");
+f = socket_factory("ip");
+l = socket_listen(f, "%d");
+c = socket_accept(l);
+`, port)
+}
+
+// Run drives the configured load and returns the report. ctx aborts
+// the run early (the report covers what was sent).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mix.AllowPct+cfg.Mix.DenyPct+cfg.Mix.CancelPct != 100 {
+		return nil, fmt.Errorf("loadgen: mix %d/%d/%d does not sum to 100",
+			cfg.Mix.AllowPct, cfg.Mix.DenyPct, cfg.Mix.CancelPct)
+	}
+
+	var (
+		issued   atomic.Int64
+		deadline time.Time
+	)
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	// A private transport, closed on return, so a caller checking for
+	// goroutine leaks after a run doesn't see lingering keep-alives.
+	transport := &http.Transport{MaxIdleConnsPerHost: cfg.Clients}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport}
+
+	type obs struct {
+		kind    int
+		status  int
+		latency time.Duration
+		resp    *server.RunResponse
+		err     error
+	}
+	var mu sync.Mutex
+	var all []obs
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := issued.Add(1) - 1
+				if cfg.Requests > 0 && i >= int64(cfg.Requests) {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				o := obs{kind: kindOf(cfg.Mix, i)}
+				reqStart := time.Now()
+				o.status, o.resp, o.err = one(ctx, client, cfg, o.kind, i)
+				o.latency = time.Since(reqStart)
+				mu.Lock()
+				all = append(all, o)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Clients: cfg.Clients}
+	var lat, latAllow, latDeny, latCancel []time.Duration
+	for _, o := range all {
+		rep.Requests++
+		if o.err != nil {
+			rep.HTTPErrors++
+			continue
+		}
+		switch o.status {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			rep.Rejected++
+			continue
+		default:
+			rep.HTTPErrors++
+			continue
+		}
+		lat = append(lat, o.latency)
+		switch o.kind {
+		case kindAllow:
+			latAllow = append(latAllow, o.latency)
+			// No assertion on Denials: the per-run window on a shared
+			// tenant machine can legitimately include a concurrent
+			// neighbour's denials.
+			if o.resp.ExitStatus == 0 && o.resp.Console == "ok\n" && o.resp.Error == "" {
+				rep.Allowed++
+			} else {
+				rep.BadAllow++
+			}
+		case kindDeny:
+			latDeny = append(latDeny, o.latency)
+			if o.resp.ExitStatus != 0 && deniedWithProvenance(o.resp) {
+				rep.Denied++
+			} else {
+				rep.BadDeny++
+			}
+		case kindCancel:
+			latCancel = append(latCancel, o.latency)
+			if o.resp.Canceled {
+				rep.Canceled++
+			} else {
+				rep.BadCancel++
+			}
+		}
+	}
+	rep.ElapsedSec = elapsed.Seconds()
+	if rep.ElapsedSec > 0 {
+		rep.ReqPerSec = float64(rep.Requests) / rep.ElapsedSec
+	}
+	rep.Latency = summarize(lat)
+	rep.AllowLatency = summarize(latAllow)
+	rep.DenyLatency = summarize(latDeny)
+	rep.CancelLatency = summarize(latCancel)
+	if rep.AllowLatency.P50Ms > 0 {
+		rep.DenyOverheadPct = (rep.DenyLatency.P50Ms - rep.AllowLatency.P50Ms) / rep.AllowLatency.P50Ms * 100
+	}
+	return rep, nil
+}
+
+// deniedWithProvenance checks the property the service exists for: a
+// denial on the wire names its layer and what was missing.
+func deniedWithProvenance(r *server.RunResponse) bool {
+	for _, d := range r.Denials {
+		if d.Layer == audit.LayerCapability && !d.Missing.Empty() && len(d.Blame) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// kindOf deals kinds deterministically in proportion to the mix.
+func kindOf(m Mix, i int64) int {
+	slot := int(i % 100)
+	switch {
+	case slot < m.AllowPct:
+		return kindAllow
+	case slot < m.AllowPct+m.DenyPct:
+		return kindDeny
+	default:
+		return kindCancel
+	}
+}
+
+// one sends a single request and decodes its response.
+func one(ctx context.Context, client *http.Client, cfg Config, kind int, i int64) (int, *server.RunResponse, error) {
+	req := server.RunRequest{
+		Tenant:     fmt.Sprintf("t%d", i%int64(cfg.Tenants)),
+		DeadlineMs: cfg.DeadlineMs,
+	}
+	switch kind {
+	case kindAllow:
+		req.Script = allowScript
+	case kindDeny:
+		req.ScriptName = "why_denied.ambient"
+	case kindCancel:
+		// Ports spread over [20000, 52000) so concurrent cancels on one
+		// machine don't collide.
+		req.Script = cancelScript(20000 + int(i%32000))
+		req.DeadlineMs = cfg.CancelDeadlineMs
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, "POST", cfg.URL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil, nil
+	}
+	var rr server.RunResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return resp.StatusCode, nil, fmt.Errorf("bad response body: %w", err)
+	}
+	return resp.StatusCode, &rr, nil
+}
+
+func summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return LatencySummary{
+		Count: len(lat),
+		P50Ms: ms(pct(0.50)),
+		P90Ms: ms(pct(0.90)),
+		P99Ms: ms(pct(0.99)),
+		MaxMs: ms(lat[len(lat)-1]),
+	}
+}

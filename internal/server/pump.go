@@ -1,0 +1,72 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// pump decouples the session console's tee from the network: the
+// console device calls Write under its own lock (and must never block
+// on a slow client), so writes land in an in-memory queue that a
+// dedicated goroutine drains to the HTTP response as NDJSON console
+// events.
+type pump struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chunks [][]byte
+	closed bool
+}
+
+func newPump() *pump {
+	p := &pump{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Write implements io.Writer for Session.StreamConsole; it copies the
+// chunk and returns immediately.
+func (p *pump) Write(b []byte) (int, error) {
+	c := make([]byte, len(b))
+	copy(c, b)
+	p.mu.Lock()
+	p.chunks = append(p.chunks, c)
+	p.mu.Unlock()
+	p.cond.Signal()
+	return len(b), nil
+}
+
+// close marks the stream finished; pumpTo drains what remains and
+// returns.
+func (p *pump) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// pumpTo writes queued chunks as {"console": ...} NDJSON events until
+// close, flushing after every batch so clients see output live.
+func (p *pump) pumpTo(w http.ResponseWriter, flusher http.Flusher) {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for {
+		p.mu.Lock()
+		for len(p.chunks) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		batch := p.chunks
+		p.chunks = nil
+		done := p.closed && len(batch) == 0
+		p.mu.Unlock()
+		if done {
+			return
+		}
+		for _, c := range batch {
+			enc.Encode(StreamEvent{Console: string(c)})
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

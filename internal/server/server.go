@@ -1,0 +1,392 @@
+// Package server is shilld's engine: a multi-tenant script-execution
+// service over the repro/shill embedding API. Clients POST scripts (or
+// native argv) with a tenant name and a deadline; the server runs them
+// in pooled sandbox sessions on per-tenant machines and returns the
+// exit status, console output, and the full structured denial
+// provenance — a rejected request is explainable over the wire exactly
+// the way `shill-audit why-denied` explains it locally.
+//
+// Isolation is kernel-level, not just session-level: every tenant owns
+// a whole shill.Machine (own simulated kernel, filesystem image,
+// network stack, audit log), held in an LRU registry bounded by
+// MaxMachines. Admission control is a bounded queue with per-tenant
+// concurrency quotas; overload answers 429 with Retry-After instead of
+// queueing without bound. Request deadlines and client disconnects are
+// wired straight into Session.Run's context cancellation, so an
+// abandoned request kills the sandboxed process tree it was running.
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/shill"
+)
+
+// Config tunes the server; the zero value serves with the defaults
+// noted on each field.
+type Config struct {
+	// MaxMachines caps how many tenant machines exist at once; the
+	// least-recently-used idle machine is evicted (and closed) to make
+	// room. Default 8.
+	MaxMachines int
+	// MaxConcurrent caps globally concurrent runs. Default 16.
+	MaxConcurrent int
+	// TenantConcurrent caps one tenant's concurrent admitted runs
+	// (running or queued for a global slot). Default 4.
+	TenantConcurrent int
+	// MaxQueue caps how many admitted runs may wait for a global slot;
+	// beyond it the server answers 429 + Retry-After. Default 64.
+	MaxQueue int
+	// DefaultDeadline bounds runs that specify no deadline. Default 10s.
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client-requested deadlines. Default 60s.
+	MaxDeadline time.Duration
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// MachineOptions builds the shill.NewMachine options for a tenant's
+	// machine. Default: the demo workload (so the built-in case-study
+	// scripts, including why_denied, resolve).
+	MachineOptions func(tenant string) []shill.Option
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxMachines <= 0 {
+		c.MaxMachines = 8
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 16
+	}
+	if c.TenantConcurrent <= 0 {
+		c.TenantConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MachineOptions == nil {
+		c.MachineOptions = func(string) []shill.Option {
+			return []shill.Option{shill.WithWorkload(shill.WorkloadDemo)}
+		}
+	}
+	return c
+}
+
+// Server executes tenant-submitted scripts. Create with New, serve its
+// Handler, stop with Drain (or Close).
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	slots    chan struct{} // global concurrency semaphore
+	queued   atomic.Int64  // runs waiting for a slot
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	// gateMu serializes the draining flip against run admission so
+	// inflight.Add can never race inflight.Wait from zero (the
+	// documented sync.WaitGroup misuse): every Add happens-before
+	// StartDrain returns, and Drain only Waits after StartDrain.
+	gateMu sync.Mutex
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	lru     *list.List // of *tenant; front = most recently used
+	closed  bool
+
+	met metrics
+}
+
+// tenant is one tenant's registry entry: its machine and its share of
+// the admission accounting. A freshly inserted entry is published
+// before its machine is built (ready is open, m is nil) so machine
+// construction — workload staging included — never holds Server.mu;
+// concurrent requests for the same tenant wait on ready.
+type tenant struct {
+	name   string
+	elem   *list.Element
+	active int // admitted runs (running or queued); guarded by Server.mu
+
+	ready    chan struct{}  // closed when the build finished
+	m        *shill.Machine // nil until ready (or on build failure)
+	buildErr error          // set before ready closes on failure
+}
+
+// New builds a server. No machines exist until the first request
+// names a tenant.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		start:   time.Now(),
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
+		tenants: make(map[string]*tenant),
+		lru:     list.New(),
+	}
+}
+
+// admitError is an admission refusal with its HTTP status.
+type admitError struct {
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *admitError) Error() string { return e.msg }
+
+// acquireTenant admits one run for the tenant: it looks up (or builds)
+// the tenant's machine, enforces the per-tenant quota, and bumps the
+// LRU. The caller must release with releaseTenant. Machine
+// construction (workload staging included) happens outside Server.mu —
+// a burst of new tenants must not stall admission, /metrics, or
+// /healthz for everyone else — so the entry is published first and
+// concurrent requests for the same tenant wait for the build.
+func (s *Server) acquireTenant(name string) (*tenant, error) {
+	var evict *shill.Machine
+	var build bool
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, &admitError{status: 503, msg: "server is draining"}
+	}
+	t := s.tenants[name]
+	if t == nil {
+		if len(s.tenants) >= s.cfg.MaxMachines {
+			victim := s.evictLocked()
+			if victim == nil {
+				s.mu.Unlock()
+				s.met.rejectedMachines.Add(1)
+				return nil, &admitError{status: 429, retryAfter: s.cfg.RetryAfter,
+					msg: fmt.Sprintf("machine registry full (%d tenants, all busy)", s.cfg.MaxMachines)}
+			}
+			evict = victim.m
+		}
+		t = &tenant{name: name, ready: make(chan struct{})}
+		t.elem = s.lru.PushFront(t)
+		s.tenants[name] = t
+		build = true
+	} else {
+		s.lru.MoveToFront(t.elem)
+	}
+	if t.active >= s.cfg.TenantConcurrent {
+		s.mu.Unlock()
+		if evict != nil {
+			evict.Close()
+		}
+		s.met.rejectedQuota.Add(1)
+		return nil, &admitError{status: 429, retryAfter: s.cfg.RetryAfter,
+			msg: fmt.Sprintf("tenant %q is at its concurrency quota (%d)", name, s.cfg.TenantConcurrent)}
+	}
+	t.active++
+	s.mu.Unlock()
+	if evict != nil {
+		evict.Close()
+	}
+
+	if build {
+		m, err := shill.NewMachine(s.cfg.MachineOptions(name)...)
+		if err != nil {
+			t.buildErr = fmt.Errorf("building machine for tenant %q: %w", name, err)
+		}
+		t.m = m
+		close(t.ready)
+		if err != nil {
+			s.dropTenant(t)
+			s.releaseTenant(t)
+			return nil, t.buildErr
+		}
+		return t, nil
+	}
+	<-t.ready
+	if t.buildErr != nil {
+		s.releaseTenant(t)
+		return nil, t.buildErr
+	}
+	return t, nil
+}
+
+func (s *Server) releaseTenant(t *tenant) {
+	s.mu.Lock()
+	t.active--
+	s.mu.Unlock()
+}
+
+// dropTenant removes a failed-build entry from the registry so a later
+// request can retry.
+func (s *Server) dropTenant(t *tenant) {
+	s.mu.Lock()
+	if s.tenants[t.name] == t {
+		delete(s.tenants, t.name)
+		s.lru.Remove(t.elem)
+	}
+	s.mu.Unlock()
+}
+
+// evictLocked removes the least-recently-used idle tenant from the
+// registry and returns it (its machine is closed by the caller outside
+// the lock); nil when every tenant has runs in flight.
+func (s *Server) evictLocked() *tenant {
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
+		t := e.Value.(*tenant)
+		if t.active == 0 {
+			s.lru.Remove(e)
+			delete(s.tenants, t.name)
+			s.met.evictions.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+// lookupTenant returns the tenant's registry entry without admitting a
+// run (audit queries), or nil. It waits out an in-flight machine build
+// so the caller always sees a usable machine.
+func (s *Server) lookupTenant(name string) *tenant {
+	s.mu.Lock()
+	t := s.tenants[name]
+	s.mu.Unlock()
+	if t == nil {
+		return nil
+	}
+	<-t.ready
+	if t.buildErr != nil {
+		return nil
+	}
+	return t
+}
+
+// acquireSlot takes a global concurrency slot, waiting in the bounded
+// queue when all slots are busy. Release by receiving from s.slots.
+func (s *Server) acquireSlot(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.met.rejectedQueue.Add(1)
+		return &admitError{status: 429, retryAfter: s.cfg.RetryAfter,
+			msg: fmt.Sprintf("queue full (%d waiting)", s.cfg.MaxQueue)}
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return &admitError{status: 503, msg: "canceled while queued: " + ctx.Err().Error()}
+	}
+}
+
+// Draining reports whether the server has stopped admitting runs.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// StartDrain flips the server into draining mode: /healthz turns 503
+// and new runs are refused, while in-flight runs keep going.
+func (s *Server) StartDrain() {
+	s.gateMu.Lock()
+	s.draining.Store(true)
+	s.gateMu.Unlock()
+}
+
+// beginRequest registers a run with the in-flight group unless the
+// server is draining; the caller must inflight.Done() when it returns
+// true.
+func (s *Server) beginRequest() bool {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Drain gracefully stops the server: no new runs are admitted,
+// in-flight runs finish (bounded by ctx), and then every tenant
+// machine is closed. Returns ctx's error if in-flight runs outlive it;
+// machines are closed regardless (cutting off whatever was still
+// running).
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.closeMachines()
+	return err
+}
+
+// Close is Drain without a bound.
+func (s *Server) Close() { s.Drain(context.Background()) }
+
+func (s *Server) closeMachines() {
+	s.mu.Lock()
+	s.closed = true
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.tenants = make(map[string]*tenant)
+	s.lru.Init()
+	s.mu.Unlock()
+	for _, t := range ts {
+		// A nil machine means a build abandoned by a timed-out drain;
+		// there is nothing to close.
+		if t.m != nil {
+			t.m.Close()
+		}
+	}
+}
+
+// MachineStats snapshots every registered tenant machine's resource
+// accounting — the per-tenant half of /metrics, and what leak checks
+// compare after a load run.
+func (s *Server) MachineStats() map[string]shill.MachineStats {
+	s.mu.Lock()
+	machines := make(map[string]*shill.Machine, len(s.tenants))
+	for name, t := range s.tenants {
+		if t.m != nil { // skip machines still being built
+			machines[name] = t.m
+		}
+	}
+	s.mu.Unlock()
+	out := make(map[string]shill.MachineStats, len(machines))
+	for name, m := range machines {
+		out[name] = m.Stats()
+	}
+	return out
+}
+
+// Tenants reports how many tenant machines are registered.
+func (s *Server) Tenants() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tenants)
+}
+
+// MachinesClosed reports whether every machine the registry ever held
+// has been closed — true only after a completed drain.
+func (s *Server) MachinesClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed && len(s.tenants) == 0
+}

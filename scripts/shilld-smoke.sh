@@ -1,0 +1,66 @@
+#!/bin/sh
+# shilld-smoke.sh — end-to-end smoke test of the execution service:
+# start the daemon, drive it with 32 concurrent mixed clients (allowed,
+# denied, and cancelled runs), assert that a denied script's response
+# and the why-denied endpoint carry the structured provenance JSON,
+# then SIGTERM and assert a clean drain (exit 0, machines closed).
+# Run from the repository root (CI does).
+set -eu
+
+ADDR=127.0.0.1:8377
+BIN=$(mktemp -d)
+PID=
+
+fail() {
+    echo "shilld-smoke: FAIL: $*" >&2
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    exit 1
+}
+trap 'rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/shilld" ./cmd/shilld
+go build -o "$BIN/shill-load" ./cmd/shill-load
+
+"$BIN/shilld" -addr "$ADDR" &
+PID=$!
+
+# Readiness: /healthz answers ok once the listener is up.
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i+1))
+    [ "$i" -le 50 ] || fail "daemon did not come up on $ADDR"
+    sleep 0.2
+done
+
+# 32 concurrent mixed clients. -check exits nonzero if any response had
+# the wrong shape: an allowed run that failed, a denied run without
+# structured provenance, a cancelled run that was not cancelled.
+"$BIN/shill-load" -url "http://$ADDR" -c 32 -n 256 -mix 60/30/10 -check \
+    || fail "shill-load -check"
+
+# A denied script's run response carries the provenance inline.
+RESP=$(curl -fsS "http://$ADDR/v1/run" \
+    -d '{"tenant":"smoke","scriptName":"why_denied.ambient"}')
+echo "$RESP" | grep -q '"layer":"capability"' || fail "run response lacks deciding layer: $RESP"
+echo "$RESP" | grep -q '"missing":\["write"\]'  || fail "run response lacks missing privileges: $RESP"
+echo "$RESP" | grep -q '"blame":'               || fail "run response lacks contract blame: $RESP"
+
+# The audit endpoint explains the same denial with capability lineage —
+# the shill-audit why-denied query path, over the wire.
+WD=$(curl -fsS "http://$ADDR/v1/audit/why-denied?tenant=smoke")
+echo "$WD" | grep -q '"kind":"cap-deny"' || fail "why-denied lacks the cap-deny event: $WD"
+echo "$WD" | grep -q '"lineage":'        || fail "why-denied lacks capability lineage: $WD"
+
+# Operability surface.
+curl -fsS "http://$ADDR/metrics" | grep -q '^shilld_requests_total' \
+    || fail "metrics lack shilld_requests_total"
+
+# Graceful drain: SIGTERM must finish in-flight work, close every
+# machine, and exit 0.
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+PID=
+[ "$STATUS" -eq 0 ] || fail "drain exited $STATUS, want 0"
+
+echo "shilld-smoke: ok"

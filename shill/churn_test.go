@@ -1,0 +1,271 @@
+package shill
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Session-pool churn: a serving frontend recycles sessions at high rate,
+// including sessions whose runs were cancelled mid-flight. The pool
+// accounting (IdleSessions / SessionCount / Stats) must stay exact and
+// nothing — processes, sockets, console tees — may leak from one owner
+// to the next.
+
+func TestSessionPoolChurnUnderCancel(t *testing.T) {
+	m := newTestMachine(t)
+	m.AddScript("spin.cap", spinScript)
+	base := m.Stats()
+
+	const workers = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s := m.NewSession()
+				if (w+i)%2 == 0 {
+					// A run cancelled mid-eval: the slot must come back clean.
+					ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+					if _, err := s.Run(ctx, Script{Name: "spin.ambient", Source: spinAmbient}); err == nil {
+						t.Error("cancelled churn run reported success")
+					}
+					cancel()
+				} else {
+					res, err := s.Run(context.Background(), Script{Name: "ok.ambient",
+						Source: "#lang shill/ambient\n\nappend(stdout, \"ok\\n\");\n"})
+					if err != nil {
+						t.Errorf("churn run failed: %v", err)
+					} else if res.Console != "ok\n" {
+						t.Errorf("churn run console = %q (stale console from previous owner?)", res.Console)
+					}
+				}
+				s.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := m.Stats()
+	if st.IdleSessions != st.Sessions {
+		t.Fatalf("pool accounting drifted: %d sessions, %d idle after all Closes", st.Sessions, st.IdleSessions)
+	}
+	if st.ActiveSessions != 0 {
+		t.Fatalf("active sessions = %d after churn, want 0", st.ActiveSessions)
+	}
+	if st.Sessions > workers {
+		t.Fatalf("pool grew to %d sessions under %d concurrent workers", st.Sessions, workers)
+	}
+	// Each pooled slot keeps its session process alive; nothing else may.
+	if want := base.Procs + st.Sessions; st.Procs > want {
+		t.Fatalf("process leak: %d procs, want <= %d (%d base + %d pooled sessions)",
+			st.Procs, want, base.Procs, st.Sessions)
+	}
+	if st.LiveSockets > base.LiveSockets {
+		t.Fatalf("socket leak: %d live sockets, was %d before churn", st.LiveSockets, base.LiveSockets)
+	}
+
+	// Every recycled slot still runs scripts cleanly.
+	for i := 0; i < workers; i++ {
+		s := m.NewSession()
+		assertSessionReusable(t, s)
+		s.Close()
+	}
+}
+
+func TestSessionCloseDetachesTee(t *testing.T) {
+	m := newTestMachine(t)
+	s1 := m.NewSession()
+	var leaked recordingWriter
+	s1.StreamConsole(&leaked)
+	s1.Close()
+
+	s2 := m.NewSession() // recycles s1's slot
+	defer s2.Close()
+	if s2 != s1 {
+		t.Fatalf("pool did not recycle the slot (got index %d, want %d)", s2.Index(), s1.Index())
+	}
+	if _, err := s2.Run(context.Background(), Script{Name: "tee.ambient",
+		Source: "#lang shill/ambient\n\nappend(stdout, \"private\\n\");\n"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := leaked.String(); got != "" {
+		t.Fatalf("previous owner's tee still attached: streamed %q", got)
+	}
+}
+
+// recordingWriter records each Write call as one chunk.
+type recordingWriter struct {
+	mu     sync.Mutex
+	chunks []string
+}
+
+func (r *recordingWriter) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.chunks = append(r.chunks, string(p))
+	return len(p), nil
+}
+
+func (r *recordingWriter) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out string
+	for _, c := range r.chunks {
+		out += c
+	}
+	return out
+}
+
+func (r *recordingWriter) Chunks() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.chunks...)
+}
+
+// linesCap writes n numbered lines to out, one append call each; the
+// ambient dialect is straight-line only, so the loop lives in a cap
+// module invoked with the session's stdout.
+func linesCap(n int) string {
+	return fmt.Sprintf(`#lang shill/cap
+
+provide writelines : {out : file(+write, +append)} -> void;
+
+writelines = fun(out) {
+  for i in range(%d) {
+    append(out, "line-" + to_string(i) + "\n");
+  }
+};
+`, n)
+}
+
+const linesAmbient = `#lang shill/ambient
+require "lines.cap";
+writelines(stdout);
+`
+
+// addLinesScript installs the pair and returns the ambient entry point.
+func addLinesScript(m *Machine, n int) Script {
+	m.AddScript("lines.cap", linesCap(n))
+	return Script{Name: "lines.ambient", Source: linesAmbient}
+}
+
+func TestStreamConsoleTeeContinuous(t *testing.T) {
+	// A tee attached for the whole run sees exactly the run's console
+	// output: no lost chunks, no corruption.
+	m := newTestMachine(t)
+	s := m.NewSession()
+	defer s.Close()
+	var rec recordingWriter
+	s.StreamConsole(&rec)
+	defer s.StreamConsole(nil)
+
+	res, err := s.Run(context.Background(), addLinesScript(m, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.String() != res.Console {
+		t.Fatalf("tee stream diverged from capture:\n tee %q\n cap %q", rec.String(), res.Console)
+	}
+}
+
+func TestStreamConsoleTeeAttachDetachWhileWriting(t *testing.T) {
+	// Attaching and detaching the tee while a script is writing must be
+	// race-clean, and whatever the tee observed must be whole,
+	// in-order chunks — never torn or interleaved-corrupt writes.
+	m := newTestMachine(t)
+	s := m.NewSession()
+	defer s.Close()
+
+	const lines = 400
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := s.Run(context.Background(), addLinesScript(m, lines))
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+
+	var rec recordingWriter
+	for attached := false; ; attached = !attached {
+		select {
+		case res := <-done:
+			s.StreamConsole(nil)
+			verifyTeeChunks(t, rec.Chunks(), lines)
+			if res != nil && len(res.Console) == 0 {
+				t.Fatal("run produced no console output")
+			}
+			return
+		default:
+		}
+		if attached {
+			s.StreamConsole(nil)
+		} else {
+			s.StreamConsole(&rec)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+var teeLine = regexp.MustCompile(`^line-(\d+)\n$`)
+
+// verifyTeeChunks asserts every observed chunk is one whole write (a
+// complete numbered line) and the sequence is strictly increasing —
+// chunks may be missing (tee was detached) but never corrupt or
+// reordered.
+func verifyTeeChunks(t *testing.T, chunks []string, max int) {
+	t.Helper()
+	last := -1
+	for i, c := range chunks {
+		sub := teeLine.FindStringSubmatch(c)
+		if sub == nil {
+			t.Fatalf("chunk %d is torn or corrupt: %q", i, c)
+		}
+		n, _ := strconv.Atoi(sub[1])
+		if n <= last || n >= max {
+			t.Fatalf("chunk %d out of order: line %d after line %d", i, n, last)
+		}
+		last = n
+	}
+}
+
+func TestRunSweepsLeftoverSockets(t *testing.T) {
+	// Language-level sockets live on the stack, not in a process fd
+	// table; the run-end sweep must close whatever a script left bound —
+	// whether the run completed (a listen with no close) or was
+	// cancelled while parked in accept.
+	m := newTestMachine(t)
+	s := m.NewSession()
+	defer s.Close()
+	before := m.Stats()
+
+	res, err := s.Run(context.Background(), Script{Name: "listen.ambient", Source: `#lang shill/ambient
+require shill/sockets;
+
+f = socket_factory("ip");
+l = socket_listen(f, "9901");
+`})
+	if err != nil {
+		t.Fatalf("listen script failed: %v (%+v)", err, res)
+	}
+	if st := m.Stats(); st.LiveSockets != before.LiveSockets || st.Listeners != before.Listeners {
+		t.Fatalf("completed run leaked sockets: before %+v, after %+v", before, st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if _, err := s.Run(ctx, Script{Name: "accept.ambient", Source: acceptAmbient}); err == nil {
+		t.Fatal("blocked accept was not cancelled")
+	}
+	if st := m.Stats(); st.LiveSockets != before.LiveSockets || st.Listeners != before.Listeners {
+		t.Fatalf("cancelled run leaked sockets: before %+v, after %+v", before, st)
+	}
+	assertSessionReusable(t, s)
+}

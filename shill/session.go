@@ -121,8 +121,11 @@ func (s *Session) ConsolePath() string { return s.consolePath }
 func (s *Session) StreamConsole(w io.Writer) { s.console.SetTee(w) }
 
 // Close returns the session to the machine's pool. The default session
-// is never pooled; closing it only clears its console.
+// is never pooled; closing it only clears its console. Any console tee
+// is detached: a recycled slot must never keep streaming to its
+// previous owner's writer.
 func (s *Session) Close() {
+	s.console.SetTee(nil)
 	s.console.ResetOutput()
 	if s.index < 0 {
 		return
@@ -146,24 +149,27 @@ type Script struct {
 	Resolver ScriptResolver
 }
 
-// Result reports one finished run.
+// Result reports one finished run. It is JSON-round-trippable —
+// shilld returns it on the wire, denial provenance intact (DenyReason
+// has marshal/unmarshal helpers of its own; Elapsed travels as
+// nanoseconds).
 type Result struct {
 	// Script is the script's display name (or the command's argv[0]).
-	Script string
+	Script string `json:"script"`
 	// ExitStatus is 0 on success; for commands, the process exit code;
 	// for scripts, 1 when the run returned an error.
-	ExitStatus int
+	ExitStatus int `json:"exitStatus"`
 	// Console is everything the run wrote to the session's console.
-	Console string
+	Console string `json:"console"`
 	// Denials are the structured audit denials recorded during this run
 	// (seq-windowed, not the whole log). With concurrent sessions on one
 	// machine the window can include a neighbour's denials; the denial
 	// that failed this script, if any, is always first.
-	Denials []*DenyReason
+	Denials []*DenyReason `json:"denials,omitempty"`
 	// Prof holds the machine profile samples attributed to this run.
-	Prof []prof.Sample
+	Prof []prof.Sample `json:"prof,omitempty"`
 	// Elapsed is the run's wall time.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsedNs"`
 }
 
 // Run parses and executes an ambient SHILL script in the session,
@@ -207,6 +213,10 @@ func (s *Session) Run(ctx context.Context, script Script) (*Result, error) {
 	err := it.RunAmbient(name, src)
 	release()
 	it.SetContext(nil)
+	// Sweep sockets the script left open: pooled sessions outlive their
+	// runs, so a cancelled (or sloppy) script's listeners would
+	// otherwise stay bound on the machine forever.
+	it.CloseLeftoverSockets()
 	// A cancelled run always reports the cancellation, even when the
 	// script happened to reach its last statement (e.g. a blocking
 	// builtin woke with EINTR and the script treated it as a value):

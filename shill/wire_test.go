@@ -1,0 +1,60 @@
+package shill
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// Result is part of shilld's wire format: a run executed on a server
+// machine is serialized to the HTTP client. The denial provenance —
+// the part a remote user needs to understand a rejection — must
+// survive the round trip bit-for-bit.
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	m := newTestMachine(t, WithWorkload(WorkloadDemo))
+	s := m.NewSession()
+	defer s.Close()
+
+	res, err := s.Run(context.Background(), Script{Name: "why_denied.ambient"})
+	if err == nil {
+		t.Fatal("why_denied ran without a denial")
+	}
+	if len(res.Denials) == 0 {
+		t.Fatal("result carries no denials")
+	}
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Script != res.Script || got.ExitStatus != res.ExitStatus ||
+		got.Console != res.Console || got.Elapsed != res.Elapsed {
+		t.Fatalf("scalar fields drifted:\n sent %+v\n got  %+v", res, &got)
+	}
+	if len(got.Denials) != len(res.Denials) {
+		t.Fatalf("denials: sent %d, got %d", len(res.Denials), len(got.Denials))
+	}
+	for i := range res.Denials {
+		want, have := res.Denials[i], got.Denials[i]
+		// An errno sentinel on the original must still satisfy errors.Is
+		// after the round trip (event-reconstructed denials have none).
+		if want.Errno != nil && !errors.Is(have, want.Errno) {
+			t.Fatalf("denial %d lost its errno %v: decoded %+v", i, want.Errno, have)
+		}
+		if want.Layer != have.Layer || want.Op != have.Op || want.Object != have.Object ||
+			want.Missing != have.Missing || want.CapID != have.CapID ||
+			!reflect.DeepEqual(want.Blame, have.Blame) || want.Seq != have.Seq {
+			t.Fatalf("denial %d lost provenance:\n sent %+v\n got  %+v", i, want, have)
+		}
+	}
+	if !reflect.DeepEqual(got.Prof, res.Prof) {
+		t.Fatalf("prof samples drifted")
+	}
+}
