@@ -1,0 +1,227 @@
+package main
+
+// The interpreter benchmark behind BENCH_interp.json: scripts/sec for
+// an interpreter-bound workload under each execution engine, plus the
+// allow-vs-deny p50 comparison that judges the lazy deny path. CI runs
+// `benchfig -fig interp -json BENCH_interp.json` and fails the build
+// if the compiled engine is not faster than the tree-walk.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/shill"
+)
+
+// interpWorkCap is the throughput workload: nested loops, closure
+// calls, and multi-hop identifier lookups — pure interpreter work with
+// a single kernel operation at the end, so the engines' evaluation
+// cost dominates the measurement.
+const interpWorkCap = `#lang shill/cap
+
+provide work : {out : file(+append)} -> void;
+
+add3 = fun(a, b, c) { a + b + c; };
+
+inner = fun(k) { if k == 0 then { 0; } else { add3(k, k, k); } };
+
+work = fun(out) {
+  for a in range(250) {
+    for b in range(100) {
+      inner(b);
+    }
+  }
+  append(out, "done\n");
+};
+`
+
+// interpProbeCap renders the deny-path workload. The allow and deny
+// variants are byte-identical except for the contract on f: with
+// "+read, +stat" every read succeeds; with "+stat" every read is a
+// capability denial that returns a syserror the script inspects and
+// moves past. Run outcomes are identical (both exit 0) so the p50
+// comparison isolates the cost of recording denials.
+func interpProbeCap(privs string) string {
+	return fmt.Sprintf(`#lang shill/cap
+
+provide probe : {f : file(%s), out : file(+append)} -> void;
+
+probe = fun(f, out) {
+  for i in range(200) {
+    r = read(f);
+    is_syserror(r);
+  }
+  append(out, "done\n");
+};
+`, privs)
+}
+
+type interpRow struct {
+	Engine        string  `json:"engine"`
+	ScriptsPerSec float64 `json:"scripts_per_sec"`
+	MeanMs        float64 `json:"mean_ms"`
+	CIMs          float64 `json:"ci95_ms"`
+	AllowP50Ms    float64 `json:"allow_p50_ms"`
+	DenyP50Ms     float64 `json:"deny_p50_ms"`
+	DenyOverhead  float64 `json:"deny_overhead_pct"`
+}
+
+type interpResult struct {
+	Benchmark string      `json:"benchmark"`
+	Runs      int         `json:"runs"`
+	DenyRuns  int         `json:"deny_runs"`
+	Rows      []interpRow `json:"rows"`
+	Speedup   float64     `json:"compiled_speedup"`
+}
+
+func p50(durs []time.Duration) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// interpMachine builds one engine's benchmark machine with the
+// workload scripts registered.
+func interpMachine(e shill.Engine) (*shill.Machine, *shill.Session) {
+	m := newMachine(shill.WithEngine(e), shill.WithConsoleLimit(1<<20))
+	m.AddScript("work.cap", interpWorkCap)
+	m.AddScript("probe_allow.cap", interpProbeCap("+read, +stat"))
+	m.AddScript("probe_deny.cap", interpProbeCap("+stat"))
+	if err := m.WriteFile("/data/input.txt", []byte("interp benchmark input\n"), 0o644, shill.UserUID); err != nil {
+		panic("benchfig: " + err.Error())
+	}
+	s := m.NewSession()
+	return m, s
+}
+
+func interpDriver(console, module, pre, call string) string {
+	return fmt.Sprintf(`#lang shill/ambient
+require %q;
+
+out = open_file(%q);
+%s%s;
+`, module, console, pre, call)
+}
+
+func runInterpScript(m *shill.Machine, s *shill.Session, name, src string) time.Duration {
+	start := time.Now()
+	res, err := s.Run(ctx, shill.Script{Name: name, Source: src})
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: interp %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if res.ExitStatus != 0 {
+		fmt.Fprintf(os.Stderr, "benchfig: interp %s: exit %d\n", name, res.ExitStatus)
+		os.Exit(1)
+	}
+	m.ConsoleText() // drain the console between runs
+	return elapsed
+}
+
+func figureInterp(reps int, jsonPath string) {
+	if reps < 1 {
+		reps = 1
+	}
+	runs := 12 * reps
+	denyRuns := 20 * reps
+	fmt.Println("Interpreter engines: scripts/sec and deny-path p50 (tree-walk vs compiled)")
+
+	engines := []shill.Engine{shill.EngineTreeWalk, shill.EngineCompiled}
+	type arm struct {
+		m *shill.Machine
+		s *shill.Session
+
+		work        []time.Duration
+		allow, deny []time.Duration
+	}
+	arms := map[shill.Engine]*arm{}
+	for _, e := range engines {
+		m, s := interpMachine(e)
+		defer m.Close()
+		arms[e] = &arm{m: m, s: s}
+	}
+
+	// The arms run interleaved so scheduler and GC drift lands on both
+	// engines instead of biasing whichever ran second. The first three
+	// iterations warm caches (compiled-script cache included) and are
+	// discarded.
+	const warmup = 3
+	for r := 0; r < runs+warmup; r++ {
+		for _, e := range engines {
+			a := arms[e]
+			d := runInterpScript(a.m, a.s,
+				"work.ambient", interpDriver(a.s.ConsolePath(), "work.cap", "", "work(out)"))
+			if r >= warmup {
+				a.work = append(a.work, d)
+			}
+		}
+	}
+	for r := 0; r < denyRuns+warmup; r++ {
+		for _, e := range engines {
+			a := arms[e]
+			pre := "f = open_file(\"/data/input.txt\");\n"
+			da := runInterpScript(a.m, a.s, "probe_allow.ambient",
+				interpDriver(a.s.ConsolePath(), "probe_allow.cap", pre, "probe(f, out)"))
+			dd := runInterpScript(a.m, a.s, "probe_deny.ambient",
+				interpDriver(a.s.ConsolePath(), "probe_deny.cap", pre, "probe(f, out)"))
+			if r >= warmup {
+				a.allow = append(a.allow, da)
+				a.deny = append(a.deny, dd)
+			}
+		}
+	}
+
+	res := interpResult{Benchmark: "interp", Runs: runs, DenyRuns: denyRuns}
+	fmt.Printf("%-12s %14s %12s %12s %12s %10s\n",
+		"engine", "scripts/sec", "mean", "allow p50", "deny p50", "overhead")
+	persec := map[shill.Engine]float64{}
+	for _, e := range engines {
+		a := arms[e]
+		sm := &sample{times: a.work}
+		mean, ci := sm.meanCI()
+		ap, dp := p50(a.allow), p50(a.deny)
+		overhead := 0.0
+		if ap > 0 {
+			overhead = (dp.Seconds() - ap.Seconds()) / ap.Seconds() * 100
+		}
+		persec[e] = 1 / mean.Seconds()
+		res.Rows = append(res.Rows, interpRow{
+			Engine:        e.String(),
+			ScriptsPerSec: persec[e],
+			MeanMs:        mean.Seconds() * 1e3,
+			CIMs:          ci.Seconds() * 1e3,
+			AllowP50Ms:    ap.Seconds() * 1e3,
+			DenyP50Ms:     dp.Seconds() * 1e3,
+			DenyOverhead:  overhead,
+		})
+		fmt.Printf("%-12s %14.1f %12v %12v %12v %+9.1f%%\n",
+			e, persec[e], mean.Round(time.Microsecond),
+			ap.Round(time.Microsecond), dp.Round(time.Microsecond), overhead)
+	}
+	res.Speedup = persec[shill.EngineCompiled] / persec[shill.EngineTreeWalk]
+	fmt.Printf("\ncompiled speedup: %.2fx (target >=3x; CI fails at <=1x)\n", res.Speedup)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if res.Speedup <= 1 {
+		fmt.Fprintf(os.Stderr, "benchfig: compiled engine is not faster than tree-walk (%.2fx)\n", res.Speedup)
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,7 @@
 //	benchfig -fig 9 -reps 20   # more repetitions
 //	benchfig -fig parallel -json BENCH_parallel.json
 //	benchfig -fig serve    -json BENCH_serve.json
+//	benchfig -fig interp   -json BENCH_interp.json
 //
 // -json writes a machine-readable result file alongside the printed
 // table (supported by -fig parallel and -fig serve); CI uploads them as
@@ -44,7 +45,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep, parallel, serve")
+	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep, parallel, serve, interp")
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 50)")
 	full := flag.Bool("full", false, "use paper-scale workloads")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (fig parallel)")
@@ -67,6 +68,8 @@ func main() {
 		figureParallel(*reps, *jsonPath)
 	case "serve":
 		figureServe(*jsonPath)
+	case "interp":
+		figureInterp(*reps, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
 		os.Exit(2)

@@ -56,7 +56,14 @@ func run() int {
 	defaultDeadline := flag.Duration("default-deadline", 10*time.Second, "deadline for runs that specify none")
 	maxDeadline := flag.Duration("max-deadline", 60*time.Second, "clamp for client-requested deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs")
+	engineName := flag.String("engine", "tree-walk", "execution engine for every tenant machine: tree-walk or compiled")
 	flag.Parse()
+
+	engine, err := shill.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shilld: %v\n", err)
+		return 2
+	}
 
 	srv := server.New(server.Config{
 		MaxMachines:      *maxMachines,
@@ -66,15 +73,18 @@ func run() int {
 		DefaultDeadline:  *defaultDeadline,
 		MaxDeadline:      *maxDeadline,
 		MachineOptions: func(string) []shill.Option {
-			return []shill.Option{shill.WithWorkload(shill.Workload(*workload))}
+			return []shill.Option{
+				shill.WithWorkload(shill.Workload(*workload)),
+				shill.WithEngine(engine),
+			}
 		},
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "shilld: listening on %s (workload=%s machines<=%d concurrent<=%d)\n",
-		*addr, *workload, *maxMachines, *maxConcurrent)
+	fmt.Fprintf(os.Stderr, "shilld: listening on %s (workload=%s engine=%s machines<=%d concurrent<=%d)\n",
+		*addr, *workload, engine, *maxMachines, *maxConcurrent)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

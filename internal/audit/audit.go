@@ -112,6 +112,32 @@ type Event struct {
 	CapID   uint64   // capability the event concerns (lineage)
 	Parent  uint64   // parent capability for derivation events
 	Detail  string   // free-form: forge name, contract label, exit code…
+
+	// ObjectFn/DetailFn defer the Object/Detail description (deny.go's
+	// lazy provenance): the emitting hot path stores a closure instead
+	// of walking paths eagerly, and every read path that hands events
+	// out (Snapshot, RecentDenials) forces them on its copies. Shared
+	// LazyObjects memoize, so at most one walk happens per fact.
+	ObjectFn *LazyObject
+	DetailFn *LazyObject
+}
+
+// resolveLazy forces any deferred descriptions into the string fields.
+// It is called on copies handed out by queries — events stored in the
+// rings stay immutable.
+func (e *Event) resolveLazy() {
+	if e.ObjectFn != nil {
+		if e.Object == "" {
+			e.Object = e.ObjectFn.Value()
+		}
+		e.ObjectFn = nil
+	}
+	if e.DetailFn != nil {
+		if e.Detail == "" {
+			e.Detail = e.DetailFn.Value()
+		}
+		e.DetailFn = nil
+	}
 }
 
 // Shard is one session's ring of events. All methods are safe for
@@ -162,7 +188,9 @@ func (sh *Shard) Snapshot() []Event {
 				continue
 			}
 			seen[e.Seq] = struct{}{}
-			out = append(out, *e)
+			ev := *e
+			ev.resolveLazy()
+			out = append(out, ev)
 		}
 	}
 	collect(sh.slots)
@@ -256,6 +284,18 @@ func (l *Log) putDeny(e *Event) {
 // This is the cheap windowed view; per-session rings still retain their
 // own denials for session-filtered queries.
 func (l *Log) RecentDenials(since uint64) []Event {
+	out := l.recentDenialsLazy(since)
+	for i := range out {
+		out[i].resolveLazy()
+	}
+	return out
+}
+
+// recentDenialsLazy is RecentDenials without forcing deferred
+// descriptions — the variant DenyReasonsSince builds per-run windows
+// from, so a run whose Result is never inspected never pays for path
+// resolution.
+func (l *Log) recentDenialsLazy(since uint64) []Event {
 	if l == nil {
 		return nil
 	}

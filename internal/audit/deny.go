@@ -57,6 +57,57 @@ type DenyReason struct {
 	Blame   []string // contract chain that attenuated the capability
 	Seq     uint64   // audit sequence number of the recorded denial event
 	Errno   error    // underlying sentinel (errno.EACCES, errno.EPERM, …)
+
+	// ObjectFn, when set, lazily resolves Object: deny sites capture a
+	// closure over the denied object instead of walking its path on the
+	// hot path. Error, MarshalJSON, and Resolve force it; code reading
+	// the Object field directly must call Resolve first.
+	ObjectFn *LazyObject
+	// blameFn lazily resolves the single-entry Blame chain carried by
+	// reconstructed cap-deny reasons (DenyReasonsSince).
+	blameFn *LazyObject
+}
+
+// Resolve forces any deferred fields and returns d, so direct field
+// reads (d.Object, d.Blame) see the final values. Error and
+// MarshalJSON resolve on their own without mutating d.
+func (d *DenyReason) Resolve() *DenyReason {
+	if d == nil {
+		return nil
+	}
+	if d.ObjectFn != nil {
+		if d.Object == "" {
+			d.Object = d.ObjectFn.Value()
+		}
+		d.ObjectFn = nil
+	}
+	if d.blameFn != nil {
+		if len(d.Blame) == 0 {
+			if det := d.blameFn.Value(); det != "" {
+				d.Blame = []string{det}
+			}
+		}
+		d.blameFn = nil
+	}
+	return d
+}
+
+// object returns the resolved object description without mutating d.
+func (d *DenyReason) object() string {
+	if d.Object == "" && d.ObjectFn != nil {
+		return d.ObjectFn.Value()
+	}
+	return d.Object
+}
+
+// blame returns the resolved blame chain without mutating d.
+func (d *DenyReason) blame() []string {
+	if len(d.Blame) == 0 && d.blameFn != nil {
+		if det := d.blameFn.Value(); det != "" {
+			return []string{det}
+		}
+	}
+	return d.Blame
 }
 
 // Error renders the full provenance in one line, so even a bare %v in a
@@ -67,8 +118,8 @@ func (d *DenyReason) Error() string {
 		fmt.Fprintf(&b, "%v: ", d.Errno)
 	}
 	fmt.Fprintf(&b, "operation %q", d.Op)
-	if d.Object != "" {
-		fmt.Fprintf(&b, " on %s", d.Object)
+	if obj := d.object(); obj != "" {
+		fmt.Fprintf(&b, " on %s", obj)
 	}
 	fmt.Fprintf(&b, " denied by %s", d.Layer)
 	if d.Policy != "" && d.Layer == LayerMAC {
@@ -80,8 +131,8 @@ func (d *DenyReason) Error() string {
 	if !d.Missing.Empty() {
 		fmt.Fprintf(&b, ": missing privileges %v", d.Missing)
 	}
-	if len(d.Blame) > 0 {
-		fmt.Fprintf(&b, " (restricted by: %s)", strings.Join(d.Blame, " <- "))
+	if blame := d.blame(); len(blame) > 0 {
+		fmt.Fprintf(&b, " (restricted by: %s)", strings.Join(blame, " <- "))
 	}
 	return b.String()
 }

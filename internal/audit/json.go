@@ -81,11 +81,11 @@ func (d *DenyReason) MarshalJSON() ([]byte, error) {
 		Layer:   d.Layer,
 		Policy:  d.Policy,
 		Op:      d.Op,
-		Object:  d.Object,
+		Object:  d.object(),
 		Session: d.Session,
 		Missing: d.Missing,
 		CapID:   d.CapID,
-		Blame:   d.Blame,
+		Blame:   d.blame(),
 		Seq:     d.Seq,
 	}
 	if d.Errno != nil {

@@ -1,0 +1,33 @@
+package audit
+
+import "sync"
+
+// LazyObject defers an expensive description (typically a vfs path
+// walk) until something actually reads it: the deny hot path records a
+// closure over the minimal facts, and formatting, wire JSON, or a
+// why-denied query forces it later. The resolved value is memoized, so
+// a LazyObject shared between an Event and a DenyReason computes its
+// description at most once however many views force it.
+type LazyObject struct {
+	once sync.Once
+	fn   func() string
+	val  string
+}
+
+// DeferObject wraps a description closure. fn runs at most once, on
+// first Value call; it must be safe to call from any goroutine.
+func DeferObject(fn func() string) *LazyObject {
+	return &LazyObject{fn: fn}
+}
+
+// Value forces and returns the description. Safe for concurrent use.
+func (z *LazyObject) Value() string {
+	if z == nil {
+		return ""
+	}
+	z.once.Do(func() {
+		z.val = z.fn()
+		z.fn = nil
+	})
+	return z.val
+}

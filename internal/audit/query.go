@@ -92,21 +92,29 @@ func (l *Log) DenyReasonsSince(since uint64) []*DenyReason {
 	if l == nil {
 		return nil
 	}
-	events := l.RecentDenials(since)
+	// The lazy variant keeps deferred object/blame descriptions
+	// deferred: a run whose Result (and its denial slice) is never
+	// formatted or serialized never resolves a single path.
+	events := l.recentDenialsLazy(since)
 	out := make([]*DenyReason, 0, len(events))
 	for _, e := range events {
 		d := &DenyReason{
-			Layer:   e.Layer,
-			Policy:  e.Policy,
-			Op:      e.Op,
-			Object:  e.Object,
-			Session: e.Session,
-			Missing: e.Rights,
-			CapID:   e.CapID,
-			Seq:     e.Seq,
+			Layer:    e.Layer,
+			Policy:   e.Policy,
+			Op:       e.Op,
+			Object:   e.Object,
+			ObjectFn: e.ObjectFn,
+			Session:  e.Session,
+			Missing:  e.Rights,
+			CapID:    e.CapID,
+			Seq:      e.Seq,
 		}
-		if e.Kind == KindCapDeny && e.Detail != "" {
-			d.Blame = []string{e.Detail}
+		if e.Kind == KindCapDeny {
+			if e.Detail != "" {
+				d.Blame = []string{e.Detail}
+			} else {
+				d.blameFn = e.DetailFn
+			}
 		}
 		out = append(out, d)
 	}

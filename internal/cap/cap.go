@@ -236,10 +236,13 @@ func (c *Capability) require(op string, need priv.Set) error {
 		return nil
 	}
 	missing := need.Minus(rightsOf(c.grant))
+	blame := c.blame
 	c.auditLog().Emit(c.proc.AuditShard(), audit.Event{
 		Kind: audit.KindCapDeny, Verdict: audit.Deny, Layer: audit.LayerCapability,
 		Op: op, Object: c.lastPath, CapID: c.id, Rights: missing,
-		Detail: strings.Join(c.blame, " <- "),
+		// The blame-chain join allocates; defer it until a query or a
+		// formatted reason actually reads the detail.
+		DetailFn: audit.DeferObject(func() string { return strings.Join(blame, " <- ") }),
 	})
 	return &NoPrivilegeError{Op: op, Missing: missing, Blame: c.blame}
 }

@@ -80,6 +80,7 @@ func TestBlameChainNamesEveryRestrictingContract(t *testing.T) {
 	reasons := k.Audit().DenyReasonsSince(seq)
 	found := false
 	for _, d := range reasons {
+		d.Resolve() // blame is described lazily; force it for field reads
 		if d.Layer == audit.LayerCapability && d.Missing.Has(priv.RWrite) {
 			found = true
 			if len(d.Blame) == 0 || !strings.Contains(d.Blame[0], "outer-policy") ||

@@ -59,6 +59,7 @@ func TestPolicyDenyCarriesProvenance(t *testing.T) {
 	if d.Op != "write" {
 		t.Fatalf("op = %q", d.Op)
 	}
+	d.Resolve() // the object path is described lazily; force it for field reads
 	if d.Object != "/data/f.txt" {
 		t.Fatalf("object = %q", d.Object)
 	}
@@ -115,6 +116,7 @@ func TestDACDenyCarriesProvenance(t *testing.T) {
 	if d == nil || d.Layer != audit.LayerDAC {
 		t.Fatalf("DAC denial reason = %+v", d)
 	}
+	d.Resolve()
 	if d.Object != "/root-only.txt" {
 		t.Fatalf("object = %q", d.Object)
 	}

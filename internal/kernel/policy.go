@@ -293,14 +293,14 @@ func (pol *ShillPolicy) grantObject(s *Session, obj mac.Labeled, g *priv.Grant) 
 	}
 	pol.grants.Add(1)
 	if s.log != nil || created {
-		objName := pol.objName(obj) // one reverse lookup serves both records
+		objFn := audit.DeferObject(func() string { return pol.objName(obj) }) // one memoized lookup serves both records
 		if s.log != nil {
-			s.log.add(LogEntry{Kind: LogGrant, Op: "grant", Object: objName, Rights: g.Rights})
+			s.log.add(LogEntry{Kind: LogGrant, Op: "grant", Object: objFn.Value(), Rights: g.Rights})
 		}
 		if created {
 			pol.k.aud.Emit(s.shard, audit.Event{
 				Kind: audit.KindGrant, Layer: audit.LayerPolicy, Policy: policyName,
-				Op: "grant", Object: objName, Rights: g.Rights,
+				Op: "grant", ObjectFn: objFn, Rights: g.Rights,
 			})
 		}
 	}
@@ -334,20 +334,27 @@ func (pol *ShillPolicy) deny(s *Session, obj mac.Labeled, op string, need priv.S
 		if pm.install(s, priv.GrantOf(need), pol.allowAmplify.Load()) {
 			s.recordLabeled(pm)
 		}
-		objName := pol.objName(obj)
+		objFn := audit.DeferObject(func() string { return pol.objName(obj) })
 		if s.log != nil {
-			s.log.add(LogEntry{Kind: LogAutoGrant, Op: op, Object: objName, Rights: need})
+			s.log.add(LogEntry{Kind: LogAutoGrant, Op: op, Object: objFn.Value(), Rights: need})
 		}
 		pol.k.aud.Emit(s.shard, audit.Event{
 			Kind: audit.KindAutoGrant, Layer: audit.LayerPolicy, Policy: policyName,
-			Op: op, Object: objName, Rights: need,
+			Op: op, ObjectFn: objFn, Rights: need,
 		})
 		return nil
 	}
 	pol.denials.Add(1)
-	objName := pol.objName(obj)
+	// The denial's object description (a reverse path walk for vnodes)
+	// is deferred: the hot path captures a closure over the object, and
+	// the walk happens only if something formats or serializes the
+	// reason or queries the event. The LazyObject is shared between the
+	// reason and the event, so at most one walk ever runs.
+	objFn := audit.DeferObject(func() string { return pol.objName(obj) })
 	if s.log != nil {
-		s.log.add(LogEntry{Kind: LogDeny, Op: op, Object: objName, Rights: need})
+		// The in-kernel debug log stores plain strings; resolve now
+		// (the memo makes the later views free).
+		s.log.add(LogEntry{Kind: LogDeny, Op: op, Object: objFn.Value(), Rights: need})
 	}
 	missing := need
 	if held != nil {
@@ -355,13 +362,13 @@ func (pol *ShillPolicy) deny(s *Session, obj mac.Labeled, op string, need priv.S
 	}
 	reason := &audit.DenyReason{
 		Layer: audit.LayerPolicy, Policy: policyName,
-		Op: op, Object: objName, Session: s.id,
+		Op: op, ObjectFn: objFn, Session: s.id,
 		Missing: missing, Errno: errno.EACCES,
 	}
 	reason.Seq = pol.k.aud.Emit(s.shard, audit.Event{
 		Kind: audit.KindSyscall, Verdict: audit.Deny,
 		Layer: audit.LayerPolicy, Policy: policyName,
-		Op: op, Object: objName, Rights: missing,
+		Op: op, ObjectFn: objFn, Rights: missing,
 	})
 	return reason
 }

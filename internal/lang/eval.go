@@ -3,6 +3,7 @@ package lang
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -51,7 +52,17 @@ type Interp struct {
 	// output cannot interleave across sessions.
 	ConsolePath string
 
+	// CompileCache, when set, memoizes compiled programs by content
+	// hash for the compiled engine (see compile.go). A machine shares
+	// one cache across all its sessions.
+	CompileCache *CompileCache
+
+	// engine selects the execution path (SetEngine). The zero value is
+	// the tree-walk interpreter.
+	engine Engine
+
 	modules map[string]*Module
+	loading map[string]bool // modules mid-load, to reject require cycles
 	globals *Env
 
 	// callDepth tracks live closure invocations (atomically, since a
@@ -120,6 +131,16 @@ func (it *Interp) LoadModule(name string, isFile bool) (*Module, error) {
 	if m, ok := it.modules[name]; ok {
 		return m, nil
 	}
+	// A module that (transitively) requires itself would recurse here
+	// forever; the module cache only fills in after evaluation.
+	if it.loading[name] {
+		return nil, fmt.Errorf("%s: require cycle", name)
+	}
+	if it.loading == nil {
+		it.loading = make(map[string]bool)
+	}
+	it.loading[name] = true
+	defer delete(it.loading, name)
 	if !isFile {
 		m, err := it.stdlibModule(name)
 		if err != nil {
@@ -131,6 +152,21 @@ func (it *Interp) LoadModule(name string, isFile bool) (*Module, error) {
 	src, err := it.Loader.Load(name)
 	if err != nil {
 		return nil, err
+	}
+	if it.engine == EngineCompiled {
+		prog, err := it.compileSource(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if prog.Dialect() != DialectCap {
+			return nil, fmt.Errorf("%s: cannot require an ambient script", name)
+		}
+		m, err := it.evalCapModuleCompiled(name, prog)
+		if err != nil {
+			return nil, err
+		}
+		it.modules[name] = m
+		return m, nil
 	}
 	script, err := Parse(src)
 	if err != nil {
@@ -189,14 +225,22 @@ func (it *Interp) evalCapModule(name string, script *Script) (*Module, error) {
 	return m, nil
 }
 
-// importInto binds a module's exports into env.
+// importInto binds a module's exports into env. Exports are imported
+// in sorted name order so that when several collide with existing
+// bindings, the reported duplicate is deterministic (the differential
+// engine suites compare error text byte for byte).
 func (it *Interp) importInto(env *Env, st *RequireStmt) error {
 	m, err := it.LoadModule(st.Module, st.IsFile)
 	if err != nil {
 		return err
 	}
-	for name, v := range m.Exports {
-		if err := env.Define(name, v); err != nil {
+	names := make([]string, 0, len(m.Exports))
+	for name := range m.Exports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := env.Define(name, m.Exports[name]); err != nil {
 			return fmt.Errorf("require %s: %w", st.Module, err)
 		}
 	}
@@ -208,6 +252,9 @@ func (it *Interp) importInto(env *Env, st *RequireStmt) error {
 // bindings, and function invocations. Control flow, function
 // definitions, and provides are rejected.
 func (it *Interp) RunAmbient(name, src string) error {
+	if it.engine == EngineCompiled {
+		return it.runAmbientCompiled(name, src)
+	}
 	script, err := Parse(src)
 	if err != nil {
 		return fmt.Errorf("%s: %w", name, err)

@@ -1,0 +1,350 @@
+// Executor for the compiled engine (compile.go): slot-indexed frames,
+// memoized base-environment fallback cells, and the compiled
+// counterparts of RunAmbient and evalCapModule. The executable form is
+// a tree of `code` closures over static data only; all per-run state
+// (interpreter, base environment, cells) flows through the frame, so
+// one CompiledProgram can execute concurrently on many interpreters.
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/contract"
+)
+
+// code is one compiled statement or expression.
+type code func(f *cframe) (Value, error)
+
+// callableValue is the callable interface scripts invoke.
+type callableValue = contract.Callable
+
+// isViolation matches the tree-walk engine's CallExpr error handling:
+// a direct type assertion, not errors.As, so only an unwrapped
+// violation passes through without the "line N:" prefix.
+func isViolation(err error) bool {
+	_, ok := err.(*contract.Violation)
+	return ok
+}
+
+// unset marks a slot whose binding has not executed yet. It is a real
+// sentinel value (not nil) because nil is SHILL's void. Lookups skip
+// unset slots outward, which reproduces the tree-walk engine's
+// flow-sensitive scoping: a name bound later in the same scope is
+// invisible until its bind statement runs.
+type unsetType struct{}
+
+var unset Value = unsetType{}
+
+// crun is the state of one compiled execution: the interpreter, the
+// base environment (globals, ambient bindings, module imports), and
+// the memoized fallback cells. Cells are atomic because a module's
+// exports may be called from several goroutines.
+type crun struct {
+	it    *Interp
+	base  *Env
+	prog  *CompiledProgram
+	cells []atomic.Pointer[Value]
+}
+
+func newRun(it *Interp, base *Env, prog *CompiledProgram) *crun {
+	return &crun{it: it, base: base, prog: prog, cells: make([]atomic.Pointer[Value], len(prog.cellNames))}
+}
+
+// invalidateCells forgets every memoized base lookup. Executing a
+// require can shadow a global a cell already cached (the import
+// defines the name closer in the chain), so imports reset the cache.
+func (run *crun) invalidateCells() {
+	for i := range run.cells {
+		run.cells[i].Store(nil)
+	}
+}
+
+// cframe is one runtime scope frame.
+type cframe struct {
+	run    *crun
+	parent *cframe
+	slots  []Value
+	// inline backs slots for small frames so a call or block entry is
+	// a single allocation; most SHILL scopes bind a handful of names.
+	inline [8]Value
+}
+
+func newFrame(run *crun, parent *cframe, n int) *cframe {
+	f := &cframe{run: run, parent: parent}
+	if n > 0 {
+		s := f.inline[:]
+		if n > len(f.inline) {
+			s = make([]Value, n)
+		} else {
+			s = s[:n]
+		}
+		for i := range s {
+			s[i] = unset
+		}
+		f.slots = s
+	}
+	return f
+}
+
+// blockFrame returns the frame a statement block executes in: a fresh
+// frame when the block binds names, the current frame otherwise.
+func blockFrame(f *cframe, mat bool, nslots int) *cframe {
+	if !mat {
+		return f
+	}
+	return newFrame(f.run, f, nslots)
+}
+
+func execBlock(codes []code, f *cframe) (Value, error) {
+	var last Value
+	for _, c := range codes {
+		v, err := c(f)
+		if err != nil {
+			return nil, err
+		}
+		last = v
+	}
+	return last, nil
+}
+
+// slotRef addresses a slot a fixed number of frame hops away.
+type slotRef struct{ hops, slot int }
+
+// identRef is a pre-resolved identifier: the slot candidates in every
+// enclosing scope that ever binds the name (innermost first), plus an
+// interned fallback cell for the base environment.
+type identRef struct {
+	name  string
+	line  int
+	cands []slotRef
+	cell  int
+}
+
+func (f *cframe) lookup(r *identRef) (Value, error) {
+	for i := range r.cands {
+		fr := f
+		for h := r.cands[i].hops; h > 0; h-- {
+			fr = fr.parent
+		}
+		if v := fr.slots[r.cands[i].slot]; v != unset {
+			return v, nil
+		}
+	}
+	run := f.run
+	if p := run.cells[r.cell].Load(); p != nil {
+		return *p, nil
+	}
+	if v, ok := run.base.Lookup(r.name); ok {
+		vv := v
+		run.cells[r.cell].Store(&vv)
+		return v, nil
+	}
+	return nil, fmt.Errorf("line %d: unbound identifier %q", r.line, r.name)
+}
+
+// hasLocal reports whether the environment itself (not its parents)
+// binds the name — the duplicate-definition check the compiled top
+// scope shares with the base environment.
+func (e *Env) hasLocal(name string) bool {
+	_, ok := e.vars[name]
+	return ok
+}
+
+// cfundef is the static part of a compiled function literal.
+type cfundef struct {
+	params     []string
+	paramSlots []int
+	dupParam   string // first duplicated parameter name; errors at call time
+	nslots     int
+	body       []code
+}
+
+// compiledClosure is a user-defined function on the compiled engine.
+// It mirrors Closure's call protocol (and error text) exactly; only
+// the environment representation differs.
+type compiledClosure struct {
+	name string
+	def  *cfundef
+	env  *cframe
+	run  *crun
+}
+
+// FuncName implements contract.Callable.
+func (c *compiledClosure) FuncName() string {
+	if c.name == "" {
+		return "<anonymous function>"
+	}
+	return c.name
+}
+
+// Call implements contract.Callable.
+func (c *compiledClosure) Call(args []Value, named map[string]Value) (Value, error) {
+	if len(named) > 0 {
+		return nil, fmt.Errorf("%s does not accept named arguments", c.FuncName())
+	}
+	if len(args) != len(c.def.params) {
+		return nil, fmt.Errorf("%s expects %d arguments, got %d", c.FuncName(), len(c.def.params), len(args))
+	}
+	f := newFrame(c.run, c.env, c.def.nslots)
+	for i, slot := range c.def.paramSlots {
+		f.slots[slot] = args[i]
+	}
+	return c.invoke(f)
+}
+
+// frameWithArgs and invoke form the hot-path call protocol used when
+// the compiler can see the callee is a compiled closure with matching
+// positional arity and no named arguments: argument codes evaluate
+// straight into the callee frame, skipping the generic path's per-call
+// argument slice. The split keeps error identity identical to the
+// generic path — argument-evaluation errors surface unwrapped, while
+// errors from the call itself get the call site's line wrap.
+func (c *compiledClosure) frameWithArgs(caller *cframe, args []code) (*cframe, error) {
+	f := newFrame(c.run, c.env, c.def.nslots)
+	for i, ac := range args {
+		v, err := ac(caller)
+		if err != nil {
+			return nil, err
+		}
+		f.slots[c.def.paramSlots[i]] = v
+	}
+	return f, nil
+}
+
+// invoke runs the closure body in a frame built by frameWithArgs,
+// applying the same cancellation, depth, and duplicate-parameter
+// checks (in the same order) as Call.
+func (c *compiledClosure) invoke(f *cframe) (Value, error) {
+	it := c.run.it
+	if err := it.checkCancel(); err != nil {
+		return nil, err
+	}
+	if it.callDepth.Add(1) > maxCallDepth {
+		it.callDepth.Add(-1)
+		return nil, fmt.Errorf("%s: call depth exceeds %d", c.FuncName(), maxCallDepth)
+	}
+	defer it.callDepth.Add(-1)
+	if c.def.dupParam != "" {
+		return nil, fmt.Errorf("duplicate definition of %q (SHILL bindings are immutable)", c.def.dupParam)
+	}
+	return execBlock(c.def.body, f)
+}
+
+// --- top-level execution ---
+
+// runAmbientCompiled is RunAmbient on the compiled engine.
+func (it *Interp) runAmbientCompiled(name, src string) error {
+	prog, err := it.compileSource(src)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if prog.dialect != DialectAmbient {
+		return fmt.Errorf("%s: not an ambient script", name)
+	}
+	env := NewEnv(it.globals)
+	it.bindAmbient(env)
+	run := newRun(it, env, prog)
+	f := newFrame(run, nil, prog.nslots)
+	for i := range prog.top {
+		op := &prog.top[i]
+		switch op.kind {
+		case topRequire:
+			if err := it.importCompiled(run, f, op); err != nil {
+				return fmt.Errorf("%s: line %d: %w", name, op.line, err)
+			}
+		case topFunBind:
+			return fmt.Errorf("%s: line %d: ambient scripts cannot define functions", name, op.line)
+		case topDisallowed:
+			return fmt.Errorf("%s: line %d: statement not allowed in an ambient script", name, op.line)
+		case topStmt:
+			if err := it.checkCancel(); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if _, err := op.code(f); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// evalCapModuleCompiled is evalCapModule on the compiled engine: the
+// body executes in slot frames, then the top bindings are materialized
+// into the base environment so provides and their contracts resolve
+// exactly as the tree-walk engine resolves them.
+func (it *Interp) evalCapModuleCompiled(name string, prog *CompiledProgram) (*Module, error) {
+	env := NewEnv(it.globals)
+	run := newRun(it, env, prog)
+	f := newFrame(run, nil, prog.nslots)
+	for i := range prog.top {
+		op := &prog.top[i]
+		switch op.kind {
+		case topRequire:
+			if err := it.importCompiled(run, f, op); err != nil {
+				return nil, fmt.Errorf("%s: line %d: %w", name, op.line, err)
+			}
+		case topStmt:
+			if err := it.checkCancel(); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			if _, err := op.code(f); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+	}
+	for bname, slot := range prog.topNames {
+		if v := f.slots[slot]; v != unset {
+			env.vars[bname] = v
+		}
+	}
+	m := &Module{Name: name, Dialect: DialectCap, Exports: make(map[string]Value)}
+	for _, pr := range prog.provides {
+		v, ok := env.Lookup(pr.name)
+		if !ok {
+			return nil, fmt.Errorf("%s: provide %s: no such binding", name, pr.name)
+		}
+		if pr.contract != nil {
+			cc, err := it.evalContract(pr.contract, env, polarityOut, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s: provide %s: %w", name, pr.name, err)
+			}
+			wrapped, err := contract.Apply(cc, v, contract.Blame{Pos: name, Neg: "client of " + name})
+			if err != nil {
+				return nil, err
+			}
+			v = wrapped
+		}
+		m.Exports[pr.name] = v
+	}
+	return m, nil
+}
+
+// importCompiled executes a top-level require: it loads the module and
+// defines its exports into the base environment, reporting duplicate
+// definitions against both the base environment and the already-set
+// top slots (the tree-walk engine keeps all three name populations in
+// one map). Export names are imported in sorted order so collisions
+// are deterministic.
+func (it *Interp) importCompiled(run *crun, f *cframe, op *topOp) error {
+	m, err := it.LoadModule(op.module, op.isFile)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(m.Exports))
+	for en := range m.Exports {
+		names = append(names, en)
+	}
+	sort.Strings(names)
+	for _, en := range names {
+		if slot, ok := run.prog.topNames[en]; ok && f.slots[slot] != unset {
+			return fmt.Errorf("require %s: duplicate definition of %q (SHILL bindings are immutable)", op.module, en)
+		}
+		if err := run.base.Define(en, m.Exports[en]); err != nil {
+			return fmt.Errorf("require %s: %w", op.module, err)
+		}
+	}
+	run.invalidateCells()
+	return nil
+}

@@ -387,6 +387,7 @@ func (c *Checker) CheckProgram(ctx context.Context, s *shill.Session, p *gen.Pro
 	// objects provably this program's (paths under its root) are held
 	// to the check there; an exclusive machine checks every denial.
 	for _, d := range denials[0] {
+		d.Resolve() // force lazily-described objects before field reads
 		if d.Layer != audit.LayerCapability {
 			continue
 		}
@@ -515,6 +516,7 @@ func (c *Checker) retainedDenials(since uint64) []*shill.DenyReason {
 // the attribution must never produce.)
 func (c *Checker) hasQualifyingDenial(window []*shill.DenyReason, man *gen.Manifest, root, console string) bool {
 	for _, d := range window {
+		d.Resolve() // force lazily-described objects before field reads
 		switch d.Layer {
 		case audit.LayerCapability, audit.LayerPolicy, audit.LayerMAC:
 		default:

@@ -1,0 +1,64 @@
+package shill
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Cancellation parity for the compiled engine: the PR 3 cancellation
+// trio — a pure eval spin loop, a parked socket_accept, and a
+// sandboxed long-running command — must cancel within the same 2-second
+// budget, leak nothing, and leave the session reusable, exactly as on
+// the tree-walking engine. The compiled path polls the context at loop
+// back-edges and closure calls instead of per AST node, so this is the
+// test that the coarser poll sites are still dense enough.
+
+func TestCompiledCancelInfiniteEvalLoop(t *testing.T) {
+	m := newTestMachine(t, WithEngine(EngineCompiled))
+	m.AddScript("spin.cap", spinScript)
+	s := m.NewSession()
+	defer s.Close()
+
+	before := runtime.NumGoroutine()
+	assertCanceledPromptly(t, m, s, "spin.ambient", spinAmbient)
+	settleGoroutines(t, before)
+	assertSessionReusable(t, s)
+}
+
+func TestCompiledCancelBlockedSocketAccept(t *testing.T) {
+	m := newTestMachine(t, WithEngine(EngineCompiled))
+	s := m.NewSession()
+	defer s.Close()
+
+	before := runtime.NumGoroutine()
+	assertCanceledPromptly(t, m, s, "accept.ambient", acceptAmbient)
+	settleGoroutines(t, before)
+	assertSessionReusable(t, s)
+}
+
+func TestCompiledCancelSandboxedCommand(t *testing.T) {
+	m := newTestMachine(t, WithEngine(EngineCompiled), WithConsoleLimit(1<<20))
+	m.BuildWWW(ApacheWorkload{FileMB: 1, Requests: 1, Concurrency: 1})
+	s := m.NewSession()
+	defer s.Close()
+
+	before := runtime.NumGoroutine()
+	procsBefore := len(m.kernel().Procs())
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.Run(ctx, Script{Name: "apache.ambient", Source: ScriptApacheAmbient})
+	if err == nil {
+		t.Fatal("cancelled server run reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want < 2s", elapsed)
+	}
+	settleGoroutines(t, before)
+	if got := len(m.kernel().Procs()); got > procsBefore {
+		t.Fatalf("cancelled run leaked processes: %d before, %d after", procsBefore, got)
+	}
+	assertSessionReusable(t, s)
+}

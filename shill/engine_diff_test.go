@@ -1,0 +1,477 @@
+package shill_test
+
+// Differential conformance between the two execution engines at the
+// machine level: every case-study script and a large corpus of
+// generated programs run under both the tree-walking and the compiled
+// engine on fresh machines, and the observable outcomes — run error,
+// exit status, console bytes, filesystem snapshot, and the denial
+// sequence — must be identical. A divergence is minimized with
+// oracle.Minimize and reported as a replayable seed.
+//
+// This file lives in package shill_test (not shill) because it imports
+// internal/oracle, which itself imports repro/shill.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/shill"
+)
+
+var (
+	diffN = flag.Int("enginediff.n", 500,
+		"generated programs to run through the engine-diff oracle")
+	diffSeed = flag.Int64("enginediff.seed", 1,
+		"base seed for the generated engine-diff corpus")
+	diffReplay = flag.Int64("enginediff.replay", 0,
+		"replay exactly this program seed instead of the corpus")
+)
+
+var engineDiffPair = []shill.Engine{shill.EngineTreeWalk, shill.EngineCompiled}
+
+// engineOutcome is everything one run exposes to an observer. Two
+// engines are equivalent iff these match field for field.
+type engineOutcome struct {
+	err     string
+	console string
+	denials []string
+	fs      map[string]string
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// denialKeys renders a denial sequence order-preservingly. Seq and
+// CapID are identifiers, not semantics, and are excluded; everything a
+// user sees in a why-denied report is included.
+func denialKeys(ds []*shill.DenyReason) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		r := d.Resolve()
+		out[i] = fmt.Sprintf("[%v] %s %s missing=%v blame=%v",
+			r.Layer, r.Op, r.Object, r.Missing, r.Blame)
+	}
+	return out
+}
+
+// diffOutcomes returns "" when the outcomes match, else a description
+// of the first difference found.
+func diffOutcomes(a, b engineOutcome) string {
+	if a.err != b.err {
+		return fmt.Sprintf("run error diverged:\n tree-walk: %q\n compiled:  %q", a.err, b.err)
+	}
+	if a.console != b.console {
+		return fmt.Sprintf("console diverged:\n tree-walk: %q\n compiled:  %q", a.console, b.console)
+	}
+	if len(a.denials) != len(b.denials) {
+		return fmt.Sprintf("denial count diverged: tree-walk %d, compiled %d\n tree-walk: %v\n compiled:  %v",
+			len(a.denials), len(b.denials), a.denials, b.denials)
+	}
+	for i := range a.denials {
+		if a.denials[i] != b.denials[i] {
+			return fmt.Sprintf("denial %d diverged:\n tree-walk: %s\n compiled:  %s",
+				i, a.denials[i], b.denials[i])
+		}
+	}
+	return diffFS(a.fs, b.fs)
+}
+
+func diffFS(a, b map[string]string) string {
+	paths := make(map[string]bool, len(a)+len(b))
+	for p := range a {
+		paths[p] = true
+	}
+	for p := range b {
+		paths[p] = true
+	}
+	ordered := make([]string, 0, len(paths))
+	for p := range paths {
+		ordered = append(ordered, p)
+	}
+	sort.Strings(ordered)
+	for _, p := range ordered {
+		av, aok := a[p]
+		bv, bok := b[p]
+		switch {
+		case !aok:
+			return fmt.Sprintf("fs diverged: %s exists only under the compiled engine", p)
+		case !bok:
+			return fmt.Sprintf("fs diverged: %s exists only under tree-walk", p)
+		case av != bv:
+			return fmt.Sprintf("fs diverged at %s:\n tree-walk: %q\n compiled:  %q", p, av, bv)
+		}
+	}
+	return ""
+}
+
+// ===========================================================================
+// Case studies
+// ===========================================================================
+
+// engineCase runs one case-study configuration on a fresh machine. The
+// run callback returns the console text it vouches for; the harness
+// additionally appends the machine console, the full FS snapshot, and
+// the machine-wide denial sequence.
+type engineCase struct {
+	name     string
+	workload shill.Workload
+	opts     []shill.Option
+	setup    func(t *testing.T, m *shill.Machine)
+	run      func(ctx context.Context, m *shill.Machine) (console string, err error)
+}
+
+func runEngineCase(t *testing.T, c engineCase, e shill.Engine) engineOutcome {
+	t.Helper()
+	opts := append([]shill.Option{shill.WithEngine(e), shill.WithWorkload(c.workload)}, c.opts...)
+	m, err := shill.NewMachine(opts...)
+	if err != nil {
+		t.Fatalf("[%v] machine: %v", e, err)
+	}
+	t.Cleanup(m.Close)
+	if c.setup != nil {
+		c.setup(t, m)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	console, runErr := c.run(ctx, m)
+	return engineOutcome{
+		err:     errString(runErr),
+		console: console + "\n--machine console--\n" + m.ConsoleText(),
+		denials: denialKeys(m.AuditDenialsSince(0)),
+		fs:      m.SnapshotFS(nil),
+	}
+}
+
+// runNamed runs one of the machine's embedded scripts by name on the
+// default session.
+func runNamed(ctx context.Context, m *shill.Machine, name string) (string, error) {
+	res, err := m.DefaultSession().Run(ctx, shill.Script{Name: name})
+	if res == nil {
+		return "", err
+	}
+	return fmt.Sprintf("exit=%d\n%s", res.ExitStatus, res.Console), err
+}
+
+func engineCaseStudies() []engineCase {
+	return []engineCase{
+		{
+			// why_denied.ambient + why_denied.cap: the canonical denied
+			// run, so the deny path (and its lazy provenance) is compared
+			// end to end.
+			name:     "why_denied",
+			workload: shill.WorkloadDemo,
+			run: func(ctx context.Context, m *shill.Machine) (string, error) {
+				return runNamed(ctx, m, "why_denied.ambient")
+			},
+		},
+		{
+			// jpeginfo.ambient + jpeginfo.cap (Figures 4 and 6).
+			name:     "jpeginfo",
+			workload: shill.WorkloadDemo,
+			run: func(ctx context.Context, m *shill.Machine) (string, error) {
+				return runNamed(ctx, m, "jpeginfo.ambient")
+			},
+		},
+		{
+			// find_jpg.cap (Figure 3) via an inline ambient driver.
+			name:     "find_jpg",
+			workload: shill.WorkloadNone,
+			setup: func(t *testing.T, m *shill.Machine) {
+				stageFiles(t, m, map[string]string{
+					"/home/user/pics/a.jpg":     "JFIFa",
+					"/home/user/pics/sub/b.jpg": "JFIFb",
+					"/home/user/pics/notes.txt": "x",
+					"/home/user/out.txt":        "",
+				})
+			},
+			run: func(ctx context.Context, m *shill.Machine) (string, error) {
+				res, err := m.DefaultSession().Run(ctx, shill.Script{Name: "main.ambient", Source: `#lang shill/ambient
+require "find_jpg.cap";
+
+pics = open_dir("/home/user/pics");
+out = open_file("/home/user/out.txt");
+find_jpg(pics, out);
+`})
+				if res == nil {
+					return "", err
+				}
+				return res.Console, err
+			},
+		},
+		{
+			// find.cap (Figure 5): the polymorphic find with a client
+			// module, exercising cross-module closures under contract.
+			name:     "find_poly",
+			workload: shill.WorkloadNone,
+			setup: func(t *testing.T, m *shill.Machine) {
+				stageFiles(t, m, map[string]string{
+					"/home/user/tree/x.c":     "int main(){}",
+					"/home/user/tree/sub/y.c": "void f(){}",
+					"/home/user/tree/z.txt":   "no",
+					"/home/user/found.txt":    "",
+				})
+				m.AddScript("driver.cap", `#lang shill/cap
+require "find.cap";
+
+provide run_find :
+  {tree : dir(+contents, +lookup, +path, +stat, +read),
+   out : file(+append)} -> void;
+
+run_find = fun(tree, out) {
+  find(tree,
+       fun(f) { has_ext(f, "c"); },
+       fun(f) { append(out, path(f) + "\n"); });
+};
+`)
+			},
+			run: func(ctx context.Context, m *shill.Machine) (string, error) {
+				res, err := m.DefaultSession().Run(ctx, shill.Script{Name: "main.ambient", Source: `#lang shill/ambient
+require "find.cap";
+require "driver.cap";
+
+tree = open_dir("/home/user/tree");
+out = open_file("/home/user/found.txt");
+run_find(tree, out);
+`})
+				if res == nil {
+					return "", err
+				}
+				return res.Console, err
+			},
+		},
+		{
+			// grade.ambient + grade.cap: the fine-grained SHILL grader.
+			name:     "grade_shill",
+			workload: shill.WorkloadGrading,
+			run: func(ctx context.Context, m *shill.Machine) (string, error) {
+				return "", m.RunGrading(ctx, shill.ModeShill)
+			},
+		},
+		{
+			// grade_sandbox.ambient + grade_sandbox.cap + run_cmd.cap +
+			// grade.sh: the single-sandbox grader.
+			name:     "grade_sandbox",
+			workload: shill.WorkloadGrading,
+			run: func(ctx context.Context, m *shill.Machine) (string, error) {
+				return "", m.RunGrading(ctx, shill.ModeSandboxed)
+			},
+		},
+		{
+			// pkg_emacs.ambient + pkg_emacs.cap: download through
+			// uninstall, each step under its own contract.
+			name:     "pkg_emacs",
+			workload: shill.WorkloadEmacs,
+			run: func(ctx context.Context, m *shill.Machine) (string, error) {
+				return "", m.RunEmacsShill(ctx)
+			},
+		},
+		{
+			// apache.ambient + apache.cap: sandboxed httpd driven by ab
+			// (single-connection so the access log is deterministic).
+			name:     "apache",
+			workload: shill.WorkloadApache,
+			opts:     []shill.Option{shill.WithConsoleLimit(1 << 20)},
+			run: func(ctx context.Context, m *shill.Machine) (string, error) {
+				w := shill.ApacheWorkload{FileMB: 1, Requests: 4, Concurrency: 1}
+				res, err := m.RunApache(ctx, shill.ModeShill, w)
+				if res == nil {
+					return "", err
+				}
+				return res.Console, err
+			},
+		},
+		{
+			// findgrep.ambient + findgrep.cap + run_cmd.cap.
+			name:     "findgrep",
+			workload: shill.WorkloadFind,
+			opts:     []shill.Option{shill.WithConsoleLimit(1 << 20)},
+			run: func(ctx context.Context, m *shill.Machine) (string, error) {
+				return "", m.RunFind(ctx, shill.ModeSandboxed)
+			},
+		},
+		{
+			// findgrep_fine.ambient + findgrep_fine.cap: the
+			// sandbox-per-file version.
+			name:     "findgrep_fine",
+			workload: shill.WorkloadFind,
+			opts:     []shill.Option{shill.WithConsoleLimit(1 << 20)},
+			run: func(ctx context.Context, m *shill.Machine) (string, error) {
+				return "", m.RunFind(ctx, shill.ModeShill)
+			},
+		},
+	}
+}
+
+func stageFiles(t *testing.T, m *shill.Machine, files map[string]string) {
+	t.Helper()
+	names := make([]string, 0, len(files))
+	for p := range files {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		if err := m.WriteFile(p, []byte(files[p]), 0o644, shill.UserUID); err != nil {
+			t.Fatalf("stage %s: %v", p, err)
+		}
+	}
+}
+
+// TestEngineDiffCaseStudies runs every embedded case-study script —
+// the full contents of the machine script table — under both engines
+// on fresh machines and requires identical outcomes.
+func TestEngineDiffCaseStudies(t *testing.T) {
+	for _, c := range engineCaseStudies() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tw := runEngineCase(t, c, shill.EngineTreeWalk)
+			cp := runEngineCase(t, c, shill.EngineCompiled)
+			if d := diffOutcomes(tw, cp); d != "" {
+				t.Errorf("case study %s: engines diverge: %s", c.name, d)
+			}
+		})
+	}
+}
+
+// ===========================================================================
+// Generated corpus
+// ===========================================================================
+
+// genRunTimeout bounds one generated variant; a program blocking past
+// it is a harness failure, not a divergence.
+const genRunTimeout = 30 * time.Second
+
+// runGenProgram runs both rendered variants of a generated program —
+// capability-sandboxed and ambient — on one fresh machine under the
+// given engine and returns the combined outcome. Harness failures
+// (machine construction, staging) are returned as errors and are not
+// engine verdicts.
+func runGenProgram(p *gen.Program, e shill.Engine) (engineOutcome, error) {
+	var out engineOutcome
+	m, err := shill.NewMachine(shill.WithEngine(e))
+	if err != nil {
+		return out, err
+	}
+	defer m.Close()
+
+	variants := []struct {
+		root     string
+		portBase int
+		ambient  bool
+	}{
+		{"/gen/p0/sbx", 21000, false},
+		{"/gen/p0/amb", 22000, true},
+	}
+	var consoles []string
+	for _, v := range variants {
+		if err := stageGenWorkspace(m, v.root, &p.Manifest); err != nil {
+			return out, fmt.Errorf("staging %s: %w", v.root, err)
+		}
+		s := m.DefaultSession()
+		driver, module := p.Render(gen.RenderConfig{
+			Root: v.root, Console: s.ConsolePath(),
+			PortBase: v.portBase, Ambient: v.ambient,
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), genRunTimeout)
+		res, rerr := s.Run(ctx, shill.Script{
+			Name:     "gen_driver.ambient",
+			Source:   driver,
+			Resolver: shill.MapResolver{"gen.cap": module},
+		})
+		cancel()
+		status, console := -1, ""
+		if res != nil {
+			status, console = res.ExitStatus, res.Console
+			out.denials = append(out.denials, denialKeys(res.Denials)...)
+		}
+		consoles = append(consoles, fmt.Sprintf("variant=%s err=%q exit=%d\n%s",
+			v.root, errString(rerr), status, console))
+	}
+	out.console = strings.Join(consoles, "\n")
+	out.fs = m.SnapshotFS(nil)
+	return out, nil
+}
+
+func stageGenWorkspace(m *shill.Machine, root string, man *gen.Manifest) error {
+	if err := m.MkdirAll(root, 0o755, shill.UserUID); err != nil {
+		return err
+	}
+	for _, e := range man.Stage {
+		uid := shill.UserUID
+		if e.Root {
+			uid = 0
+		}
+		path := root + "/" + e.Rel
+		if e.Dir {
+			if err := m.MkdirAll(path, e.Mode, uid); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := m.WriteFile(path, []byte(e.Data), e.Mode, uid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkGenSeed runs one generated program under both engines. On
+// divergence it minimizes the program (re-checking both engines at
+// every candidate) and reports a replayable seed.
+func checkGenSeed(t *testing.T, seed int64) {
+	t.Helper()
+	p := gen.New(seed).Program()
+	tw, errA := runGenProgram(p, shill.EngineTreeWalk)
+	cp, errB := runGenProgram(p, shill.EngineCompiled)
+	if errA != nil || errB != nil {
+		t.Fatalf("seed %d: harness error (tree-walk: %v, compiled: %v)", seed, errA, errB)
+	}
+	d := diffOutcomes(tw, cp)
+	if d == "" {
+		return
+	}
+	min := oracle.Minimize(p, func(q *gen.Program) bool {
+		qa, ea := runGenProgram(q, shill.EngineTreeWalk)
+		qb, eb := runGenProgram(q, shill.EngineCompiled)
+		// A harness failure is not a confirmed divergence; keep the
+		// larger, known-diverging program instead.
+		return ea == nil && eb == nil && diffOutcomes(qa, qb) != ""
+	})
+	driver, module := min.Render(gen.RenderConfig{
+		Root: "/gen/p0/sbx", Console: "/dev/console", PortBase: 21000,
+	})
+	t.Errorf("seed %d: engines diverge: %s\n"+
+		"minimized to %d ops; replay with: go test ./shill -run TestEngineDiffGenerated -enginediff.replay=%d\n"+
+		"--- minimized driver ---\n%s\n--- minimized module ---\n%s",
+		seed, d, min.NumOps(), seed, driver, module)
+}
+
+// TestEngineDiffGenerated drives the generated-program corpus through
+// both engines: -enginediff.n programs (default 500) derived from
+// -enginediff.seed, each staged and run on fresh machines per engine.
+func TestEngineDiffGenerated(t *testing.T) {
+	if *diffReplay != 0 {
+		checkGenSeed(t, *diffReplay)
+		return
+	}
+	n := *diffN
+	if testing.Short() {
+		n = 50
+	}
+	for i := 0; i < n; i++ {
+		checkGenSeed(t, oracle.SubSeed(*diffSeed, int64(i)))
+		if t.Failed() && i >= 10 {
+			t.Fatalf("stopping after %d programs with divergences", i+1)
+		}
+	}
+}

@@ -30,9 +30,25 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/lang"
 	"repro/internal/prof"
 	"repro/internal/vfs"
 )
+
+// Engine selects the interpreter's execution path for every session of
+// a machine (see WithEngine).
+type Engine = lang.Engine
+
+// Engines. EngineTreeWalk is the original AST interpreter;
+// EngineCompiled is the slot-resolved compiled path (compiled scripts
+// are cached machine-wide, keyed by content hash).
+const (
+	EngineTreeWalk = lang.EngineTreeWalk
+	EngineCompiled = lang.EngineCompiled
+)
+
+// ParseEngine parses an -engine flag value ("tree-walk" or "compiled").
+func ParseEngine(s string) (Engine, error) { return lang.ParseEngine(s) }
 
 // ErrMachineClosed is returned by Session.Run and Session.RunCommand
 // after Machine.Close: a closed machine's kernel workers and network
@@ -65,6 +81,7 @@ type config struct {
 	auditDisabled bool
 	workload      Workload
 	resolver      ScriptResolver
+	engine        Engine
 }
 
 // Option configures NewMachine.
@@ -108,6 +125,15 @@ func WithScriptResolver(r ScriptResolver) Option {
 	return func(c *config) { c.resolver = r }
 }
 
+// WithEngine selects the execution engine for every session of the
+// machine. The default is EngineTreeWalk; EngineCompiled runs scripts
+// through the compiled path and shares one content-hash-keyed compile
+// cache across all sessions, so a script submitted repeatedly (shilld's
+// per-request scripts) compiles once.
+func WithEngine(e Engine) Option {
+	return func(c *config) { c.engine = e }
+}
+
 // Machine is an assembled simulated machine: the kernel, the base
 // image, a staged workload, and a pool of sessions. It replaces the
 // internal core.System façade as the supported entry surface.
@@ -115,6 +141,9 @@ type Machine struct {
 	sys      *core.System
 	resolver ScriptResolver
 	closed   atomic.Bool
+
+	engine       Engine
+	compileCache *lang.CompileCache
 
 	mu       sync.Mutex
 	sessions []*Session // pool, indexed; entries are reused across runs
@@ -137,7 +166,7 @@ func NewMachine(opts ...Option) (*Machine, error) {
 		SpawnLatency:  cfg.spawnLatency,
 		AuditDisabled: cfg.auditDisabled,
 	})
-	m := &Machine{sys: sys}
+	m := &Machine{sys: sys, engine: cfg.engine, compileCache: lang.NewCompileCache()}
 	sys.LoadCaseScripts()
 	base := ScriptResolver(builtinResolver{sys})
 	if cfg.resolver != nil {
@@ -198,6 +227,15 @@ func (m *Machine) Closed() bool { return m.closed.Load() }
 // Resolver returns the machine's script-lookup chain (user resolvers
 // first, built-in case-study scripts last).
 func (m *Machine) Resolver() ScriptResolver { return m.resolver }
+
+// Engine reports the execution engine the machine's sessions use.
+func (m *Machine) Engine() Engine { return m.engine }
+
+// CompileCacheStats reports compile-cache hits and misses (compiled
+// engine only; both are zero under the tree-walk engine).
+func (m *Machine) CompileCacheStats() (hits, misses uint64) {
+	return m.compileCache.Stats()
+}
 
 // Prof returns the machine-wide profile collector (the Figure 10
 // accumulation across runs; each Result additionally carries the

@@ -208,6 +208,8 @@ func (s *Session) Run(ctx context.Context, script Script) (*Result, error) {
 	begin := s.beginRun()
 	it := lang.NewInterp(s.proc, resolver, s.m.sys.Prof)
 	it.ConsolePath = s.consolePath
+	it.SetEngine(s.m.engine)
+	it.CompileCache = s.m.compileCache
 	it.SetContext(ctx)
 	release := s.armCancel(ctx)
 	err := it.RunAmbient(name, src)

@@ -42,7 +42,9 @@ func TestResultJSONRoundTrip(t *testing.T) {
 		t.Fatalf("denials: sent %d, got %d", len(res.Denials), len(got.Denials))
 	}
 	for i := range res.Denials {
-		want, have := res.Denials[i], got.Denials[i]
+		// Resolve forces the original's lazily-described fields so the
+		// direct field comparison below sees the final values.
+		want, have := res.Denials[i].Resolve(), got.Denials[i]
 		// An errno sentinel on the original must still satisfy errors.Is
 		// after the round trip (event-reconstructed denials have none).
 		if want.Errno != nil && !errors.Is(have, want.Errno) {
