@@ -12,16 +12,25 @@
 //	benchfig -fig 11           # syscall microbenchmarks
 //	benchfig -fig 7            # protection matrix
 //	benchfig -fig loc          # script line counts vs the paper
-//	benchfig -fig parallel     # multi-session throughput, audit on vs off
+//	benchfig -fig parallel     # multi-session throughput, audit/trace on vs off
 //	benchfig -fig 9 -full      # paper-scale workloads (slow)
 //	benchfig -fig 9 -reps 20   # more repetitions
 //	benchfig -fig parallel -json BENCH_parallel.json
 //	benchfig -fig serve    -json BENCH_serve.json
 //	benchfig -fig interp   -json BENCH_interp.json
+//	benchfig -fig parallel -pprof BENCH_parallel  # + .cpu.pprof/.heap.pprof
 //
 // -json writes a machine-readable result file alongside the printed
 // table (supported by -fig parallel and -fig serve); CI uploads them as
 // artifacts so the performance trajectory accumulates across commits.
+// -pprof PREFIX captures a CPU profile of the whole figure plus an
+// end-of-run heap profile to PREFIX.cpu.pprof and PREFIX.heap.pprof,
+// next to the -json document — `go tool pprof` then names what the
+// figure actually spent its time on.
+//
+// -fig parallel is also an acceptance gate: it exits nonzero if the
+// tracing overhead (trace on vs off, audit on in both arms) reaches 5%,
+// the same bar the audit subsystem was held to.
 package main
 
 import (
@@ -31,6 +40,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -49,8 +60,23 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 50)")
 	full := flag.Bool("full", false, "use paper-scale workloads")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (fig parallel)")
+	pprofPrefix := flag.String("pprof", "", "capture cpu/heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	flag.Parse()
 
+	var stopProfiles func()
+	if *pprofPrefix != "" {
+		stop, err := startProfiles(*pprofPrefix)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfiles = stop
+	}
+
+	// Figures that gate (parallel's trace-overhead bar) report failure
+	// through ok instead of os.Exit so the deferred profile capture still
+	// lands — a failed gate is exactly when the profile is wanted.
+	ok := true
 	switch *fig {
 	case "7":
 		figure7()
@@ -65,7 +91,7 @@ func main() {
 	case "sweep":
 		figureSweep(*reps)
 	case "parallel":
-		figureParallel(*reps, *jsonPath)
+		ok = figureParallel(*reps, *jsonPath)
 	case "serve":
 		figureServe(*jsonPath)
 	case "interp":
@@ -74,6 +100,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+	if stopProfiles != nil {
+		stopProfiles()
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// startProfiles begins a CPU profile and returns a stop function that
+// finishes it and writes a heap profile beside it.
+func startProfiles(prefix string) (func(), error) {
+	cpuPath := prefix + ".cpu.pprof"
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+		heapPath := prefix + ".heap.pprof"
+		hf, err := os.Create(heapPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: -pprof: %v\n", err)
+			return
+		}
+		runtime.GC() // up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(hf); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: -pprof: %v\n", err)
+		}
+		hf.Close()
+		fmt.Printf("wrote %s and %s\n", cpuPath, heapPath)
+	}, nil
 }
 
 // ctx: benchfig drives the machine without deadlines; per-run
@@ -667,6 +729,7 @@ func figureSweep(reps int) {
 type parallelRow struct {
 	Sessions      int     `json:"sessions"`
 	Audit         bool    `json:"audit"`
+	Trace         bool    `json:"trace"`
 	ScriptsPerSec float64 `json:"scripts_per_sec"`
 	MeanSeconds   float64 `json:"mean_seconds"`
 	CISeconds     float64 `json:"ci95_seconds"`
@@ -681,18 +744,40 @@ type parallelResult struct {
 	Tests           int                `json:"tests"`
 	Rows            []parallelRow      `json:"rows"`
 	AuditOverheadPc map[string]float64 `json:"audit_overhead_pct"`
+	TraceOverheadPc map[string]float64 `json:"trace_overhead_pct"`
 }
 
+// parArm is one machine configuration in the parallel figure. The
+// production shape (audit on, trace on) is the baseline; the other two
+// arms each switch one subsystem off to price it.
+type parArm struct{ audit, trace bool }
+
+var parArms = []parArm{
+	{audit: true, trace: true},  // production shape
+	{audit: false, trace: true}, // prices the audit trail
+	{audit: true, trace: false}, // prices request tracing
+}
+
+// traceOverheadBarPct is the acceptance bar: request tracing (which is
+// on by default) must cost less than this against the trace-off arm,
+// the same bar the audit subsystem was held to when it landed.
+const traceOverheadBarPct = 5.0
+
 // figureParallel measures aggregate grading throughput across 1/4/16
-// concurrent sessions with the audit trail on and off — the scripts/sec
-// view of BenchmarkParallelGrading, plus the audit-overhead delta the
-// internal/audit acceptance bar (<5%) is judged against.
-func figureParallel(reps int, jsonPath string) {
+// concurrent sessions under three arms — audit+trace on (the production
+// default), audit off, and trace off — the scripts/sec view of
+// BenchmarkParallelGrading plus the overhead deltas both the audit and
+// trace subsystems' acceptance bars (<5%) are judged against. Returns
+// false (caller exits nonzero) if the tracing overhead, averaged across
+// the session counts to damp single-point scheduler noise, reaches the
+// bar.
+func figureParallel(reps int, jsonPath string) bool {
 	if reps < 1 {
 		reps = 1 // below this the warmup discard would leave no samples
 	}
-	fmt.Println("Parallel grading throughput: N concurrent sessions, audit on vs off")
-	fmt.Printf("%-10s %16s %16s %12s\n", "sessions", "audit on", "audit off", "overhead")
+	fmt.Println("Parallel grading throughput: N concurrent sessions; audit and trace arms")
+	fmt.Printf("%-10s %14s %14s %14s %11s %11s\n",
+		"sessions", "audit+trace", "no audit", "no trace", "audit-ovh", "trace-ovh")
 
 	const latency = 500 * time.Microsecond
 	w := shill.GradingWorkload{Students: 4, Tests: 2}
@@ -701,30 +786,35 @@ func figureParallel(reps int, jsonPath string) {
 		SpawnLatencyUS: int(latency / time.Microsecond),
 		Students:       w.Students, Tests: w.Tests,
 		AuditOverheadPc: map[string]float64{},
+		TraceOverheadPc: map[string]float64{},
 	}
 
-	// The two arms are measured interleaved — one on-rep, then one
-	// off-rep, against long-lived systems — so scheduler and GC drift on
-	// a busy box lands on both arms instead of biasing whichever arm ran
-	// second. A warmup rep per arm is discarded (first run stages caches
-	// and lazily creates session contexts).
-	measure := func(n int) (parallelRow, parallelRow) {
-		systems := map[bool]*shill.Machine{}
-		samples := map[bool]*sample{true: {}, false: {}}
-		for _, auditOn := range []bool{true, false} {
+	// The arms are measured interleaved — one rep of each in turn,
+	// against long-lived systems — so scheduler and GC drift on a busy
+	// box lands on every arm instead of biasing whichever arm ran last.
+	// A warmup rep per arm is discarded (first run stages caches and
+	// lazily creates session contexts).
+	measure := func(n int) map[parArm]parallelRow {
+		systems := map[parArm]*shill.Machine{}
+		samples := map[parArm]*sample{}
+		for _, arm := range parArms {
 			opts := []shill.Option{
 				shill.WithConsoleLimit(1 << 20),
 				shill.WithSpawnLatency(latency),
 			}
-			if !auditOn {
+			if !arm.audit {
 				opts = append(opts, shill.WithAuditDisabled())
 			}
-			systems[auditOn] = newMachine(opts...)
-			defer systems[auditOn].Close()
+			if !arm.trace {
+				opts = append(opts, shill.WithTraceDisabled())
+			}
+			systems[arm] = newMachine(opts...)
+			samples[arm] = &sample{}
+			defer systems[arm].Close()
 		}
 		for r := 0; r < reps+1; r++ {
-			for _, auditOn := range []bool{true, false} {
-				s := systems[auditOn]
+			for _, arm := range parArms {
+				s := systems[arm]
 				s.PrepareGradingSessions(n, w)
 				start := time.Now()
 				if _, err := s.RunPreparedGradingSessions(ctx, n, shill.ModeShill); err != nil {
@@ -732,30 +822,47 @@ func figureParallel(reps int, jsonPath string) {
 					os.Exit(1)
 				}
 				if r > 0 { // discard the warmup rep
-					samples[auditOn].add(time.Since(start))
+					samples[arm].add(time.Since(start))
 				}
 			}
 		}
-		row := func(auditOn bool) parallelRow {
-			mean, ci := samples[auditOn].meanCI()
-			return parallelRow{
-				Sessions: n, Audit: auditOn,
+		rows := map[parArm]parallelRow{}
+		for _, arm := range parArms {
+			mean, ci := samples[arm].meanCI()
+			rows[arm] = parallelRow{
+				Sessions: n, Audit: arm.audit, Trace: arm.trace,
 				ScriptsPerSec: float64(n) / mean.Seconds(),
 				MeanSeconds:   mean.Seconds(),
 				CISeconds:     ci.Seconds(),
 			}
 		}
-		return row(true), row(false)
+		return rows
 	}
 
-	for _, n := range []int{1, 4, 16} {
-		on, off := measure(n)
-		res.Rows = append(res.Rows, on, off)
-		overhead := (off.ScriptsPerSec - on.ScriptsPerSec) / off.ScriptsPerSec * 100
-		res.AuditOverheadPc[fmt.Sprint(n)] = overhead
-		fmt.Printf("%-10d %11.1f s/s %11.1f s/s %+11.2f%%\n",
-			n, on.ScriptsPerSec, off.ScriptsPerSec, overhead)
+	// overheadPct prices the baseline arm against an arm with one
+	// subsystem off: positive means the subsystem costs throughput.
+	overheadPct := func(base, off parallelRow) float64 {
+		return (off.ScriptsPerSec - base.ScriptsPerSec) / off.ScriptsPerSec * 100
 	}
+
+	var traceSum float64
+	sessionCounts := []int{1, 4, 16}
+	for _, n := range sessionCounts {
+		rows := measure(n)
+		base := rows[parArm{audit: true, trace: true}]
+		noAudit := rows[parArm{audit: false, trace: true}]
+		noTrace := rows[parArm{audit: true, trace: false}]
+		res.Rows = append(res.Rows, base, noAudit, noTrace)
+		auditOvh := overheadPct(base, noAudit)
+		traceOvh := overheadPct(base, noTrace)
+		res.AuditOverheadPc[fmt.Sprint(n)] = auditOvh
+		res.TraceOverheadPc[fmt.Sprint(n)] = traceOvh
+		traceSum += traceOvh
+		fmt.Printf("%-10d %10.1f s/s %10.1f s/s %10.1f s/s %+10.2f%% %+10.2f%%\n",
+			n, base.ScriptsPerSec, noAudit.ScriptsPerSec, noTrace.ScriptsPerSec,
+			auditOvh, traceOvh)
+	}
+	traceMean := traceSum / float64(len(sessionCounts))
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
@@ -769,6 +876,15 @@ func figureParallel(reps int, jsonPath string) {
 		}
 		fmt.Printf("\nwrote %s\n", jsonPath)
 	}
+
+	if traceMean >= traceOverheadBarPct {
+		fmt.Fprintf(os.Stderr,
+			"benchfig: tracing overhead %.2f%% (mean across %v sessions) breaches the %.0f%% bar\n",
+			traceMean, sessionCounts, traceOverheadBarPct)
+		return false
+	}
+	fmt.Printf("tracing overhead: %+.2f%% mean (bar <%.0f%%)\n", traceMean, traceOverheadBarPct)
+	return true
 }
 
 // --- serving benchmark ---

@@ -202,6 +202,12 @@ func whyDenied(w io.Writer, log *audit.Log, scriptErrs []error) {
 		if !e.Missing.Empty() {
 			fmt.Fprintf(w, "  missing:  %v\n", e.Missing)
 		}
+		if e.TraceID != 0 {
+			// The trace links the denial to its request's span tree:
+			// GET /v1/trace?tenant=T serves the spans this ID names, so
+			// an operator sees exactly when in the request it landed.
+			fmt.Fprintf(w, "  trace:    %d\n", e.TraceID)
+		}
 		switch {
 		case e.Kind == audit.KindCapDeny && e.Detail != "":
 			fmt.Fprintf(w, "  denied by contract: %s\n", e.Detail)

@@ -9,11 +9,20 @@
 //
 //	shill-load -url http://127.0.0.1:8377 [-c 16] [-n 256 | -duration 30s]
 //	           [-mix 60/30/10] [-tenants 4] [-json REPORT.json] [-check]
+//	           [-server-stats=false]
 //
 // -mix is allow/deny/cancel percentages. -check exits 1 if any response
 // had the wrong shape (a denied run without provenance, a cancel that
 // did not cancel) or any transport error occurred — the smoke-test
 // mode CI uses.
+//
+// By default the tool also scrapes the daemon's /metrics latency
+// histograms before and after the run and reports the server-side
+// percentiles for the run's delta next to its own: the client times the
+// whole wire round trip, the server times admission to response, and a
+// gap over 10% at p50 or p99 is flagged as DISAGREE — latency is going
+// somewhere neither side accounts for. -server-stats=false skips the
+// scrape.
 package main
 
 import (
@@ -41,6 +50,7 @@ func run() int {
 	cancelMs := flag.Int("cancel-ms", 80, "cancel-kind request deadline")
 	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
 	check := flag.Bool("check", false, "exit 1 on any malformed response or transport error")
+	serverStats := flag.Bool("server-stats", true, "scrape the daemon's /metrics latency histograms around the run and compare percentiles")
 	flag.Parse()
 
 	var mix loadgen.Mix
@@ -62,10 +72,31 @@ func run() int {
 		cfg.Requests = 0
 	}
 
+	// Snapshot the server's cumulative latency histograms before the run
+	// so the post-run scrape can be narrowed to this run's delta. A
+	// failed scrape degrades to client-only reporting, not a failed run.
+	var before map[string]loadgen.HistSnapshot
+	if *serverStats {
+		b, err := loadgen.ScrapeRunSeconds(context.Background(), nil, *url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shill-load: pre-run /metrics scrape: %v\n", err)
+			*serverStats = false
+		}
+		before = b
+	}
+
 	rep, err := loadgen.Run(context.Background(), cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shill-load: %v\n", err)
 		return 1
+	}
+	if *serverStats {
+		after, err := loadgen.ScrapeRunSeconds(context.Background(), nil, *url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shill-load: post-run /metrics scrape: %v\n", err)
+		} else {
+			rep.Server = loadgen.CompareServer(rep, before, after)
+		}
 	}
 
 	fmt.Printf("shill-load: %d clients, %d requests in %.2fs = %.1f req/s\n",
@@ -83,6 +114,17 @@ func run() int {
 	row("deny", rep.DenyLatency)
 	row("cancel", rep.CancelLatency)
 	fmt.Printf("  deny-path overhead: %+.1f%% (p50 vs allow)\n", rep.DenyOverheadPct)
+	if len(rep.Server) > 0 {
+		fmt.Println("  server-side view (shilld_run_seconds delta from /metrics):")
+		for _, c := range rep.Server {
+			flag := ""
+			if c.Disagree {
+				flag = fmt.Sprintf("  DISAGREE >%g%%", loadgen.DisagreeBarPct)
+			}
+			fmt.Printf("  %-8s n=%-5d p50=%8.2fms (client %+.1f%%) p99=%8.2fms (client %+.1f%%)%s\n",
+				c.Outcome, c.ServerCount, c.ServerP50Ms, c.DeltaP50Pct, c.ServerP99Ms, c.DeltaP99Pct, flag)
+		}
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -11,14 +11,20 @@
 //	shilld [-addr :8377] [-workload demo] [-max-machines 8]
 //	       [-max-concurrent 16] [-tenant-concurrent 4] [-max-queue 64]
 //	       [-default-deadline 10s] [-max-deadline 60s]
-//	       [-drain-timeout 30s]
+//	       [-drain-timeout 30s] [-debug-addr :6060] [-trace-disable]
 //
 // Endpoints:
 //
 //	POST /v1/run              {tenant, script|scriptName|argv, args, deadlineMs, stream}
 //	GET  /v1/audit/why-denied ?tenant=NAME&since=SEQ
+//	GET  /v1/trace            ?tenant=NAME&since=SEQ — span stream + slowest traces
 //	GET  /healthz             200 ok | 503 draining
-//	GET  /metrics             Prometheus text format
+//	GET  /metrics             Prometheus text format (incl. latency histograms)
+//
+// -debug-addr starts a second listener exposing net/http/pprof
+// (/debug/pprof/) so a live daemon can be profiled without wiring pprof
+// into the public surface. -trace-disable turns request tracing off on
+// every tenant machine (the escape hatch; tracing is on by default).
 //
 // Each tenant runs on its own simulated machine (own kernel, image,
 // network stack, audit log), pooled with LRU eviction. Admission is a
@@ -33,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +64,8 @@ func run() int {
 	maxDeadline := flag.Duration("max-deadline", 60*time.Second, "clamp for client-requested deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs")
 	engineName := flag.String("engine", "tree-walk", "execution engine for every tenant machine: tree-walk or compiled")
+	debugAddr := flag.String("debug-addr", "", "optional debug listener exposing net/http/pprof (e.g. localhost:6060)")
+	traceDisable := flag.Bool("trace-disable", false, "disable request tracing on every tenant machine")
 	flag.Parse()
 
 	engine, err := shill.ParseEngine(*engineName)
@@ -73,16 +82,31 @@ func run() int {
 		DefaultDeadline:  *defaultDeadline,
 		MaxDeadline:      *maxDeadline,
 		MachineOptions: func(string) []shill.Option {
-			return []shill.Option{
+			opts := []shill.Option{
 				shill.WithWorkload(shill.Workload(*workload)),
 				shill.WithEngine(engine),
 			}
+			if *traceDisable {
+				opts = append(opts, shill.WithTraceDisabled())
+			}
+			return opts
 		},
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	if *debugAddr != "" {
+		// The pprof mux is the http.DefaultServeMux net/http/pprof
+		// registers against; it gets its own listener so profiling
+		// endpoints are never reachable through the public address.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "shilld: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "shilld: pprof on http://%s/debug/pprof/\n", *debugAddr)
+	}
 	fmt.Fprintf(os.Stderr, "shilld: listening on %s (workload=%s engine=%s machines<=%d concurrent<=%d)\n",
 		*addr, *workload, engine, *maxMachines, *maxConcurrent)
 

@@ -112,6 +112,7 @@ type Event struct {
 	CapID   uint64   // capability the event concerns (lineage)
 	Parent  uint64   // parent capability for derivation events
 	Detail  string   // free-form: forge name, contract label, exit code…
+	Trace   uint64   // request trace the event belongs to (internal/trace), 0 if untraced
 
 	// ObjectFn/DetailFn defer the Object/Detail description (deny.go's
 	// lazy provenance): the emitting hot path stores a closure instead

@@ -56,6 +56,7 @@ type DenyReason struct {
 	CapID   uint64   // capability involved, if the denial is capability-level
 	Blame   []string // contract chain that attenuated the capability
 	Seq     uint64   // audit sequence number of the recorded denial event
+	TraceID uint64   // request trace the denial landed in, 0 if untraced
 	Errno   error    // underlying sentinel (errno.EACCES, errno.EPERM, …)
 
 	// ObjectFn, when set, lazily resolves Object: deny sites capture a

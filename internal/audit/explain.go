@@ -26,6 +26,10 @@ type Explanation struct {
 	Detail  string `json:"detail,omitempty"`
 	CapID   uint64 `json:"capId,omitempty"`
 	Lineage string `json:"lineage,omitempty"`
+	// TraceID links the denial to its request trace (internal/trace):
+	// /v1/trace?tenant=T serves the span tree the ID names, showing when
+	// in the request the denial landed.
+	TraceID uint64 `json:"traceId,omitempty"`
 }
 
 // Explain returns an explanation for every retained denial recorded
@@ -52,6 +56,7 @@ func Explain(l *Log, since uint64) []Explanation {
 			Missing: e.Rights,
 			Detail:  e.Detail,
 			CapID:   e.CapID,
+			TraceID: e.Trace,
 		}
 		if e.CapID != 0 {
 			ex.Lineage = FormatLineage(l.Lineage(e.CapID))

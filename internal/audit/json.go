@@ -72,6 +72,7 @@ type denyReasonJSON struct {
 	CapID   uint64   `json:"capId,omitempty"`
 	Blame   []string `json:"blame,omitempty"`
 	Seq     uint64   `json:"seq,omitempty"`
+	TraceID uint64   `json:"traceId,omitempty"`
 	Errno   string   `json:"errno,omitempty"`
 }
 
@@ -87,6 +88,7 @@ func (d *DenyReason) MarshalJSON() ([]byte, error) {
 		CapID:   d.CapID,
 		Blame:   d.blame(),
 		Seq:     d.Seq,
+		TraceID: d.TraceID,
 	}
 	if d.Errno != nil {
 		w.Errno = d.Errno.Error()
@@ -112,6 +114,7 @@ func (d *DenyReason) UnmarshalJSON(b []byte) error {
 		CapID:   w.CapID,
 		Blame:   w.Blame,
 		Seq:     w.Seq,
+		TraceID: w.TraceID,
 		Errno:   errno.Canonical(w.Errno),
 	}
 	return nil

@@ -108,6 +108,7 @@ func (l *Log) DenyReasonsSince(since uint64) []*DenyReason {
 			Missing:  e.Rights,
 			CapID:    e.CapID,
 			Seq:      e.Seq,
+			TraceID:  e.Trace,
 		}
 		if e.Kind == KindCapDeny {
 			if e.Detail != "" {

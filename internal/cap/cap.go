@@ -240,6 +240,7 @@ func (c *Capability) require(op string, need priv.Set) error {
 	c.auditLog().Emit(c.proc.AuditShard(), audit.Event{
 		Kind: audit.KindCapDeny, Verdict: audit.Deny, Layer: audit.LayerCapability,
 		Op: op, Object: c.lastPath, CapID: c.id, Rights: missing,
+		Trace: c.proc.TraceID(),
 		// The blame-chain join allocates; defer it until a query or a
 		// formatted reason actually reads the detail.
 		DetailFn: audit.DeferObject(func() string { return strings.Join(blame, " <- ") }),

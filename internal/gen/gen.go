@@ -98,11 +98,11 @@ func (o *Op) Label() string { return fmt.Sprintf("op%d", o.ID) }
 // StageEntry is one pre-created workspace object, with DAC-relevant
 // ownership and mode. Owner 0 is root; otherwise the unprivileged user.
 type StageEntry struct {
-	Rel   string // path relative to the workspace root
-	Dir   bool
-	Mode  uint16
-	Root  bool // owned by root (DAC bites for the user)
-	Data  string
+	Rel  string // path relative to the workspace root
+	Dir  bool
+	Mode uint16
+	Root bool // owned by root (DAC bites for the user)
+	Data string
 }
 
 // Manifest declares everything a program may legitimately exercise:
@@ -184,7 +184,7 @@ func pick[T any](g *Generator, xs []T) T { return xs[g.rng.Intn(len(xs))] }
 
 // capVar tracks a variable holding a capability during generation.
 type capVar struct {
-	id    int  // VarWS or producing op ID
+	id    int // VarWS or producing op ID
 	isDir bool
 }
 

@@ -119,9 +119,9 @@ func varOf(id int) string {
 	return fmt.Sprintf("r%d", id)
 }
 
-func id(name string) *lang.Ident     { return lang.NewIdent(name) }
-func str(v string) *lang.StringLit   { return lang.NewString(v) }
-func num(v float64) *lang.NumberLit  { return lang.NewNumber(v) }
+func id(name string) *lang.Ident    { return lang.NewIdent(name) }
+func str(v string) *lang.StringLit  { return lang.NewString(v) }
+func num(v float64) *lang.NumberLit { return lang.NewNumber(v) }
 func call(fn string, args ...lang.Expr) *lang.CallExpr {
 	return lang.NewCall(id(fn), args...)
 }

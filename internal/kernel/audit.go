@@ -23,11 +23,12 @@ func (p *Proc) denyDAC(op string, vn *vfs.Vnode) error {
 	}
 	reason := &audit.DenyReason{
 		Layer: audit.LayerDAC, Op: op, Object: path,
-		Session: sessID, Errno: errno.EACCES,
+		Session: sessID, TraceID: p.traceID.Load(), Errno: errno.EACCES,
 	}
 	reason.Seq = p.k.aud.Emit(sh, audit.Event{
 		Kind: audit.KindSyscall, Verdict: audit.Deny, Layer: audit.LayerDAC,
 		Op: op, Object: path, Detail: "UNIX permission bits",
+		Trace: reason.TraceID,
 	})
 	return reason
 }

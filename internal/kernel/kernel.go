@@ -26,6 +26,7 @@ import (
 	"repro/internal/errno"
 	"repro/internal/mac"
 	"repro/internal/netstack"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -66,6 +67,11 @@ type Kernel struct {
 	// sharded per session. Disable it with Audit().SetEnabled(false)
 	// for overhead comparisons.
 	aud *audit.Log
+
+	// Ops aggregates per-category kernel-op counts and sampled timings
+	// (vfs, netstack, policy checks) for the request-tracing layer; the
+	// per-run delta becomes the aggregated op spans in a request trace.
+	Ops *trace.OpStats
 
 	Policy *ShillPolicy // nil until InstallShillModule
 
@@ -129,6 +135,9 @@ func New() *Kernel {
 		cleanerCh:   make(chan *Session, 1024),
 		cleanerDone: make(chan struct{}),
 	}
+	k.Ops = trace.NewOpStats()
+	k.FS.SetOpStats(k.Ops)
+	k.Net.SetOpStats(k.Ops)
 	return k
 }
 
@@ -278,7 +287,27 @@ type Proc struct {
 	intrMu sync.Mutex
 	intrCh chan struct{}
 	intrOn bool
+
+	// traceID names the request trace (internal/trace) the process is
+	// currently executing for; deny sites stamp it onto audit events so
+	// why-denied can point back into the span tree. Zero means untraced.
+	// Children inherit it at Fork; SetTraceID re-stamps a long-lived
+	// runtime process between runs.
+	traceID atomic.Uint64
 }
+
+// SetTraceID tags the process — and its session, if it has entered one —
+// with the request trace it is executing for. Zero clears the tag.
+func (p *Proc) SetTraceID(id uint64) {
+	p.traceID.Store(id)
+	if s := p.Session(); s != nil {
+		s.trace.Store(id)
+	}
+}
+
+// TraceID returns the request trace the process is tagged with, 0 if
+// untraced.
+func (p *Proc) TraceID() uint64 { return p.traceID.Load() }
 
 // IntrChan returns the channel closed when the process is interrupted.
 // Blocking system calls select on it; it is replaced (re-armed) by

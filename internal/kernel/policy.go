@@ -9,6 +9,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/netstack"
 	"repro/internal/priv"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -363,12 +364,13 @@ func (pol *ShillPolicy) deny(s *Session, obj mac.Labeled, op string, need priv.S
 	reason := &audit.DenyReason{
 		Layer: audit.LayerPolicy, Policy: policyName,
 		Op: op, ObjectFn: objFn, Session: s.id,
-		Missing: missing, Errno: errno.EACCES,
+		Missing: missing, TraceID: s.trace.Load(), Errno: errno.EACCES,
 	}
 	reason.Seq = pol.k.aud.Emit(s.shard, audit.Event{
 		Kind: audit.KindSyscall, Verdict: audit.Deny,
 		Layer: audit.LayerPolicy, Policy: policyName,
 		Op: op, ObjectFn: objFn, Rights: missing,
+		Trace: reason.TraceID,
 	})
 	return reason
 }
@@ -392,6 +394,7 @@ func (pol *ShillPolicy) VnodeCheck(cred *mac.Cred, vn mac.Labeled, op mac.VnodeO
 		return nil
 	}
 	pol.checks.Add(1)
+	defer pol.k.Ops.End(trace.OpPolicy, pol.k.Ops.Begin(trace.OpPolicy))
 	need, ok := requiredVnodeRights[op]
 	if !ok {
 		return pol.deny(s, vn, op.String(), 0, nil)
@@ -486,6 +489,7 @@ func (pol *ShillPolicy) PipeCheck(cred *mac.Cred, p mac.Labeled, op mac.PipeOp) 
 		return nil
 	}
 	pol.checks.Add(1)
+	defer pol.k.Ops.End(trace.OpPolicy, pol.k.Ops.Begin(trace.OpPolicy))
 	var need priv.Set
 	switch op {
 	case mac.OpPipeRead:
@@ -513,6 +517,7 @@ func (pol *ShillPolicy) SocketCheck(cred *mac.Cred, so mac.Labeled, op mac.Socke
 		return nil
 	}
 	pol.checks.Add(1)
+	defer pol.k.Ops.End(trace.OpPolicy, pol.k.Ops.Begin(trace.OpPolicy))
 	r := requiredSockRights[op]
 	if op == mac.OpSockCreate {
 		sock, ok := so.(*netstack.Socket)
@@ -566,6 +571,7 @@ func (pol *ShillPolicy) ProcCheck(cred, target *mac.Cred, op mac.ProcOp) error {
 		return nil
 	}
 	pol.checks.Add(1)
+	defer pol.k.Ops.End(trace.OpPolicy, pol.k.Ops.Begin(trace.OpPolicy))
 	t := sessionOf(target)
 	if t != nil && t.isDescendantOf(s) {
 		pol.allow(s, op.String(), "process")
@@ -578,13 +584,14 @@ func (pol *ShillPolicy) ProcCheck(cred, target *mac.Cred, op mac.ProcOp) error {
 	reason := &audit.DenyReason{
 		Layer: audit.LayerPolicy, Policy: policyName,
 		Op: op.String(), Object: "process", Session: s.id,
-		Errno: errno.EPERM,
+		TraceID: s.trace.Load(), Errno: errno.EPERM,
 	}
 	reason.Seq = pol.k.aud.Emit(s.shard, audit.Event{
 		Kind: audit.KindSyscall, Verdict: audit.Deny,
 		Layer: audit.LayerPolicy, Policy: policyName,
 		Op: op.String(), Object: "process",
 		Detail: "target process is outside the session hierarchy (§3.2.2 process interaction)",
+		Trace:  reason.TraceID,
 	})
 	return reason
 }
@@ -598,6 +605,7 @@ func (pol *ShillPolicy) SystemCheck(cred *mac.Cred, op mac.SystemOp, name string
 		return nil
 	}
 	pol.checks.Add(1)
+	defer pol.k.Ops.End(trace.OpPolicy, pol.k.Ops.Begin(trace.OpPolicy))
 	if op == mac.OpSysctlRead {
 		pol.allow(s, op.String(), name)
 		return nil
@@ -609,13 +617,14 @@ func (pol *ShillPolicy) SystemCheck(cred *mac.Cred, op mac.SystemOp, name string
 	reason := &audit.DenyReason{
 		Layer: audit.LayerPolicy, Policy: policyName,
 		Op: op.String(), Object: name, Session: s.id,
-		Errno: errno.EPERM,
+		TraceID: s.trace.Load(), Errno: errno.EPERM,
 	}
 	reason.Seq = pol.k.aud.Emit(s.shard, audit.Event{
 		Kind: audit.KindSyscall, Verdict: audit.Deny,
 		Layer: audit.LayerPolicy, Policy: policyName,
 		Op: op.String(), Object: name,
 		Detail: "denied for all sandboxes (Figure 7 policy rows)",
+		Trace:  reason.TraceID,
 	})
 	return reason
 }

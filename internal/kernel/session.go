@@ -42,6 +42,12 @@ type Session struct {
 	// shard is the session's audit-log shard, cached at creation so the
 	// policy's hot check path emits events without any map lookup.
 	shard *audit.Shard
+
+	// trace is the request trace (internal/trace) the session is running
+	// under, copied from the initiating process at ShillInit and
+	// re-stamped by Proc.SetTraceID between runs of a long-lived runtime
+	// process. Deny sites read it to tag audit events.
+	trace atomic.Uint64
 }
 
 // ID returns the session id.
@@ -157,6 +163,7 @@ func (p *Proc) ShillInit(opts SessionOptions) (*Session, error) {
 		sockGrants: make(map[netstack.Domain]*priv.Grant),
 		debug:      opts.Debug,
 	}
+	s.trace.Store(p.traceID.Load())
 	if opts.Debug || opts.Logging || p.k.Policy.logAll.Load() {
 		s.log = &SessionLog{}
 	}
@@ -316,6 +323,7 @@ func (p *Proc) Fork() (*Proc, error) {
 		limits:   limits,
 		session:  session,
 	}
+	child.traceID.Store(p.traceID.Load())
 	k.procsMu.Lock()
 	k.procs[child.pid] = child
 	k.procsMu.Unlock()

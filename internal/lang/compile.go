@@ -118,12 +118,15 @@ func Compile(src string) (*CompiledProgram, error) {
 }
 
 // compileSource compiles through the interpreter's cache when one is
-// installed.
-func (it *Interp) compileSource(src string) (*CompiledProgram, error) {
+// installed. The bool reports a cache hit (always false without a
+// cache), feeding the compile span's hit/miss detail and the server's
+// shilld_compile_seconds{cache=...} histogram.
+func (it *Interp) compileSource(src string) (*CompiledProgram, bool, error) {
 	if c := it.CompileCache; c != nil {
-		return c.Get(src)
+		return c.get(src)
 	}
-	return Compile(src)
+	prog, err := Compile(src)
+	return prog, false, err
 }
 
 // --- compile cache ---
@@ -150,17 +153,24 @@ func NewCompileCache() *CompileCache { return &CompileCache{} }
 // Parse errors are cached too, so a repeatedly-submitted broken script
 // does not pay a re-parse per request.
 func (c *CompileCache) Get(src string) (*CompiledProgram, error) {
+	prog, _, err := c.get(src)
+	return prog, err
+}
+
+// get is Get plus a hit report, so the tracing layer can label the
+// compile span hit/miss without racing on the global counters.
+func (c *CompileCache) get(src string) (*CompiledProgram, bool, error) {
 	key := sha256.Sum256([]byte(src))
 	if v, ok := c.entries.Load(key); ok {
 		c.hits.Add(1)
 		e := v.(*cacheEntry)
-		return e.prog, e.err
+		return e.prog, true, e.err
 	}
 	c.misses.Add(1)
 	prog, err := Compile(src)
 	v, _ := c.entries.LoadOrStore(key, &cacheEntry{prog: prog, err: err})
 	e := v.(*cacheEntry)
-	return e.prog, e.err
+	return e.prog, false, e.err
 }
 
 // Stats reports cache hits and misses.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/contract"
 	"repro/internal/kernel"
 	"repro/internal/prof"
+	"repro/internal/trace"
 )
 
 // Loader resolves required script files to their source text.
@@ -79,6 +80,13 @@ type Interp struct {
 	// socks registers every socket the run mints so leftovers can be
 	// closed when the run ends (see sockets.go).
 	socks sockTracker
+
+	// Trace, when non-nil, receives compile and eval spans (children of
+	// TraceParent) for the request-tracing layer. Both fields are set by
+	// the run owner before RunAmbient; a nil Trace costs one nil check
+	// per run, not per statement.
+	Trace       *trace.Ref
+	TraceParent uint64
 }
 
 // SetContext installs (or, with nil, removes) the context the eval loop
@@ -154,7 +162,7 @@ func (it *Interp) LoadModule(name string, isFile bool) (*Module, error) {
 		return nil, err
 	}
 	if it.engine == EngineCompiled {
-		prog, err := it.compileSource(src)
+		prog, _, err := it.compileSource(src)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -255,13 +263,18 @@ func (it *Interp) RunAmbient(name, src string) error {
 	if it.engine == EngineCompiled {
 		return it.runAmbientCompiled(name, src)
 	}
+	csp := it.Trace.Start(it.TraceParent, trace.KindCompile, "parse")
+	csp.SetDetail("engine=tree-walk")
 	script, err := Parse(src)
+	csp.End()
 	if err != nil {
 		return fmt.Errorf("%s: %w", name, err)
 	}
 	if script.Dialect != DialectAmbient {
 		return fmt.Errorf("%s: not an ambient script", name)
 	}
+	esp := it.Trace.Start(it.TraceParent, trace.KindEval, "eval")
+	defer esp.End()
 	env := NewEnv(it.globals)
 	it.bindAmbient(env)
 	for _, s := range script.Stmts {

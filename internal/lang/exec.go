@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/contract"
+	"repro/internal/trace"
 )
 
 // code is one compiled statement or expression.
@@ -236,13 +237,24 @@ func (c *compiledClosure) invoke(f *cframe) (Value, error) {
 
 // runAmbientCompiled is RunAmbient on the compiled engine.
 func (it *Interp) runAmbientCompiled(name, src string) error {
-	prog, err := it.compileSource(src)
+	csp := it.Trace.Start(it.TraceParent, trace.KindCompile, "compile")
+	prog, hit, err := it.compileSource(src)
+	if csp != nil {
+		if hit {
+			csp.SetDetail("engine=compiled cache=hit")
+		} else {
+			csp.SetDetail("engine=compiled cache=miss")
+		}
+		csp.End()
+	}
 	if err != nil {
 		return fmt.Errorf("%s: %w", name, err)
 	}
 	if prog.dialect != DialectAmbient {
 		return fmt.Errorf("%s: not an ambient script", name)
 	}
+	esp := it.Trace.Start(it.TraceParent, trace.KindEval, "eval")
+	defer esp.End()
 	env := NewEnv(it.globals)
 	it.bindAmbient(env)
 	run := newRun(it, env, prog)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/priv"
 	"repro/internal/prof"
+	"repro/internal/trace"
 )
 
 // Arg is one executable argument: either a plain string or a capability.
@@ -59,6 +60,11 @@ type Options struct {
 	// Prof, when non-nil, receives sandbox setup/execution timings for
 	// the Figure 10 breakdown.
 	Prof *prof.Collector
+	// Trace, when non-nil, receives sandbox-setup and sandbox-exec spans
+	// (children of TraceParent) so a request trace decomposes each exec
+	// the same way Prof decomposes the whole run.
+	Trace       *trace.Ref
+	TraceParent uint64
 }
 
 // Result reports a finished sandboxed execution.
@@ -176,6 +182,10 @@ func Exec(runtime *kernel.Proc, exe *cap.Capability, args []Arg, opts Options) (
 		return fail(err)
 	}
 	opts.Prof.Add(prof.SandboxSetup, time.Since(setupStart))
+	opts.Trace.Add(trace.Span{
+		Parent: opts.TraceParent, Kind: trace.KindSandboxSetup,
+		Name: "sandbox-setup", Start: setupStart, Dur: time.Since(setupStart),
+	})
 
 	// The Enabled gate keeps the disabled configuration from paying the
 	// reverse path lookup (Name) and detail formatting per spawn.
@@ -205,6 +215,11 @@ func Exec(runtime *kernel.Proc, exe *cap.Capability, args []Arg, opts Options) (
 		err = fmt.Errorf("sandbox: execution interrupted: %w", errno.EINTR)
 	}
 	opts.Prof.Add(prof.SandboxExec, time.Since(execStart))
+	opts.Trace.Add(trace.Span{
+		Parent: opts.TraceParent, Kind: trace.KindSandboxExec,
+		Name: "sandbox-exec", Detail: exePath,
+		Start: execStart, Dur: time.Since(execStart),
+	})
 	if err != nil {
 		return Result{ExitCode: code, Session: session}, err
 	}

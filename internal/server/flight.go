@@ -1,0 +1,70 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/shill"
+)
+
+// flightRecorder keeps the K slowest complete request traces the server
+// has seen — the post-hoc answer to "what was that latency spike?".
+// Offers are cheap when the candidate is faster than the current
+// fastest retained trace (one mutex'd comparison, no copy).
+type flightRecorder struct {
+	mu      sync.Mutex
+	k       int
+	entries []FlightTrace // sorted slowest-first
+}
+
+// FlightTrace is one retained slow trace, JSON-shaped for /v1/trace.
+type FlightTrace struct {
+	Tenant  string       `json:"tenant"`
+	Script  string       `json:"script"`
+	TraceID uint64       `json:"traceId"`
+	DurMs   float64      `json:"durMs"`
+	Spans   []shill.Span `json:"spans"`
+}
+
+func newFlightRecorder(k int) *flightRecorder {
+	if k <= 0 {
+		k = 16
+	}
+	return &flightRecorder{k: k}
+}
+
+// offer considers a completed trace for retention.
+func (f *flightRecorder) offer(tenant, script string, traceID uint64, dur time.Duration, spans []shill.Span) {
+	if traceID == 0 || len(spans) == 0 {
+		return
+	}
+	e := FlightTrace{
+		Tenant: tenant, Script: script, TraceID: traceID,
+		DurMs: float64(dur) / float64(time.Millisecond), Spans: spans,
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.entries) >= f.k && e.DurMs <= f.entries[len(f.entries)-1].DurMs {
+		return
+	}
+	f.entries = append(f.entries, e)
+	sort.Slice(f.entries, func(i, j int) bool { return f.entries[i].DurMs > f.entries[j].DurMs })
+	if len(f.entries) > f.k {
+		f.entries = f.entries[:f.k]
+	}
+}
+
+// snapshot returns the retained traces (slowest first), filtered by
+// tenant when tenant is non-empty.
+func (f *flightRecorder) snapshot(tenant string) []FlightTrace {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightTrace, 0, len(f.entries))
+	for _, e := range f.entries {
+		if tenant == "" || e.Tenant == tenant {
+			out = append(out, e)
+		}
+	}
+	return out
+}

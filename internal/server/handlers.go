@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/audit"
@@ -18,12 +19,14 @@ import (
 //
 //	POST /v1/run              execute a script (or argv) for a tenant
 //	GET  /v1/audit/why-denied explain a tenant's recorded denials
+//	GET  /v1/trace            a tenant's span stream + slowest traces
 //	GET  /healthz             liveness (503 while draining)
 //	GET  /metrics             Prometheus-style text metrics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/audit/why-denied", s.handleWhyDenied)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -90,6 +93,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.inflight.Done()
 
+	acquireStart := time.Now()
 	t, err := s.acquireTenant(req.Tenant)
 	if err != nil {
 		s.writeAdmitError(w, err)
@@ -97,12 +101,35 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseTenant(t)
 
+	// The request's trace begins the moment its machine exists: spans
+	// land in the tenant machine's recorder, so /v1/trace?tenant=T
+	// serves exactly this tenant's span stream. A machine built
+	// WithTraceDisabled yields a nil ref and every call below no-ops.
+	displayName := req.ScriptName
+	if displayName == "" {
+		if len(req.Argv) > 0 {
+			displayName = req.Argv[0]
+		} else {
+			displayName = "request.ambient"
+		}
+	}
+	tr := t.m.Tracer().NewTrace()
+	reqSpan := tr.Start(0, shill.SpanRequest, displayName)
+	reqSpan.SetDetail("tenant=" + req.Tenant)
+	tr.Add(shill.Span{
+		Parent: reqSpan.ID(), Kind: shill.SpanAcquire, Name: "acquire-machine",
+		Start: acquireStart, Dur: time.Since(acquireStart),
+	})
+
 	// Script resolution happens before a slot is consumed: a 404 should
 	// not cost queue capacity.
 	src := req.Script
 	name := "request.ambient"
 	if req.ScriptName != "" {
-		if src, err = t.m.Resolver().Load(req.ScriptName); err != nil {
+		rsp := tr.Start(reqSpan.ID(), shill.SpanResolve, "resolve-script")
+		src, err = t.m.Resolver().Load(req.ScriptName)
+		rsp.End()
+		if err != nil {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 			return
 		}
@@ -112,13 +139,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		src = spliceArgs(src, req.Args)
 	}
 
+	// The queue span is the single source of truth for queue wait: the
+	// wire's queuedMs is the span's duration (the stopwatch fallback
+	// only covers trace-disabled machines).
 	queueStart := time.Now()
-	if err := s.acquireSlot(r.Context()); err != nil {
+	qspan := tr.Start(reqSpan.ID(), shill.SpanQueue, "queue-wait")
+	err = s.acquireSlot(r.Context())
+	queueWait := qspan.End()
+	if qspan == nil {
+		queueWait = time.Since(queueStart)
+	}
+	if err != nil {
 		s.writeAdmitError(w, err)
 		return
 	}
 	defer func() { <-s.slots }()
-	queuedMs := float64(time.Since(queueStart)) / float64(time.Millisecond)
+	s.met.queueWait.observe(queueWait)
+	queuedMs := float64(queueWait) / float64(time.Millisecond)
 
 	deadline := s.cfg.DefaultDeadline
 	if req.DeadlineMs > 0 {
@@ -129,19 +166,52 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
+	ctx = shill.NewTraceContext(ctx, tr, reqSpan.ID())
 
 	sess := t.m.NewSession()
 	defer sess.Close()
 	s.met.activeRuns.Add(1)
 	defer s.met.activeRuns.Add(-1)
 
+	var resp *RunResponse
 	if req.Stream {
-		s.streamRun(ctx, w, sess, req, name, src, queuedMs)
-		return
+		resp = s.streamRun(ctx, w, sess, req, name, src, queuedMs)
+	} else {
+		resp = s.execute(ctx, sess, req, name, src, queuedMs)
 	}
+	total := reqSpan.End()
+	s.finishTrace(req.Tenant, displayName, tr, total, resp)
+	if !req.Stream {
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
 
-	resp := s.execute(ctx, sess, req, name, src, queuedMs)
-	writeJSON(w, http.StatusOK, resp)
+// finishTrace closes out a request's observability: the per-outcome
+// latency histogram, the compile histogram (fed from the run's compile
+// spans), and the flight recorder's slowest-trace retention.
+func (s *Server) finishTrace(tenant, script string, tr *shill.TraceRef, total time.Duration, resp *RunResponse) {
+	outcome := outcomeAllow
+	switch {
+	case resp.Canceled:
+		outcome = outcomeCancel
+	case len(resp.Denials) > 0:
+		outcome = outcomeDeny
+	case resp.Error != "":
+		outcome = outcomeError
+	}
+	s.met.runSeconds.with(outcome).observe(total)
+	spans := tr.Spans()
+	for _, sp := range spans {
+		if sp.Kind != shill.SpanCompile {
+			continue
+		}
+		cache := "miss"
+		if strings.Contains(sp.Detail, "cache=hit") {
+			cache = "hit"
+		}
+		s.met.compileSeconds.with(cache).observe(sp.Dur)
+	}
+	s.flight.offer(tenant, script, tr.TraceID(), total, spans)
 }
 
 // execute runs the request on an admitted session and shapes the
@@ -186,7 +256,7 @@ func (s *Server) execute(ctx context.Context, sess *shill.Session, req RunReques
 // console write, then a final {"result": ...} event. The console tee
 // feeds a pump goroutine so the session's console device never blocks
 // on the network.
-func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, sess *shill.Session, req RunRequest, name, src string, queuedMs float64) {
+func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, sess *shill.Session, req RunRequest, name, src string, queuedMs float64) *RunResponse {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
@@ -215,6 +285,7 @@ func (s *Server) streamRun(ctx context.Context, w http.ResponseWriter, sess *shi
 	if flusher != nil {
 		flusher.Flush()
 	}
+	return resp
 }
 
 // handleWhyDenied serves the shill-audit why-denied query path over
@@ -251,6 +322,49 @@ func (s *Server) handleWhyDenied(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.Denials == nil {
 		resp.Denials = []audit.Explanation{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace serves a tenant's request traces: the machine recorder's
+// span stream after ?since=N (a span sequence point, for incremental
+// polls), plus the server-wide flight recorder's slowest retained
+// traces for the tenant. A span's traceId groups it with its tree;
+// why-denied explanations carry the same traceId, so a denial links
+// straight to the spans that surround it.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tenantName := r.URL.Query().Get("tenant")
+	if !validTenant(tenantName) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "tenant must be 1-64 chars of [A-Za-z0-9._-]"})
+		return
+	}
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "since must be a span sequence number"})
+			return
+		}
+		since = v
+	}
+	t := s.lookupTenant(tenantName)
+	if t == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no machine for tenant %q", tenantName)})
+		return
+	}
+	rec := t.m.Tracer()
+	resp := TraceResponse{
+		Tenant:  tenantName,
+		Since:   since,
+		Seq:     rec.Seq(),
+		Spans:   rec.Since(since),
+		Slowest: s.flight.snapshot(tenantName),
+	}
+	if resp.Spans == nil {
+		resp.Spans = []shill.Span{}
+	}
+	if resp.Slowest == nil {
+		resp.Slowest = []FlightTrace{}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Fixed-bucket latency histograms for /metrics: the server-side view of
+// request latency that shill-load compares against its client-side
+// percentiles. Observation is lock-free (one atomic add per bucket
+// hit); exposition renders the Prometheus text format with cumulative,
+// le-ordered buckets.
+
+// latencyBuckets are the upper bounds (seconds) shared by every latency
+// family. 0.5ms..10s covers everything from a cache-hit no-op script to
+// a run that rode its deadline.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is one fixed-bucket series. The zero value is unusable;
+// construct with newHistogram.
+type histogram struct {
+	bounds []float64      // sorted upper bounds; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, secs)
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.n.Add(1)
+}
+
+// snapshot returns the cumulative bucket counts (per le bound, then
+// +Inf), the sum in seconds, and the count.
+func (h *histogram) snapshot() (cum []int64, sum float64, n int64) {
+	cum = make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, float64(h.sumNs.Load()) / 1e9, h.n.Load()
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) from the buckets by
+// linear interpolation, the same way Prometheus histogram_quantile
+// does. Returns 0 when the histogram is empty.
+func (h *histogram) quantile(q float64) float64 {
+	cum, _, n := h.snapshot()
+	if n == 0 {
+		return 0
+	}
+	rank := q * float64(n)
+	for i, c := range cum {
+		if float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			prev := int64(0)
+			if i > 0 {
+				prev = cum[i-1]
+			}
+			inBucket := c - prev
+			if inBucket == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-float64(prev))/float64(inBucket)
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// histVec is a histogram family with one fixed label; the series are
+// created up-front so observation never allocates or locks.
+type histVec struct {
+	label  string
+	order  []string // exposition order
+	series map[string]*histogram
+}
+
+func newHistVec(label string, values ...string) *histVec {
+	v := &histVec{label: label, order: values, series: make(map[string]*histogram, len(values))}
+	for _, val := range values {
+		v.series[val] = newHistogram(latencyBuckets)
+	}
+	return v
+}
+
+// with returns the labelled series; unknown values fall back to the
+// first series rather than panicking on a hot path.
+func (v *histVec) with(value string) *histogram {
+	if h := v.series[value]; h != nil {
+		return h
+	}
+	return v.series[v.order[0]]
+}
+
+// exposeHistogram writes one series in text exposition format. labels
+// is the rendered label set without braces ("" for none); le is
+// appended as the last label of each bucket line.
+func exposeHistogram(w io.Writer, name, labels string, h *histogram) {
+	cum, sum, n := h.snapshot()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum[len(cum)-1])
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, n)
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, n)
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do
+// (shortest float form: "0.005", "1", "2.5").
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// exposeHistVec writes a whole family: one HELP/TYPE header, then every
+// labelled series in construction order.
+func exposeHistVec(w io.Writer, name, help string, v *histVec) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, val := range v.order {
+		labels := fmt.Sprintf("%s=%q", v.label, val)
+		exposeHistogram(w, name, labels, v.series[val])
+	}
+}

@@ -119,6 +119,11 @@ type Report struct {
 	// DenyOverheadPct is the deny-path p50 relative to the allow-path
 	// p50, in percent — the cost of producing a denial with provenance.
 	DenyOverheadPct float64 `json:"denyOverheadPct"`
+
+	// Server holds the client-vs-server percentile comparison when the
+	// caller scraped the daemon's /metrics histograms around the run
+	// (CompareServer); empty when it didn't.
+	Server []ServerComparison `json:"server,omitempty"`
 }
 
 // Bad reports whether any response had the wrong shape.

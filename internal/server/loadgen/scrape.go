@@ -1,0 +1,281 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Server-side latency scraping: after a load run, shill-load fetches
+// the daemon's /metrics, parses the shilld_run_seconds histogram
+// family, and compares the server's view of each outcome's latency
+// against the client-side percentiles it measured itself. The two views
+// bracket the wire: the server times from admission to response
+// shaping, the client adds transport and queueing ahead of admission —
+// they should agree within the histogram's bucket resolution, and a
+// larger gap means time is going somewhere neither side accounts for.
+
+// HistBucket is one cumulative bucket of a scraped histogram.
+type HistBucket struct {
+	// LE is the bucket's upper bound in seconds; +Inf for the last.
+	LE float64 `json:"le"`
+	// Count is the cumulative observations at or below LE.
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is one scraped histogram series (one label set).
+type HistSnapshot struct {
+	Buckets []HistBucket `json:"buckets"`
+	Sum     float64      `json:"sum"`
+	Count   int64        `json:"count"`
+}
+
+// Sub returns the delta snapshot h−prev: the observations recorded
+// between two scrapes of a cumulative histogram. A prev with a
+// different bucket layout (or none) yields h unchanged.
+func (h HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	if len(prev.Buckets) != len(h.Buckets) {
+		return h
+	}
+	out := HistSnapshot{
+		Buckets: make([]HistBucket, len(h.Buckets)),
+		Sum:     h.Sum - prev.Sum,
+		Count:   h.Count - prev.Count,
+	}
+	for i, b := range h.Buckets {
+		if prev.Buckets[i].LE != b.LE {
+			return h
+		}
+		out.Buckets[i] = HistBucket{LE: b.LE, Count: b.Count - prev.Buckets[i].Count}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile in seconds by linear interpolation
+// over the cumulative buckets — the histogram_quantile estimate, with
+// the same bucket-resolution error bars. Returns 0 when empty.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	for i, b := range h.Buckets {
+		if float64(b.Count) < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Buckets[i-1].LE
+		}
+		hi := b.LE
+		if math.IsInf(hi, 1) {
+			// The +Inf bucket has no width; report its lower bound.
+			return lo
+		}
+		prev := int64(0)
+		if i > 0 {
+			prev = h.Buckets[i-1].Count
+		}
+		inBucket := b.Count - prev
+		if inBucket == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(inBucket)
+	}
+	return h.Buckets[len(h.Buckets)-1].LE
+}
+
+// ParseHistogram extracts one histogram family from Prometheus text
+// exposition, keyed by the value of its (single) non-le label; a series
+// with no label beyond le keys as "".
+func ParseHistogram(text, family string) map[string]HistSnapshot {
+	out := map[string]HistSnapshot{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, family+"_") {
+			continue
+		}
+		rest := line[len(family)+1:]
+		switch {
+		case strings.HasPrefix(rest, "bucket{"):
+			labels, value, ok := splitSample(rest[len("bucket"):])
+			if !ok {
+				continue
+			}
+			le, hasLE := labels["le"]
+			if !hasLE {
+				continue
+			}
+			bound, err := parseBound(le)
+			if err != nil {
+				continue
+			}
+			key := seriesKey(labels)
+			h := out[key]
+			h.Buckets = append(h.Buckets, HistBucket{LE: bound, Count: int64(value)})
+			out[key] = h
+		case strings.HasPrefix(rest, "sum"):
+			labels, value, ok := splitSample(rest[len("sum"):])
+			if !ok {
+				continue
+			}
+			h := out[seriesKey(labels)]
+			h.Sum = value
+			out[seriesKey(labels)] = h
+		case strings.HasPrefix(rest, "count"):
+			labels, value, ok := splitSample(rest[len("count"):])
+			if !ok {
+				continue
+			}
+			h := out[seriesKey(labels)]
+			h.Count = int64(value)
+			out[seriesKey(labels)] = h
+		}
+	}
+	return out
+}
+
+// seriesKey is the value of the first label that isn't le — our
+// families carry at most one.
+func seriesKey(labels map[string]string) string {
+	for k, v := range labels {
+		if k != "le" {
+			return v
+		}
+	}
+	return ""
+}
+
+// splitSample parses `{a="x",le="0.5"} 12` (or ` 12` with no label set)
+// into its labels and value.
+func splitSample(s string) (map[string]string, float64, bool) {
+	labels := map[string]string{}
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "{") {
+		end := strings.Index(s, "}")
+		if end < 0 {
+			return nil, 0, false
+		}
+		for _, pair := range strings.Split(s[1:end], ",") {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				continue
+			}
+			val, err := strconv.Unquote(strings.TrimSpace(pair[eq+1:]))
+			if err != nil {
+				return nil, 0, false
+			}
+			labels[strings.TrimSpace(pair[:eq])] = val
+		}
+		s = strings.TrimSpace(s[end+1:])
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return nil, 0, false
+	}
+	return labels, v, true
+}
+
+func parseBound(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(le, 64)
+}
+
+// ScrapeRunSeconds fetches baseURL/metrics and returns the
+// shilld_run_seconds family keyed by outcome (allow/deny/cancel/error).
+// Scrape once before and once after a run and Sub the snapshots to get
+// the run's own delta — the histograms are cumulative over the daemon's
+// lifetime.
+func ScrapeRunSeconds(ctx context.Context, client *http.Client, baseURL string) (map[string]HistSnapshot, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	return ParseHistogram(string(body), "shilld_run_seconds"), nil
+}
+
+// DisagreeBarPct is the client-vs-server percentile gap that gets
+// flagged: past this the two views of the same latency no longer
+// bracket each other within bucket resolution.
+const DisagreeBarPct = 10.0
+
+// ServerComparison is one outcome's client-vs-server percentile
+// comparison.
+type ServerComparison struct {
+	Outcome string `json:"outcome"`
+	// Client percentiles come from the load generator's own stopwatch.
+	ClientP50Ms float64 `json:"clientP50Ms"`
+	ClientP99Ms float64 `json:"clientP99Ms"`
+	// Server percentiles are histogram_quantile estimates over the
+	// daemon's shilld_run_seconds delta for this run.
+	ServerCount int64   `json:"serverCount"`
+	ServerP50Ms float64 `json:"serverP50Ms"`
+	ServerP99Ms float64 `json:"serverP99Ms"`
+	// Deltas are (server−client)/client in percent; negative means the
+	// server saw less time than the client (transport + pre-admission).
+	DeltaP50Pct float64 `json:"deltaP50Pct"`
+	DeltaP99Pct float64 `json:"deltaP99Pct"`
+	// Disagree flags |delta| > DisagreeBarPct at p50 or p99.
+	Disagree bool `json:"disagree"`
+}
+
+// CompareServer lines the report's client-side percentiles up against
+// scraped before/after server histograms, outcome by outcome.
+func CompareServer(rep *Report, before, after map[string]HistSnapshot) []ServerComparison {
+	var out []ServerComparison
+	for _, oc := range []struct {
+		name   string
+		client LatencySummary
+	}{
+		{"allow", rep.AllowLatency},
+		{"deny", rep.DenyLatency},
+		{"cancel", rep.CancelLatency},
+	} {
+		h := after[oc.name].Sub(before[oc.name])
+		if oc.client.Count == 0 && h.Count == 0 {
+			continue
+		}
+		c := ServerComparison{
+			Outcome:     oc.name,
+			ClientP50Ms: oc.client.P50Ms,
+			ClientP99Ms: oc.client.P99Ms,
+			ServerCount: h.Count,
+			ServerP50Ms: h.Quantile(0.50) * 1000,
+			ServerP99Ms: h.Quantile(0.99) * 1000,
+		}
+		if oc.client.P50Ms > 0 {
+			c.DeltaP50Pct = (c.ServerP50Ms - c.ClientP50Ms) / c.ClientP50Ms * 100
+		}
+		if oc.client.P99Ms > 0 {
+			c.DeltaP99Pct = (c.ServerP99Ms - c.ClientP99Ms) / c.ClientP99Ms * 100
+		}
+		c.Disagree = oc.client.Count > 0 && h.Count > 0 &&
+			(math.Abs(c.DeltaP50Pct) > DisagreeBarPct || math.Abs(c.DeltaP99Pct) > DisagreeBarPct)
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+const sampleExposition = `# HELP shilld_run_seconds run latency by outcome
+# TYPE shilld_run_seconds histogram
+shilld_run_seconds_bucket{outcome="allow",le="0.001"} 2
+shilld_run_seconds_bucket{outcome="allow",le="0.01"} 8
+shilld_run_seconds_bucket{outcome="allow",le="+Inf"} 10
+shilld_run_seconds_sum{outcome="allow"} 0.123
+shilld_run_seconds_count{outcome="allow"} 10
+shilld_run_seconds_bucket{outcome="deny",le="0.001"} 0
+shilld_run_seconds_bucket{outcome="deny",le="0.01"} 4
+shilld_run_seconds_bucket{outcome="deny",le="+Inf"} 4
+shilld_run_seconds_sum{outcome="deny"} 0.02
+shilld_run_seconds_count{outcome="deny"} 4
+shilld_queue_wait_seconds_bucket{le="+Inf"} 14
+shilld_queue_wait_seconds_sum 0.001
+shilld_queue_wait_seconds_count 14
+`
+
+func TestParseHistogram(t *testing.T) {
+	got := ParseHistogram(sampleExposition, "shilld_run_seconds")
+	allow, ok := got["allow"]
+	if !ok {
+		t.Fatalf("no allow series: %v", got)
+	}
+	if allow.Count != 10 || allow.Sum != 0.123 || len(allow.Buckets) != 3 {
+		t.Fatalf("allow series: %+v", allow)
+	}
+	if !math.IsInf(allow.Buckets[2].LE, 1) || allow.Buckets[2].Count != 10 {
+		t.Fatalf("allow +Inf bucket: %+v", allow.Buckets[2])
+	}
+	if deny := got["deny"]; deny.Count != 4 {
+		t.Fatalf("deny series: %+v", deny)
+	}
+	// The unlabelled family keys as "" and must not collide.
+	q := ParseHistogram(sampleExposition, "shilld_queue_wait_seconds")
+	if s := q[""]; s.Count != 14 || len(s.Buckets) != 1 {
+		t.Fatalf("queue series: %+v", s)
+	}
+}
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	h := ParseHistogram(sampleExposition, "shilld_run_seconds")["allow"]
+	// p50: rank 5 lands in the (0.001, 0.01] bucket holding counts 3..8;
+	// linear interpolation gives 0.001 + 0.009*(5-2)/6.
+	want := 0.001 + 0.009*3/6
+	if got := h.Quantile(0.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p50 = %v, want %v", got, want)
+	}
+	// p100 lands in +Inf, which reports its lower bound.
+	if got := h.Quantile(1.0); got != 0.01 {
+		t.Fatalf("p100 = %v, want 0.01", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	before := ParseHistogram(sampleExposition, "shilld_run_seconds")["allow"]
+	after := before
+	after.Buckets = append([]HistBucket(nil), before.Buckets...)
+	after.Buckets[1].Count += 5
+	after.Buckets[2].Count += 5
+	after.Count += 5
+	after.Sum += 0.05
+	d := after.Sub(before)
+	if d.Count != 5 || d.Buckets[0].Count != 0 || d.Buckets[1].Count != 5 {
+		t.Fatalf("delta: %+v", d)
+	}
+	// Layout mismatch degrades to the raw after-snapshot.
+	if d := after.Sub(HistSnapshot{}); d.Count != after.Count {
+		t.Fatalf("mismatched sub: %+v", d)
+	}
+}
+
+func TestCompareServerFlagsDisagreement(t *testing.T) {
+	rep := &Report{
+		AllowLatency: LatencySummary{Count: 10, P50Ms: 10, P99Ms: 20},
+	}
+	// A server series whose mass sits near 2.5ms — far from the client's
+	// 10ms — must be flagged.
+	after := map[string]HistSnapshot{
+		"allow": {
+			Buckets: []HistBucket{{LE: 0.0025, Count: 10}, {LE: math.Inf(1), Count: 10}},
+			Count:   10,
+		},
+	}
+	cmp := CompareServer(rep, nil, after)
+	if len(cmp) != 1 || cmp[0].Outcome != "allow" {
+		t.Fatalf("comparison: %+v", cmp)
+	}
+	if !cmp[0].Disagree {
+		t.Fatalf("10ms client vs ~2.5ms server not flagged: %+v", cmp[0])
+	}
+	// Agreement within the bar is not flagged.
+	rep.AllowLatency = LatencySummary{Count: 10, P50Ms: 1.25, P99Ms: 2.4}
+	cmp = CompareServer(rep, nil, after)
+	if cmp[0].Disagree {
+		t.Fatalf("in-bar comparison flagged: %+v", cmp[0])
+	}
+}

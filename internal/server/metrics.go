@@ -21,6 +21,27 @@ type metrics struct {
 	rejectedMachines atomic.Int64 // 429: machine registry full
 	evictions        atomic.Int64 // LRU machine evictions
 	activeRuns       atomic.Int64 // runs currently executing
+
+	// Latency histograms (initHistograms). runSeconds is labelled by
+	// outcome; compileSeconds by compile-cache disposition, fed from the
+	// compile spans of each run's trace (the single source of truth).
+	runSeconds     *histVec
+	queueWait      *histogram
+	compileSeconds *histVec
+}
+
+// Run outcome labels for runSeconds.
+const (
+	outcomeAllow  = "allow"
+	outcomeDeny   = "deny"
+	outcomeCancel = "cancel"
+	outcomeError  = "error"
+)
+
+func (m *metrics) initHistograms() {
+	m.runSeconds = newHistVec("outcome", outcomeAllow, outcomeDeny, outcomeCancel, outcomeError)
+	m.queueWait = newHistogram(latencyBuckets)
+	m.compileSeconds = newHistVec("cache", "miss", "hit")
 }
 
 // handleMetrics renders the serving counters plus every tenant
@@ -53,6 +74,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rps = float64(total) / uptime
 	}
 	gauge("shilld_requests_per_second", "requests_total averaged over uptime", fmt.Sprintf("%.3f", rps))
+
+	exposeHistVec(w, "shilld_run_seconds", "run latency by outcome", s.met.runSeconds)
+	fmt.Fprintf(w, "# HELP shilld_queue_wait_seconds time admitted runs waited for a global slot\n# TYPE shilld_queue_wait_seconds histogram\n")
+	exposeHistogram(w, "shilld_queue_wait_seconds", "", s.met.queueWait)
+	exposeHistVec(w, "shilld_compile_seconds", "script compile/parse latency by compile-cache disposition", s.met.compileSeconds)
 
 	// Per-tenant machine stats, stable order.
 	stats := s.MachineStats()

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Parser-level exposition correctness: rather than grepping for
+// substrings, parse the whole /metrics body and hold it to the text
+// format's rules — HELP and TYPE precede every family's samples,
+// label values are quoted strings, histogram buckets are cumulative,
+// le-ordered, and end at +Inf with _sum/_count agreeing.
+
+// expoSample is one parsed sample line.
+type expoSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition parses a Prometheus text body, failing the test on
+// any line that violates the format.
+func parseExposition(t *testing.T, body string) (help, typ map[string]string, samples []expoSample) {
+	t.Helper()
+	help = map[string]string{}
+	typ = map[string]string{}
+	seenSample := map[string]bool{}
+
+	// family maps a sample name to the family its HELP/TYPE describe:
+	// histogram samples append _bucket/_sum/_count to the family name.
+	family := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typ[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(rest) != 2 || rest[1] == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			help[rest[0]] = rest[1]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.SplitN(line[len("# TYPE "):], " ", 2)
+			if len(rest) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch rest[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, rest[1])
+			}
+			if seenSample[rest[0]] {
+				t.Fatalf("line %d: TYPE for %s after its samples", ln+1, rest[0])
+			}
+			typ[rest[0]] = rest[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+
+		s := expoSample{labels: map[string]string{}}
+		rest := line
+		if brace := strings.IndexByte(rest, '{'); brace >= 0 {
+			s.name = rest[:brace]
+			end := strings.IndexByte(rest, '}')
+			if end < brace {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			for _, pair := range strings.Split(rest[brace+1:end], ",") {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					t.Fatalf("line %d: label without '=': %q", ln+1, line)
+				}
+				val, err := strconv.Unquote(pair[eq+1:])
+				if err != nil {
+					t.Fatalf("line %d: label value not a quoted string: %q (%v)", ln+1, pair, err)
+				}
+				s.labels[pair[:eq]] = val
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+			}
+			s.name, rest = fields[0], fields[1]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("line %d: sample value not a float: %q (%v)", ln+1, line, err)
+		}
+		s.value = v
+
+		fam := family(s.name)
+		if help[fam] == "" {
+			t.Fatalf("line %d: sample %s before (or without) its # HELP %s", ln+1, s.name, fam)
+		}
+		if typ[fam] == "" {
+			t.Fatalf("line %d: sample %s before (or without) its # TYPE %s", ln+1, s.name, fam)
+		}
+		seenSample[fam] = true
+		samples = append(samples, s)
+	}
+	return help, typ, samples
+}
+
+// seriesKey renders a label set minus le, deterministically.
+func seriesKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k + "=" + labels[k] + ",")
+	}
+	return b.String()
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	// One allowed and one denied run so the histograms carry
+	// observations in more than one outcome series.
+	if _, rr := postRun(t, ts.URL, RunRequest{Tenant: "alice", Script: allowAmbient}); rr == nil || rr.ExitStatus != 0 {
+		t.Fatalf("allow run failed: %+v", rr)
+	}
+	if _, rr := postRun(t, ts.URL, RunRequest{Tenant: "alice", ScriptName: "why_denied.ambient"}); rr == nil {
+		t.Fatal("deny run failed at transport")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, typ, samples := parseExposition(t, string(data))
+
+	// The families this PR added must be present as histograms.
+	for _, fam := range []string{"shilld_run_seconds", "shilld_queue_wait_seconds", "shilld_compile_seconds"} {
+		if typ[fam] != "histogram" {
+			t.Fatalf("family %s: TYPE = %q, want histogram", fam, typ[fam])
+		}
+	}
+
+	// Histogram invariants, per series: le parses, ascends strictly,
+	// counts are cumulative (non-decreasing), the last bucket is +Inf,
+	// and _count equals the +Inf bucket.
+	type histSeries struct {
+		les    []float64
+		counts []float64
+		sum    *float64
+		count  *float64
+	}
+	hists := map[string]map[string]*histSeries{} // family -> series key
+	get := func(fam, key string) *histSeries {
+		if hists[fam] == nil {
+			hists[fam] = map[string]*histSeries{}
+		}
+		if hists[fam][key] == nil {
+			hists[fam][key] = &histSeries{}
+		}
+		return hists[fam][key]
+	}
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket") && typ[strings.TrimSuffix(s.name, "_bucket")] == "histogram":
+			fam := strings.TrimSuffix(s.name, "_bucket")
+			le, hasLE := s.labels["le"]
+			if !hasLE {
+				t.Fatalf("%s sample without le label", s.name)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("%s: unparseable le %q", s.name, le)
+				}
+			}
+			sr := get(fam, seriesKey(s.labels))
+			sr.les = append(sr.les, bound)
+			sr.counts = append(sr.counts, s.value)
+		case strings.HasSuffix(s.name, "_sum") && typ[strings.TrimSuffix(s.name, "_sum")] == "histogram":
+			v := s.value
+			get(strings.TrimSuffix(s.name, "_sum"), seriesKey(s.labels)).sum = &v
+		case strings.HasSuffix(s.name, "_count") && typ[strings.TrimSuffix(s.name, "_count")] == "histogram":
+			v := s.value
+			get(strings.TrimSuffix(s.name, "_count"), seriesKey(s.labels)).count = &v
+		}
+	}
+	if len(hists) == 0 {
+		t.Fatal("no histogram series parsed")
+	}
+	var observed float64
+	for fam, series := range hists {
+		for key, sr := range series {
+			id := fam + "{" + key + "}"
+			if len(sr.les) < 2 {
+				t.Fatalf("%s: only %d buckets", id, len(sr.les))
+			}
+			for i := 1; i < len(sr.les); i++ {
+				if sr.les[i] <= sr.les[i-1] {
+					t.Fatalf("%s: le not strictly ascending at %d: %v", id, i, sr.les)
+				}
+				if sr.counts[i] < sr.counts[i-1] {
+					t.Fatalf("%s: bucket counts not cumulative at %d: %v", id, i, sr.counts)
+				}
+			}
+			if !math.IsInf(sr.les[len(sr.les)-1], 1) {
+				t.Fatalf("%s: last bucket is %v, want +Inf", id, sr.les[len(sr.les)-1])
+			}
+			if sr.sum == nil || sr.count == nil {
+				t.Fatalf("%s: missing _sum or _count", id)
+			}
+			if last := sr.counts[len(sr.counts)-1]; *sr.count != last {
+				t.Fatalf("%s: _count %v != +Inf bucket %v", id, *sr.count, last)
+			}
+			observed += *sr.count
+		}
+	}
+	if observed == 0 {
+		t.Fatal("every histogram series is empty after two runs")
+	}
+}

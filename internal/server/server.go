@@ -106,6 +106,10 @@ type Server struct {
 	closed  bool
 
 	met metrics
+
+	// flight retains the K slowest complete request traces for
+	// GET /v1/trace — the server's flight recorder.
+	flight *flightRecorder
 }
 
 // tenant is one tenant's registry entry: its machine and its share of
@@ -127,13 +131,16 @@ type tenant struct {
 // names a tenant.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		start:   time.Now(),
 		slots:   make(chan struct{}, cfg.MaxConcurrent),
 		tenants: make(map[string]*tenant),
 		lru:     list.New(),
+		flight:  newFlightRecorder(16),
 	}
+	s.met.initHistograms()
+	return s
 }
 
 // admitError is an admission refusal with its HTTP status.

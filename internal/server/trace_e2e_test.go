@@ -1,0 +1,209 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/shill"
+)
+
+func getTrace(t *testing.T, url, tenant string) *TraceResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/trace?tenant=" + tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/trace: %d: %s", resp.StatusCode, data)
+	}
+	var tr TraceResponse
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("bad trace response %s: %v", data, err)
+	}
+	return &tr
+}
+
+// TestQueuedMsEqualsQueueSpan pins the single-source-of-truth contract:
+// the wire's queuedMs is the queue span's duration, not an independent
+// stopwatch, so the two can never disagree.
+func TestQueuedMsEqualsQueueSpan(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	_, rr := postRun(t, ts.URL, RunRequest{Tenant: "alice", Script: allowAmbient})
+	if rr == nil || rr.ExitStatus != 0 {
+		t.Fatalf("run failed: %+v", rr)
+	}
+	if rr.TraceID == 0 || len(rr.Trace) == 0 {
+		t.Fatalf("result carries no trace: id=%d spans=%d", rr.TraceID, len(rr.Trace))
+	}
+	var queue *shill.Span
+	for i := range rr.Trace {
+		if rr.Trace[i].Kind == shill.SpanQueue {
+			queue = &rr.Trace[i]
+			break
+		}
+	}
+	if queue == nil {
+		t.Fatalf("no queue span in result trace (%d spans)", len(rr.Trace))
+	}
+	spanMs := float64(queue.Dur) / float64(time.Millisecond)
+	if math.Abs(rr.QueuedMs-spanMs) > 1e-9 {
+		t.Fatalf("queuedMs %v != queue span duration %v ms (span %+v)", rr.QueuedMs, spanMs, queue)
+	}
+}
+
+// TestDeniedRequestDecomposition is the acceptance walkthrough: a
+// denied request served by shilld decomposes post-hoc across every
+// observability surface — /v1/trace returns its span tree, why-denied
+// names the trace, and /metrics counts it in the deny-outcome buckets.
+func TestDeniedRequestDecomposition(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	_, rr := postRun(t, ts.URL, RunRequest{Tenant: "e2e", ScriptName: "why_denied.ambient"})
+	if rr == nil {
+		t.Fatal("deny run failed at transport")
+	}
+	if rr.ExitStatus == 0 {
+		t.Fatalf("why_denied.ambient succeeded: %+v", rr)
+	}
+	if rr.TraceID == 0 {
+		t.Fatal("denied result carries no trace ID")
+	}
+	if len(rr.Denials) == 0 {
+		t.Fatal("denied result carries no structured denials")
+	}
+	// The denial is stamped with the request's trace ID — the link
+	// why-denied uses to say when in the request it landed.
+	stamped := false
+	for _, d := range rr.Denials {
+		if d.TraceID == rr.TraceID {
+			stamped = true
+		}
+	}
+	if !stamped {
+		t.Fatalf("no denial carries trace %d: %+v", rr.TraceID, rr.Denials)
+	}
+
+	// /v1/trace serves the request's full span tree: one request-kind
+	// root, every other span reachable from it through parent IDs, and
+	// the stages the issue names all present.
+	tr := getTrace(t, ts.URL, "e2e")
+	ids := map[uint64]bool{}
+	kinds := map[shill.SpanKind]int{}
+	var roots int
+	for _, sp := range tr.Spans {
+		if sp.Trace != rr.TraceID {
+			continue
+		}
+		ids[sp.ID] = true
+		kinds[sp.Kind]++
+		if sp.Parent == 0 {
+			roots++
+			if sp.Kind != shill.SpanRequest {
+				t.Fatalf("trace root is %v, want request: %+v", sp.Kind, sp)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("trace %d has %d roots, want exactly 1", rr.TraceID, roots)
+	}
+	for _, sp := range tr.Spans {
+		if sp.Trace == rr.TraceID && sp.Parent != 0 && !ids[sp.Parent] {
+			t.Fatalf("span %d has dangling parent %d: %+v", sp.ID, sp.Parent, sp)
+		}
+	}
+	for _, want := range []shill.SpanKind{
+		shill.SpanRequest, shill.SpanQueue, shill.SpanAcquire,
+		shill.SpanResolve, shill.SpanRun, shill.SpanCompile, shill.SpanEval,
+	} {
+		if kinds[want] == 0 {
+			t.Fatalf("trace %d lacks a %v span (kinds: %v)", rr.TraceID, want, kinds)
+		}
+	}
+
+	// The flight recorder retained the run (only a handful have run on
+	// this server, so the K-slowest set must include it).
+	found := false
+	for _, ft := range tr.Slowest {
+		if ft.TraceID == rr.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flight recorder lost trace %d (%d retained)", rr.TraceID, len(tr.Slowest))
+	}
+
+	// why-denied over the wire reports the same trace ID.
+	wresp, err := http.Get(ts.URL + "/v1/audit/why-denied?tenant=e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	var wd WhyDeniedResponse
+	if err := json.NewDecoder(wresp.Body).Decode(&wd); err != nil {
+		t.Fatal(err)
+	}
+	linked := false
+	for _, d := range wd.Denials {
+		if d.TraceID == rr.TraceID {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatalf("why-denied does not name trace %d: %+v", rr.TraceID, wd.Denials)
+	}
+
+	// And /metrics counted the run in the deny-outcome histogram.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`shilld_run_seconds_count\{outcome="deny"\} (\d+)`).FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("no deny-outcome run histogram in /metrics:\n%s", body)
+	}
+	if n, _ := strconv.Atoi(string(m[1])); n < 1 {
+		t.Fatalf("deny-outcome histogram counted %d runs, want >= 1", 0)
+	}
+}
+
+// TestTraceDisabledStillServes pins the escape hatch: a machine built
+// WithTraceDisabled runs normally, reports queuedMs from the stopwatch
+// fallback, and /v1/trace answers with an empty span stream rather
+// than failing.
+func TestTraceDisabledStillServes(t *testing.T) {
+	_, ts := newTestServer(t, func(cfg *Config) {
+		inner := cfg.MachineOptions
+		cfg.MachineOptions = func(tenant string) []shill.Option {
+			return append(inner(tenant), shill.WithTraceDisabled())
+		}
+	})
+	_, rr := postRun(t, ts.URL, RunRequest{Tenant: "alice", Script: allowAmbient})
+	if rr == nil || rr.ExitStatus != 0 {
+		t.Fatalf("run failed: %+v", rr)
+	}
+	if rr.TraceID != 0 || len(rr.Trace) != 0 {
+		t.Fatalf("trace-disabled machine produced a trace: id=%d spans=%d", rr.TraceID, len(rr.Trace))
+	}
+	if rr.QueuedMs < 0 {
+		t.Fatalf("queuedMs fallback missing: %v", rr.QueuedMs)
+	}
+	tr := getTrace(t, ts.URL, "alice")
+	if len(tr.Spans) != 0 {
+		t.Fatalf("trace-disabled machine leaked %d spans", len(tr.Spans))
+	}
+}

@@ -68,6 +68,19 @@ type WhyDeniedResponse struct {
 	Denials  []audit.Explanation `json:"denials"`
 }
 
+// TraceResponse is the body of GET /v1/trace: the tenant machine's
+// span stream after Since (Seq is the recorder's current sequence
+// point — pass it back as ?since for an incremental poll), plus the
+// slowest complete traces the server's flight recorder retains for the
+// tenant.
+type TraceResponse struct {
+	Tenant  string        `json:"tenant"`
+	Since   uint64        `json:"since"`
+	Seq     uint64        `json:"seq"`
+	Spans   []shill.Span  `json:"spans"`
+	Slowest []FlightTrace `json:"slowest"`
+}
+
 // errorResponse is the JSON body of every non-2xx answer.
 type errorResponse struct {
 	Error string `json:"error"`

@@ -1,0 +1,34 @@
+package trace
+
+import "context"
+
+// ctxKey keys the active trace in a context.
+type ctxKey struct{}
+
+// Context carries an active trace through a request: the Ref plus the
+// span ID new work should parent under. shilld mints one per admitted
+// request; Session.Run picks it up (or starts its own trace for direct
+// embedders) and re-parents as it opens the run span.
+type Context struct {
+	Ref    *Ref
+	Parent uint64 // span ID children should attach to
+}
+
+// NewContext returns ctx carrying the trace. A nil tc (or a tc with a
+// nil Ref) returns ctx unchanged, so disabled tracing adds no context
+// allocation.
+func NewContext(ctx context.Context, tc *Context) context.Context {
+	if tc == nil || tc.Ref == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tc)
+}
+
+// FromContext extracts the active trace, or nil.
+func FromContext(ctx context.Context) *Context {
+	if ctx == nil {
+		return nil
+	}
+	tc, _ := ctx.Value(ctxKey{}).(*Context)
+	return tc
+}

@@ -1,0 +1,49 @@
+// Package trace is the end-to-end request tracing layer: a lock-free,
+// ring-buffered span recorder that decomposes a request into timed
+// spans — admission, queue wait, machine/session acquire, script
+// resolve, parse/compile, eval, aggregated kernel ops — and threads a
+// trace ID through the stack via context.
+//
+// # Design
+//
+// The recorder follows internal/audit's design discipline: a fixed
+// array of atomic slots with an atomic cursor (no locks on the emit
+// path), plus a bounded per-trace span buffer so a finished run can
+// hand its spans back without scanning the ring. Spans are recorded at
+// completion only; the ring never holds half-open spans.
+//
+// Three granularities coexist:
+//
+//   - Pipeline spans (request, queue, acquire, resolve, run, compile,
+//     eval) are individually timed regions opened with Ref.Start and
+//     closed with Active.End.
+//   - Figure 10 categories (startup, sandbox-setup, sandbox-exec,
+//     contract-check, audit-emit) are absorbed from internal/prof via
+//     Ref.AddProfSamples; ProfView inverts the mapping, making prof a
+//     view over the trace rather than a second measurement.
+//   - Kernel ops (op-vfs, op-net, op-policy) are far too frequent to
+//     record individually; OpStats counts every operation and times a
+//     1-in-64 sample (scaled), and a run emits one aggregated span per
+//     category from its snapshot delta.
+//
+// # Attribution caveat
+//
+// OpStats and prof are machine-wide: a run's aggregated spans are
+// snapshot deltas over shared counters, so concurrent sessions on one
+// machine bleed into each other's windows. Per-run pipeline spans are
+// exact; aggregated spans are attribution, not accounting.
+//
+// # Threading
+//
+// shilld mints a trace per admitted request and stores it in the
+// request context (NewContext); shill.Session.Run picks it up
+// (FromContext) or starts its own for direct embedders. The trace ID
+// is stamped on audit denials (audit.DenyReason.TraceID), so
+// why-denied output links a denial back to the exact request — and the
+// position of the deny within its span tree shows when in the request
+// the denial landed.
+//
+// Every method on Recorder, Ref, Active, and OpStats is nil-safe: a
+// disabled configuration threads nils through the same call sites and
+// pays one nil check per operation.
+package trace

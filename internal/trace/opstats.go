@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// OpCat is an aggregated kernel-op category. Individual kernel
+// operations are far too frequent to record one span each; instead the
+// kernel counts them per category (always) and times a 1-in-N sample
+// (scaled back up), and a run emits one aggregated span per category
+// from the snapshot delta — the same sampled-self-timing discipline as
+// audit's emit-cost accounting.
+type OpCat uint8
+
+// Kernel-op categories.
+const (
+	OpVFS    OpCat = iota // filesystem namespace and data operations
+	OpNet                 // netstack socket operations
+	OpPolicy              // MAC policy checks (vnode/pipe/socket/proc/system)
+	NumOpCats
+)
+
+// Kind returns the span kind an aggregated category span carries.
+func (c OpCat) Kind() Kind {
+	switch c {
+	case OpVFS:
+		return KindOpVFS
+	case OpNet:
+		return KindOpNet
+	}
+	return KindOpPolicy
+}
+
+// opTimingSample times one in every opTimingSample operations per
+// category. Sampled durations are scaled by the same factor, so totals
+// are statistically unbiased; a single sampled operation that blocks
+// (a parked socket read) is over-weighted by the scale factor, which
+// averages out over many operations but makes any one small window
+// noisy — the same caveat as every sampling profiler.
+const opTimingSample = 64
+
+// OpStats is the kernel-wide aggregated op accounting: two atomics per
+// category, no locks, nil-safe (a kernel without tracing passes nil and
+// pays one nil check per operation).
+type OpStats struct {
+	counts [NumOpCats]atomic.Int64
+	nanos  [NumOpCats]atomic.Int64
+}
+
+// NewOpStats returns empty op accounting.
+func NewOpStats() *OpStats { return &OpStats{} }
+
+// Begin counts one operation and, for the sampled 1-in-N operation,
+// returns a non-zero start timestamp to pass to End.
+func (o *OpStats) Begin(c OpCat) int64 {
+	if o == nil {
+		return 0
+	}
+	if o.counts[c].Add(1)%opTimingSample != 0 {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// End records a sampled operation's duration, scaled back up to
+// estimate the category total.
+func (o *OpStats) End(c OpCat, startNanos int64) {
+	if o == nil || startNanos == 0 {
+		return
+	}
+	if d := time.Now().UnixNano() - startNanos; d > 0 {
+		o.nanos[c].Add(d * opTimingSample)
+	}
+}
+
+// OpCount is one category's totals.
+type OpCount struct {
+	Count int64
+	Nanos int64
+}
+
+// OpSnapshot is a point-in-time copy of every category.
+type OpSnapshot [NumOpCats]OpCount
+
+// Snapshot copies the counters. Nil-safe (zero snapshot).
+func (o *OpStats) Snapshot() OpSnapshot {
+	var s OpSnapshot
+	if o == nil {
+		return s
+	}
+	for c := range s {
+		s[c] = OpCount{Count: o.counts[c].Load(), Nanos: o.nanos[c].Load()}
+	}
+	return s
+}
+
+// Delta returns s minus before, clamped at zero.
+func (s OpSnapshot) Delta(before OpSnapshot) OpSnapshot {
+	var out OpSnapshot
+	for c := range s {
+		out[c] = OpCount{Count: s[c].Count - before[c].Count, Nanos: s[c].Nanos - before[c].Nanos}
+		if out[c].Count < 0 {
+			out[c].Count = 0
+		}
+		if out[c].Nanos < 0 {
+			out[c].Nanos = 0
+		}
+	}
+	return out
+}
+
+// AddOps records one aggregated span per non-empty category in the
+// delta, under the given parent. As with the windowed prof and denial
+// attribution, concurrent sessions on one machine bleed into each
+// other's windows; counts are machine-wide, not per-run-exact.
+func (t *Ref) AddOps(parent uint64, start time.Time, delta OpSnapshot) {
+	if t == nil {
+		return
+	}
+	for c := OpCat(0); c < NumOpCats; c++ {
+		d := delta[c]
+		if d.Count == 0 {
+			continue
+		}
+		k := c.Kind()
+		t.Add(Span{
+			Parent: parent, Kind: k, Name: k.String(), Start: start,
+			Dur: time.Duration(d.Nanos), Count: d.Count,
+		})
+	}
+}

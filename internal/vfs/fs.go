@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/errno"
+	"repro/internal/trace"
 )
 
 // FS is an in-memory filesystem: a tree of vnodes under a single root.
@@ -17,6 +18,11 @@ type FS struct {
 	mu      sync.RWMutex
 	root    *Vnode
 	nextIno uint64
+
+	// ops, when set, aggregates per-operation counts and sampled timings
+	// under trace.OpVFS for the request-tracing layer. Nil (the default)
+	// costs one nil check per operation.
+	ops *trace.OpStats
 
 	// clock lets deterministic tests pin timestamps; defaults to
 	// time.Now.
@@ -38,6 +44,11 @@ func New() *FS {
 
 // SetClock replaces the timestamp source (tests only).
 func (fs *FS) SetClock(fn func() time.Time) { fs.clock.Store(fn) }
+
+// SetOpStats attaches aggregated-op accounting (trace.OpVFS). Set it
+// before the filesystem is shared across goroutines; the kernel wires
+// it at construction.
+func (fs *FS) SetOpStats(o *trace.OpStats) { fs.ops = o }
 
 func (fs *FS) now() time.Time { return fs.clock.Load().(func() time.Time)() }
 
@@ -89,6 +100,7 @@ func validCreateName(name string) error {
 // itself; ".." returns the parent (the root's parent is the root). The
 // caller is responsible for MAC checks and symlink policy.
 func (fs *FS) Lookup(dir *Vnode, name string) (*Vnode, error) {
+	defer fs.ops.End(trace.OpVFS, fs.ops.Begin(trace.OpVFS))
 	if !dir.IsDir() {
 		return nil, errno.ENOTDIR
 	}
@@ -142,6 +154,7 @@ func (fs *FS) Mkdev(dir *Vnode, name string, mode uint16, uid, gid int, ops Devi
 }
 
 func (fs *FS) createNode(dir *Vnode, name string, typ VnodeType, mode uint16, uid, gid int, target string) (*Vnode, error) {
+	defer fs.ops.End(trace.OpVFS, fs.ops.Begin(trace.OpVFS))
 	if !dir.IsDir() {
 		return nil, errno.ENOTDIR
 	}
@@ -172,6 +185,7 @@ func (fs *FS) createNode(dir *Vnode, name string, typ VnodeType, mode uint16, ui
 // Link installs a new hard link to file under dir/name. Directories
 // cannot be hard-linked.
 func (fs *FS) Link(dir *Vnode, name string, file *Vnode) error {
+	defer fs.ops.End(trace.OpVFS, fs.ops.Begin(trace.OpVFS))
 	if !dir.IsDir() {
 		return errno.ENOTDIR
 	}
@@ -201,6 +215,7 @@ func (fs *FS) Link(dir *Vnode, name string, file *Vnode) error {
 // be empty; rmdir must be true for directories and false for files,
 // matching unlinkat(2)'s AT_REMOVEDIR flag split.
 func (fs *FS) Unlink(dir *Vnode, name string, rmdir bool) error {
+	defer fs.ops.End(trace.OpVFS, fs.ops.Begin(trace.OpVFS))
 	if !dir.IsDir() {
 		return errno.ENOTDIR
 	}
@@ -239,6 +254,7 @@ func (fs *FS) Unlink(dir *Vnode, name string, rmdir bool) error {
 // implementing the TOCTOU-free funlinkat(2) the SHILL kernel module adds
 // (§3.1.3).
 func (fs *FS) UnlinkIfSame(dir *Vnode, name string, file *Vnode) error {
+	defer fs.ops.End(trace.OpVFS, fs.ops.Begin(trace.OpVFS))
 	if !dir.IsDir() {
 		return errno.ENOTDIR
 	}
@@ -268,6 +284,7 @@ func (fs *FS) UnlinkIfSame(dir *Vnode, name string, file *Vnode) error {
 // Rename moves srcDir/srcName to dstDir/dstName, replacing a compatible
 // existing target as rename(2) does.
 func (fs *FS) Rename(srcDir *Vnode, srcName string, dstDir *Vnode, dstName string) error {
+	defer fs.ops.End(trace.OpVFS, fs.ops.Begin(trace.OpVFS))
 	if !srcDir.IsDir() || !dstDir.IsDir() {
 		return errno.ENOTDIR
 	}
@@ -327,6 +344,7 @@ func (fs *FS) Rename(srcDir *Vnode, srcName string, dstDir *Vnode, dstName strin
 
 // ReadDir returns the sorted entry names of dir (excluding "." and "..").
 func (fs *FS) ReadDir(dir *Vnode) ([]string, error) {
+	defer fs.ops.End(trace.OpVFS, fs.ops.Begin(trace.OpVFS))
 	if !dir.IsDir() {
 		return nil, errno.ENOTDIR
 	}
@@ -344,6 +362,7 @@ func (fs *FS) ReadDir(dir *Vnode) ([]string, error) {
 // cache, or "" and false if v is no longer reachable. It backs the
 // path(2) syscall the SHILL module adds (§3.1.3).
 func (fs *FS) PathOf(v *Vnode) (string, bool) {
+	defer fs.ops.End(trace.OpVFS, fs.ops.Begin(trace.OpVFS))
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	if v == fs.root {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/errno"
 	"repro/internal/mac"
+	"repro/internal/trace"
 )
 
 // VnodeType distinguishes the kinds of filesystem objects.
@@ -178,6 +179,7 @@ func (v *Vnode) Accessible(uid, gid int, want uint16) bool {
 // Reading at or past EOF returns 0 bytes and no error (the kernel layer
 // translates that to EOF as read(2) does).
 func (v *Vnode) ReadAt(p []byte, off int64) (int, error) {
+	defer v.fs.ops.End(trace.OpVFS, v.fs.ops.Begin(trace.OpVFS))
 	if v.typ == TypeDir {
 		return 0, errno.EISDIR
 	}
@@ -196,6 +198,7 @@ func (v *Vnode) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt writes p at offset off, growing the file as needed.
 func (v *Vnode) WriteAt(p []byte, off int64) (int, error) {
+	defer v.fs.ops.End(trace.OpVFS, v.fs.ops.Begin(trace.OpVFS))
 	if v.typ == TypeDir {
 		return 0, errno.EISDIR
 	}
@@ -218,6 +221,7 @@ func (v *Vnode) WriteAt(p []byte, off int64) (int, error) {
 // at, providing the atomic O_APPEND behaviour SHILL's append builtin and
 // grade-log isolation rely on.
 func (v *Vnode) Append(p []byte) (int64, error) {
+	defer v.fs.ops.End(trace.OpVFS, v.fs.ops.Begin(trace.OpVFS))
 	if v.typ == TypeDir {
 		return 0, errno.EISDIR
 	}

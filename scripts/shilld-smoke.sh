@@ -3,7 +3,9 @@
 # start the daemon, drive it with 32 concurrent mixed clients (allowed,
 # denied, and cancelled runs), assert that a denied script's response
 # and the why-denied endpoint carry the structured provenance JSON,
-# then SIGTERM and assert a clean drain (exit 0, machines closed).
+# assert /v1/trace serves a well-formed span tree and /metrics the
+# per-outcome latency histograms, then SIGTERM and assert a clean
+# drain (exit 0, machines closed).
 # Run from the repository root (CI does).
 set -eu
 
@@ -51,9 +53,44 @@ WD=$(curl -fsS "http://$ADDR/v1/audit/why-denied?tenant=smoke")
 echo "$WD" | grep -q '"kind":"cap-deny"' || fail "why-denied lacks the cap-deny event: $WD"
 echo "$WD" | grep -q '"lineage":'        || fail "why-denied lacks capability lineage: $WD"
 
-# Operability surface.
-curl -fsS "http://$ADDR/metrics" | grep -q '^shilld_requests_total' \
+# The denied request decomposes post-hoc: /v1/trace serves a
+# well-formed span tree — exactly one request-kind root per trace,
+# every other span's parent resolving inside its trace, and the run
+# stages (queue, run, compile, eval) present for the tenant.
+TRACE=$(curl -fsS "http://$ADDR/v1/trace?tenant=smoke")
+echo "$TRACE" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+spans = doc["spans"]
+if not spans:
+    sys.exit("no spans for tenant smoke")
+by_trace = {}
+for s in spans:
+    by_trace.setdefault(s["traceId"], []).append(s)
+kinds = set()
+for tid, tree in by_trace.items():
+    ids = {s["id"] for s in tree}
+    roots = [s for s in tree if s.get("parent", 0) == 0]
+    if len(roots) != 1 or roots[0]["kind"] != "request":
+        sys.exit("trace %d: want exactly one request-kind root, got %r" % (tid, roots))
+    for s in tree:
+        p = s.get("parent", 0)
+        if p and p not in ids:
+            sys.exit("trace %d: span %d has dangling parent %d" % (tid, s["id"], p))
+    kinds |= {s["kind"] for s in tree}
+missing = {"request", "queue", "run", "compile", "eval"} - kinds
+if missing:
+    sys.exit("span stream lacks kinds %r" % missing)
+print("trace ok: %d spans, %d traces, %d slowest retained"
+      % (len(spans), len(by_trace), len(doc["slowest"])))
+' || fail "/v1/trace span tree"
+
+# Operability surface: counters plus the latency histograms.
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+echo "$METRICS" | grep -q '^shilld_requests_total' \
     || fail "metrics lack shilld_requests_total"
+echo "$METRICS" | grep -q '^shilld_run_seconds_bucket{outcome="deny"' \
+    || fail "metrics lack deny-outcome latency buckets"
 
 # Graceful drain: SIGTERM must finish in-flight work, close every
 # machine, and exit 0.

@@ -32,6 +32,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/lang"
 	"repro/internal/prof"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -79,6 +80,7 @@ type config struct {
 	consoleLimit  int
 	spawnLatency  time.Duration
 	auditDisabled bool
+	traceDisabled bool
 	workload      Workload
 	resolver      ScriptResolver
 	engine        Engine
@@ -113,6 +115,13 @@ func WithAuditDisabled() Option {
 	return func(c *config) { c.auditDisabled = true }
 }
 
+// WithTraceDisabled turns request tracing off — the escape hatch (and
+// the control arm of the trace-overhead benchmark). Tracing is on by
+// default; every Run records a span tree into the machine's ring.
+func WithTraceDisabled() Option {
+	return func(c *config) { c.traceDisabled = true }
+}
+
 // WithConsoleLimit caps every console capture buffer (machine console
 // and per-session consoles alike); 0 means unbounded.
 func WithConsoleLimit(n int) Option {
@@ -144,6 +153,7 @@ type Machine struct {
 
 	engine       Engine
 	compileCache *lang.CompileCache
+	tracer       *trace.Recorder
 
 	mu       sync.Mutex
 	sessions []*Session // pool, indexed; entries are reused across runs
@@ -166,7 +176,12 @@ func NewMachine(opts ...Option) (*Machine, error) {
 		SpawnLatency:  cfg.spawnLatency,
 		AuditDisabled: cfg.auditDisabled,
 	})
-	m := &Machine{sys: sys, engine: cfg.engine, compileCache: lang.NewCompileCache()}
+	m := &Machine{
+		sys: sys, engine: cfg.engine,
+		compileCache: lang.NewCompileCache(),
+		tracer:       trace.NewRecorder(trace.DefaultRingSize),
+	}
+	m.tracer.SetEnabled(!cfg.traceDisabled)
 	sys.LoadCaseScripts()
 	base := ScriptResolver(builtinResolver{sys})
 	if cfg.resolver != nil {
@@ -236,6 +251,12 @@ func (m *Machine) Engine() Engine { return m.engine }
 func (m *Machine) CompileCacheStats() (hits, misses uint64) {
 	return m.compileCache.Stats()
 }
+
+// Tracer returns the machine's span recorder: the lock-free ring every
+// run's spans land in. Servers poll it (trace.Recorder.Since) for the
+// machine-wide span stream; each Result additionally carries its own
+// run's spans.
+func (m *Machine) Tracer() *trace.Recorder { return m.tracer }
 
 // Prof returns the machine-wide profile collector (the Figure 10
 // accumulation across runs; each Result additionally carries the

@@ -13,6 +13,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/lang"
 	"repro/internal/prof"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -170,6 +171,12 @@ type Result struct {
 	Prof []prof.Sample `json:"prof,omitempty"`
 	// Elapsed is the run's wall time.
 	Elapsed time.Duration `json:"elapsedNs"`
+	// TraceID names the run's request trace; 0 when the machine was
+	// built WithTraceDisabled.
+	TraceID uint64 `json:"traceId,omitempty"`
+	// Trace is the run's span tree (bounded; see trace.Ref), wire-tagged
+	// like Denials so shilld clients receive the full decomposition.
+	Trace []Span `json:"trace,omitempty"`
 }
 
 // Run parses and executes an ambient SHILL script in the session,
@@ -205,11 +212,13 @@ func (s *Session) Run(ctx context.Context, script Script) (*Result, error) {
 		name = "script.ambient"
 	}
 
-	begin := s.beginRun()
+	begin := s.beginRun(ctx, name)
 	it := lang.NewInterp(s.proc, resolver, s.m.sys.Prof)
 	it.ConsolePath = s.consolePath
 	it.SetEngine(s.m.engine)
 	it.CompileCache = s.m.compileCache
+	it.Trace = begin.tr
+	it.TraceParent = begin.runSpan.ID()
 	it.SetContext(ctx)
 	release := s.armCancel(ctx)
 	err := it.RunAmbient(name, src)
@@ -265,7 +274,7 @@ func (s *Session) RunCommand(ctx context.Context, argv []string, dir string) (*R
 		attr.Dir = wd
 	}
 
-	begin := s.beginRun()
+	begin := s.beginRun(ctx, argv[0])
 	release := s.armCancel(ctx)
 	code, runErr := s.spawnWait(vn, argv[1:], attr)
 	release()
@@ -301,15 +310,35 @@ type runBegin struct {
 	seq   uint64
 	prof  []prof.Sample
 	start time.Time
+
+	// tr is the run's trace: adopted from the context (shilld threads
+	// one trace from request admission down here) or minted from the
+	// machine's recorder. Nil when tracing is disabled — every use
+	// below is nil-safe.
+	tr      *trace.Ref
+	runSpan *trace.Active
+	ops     trace.OpSnapshot
 }
 
-func (s *Session) beginRun() runBegin {
+func (s *Session) beginRun(ctx context.Context, name string) runBegin {
 	s.console.ResetOutput()
-	return runBegin{
+	b := runBegin{
 		seq:   s.m.sys.Audit().Seq(),
 		prof:  s.m.sys.Prof.Samples(),
 		start: time.Now(),
 	}
+	if tc := trace.FromContext(ctx); tc != nil {
+		b.tr = tc.Ref
+		b.runSpan = b.tr.Start(tc.Parent, trace.KindRun, name)
+	} else {
+		b.tr = s.m.tracer.NewTrace()
+		b.runSpan = b.tr.Start(0, trace.KindRun, name)
+	}
+	// Tag the session process (and whatever it forks) with the trace so
+	// kernel-side denials land in the audit log already linked to it.
+	s.proc.SetTraceID(b.tr.TraceID())
+	b.ops = s.m.kernel().Ops.Snapshot()
+	return b
 }
 
 func (s *Session) finishRun(name string, begin runBegin, runErr error) *Result {
@@ -321,6 +350,15 @@ func (s *Session) finishRun(name string, begin runBegin, runErr error) *Result {
 		Elapsed: time.Since(begin.start),
 	}
 	s.console.ResetOutput()
+	// Close out the trace: aggregated kernel-op spans and the Figure 10
+	// profile view land as children of the run span, then the span tree
+	// (bounded) rides the Result the way Denials do.
+	begin.tr.AddOps(begin.runSpan.ID(), begin.start, s.m.kernel().Ops.Snapshot().Delta(begin.ops))
+	begin.tr.AddProfSamples(begin.runSpan.ID(), begin.start, res.Prof)
+	begin.runSpan.End()
+	s.proc.SetTraceID(0)
+	res.TraceID = begin.tr.TraceID()
+	res.Trace = begin.tr.Spans()
 	if runErr != nil {
 		res.ExitStatus = 1
 		// The denial that actually failed the script leads the slice,

@@ -1,0 +1,61 @@
+package shill
+
+import (
+	"context"
+
+	"repro/internal/prof"
+	"repro/internal/trace"
+)
+
+// Aliases re-exporting the tracing vocabulary embedders need to read a
+// Result's span tree or drive a machine's recorder, without importing
+// internal packages.
+
+// Span is one completed interval of a request trace: a node in the span
+// tree Result.Trace carries and /v1/trace serves.
+type Span = trace.Span
+
+// SpanKind names what a span measures ("request", "queue", "compile",
+// "eval", "op-vfs", ...).
+type SpanKind = trace.Kind
+
+// TraceRecorder is the machine-wide lock-free span ring (see
+// Machine.Tracer).
+type TraceRecorder = trace.Recorder
+
+// TraceRef is one live trace: the handle spans are recorded against.
+type TraceRef = trace.Ref
+
+// Span kinds, re-exported for switch statements over Result.Trace.
+const (
+	SpanRequest       = trace.KindRequest
+	SpanQueue         = trace.KindQueue
+	SpanAcquire       = trace.KindAcquire
+	SpanResolve       = trace.KindResolve
+	SpanRun           = trace.KindRun
+	SpanCompile       = trace.KindCompile
+	SpanEval          = trace.KindEval
+	SpanStartup       = trace.KindStartup
+	SpanSandboxSetup  = trace.KindSandboxSetup
+	SpanSandboxExec   = trace.KindSandboxExec
+	SpanContractCheck = trace.KindContractCheck
+	SpanAuditEmit     = trace.KindAuditEmit
+	SpanOpVFS         = trace.KindOpVFS
+	SpanOpNet         = trace.KindOpNet
+	SpanOpPolicy      = trace.KindOpPolicy
+)
+
+// NewTraceContext returns a context carrying an open trace: Session.Run
+// records its run span (and everything below it) into ref as a child of
+// parent instead of minting a trace of its own. shilld uses this to
+// thread one trace from request admission through queue wait down to
+// kernel ops.
+func NewTraceContext(ctx context.Context, ref *TraceRef, parent uint64) context.Context {
+	return trace.NewContext(ctx, &trace.Context{Ref: ref, Parent: parent})
+}
+
+// ProfFromTrace reconstructs the Figure 10 profile view from a span
+// tree: the prof categories are also span kinds, so the profile is a
+// projection of the trace. Returns nil when the spans carry no profile
+// categories.
+func ProfFromTrace(spans []Span) []prof.Sample { return trace.ProfView(spans) }
