@@ -18,6 +18,7 @@
 //	benchfig -fig parallel -json BENCH_parallel.json
 //	benchfig -fig serve    -json BENCH_serve.json
 //	benchfig -fig interp   -json BENCH_interp.json
+//	benchfig -fig snapshot -json BENCH_snapshot.json
 //	benchfig -fig parallel -pprof BENCH_parallel  # + .cpu.pprof/.heap.pprof
 //
 // -json writes a machine-readable result file alongside the printed
@@ -30,7 +31,9 @@
 //
 // -fig parallel is also an acceptance gate: it exits nonzero if the
 // tracing overhead (trace on vs off, audit on in both arms) reaches 5%,
-// the same bar the audit subsystem was held to.
+// the same bar the audit subsystem was held to. -fig snapshot gates
+// likewise: it exits nonzero if booting from a machine image (warm
+// restore) is not faster than building the machine from scratch.
 package main
 
 import (
@@ -56,7 +59,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep, parallel, serve, interp")
+	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep, parallel, serve, interp, snapshot")
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 50)")
 	full := flag.Bool("full", false, "use paper-scale workloads")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (fig parallel)")
@@ -96,6 +99,8 @@ func main() {
 		figureServe(*jsonPath)
 	case "interp":
 		figureInterp(*reps, *jsonPath)
+	case "snapshot":
+		ok = figureSnapshot(*reps, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
 		os.Exit(2)

@@ -1,0 +1,166 @@
+package main
+
+// The snapshot benchmark behind BENCH_snapshot.json: machine
+// provisioning latency cold (scratch build plus grading staging) vs
+// warm (restore from a prebuilt grading image), and end-to-end grading
+// throughput when every run provisions its machine fresh vs by
+// restore. CI runs `benchfig -fig snapshot -json BENCH_snapshot.json`
+// and fails the build if a warm restore is not faster than a cold
+// build.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/shill"
+)
+
+type snapshotResult struct {
+	Benchmark         string  `json:"benchmark"`
+	Reps              int     `json:"reps"`
+	ColdBootMs        float64 `json:"cold_boot_ms"`
+	WarmRestoreMs     float64 `json:"warm_restore_ms"`
+	RestoreSpeedup    float64 `json:"restore_speedup"`
+	FreshRunsPerSec   float64 `json:"fresh_grading_runs_per_sec"`
+	RestoreRunsPerSec float64 `json:"restored_grading_runs_per_sec"`
+	ThroughputGain    float64 `json:"grading_throughput_gain"`
+	ImageID           string  `json:"image_id"`
+	ImageLayers       int     `json:"image_layers"`
+	WarmFaster        bool    `json:"warm_faster_than_cold"`
+}
+
+// coldCourse provisions the paper's grading course (122 students, 42
+// tests) from scratch: build the machine, then stage the full course
+// tree file by file. This is the work a warm restore amortizes into a
+// shared base layer.
+func coldCourse() *shill.Machine {
+	m, err := shill.NewMachine(shill.WithConsoleLimit(1 << 20))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	m.BuildGradingCourse(shill.FullScaleGrading)
+	return m
+}
+
+// coldBoot provisions the scaled-down grading machine figure 9 grades,
+// for the throughput arm.
+func coldBoot() *shill.Machine {
+	m, err := shill.NewMachine(shill.WithWorkload(shill.WorkloadGrading), shill.WithConsoleLimit(1<<20))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	return m
+}
+
+func warmBoot(img *shill.Image) *shill.Machine {
+	m, err := shill.RestoreMachine(img, shill.WithConsoleLimit(1<<20))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: snapshot restore: %v\n", err)
+		os.Exit(1)
+	}
+	return m
+}
+
+// figureSnapshot measures machine provisioning cold vs warm and the
+// grading throughput each path sustains. Returns false (failing the
+// build) when the warm restore is not faster than the cold build.
+func figureSnapshot(reps int, jsonPath string) bool {
+	fmt.Println("Snapshot/restore: provisioning latency and grading throughput, cold build vs warm restore")
+
+	// Latency arm: the paper-scale grading course, captured once.
+	golden := coldCourse()
+	img, err := golden.Snapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	golden.Close()
+	// Prime the flatten cache so the warm arm measures steady state —
+	// the state a serving frontend is in from the second restore on.
+	warmBoot(img).Close()
+
+	var coldTotal, warmTotal time.Duration
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		m := coldCourse()
+		coldTotal += time.Since(t0)
+		m.Close()
+
+		t0 = time.Now()
+		r := warmBoot(img)
+		warmTotal += time.Since(t0)
+		r.Close()
+	}
+	coldMs := float64(coldTotal.Microseconds()) / float64(reps) / 1000
+	warmMs := float64(warmTotal.Microseconds()) / float64(reps) / 1000
+
+	// Throughput arm: grade the figure-9 course end to end, provisioning
+	// the machine per run the way a per-request frontend would.
+	seed := coldBoot()
+	gradeImg, err := seed.Snapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	seed.Close()
+	warmBoot(gradeImg).Close()
+	gradeRuns := reps
+	if gradeRuns > 5 {
+		gradeRuns = 5
+	}
+	grade := func(provision func() *shill.Machine) float64 {
+		t0 := time.Now()
+		for i := 0; i < gradeRuns; i++ {
+			m := provision()
+			if err := m.RunGrading(ctx, shill.ModeShill); err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: snapshot grading: %v\n", err)
+				os.Exit(1)
+			}
+			m.Close()
+		}
+		return float64(gradeRuns) / time.Since(t0).Seconds()
+	}
+	freshRPS := grade(coldBoot)
+	restoreRPS := grade(func() *shill.Machine { return warmBoot(gradeImg) })
+
+	res := snapshotResult{
+		Benchmark:         "snapshot",
+		Reps:              reps,
+		ColdBootMs:        coldMs,
+		WarmRestoreMs:     warmMs,
+		RestoreSpeedup:    coldMs / warmMs,
+		FreshRunsPerSec:   freshRPS,
+		RestoreRunsPerSec: restoreRPS,
+		ThroughputGain:    restoreRPS / freshRPS,
+		ImageID:           img.ID(),
+		ImageLayers:       len(img.Layers()),
+		WarmFaster:        warmMs < coldMs,
+	}
+
+	fmt.Printf("%-28s %12s %12s %9s\n", "", "cold build", "warm restore", "speedup")
+	fmt.Printf("%-28s %10.3fms %10.3fms %8.1fx\n", "machine provisioning", res.ColdBootMs, res.WarmRestoreMs, res.RestoreSpeedup)
+	fmt.Printf("%-28s %10.2f/s %10.2f/s %8.2fx\n", "grading runs (incl. boot)", res.FreshRunsPerSec, res.RestoreRunsPerSec, res.ThroughputGain)
+	fmt.Printf("image %s… (%d layers)\n", res.ImageID[:12], res.ImageLayers)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+
+	if !res.WarmFaster {
+		fmt.Fprintf(os.Stderr, "benchfig: GATE FAILED: warm restore (%.3fms) is not faster than cold build (%.3fms)\n", warmMs, coldMs)
+		return false
+	}
+	return true
+}

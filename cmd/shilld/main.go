@@ -12,6 +12,7 @@
 //	       [-max-concurrent 16] [-tenant-concurrent 4] [-max-queue 64]
 //	       [-default-deadline 10s] [-max-deadline 60s]
 //	       [-drain-timeout 30s] [-debug-addr :6060] [-trace-disable]
+//	       [-golden image.shillimg]
 //
 // Endpoints:
 //
@@ -66,12 +67,34 @@ func run() int {
 	engineName := flag.String("engine", "tree-walk", "execution engine for every tenant machine: tree-walk or compiled")
 	debugAddr := flag.String("debug-addr", "", "optional debug listener exposing net/http/pprof (e.g. localhost:6060)")
 	traceDisable := flag.Bool("trace-disable", false, "disable request tracing on every tenant machine")
+	golden := flag.String("golden", "", "path to a golden machine image; built from the configured workload and written there on first start if absent, then every new tenant boots from it")
 	flag.Parse()
 
 	engine, err := shill.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shilld: %v\n", err)
 		return 2
+	}
+
+	machineOptions := func(string) []shill.Option {
+		opts := []shill.Option{
+			shill.WithWorkload(shill.Workload(*workload)),
+			shill.WithEngine(engine),
+		}
+		if *traceDisable {
+			opts = append(opts, shill.WithTraceDisabled())
+		}
+		return opts
+	}
+
+	var goldenImg *shill.Image
+	if *golden != "" {
+		goldenImg, err = loadOrBuildGolden(*golden, machineOptions(""))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shilld: golden image: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "shilld: golden image %s (%s)\n", shortID(goldenImg.ID()), *golden)
 	}
 
 	srv := server.New(server.Config{
@@ -81,16 +104,8 @@ func run() int {
 		MaxQueue:         *maxQueue,
 		DefaultDeadline:  *defaultDeadline,
 		MaxDeadline:      *maxDeadline,
-		MachineOptions: func(string) []shill.Option {
-			opts := []shill.Option{
-				shill.WithWorkload(shill.Workload(*workload)),
-				shill.WithEngine(engine),
-			}
-			if *traceDisable {
-				opts = append(opts, shill.WithTraceDisabled())
-			}
-			return opts
-		},
+		MachineOptions:   machineOptions,
+		GoldenImage:      goldenImg,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -143,4 +158,35 @@ func run() int {
 	}
 	fmt.Fprintln(os.Stderr, "shilld: drained cleanly")
 	return 0
+}
+
+// loadOrBuildGolden returns the golden image stored at path, building
+// one from the configured machine options and persisting it there when
+// the file does not exist yet.
+func loadOrBuildGolden(path string, opts []shill.Option) (*shill.Image, error) {
+	if data, err := os.ReadFile(path); err == nil {
+		return shill.DeserializeImage(data)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	m, err := shill.NewMachine(opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	img, err := m.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, img.Serialize(), 0o644); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
 }

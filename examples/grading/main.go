@@ -6,6 +6,12 @@
 // another student's submission (cheating), and one that tries to corrupt
 // the test suite (vandalism).
 //
+// The course is staged once and captured as a machine image; each
+// configuration then boots from that image in microseconds. The three
+// runs share one immutable base layer copy-on-write, so every
+// configuration grades the identical course no matter what the previous
+// run's malicious students did to their copy.
+//
 //	go run ./examples/grading
 package main
 
@@ -20,6 +26,20 @@ import (
 
 func main() {
 	workload := shill.GradingWorkload{Students: 6, Tests: 3, Malicious: true}
+
+	// Stage the course once and snapshot it: the image is the prebuilt,
+	// content-addressed grading environment.
+	builder, err := shill.NewMachine(shill.WithConsoleLimit(1 << 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder.BuildGradingCourse(workload)
+	img, err := builder.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder.Close()
+	fmt.Printf("course image %s… (%d students, %d tests)\n\n", img.ID()[:12], workload.Students, workload.Tests)
 
 	type outcome struct {
 		mode          string
@@ -38,11 +58,13 @@ func main() {
 		{"Sandboxed bash (coarse contract)", true, shill.ModeSandboxed},
 		{"Pure SHILL (fine-grained contracts)", true, shill.ModeShill},
 	} {
-		s, err := shill.NewMachine(shill.WithModule(cfg.install), shill.WithConsoleLimit(1<<20))
+		// Each configuration restores the pristine course from the image;
+		// explicit options still decide whether the SHILL module is
+		// installed on the restored machine.
+		s, err := shill.RestoreMachine(img, shill.WithModule(cfg.install), shill.WithConsoleLimit(1<<20))
 		if err != nil {
 			log.Fatal(err)
 		}
-		s.BuildGradingCourse(workload)
 		if err := s.RunGrading(context.Background(), cfg.mode); err != nil {
 			log.Fatalf("%s: %v\nconsole: %s", cfg.name, err, s.ConsoleText())
 		}
@@ -64,6 +86,8 @@ func main() {
 	}
 	fmt.Println("\nThe sandboxed bash script protects the test suite but cannot isolate")
 	fmt.Println("students from each other; the pure SHILL script does both (§4.1).")
+	fmt.Println("All three configurations booted from the same immutable course image;")
+	fmt.Println("each run's damage stayed in its own copy-on-write layer.")
 }
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }

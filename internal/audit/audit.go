@@ -146,13 +146,39 @@ func (e *Event) resolveLazy() {
 // event itself.
 type Shard struct {
 	session uint64
+	size    int
 	cursor  atomic.Uint64
-	slots   []atomic.Pointer[Event]
+	slots   atomic.Pointer[[]atomic.Pointer[Event]]
 
 	// Denials ride in a second, smaller ring so allowed-operation
 	// churn cannot evict them before a query explains the failure.
+	denySize   int
 	denyCursor atomic.Uint64
-	denySlots  []atomic.Pointer[Event]
+	denySlots  atomic.Pointer[[]atomic.Pointer[Event]]
+}
+
+// lazyRing returns the ring behind p, allocating it on first use: ring
+// zeroing is deferred from construction (machine boot, sandbox spawn)
+// to the first event that actually needs the ring. A losing racer's
+// allocation is discarded; both see the published ring.
+func lazyRing(p *atomic.Pointer[[]atomic.Pointer[Event]], size int) []atomic.Pointer[Event] {
+	if r := p.Load(); r != nil {
+		return *r
+	}
+	fresh := make([]atomic.Pointer[Event], size)
+	if p.CompareAndSwap(nil, &fresh) {
+		return fresh
+	}
+	return *p.Load()
+}
+
+// loadRing returns the ring behind p without allocating: nil means no
+// event was ever stored, so readers have nothing to scan.
+func loadRing(p *atomic.Pointer[[]atomic.Pointer[Event]]) []atomic.Pointer[Event] {
+	if r := p.Load(); r != nil {
+		return *r
+	}
+	return nil
 }
 
 // Session returns the session id the shard records for.
@@ -160,10 +186,12 @@ func (sh *Shard) Session() uint64 { return sh.session }
 
 func (sh *Shard) put(e *Event) {
 	i := sh.cursor.Add(1) - 1
-	sh.slots[i%uint64(len(sh.slots))].Store(e)
+	ring := lazyRing(&sh.slots, sh.size)
+	ring[i%uint64(len(ring))].Store(e)
 	if e.Verdict == Deny {
 		j := sh.denyCursor.Add(1) - 1
-		sh.denySlots[j%uint64(len(sh.denySlots))].Store(e)
+		deny := lazyRing(&sh.denySlots, sh.denySize)
+		deny[j%uint64(len(deny))].Store(e)
 	}
 }
 
@@ -177,8 +205,9 @@ func (sh *Shard) Emitted() uint64 { return sh.cursor.Load() }
 // scan; every returned event is internally consistent because events
 // are immutable once stored.
 func (sh *Shard) Snapshot() []Event {
-	seen := make(map[uint64]struct{}, len(sh.slots)+len(sh.denySlots))
-	out := make([]Event, 0, len(sh.slots))
+	main, deny := loadRing(&sh.slots), loadRing(&sh.denySlots)
+	seen := make(map[uint64]struct{}, len(main)+len(deny))
+	out := make([]Event, 0, len(main))
 	collect := func(slots []atomic.Pointer[Event]) {
 		for i := range slots {
 			e := slots[i].Load()
@@ -194,18 +223,19 @@ func (sh *Shard) Snapshot() []Event {
 			out = append(out, ev)
 		}
 	}
-	collect(sh.slots)
-	collect(sh.denySlots)
+	collect(main)
+	collect(deny)
 	sortEvents(out)
 	return out
 }
 
 // Default ring geometry. The global shard retains the most recent ~4k
 // decisions and 512 denials. Per-session shards are deliberately small:
-// a kernel session is one sandbox execution (a few dozen decisions), it
-// is created on the sandbox-spawn hot path, and zeroing a large pointer
-// ring per spawn costs more than every event the sandbox will emit.
-// All rings wrap (append-only semantics with bounded memory).
+// a kernel session is one sandbox execution (a few dozen decisions),
+// so a large ring would be dead weight even allocated lazily. All
+// rings wrap (append-only semantics with bounded memory), and none is
+// allocated before its first event (lazyRing) — shard construction on
+// the boot and spawn paths costs a few words, not a zeroed ring.
 const (
 	DefaultShardSize = 4096
 	DefaultDenySize  = 512
@@ -238,7 +268,7 @@ type Log struct {
 	// shard, so attaching denial provenance to each run stays O(ring)
 	// however many sessions the kernel has served.
 	denyAllCursor atomic.Uint64
-	denyAll       []atomic.Pointer[Event]
+	denyAll       atomic.Pointer[[]atomic.Pointer[Event]]
 
 	mu         sync.RWMutex
 	shards     map[uint64]*Shard
@@ -269,7 +299,6 @@ func NewLog(shardSize, denySize int) *Log {
 		shards:      make(map[uint64]*Shard),
 	}
 	l.global = newShard(0, l.shardSize, l.denySize)
-	l.denyAll = make([]atomic.Pointer[Event], l.denySize)
 	l.enabled.Store(true)
 	return l
 }
@@ -277,7 +306,8 @@ func NewLog(shardSize, denySize int) *Log {
 // putDeny records a denial in the log-wide denial ring.
 func (l *Log) putDeny(e *Event) {
 	i := l.denyAllCursor.Add(1) - 1
-	l.denyAll[i%uint64(len(l.denyAll))].Store(e)
+	ring := lazyRing(&l.denyAll, l.denySize)
+	ring[i%uint64(len(ring))].Store(e)
 }
 
 // RecentDenials returns the denials retained by the log-wide denial
@@ -301,8 +331,9 @@ func (l *Log) recentDenialsLazy(since uint64) []Event {
 		return nil
 	}
 	out := make([]Event, 0, 8)
-	for i := range l.denyAll {
-		e := l.denyAll[i].Load()
+	ring := loadRing(&l.denyAll)
+	for i := range ring {
+		e := ring[i].Load()
 		if e != nil && e.Seq > since {
 			out = append(out, *e)
 		}
@@ -312,11 +343,7 @@ func (l *Log) recentDenialsLazy(since uint64) []Event {
 }
 
 func newShard(session uint64, size, denySize int) *Shard {
-	return &Shard{
-		session:   session,
-		slots:     make([]atomic.Pointer[Event], size),
-		denySlots: make([]atomic.Pointer[Event], denySize),
-	}
+	return &Shard{session: session, size: size, denySize: denySize}
 }
 
 // SetEnabled toggles recording. Disabled, Emit is a single atomic load.
@@ -405,6 +432,22 @@ func (l *Log) Emit(sh *Shard, e Event) uint64 {
 		l.emitNanos.Add(int64(time.Since(start)) * timingSample)
 	}
 	return seq
+}
+
+// StartAt advances the sequence counter to at least seq without
+// emitting events. Machine restore uses it so a restored machine's
+// audit trail continues the captured machine's ordering instead of
+// reissuing sequence numbers.
+func (l *Log) StartAt(seq uint64) {
+	if l == nil {
+		return
+	}
+	for {
+		cur := l.seq.Load()
+		if cur >= seq || l.seq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // Seq returns the latest assigned sequence number.

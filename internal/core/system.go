@@ -7,6 +7,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -95,6 +96,75 @@ func NewSystem(cfg Config) *System {
 		panic("core: " + err.Error())
 	}
 	return s
+}
+
+// NewSystemFromBase builds a machine whose filesystem boots
+// copy-on-write from a flattened image layer instead of staging the
+// base image file by file. The layer must already contain the full
+// tree (binaries, /etc, home directories); only devices are rewired.
+func NewSystemFromBase(cfg Config, base *vfs.Layer) *System {
+	k := kernel.New()
+	k.SetFS(vfs.NewFromLayer(base))
+	binaries.Register(k)
+	if cfg.InstallModule {
+		k.InstallShillModule()
+	}
+	s := &System{
+		K:       k,
+		Prof:    prof.New(),
+		Console: vfs.NewConsoleDevice(),
+		Scripts: lang.MapLoader{},
+	}
+	if cfg.ConsoleLimit > 0 {
+		s.Console.SetLimit(cfg.ConsoleLimit)
+	}
+	s.ConsoleLimit = cfg.ConsoleLimit
+	if cfg.SpawnLatency > 0 {
+		k.SetSpawnLatency(cfg.SpawnLatency)
+	}
+	if cfg.AuditDisabled {
+		k.Audit().SetEnabled(false)
+	}
+	s.wireDevices()
+	s.RootSh = k.NewProc(0, 0)
+	s.Runtime = k.NewProc(UserUID, UserUID)
+	if err := s.Runtime.Chdir("/home/user"); err != nil {
+		panic("core: " + err.Error())
+	}
+	return s
+}
+
+// StagingState serializes the workload-staging bookkeeping for capture
+// into a machine image; RestoreStagingState is its inverse. Without it
+// a restored machine would restage (and so reset) course trees its
+// image already contains.
+func (s *System) StagingState() []byte {
+	s.stagedMu.Lock()
+	defer s.stagedMu.Unlock()
+	if len(s.stagedGrading) == 0 {
+		return nil
+	}
+	out, err := json.Marshal(s.stagedGrading)
+	if err != nil {
+		panic("core: staging state: " + err.Error())
+	}
+	return out
+}
+
+// RestoreStagingState applies a StagingState blob captured from another
+// machine.
+func (s *System) RestoreStagingState(blob []byte) error {
+	if len(blob) == 0 {
+		return nil
+	}
+	staged := make(map[string]GradingWorkload)
+	if err := json.Unmarshal(blob, &staged); err != nil {
+		return fmt.Errorf("core: staging state: %w", err)
+	}
+	s.stagedMu.Lock()
+	s.stagedGrading = staged
+	s.stagedMu.Unlock()
+	return nil
 }
 
 // Close shuts down background kernel workers.
@@ -189,6 +259,14 @@ func (s *System) buildBaseImage() {
 	// /etc and devices.
 	s.mustWrite("/etc/passwd", []byte("root:0:0\nuser:1001:1001\n"), 0o644, 0)
 	s.mustWrite("/etc/resolv.conf", []byte("nameserver 10.0.0.1\n"), 0o644, 0)
+	s.wireDevices()
+}
+
+// wireDevices creates the character devices. Devices hold live Go state
+// (closures over channels and buffers), so they are never captured into
+// an image; both cold builds and restores wire them fresh.
+func (s *System) wireDevices() {
+	fs := s.K.FS
 	dev, err := fs.MkdirAll("/dev", 0o755, 0, 0)
 	if err != nil {
 		panic("core: " + err.Error())

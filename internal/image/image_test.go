@@ -1,0 +1,100 @@
+package image
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func baseLayer(t *testing.T) *vfs.Layer {
+	t.Helper()
+	fs := vfs.New()
+	if _, err := fs.WriteFile("/etc/passwd", []byte("root:0\n"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteFile("/home/user/f.txt", []byte("hello"), 0o644, 1001, 1001); err != nil {
+		t.Fatal(err)
+	}
+	return fs.CaptureLayer()
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	img := New([]*vfs.Layer{baseLayer(t)}, Meta{
+		Config:    Config{InstallModule: true, Workload: "grading"},
+		Scripts:   map[string]string{"grade": "script grade() {}"},
+		Listeners: []string{"80"},
+		AuditSeq:  42,
+		Staging:   []byte(`{"course":"x"}`),
+	})
+	data := img.Serialize()
+	back, err := Deserialize(data)
+	if err != nil {
+		t.Fatalf("Deserialize: %v", err)
+	}
+	if back.ID() != img.ID() {
+		t.Fatalf("round trip changed ID: %s vs %s", back.ID(), img.ID())
+	}
+	if !bytes.Equal(back.Serialize(), data) {
+		t.Fatal("round trip not byte-identical")
+	}
+	m := back.Meta()
+	if m.Config.Workload != "grading" || m.AuditSeq != 42 || m.Scripts["grade"] == "" {
+		t.Fatalf("metadata lost: %+v", m)
+	}
+	flat, _ := back.Flatten()
+	if e := flat.Entry("/home/user/f.txt"); e == nil || string(e.Data) != "hello" {
+		t.Fatalf("flattened content lost: %+v", e)
+	}
+}
+
+func TestContentAddressing(t *testing.T) {
+	l := baseLayer(t)
+	a := New([]*vfs.Layer{l}, Meta{Config: Config{InstallModule: true}})
+	b := New([]*vfs.Layer{l}, Meta{Config: Config{InstallModule: true}})
+	if a.ID() != b.ID() {
+		t.Fatal("identical images got different IDs")
+	}
+	c := New([]*vfs.Layer{l}, Meta{Config: Config{InstallModule: false}})
+	if c.ID() == a.ID() {
+		t.Fatal("differing config got same ID")
+	}
+}
+
+func TestFlattenCached(t *testing.T) {
+	img := New([]*vfs.Layer{baseLayer(t)}, Meta{})
+	if _, hit := img.Flatten(); hit {
+		t.Fatal("first flatten reported a cache hit")
+	}
+	f1, hit := img.Flatten()
+	if !hit {
+		t.Fatal("second flatten missed the cache")
+	}
+	f2, _ := img.Flatten()
+	if f1 != f2 {
+		t.Fatal("flatten returned different views")
+	}
+}
+
+func TestLayerStacking(t *testing.T) {
+	base := baseLayer(t)
+	derived := vfs.NewFromLayer(base)
+	if _, err := derived.WriteFile("/home/user/f.txt", []byte("changed"), 0o644, 1001, 1001); err != nil {
+		t.Fatal(err)
+	}
+	etc, err := derived.Resolve("/etc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := derived.Unlink(etc, "passwd", false); err != nil {
+		t.Fatal(err)
+	}
+	img := New([]*vfs.Layer{base, derived.CaptureLayer()}, Meta{})
+	flat, _ := img.Flatten()
+	if e := flat.Entry("/home/user/f.txt"); e == nil || string(e.Data) != "changed" {
+		t.Fatalf("top layer did not win: %+v", e)
+	}
+	if e := flat.Entry("/etc/passwd"); e != nil {
+		t.Fatal("whiteout did not delete lower entry")
+	}
+}

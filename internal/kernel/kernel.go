@@ -141,6 +141,14 @@ func New() *Kernel {
 	return k
 }
 
+// SetFS replaces the kernel's filesystem with one booted from an image
+// layer (machine restore). It must be called immediately after New,
+// before processes, policies, or binaries reference the old filesystem.
+func (k *Kernel) SetFS(fs *vfs.FS) {
+	fs.SetOpStats(k.Ops)
+	k.FS = fs
+}
+
 // InstallShillModule loads the SHILL policy module into the MAC
 // framework (the "SHILL installed" configuration). It is idempotent.
 func (k *Kernel) InstallShillModule() *ShillPolicy {

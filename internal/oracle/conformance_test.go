@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/oracle"
+	"repro/shill"
 )
 
 // genSeed selects the conformance run's base seed. The default is
@@ -71,27 +72,142 @@ func TestGeneratedConformance(t *testing.T) {
 	}
 }
 
-// TestOracleDetectsSeededEscape proves the no-escape check is not
-// vacuous: a direct write outside a program's manifest (simulated by
-// mutating the protected tree between the oracle's snapshots via a
-// tampering op injected at the machine level) must be flagged. We
-// simulate the escape by staging a program whose manifest root is A
-// while the harness writes under the protected tree mid-run.
-func TestOracleDetectsSeededEscape(t *testing.T) {
-	p := gen.New(42).Program()
-	p.Seed = 42
-	res, err := oracle.CheckTampered(context.Background(), p)
+// TestGeneratedConformanceRestored is the tentpole conformance test
+// rehosted on snapshot restores: one golden image (fresh machine plus
+// the protected tree) is captured once, every program pair runs on a
+// machine restored from it, and all three oracle properties must hold
+// exactly as they do on scratch-built machines. This is the proof that
+// restore produces a machine indistinguishable, to the differential
+// oracle, from a cold boot.
+func TestGeneratedConformanceRestored(t *testing.T) {
+	n := *genN
+	if n == 0 {
+		n = 600
+		if testing.Short() {
+			n = 200
+		}
+	}
+	golden, err := shill.NewMachine()
 	if err != nil {
 		t.Fatal(err)
 	}
-	found := false
-	for _, v := range res.Violations {
-		if v.Property == "no-escape" {
-			found = true
+	if err := oracle.StageProtected(golden); err != nil {
+		t.Fatal(err)
+	}
+	img, err := golden.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Close()
+
+	ctx := context.Background()
+	ops, divergences, failures := 0, 0, 0
+	for i := 0; i < n; i++ {
+		seed := oracle.SubSeed(*genSeed, int64(i))
+		p := gen.New(seed).Program()
+		p.Seed = seed
+		m, err := shill.RestoreMachine(img)
+		if err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		res := oracle.CheckExclusiveOn(ctx, m, p)
+		m.Close()
+		ops += res.Ops
+		if res.Divergent != "" {
+			divergences++
+		}
+		if res.Failed() {
+			failures++
+			t.Errorf("seed %d violates the security property on a restored machine:\n  %v\n--- sandboxed console ---\n%s\n--- ambient console ---\n%s",
+				seed, res.Violations, res.SbxConsole, res.AmbConsole)
+			if failures > 3 {
+				t.Fatalf("stopping after %d failing seeds; reproduce one with -gen.seed=%d -gen.n=1", failures, seed)
+			}
 		}
 	}
-	if !found {
-		t.Fatalf("tampered run produced no no-escape violation: %v", res.Violations)
+	t.Logf("restored conformance: %d pairs, %d ops, %d sandbox-only failures explained by audited denials",
+		n, ops, divergences)
+	if divergences == 0 {
+		t.Errorf("no sandbox-only failures across %d restored programs — the oracle would be vacuous", n)
+	}
+}
+
+// TestNoEscapeFastSlowEquivalence runs the same program pairs through
+// both no-escape implementations — the default O(dirty) change-window
+// fast path and the O(tree) walk-and-diff slow path — and requires
+// identical verdicts: same per-property outcome, same first divergent
+// op. The detail strings legitimately differ ("touched" vs "created"),
+// so equivalence is judged on what the oracle reports, not how it
+// phrases it.
+func TestNoEscapeFastSlowEquivalence(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 6
+	}
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		seed := oracle.SubSeed(*genSeed, int64(1000+i))
+		p := gen.New(seed).Program()
+		p.Seed = seed
+		fast, err := oracle.CheckExclusive(ctx, p)
+		if err != nil {
+			t.Fatalf("seed %d fast: %v", seed, err)
+		}
+		p2 := gen.New(seed).Program()
+		p2.Seed = seed
+		slow, err := oracle.CheckExclusiveSlow(ctx, p2)
+		if err != nil {
+			t.Fatalf("seed %d slow: %v", seed, err)
+		}
+		if got, want := propertySet(fast), propertySet(slow); got != want {
+			t.Errorf("seed %d: fast path verdict %q, slow path %q\nfast: %v\nslow: %v",
+				seed, got, want, fast.Violations, slow.Violations)
+		}
+		if fast.Divergent != slow.Divergent {
+			t.Errorf("seed %d: divergent op differs: fast %q, slow %q", seed, fast.Divergent, slow.Divergent)
+		}
+	}
+}
+
+func propertySet(r *oracle.PairResult) string {
+	seen := map[string]bool{}
+	for _, v := range r.Violations {
+		seen[v.Property] = true
+	}
+	out := ""
+	for _, p := range []string{"no-escape", "conjunction", "deny-provenance", "harness"} {
+		if seen[p] {
+			out += p + ";"
+		}
+	}
+	return out
+}
+
+// TestOracleDetectsSeededEscape proves the no-escape check is not
+// vacuous on either implementation: a direct write outside a program's
+// manifest (a tampering op injected at the machine level mid-check)
+// must be flagged by the default change-window fast path and by the
+// walk-and-diff slow path alike.
+func TestOracleDetectsSeededEscape(t *testing.T) {
+	for name, check := range map[string]func(context.Context, *gen.Program) (*oracle.PairResult, error){
+		"fast": oracle.CheckTampered,
+		"slow": oracle.CheckTamperedSlow,
+	} {
+		p := gen.New(42).Program()
+		p.Seed = 42
+		res, err := check(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, v := range res.Violations {
+			if v.Property == "no-escape" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s path: tampered run produced no no-escape violation: %v", name, res.Violations)
+		}
 	}
 }
 

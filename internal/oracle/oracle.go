@@ -3,9 +3,12 @@
 // and ambient variants of each program on shill.Machine sessions and
 // checks the paper's §2.3 property three ways, per operation:
 //
-//  1. no-escape — a filesystem + network snapshot diff shows zero
-//     effects outside the program's manifest (its workspace root, its
-//     port range, the session consoles);
+//  1. no-escape — zero filesystem + network effects outside the
+//     program's manifest (its workspace root, its port range, the
+//     session consoles). The default implementation watches a
+//     change window over the run (O(dirty paths)); a walk-and-diff
+//     slow path (O(tree), SlowSnapshots) survives as the cross-check
+//     that the fast path misses nothing;
 //  2. DAC-conjunction — any operation that succeeds under the sandboxed
 //     variant also succeeds under the ambient variant: capabilities
 //     only ever subtract authority, so MAC can never weaken DAC
@@ -73,9 +76,16 @@ type Checker struct {
 	// to objects attributable to this program.
 	Exclusive bool
 
+	// SlowSnapshots selects the O(tree) walk-and-diff implementation of
+	// the no-escape check instead of the default O(dirty) change-window
+	// fast path. The two are equivalent on every verdict the oracle
+	// reports; the equivalence test runs both to prove it, and the slow
+	// path remains the independent cross-check of the fast one.
+	SlowSnapshots bool
+
 	// tamper, when set, runs after the sandboxed variant finishes and
-	// before its post-run snapshot — a deterministic seam the oracle's
-	// own tests use to prove the no-escape check actually fires.
+	// before its post-run no-escape check — a deterministic seam the
+	// oracle's own tests use to prove the check actually fires.
 	tamper func()
 }
 
@@ -149,13 +159,17 @@ func (c *Checker) stageWorkspace(root string, man *gen.Manifest) error {
 	return nil
 }
 
-// snapshot captures the machine state relevant to this check: in
-// exclusive mode the entire image except the currently-running
-// variant's root and the session consoles; in shared mode everything
-// outside /gen plus the protected tree (other programs legitimately
-// churn their own areas under /gen concurrently).
-func (c *Checker) snapshot(activeRoot string) map[string]string {
-	return c.M.SnapshotFS(func(path string) bool {
+// skipFor returns the no-escape skip predicate for one variant: the
+// paths the check cannot reason about. In exclusive mode that is only
+// the currently-running variant's root and the session consoles; in
+// shared mode also everything under /gen except the protected tree
+// (other programs legitimately churn their own areas under /gen
+// concurrently). The predicate is subtree-closed — skipping a
+// directory skips everything under it — which is what lets SnapshotFS
+// prune skipped subtrees and the fast path filter touched paths
+// individually, and still agree.
+func (c *Checker) skipFor(activeRoot string) func(path string) bool {
+	return func(path string) bool {
 		if path == activeRoot || strings.HasPrefix(path, activeRoot+"/") {
 			return true
 		}
@@ -170,7 +184,32 @@ func (c *Checker) snapshot(activeRoot string) map[string]string {
 			}
 		}
 		return false
-	})
+	}
+}
+
+// snapshot captures the no-escape-relevant filesystem state by walking
+// the whole image — the slow path.
+func (c *Checker) snapshot(activeRoot string) map[string]string {
+	return c.M.SnapshotFS(c.skipFor(activeRoot))
+}
+
+// filterEscapes reduces a change window's touched paths to the ones the
+// no-escape property covers, formatted for the violation message. The
+// window is conservative — it reports where writes landed, not whether
+// content ended up different — but a benign variant performs no writes
+// at all outside its manifest, so "touched" and "changed" coincide on
+// every verdict.
+func (c *Checker) filterEscapes(touched []string, activeRoot string) []string {
+	skip := c.skipFor(activeRoot)
+	var out []string
+	for _, p := range touched {
+		if skip(p) {
+			continue
+		}
+		out = append(out, "touched "+p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func underProtected(path string) bool {
@@ -278,7 +317,13 @@ func (c *Checker) CheckProgram(ctx context.Context, s *shill.Session, p *gen.Pro
 			Root: v.root, Console: s.ConsolePath(),
 			PortBase: v.portBase, Ambient: v.ambient,
 		})
-		fsBefore := c.snapshot(v.root)
+		var fsBefore map[string]string
+		var win *shill.FSWindow
+		if c.SlowSnapshots {
+			fsBefore = c.snapshot(v.root)
+		} else {
+			win = c.M.OpenFSWindow()
+		}
 		netBefore := c.M.NetListeners()
 		if !v.ambient {
 			sbxSeqBefore = c.M.AuditSeq()
@@ -302,7 +347,15 @@ func (c *Checker) CheckProgram(ctx context.Context, s *shill.Session, p *gen.Pro
 
 		// Property 1: no-escape, checked per variant so a sandboxed
 		// escape cannot hide behind the ambient run's legitimate churn.
-		if diff := diffSnapshots(fsBefore, c.snapshot(v.root)); len(diff) > 0 {
+		var diff []string
+		if c.SlowSnapshots {
+			diff = diffSnapshots(fsBefore, c.snapshot(v.root))
+		} else {
+			touched := win.Touched()
+			win.Close()
+			diff = c.filterEscapes(touched, v.root)
+		}
+		if len(diff) > 0 {
 			res.Violations = append(res.Violations, Violation{"no-escape",
 				fmt.Sprintf("%s variant changed state outside its manifest: %s",
 					variantName(v.ambient), strings.Join(head(diff, 6), "; "))})

@@ -195,3 +195,15 @@ func CheckExclusive(ctx context.Context, p *gen.Program) (*PairResult, error) {
 	c := &Checker{M: m, Exclusive: true}
 	return c.CheckProgram(ctx, s, p, Instance{Base: "/gen/p0", PortBase: 21000}), nil
 }
+
+// CheckExclusiveOn is CheckExclusive on a caller-provided exclusive
+// machine (already carrying the protected tree) — the entry point for
+// conformance runs on machines restored from snapshot images, where
+// booting fresh per pair would waste the warm-restore advantage being
+// validated.
+func CheckExclusiveOn(ctx context.Context, m *shill.Machine, p *gen.Program) *PairResult {
+	s := m.NewSession()
+	defer s.Close()
+	c := &Checker{M: m, Exclusive: true}
+	return c.CheckProgram(ctx, s, p, Instance{Base: "/gen/p0", PortBase: 21000})
+}

@@ -20,6 +20,8 @@ type metrics struct {
 	rejectedQuota    atomic.Int64 // 429: tenant quota
 	rejectedMachines atomic.Int64 // 429: machine registry full
 	evictions        atomic.Int64 // LRU machine evictions
+	restoresWarm     atomic.Int64 // machine boots from the tenant's own evicted snapshot
+	restoresCold     atomic.Int64 // machine boots from scratch or the golden image
 	activeRuns       atomic.Int64 // runs currently executing
 
 	// Latency histograms (initHistograms). runSeconds is labelled by
@@ -66,6 +68,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("shilld_rejected_quota_total", "requests rejected with 429 at the tenant quota", s.met.rejectedQuota.Load())
 	counter("shilld_rejected_machines_total", "requests rejected with 429 because the machine registry was full", s.met.rejectedMachines.Load())
 	counter("shilld_machine_evictions_total", "LRU evictions of idle tenant machines", s.met.evictions.Load())
+	fmt.Fprintf(w, "# HELP shilld_restores_total tenant machine boots by kind (warm: the tenant's own evicted snapshot; cold: scratch or the golden image)\n# TYPE shilld_restores_total counter\n")
+	fmt.Fprintf(w, "shilld_restores_total{kind=\"warm\"} %d\n", s.met.restoresWarm.Load())
+	fmt.Fprintf(w, "shilld_restores_total{kind=\"cold\"} %d\n", s.met.restoresCold.Load())
+	gauge("shilld_tenant_images", "evicted tenants' snapshots retained for warm readmission", s.RetainedImages())
 	gauge("shilld_active_runs", "runs currently executing", s.met.activeRuns.Load())
 	gauge("shilld_queue_depth", "admitted runs waiting for a global slot", s.queued.Load())
 	gauge("shilld_uptime_seconds", "seconds since the server started", fmt.Sprintf("%.3f", uptime))

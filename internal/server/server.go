@@ -9,7 +9,12 @@
 // Isolation is kernel-level, not just session-level: every tenant owns
 // a whole shill.Machine (own simulated kernel, filesystem image,
 // network stack, audit log), held in an LRU registry bounded by
-// MaxMachines. Admission control is a bounded queue with per-tenant
+// MaxMachines. An evicted tenant's machine is snapshotted before it is
+// closed, so the tenant's state (files, installed scripts, audit
+// sequence) survives eviction and its next request boots from a warm
+// restore; with a golden image configured, even brand-new tenants boot
+// by restoring shared copy-on-write base layers instead of building a
+// machine from scratch. Admission control is a bounded queue with per-tenant
 // concurrency quotas; overload answers 429 with Retry-After instead of
 // queueing without bound. Request deadlines and client disconnects are
 // wired straight into Session.Run's context cancellation, so an
@@ -52,6 +57,16 @@ type Config struct {
 	// machine. Default: the demo workload (so the built-in case-study
 	// scripts, including why_denied, resolve).
 	MachineOptions func(tenant string) []shill.Option
+	// GoldenImage, when set, boots brand-new tenants by restoring this
+	// prebuilt snapshot instead of building a machine from scratch —
+	// every tenant then shares the image's flattened base layers
+	// copy-on-write. MachineOptions still apply on top.
+	GoldenImage *shill.Image
+	// MaxImages caps how many evicted tenants' snapshots are retained
+	// for warm readmission; the oldest snapshot is forgotten beyond it.
+	// Snapshots share their base layers with the live machines, so a
+	// retained image costs only the tenant's divergence. Default 32.
+	MaxImages int
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +96,9 @@ func (c Config) withDefaults() Config {
 			return []shill.Option{shill.WithWorkload(shill.WorkloadDemo)}
 		}
 	}
+	if c.MaxImages <= 0 {
+		c.MaxImages = 32
+	}
 	return c
 }
 
@@ -104,6 +122,11 @@ type Server struct {
 	tenants map[string]*tenant
 	lru     *list.List // of *tenant; front = most recently used
 	closed  bool
+	// images retains evicted tenants' snapshots for warm readmission,
+	// bounded by cfg.MaxImages; imageOrder is insertion order (oldest
+	// first) for forgetting beyond the bound.
+	images     map[string]*shill.Image
+	imageOrder []string
 
 	met metrics
 
@@ -160,7 +183,7 @@ func (e *admitError) Error() string { return e.msg }
 // /healthz for everyone else — so the entry is published first and
 // concurrent requests for the same tenant wait for the build.
 func (s *Server) acquireTenant(name string) (*tenant, error) {
-	var evict *shill.Machine
+	var evict *tenant
 	var build bool
 	s.mu.Lock()
 	if s.closed {
@@ -177,7 +200,7 @@ func (s *Server) acquireTenant(name string) (*tenant, error) {
 				return nil, &admitError{status: 429, retryAfter: s.cfg.RetryAfter,
 					msg: fmt.Sprintf("machine registry full (%d tenants, all busy)", s.cfg.MaxMachines)}
 			}
-			evict = victim.m
+			evict = victim
 		}
 		t = &tenant{name: name, ready: make(chan struct{})}
 		t.elem = s.lru.PushFront(t)
@@ -189,7 +212,7 @@ func (s *Server) acquireTenant(name string) (*tenant, error) {
 	if t.active >= s.cfg.TenantConcurrent {
 		s.mu.Unlock()
 		if evict != nil {
-			evict.Close()
+			s.retireTenant(evict)
 		}
 		s.met.rejectedQuota.Add(1)
 		return nil, &admitError{status: 429, retryAfter: s.cfg.RetryAfter,
@@ -198,11 +221,11 @@ func (s *Server) acquireTenant(name string) (*tenant, error) {
 	t.active++
 	s.mu.Unlock()
 	if evict != nil {
-		evict.Close()
+		s.retireTenant(evict)
 	}
 
 	if build {
-		m, err := shill.NewMachine(s.cfg.MachineOptions(name)...)
+		m, err := s.buildMachine(name)
 		if err != nil {
 			t.buildErr = fmt.Errorf("building machine for tenant %q: %w", name, err)
 		}
@@ -240,9 +263,106 @@ func (s *Server) dropTenant(t *tenant) {
 	s.mu.Unlock()
 }
 
+// buildMachine boots a machine for a tenant, preferring the warmest
+// source available: the tenant's own evicted snapshot (its state
+// survives eviction), then the configured golden image (shared
+// copy-on-write base layers), then a scratch build. A snapshot that
+// fails to restore is discarded and the boot falls through to the next
+// source rather than failing the request.
+func (s *Server) buildMachine(name string) (*shill.Machine, error) {
+	opts := s.cfg.MachineOptions(name)
+	s.mu.Lock()
+	img := s.images[name]
+	s.mu.Unlock()
+	if img != nil {
+		if m, err := shill.RestoreMachine(img, opts...); err == nil {
+			s.met.restoresWarm.Add(1)
+			return m, nil
+		}
+		s.forgetImage(name)
+	}
+	if s.cfg.GoldenImage != nil {
+		if m, err := shill.RestoreMachine(s.cfg.GoldenImage, opts...); err == nil {
+			s.met.restoresCold.Add(1)
+			return m, nil
+		}
+	}
+	m, err := shill.NewMachine(opts...)
+	if err == nil {
+		s.met.restoresCold.Add(1)
+	}
+	return m, err
+}
+
+// retireTenant snapshots an evicted tenant's idle machine — so its
+// state (files it wrote, scripts it installed) survives the eviction
+// for warm readmission — and then closes the machine. If the snapshot
+// fails the state is forfeited and the tenant's next request boots
+// cold.
+func (s *Server) retireTenant(t *tenant) {
+	if t.m == nil {
+		return
+	}
+	if img, err := t.m.Snapshot(); err == nil {
+		s.storeImage(t.name, img)
+	}
+	t.m.Close()
+}
+
+// storeImage retains an evicted tenant's snapshot, forgetting the
+// oldest retained snapshot beyond the MaxImages bound.
+func (s *Server) storeImage(name string, img *shill.Image) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if s.images == nil {
+		s.images = make(map[string]*shill.Image)
+	}
+	if _, ok := s.images[name]; ok {
+		s.imageOrder = removeString(s.imageOrder, name)
+	}
+	s.images[name] = img
+	s.imageOrder = append(s.imageOrder, name)
+	for len(s.images) > s.cfg.MaxImages {
+		oldest := s.imageOrder[0]
+		s.imageOrder = s.imageOrder[1:]
+		delete(s.images, oldest)
+	}
+}
+
+// forgetImage drops a retained snapshot that failed to restore.
+func (s *Server) forgetImage(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.images[name]; ok {
+		delete(s.images, name)
+		s.imageOrder = removeString(s.imageOrder, name)
+	}
+}
+
+func removeString(xs []string, x string) []string {
+	for i, v := range xs {
+		if v == x {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
+}
+
+// RetainedImages reports how many evicted tenants' snapshots are held
+// for warm readmission.
+func (s *Server) RetainedImages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.images)
+}
+
 // evictLocked removes the least-recently-used idle tenant from the
-// registry and returns it (its machine is closed by the caller outside
-// the lock); nil when every tenant has runs in flight.
+// registry and returns it (its machine is snapshotted and closed by
+// the caller outside the lock); nil when every tenant has runs in
+// flight.
 func (s *Server) evictLocked() *tenant {
 	for e := s.lru.Back(); e != nil; e = e.Prev() {
 		t := e.Value.(*tenant)

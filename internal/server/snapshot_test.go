@@ -1,0 +1,204 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/shill"
+)
+
+// Eviction/readmission: an evicted tenant's machine state (the files
+// its runs wrote) must survive in a retained snapshot and come back on
+// the tenant's next request, served from a warm restore.
+
+func writeNoteScript(k int) string {
+	return fmt.Sprintf(`#lang shill/ambient
+
+home = open_dir("/home/user");
+f = create_file(home, "r%d.txt");
+append(f, "done-%d");
+`, k, k)
+}
+
+func readNoteScript(k int) string {
+	return fmt.Sprintf(`#lang shill/ambient
+
+append(stdout, read(open_file("/home/user/r%d.txt")));
+`, k)
+}
+
+// postRunRetry posts a run, retrying 429 responses (registry full under
+// deliberate churn) until the deadline.
+func postRunRetry(t *testing.T, url string, req RunRequest) *RunResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, rr := postRun(t, url, req)
+		if resp.StatusCode == http.StatusOK {
+			return rr
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || time.Now().After(deadline) {
+			t.Fatalf("tenant %s: status %d", req.Tenant, resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestEvictionKeepsTenantState(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.MaxMachines = 2 })
+
+	// alice writes a file, then goes idle.
+	if rr := postRunRetry(t, ts.URL, RunRequest{Tenant: "alice", Script: writeNoteScript(0)}); rr.ExitStatus != 0 {
+		t.Fatalf("alice write failed: %+v", rr)
+	}
+	aliceMachine := s.lookupTenant("alice").m
+
+	// Two fresh tenants force alice's eviction.
+	for _, tenant := range []string{"bob", "carol"} {
+		if rr := postRunRetry(t, ts.URL, RunRequest{Tenant: tenant, Script: allowAmbient}); rr.ExitStatus != 0 {
+			t.Fatalf("%s run failed: %+v", tenant, rr)
+		}
+	}
+	if s.lookupTenant("alice") != nil {
+		t.Fatal("alice was not evicted")
+	}
+	if !aliceMachine.Closed() {
+		t.Fatal("evicted machine was not closed")
+	}
+	if s.RetainedImages() == 0 {
+		t.Fatal("eviction retained no snapshot")
+	}
+
+	// alice returns: her state must still be there, from a warm restore.
+	rr := postRunRetry(t, ts.URL, RunRequest{Tenant: "alice", Script: readNoteScript(0)})
+	if rr.ExitStatus != 0 || rr.Console != "done-0" {
+		t.Fatalf("alice lost her file across eviction: %+v", rr)
+	}
+	if warm := s.met.restoresWarm.Load(); warm != 1 {
+		t.Fatalf("warm restores = %d, want 1", warm)
+	}
+
+	// The restore kinds are visible on the wire.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(body)
+	text := string(body[:n])
+	if !strings.Contains(text, `shilld_restores_total{kind="warm"} 1`) {
+		t.Fatalf("/metrics missing warm restore count:\n%s", text)
+	}
+	if !strings.Contains(text, `shilld_restores_total{kind="cold"}`) {
+		t.Fatalf("/metrics missing cold restore count:\n%s", text)
+	}
+}
+
+// TestChurnUnderLoadNoLostTenantFiles is the regression test for
+// snapshot-on-evict: twice as many tenants as machine slots, hammered
+// concurrently so tenants are evicted and readmitted continuously, and
+// at the end every file every tenant ever wrote must still exist on
+// that tenant's machine.
+func TestChurnUnderLoadNoLostTenantFiles(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.MaxMachines = 2 })
+
+	const rounds = 6
+	tenants := []string{"t0", "t1", "t2", "t3"}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker alternates between two tenants, so every
+			// switch on a 2-slot registry evicts somebody.
+			mine := tenants[2*w : 2*w+2]
+			for k := 0; k < rounds; k++ {
+				for _, tenant := range mine {
+					rr := postRunRetry(t, ts.URL, RunRequest{Tenant: tenant, Script: writeNoteScript(k)})
+					if rr.ExitStatus != 0 {
+						t.Errorf("tenant %s round %d failed: %+v", tenant, k, rr)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every tenant must still hold every file it ever wrote.
+	for _, tenant := range tenants {
+		for k := 0; k < rounds; k++ {
+			rr := postRunRetry(t, ts.URL, RunRequest{Tenant: tenant, Script: readNoteScript(k)})
+			if rr.ExitStatus != 0 || rr.Console != fmt.Sprintf("done-%d", k) {
+				t.Fatalf("tenant %s lost r%d.txt across churn: %+v", tenant, k, rr)
+			}
+		}
+	}
+	if warm := s.met.restoresWarm.Load(); warm == 0 {
+		t.Fatal("churn produced no warm restores — the test exercised nothing")
+	}
+	if evictions := s.met.evictions.Load(); evictions == 0 {
+		t.Fatal("churn produced no evictions — the test exercised nothing")
+	}
+	t.Logf("churn: %d evictions, %d warm restores, %d cold boots, %d retained images",
+		s.met.evictions.Load(), s.met.restoresWarm.Load(), s.met.restoresCold.Load(), s.RetainedImages())
+}
+
+// TestGoldenImageBootsTenants proves Config.GoldenImage is used for
+// brand-new tenants: every boot is a restore (counted cold), the staged
+// workload comes from the image, and tenant writes stay isolated.
+func TestGoldenImageBootsTenants(t *testing.T) {
+	golden, err := shill.NewMachine(shill.WithWorkload(shill.WorkloadDemo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := golden.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Close()
+
+	s := New(Config{
+		GoldenImage: img,
+		MachineOptions: func(string) []shill.Option {
+			return []shill.Option{shill.WithWorkload(shill.WorkloadDemo)}
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	for _, tenant := range []string{"alice", "bob"} {
+		rr := postRunRetry(t, ts.URL, RunRequest{Tenant: tenant, Script: `#lang shill/ambient
+
+append(stdout, read(open_file("/home/user/Documents/dog.jpg")));
+`})
+		if rr.ExitStatus != 0 || rr.Console != "JFIFdog" {
+			t.Fatalf("tenant %s did not boot from the golden image: %+v", tenant, rr)
+		}
+	}
+	if cold := s.met.restoresCold.Load(); cold != 2 {
+		t.Fatalf("cold restores = %d, want 2 (one per tenant, both from the golden image)", cold)
+	}
+	// Both tenants share the golden image's flattened base: the second
+	// boot must have hit the image cache.
+	stats := s.MachineStats()
+	hits := uint64(0)
+	for _, st := range stats {
+		hits += st.ImageCacheHits
+	}
+	if hits == 0 {
+		t.Fatal("no tenant machine hit the flattened-image cache")
+	}
+}

@@ -107,7 +107,11 @@ type Recorder struct {
 	ids     atomic.Uint64 // allocator for trace and span IDs
 	seq     atomic.Uint64 // monotone emission sequence
 	cursor  atomic.Uint64
-	slots   []atomic.Pointer[Span]
+	size    int
+	// ring is allocated on first emit, not at construction: machine
+	// boot — especially image restore, which is held to microseconds —
+	// must not pay for zeroing a 64KB span ring it may never use.
+	ring atomic.Pointer[[]atomic.Pointer[Span]]
 }
 
 // NewRecorder returns an enabled recorder with the given ring size
@@ -116,9 +120,22 @@ func NewRecorder(size int) *Recorder {
 	if size <= 0 {
 		size = DefaultRingSize
 	}
-	r := &Recorder{slots: make([]atomic.Pointer[Span], size)}
+	r := &Recorder{size: size}
 	r.enabled.Store(true)
 	return r
+}
+
+// slots returns the span ring, allocating it on first use. A losing
+// racer's allocation is discarded; both see the published ring.
+func (r *Recorder) slots() []atomic.Pointer[Span] {
+	if p := r.ring.Load(); p != nil {
+		return *p
+	}
+	fresh := make([]atomic.Pointer[Span], r.size)
+	if r.ring.CompareAndSwap(nil, &fresh) {
+		return fresh
+	}
+	return *r.ring.Load()
 }
 
 // Enabled reports whether the recorder accepts spans. Nil-safe.
@@ -144,7 +161,8 @@ func (r *Recorder) Seq() uint64 {
 func (r *Recorder) emit(s *Span) {
 	s.Seq = r.seq.Add(1)
 	slot := r.cursor.Add(1) - 1
-	r.slots[slot%uint64(len(r.slots))].Store(s)
+	ring := r.slots()
+	ring[slot%uint64(len(ring))].Store(s)
 }
 
 // Since returns every span still in the ring with Seq > since, in
@@ -154,8 +172,12 @@ func (r *Recorder) Since(since uint64) []Span {
 		return nil
 	}
 	var out []Span
-	for i := range r.slots {
-		if p := r.slots[i].Load(); p != nil && p.Seq > since {
+	ring := r.ring.Load()
+	if ring == nil {
+		return nil
+	}
+	for i := range *ring {
+		if p := (*ring)[i].Load(); p != nil && p.Seq > since {
 			out = append(out, *p)
 		}
 	}
@@ -170,8 +192,12 @@ func (r *Recorder) TraceSpans(traceID uint64) []Span {
 		return nil
 	}
 	var out []Span
-	for i := range r.slots {
-		if p := r.slots[i].Load(); p != nil && p.Trace == traceID {
+	ring := r.ring.Load()
+	if ring == nil {
+		return nil
+	}
+	for i := range *ring {
+		if p := (*ring)[i].Load(); p != nil && p.Trace == traceID {
 			out = append(out, *p)
 		}
 	}

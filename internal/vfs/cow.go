@@ -1,0 +1,448 @@
+package vfs
+
+import "time"
+
+// This file holds the copy-on-write machinery layered over the plain
+// in-memory filesystem:
+//
+//   - NewFromLayer boots an FS whose namespace is backed by an immutable
+//     flattened Layer. Base entries are materialized into vnodes lazily
+//     on first lookup; file data aliases the layer's bytes until first
+//     mutation (copy-on-write), so many machines share one base image.
+//   - Whiteouts: removing or renaming away a base-backed name records a
+//     whiteout on the parent directory so the base entry stays hidden
+//     and so a later capture can replay the deletion.
+//   - Dirty tracking: every vnode that diverges from the base is added
+//     to fs.modified, making CaptureLayer O(changed entries) instead of
+//     O(tree).
+//   - Change windows: a refcounted journal of touched paths that lets
+//     the escape-detection oracle diff a run in O(paths it touched).
+//     When no window is open the journal costs one atomic load per
+//     mutation.
+
+// NewFromLayer returns a filesystem backed by the flattened base layer.
+// The layer must be the result of FlattenLayers (or a single built
+// layer) and must never be mutated afterwards; its entries are shared
+// copy-on-write by every filesystem booted from it. Character-device
+// entries are ignored — devices hold live Go state and are rewired by
+// the restoring kernel.
+func NewFromLayer(base *Layer) *FS {
+	fs := &FS{}
+	fs.clock.Store(time.Now)
+	fs.modified = make(map[*Vnode]struct{})
+	fs.base = base
+	root := fs.newVnode(TypeDir, 0o755, 0, 0)
+	if e := base.Entry("/"); e != nil && !e.Whiteout {
+		root.mode = e.Mode & 0o7777
+		root.uid, root.gid = e.UID, e.GID
+	}
+	root.basePath = "/"
+	root.nlink = 2 + base.dirChildDirs("/")
+	root.parent = root
+	root.name = "/"
+	fs.root = root
+	return fs
+}
+
+// BaseLayer returns the flattened base layer this filesystem was booted
+// from, or nil for a cold filesystem.
+func (fs *FS) BaseLayer() *Layer { return fs.base }
+
+// baseEntryLocked returns the visible base entry for name within dir and
+// the base path it lives at, or nil. Caller holds fs.mu (read or write).
+func (fs *FS) baseEntryLocked(dir *Vnode, name string) (*LayerEntry, string) {
+	if fs.base == nil || dir.basePath == "" {
+		return nil, ""
+	}
+	if _, whited := dir.wh[name]; whited {
+		return nil, ""
+	}
+	path := joinPath(dir.basePath, name)
+	e := fs.base.Entry(path)
+	if e == nil || e.Whiteout || e.Type == TypeCharDev {
+		return nil, ""
+	}
+	return e, path
+}
+
+// childLocked resolves name within dir, materializing a base entry into
+// a vnode if needed. Caller holds fs.mu for writing.
+func (fs *FS) childLocked(dir *Vnode, name string) (*Vnode, bool) {
+	if c, ok := dir.children[name]; ok {
+		return c, true
+	}
+	e, bpath := fs.baseEntryLocked(dir, name)
+	if e == nil {
+		return nil, false
+	}
+	return fs.materializeLocked(dir, name, e, bpath), true
+}
+
+// materializeLocked turns a base entry into a live vnode under dir.
+// Materialization is not a modification: the vnode is not added to the
+// dirty set, and file data aliases the layer bytes until first write.
+// Caller holds fs.mu for writing.
+func (fs *FS) materializeLocked(dir *Vnode, name string, e *LayerEntry, bpath string) *Vnode {
+	v := fs.newVnode(e.Type, e.Mode, e.UID, e.GID)
+	v.basePath = bpath
+	switch e.Type {
+	case TypeDir:
+		v.nlink = 2 + fs.base.dirChildDirs(bpath)
+	case TypeFile, TypeSymlink:
+		v.data = e.Data
+		v.cowData = true
+	}
+	dir.children[name] = v
+	v.parent = dir
+	v.name = name
+	return v
+}
+
+// visibleBaseNamesLocked returns base child names of dir that are not
+// whited out and not already materialized. Caller holds fs.mu.
+func (fs *FS) visibleBaseNamesLocked(dir *Vnode) []string {
+	if fs.base == nil || dir.basePath == "" {
+		return nil
+	}
+	var names []string
+	for _, name := range fs.base.ChildNames(dir.basePath) {
+		if _, whited := dir.wh[name]; whited {
+			continue
+		}
+		if _, ok := dir.children[name]; ok {
+			continue
+		}
+		if e := fs.base.Entry(joinPath(dir.basePath, name)); e == nil || e.Whiteout || e.Type == TypeCharDev {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
+// dirEmptyLocked reports whether dir has no visible entries, counting
+// unmaterialized base children. Caller holds fs.mu.
+func (fs *FS) dirEmptyLocked(dir *Vnode) bool {
+	if len(dir.children) > 0 {
+		return false
+	}
+	return len(fs.visibleBaseNamesLocked(dir)) == 0
+}
+
+// installLocked places v at dir/name, clearing any whiteout covering the
+// name. A vnode installed over a whiteout is marked opaque so that a
+// captured layer hides the base subtree the whiteout was deleting.
+// Caller holds fs.mu for writing.
+func (fs *FS) installLocked(dir *Vnode, name string, v *Vnode) {
+	if _, whited := dir.wh[name]; whited {
+		delete(dir.wh, name)
+		v.opaque = true
+	}
+	dir.children[name] = v
+}
+
+// removeNameLocked removes dir/name from the namespace, recording a
+// whiteout when the base image still has a visible entry at that name.
+// Caller holds fs.mu for writing.
+func (fs *FS) removeNameLocked(dir *Vnode, name string) {
+	delete(dir.children, name)
+	if fs.base == nil || dir.basePath == "" {
+		return
+	}
+	if e := fs.base.Entry(joinPath(dir.basePath, name)); e != nil && !e.Whiteout {
+		if dir.wh == nil {
+			dir.wh = make(map[string]struct{})
+		}
+		dir.wh[name] = struct{}{}
+		fs.noteVnode(dir)
+	}
+}
+
+// noteVnode records v as diverged from the base image. Safe under any
+// lock context except fs.modMu itself.
+func (fs *FS) noteVnode(v *Vnode) {
+	if fs.base == nil || v == nil || v.noted.Load() {
+		return
+	}
+	fs.modMu.Lock()
+	if !v.noted.Load() {
+		v.noted.Store(true)
+		fs.modified[v] = struct{}{}
+	}
+	fs.modMu.Unlock()
+}
+
+// noteMutate is the data-path dirty hook, called by vnode mutators
+// before they take the vnode's data lock. When the filesystem has no
+// base and no change window is open it costs two atomic loads.
+func (fs *FS) noteMutate(v *Vnode) {
+	needDirty := fs.base != nil && !v.noted.Load()
+	needJournal := fs.jwin.Load() > 0
+	if !needDirty && !needJournal {
+		return
+	}
+	if needDirty {
+		fs.noteVnode(v)
+	}
+	if needJournal {
+		if path, ok := fs.pathOf(v); ok {
+			fs.journalTouch(v, path)
+		} else {
+			// The vnode's cached path was invalidated (e.g. one hard
+			// link of several was unlinked) but a descriptor still
+			// writes to it: journal the last-known path so the window
+			// does not silently miss the mutation.
+			fs.journalTouchFallback(v)
+		}
+	}
+}
+
+// journalTouchFallback journals v's last-journaled path when its
+// current path cannot be resolved.
+func (fs *FS) journalTouchFallback(v *Vnode) {
+	if fs.jwin.Load() == 0 {
+		return
+	}
+	fs.jmu.Lock()
+	defer fs.jmu.Unlock()
+	if len(fs.jopen) == 0 || v.jpath == "" || v.jpos >= fs.jnewest {
+		return
+	}
+	v.jpos = fs.jbase + uint64(len(fs.journal))
+	fs.journal = append(fs.journal, v.jpath)
+}
+
+// --- change windows -------------------------------------------------
+
+// ChangeWindow observes every path touched by filesystem mutations
+// between OpenChangeWindow and Close. Windows are independent: several
+// checkers can watch one filesystem concurrently, and the shared
+// journal is truncated when the last window closes.
+type ChangeWindow struct {
+	fs     *FS
+	start  uint64
+	closed bool
+}
+
+// OpenChangeWindow starts observing mutations.
+func (fs *FS) OpenChangeWindow() *ChangeWindow {
+	fs.jmu.Lock()
+	defer fs.jmu.Unlock()
+	w := &ChangeWindow{fs: fs, start: fs.jbase + uint64(len(fs.journal))}
+	fs.jopen = append(fs.jopen, w)
+	fs.jwin.Store(int32(len(fs.jopen)))
+	if w.start > fs.jnewest {
+		fs.jnewest = w.start
+	}
+	return w
+}
+
+// Touched returns the unique paths mutated since the window opened, in
+// first-touch order. The window stays open.
+func (w *ChangeWindow) Touched() []string {
+	w.fs.jmu.Lock()
+	defer w.fs.jmu.Unlock()
+	if w.closed {
+		return nil
+	}
+	seen := make(map[string]struct{})
+	var paths []string
+	for _, p := range w.fs.journal[w.start-w.fs.jbase:] {
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+// Close stops observing. When the last window closes the journal is
+// released.
+func (w *ChangeWindow) Close() {
+	w.fs.jmu.Lock()
+	defer w.fs.jmu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	fs := w.fs
+	for i, open := range fs.jopen {
+		if open == w {
+			fs.jopen = append(fs.jopen[:i], fs.jopen[i+1:]...)
+			break
+		}
+	}
+	fs.jwin.Store(int32(len(fs.jopen)))
+	fs.jnewest = 0
+	for _, open := range fs.jopen {
+		if open.start > fs.jnewest {
+			fs.jnewest = open.start
+		}
+	}
+	if len(fs.jopen) == 0 {
+		fs.jbase += uint64(len(fs.journal))
+		fs.journal = nil
+	}
+}
+
+// journalTouch appends path to the journal if any window is open. The
+// per-vnode (jpath, jpos) pair dedups repeated touches of the same path
+// since the newest window opened; pass v == nil to force an append.
+func (fs *FS) journalTouch(v *Vnode, path string) {
+	if fs.jwin.Load() == 0 {
+		return
+	}
+	fs.jmu.Lock()
+	defer fs.jmu.Unlock()
+	if len(fs.jopen) == 0 {
+		return
+	}
+	if v != nil && v.jpath == path && v.jpos >= fs.jnewest {
+		return
+	}
+	pos := fs.jbase + uint64(len(fs.journal))
+	fs.journal = append(fs.journal, path)
+	if v != nil {
+		v.jpath, v.jpos = path, pos
+	}
+}
+
+// journalSubtreeLocked journals every path in the subtree rooted at v,
+// currently addressed by path, including unmaterialized base children.
+// Used for directory renames. Caller holds fs.mu for writing.
+func (fs *FS) journalSubtreeLocked(v *Vnode, path string) {
+	fs.journalTouch(nil, path)
+	if !v.IsDir() {
+		return
+	}
+	for name, c := range v.children {
+		fs.journalSubtreeLocked(c, joinPath(path, name))
+	}
+	for _, name := range fs.visibleBaseNamesLocked(v) {
+		fs.journalBaseSubtree(v.basePath, joinPath(path, name), name)
+	}
+}
+
+// journalBaseSubtree journals unmaterialized base entries under
+// dirBase/name, remapped to live under newPath.
+func (fs *FS) journalBaseSubtree(dirBase, newPath, name string) {
+	bpath := joinPath(dirBase, name)
+	e := fs.base.Entry(bpath)
+	if e == nil || e.Whiteout || e.Type == TypeCharDev {
+		return
+	}
+	fs.journalTouch(nil, newPath)
+	if e.Type != TypeDir {
+		return
+	}
+	for _, child := range fs.base.ChildNames(bpath) {
+		fs.journalBaseSubtree(bpath, joinPath(newPath, child), child)
+	}
+}
+
+// --- capture ---------------------------------------------------------
+
+// CaptureLayer serializes the filesystem's divergence from its base
+// image into a new immutable layer. For a cold filesystem (no base) the
+// whole tree is captured. Character devices are skipped — they hold
+// live Go state and are rewired at restore. Hard links are materialized
+// as independent copies. The caller must guarantee the filesystem is
+// quiescent (the machine layer quiesces all sessions first).
+func (fs *FS) CaptureLayer() *Layer {
+	lb := NewLayerBuilder()
+	if fs.base == nil {
+		fs.Walk(fs.root, func(path string, v *Vnode) {
+			fs.captureVnode(lb, path, v, false)
+		})
+		return lb.Build()
+	}
+	fs.modMu.Lock()
+	mods := make([]*Vnode, 0, len(fs.modified))
+	for v := range fs.modified {
+		mods = append(mods, v)
+	}
+	fs.modMu.Unlock()
+	for _, v := range mods {
+		path, ok := fs.pathOf(v)
+		if !ok {
+			continue // unlinked since modification; unreachable content
+		}
+		if v.typ == TypeCharDev {
+			continue
+		}
+		fs.mu.RLock()
+		bpath := v.basePath
+		relist := v.relist
+		whNames := make([]string, 0, len(v.wh))
+		for name := range v.wh {
+			whNames = append(whNames, name)
+		}
+		var relisted map[string]*Vnode
+		if relist && v.IsDir() {
+			relisted = make(map[string]*Vnode, len(v.children))
+			for name, c := range v.children {
+				if !c.IsDir() {
+					relisted[name] = c
+				}
+			}
+		}
+		fs.mu.RUnlock()
+		if v.IsDir() && bpath != "" && bpath != path {
+			// A base-backed directory living at a new path: its
+			// unmaterialized children exist nowhere in upper layers, so
+			// emit the full subtree, opaque, at the new location. The
+			// old location is hidden by the whiteout its rename left
+			// behind.
+			fs.Walk(v, func(p string, c *Vnode) {
+				fs.captureVnode(lb, p, c, true)
+			})
+			continue
+		}
+		fs.captureVnode(lb, path, v, false)
+		if v.IsDir() && bpath == path {
+			for _, name := range whNames {
+				lb.AddWhiteout(joinPath(path, name))
+			}
+		}
+		// A dir that gained hard links re-emits its non-dir children:
+		// a linked file's cached path may point at another parent, so
+		// per-vnode emission alone would drop the alias.
+		for name, c := range relisted {
+			fs.captureVnode(lb, joinPath(path, name), c, false)
+		}
+	}
+	return lb.Build()
+}
+
+// captureVnode adds one vnode's entry to the builder. Walk-based
+// captures pass forceOpaque for relocated base subtrees.
+func (fs *FS) captureVnode(lb *LayerBuilder, path string, v *Vnode, forceOpaque bool) {
+	if v.typ == TypeCharDev {
+		return
+	}
+	fs.mu.RLock()
+	opaque := v.opaque
+	fs.mu.RUnlock()
+	v.dmu.RLock()
+	e := LayerEntry{
+		Type:   v.typ,
+		Mode:   v.mode,
+		UID:    v.uid,
+		GID:    v.gid,
+		Opaque: opaque || (forceOpaque && v.typ == TypeDir),
+	}
+	if v.typ == TypeFile || v.typ == TypeSymlink {
+		e.Data = append([]byte(nil), v.data...)
+	}
+	v.dmu.RUnlock()
+	lb.Add(path, e)
+}
+
+// ModifiedCount returns the number of vnodes diverged from the base
+// (diagnostics and tests).
+func (fs *FS) ModifiedCount() int {
+	fs.modMu.Lock()
+	defer fs.modMu.Unlock()
+	return len(fs.modified)
+}

@@ -27,6 +27,25 @@ type FS struct {
 	// clock lets deterministic tests pin timestamps; defaults to
 	// time.Now.
 	clock atomic.Value // func() time.Time
+
+	// base is the immutable flattened layer this filesystem was booted
+	// from (nil for a cold filesystem); see cow.go.
+	base *Layer
+
+	// modified is the dirty set: vnodes diverged from base. Guarded by
+	// modMu, which nests inside every other lock.
+	modMu    sync.Mutex
+	modified map[*Vnode]struct{}
+
+	// Change-window journal (see cow.go). jwin mirrors len(jopen) so
+	// the no-window fast path is one atomic load. jbase is the absolute
+	// index of journal[0]; jnewest the largest open-window start.
+	jwin    atomic.Int32
+	jmu     sync.Mutex
+	jopen   []*ChangeWindow
+	journal []string
+	jbase   uint64
+	jnewest uint64
 }
 
 // New returns a filesystem containing only a root directory owned by
@@ -34,6 +53,7 @@ type FS struct {
 func New() *FS {
 	fs := &FS{}
 	fs.clock.Store(time.Now)
+	fs.modified = make(map[*Vnode]struct{})
 	fs.root = fs.newVnode(TypeDir, 0o755, 0, 0)
 	fs.root.children = make(map[string]*Vnode)
 	fs.root.parent = fs.root
@@ -108,14 +128,30 @@ func (fs *FS) Lookup(dir *Vnode, name string) (*Vnode, error) {
 		return nil, errno.EINVAL
 	}
 	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	switch name {
 	case ".":
+		fs.mu.RUnlock()
 		return dir, nil
 	case "..":
-		return dir.parent, nil
+		parent := dir.parent
+		fs.mu.RUnlock()
+		return parent, nil
 	}
-	child, ok := dir.children[name]
+	if child, ok := dir.children[name]; ok {
+		fs.mu.RUnlock()
+		return child, nil
+	}
+	e, _ := fs.baseEntryLocked(dir, name)
+	fs.mu.RUnlock()
+	if e == nil {
+		return nil, errno.ENOENT
+	}
+	// The name resolves into the base image: upgrade to the write lock
+	// and materialize (re-checking, since the namespace may have moved
+	// between the two lock acquisitions).
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	child, ok := fs.childLocked(dir, name)
 	if !ok {
 		return nil, errno.ENOENT
 	}
@@ -166,11 +202,14 @@ func (fs *FS) createNode(dir *Vnode, name string, typ VnodeType, mode uint16, ui
 	if _, exists := dir.children[name]; exists {
 		return nil, errno.EEXIST
 	}
+	if e, _ := fs.baseEntryLocked(dir, name); e != nil {
+		return nil, errno.EEXIST
+	}
 	v := fs.newVnode(typ, mode, uid, gid)
 	if typ == TypeSymlink {
 		v.data = []byte(target)
 	}
-	dir.children[name] = v
+	fs.installLocked(dir, name, v)
 	v.parent = dir
 	v.name = name
 	if typ == TypeDir {
@@ -179,6 +218,12 @@ func (fs *FS) createNode(dir *Vnode, name string, typ VnodeType, mode uint16, ui
 	dir.dmu.Lock()
 	dir.mtime = fs.now()
 	dir.dmu.Unlock()
+	fs.noteVnode(v)
+	if fs.jwin.Load() > 0 {
+		if dpath, ok := fs.pathOfLocked(dir); ok {
+			fs.journalTouch(v, joinPath(dpath, name))
+		}
+	}
 	return v, nil
 }
 
@@ -200,13 +245,29 @@ func (fs *FS) Link(dir *Vnode, name string, file *Vnode) error {
 	if _, exists := dir.children[name]; exists {
 		return errno.EEXIST
 	}
-	dir.children[name] = file
+	if e, _ := fs.baseEntryLocked(dir, name); e != nil {
+		return errno.EEXIST
+	}
+	fs.installLocked(dir, name, file)
 	file.nlink++
 	// The lookup cache records the most recent place the file was
 	// reachable; keep the original parent if still linked there.
 	if file.parent == nil || file.parent.children[file.name] != file {
 		file.parent = dir
 		file.name = name
+	}
+	fs.noteVnode(file)
+	if fs.base != nil {
+		// Capture emits each modified vnode at one cached path; a dir
+		// that gained a hard link re-emits its direct children so the
+		// alias is not lost in a snapshot.
+		dir.relist = true
+		fs.noteVnode(dir)
+	}
+	if fs.jwin.Load() > 0 {
+		if dpath, ok := fs.pathOfLocked(dir); ok {
+			fs.journalTouch(nil, joinPath(dpath, name))
+		}
 	}
 	return nil
 }
@@ -227,7 +288,7 @@ func (fs *FS) Unlink(dir *Vnode, name string, rmdir bool) error {
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	child, ok := dir.children[name]
+	child, ok := fs.childLocked(dir, name)
 	if !ok {
 		return errno.ENOENT
 	}
@@ -235,17 +296,22 @@ func (fs *FS) Unlink(dir *Vnode, name string, rmdir bool) error {
 		if !rmdir {
 			return errno.EISDIR
 		}
-		if len(child.children) > 0 {
+		if !fs.dirEmptyLocked(child) {
 			return errno.ENOTEMPTY
 		}
 		dir.nlink--
 	} else if rmdir {
 		return errno.ENOTDIR
 	}
-	delete(dir.children, name)
+	fs.removeNameLocked(dir, name)
 	child.nlink--
 	if child.parent == dir && child.name == name {
 		child.parent = nil // no longer reachable here; path cache misses
+	}
+	if fs.jwin.Load() > 0 {
+		if dpath, ok := fs.pathOfLocked(dir); ok {
+			fs.journalTouch(nil, joinPath(dpath, name))
+		}
 	}
 	return nil
 }
@@ -263,7 +329,7 @@ func (fs *FS) UnlinkIfSame(dir *Vnode, name string, file *Vnode) error {
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	child, ok := dir.children[name]
+	child, ok := fs.childLocked(dir, name)
 	if !ok {
 		return errno.ENOENT
 	}
@@ -273,10 +339,15 @@ func (fs *FS) UnlinkIfSame(dir *Vnode, name string, file *Vnode) error {
 	if child.IsDir() {
 		return errno.EISDIR
 	}
-	delete(dir.children, name)
+	fs.removeNameLocked(dir, name)
 	child.nlink--
 	if child.parent == dir && child.name == name {
 		child.parent = nil
+	}
+	if fs.jwin.Load() > 0 {
+		if dpath, ok := fs.pathOfLocked(dir); ok {
+			fs.journalTouch(nil, joinPath(dpath, name))
+		}
 	}
 	return nil
 }
@@ -296,7 +367,7 @@ func (fs *FS) Rename(srcDir *Vnode, srcName string, dstDir *Vnode, dstName strin
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	src, ok := srcDir.children[srcName]
+	src, ok := fs.childLocked(srcDir, srcName)
 	if !ok {
 		return errno.ENOENT
 	}
@@ -311,7 +382,7 @@ func (fs *FS) Rename(srcDir *Vnode, srcName string, dstDir *Vnode, dstName strin
 			}
 		}
 	}
-	if dst, exists := dstDir.children[dstName]; exists {
+	if dst, exists := fs.childLocked(dstDir, dstName); exists {
 		if dst == src {
 			return nil
 		}
@@ -319,7 +390,7 @@ func (fs *FS) Rename(srcDir *Vnode, srcName string, dstDir *Vnode, dstName strin
 			if !src.IsDir() {
 				return errno.EISDIR
 			}
-			if len(dst.children) > 0 {
+			if !fs.dirEmptyLocked(dst) {
 				return errno.ENOTEMPTY
 			}
 			dstDir.nlink--
@@ -330,15 +401,28 @@ func (fs *FS) Rename(srcDir *Vnode, srcName string, dstDir *Vnode, dstName strin
 		if dst.parent == dstDir && dst.name == dstName {
 			dst.parent = nil
 		}
+		fs.removeNameLocked(dstDir, dstName)
 	}
-	delete(srcDir.children, srcName)
-	dstDir.children[dstName] = src
+	fs.removeNameLocked(srcDir, srcName)
+	fs.installLocked(dstDir, dstName, src)
 	if src.IsDir() {
 		srcDir.nlink--
 		dstDir.nlink++
 	}
 	src.parent = dstDir
 	src.name = dstName
+	fs.noteVnode(src)
+	if fs.jwin.Load() > 0 {
+		// journalSubtreeLocked builds paths from the given prefix and
+		// the subtree's structure, so it can record both the vacated
+		// and the new locations after the move.
+		if spath, ok := fs.pathOfLocked(srcDir); ok {
+			fs.journalSubtreeLocked(src, joinPath(spath, srcName))
+		}
+		if dpath, ok := fs.pathOfLocked(dstDir); ok {
+			fs.journalSubtreeLocked(src, joinPath(dpath, dstName))
+		}
+	}
 	return nil
 }
 
@@ -354,6 +438,7 @@ func (fs *FS) ReadDir(dir *Vnode) ([]string, error) {
 	for name := range dir.children {
 		names = append(names, name)
 	}
+	names = append(names, fs.visibleBaseNamesLocked(dir)...)
 	sort.Strings(names)
 	return names, nil
 }
@@ -363,8 +448,18 @@ func (fs *FS) ReadDir(dir *Vnode) ([]string, error) {
 // path(2) syscall the SHILL module adds (§3.1.3).
 func (fs *FS) PathOf(v *Vnode) (string, bool) {
 	defer fs.ops.End(trace.OpVFS, fs.ops.Begin(trace.OpVFS))
+	return fs.pathOf(v)
+}
+
+// pathOf is PathOf without op accounting, for internal hooks.
+func (fs *FS) pathOf(v *Vnode) (string, bool) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
+	return fs.pathOfLocked(v)
+}
+
+// pathOfLocked resolves v's cached path. Caller holds fs.mu.
+func (fs *FS) pathOfLocked(v *Vnode) (string, bool) {
 	if v == fs.root {
 		return "/", true
 	}
@@ -491,6 +586,34 @@ func (fs *FS) Walk(dir *Vnode, fn func(path string, v *Vnode)) {
 		return
 	}
 	fs.walk(path, dir, fn)
+}
+
+// WalkPrune visits vnodes under dir in depth-first order. fn returns
+// whether to descend into the vnode's children, letting callers skip
+// whole subtrees instead of filtering a full walk's results.
+func (fs *FS) WalkPrune(dir *Vnode, fn func(path string, v *Vnode) bool) {
+	path, ok := fs.PathOf(dir)
+	if !ok {
+		return
+	}
+	fs.walkPrune(path, dir, fn)
+}
+
+func (fs *FS) walkPrune(path string, v *Vnode, fn func(string, *Vnode) bool) {
+	if !fn(path, v) || !v.IsDir() {
+		return
+	}
+	names, _ := fs.ReadDir(v)
+	prefix := path
+	if prefix != "/" {
+		prefix += "/"
+	}
+	for _, name := range names {
+		child, err := fs.Lookup(v, name)
+		if err == nil {
+			fs.walkPrune(prefix+name, child, fn)
+		}
+	}
 }
 
 func (fs *FS) walk(path string, v *Vnode, fn func(string, *Vnode)) {

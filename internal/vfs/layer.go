@@ -1,0 +1,226 @@
+package vfs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LayerEntry is one path's state inside an immutable filesystem layer.
+// Data is file contents (TypeFile) or the link target (TypeSymlink) and
+// must never be mutated once the layer is built: restored filesystems
+// alias it copy-on-write.
+type LayerEntry struct {
+	Type     VnodeType
+	Mode     uint16
+	UID      int
+	GID      int
+	Data     []byte
+	Whiteout bool // path (and its subtree) is deleted relative to lower layers
+	Opaque   bool // entry fully replaces the lower entry, hiding its subtree
+}
+
+// Layer is an immutable set of absolute-path → entry mappings, the unit
+// of sharing between machine images. Layers stack overlay-style: a
+// flattened view applies each layer bottom to top, with whiteout entries
+// deleting lower paths and opaque entries hiding lower subtrees before
+// re-adding their own content.
+type Layer struct {
+	entries  map[string]*LayerEntry
+	kids     map[string][]string // dir path → sorted child names
+	hashOnce sync.Once
+	hash     string
+}
+
+// Len returns the number of entries (including whiteouts).
+func (l *Layer) Len() int { return len(l.entries) }
+
+// Entry returns the entry at path, or nil. Whiteout entries are
+// returned too; callers that want only visible content must check
+// e.Whiteout.
+func (l *Layer) Entry(path string) *LayerEntry { return l.entries[path] }
+
+// ChildNames returns the sorted child names recorded under the
+// directory path. The slice is owned by the layer; do not mutate it.
+func (l *Layer) ChildNames(path string) []string { return l.kids[path] }
+
+// Paths returns every entry path in sorted order.
+func (l *Layer) Paths() []string {
+	paths := make([]string, 0, len(l.entries))
+	for p := range l.entries {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// dirChildDirs counts the visible directory entries directly under path,
+// used to seed nlink when a base directory is materialized.
+func (l *Layer) dirChildDirs(path string) int {
+	n := 0
+	for _, name := range l.kids[path] {
+		if e := l.entries[joinPath(path, name)]; e != nil && !e.Whiteout && e.Type == TypeDir {
+			n++
+		}
+	}
+	return n
+}
+
+// Hash returns a stable content hash of the layer, computed lazily.
+func (l *Layer) Hash() string {
+	l.hashOnce.Do(func() {
+		h := sha256.New()
+		var num [8]byte
+		writeStr := func(s string) {
+			binary.LittleEndian.PutUint64(num[:], uint64(len(s)))
+			h.Write(num[:])
+			h.Write([]byte(s))
+		}
+		for _, path := range l.Paths() {
+			e := l.entries[path]
+			writeStr(path)
+			binary.LittleEndian.PutUint64(num[:], uint64(e.Type))
+			h.Write(num[:])
+			binary.LittleEndian.PutUint64(num[:], uint64(e.Mode))
+			h.Write(num[:])
+			binary.LittleEndian.PutUint64(num[:], uint64(e.UID))
+			h.Write(num[:])
+			binary.LittleEndian.PutUint64(num[:], uint64(e.GID))
+			h.Write(num[:])
+			flags := uint64(0)
+			if e.Whiteout {
+				flags |= 1
+			}
+			if e.Opaque {
+				flags |= 2
+			}
+			binary.LittleEndian.PutUint64(num[:], flags)
+			h.Write(num[:])
+			binary.LittleEndian.PutUint64(num[:], uint64(len(e.Data)))
+			h.Write(num[:])
+			h.Write(e.Data)
+		}
+		l.hash = hex.EncodeToString(h.Sum(nil))
+	})
+	return l.hash
+}
+
+// LayerBuilder accumulates entries for an immutable Layer.
+type LayerBuilder struct {
+	entries map[string]*LayerEntry
+}
+
+// NewLayerBuilder returns an empty builder.
+func NewLayerBuilder() *LayerBuilder {
+	return &LayerBuilder{entries: make(map[string]*LayerEntry)}
+}
+
+// Add records an entry at the cleaned absolute path, replacing any
+// earlier entry (including whiteouts) at that path.
+func (b *LayerBuilder) Add(path string, e LayerEntry) {
+	b.entries[cleanPath(path)] = &e
+}
+
+// AddWhiteout records the deletion of path relative to lower layers.
+// It does not override a real entry already recorded at path.
+func (b *LayerBuilder) AddWhiteout(path string) {
+	path = cleanPath(path)
+	if _, ok := b.entries[path]; ok {
+		return
+	}
+	b.entries[path] = &LayerEntry{Whiteout: true}
+}
+
+// Len returns the number of entries recorded so far.
+func (b *LayerBuilder) Len() int { return len(b.entries) }
+
+// Build seals the builder into an immutable Layer. The builder must not
+// be reused afterwards.
+func (b *LayerBuilder) Build() *Layer {
+	l := &Layer{entries: b.entries}
+	l.kids = childIndex(b.entries)
+	b.entries = nil
+	return l
+}
+
+func childIndex(entries map[string]*LayerEntry) map[string][]string {
+	kids := make(map[string][]string)
+	for path, e := range entries {
+		if e.Whiteout || path == "/" {
+			continue
+		}
+		dir, name := splitPath(path)
+		kids[dir] = append(kids[dir], name)
+	}
+	for dir := range kids {
+		sort.Strings(kids[dir])
+	}
+	return kids
+}
+
+// FlattenLayers merges a bottom-to-top stack into one layer: whiteouts
+// and opaque entries delete the lower subtree at their path, then the
+// layer's own content is applied. Entry values are shared with the
+// input layers, never copied.
+func FlattenLayers(layers []*Layer) *Layer {
+	merged := make(map[string]*LayerEntry)
+	for _, l := range layers {
+		var prefixes []string
+		for path, e := range l.entries {
+			if e.Whiteout || e.Opaque {
+				prefixes = append(prefixes, path)
+			}
+		}
+		if len(prefixes) > 0 {
+			for path := range merged {
+				for _, p := range prefixes {
+					if path == p || strings.HasPrefix(path, withSlash(p)) {
+						delete(merged, path)
+						break
+					}
+				}
+			}
+		}
+		for path, e := range l.entries {
+			if !e.Whiteout {
+				merged[path] = e
+			}
+		}
+	}
+	fl := &Layer{entries: merged}
+	fl.kids = childIndex(merged)
+	return fl
+}
+
+func withSlash(p string) string {
+	if p == "/" {
+		return "/"
+	}
+	return p + "/"
+}
+
+func joinPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+func cleanPath(path string) string {
+	if path == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	if len(path) > 1 {
+		path = strings.TrimRight(path, "/")
+		if path == "" {
+			path = "/"
+		}
+	}
+	return path
+}

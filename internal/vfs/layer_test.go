@@ -1,0 +1,372 @@
+package vfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// buildBase returns a flattened base layer with a small tree:
+//
+//	/bin/sh, /etc/passwd, /home/user/, /course/s1/sub.txt, /course/s2/sub.txt
+func buildBase(t *testing.T) *Layer {
+	t.Helper()
+	fs := New()
+	mustWrite := func(path, data string) {
+		if _, err := fs.WriteFile(path, []byte(data), 0o644, 0, 0); err != nil {
+			t.Fatalf("WriteFile %s: %v", path, err)
+		}
+	}
+	mustWrite("/bin/sh", "#!bin:sh\n")
+	mustWrite("/etc/passwd", "root:0\nuser:1001\n")
+	mustWrite("/course/s1/sub.txt", "submission one")
+	mustWrite("/course/s2/sub.txt", "submission two")
+	if _, err := fs.MkdirAll("/home/user", 0o755, 1001, 1001); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	if _, err := fs.Symlink(fs.MustResolve("/etc"), "motd", "/etc/passwd", 0, 0); err != nil {
+		t.Fatalf("Symlink: %v", err)
+	}
+	return fs.CaptureLayer()
+}
+
+func readFile(t *testing.T, fs *FS, path string) string {
+	t.Helper()
+	v, err := fs.Resolve(path)
+	if err != nil {
+		t.Fatalf("Resolve %s: %v", path, err)
+	}
+	return string(v.Bytes())
+}
+
+func TestLayerRoundTrip(t *testing.T) {
+	base := buildBase(t)
+	fs := NewFromLayer(base)
+	if got := readFile(t, fs, "/course/s1/sub.txt"); got != "submission one" {
+		t.Fatalf("s1 content = %q", got)
+	}
+	names, err := fs.ReadDir(fs.MustResolve("/course"))
+	if err != nil || len(names) != 2 || names[0] != "s1" || names[1] != "s2" {
+		t.Fatalf("ReadDir /course = %v, %v", names, err)
+	}
+	link := fs.MustResolve("/etc/motd")
+	if target, _ := link.Readlink(); target != "/etc/passwd" {
+		t.Fatalf("symlink target = %q", target)
+	}
+	// Unmodified derived filesystems capture an empty layer.
+	if top := fs.CaptureLayer(); top.Len() != 0 {
+		t.Fatalf("clean capture has %d entries: %v", top.Len(), top.Paths())
+	}
+}
+
+func TestCoWIsolation(t *testing.T) {
+	base := buildBase(t)
+	a, b := NewFromLayer(base), NewFromLayer(base)
+
+	va := a.MustResolve("/course/s1/sub.txt")
+	if _, err := va.WriteAt([]byte("HACKED"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if got := readFile(t, b, "/course/s1/sub.txt"); got != "submission one" {
+		t.Fatalf("sibling sees write: %q", got)
+	}
+	if got := string(base.Entry("/course/s1/sub.txt").Data); got != "submission one" {
+		t.Fatalf("base layer mutated: %q", got)
+	}
+
+	// Append must also break the alias: an append into a shared backing
+	// array would corrupt every sibling machine.
+	vb := b.MustResolve("/etc/passwd")
+	if _, err := vb.Append([]byte("evil:666\n")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if got := readFile(t, a, "/etc/passwd"); got != "root:0\nuser:1001\n" {
+		t.Fatalf("sibling sees append: %q", got)
+	}
+	if err := a.MustResolve("/course/s2/sub.txt").Truncate(3); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if got := readFile(t, b, "/course/s2/sub.txt"); got != "submission two" {
+		t.Fatalf("sibling sees truncate: %q", got)
+	}
+}
+
+func TestWhiteoutUnlink(t *testing.T) {
+	base := buildBase(t)
+	fs := NewFromLayer(base)
+	etc := fs.MustResolve("/etc")
+	if err := fs.Unlink(etc, "passwd", false); err != nil {
+		t.Fatalf("Unlink: %v", err)
+	}
+	if _, err := fs.Resolve("/etc/passwd"); err == nil {
+		t.Fatal("unlinked base file still resolves")
+	}
+	if names, _ := fs.ReadDir(etc); len(names) != 1 || names[0] != "motd" {
+		t.Fatalf("ReadDir /etc = %v", names)
+	}
+	// Recreating over the whiteout works and hides nothing afterwards.
+	if _, err := fs.Create(etc, "passwd", 0o600, 0, 0); err != nil {
+		t.Fatalf("Create over whiteout: %v", err)
+	}
+	if got := readFile(t, fs, "/etc/passwd"); got != "" {
+		t.Fatalf("recreated file has stale content %q", got)
+	}
+
+	// The captured layer must carry the deletion: a fresh boot from the
+	// stacked image sees the new empty file, not the base content.
+	top := fs.CaptureLayer()
+	fs2 := NewFromLayer(FlattenLayers([]*Layer{base, top}))
+	if got := readFile(t, fs2, "/etc/passwd"); got != "" {
+		t.Fatalf("restored sees base content %q", got)
+	}
+}
+
+func TestWhiteoutRenameAcrossLayers(t *testing.T) {
+	base := buildBase(t)
+	fs := NewFromLayer(base)
+	root := fs.Root()
+	// Rename a base-backed directory whose children were never
+	// materialized; the capture must relocate the whole subtree.
+	if err := fs.Rename(root, "course", root, "archive"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, err := fs.Resolve("/course"); err == nil {
+		t.Fatal("/course still resolves after rename")
+	}
+	if got := readFile(t, fs, "/archive/s1/sub.txt"); got != "submission one" {
+		t.Fatalf("renamed subtree content = %q", got)
+	}
+	top := fs.CaptureLayer()
+	fs2 := NewFromLayer(FlattenLayers([]*Layer{base, top}))
+	if _, err := fs2.Resolve("/course"); err == nil {
+		t.Fatal("restored still has /course")
+	}
+	if got := readFile(t, fs2, "/archive/s2/sub.txt"); got != "submission two" {
+		t.Fatalf("restored renamed subtree = %q", got)
+	}
+}
+
+func TestRmdirRecreateStaysOpaque(t *testing.T) {
+	base := buildBase(t)
+	fs := NewFromLayer(base)
+	s1 := fs.MustResolve("/course/s1")
+	if err := fs.Unlink(s1, "sub.txt", false); err != nil {
+		t.Fatalf("Unlink child: %v", err)
+	}
+	course := fs.MustResolve("/course")
+	if err := fs.Unlink(course, "s1", true); err != nil {
+		t.Fatalf("rmdir s1: %v", err)
+	}
+	if _, err := fs.Mkdir(course, "s1", 0o755, 0, 0); err != nil {
+		t.Fatalf("recreate s1: %v", err)
+	}
+	if names, _ := fs.ReadDir(fs.MustResolve("/course/s1")); len(names) != 0 {
+		t.Fatalf("recreated dir resurrects children: %v", names)
+	}
+	top := fs.CaptureLayer()
+	fs2 := NewFromLayer(FlattenLayers([]*Layer{base, top}))
+	if _, err := fs2.Resolve("/course/s1/sub.txt"); err == nil {
+		t.Fatal("restored resurrects deleted child through recreated dir")
+	}
+}
+
+func TestRmdirBaseBackedNonEmpty(t *testing.T) {
+	base := buildBase(t)
+	fs := NewFromLayer(base)
+	course := fs.MustResolve("/course")
+	// s1 has an unmaterialized base child, so rmdir must refuse.
+	if err := fs.Unlink(course, "s1", true); err == nil {
+		t.Fatal("rmdir of non-empty base-backed dir succeeded")
+	}
+}
+
+func TestHardLinkAliasSurvivesCapture(t *testing.T) {
+	base := buildBase(t)
+	fs := NewFromLayer(base)
+	home := fs.MustResolve("/home/user")
+	f, err := fs.Create(home, "notes", 0o644, 1001, 1001)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	f.SetBytes([]byte("aliased"))
+	if err := fs.Link(fs.MustResolve("/home"), "alias", f); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	top := fs.CaptureLayer()
+	fs2 := NewFromLayer(FlattenLayers([]*Layer{base, top}))
+	if got := readFile(t, fs2, "/home/user/notes"); got != "aliased" {
+		t.Fatalf("original path = %q", got)
+	}
+	if got := readFile(t, fs2, "/home/alias"); got != "aliased" {
+		t.Fatalf("alias path = %q", got)
+	}
+}
+
+func TestCaptureIsODirty(t *testing.T) {
+	fs := New()
+	for i := 0; i < 200; i++ {
+		if _, err := fs.WriteFile(fmt.Sprintf("/big/f%03d", i), []byte("x"), 0o644, 0, 0); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	base := fs.CaptureLayer()
+	derived := NewFromLayer(base)
+	if _, err := derived.WriteFile("/big/f000", []byte("y"), 0o644, 0, 0); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if n := derived.ModifiedCount(); n > 2 {
+		t.Fatalf("one write dirtied %d vnodes", n)
+	}
+	if top := derived.CaptureLayer(); top.Len() > 2 {
+		t.Fatalf("one write captured %d entries: %v", top.Len(), top.Paths())
+	}
+}
+
+func TestCaptureDeterministic(t *testing.T) {
+	base := buildBase(t)
+	fs := NewFromLayer(base)
+	if _, err := fs.WriteFile("/home/user/a.txt", []byte("hello"), 0o644, 1001, 1001); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	h1 := fs.CaptureLayer().Hash()
+	h2 := fs.CaptureLayer().Hash()
+	if h1 != h2 {
+		t.Fatalf("capture not deterministic: %s vs %s", h1, h2)
+	}
+}
+
+func TestChangeWindow(t *testing.T) {
+	base := buildBase(t)
+	fs := NewFromLayer(base)
+
+	w1 := fs.OpenChangeWindow()
+	if _, err := fs.WriteFile("/home/user/w1.txt", []byte("1"), 0o644, 0, 0); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	w2 := fs.OpenChangeWindow()
+	if _, err := fs.WriteFile("/home/user/w2.txt", []byte("2"), 0o644, 0, 0); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	has := func(paths []string, want string) bool {
+		for _, p := range paths {
+			if p == want {
+				return true
+			}
+		}
+		return false
+	}
+	t1 := w1.Touched()
+	if !has(t1, "/home/user/w1.txt") || !has(t1, "/home/user/w2.txt") {
+		t.Fatalf("w1 touched = %v", t1)
+	}
+	t2 := w2.Touched()
+	if has(t2, "/home/user/w1.txt") || !has(t2, "/home/user/w2.txt") {
+		t.Fatalf("w2 touched = %v", t2)
+	}
+	w1.Close()
+	w2.Close()
+
+	// With every window closed the journal is released and mutations
+	// cost only the fast-path check.
+	if _, err := fs.WriteFile("/home/user/after.txt", []byte("3"), 0o644, 0, 0); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	fs.jmu.Lock()
+	jlen := len(fs.journal)
+	fs.jmu.Unlock()
+	if jlen != 0 {
+		t.Fatalf("journal not truncated: %d entries", jlen)
+	}
+
+	// Unlinks and renames of base content are observed too.
+	w3 := fs.OpenChangeWindow()
+	defer w3.Close()
+	if err := fs.Unlink(fs.MustResolve("/etc"), "passwd", false); err != nil {
+		t.Fatalf("Unlink: %v", err)
+	}
+	root := fs.Root()
+	if err := fs.Rename(root, "course", root, "archive"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	t3 := w3.Touched()
+	for _, want := range []string{"/etc/passwd", "/course", "/archive", "/course/s1/sub.txt", "/archive/s1/sub.txt"} {
+		if !has(t3, want) {
+			t.Fatalf("w3 missing %s: %v", want, t3)
+		}
+	}
+}
+
+func TestSharedBaseStress(t *testing.T) {
+	base := buildBase(t)
+	const machines = 8
+	var wg sync.WaitGroup
+	for i := 0; i < machines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fs := NewFromLayer(base)
+			for j := 0; j < 50; j++ {
+				path := fmt.Sprintf("/home/user/f%d.txt", j%5)
+				if _, err := fs.WriteFile(path, []byte(fmt.Sprintf("m%d-%d", id, j)), 0o644, 1001, 1001); err != nil {
+					t.Errorf("machine %d: WriteFile: %v", id, err)
+					return
+				}
+				v := fs.MustResolve("/course/s1/sub.txt")
+				if _, err := v.Append([]byte{byte('a' + id)}); err != nil {
+					t.Errorf("machine %d: Append: %v", id, err)
+					return
+				}
+				if _, err := fs.Resolve("/etc/passwd"); err != nil {
+					t.Errorf("machine %d: Resolve: %v", id, err)
+					return
+				}
+			}
+			want := "submission one"
+			got := readFile(t, fs, "/course/s2/sub.txt")
+			if got != "submission two" {
+				t.Errorf("machine %d: cross-machine corruption: %q", id, got)
+			}
+			if v := fs.MustResolve("/course/s1/sub.txt"); !bytes.HasPrefix(v.Bytes(), []byte(want)) {
+				t.Errorf("machine %d: appended file lost base prefix", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range []string{"/course/s1/sub.txt", "/course/s2/sub.txt"} {
+		if got := string(base.Entry(e).Data); got != "submission one" && got != "submission two" {
+			t.Fatalf("base layer corrupted at %s: %q", e, got)
+		}
+	}
+}
+
+func TestConcurrentWindowsOneFS(t *testing.T) {
+	base := buildBase(t)
+	fs := NewFromLayer(base)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 30; j++ {
+				w := fs.OpenChangeWindow()
+				path := fmt.Sprintf("/home/user/c%d.txt", id)
+				if _, err := fs.WriteFile(path, []byte("x"), 0o644, 0, 0); err != nil {
+					t.Errorf("WriteFile: %v", err)
+				}
+				found := false
+				for _, p := range w.Touched() {
+					if p == path {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("window %d/%d missed own write", id, j)
+				}
+				w.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -10,6 +10,7 @@ package vfs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/errno"
@@ -86,6 +87,26 @@ type Vnode struct {
 	parent   *Vnode            // last-known parent (lookup cache)
 	name     string            // last-known name within parent
 	nlink    int
+
+	// Layering state (see cow.go). basePath is the path this vnode's
+	// content lives at inside fs.base ("" when not base-backed); wh
+	// records whited-out base child names of a directory; opaque marks
+	// a vnode that replaced a base path entirely. All guarded by fs.mu.
+	basePath string
+	wh       map[string]struct{}
+	opaque   bool
+	relist   bool // dir gained a hard link; capture re-emits its children
+
+	// cowData, guarded by dmu, marks file/symlink data that still
+	// aliases an immutable base layer; mutators copy before writing.
+	cowData bool
+
+	// noted flags membership in fs.modified (the dirty set).
+	noted atomic.Bool
+
+	// Journal dedup state, guarded by fs.jmu.
+	jpath string
+	jpos  uint64
 
 	// Metadata, guarded by dmu.
 	dmu   sync.RWMutex
@@ -175,6 +196,15 @@ func (v *Vnode) Accessible(uid, gid int, want uint16) bool {
 	return granted&want == want
 }
 
+// ensureOwnedLocked breaks the copy-on-write alias to a base layer's
+// bytes before any in-place mutation. Caller holds dmu for writing.
+func (v *Vnode) ensureOwnedLocked() {
+	if v.cowData {
+		v.data = append([]byte(nil), v.data...)
+		v.cowData = false
+	}
+}
+
 // ReadAt reads into p starting at offset off, returning the byte count.
 // Reading at or past EOF returns 0 bytes and no error (the kernel layer
 // translates that to EOF as read(2) does).
@@ -205,12 +235,16 @@ func (v *Vnode) WriteAt(p []byte, off int64) (int, error) {
 	if v.typ == TypeCharDev {
 		return v.dev.DevWrite(p)
 	}
+	v.fs.noteMutate(v)
 	v.dmu.Lock()
 	defer v.dmu.Unlock()
 	if need := off + int64(len(p)); need > int64(len(v.data)) {
 		grown := make([]byte, need)
 		copy(grown, v.data)
 		v.data = grown
+		v.cowData = false
+	} else {
+		v.ensureOwnedLocked()
 	}
 	copy(v.data[off:], p)
 	v.mtime = v.fs.now()
@@ -229,8 +263,10 @@ func (v *Vnode) Append(p []byte) (int64, error) {
 		_, err := v.dev.DevWrite(p)
 		return 0, err
 	}
+	v.fs.noteMutate(v)
 	v.dmu.Lock()
 	defer v.dmu.Unlock()
+	v.ensureOwnedLocked()
 	off := int64(len(v.data))
 	v.data = append(v.data, p...)
 	v.mtime = v.fs.now()
@@ -242,8 +278,10 @@ func (v *Vnode) Truncate(size int64) error {
 	if v.typ != TypeFile {
 		return errno.EINVAL
 	}
+	v.fs.noteMutate(v)
 	v.dmu.Lock()
 	defer v.dmu.Unlock()
+	v.ensureOwnedLocked()
 	switch {
 	case size < 0:
 		return errno.EINVAL
@@ -270,10 +308,12 @@ func (v *Vnode) Bytes() []byte {
 // SetBytes replaces the file contents (used when building filesystem
 // images; goes through no access checks).
 func (v *Vnode) SetBytes(p []byte) {
+	v.fs.noteMutate(v)
 	v.dmu.Lock()
 	defer v.dmu.Unlock()
 	v.data = make([]byte, len(p))
 	copy(v.data, p)
+	v.cowData = false
 	v.mtime = v.fs.now()
 }
 
@@ -296,6 +336,7 @@ func (v *Vnode) Mode() uint16 {
 
 // Chmod sets the permission bits.
 func (v *Vnode) Chmod(mode uint16) {
+	v.fs.noteMutate(v)
 	v.dmu.Lock()
 	defer v.dmu.Unlock()
 	v.mode = mode & 0o7777
@@ -304,6 +345,7 @@ func (v *Vnode) Chmod(mode uint16) {
 
 // Chown sets the owner and group.
 func (v *Vnode) Chown(uid, gid int) {
+	v.fs.noteMutate(v)
 	v.dmu.Lock()
 	defer v.dmu.Unlock()
 	v.uid, v.gid = uid, gid

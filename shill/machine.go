@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/image"
 	"repro/internal/kernel"
 	"repro/internal/lang"
 	"repro/internal/prof"
@@ -84,6 +85,7 @@ type config struct {
 	workload      Workload
 	resolver      ScriptResolver
 	engine        Engine
+	baseImage     *image.Image
 }
 
 // Option configures NewMachine.
@@ -151,6 +153,11 @@ type Machine struct {
 	resolver ScriptResolver
 	closed   atomic.Bool
 
+	cfg                    config       // resolved options, recorded into snapshots
+	baseImage              *image.Image // image the machine booted from, if any
+	imageHits, imageMisses atomic.Uint64
+	originUp               atomic.Bool // origin server running (recorded into snapshots)
+
 	engine       Engine
 	compileCache *lang.CompileCache
 	tracer       *trace.Recorder
@@ -170,6 +177,15 @@ func NewMachine(opts ...Option) (*Machine, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.baseImage != nil {
+		// Re-seed from the image's recorded configuration, then
+		// re-apply the explicit options so they override it.
+		seeded := restoreConfig(cfg.baseImage)
+		for _, o := range opts {
+			o(&seeded)
+		}
+		return restoreMachine(seeded)
+	}
 	sys := core.NewSystem(core.Config{
 		InstallModule: cfg.module,
 		ConsoleLimit:  cfg.consoleLimit,
@@ -177,7 +193,7 @@ func NewMachine(opts ...Option) (*Machine, error) {
 		AuditDisabled: cfg.auditDisabled,
 	})
 	m := &Machine{
-		sys: sys, engine: cfg.engine,
+		sys: sys, engine: cfg.engine, cfg: cfg,
 		compileCache: lang.NewCompileCache(),
 		tracer:       trace.NewRecorder(trace.DefaultRingSize),
 	}
@@ -216,6 +232,9 @@ func (m *Machine) Stage(w Workload) error {
 		s.BuildEmacsOrigin(core.DefaultEmacs)
 		stop, err := s.StartOrigin()
 		_ = stop // runs for the machine lifetime
+		if err == nil {
+			m.originUp.Store(true)
+		}
 		return err
 	case WorkloadApache:
 		s.BuildWWW(core.DefaultApache)
@@ -344,7 +363,18 @@ func (m *Machine) AddScript(name, src string) { m.sys.Scripts[name] = src }
 
 // StartOrigin launches the origin web server (serving /srv/origin on
 // port 80) and returns a stop function.
-func (m *Machine) StartOrigin() (stop func(), err error) { return m.sys.StartOrigin() }
+func (m *Machine) StartOrigin() (stop func(), err error) {
+	stop, err = m.sys.StartOrigin()
+	if err == nil {
+		m.originUp.Store(true)
+		inner := stop
+		stop = func() {
+			m.originUp.Store(false)
+			inner()
+		}
+	}
+	return stop, err
+}
 
 // Staging delegations: workload builders remain mechanism in
 // internal/core; these are the supported handles.
@@ -373,18 +403,19 @@ func (m *Machine) BuildSrcTree(w FindWorkload) (total, cFiles, matches int) {
 // capture the machine's observable state before and after a run and
 // diff it against the run's manifest — the no-escape property of §2.3.
 
-// SnapshotFS walks the whole filesystem image and returns a map from
+// SnapshotFS walks the filesystem image and returns a map from
 // absolute path to a stable content fingerprint ("dir", "dev",
 // "link:<target>", or "file:<bytes>"). Paths for which skip returns
-// true are omitted (and, for directories, not descended into at the
-// value level — their subtree entries are individually skipped too). A
-// nil skip snapshots everything.
+// true are omitted, and skipped directories are pruned — the walk does
+// not descend into them, so skip must be subtree-closed (skipping a
+// directory means skipping everything under it). A nil skip snapshots
+// everything.
 func (m *Machine) SnapshotFS(skip func(path string) bool) map[string]string {
 	fs := m.sys.K.FS
 	snap := make(map[string]string, 256)
-	fs.Walk(fs.Root(), func(path string, v *vfs.Vnode) {
+	fs.WalkPrune(fs.Root(), func(path string, v *vfs.Vnode) bool {
 		if skip != nil && skip(path) {
-			return
+			return false
 		}
 		switch {
 		case v.IsDir():
@@ -397,6 +428,7 @@ func (m *Machine) SnapshotFS(skip func(path string) bool) map[string]string {
 		default:
 			snap[path] = "file:" + string(v.Bytes())
 		}
+		return true
 	})
 	return snap
 }

@@ -1,0 +1,321 @@
+package shill_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/shill"
+)
+
+// snapTestScript writes one file into the tenant's home directory — the
+// minimal stand-in for per-tenant state that must survive an
+// evict/restore cycle.
+const snapTestScript = `#lang shill/ambient
+
+home = open_dir("/home/user");
+f = create_file(home, "tenant-note.txt");
+append(f, "remember me");
+`
+
+// TestSnapshotRestoreRoundTrip snapshots a machine with tenant state on
+// top of a staged workload and proves a restored machine sees the same
+// files, scripts, staging, and audit continuity — including across the
+// serialize/deserialize wire format.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m, err := shill.NewMachine(shill.WithWorkload(shill.WorkloadGrading))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s := m.NewSession()
+	if _, err := s.Run(context.Background(), shill.Script{Name: "note.ambient", Source: snapTestScript}); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	s.Close()
+	m.AddScript("tenant_helper.cap", `#lang shill/cap
+
+provide greet : {out : file(+append)} -> void;
+
+greet = fun(out) { append(out, "helper alive\n"); };
+`)
+
+	img, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqAt := m.AuditSeq()
+
+	// Wire round trip: shilld persists evicted tenants as bytes.
+	img2, err := shill.DeserializeImage(img.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img2.ID() != img.ID() {
+		t.Fatalf("wire round trip changed ID: %s vs %s", img2.ID(), img.ID())
+	}
+
+	r, err := shill.RestoreMachine(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.ReadFile("/home/user/tenant-note.txt")
+	if err != nil || got != "remember me" {
+		t.Fatalf("tenant file lost: %q, %v", got, err)
+	}
+	if sub, err := r.ReadFile("/course/submissions/student000/main.ml"); err != nil || sub == "" {
+		t.Fatalf("staged workload lost: %v", err)
+	}
+	if r.AuditSeq() < seqAt {
+		t.Fatalf("audit sequence rewound: %d < %d", r.AuditSeq(), seqAt)
+	}
+
+	// The restored machine must be immediately usable: run the helper
+	// script the tenant installed before the snapshot.
+	rs := r.NewSession()
+	defer rs.Close()
+	res, err := rs.Run(context.Background(), shill.Script{Name: "check.ambient", Source: `#lang shill/ambient
+require "tenant_helper.cap";
+
+greet(stdout);
+append(stdout, read(open_file("/home/user/tenant-note.txt")));
+`})
+	if err != nil {
+		t.Fatalf("run on restored machine: %v", err)
+	}
+	if !strings.Contains(res.Console, "remember me") {
+		t.Fatalf("restored run console: %q", res.Console)
+	}
+}
+
+// TestSnapshotDeterminism proves snapshot→restore→snapshot is a fixed
+// point: the second image is byte-identical to the first (same ID),
+// which is what lets a frontend deduplicate idle tenants against
+// golden images.
+func TestSnapshotDeterminism(t *testing.T) {
+	m, err := shill.NewMachine(shill.WithWorkload(shill.WorkloadGrading))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.WriteFile("/home/user/state.txt", []byte("tenant state"), 0o644, shill.UserUID); err != nil {
+		t.Fatal(err)
+	}
+	img, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := shill.RestoreMachine(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	img2, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img2.ID() != img.ID() {
+		t.Fatalf("restored-unmodified snapshot diverged: %s vs %s", img2.ID(), img.ID())
+	}
+	if !bytes.Equal(img2.Serialize(), img.Serialize()) {
+		t.Fatal("restored-unmodified snapshot not byte-identical")
+	}
+
+	// And once the restored machine mutates, the IDs must diverge.
+	if err := r.WriteFile("/home/user/state.txt", []byte("changed"), 0o644, shill.UserUID); err != nil {
+		t.Fatal(err)
+	}
+	img3, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img3.ID() == img.ID() {
+		t.Fatal("mutated machine produced the same image ID")
+	}
+}
+
+// TestRestoreIsolation boots several machines from one image and proves
+// copy-on-write isolation: each machine's writes are invisible to its
+// siblings and to later restores of the same image.
+func TestRestoreIsolation(t *testing.T) {
+	m, err := shill.NewMachine(shill.WithWorkload(shill.WorkloadDemo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	img, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := shill.RestoreMachine(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := shill.RestoreMachine(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Image-cache accounting: the first restore flattens, the second
+	// reuses the cached view.
+	if _, misses := a.ImageCacheStats(); misses != 1 {
+		t.Fatalf("first restore should miss the flatten cache: %v", misses)
+	}
+	if hits, _ := b.ImageCacheStats(); hits != 1 {
+		t.Fatalf("second restore should hit the flatten cache: %v", hits)
+	}
+
+	if err := a.WriteFile("/home/user/Documents/dog.jpg", []byte("A's dog"), 0o644, shill.UserUID); err != nil {
+		t.Fatal(err)
+	}
+	b.RemovePath("/home/user/Documents/dog.jpg")
+	if got, err := a.ReadFile("/home/user/Documents/dog.jpg"); err != nil || got != "A's dog" {
+		t.Fatalf("a lost its write: %q, %v", got, err)
+	}
+	if _, err := b.ReadFile("/home/user/Documents/dog.jpg"); err == nil {
+		t.Fatal("b still sees the file it deleted")
+	}
+
+	c, err := shill.RestoreMachine(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got, err := c.ReadFile("/home/user/Documents/dog.jpg"); err != nil || got != "JFIFdog" {
+		t.Fatalf("base image polluted by sibling writes: %q, %v", got, err)
+	}
+}
+
+// TestSnapshotQuiesceUnderLoad snapshots a machine repeatedly while
+// sessions run scripts against it and proves every captured image is
+// consistent (restorable, with each tenant file either absent or
+// complete — never torn).
+func TestSnapshotQuiesceUnderLoad(t *testing.T) {
+	m, err := shill.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const writers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := m.NewSession()
+			defer s.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := fmt.Sprintf(`#lang shill/ambient
+
+home = open_dir("/home/user");
+f = create_file(home, "w%d-%d.txt");
+append(f, "payload-%d-%d");
+`, w, i, w, i)
+				if _, err := s.Run(context.Background(), shill.Script{Name: "w.ambient", Source: src}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for round := 0; round < 5; round++ {
+		img, err := m.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := shill.RestoreMachine(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every file present in the image must be complete.
+		for _, p := range imagePaths(img) {
+			if !strings.HasPrefix(p, "/home/user/w") {
+				continue
+			}
+			body, err := r.ReadFile(p)
+			if err != nil {
+				t.Fatalf("round %d: %s vanished on restore: %v", round, p, err)
+			}
+			if !strings.HasPrefix(body, "payload-") {
+				t.Fatalf("round %d: torn write captured in %s: %q", round, p, body)
+			}
+		}
+		r.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// imagePaths lists every path in the image's flattened view.
+func imagePaths(img *shill.Image) []string {
+	flat, _ := img.Flatten()
+	return flat.Paths()
+}
+
+// TestRestoreOriginRestart proves a machine whose origin server was
+// running at capture comes back with the listener re-bound.
+func TestRestoreOriginRestart(t *testing.T) {
+	m, err := shill.NewMachine(shill.WithWorkload(shill.WorkloadEmacs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(m.NetListeners()) == 0 {
+		t.Fatal("emacs workload did not start the origin")
+	}
+	img, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := shill.RestoreMachine(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got, want := r.NetListeners(), m.NetListeners(); len(got) != len(want) {
+		t.Fatalf("restored listeners %v, want %v", got, want)
+	}
+}
+
+// TestRestoreOptionOverride proves explicit options win over the
+// image's recorded configuration: a snapshot of a grading machine can
+// be restored with a different workload staged on top.
+func TestRestoreOptionOverride(t *testing.T) {
+	m, err := shill.NewMachine(shill.WithWorkload(shill.WorkloadGrading))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	img, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := shill.RestoreMachine(img, shill.WithWorkload(shill.WorkloadDemo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// The demo files must be staged on top of the image's grading tree.
+	if _, err := r.ReadFile("/home/user/Documents/dog.jpg"); err != nil {
+		t.Fatalf("override workload not staged: %v", err)
+	}
+	if _, err := r.ReadFile("/course/submissions/student000/main.ml"); err != nil {
+		t.Fatalf("image workload lost under override: %v", err)
+	}
+}

@@ -28,6 +28,15 @@ type MachineStats struct {
 	AuditSeq uint64 `json:"auditSeq"`
 	// Sandboxes is how many sandboxes the machine has created.
 	Sandboxes int64 `json:"sandboxes"`
+	// CompileCacheHits/CompileCacheMisses count compiled-script cache
+	// lookups (compiled engine only; both zero under tree-walk).
+	CompileCacheHits   uint64 `json:"compileCacheHits"`
+	CompileCacheMisses uint64 `json:"compileCacheMisses"`
+	// ImageCacheHits/ImageCacheMisses report whether booting this
+	// machine reused an already-flattened base image (hit) or had to
+	// flatten it (miss); both zero for machines built from scratch.
+	ImageCacheHits   uint64 `json:"imageCacheHits"`
+	ImageCacheMisses uint64 `json:"imageCacheMisses"`
 }
 
 // Stats snapshots the machine's resource accounting.
@@ -36,6 +45,7 @@ func (m *Machine) Stats() MachineStats {
 	sessions := len(m.sessions)
 	idle := len(m.free)
 	m.mu.Unlock()
+	compileHits, compileMisses := m.compileCache.Stats()
 	return MachineStats{
 		Sessions:       sessions,
 		IdleSessions:   idle,
@@ -45,6 +55,11 @@ func (m *Machine) Stats() MachineStats {
 		Listeners:      len(m.sys.K.Net.Listeners()),
 		AuditSeq:       m.sys.Audit().Seq(),
 		Sandboxes:      m.sys.Prof.Count(prof.SandboxSetup),
+
+		CompileCacheHits:   compileHits,
+		CompileCacheMisses: compileMisses,
+		ImageCacheHits:     m.imageHits.Load(),
+		ImageCacheMisses:   m.imageMisses.Load(),
 	}
 }
 
