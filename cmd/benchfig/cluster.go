@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/server/loadgen"
+	"repro/shill"
+)
+
+// The cluster figure measures what the router exists to buy: serving
+// one logical shilld out of N replicas. The workload is deliberately
+// latency-bound, not CPU-bound — each replica is throttled to a few
+// concurrent runs and every run pays a simulated 20ms spawn — because
+// the figure's claim is about the serving architecture (more replicas
+// = more concurrent machine slots), and a CPU-bound workload on a
+// small CI box would measure the box instead.
+const (
+	clusterSpawnLatency = 20 * time.Millisecond
+	clusterClients      = 32
+	clusterTenants      = 32
+	clusterPerReplica   = 4 // MaxConcurrent per replica
+	clusterDuration     = 2 * time.Second
+)
+
+// clusterScalingBar is the acceptance gate: two replicas must serve at
+// least this multiple of one replica's req/s. (Perfect scaling is 2.0;
+// the slack absorbs router overhead and scheduler noise.)
+const clusterScalingBar = 1.5
+
+// clusterRow is one fleet size's measurement.
+type clusterRow struct {
+	Replicas   int     `json:"replicas"`
+	ReqPerSec  float64 `json:"reqPerSec"`
+	P50Ms      float64 `json:"p50Ms"`
+	P99Ms      float64 `json:"p99Ms"`
+	Requests   int     `json:"requests"`
+	Rejected   int     `json:"rejected"`
+	HTTPErrors int     `json:"httpErrors"`
+	Bad        int     `json:"bad"`
+}
+
+// clusterResult is the BENCH_cluster.json document.
+type clusterResult struct {
+	Benchmark      string       `json:"benchmark"`
+	SpawnLatencyMs int          `json:"spawnLatencyMs"`
+	Clients        int          `json:"clients"`
+	Tenants        int          `json:"tenants"`
+	PerReplica     int          `json:"perReplicaConcurrent"`
+	Rows           []clusterRow `json:"rows"`
+	// Scaling2x / Scaling4x are req/s relative to the single replica.
+	Scaling2x float64 `json:"scaling2x"`
+	Scaling4x float64 `json:"scaling4x"`
+	BarMet    bool    `json:"barMet"`
+}
+
+// figureCluster drives the in-process cluster harness at 1, 2, and 4
+// replicas with the same latency-bound allow-only load and reports the
+// req/s scaling. Returns false (caller exits nonzero) if two replicas
+// do not reach clusterScalingBar times one replica's throughput, or if
+// any run produced errors.
+func figureCluster(jsonPath string) bool {
+	fmt.Printf("Cluster scaling: %d closed-loop clients, %d tenants, argv runs with %v simulated spawn, %d slots/replica\n",
+		clusterClients, clusterTenants, clusterSpawnLatency, clusterPerReplica)
+	fmt.Printf("%-10s %12s %12s %12s %10s %8s\n", "replicas", "req/s", "p50", "p99", "rejected", "errors")
+
+	res := clusterResult{
+		Benchmark:      "cluster",
+		SpawnLatencyMs: int(clusterSpawnLatency / time.Millisecond),
+		Clients:        clusterClients,
+		Tenants:        clusterTenants,
+		PerReplica:     clusterPerReplica,
+	}
+	ok := true
+	for _, n := range []int{1, 2, 4} {
+		row, err := clusterRun(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: cluster[%d]: %v\n", n, err)
+			os.Exit(1)
+		}
+		res.Rows = append(res.Rows, row)
+		fmt.Printf("%-10d %12.1f %10.2fms %10.2fms %10d %8d\n",
+			n, row.ReqPerSec, row.P50Ms, row.P99Ms, row.Rejected, row.HTTPErrors+row.Bad)
+		if row.HTTPErrors > 0 || row.Bad > 0 {
+			fmt.Fprintf(os.Stderr, "benchfig: cluster[%d]: %d http errors, %d malformed responses\n",
+				n, row.HTTPErrors, row.Bad)
+			ok = false
+		}
+	}
+
+	base := res.Rows[0].ReqPerSec
+	if base > 0 {
+		res.Scaling2x = res.Rows[1].ReqPerSec / base
+		res.Scaling4x = res.Rows[2].ReqPerSec / base
+	}
+	res.BarMet = ok && res.Scaling2x >= clusterScalingBar
+	fmt.Printf("scaling: 2 replicas %.2fx, 4 replicas %.2fx (bar: 2 replicas >= %.1fx)\n",
+		res.Scaling2x, res.Scaling4x, clusterScalingBar)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+
+	if !res.BarMet {
+		fmt.Fprintf(os.Stderr, "benchfig: 2-replica scaling %.2fx is below the %.1fx bar\n",
+			res.Scaling2x, clusterScalingBar)
+		return false
+	}
+	return ok
+}
+
+// clusterRun measures one fleet size: boot the cluster, warm every
+// tenant's machine, then drive a fixed-duration allow-only load
+// through the router.
+func clusterRun(n int) (clusterRow, error) {
+	c, err := router.StartCluster(n, func(i int, cfg *server.Config) {
+		cfg.MaxMachines = clusterTenants
+		cfg.MaxConcurrent = clusterPerReplica
+		cfg.TenantConcurrent = clusterPerReplica
+		cfg.MaxQueue = 256
+		cfg.MachineOptions = func(string) []shill.Option {
+			return []shill.Option{
+				shill.WithWorkload(shill.WorkloadNone),
+				shill.WithSpawnLatency(clusterSpawnLatency),
+			}
+		}
+	}, router.Config{})
+	if err != nil {
+		return clusterRow{}, err
+	}
+	defer c.Close()
+
+	cfg := loadgen.Config{
+		URL:       c.URL,
+		Clients:   clusterClients,
+		Tenants:   clusterTenants,
+		Mix:       loadgen.Mix{AllowPct: 100},
+		AllowArgv: []string{"echo", "ok"},
+	}
+	warm := cfg
+	warm.Requests = clusterTenants * 2
+	if _, err := loadgen.Run(ctx, warm); err != nil {
+		return clusterRow{}, fmt.Errorf("warmup: %w", err)
+	}
+
+	cfg.Duration = clusterDuration
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return clusterRow{}, err
+	}
+	return clusterRow{
+		Replicas:   n,
+		ReqPerSec:  rep.ReqPerSec,
+		P50Ms:      rep.Latency.P50Ms,
+		P99Ms:      rep.Latency.P99Ms,
+		Requests:   rep.Requests,
+		Rejected:   rep.Rejected,
+		HTTPErrors: rep.HTTPErrors,
+		Bad:        rep.Bad(),
+	}, nil
+}

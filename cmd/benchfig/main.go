@@ -19,6 +19,7 @@
 //	benchfig -fig serve    -json BENCH_serve.json
 //	benchfig -fig interp   -json BENCH_interp.json
 //	benchfig -fig snapshot -json BENCH_snapshot.json
+//	benchfig -fig cluster  -json BENCH_cluster.json
 //	benchfig -fig parallel -pprof BENCH_parallel  # + .cpu.pprof/.heap.pprof
 //
 // -json writes a machine-readable result file alongside the printed
@@ -59,7 +60,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep, parallel, serve, interp, snapshot")
+	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep, parallel, serve, interp, snapshot, cluster")
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 50)")
 	full := flag.Bool("full", false, "use paper-scale workloads")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (fig parallel)")
@@ -101,6 +102,8 @@ func main() {
 		figureInterp(*reps, *jsonPath)
 	case "snapshot":
 		ok = figureSnapshot(*reps, *jsonPath)
+	case "cluster":
+		ok = figureCluster(*jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
 		os.Exit(2)

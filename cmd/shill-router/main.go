@@ -1,0 +1,96 @@
+// Command shill-router serves one logical shilld out of N replica
+// processes. Tenants are placed on replicas by a consistent-hash ring
+// (virtual nodes, so membership changes move only the tenants whose
+// replica actually left), every tenant-scoped request is forwarded to
+// the tenant's owner, and replica answers — backpressure 429s with
+// Retry-After, 413 body limits — pass through unmodified.
+//
+// Usage:
+//
+//	shill-router -replicas http://h1:8377,http://h2:8377[,...]
+//	             [-addr :8378] [-health-interval 250ms]
+//	             [-retry-budget 15s]
+//
+// Endpoints:
+//
+//	POST /v1/run              forwarded to the tenant's owner (retried
+//	                          across a migration; replica answers pass
+//	                          through unmodified)
+//	GET  /v1/audit/why-denied forwarded to the tenant's owner
+//	GET  /v1/trace            forwarded to the tenant's owner
+//	GET  /healthz             200 while >=1 replica is up
+//	GET  /metrics             router series + all replicas' metrics
+//	                          (replica="host:port" labels, replica="all"
+//	                          sums)
+//	GET  /v1/router/state     ring membership, replica health, placement
+//
+// The router health-checks each replica's /healthz. When a replica
+// drains (SIGTERM'd shilld answering 503), the router migrates each of
+// its tenants: requests gate briefly, the tenant's machine image is
+// pulled off the draining replica (GET /v1/admin/snapshot?evict=1)
+// together with its denial history, both are seeded onto the new owner
+// (POST /v1/admin/restore, /v1/admin/denials), and the gate reopens.
+// Run the replicas with -handoff-grace so a drain waits for the pull;
+// a rolling restart under load then loses zero requests and zero
+// tenant state.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8378", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated shilld base URLs (required)")
+	healthInterval := flag.Duration("health-interval", 250*time.Millisecond, "replica /healthz poll period")
+	retryBudget := flag.Duration("retry-budget", 15*time.Second, "how long one run request retries across replica failures before 502")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	rt, err := router.New(router.Config{
+		Replicas:       urls,
+		HealthInterval: *healthInterval,
+		RetryBudget:    *retryBudget,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shill-router: %v\n", err)
+		return 2
+	}
+	rt.Start()
+	defer rt.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "shill-router: listening on %s over %d replicas\n", *addr, len(urls))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "shill-router: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "shill-router: %v: shutting down\n", s)
+	}
+	httpSrv.Close()
+	return 0
+}

@@ -11,8 +11,8 @@
 //	shilld [-addr :8377] [-workload demo] [-max-machines 8]
 //	       [-max-concurrent 16] [-tenant-concurrent 4] [-max-queue 64]
 //	       [-default-deadline 10s] [-max-deadline 60s]
-//	       [-drain-timeout 30s] [-debug-addr :6060] [-trace-disable]
-//	       [-golden image.shillimg]
+//	       [-drain-timeout 30s] [-handoff-grace 0] [-debug-addr :6060]
+//	       [-trace-disable] [-golden image.shillimg]
 //
 // Endpoints:
 //
@@ -21,6 +21,16 @@
 //	GET  /v1/trace            ?tenant=NAME&since=SEQ — span stream + slowest traces
 //	GET  /healthz             200 ok | 503 draining
 //	GET  /metrics             Prometheus text format (incl. latency histograms)
+//	GET  /v1/admin/snapshot   ?tenant=NAME[&evict=1] — export machine image
+//	POST /v1/admin/restore    ?tenant=NAME — seed a tenant from an image
+//	POST /v1/admin/denials    ?tenant=NAME — import migrated denial history
+//	GET  /v1/admin/tenants    list live tenants and retained images
+//
+// The admin endpoints are the migration surface cmd/shill-router uses
+// to move tenants between replicas during a rolling restart;
+// -handoff-grace keeps a draining replica's listener serving snapshot
+// exports until the router has pulled every tenant's state (or the
+// grace expires).
 //
 // -debug-addr starts a second listener exposing net/http/pprof
 // (/debug/pprof/) so a live daemon can be profiled without wiring pprof
@@ -64,6 +74,7 @@ func run() int {
 	defaultDeadline := flag.Duration("default-deadline", 10*time.Second, "deadline for runs that specify none")
 	maxDeadline := flag.Duration("max-deadline", 60*time.Second, "clamp for client-requested deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs")
+	handoffGrace := flag.Duration("handoff-grace", 0, "how long a drain keeps serving admin snapshot exports so a router can pull tenant state off this replica (0 disables)")
 	engineName := flag.String("engine", "tree-walk", "execution engine for every tenant machine: tree-walk or compiled")
 	debugAddr := flag.String("debug-addr", "", "optional debug listener exposing net/http/pprof (e.g. localhost:6060)")
 	traceDisable := flag.Bool("trace-disable", false, "disable request tracing on every tenant machine")
@@ -138,8 +149,21 @@ func run() int {
 
 	// Graceful drain: flip health to 503 and refuse new runs first, then
 	// stop accepting connections once in-flight handlers return, then
-	// close every tenant machine.
+	// close every tenant machine. With -handoff-grace, the listener stays
+	// up between those steps so a router that saw the 503 can pull every
+	// tenant's state through /v1/admin/snapshot before it disappears —
+	// that window is what makes a rolling restart lose no tenant files.
 	srv.StartDrain()
+	if *handoffGrace > 0 {
+		hctx, hcancel := context.WithTimeout(context.Background(), *handoffGrace)
+		left := srv.AwaitHandoff(hctx)
+		hcancel()
+		if left > 0 {
+			fmt.Fprintf(os.Stderr, "shilld: handoff grace expired with %d tenant(s) unexported\n", left)
+		} else {
+			fmt.Fprintln(os.Stderr, "shilld: tenant state handed off")
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(ctx)

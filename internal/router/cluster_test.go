@@ -1,0 +1,407 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/server"
+	"repro/internal/server/loadgen"
+)
+
+// End-to-end fleet behavior: a rolling restart under 64-client mixed
+// load must lose zero requests and zero tenant state (the tentpole's
+// acceptance), a hard-down replica's tenants must be reassigned and
+// keep serving (cold), and replica answers the client is supposed to
+// see — 429 backpressure with Retry-After, 413 body limits — must pass
+// through the router byte-for-byte.
+
+// Tenant state scripts: the load generator names tenants t0, t1, …,
+// so these write/read a marker file in each such tenant's machine.
+func writeStateScript(i int) string {
+	return fmt.Sprintf(`#lang shill/ambient
+
+home = open_dir("/home/user");
+f = create_file(home, "state.txt");
+append(f, "state-%d");
+`, i)
+}
+
+func readStateScript() string {
+	return `#lang shill/ambient
+
+append(stdout, read(open_file("/home/user/state.txt")));
+`
+}
+
+// routerRun posts one run through the router, retrying 429s.
+func routerRun(t *testing.T, url string, req server.RunRequest) *server.RunResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var rr server.RunResponse
+			if err := json.Unmarshal(data, &rr); err != nil {
+				t.Fatalf("bad run response %s: %v", data, err)
+			}
+			return &rr
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || time.Now().After(deadline) {
+			t.Fatalf("tenant %s: status %d: %s", req.Tenant, resp.StatusCode, data)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func whyDenied(t *testing.T, url, tenant string) server.WhyDeniedResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/audit/why-denied?tenant=" + tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("why-denied(%s): status %d: %s", tenant, resp.StatusCode, body)
+	}
+	var wd server.WhyDeniedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wd); err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+// victimFor picks a replica index that owns at least one of the given
+// tenants (per the router's current placement) and returns the index
+// plus one tenant it owns.
+func victimFor(t *testing.T, c *Cluster, tenants []string) (int, string) {
+	t.Helper()
+	st := c.Router.State()
+	for i, rep := range c.Replicas {
+		for _, name := range tenants {
+			if st.Tenants[name] == rep.URL {
+				return i, name
+			}
+		}
+	}
+	t.Fatalf("no replica owns any of %v: %+v", tenants, st.Tenants)
+	return 0, ""
+}
+
+func clusterConfig(i int, cfg *server.Config) {
+	cfg.MaxMachines = 16
+	cfg.MaxConcurrent = 32
+	cfg.TenantConcurrent = 16
+	cfg.MaxQueue = 256
+}
+
+// TestClusterRollingRestartZeroLoss is the failover acceptance test:
+// 64 mixed closed-loop clients drive the router while one replica is
+// gracefully drained mid-run. Zero requests may fail, every migrated
+// tenant's machine state must survive the move, stats must settle, and
+// why-denied must still resolve a denial recorded before the
+// migration.
+func TestClusterRollingRestartZeroLoss(t *testing.T) {
+	c, err := StartCluster(3, clusterConfig, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Seed per-tenant state through the router (this also places every
+	// tenant on the ring).
+	const nTenants = 8
+	tenants := make([]string, nTenants)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("t%d", i)
+		if rr := routerRun(t, c.URL, server.RunRequest{Tenant: tenants[i], Script: writeStateScript(i)}); rr.ExitStatus != 0 {
+			t.Fatalf("seed %s: %+v", tenants[i], rr)
+		}
+	}
+
+	// A denial on a tenant owned by the replica we will drain, so the
+	// migration has audit history to carry.
+	victim, marked := victimFor(t, c, tenants)
+	if rr := routerRun(t, c.URL, server.RunRequest{Tenant: marked, ScriptName: "why_denied.ambient"}); rr.ExitStatus == 0 {
+		t.Fatalf("deny run on %s did not deny: %+v", marked, rr)
+	}
+	before := whyDenied(t, c.URL, marked)
+	if len(before.Denials) == 0 {
+		t.Fatalf("no pre-drain denials recorded for %s", marked)
+	}
+	firstSeq := before.Denials[0].Seq
+
+	// Mixed load; drain the victim mid-run, exactly like a rolling
+	// restart SIGTERMs one replica of a serving fleet.
+	loadDone := make(chan *loadgen.Report, 1)
+	loadErr := make(chan error, 1)
+	go func() {
+		rep, err := loadgen.Run(context.Background(), loadgen.Config{
+			URL:      c.URL,
+			Clients:  64,
+			Duration: 2 * time.Second,
+			Tenants:  nTenants,
+		})
+		loadErr <- err
+		loadDone <- rep
+	}()
+	time.Sleep(400 * time.Millisecond)
+	dctx, dcancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer dcancel()
+	if err := c.Drain(dctx, victim); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if err := <-loadErr; err != nil {
+		t.Fatal(err)
+	}
+	rep := <-loadDone
+	t.Logf("load across drain: %d req (%.0f req/s), %d allowed / %d denied / %d canceled / %d rejected",
+		rep.Requests, rep.ReqPerSec, rep.Allowed, rep.Denied, rep.Canceled, rep.Rejected)
+	if rep.HTTPErrors != 0 {
+		t.Fatalf("%d requests failed during the rolling restart, want 0", rep.HTTPErrors)
+	}
+	if bad := rep.Bad(); bad != 0 {
+		t.Fatalf("%d malformed responses (badAllow=%d badDeny=%d badCancel=%d)",
+			bad, rep.BadAllow, rep.BadDeny, rep.BadCancel)
+	}
+	if rep.Allowed == 0 || rep.Denied == 0 || rep.Canceled == 0 {
+		t.Fatalf("mix did not exercise all kinds: %+v", rep)
+	}
+
+	// The router moved the victim's tenants, with their machine images.
+	st := c.Router.State()
+	if st.Migrations == 0 || st.WithState == 0 {
+		t.Fatalf("drain caused no stateful migrations: %+v", st)
+	}
+	for name, owner := range st.Tenants {
+		if owner == c.Replicas[victim].URL {
+			t.Fatalf("tenant %s still routed to the drained replica", name)
+		}
+	}
+
+	// Every tenant's pre-drain file state survives wherever it lives now.
+	for i, name := range tenants {
+		rr := routerRun(t, c.URL, server.RunRequest{Tenant: name, Script: readStateScript()})
+		if want := fmt.Sprintf("state-%d", i); rr.ExitStatus != 0 || rr.Console != want {
+			t.Fatalf("%s lost state across the restart: exit=%d console=%q want %q",
+				name, rr.ExitStatus, rr.Console, want)
+		}
+	}
+
+	// The pre-migration denial still resolves through the router, from
+	// the tenant's new owner.
+	after := whyDenied(t, c.URL, marked)
+	var found bool
+	for _, d := range after.Denials {
+		if d.Seq == firstSeq && d.Layer == audit.LayerCapability {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pre-migration denial (seq %d) no longer resolves; got %d denials", firstSeq, len(after.Denials))
+	}
+
+	// The surviving replicas settle back to zero active sessions.
+	settle := time.Now().Add(10 * time.Second)
+	for {
+		clean := true
+		for i, rep := range c.Replicas {
+			if i == victim {
+				continue
+			}
+			for _, ms := range rep.Srv.MachineStats() {
+				if ms.ActiveSessions != 0 {
+					clean = false
+				}
+			}
+		}
+		if clean {
+			break
+		}
+		if time.Now().After(settle) {
+			t.Fatal("machines did not settle after the rolling restart")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterHardDownReassignsTenants covers the ungraceful case: a
+// killed replica's tenants cannot carry state (there is nobody to pull
+// it from), but they must keep serving from a cold machine on a new
+// owner without the client seeing an error.
+func TestClusterHardDownReassignsTenants(t *testing.T) {
+	c, err := StartCluster(3, clusterConfig, Config{RetryBudget: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tenants := []string{"t0", "t1", "t2", "t3", "t4", "t5"}
+	for i, name := range tenants {
+		if rr := routerRun(t, c.URL, server.RunRequest{Tenant: name, Script: writeStateScript(i)}); rr.ExitStatus != 0 {
+			t.Fatalf("seed %s: %+v", name, rr)
+		}
+	}
+	victim, stranded := victimFor(t, c, tenants)
+	c.Kill(victim)
+
+	// The stranded tenant's next run succeeds — the router notices the
+	// dead owner at admission, reassigns, and the tenant boots cold.
+	rr := routerRun(t, c.URL, server.RunRequest{Tenant: stranded, Script: "#lang shill/ambient\n\nappend(stdout, \"alive\\n\");\n"})
+	if rr.ExitStatus != 0 || rr.Console != "alive\n" {
+		t.Fatalf("stranded tenant %s cannot run after owner death: %+v", stranded, rr)
+	}
+	st := c.Router.State()
+	if st.Tenants[stranded] == c.Replicas[victim].URL {
+		t.Fatalf("tenant %s still routed to the dead replica", stranded)
+	}
+	if st.Migrations == 0 {
+		t.Fatalf("no migration recorded after replica death: %+v", st)
+	}
+}
+
+// TestRouterPassesBackpressureThrough pins the bugfix contract for
+// replica answers the client must see unmodified: a replica's 429
+// keeps its Retry-After header and body through the router.
+func TestRouterPassesBackpressureThrough(t *testing.T) {
+	// A stub replica that is healthy but refuses runs with backpressure.
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, `{"status":"ok"}`)
+		case "/v1/run":
+			w.Header().Set("Retry-After", "7")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"error":"too many concurrent runs"}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer stub.Close()
+
+	rt, err := New(Config{Replicas: []string{stub.URL}, HealthInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.WaitHealthy(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(front.URL+"/v1/run", "application/json", strings.NewReader(`{"tenant":"alice"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q, want %q (header must pass through)", ra, "7")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "too many concurrent runs") {
+		t.Fatalf("429 body rewritten by the router: %s", body)
+	}
+}
+
+// TestRouterPassesBodyLimit413Through drives an oversized run body
+// through a real cluster: the replica's 413 (naming its own 1 MiB
+// limit) must reach the client, not a router-flavoured error.
+func TestRouterPassesBodyLimit413Through(t *testing.T) {
+	c, err := StartCluster(1, clusterConfig, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	big, err := json.Marshal(server.RunRequest{
+		Tenant: "alice",
+		Script: "#lang shill/ambient\n# " + strings.Repeat("x", 1<<20) + "\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(c.URL+"/v1/run", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), fmt.Sprint(1<<20)) {
+		t.Fatalf("413 body does not name the replica's limit: %s", body)
+	}
+}
+
+// TestClusterMetricsFanIn checks the aggregated /metrics surface: the
+// router's own series, every replica's series re-labelled with its
+// address, and a replica="all" sum per series.
+func TestClusterMetricsFanIn(t *testing.T) {
+	c, err := StartCluster(2, clusterConfig, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if rr := routerRun(t, c.URL, server.RunRequest{Tenant: "t0", Script: "#lang shill/ambient\n\nappend(stdout, \"ok\\n\");\n"}); rr.ExitStatus != 0 {
+		t.Fatalf("warm run: %+v", rr)
+	}
+
+	resp, err := http.Get(c.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"shill_router_requests_total",
+		"shill_router_replica_up{replica=",
+		`replica="all"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// Each replica's serving metrics appear under its own label.
+	for _, rep := range c.Replicas {
+		label := fmt.Sprintf(`replica=%q`, strings.TrimPrefix(rep.URL, "http://"))
+		if !strings.Contains(text, label) {
+			t.Fatalf("/metrics has no series labelled %s", label)
+		}
+	}
+}

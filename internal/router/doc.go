@@ -1,0 +1,34 @@
+// Package router is the shill-router engine: a reverse proxy that
+// serves one logical shilld out of N replica processes without giving
+// up the thing shilld exists for — every tenant's state (files,
+// installed scripts, audit history) lives on exactly one machine at a
+// time, so placement is an invariant, not a load-balancing detail.
+//
+// Placement is a consistent-hash ring over the healthy replicas
+// (virtual nodes, so membership changes move only the tenants of the
+// replicas that actually left). Every request that names a tenant —
+// POST /v1/run, GET /v1/audit/why-denied, GET /v1/trace — is forwarded
+// to the tenant's owner; replica answers pass through unmodified, so
+// backpressure (429 + Retry-After) and limits (413) reach the client
+// exactly as the replica shaped them.
+//
+// The router health-checks each replica's /healthz. A replica that
+// turns 503 (a SIGTERM'd shilld draining) or stops answering is taken
+// out of the ring, and every tenant it owned is migrated: the tenant's
+// requests are gated, the router pulls the tenant's machine image off
+// the draining replica (GET /v1/admin/snapshot?evict=1 — the export
+// also evicts, so a stale copy can never resurrect) along with its
+// denial history, seeds both onto the tenant's new owner
+// (POST /v1/admin/restore, POST /v1/admin/denials), and reopens the
+// gate. A rolling restart under load therefore loses zero requests and
+// zero tenant state, and why-denied still explains a migrated tenant's
+// pre-migration denials. A replica that dies without draining is
+// handled the same way minus the pull: its tenants are reassigned and
+// boot cold on the new owner (that state loss is the difference a
+// graceful drain exists to avoid).
+//
+// GET /metrics fans in every replica's metrics (per-replica samples
+// labelled replica="host:port", plus replica="all" sums) behind the
+// router's own shill_router_* series; GET /v1/router/state reports the
+// ring, replica health, and tenant placement.
+package router

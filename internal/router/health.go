@@ -1,0 +1,310 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/audit"
+)
+
+// healthLoop probes every replica each interval, rebuilds the ring on
+// membership change, and migrates tenants off replicas that left it.
+// Proxy paths nudge it through r.kick when they see a failure first —
+// a drain should start evacuating on the request that noticed it, not
+// up to an interval later.
+func (r *Router) healthLoop() {
+	defer close(r.done)
+	for {
+		changed := r.sweep()
+		if changed {
+			r.rebalance()
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-r.kick:
+		case <-time.After(r.cfg.HealthInterval):
+		}
+	}
+}
+
+// sweep probes every replica once and returns whether any state
+// changed (the ring is rebuilt here, under the same lock that changes
+// the states, so lookups never see a half-updated view).
+func (r *Router) sweep() bool {
+	type probe struct {
+		url   string
+		state replState
+	}
+	results := make(chan probe, len(r.order))
+	for _, u := range r.order {
+		go func(u string) {
+			results <- probe{url: u, state: r.probe(u)}
+		}(u)
+	}
+	changed := false
+	r.mu.Lock()
+	for range r.order {
+		p := <-results
+		rep := r.replicas[p.url]
+		if rep.state != p.state {
+			if rep.state != replUnknown || p.state != replUp {
+				log.Printf("shill-router: replica %s: %s -> %s", p.url, rep.state, p.state)
+			}
+			rep.state = p.state
+			changed = true
+		}
+	}
+	if changed {
+		var up []string
+		for _, u := range r.order {
+			if r.replicas[u].state == replUp {
+				up = append(up, u)
+			}
+		}
+		r.ring = newRing(up, r.cfg.VNodes)
+	}
+	r.mu.Unlock()
+	return changed
+}
+
+// probe classifies one replica: 200 is up, 503 is draining (shilld's
+// /healthz while SIGTERM'd), anything else — including no answer — is
+// down.
+func (r *Router) probe(url string) replState {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", url+"/healthz", nil)
+	if err != nil {
+		return replDown
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return replDown
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return replUp
+	case http.StatusServiceUnavailable:
+		return replDraining
+	default:
+		return replDown
+	}
+}
+
+// noteUnhealthy downgrades a replica the proxy path caught failing —
+// without waiting for the next sweep to notice — and kicks the health
+// loop to confirm and rebalance. Upgrades only come from real probes.
+func (r *Router) noteUnhealthy(url string, state replState) {
+	r.mu.Lock()
+	rep := r.replicas[url]
+	if rep != nil && rep.state == replUp {
+		log.Printf("shill-router: replica %s: up -> %s (seen on proxy path)", url, state)
+		rep.state = state
+		var up []string
+		for _, u := range r.order {
+			if r.replicas[u].state == replUp {
+				up = append(up, u)
+			}
+		}
+		r.ring = newRing(up, r.cfg.VNodes)
+	}
+	r.mu.Unlock()
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// rebalance moves every tenant whose owner no longer matches the ring:
+// tenants of departed replicas (drained or dead) get a new owner, and
+// tenants displaced earlier migrate home when their canonical replica
+// returns. Consistent hashing keeps this set minimal — only tenants
+// whose placement actually changed move.
+func (r *Router) rebalance() {
+	for _, name := range r.sortedTenants() {
+		r.mu.Lock()
+		tr := r.tenants[name]
+		if tr == nil || tr.gate != nil {
+			r.mu.Unlock()
+			continue
+		}
+		owner := tr.owner
+		want := r.ring.lookup(name)
+		var ownerState replState
+		if rep := r.replicas[owner]; rep != nil {
+			ownerState = rep.state
+		}
+		r.mu.Unlock()
+		if want == "" || want == owner {
+			continue
+		}
+		r.migrateTenant(name, owner, ownerState != replDown)
+	}
+}
+
+// migrateTenant moves one tenant from its current owner to the ring's
+// choice: gate the tenant's requests, wait out the ones already
+// forwarded, pull the tenant's state off the old owner when it can
+// still answer (snapshot with evict — the export atomically ends the
+// old owner's custody), seed the new owner with the image and the
+// denial history, then reopen the gate. Idempotent and safe to race:
+// callers that lose the gate just find the tenant already moved.
+func (r *Router) migrateTenant(name, from string, canPull bool) {
+	r.mu.Lock()
+	tr := r.tenants[name]
+	if tr == nil || tr.owner != from || tr.gate != nil {
+		r.mu.Unlock()
+		return
+	}
+	dest := r.ring.lookup(name)
+	if dest == "" || dest == from {
+		// Nowhere to go (no healthy replica): leave the tenant where it
+		// is; admit keeps waiting and will re-trigger when the ring has
+		// members again.
+		r.mu.Unlock()
+		return
+	}
+	gate := make(chan struct{})
+	tr.gate = gate
+	r.mu.Unlock()
+
+	// Requests the router already forwarded must finish before the
+	// pull: the snapshot has to include their effects. (Retrying
+	// requests Done() before they sleep, so a dead owner can't wedge
+	// this wait.)
+	tr.inflight.Wait()
+
+	moved := false
+	if canPull {
+		moved = r.pullAndSeed(name, from, dest)
+	}
+	r.mu.Lock()
+	tr.owner = dest
+	tr.gate = nil
+	r.mu.Unlock()
+	close(gate)
+	r.met.migrations.Add(1)
+	if moved {
+		r.met.migrationsWithState.Add(1)
+	}
+	log.Printf("shill-router: tenant %q migrated %s -> %s (state=%v)", name, from, dest, moved)
+}
+
+// pullAndSeed transfers one tenant's state: denial history first (the
+// evicting snapshot tears down the machine the history lives on), then
+// the machine image, pushed to the destination in the reverse order.
+// Returns whether an image made it across. Every step tolerates "no
+// such state" — a tenant that never ran has nothing to move, and the
+// migration still succeeds (as a cold reassignment).
+func (r *Router) pullAndSeed(name, from, dest string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	denials := r.pullDenials(ctx, from, name)
+	img := r.pullImage(ctx, from, name)
+	if img == nil && denials == nil {
+		return false
+	}
+	moved := false
+	if img != nil {
+		if err := r.push(ctx, dest, "/v1/admin/restore?tenant="+name, "application/x-shill-image", img); err != nil {
+			log.Printf("shill-router: seeding tenant %q on %s: %v (tenant boots cold)", name, dest, err)
+			r.met.migrationFailures.Add(1)
+		} else {
+			moved = true
+		}
+	}
+	if denials != nil {
+		body, err := json.Marshal(denials)
+		if err == nil {
+			err = r.push(ctx, dest, "/v1/admin/denials?tenant="+name, "application/json", body)
+		}
+		if err != nil {
+			log.Printf("shill-router: carrying tenant %q denial history to %s: %v", name, dest, err)
+		}
+	}
+	return moved
+}
+
+// pullDenials fetches the old owner's full why-denied answer for the
+// tenant; nil when there is none (or the owner can no longer say).
+func (r *Router) pullDenials(ctx context.Context, from, name string) []audit.Explanation {
+	req, err := http.NewRequestWithContext(ctx, "GET", from+"/v1/audit/why-denied?tenant="+name, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var wd struct {
+		Denials []audit.Explanation `json:"denials"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&wd); err != nil {
+		return nil
+	}
+	if len(wd.Denials) == 0 {
+		return nil
+	}
+	return wd.Denials
+}
+
+// pullImage exports (and evicts) the tenant's machine image from the
+// old owner; nil when the tenant holds no state there.
+func (r *Router) pullImage(ctx context.Context, from, name string) []byte {
+	req, err := http.NewRequestWithContext(ctx, "GET", from+"/v1/admin/snapshot?tenant="+name+"&evict=1", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode != http.StatusNotFound {
+			log.Printf("shill-router: snapshot of tenant %q from %s: %s", name, from, resp.Status)
+			r.met.migrationFailures.Add(1)
+		}
+		return nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		log.Printf("shill-router: reading tenant %q image from %s: %v", name, from, err)
+		r.met.migrationFailures.Add(1)
+		return nil
+	}
+	return data
+}
+
+func (r *Router) push(ctx context.Context, dest, path, contentType string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, "POST", dest+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, bytes.TrimSpace(data))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

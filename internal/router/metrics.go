@@ -1,0 +1,248 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// routerMetrics is the router's own accounting, exposed ahead of the
+// replica fan-in on GET /metrics.
+type routerMetrics struct {
+	requests            atomic.Int64 // /v1/run requests received
+	retries             atomic.Int64 // forwards retried after a replica failure
+	migrations          atomic.Int64 // tenant moves completed
+	migrationsWithState atomic.Int64 // moves that carried a machine image
+	migrationFailures   atomic.Int64 // state transfers that fell back to a cold boot
+}
+
+// handleMetrics serves the fleet's metrics as one scrape: the router's
+// shill_router_* series, then every reachable replica's families with
+// a replica="host:port" label injected on each sample, plus a
+// replica="all" sample per series summing the fleet (counters, gauges,
+// and histogram buckets all sum meaningfully across replicas; averages
+// of averages are the caller's mistake to avoid).
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("shill_router_requests_total", "run requests received by the router", r.met.requests.Load())
+	counter("shill_router_retries_total", "run forwards retried after a replica refused or failed", r.met.retries.Load())
+	counter("shill_router_migrations_total", "tenant migrations completed", r.met.migrations.Load())
+	counter("shill_router_migrations_with_state_total", "tenant migrations that carried a machine image to the new owner", r.met.migrationsWithState.Load())
+	counter("shill_router_migration_failures_total", "state transfers that failed (the tenant booted cold instead)", r.met.migrationFailures.Load())
+
+	st := r.State()
+	fmt.Fprintf(w, "# HELP shill_router_replica_up replica health as the router sees it (1 up, 0 otherwise)\n# TYPE shill_router_replica_up gauge\n")
+	for _, rs := range st.Replicas {
+		up := 0
+		if rs.State == "up" {
+			up = 1
+		}
+		fmt.Fprintf(w, "shill_router_replica_up{replica=%q} %d\n", hostOf(rs.URL), up)
+	}
+	fmt.Fprintf(w, "# HELP shill_router_tenants placed tenants per replica\n# TYPE shill_router_tenants gauge\n")
+	for _, rs := range st.Replicas {
+		fmt.Fprintf(w, "shill_router_tenants{replica=%q} %d\n", hostOf(rs.URL), rs.Tenants)
+	}
+
+	fanInMetrics(req.Context(), w, r.client, r.upAndDraining())
+}
+
+// hostOf strips the scheme off a replica base URL for label values.
+func hostOf(base string) string {
+	if u, err := url.Parse(base); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return base
+}
+
+// scrapedFamily is one metric family re-assembled from the replicas'
+// expositions, keeping the order things appeared in.
+type scrapedFamily struct {
+	name    string
+	header  []string // the family's # HELP / # TYPE lines, first seen
+	samples []scrapedSample
+	// agg sums each series (labels minus replica) across replicas.
+	agg     map[string]float64
+	aggKeys []string
+}
+
+type scrapedSample struct {
+	replica string
+	labels  string // original label block without braces ("" if none)
+	value   float64
+}
+
+// fanInMetrics scrapes each replica's /metrics concurrently and writes
+// the merged exposition: per family, HELP/TYPE once, every replica's
+// samples with the replica label injected first, then replica="all"
+// sums.
+func fanInMetrics(ctx context.Context, w io.Writer, client *http.Client, replicas []string) {
+	type scrape struct {
+		url  string
+		text string
+	}
+	results := make([]scrape, len(replicas))
+	var wg sync.WaitGroup
+	for i, u := range replicas {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			results[i] = scrape{url: u, text: fetchMetrics(ctx, client, u)}
+		}(i, u)
+	}
+	wg.Wait()
+
+	var order []string
+	families := map[string]*scrapedFamily{}
+	for _, sc := range results {
+		if sc.text == "" {
+			continue
+		}
+		mergeExposition(sc.text, hostOf(sc.url), families, &order)
+	}
+	for _, name := range order {
+		f := families[name]
+		for _, h := range f.header {
+			fmt.Fprintln(w, h)
+		}
+		for _, s := range f.samples {
+			fmt.Fprintf(w, "%s{%s} %s\n", f.name, injectReplica(s.labels, s.replica), formatValue(s.value))
+		}
+		for _, k := range f.aggKeys {
+			fmt.Fprintf(w, "%s{%s} %s\n", f.name, injectReplica(k, "all"), formatValue(f.agg[k]))
+		}
+	}
+}
+
+func fetchMetrics(ctx context.Context, client *http.Client, base string) string {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/metrics", nil)
+	if err != nil {
+		return ""
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ""
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}
+
+// mergeExposition folds one replica's exposition text into families.
+func mergeExposition(text, replica string, families map[string]*scrapedFamily, order *[]string) {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// "# HELP name ..." / "# TYPE name ...": attach to the family
+			// (creating it so headers precede samples even for empty
+			// families).
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				continue
+			}
+			f := getFamily(families, order, fields[2])
+			if len(f.header) < 2 { // first replica's HELP+TYPE only
+				f.header = append(f.header, line)
+			}
+			continue
+		}
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		// Histogram sample suffixes (_bucket/_sum/_count) belong to
+		// their base family in exposition order; treat each full sample
+		// name as its own family for output purposes, keyed after the
+		// header-declared family when the names match a suffix.
+		f := getFamily(families, order, name)
+		f.samples = append(f.samples, scrapedSample{replica: replica, labels: labels, value: value})
+		if f.agg == nil {
+			f.agg = map[string]float64{}
+		}
+		if _, seen := f.agg[labels]; !seen {
+			f.aggKeys = append(f.aggKeys, labels)
+		}
+		f.agg[labels] += value
+	}
+}
+
+func getFamily(families map[string]*scrapedFamily, order *[]string, name string) *scrapedFamily {
+	if f := families[name]; f != nil {
+		return f
+	}
+	f := &scrapedFamily{name: name}
+	families[name] = f
+	*order = append(*order, name)
+	return f
+}
+
+// parseSample splits `name{labels} value` (or `name value`) without
+// interpreting the labels — they are re-emitted verbatim with the
+// replica label prepended.
+func parseSample(line string) (name, labels string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		end := strings.IndexByte(line, '}')
+		if end < i {
+			return "", "", 0, false
+		}
+		name = line[:i]
+		labels = line[i+1 : end]
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", "", 0, false
+		}
+		name = line[:sp]
+		rest = strings.TrimSpace(line[sp:])
+	}
+	// A sample can carry a trailing timestamp; the value is the first
+	// field after the name/labels.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	return name, labels, v, true
+}
+
+func injectReplica(labels, replica string) string {
+	if labels == "" {
+		return fmt.Sprintf("replica=%q", replica)
+	}
+	return fmt.Sprintf("replica=%q,%s", replica, labels)
+}
+
+// formatValue renders integers without an exponent and everything else
+// the way strconv shortest-round-trips it.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

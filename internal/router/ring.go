@@ -1,0 +1,80 @@
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// defaultVNodes is how many virtual nodes each replica contributes to
+// the ring. 128 points per member keeps the load split within a few
+// percent of even for small fleets while keeping ring rebuilds (a sort
+// of members×128 points) trivial.
+const defaultVNodes = 128
+
+// ring is a consistent-hash ring: tenants hash to points on a 64-bit
+// circle, replicas contribute vnodes points each, and a tenant belongs
+// to the first replica point at or after its own hash (wrapping). The
+// property that matters: removing a member moves only the tenants that
+// hashed to that member's points, and adding it back moves exactly
+// those tenants home again — placement is stable under membership
+// churn, which is what lets a rolling restart touch only the tenants
+// of the replica being restarted.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// newRing builds a ring over members (replica base URLs); vnodes <= 0
+// means defaultVNodes. An empty member list yields an empty ring whose
+// lookup returns "".
+func newRing(members []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{points: make([]ringPoint, 0, len(members)*vnodes)}
+	for _, m := range members {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(fmt.Sprintf("%s#%d", m, i)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on member so two rings built from the same set agree
+		// even in the (astronomically unlikely) event of a hash collision.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// lookup returns the member owning key, or "" on an empty ring.
+func (r *ring) lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point means the circle's first
+	}
+	return r.points[i].member
+}
+
+// hash64 is the ring's hash: the first 8 bytes of SHA-256, big-endian.
+// Cryptographic dispersion matters more than speed here — lookups are
+// per-request but on short keys, and a cheap hash with visible bias
+// would skew tenant placement.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,89 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring's two load-bearing properties: removing a member strands
+// only that member's tenants (everyone else keeps their owner — no
+// gratuitous migrations on membership change), and placement spreads
+// tenants roughly evenly so replicas share the fleet's load.
+
+func ringMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("http://replica-%d:8377", i)
+	}
+	return m
+}
+
+func tenantNames(n int) []string {
+	t := make([]string, n)
+	for i := range t {
+		t[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	return t
+}
+
+func TestRingStableUnderMemberRemoval(t *testing.T) {
+	members := ringMembers(4)
+	full := newRing(members, defaultVNodes)
+	reduced := newRing(members[:3], defaultVNodes) // replica-3 leaves
+
+	moved := 0
+	for _, name := range tenantNames(2000) {
+		before := full.lookup(name)
+		after := reduced.lookup(name)
+		if before == members[3] {
+			if after == members[3] {
+				t.Fatalf("%s still maps to the removed member", name)
+			}
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("%s moved from %s to %s though its owner never left", name, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no tenants — distribution is broken")
+	}
+
+	// Re-adding the member restores the original placement exactly: the
+	// ring is a pure function of the membership set, which is what lets
+	// the router migrate tenants home after a rolling restart.
+	restored := newRing(members, defaultVNodes)
+	for _, name := range tenantNames(2000) {
+		if restored.lookup(name) != full.lookup(name) {
+			t.Fatalf("%s did not return to its original owner after re-add", name)
+		}
+	}
+}
+
+func TestRingDistributionRoughlyEven(t *testing.T) {
+	members := ringMembers(4)
+	r := newRing(members, defaultVNodes)
+	counts := map[string]int{}
+	const n = 4000
+	for _, name := range tenantNames(n) {
+		counts[r.lookup(name)]++
+	}
+	// With 128 vnodes per member the spread is tight; allow a wide 2x
+	// band so the test pins "roughly even", not a hash constant.
+	want := n / len(members)
+	for _, m := range members {
+		if counts[m] < want/2 || counts[m] > want*2 {
+			t.Fatalf("member %s owns %d of %d tenants (expected near %d): %v", m, counts[m], n, want, counts)
+		}
+	}
+}
+
+func TestRingLookupDeterministic(t *testing.T) {
+	r := newRing(ringMembers(3), defaultVNodes)
+	for _, name := range []string{"", "alice", "tenant-0001"} {
+		if a, b := r.lookup(name), r.lookup(name); a != b {
+			t.Fatalf("lookup(%q) unstable: %s then %s", name, a, b)
+		}
+	}
+}

@@ -1,0 +1,528 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxProxyBody bounds how much of a /v1/run body the router buffers
+// for routing and retries. It is deliberately larger than shilld's own
+// 1 MiB run-body limit: an oversized body must reach the replica so
+// the client gets the replica's 413 (naming the limit) unmodified, not
+// a router-flavoured error.
+const maxProxyBody = 8 << 20
+
+// Config tunes a Router; the zero value routes with the defaults noted
+// on each field.
+type Config struct {
+	// Replicas are the shilld base URLs (e.g. http://127.0.0.1:8377)
+	// forming the fleet. Required.
+	Replicas []string
+	// HealthInterval is the /healthz poll period. Default 250ms.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe. Default 2s.
+	HealthTimeout time.Duration
+	// RetryBudget is how long one /v1/run request keeps retrying across
+	// replica failures before answering 502. Default 15s.
+	RetryBudget time.Duration
+	// RetryDelay is the pause between retries. Default 25ms.
+	RetryDelay time.Duration
+	// VNodes is each replica's virtual-node count on the ring; <= 0
+	// means defaultVNodes (128).
+	VNodes int
+	// Client is the HTTP client used toward replicas; nil builds one
+	// with sensible keep-alive settings.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 15 * time.Second
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 25 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+	return c
+}
+
+// replState is one replica's health as the router sees it.
+type replState int
+
+const (
+	// replUnknown is the state before the first probe answers; the
+	// replica is not in the ring yet, but a probe is imminent.
+	replUnknown replState = iota
+	// replUp serves; in the ring.
+	replUp
+	// replDraining answered 503 on /healthz (a SIGTERM'd shilld): out
+	// of the ring, but its admin surface still answers, so its tenants
+	// migrate with their state.
+	replDraining
+	// replDown stopped answering: out of the ring, state unpullable;
+	// its tenants are reassigned and boot cold.
+	replDown
+)
+
+func (s replState) String() string {
+	switch s {
+	case replUp:
+		return "up"
+	case replDraining:
+		return "draining"
+	case replDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// replica is one shilld process in the fleet.
+type replica struct {
+	url   string
+	state replState // guarded by Router.mu
+}
+
+// tenantRoute is the router's placement record for one tenant. Its
+// gate is the migration mechanism: while non-nil, requests for the
+// tenant wait for it to close instead of racing the state transfer.
+type tenantRoute struct {
+	name  string
+	owner string        // replica URL; guarded by Router.mu
+	gate  chan struct{} // non-nil while migrating; closed when done
+	// inflight counts router-held requests to this tenant; a migration
+	// waits it out so the snapshot cannot miss an effect of a request
+	// the router already forwarded.
+	inflight sync.WaitGroup
+}
+
+// Router places tenants onto replicas and proxies the shilld surface.
+// Create with New, call Start to begin health checking, serve Handler,
+// stop with Close.
+type Router struct {
+	cfg    Config
+	client *http.Client
+
+	mu       sync.Mutex
+	replicas map[string]*replica
+	order    []string // replica URLs in configured order (stable display)
+	ring     *ring    // over replUp members only
+	tenants  map[string]*tenantRoute
+
+	met routerMetrics
+
+	kick chan struct{} // nudges the health loop out of its sleep
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a router over the configured replicas. No probes run
+// until Start.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("router: no replicas configured")
+	}
+	r := &Router{
+		cfg:      cfg,
+		client:   cfg.Client,
+		replicas: make(map[string]*replica, len(cfg.Replicas)),
+		tenants:  make(map[string]*tenantRoute),
+		ring:     newRing(nil, cfg.VNodes),
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, u := range cfg.Replicas {
+		u = strings.TrimRight(u, "/")
+		if _, dup := r.replicas[u]; dup {
+			return nil, fmt.Errorf("router: duplicate replica %s", u)
+		}
+		r.replicas[u] = &replica{url: u}
+		r.order = append(r.order, u)
+	}
+	return r, nil
+}
+
+// Start launches the health loop (an immediate sweep, then periodic).
+func (r *Router) Start() {
+	go r.healthLoop()
+}
+
+// Close stops the health loop. In-flight proxied requests finish on
+// their own; the router holds no tenant state to drain.
+func (r *Router) Close() {
+	close(r.stop)
+	<-r.done
+}
+
+// Handler returns the router's HTTP surface: the shilld tenant surface
+// proxied by ownership, plus the router's own health/state/metrics.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", r.handleRun)
+	mux.HandleFunc("GET /v1/audit/why-denied", r.handleFederated)
+	mux.HandleFunc("GET /v1/trace", r.handleFederated)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("GET /v1/router/state", r.handleState)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// handleRun proxies POST /v1/run to the tenant's owner. Replica
+// answers — 200 results, 429 + Retry-After backpressure, 413 body
+// limits — pass through byte-for-byte. Transport failures and
+// drain refusals are retried against the tenant's (possibly migrated)
+// owner within the retry budget, so a rolling restart under load
+// surfaces as latency, not failures.
+func (r *Router) handleRun(w http.ResponseWriter, req *http.Request) {
+	r.met.requests.Add(1)
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxProxyBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: "reading request body: " + err.Error()})
+		return
+	}
+	// Routing needs only the tenant name; a body the replica would
+	// reject (bad JSON, missing tenant) is still forwarded so the
+	// client gets the replica's own diagnostic.
+	var peek struct {
+		Tenant string `json:"tenant"`
+	}
+	json.Unmarshal(body, &peek)
+
+	deadline := time.Now().Add(r.cfg.RetryBudget)
+	for {
+		tr, owner, err := r.admit(req.Context(), peek.Tenant)
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+			return
+		}
+		resp, err := r.forward(req, owner, body)
+		if err == nil && !isDrainRefusal(resp) {
+			// The tenant's inflight count covers the body copy: the
+			// replica's handler has returned by the time the body ends,
+			// so a migration that waited us out snapshots every effect
+			// of this run.
+			relayResponse(w, resp)
+			tr.inflight.Done()
+			return
+		}
+		// The owner refused (draining) or the transport failed. Release
+		// the tenant before sleeping — a migration must be able to start
+		// while we wait — nudge the health loop so the failure is seen
+		// now rather than at the next sweep, and retry against whatever
+		// owner the tenant has after the dust settles.
+		if err == nil {
+			resp.Body.Close()
+			r.noteUnhealthy(owner, replDraining)
+		} else {
+			r.noteUnhealthy(owner, replDown)
+		}
+		tr.inflight.Done()
+		r.met.retries.Add(1)
+		if time.Now().After(deadline) {
+			writeJSON(w, http.StatusBadGateway, errorResponse{Error: fmt.Sprintf("no replica could serve the run within %v", r.cfg.RetryBudget)})
+			return
+		}
+		select {
+		case <-req.Context().Done():
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "canceled while retrying: " + req.Context().Err().Error()})
+			return
+		case <-time.After(r.cfg.RetryDelay):
+		}
+	}
+}
+
+// handleFederated proxies a tenant-scoped read (why-denied, trace) to
+// the tenant's owner, waiting out any migration first so the answer
+// comes from wherever the tenant's state actually is.
+func (r *Router) handleFederated(w http.ResponseWriter, req *http.Request) {
+	tenant := req.URL.Query().Get("tenant")
+	tr, owner, err := r.admit(req.Context(), tenant)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	defer tr.inflight.Done()
+	resp, err := r.forward(req, owner, nil)
+	if err != nil {
+		r.noteUnhealthy(owner, replDown)
+		writeJSON(w, http.StatusBadGateway, errorResponse{Error: "replica unreachable: " + err.Error()})
+		return
+	}
+	relayResponse(w, resp)
+}
+
+// admit resolves the tenant's owner, waiting out migration gates, and
+// joins the tenant's inflight group (the caller must Done). A tenant
+// whose owner has left the ring is migrated here and now — admission
+// is what notices a dead owner between health sweeps. An empty tenant
+// name routes to any healthy replica (the replica will answer with its
+// own validation error).
+func (r *Router) admit(ctx context.Context, tenant string) (*tenantRoute, string, error) {
+	for {
+		r.mu.Lock()
+		if tenant == "" {
+			owner := r.ring.lookup("")
+			r.mu.Unlock()
+			if owner == "" {
+				return nil, "", errors.New("no healthy replica")
+			}
+			tr := &tenantRoute{} // placement-free: nothing to migrate
+			tr.inflight.Add(1)
+			return tr, owner, nil
+		}
+		tr := r.tenants[tenant]
+		if tr == nil {
+			owner := r.ring.lookup(tenant)
+			if owner == "" {
+				r.mu.Unlock()
+				if err := r.waitKicked(ctx); err != nil {
+					return nil, "", errors.New("no healthy replica")
+				}
+				continue
+			}
+			tr = &tenantRoute{name: tenant, owner: owner}
+			r.tenants[tenant] = tr
+			tr.inflight.Add(1)
+			r.mu.Unlock()
+			return tr, owner, nil
+		}
+		if tr.gate != nil {
+			g := tr.gate
+			r.mu.Unlock()
+			select {
+			case <-g:
+				continue
+			case <-ctx.Done():
+				return nil, "", errors.New("canceled while tenant was migrating: " + ctx.Err().Error())
+			}
+		}
+		owner := tr.owner
+		st := replUnknown
+		if rep := r.replicas[owner]; rep != nil {
+			st = rep.state
+		}
+		if st == replUp {
+			tr.inflight.Add(1)
+			r.mu.Unlock()
+			return tr, owner, nil
+		}
+		r.mu.Unlock()
+		// The owner is out of the ring: move the tenant rather than wait
+		// for the health loop to get around to it. migrateTenant is
+		// idempotent — concurrent admitters and the health loop can all
+		// call it; one does the work, the rest find the gate or the new
+		// owner.
+		r.migrateTenant(tenant, owner, st != replDown)
+		if err := ctx.Err(); err != nil {
+			return nil, "", errors.New("canceled while tenant was migrating: " + err.Error())
+		}
+	}
+}
+
+// waitKicked sleeps until the health loop reports progress (or a
+// retry-delay passes) — used when no replica is healthy yet.
+func (r *Router) waitKicked(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(r.cfg.RetryDelay):
+		return nil
+	}
+}
+
+// forward re-issues req against owner; body non-nil replaces the
+// request body (run requests, which the router buffered for retries).
+func (r *Router) forward(req *http.Request, owner string, body []byte) (*http.Response, error) {
+	url := owner + req.URL.Path
+	if req.URL.RawQuery != "" {
+		url += "?" + req.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	return r.client.Do(out)
+}
+
+// relayResponse copies a replica's answer to the client unmodified —
+// status, headers (Retry-After included), and body, flushing per chunk
+// so streamed NDJSON runs stream through the router too.
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			w.Write(buf[:n])
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// isDrainRefusal reports a 503 that means "this replica is draining" —
+// the signal to migrate and retry, as opposed to a 503 the replica
+// produced for this request's own reasons (those pass through).
+func isDrainRefusal(resp *http.Response) bool {
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if err != nil {
+		return true
+	}
+	// Replace the consumed body so a caller that decides to relay the
+	// response anyway still has it.
+	resp.Body = io.NopCloser(strings.NewReader(string(body)))
+	return strings.Contains(string(body), "draining")
+}
+
+// handleHealthz answers 200 while at least one replica serves.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	st := r.State()
+	status := http.StatusOK
+	if st.Up == 0 {
+		st.Status = "unavailable"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, st)
+}
+
+// ReplicaState is one replica's row in the router's state report.
+type ReplicaState struct {
+	URL     string `json:"url"`
+	State   string `json:"state"`
+	Tenants int    `json:"tenants"`
+}
+
+// State is the router's placement report (GET /v1/router/state).
+type State struct {
+	Status   string            `json:"status"`
+	Up       int               `json:"up"`
+	Replicas []ReplicaState    `json:"replicas"`
+	Tenants  map[string]string `json:"tenants"` // tenant -> owner URL
+	// Migrations counts completed tenant moves; WithState how many
+	// carried a machine image (the rest booted cold on the new owner).
+	Migrations int64 `json:"migrations"`
+	WithState  int64 `json:"withState"`
+}
+
+// State snapshots replica health and tenant placement.
+func (r *Router) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := State{
+		Status:     "ok",
+		Tenants:    make(map[string]string, len(r.tenants)),
+		Migrations: r.met.migrations.Load(),
+		WithState:  r.met.migrationsWithState.Load(),
+	}
+	perOwner := map[string]int{}
+	for name, tr := range r.tenants {
+		st.Tenants[name] = tr.owner
+		perOwner[tr.owner]++
+	}
+	for _, u := range r.order {
+		rep := r.replicas[u]
+		if rep.state == replUp {
+			st.Up++
+		}
+		st.Replicas = append(st.Replicas, ReplicaState{
+			URL: u, State: rep.state.String(), Tenants: perOwner[u],
+		})
+	}
+	return st
+}
+
+func (r *Router) handleState(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.State())
+}
+
+// WaitHealthy blocks until n replicas are up (cluster startup).
+func (r *Router) WaitHealthy(ctx context.Context, n int) error {
+	for {
+		if r.State().Up >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("waiting for %d healthy replicas: %w", n, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Owners returns the healthy replica URLs in configured order — the
+// metrics fan-in set.
+func (r *Router) upAndDraining() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, u := range r.order {
+		if st := r.replicas[u].state; st == replUp || st == replDraining {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// sortedTenants returns tenant names in stable order (migration sweeps).
+func (r *Router) sortedTenants() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.tenants))
+	for name := range r.tenants {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

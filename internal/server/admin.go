@@ -1,0 +1,300 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/audit"
+	"repro/shill"
+)
+
+// The admin surface is what a fleet frontend (cmd/shill-router) uses to
+// move a tenant between replicas without losing state: it exports a
+// tenant's machine as the internal/image wire format, seeds a tenant
+// from such an export on the new owner, and carries the tenant's denial
+// history across so /v1/audit/why-denied keeps resolving pre-migration
+// denials after the move. In a real deployment this surface would be
+// bound to an operator-only listener; here it shares the mux, and the
+// router is its only intended client.
+
+// maxRestoreBody bounds a POST /v1/admin/restore image upload.
+const maxRestoreBody = 64 << 20
+
+// imageContentType is the media type of an exported machine image (the
+// image.Serialize wire format).
+const imageContentType = "application/x-shill-image"
+
+// handleAdminSnapshot serves GET /v1/admin/snapshot?tenant=T[&evict=1]:
+// the tenant's machine, quiesced and captured as the image.Serialize
+// wire format (falling back to the retained eviction snapshot when the
+// tenant has no live machine). With evict=1 the tenant's machine and
+// retained image are removed after the export — the caller now owns the
+// tenant's state, and a later migration back cannot resurrect a stale
+// copy. During a drain, exports are additionally recorded so
+// AwaitHandoff can tell when the router has pulled every tenant.
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("tenant")
+	if !validTenant(name) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "tenant must be 1-64 chars of [A-Za-z0-9._-]"})
+		return
+	}
+	evict := r.URL.Query().Get("evict") == "1"
+
+	img, err := s.exportTenant(r.Context(), name, evict)
+	if err != nil {
+		var ae *admitError
+		if errors.As(err, &ae) {
+			writeJSON(w, ae.status, errorResponse{Error: ae.msg})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if img == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no machine or retained image for tenant %q", name)})
+		return
+	}
+	s.markHandoff(name)
+	data := img.Serialize()
+	w.Header().Set("Content-Type", imageContentType)
+	w.Header().Set("X-Shill-Image-Id", img.ID())
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.Write(data)
+}
+
+// exportTenant captures tenant state for migration: a fresh snapshot of
+// the live machine when there is one, else the retained eviction image.
+// Evicting removes the registry entry (waiting briefly for admitted
+// runs to finish so no post-snapshot mutation is lost) and forgets the
+// retained image; nil with nil error means the tenant has no state.
+func (s *Server) exportTenant(ctx context.Context, name string, evict bool) (*shill.Image, error) {
+	if !evict {
+		if t := s.lookupTenant(name); t != nil {
+			return t.m.Snapshot()
+		}
+		s.mu.Lock()
+		img := s.images[name]
+		s.mu.Unlock()
+		return img, nil
+	}
+
+	// Evicting export: take the entry out of the registry first so no
+	// new run can be admitted onto a machine whose state has already
+	// left the building. Admitted runs (active > 0) are waited out — the
+	// router gates the tenant's requests during a migration, so the
+	// count only drains.
+	deadline := time.Now().Add(10 * time.Second)
+	var t *tenant
+	for {
+		s.mu.Lock()
+		t = s.tenants[name]
+		if t == nil || t.active == 0 {
+			if t != nil {
+				delete(s.tenants, name)
+				s.lru.Remove(t.elem)
+			}
+			img := s.images[name]
+			if img != nil {
+				delete(s.images, name)
+				s.imageOrder = removeString(s.imageOrder, name)
+			}
+			s.mu.Unlock()
+			if t == nil {
+				return img, nil
+			}
+			break
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			return nil, &admitError{status: http.StatusConflict,
+				msg: fmt.Sprintf("tenant %q still has runs in flight", name)}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	<-t.ready
+	if t.buildErr != nil || t.m == nil {
+		return nil, nil
+	}
+	img, err := t.m.Snapshot()
+	t.m.Close()
+	return img, err
+}
+
+// handleAdminRestore serves POST /v1/admin/restore?tenant=T: the body
+// is an exported machine image (image.Serialize bytes), stored so the
+// tenant's next request boots from it warm. Any live machine the
+// tenant already has here is retired first — the imported image is the
+// authoritative state, and a stale local machine must not shadow it.
+func (s *Server) handleAdminRestore(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("tenant")
+	if !validTenant(name) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "tenant must be 1-64 chars of [A-Za-z0-9._-]"})
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRestoreBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("image exceeds the %d-byte limit", maxRestoreBody)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading image: " + err.Error()})
+		return
+	}
+	img, err := shill.DeserializeImage(data)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad image: " + err.Error()})
+		return
+	}
+
+	// Retire any live machine (it predates the import). The registry
+	// entry is removed before closing so no run lands on a machine
+	// that is going away.
+	s.mu.Lock()
+	t := s.tenants[name]
+	if t != nil {
+		delete(s.tenants, name)
+		s.lru.Remove(t.elem)
+	}
+	s.mu.Unlock()
+	if t != nil {
+		<-t.ready
+		if t.m != nil {
+			t.m.Close()
+		}
+	}
+	s.storeImage(name, img)
+	s.met.restoresSeeded.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"tenant": name, "imageId": img.ID()})
+}
+
+// handleAdminDenials serves POST /v1/admin/denials?tenant=T: the body
+// is the []audit.Explanation a previous owner's why-denied reported for
+// the tenant. The explanations are retained and merged into this
+// replica's /v1/audit/why-denied answers, so a migrated tenant's
+// pre-migration denials still resolve here. Sequence numbers stay
+// comparable across the move because a restored machine's audit log
+// continues from the captured sequence point.
+func (s *Server) handleAdminDenials(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("tenant")
+	if !validTenant(name) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "tenant must be 1-64 chars of [A-Za-z0-9._-]"})
+		return
+	}
+	var denials []audit.Explanation
+	body := http.MaxBytesReader(w, r.Body, maxRunBody)
+	if err := json.NewDecoder(body).Decode(&denials); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad denials body: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	if s.imported == nil {
+		s.imported = make(map[string][]audit.Explanation)
+	}
+	// Replace rather than append: the source's why-denied answer is the
+	// complete retained history, and re-migration must not duplicate.
+	s.imported[name] = denials
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"imported": len(denials)})
+}
+
+// importedDenials returns the tenant's imported denial history filtered
+// to sequence points after since.
+func (s *Server) importedDenials(name string, since uint64) []audit.Explanation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []audit.Explanation
+	for _, d := range s.imported[name] {
+		if d.Seq > since {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AdminTenant is one row of GET /v1/admin/tenants.
+type AdminTenant struct {
+	Name string `json:"name"`
+	// Live reports a registered machine; Retained a stored eviction
+	// snapshot (both can be true right after a restore import).
+	Live     bool `json:"live"`
+	Retained bool `json:"retained"`
+}
+
+// handleAdminTenants lists every tenant this replica holds state for —
+// live machines and retained images — so an operator (or a rebuilding
+// router) can see what would be lost if the replica died.
+func (s *Server) handleAdminTenants(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rows := map[string]*AdminTenant{}
+	get := func(name string) *AdminTenant {
+		if rows[name] == nil {
+			rows[name] = &AdminTenant{Name: name}
+		}
+		return rows[name]
+	}
+	for name := range s.tenants {
+		get(name).Live = true
+	}
+	for name := range s.images {
+		get(name).Retained = true
+	}
+	s.mu.Unlock()
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]AdminTenant, 0, len(rows))
+	for _, name := range names {
+		out = append(out, *rows[name])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": out})
+}
+
+// markHandoff records that a tenant's state has been exported during a
+// drain; AwaitHandoff watches these.
+func (s *Server) markHandoff(name string) {
+	s.mu.Lock()
+	if s.handoffWant != nil {
+		delete(s.handoffWant, name)
+	}
+	s.mu.Unlock()
+}
+
+// AwaitHandoff blocks until every tenant that existed when the drain
+// started has had its state exported through /v1/admin/snapshot (the
+// router pulling its tenants off this replica), or until ctx expires.
+// It returns how many tenants were still waiting. Callers that drain
+// without a router simply time out and proceed — handoff is an
+// optimization for the fleet, not a correctness gate for one process.
+func (s *Server) AwaitHandoff(ctx context.Context) int {
+	for {
+		s.mu.Lock()
+		n := len(s.handoffWant)
+		s.mu.Unlock()
+		if n == 0 {
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			n = len(s.handoffWant)
+			s.mu.Unlock()
+			return n
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

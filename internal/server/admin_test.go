@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// The admin surface contract the router depends on: an evicting
+// snapshot hands the tenant's whole state (and only one owner keeps
+// it), a restore makes that state the next request's starting point on
+// another replica, imported denials keep why-denied answering after
+// the machine that recorded them is gone, and AwaitHandoff tells a
+// draining daemon when the fleet has pulled everything it wanted.
+
+func adminSnapshot(t *testing.T, url, tenant string, evict bool) (*http.Response, []byte) {
+	t.Helper()
+	q := url + "/v1/admin/snapshot?tenant=" + tenant
+	if evict {
+		q += "&evict=1"
+	}
+	resp, err := http.Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestAdminSnapshotRestoreRoundTrip(t *testing.T) {
+	_, src := newTestServer(t, nil)
+	dstSrv, dst := newTestServer(t, nil)
+
+	// State on the source: a file only alice's machine holds.
+	if rr := postRunRetry(t, src.URL, RunRequest{Tenant: "alice", Script: writeNoteScript(7)}); rr.ExitStatus != 0 {
+		t.Fatalf("write run: %+v", rr)
+	}
+
+	resp, img := adminSnapshot(t, src.URL, "alice", true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status = %d: %s", resp.StatusCode, img)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != imageContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, imageContentType)
+	}
+	if resp.Header.Get("X-Shill-Image-Id") == "" {
+		t.Fatal("snapshot reply has no X-Shill-Image-Id")
+	}
+
+	// The evicting export is a move, not a copy: the source no longer
+	// answers for alice at all.
+	if resp, _ := adminSnapshot(t, src.URL, "alice", false); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("post-evict snapshot status = %d, want 404", resp.StatusCode)
+	}
+
+	rresp, err := http.Post(dst.URL+"/v1/admin/restore?tenant=alice", imageContentType, bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("restore status = %d", rresp.StatusCode)
+	}
+	if got := dstSrv.RetainedImages(); got != 1 {
+		t.Fatalf("destination retains %d images, want 1", got)
+	}
+
+	// Alice's next run on the destination sees the file she wrote on the
+	// source — the migration carried the machine, not just the name.
+	rr := postRunRetry(t, dst.URL, RunRequest{Tenant: "alice", Script: readNoteScript(7)})
+	if rr.ExitStatus != 0 || rr.Console != "done-7" {
+		t.Fatalf("restored read: exit=%d console=%q", rr.ExitStatus, rr.Console)
+	}
+}
+
+func TestAdminSnapshotWithoutEvictLeavesMachineLive(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	if rr := postRunRetry(t, ts.URL, RunRequest{Tenant: "bob", Script: writeNoteScript(1)}); rr.ExitStatus != 0 {
+		t.Fatalf("write run: %+v", rr)
+	}
+	resp, img := adminSnapshot(t, ts.URL, "bob", false)
+	if resp.StatusCode != http.StatusOK || len(img) == 0 {
+		t.Fatalf("snapshot: status %d, %d bytes", resp.StatusCode, len(img))
+	}
+	if s.lookupTenant("bob") == nil {
+		t.Fatal("non-evicting snapshot removed the live machine")
+	}
+	if rr := postRunRetry(t, ts.URL, RunRequest{Tenant: "bob", Script: readNoteScript(1)}); rr.Console != "done-1" {
+		t.Fatalf("post-snapshot run: %+v", rr)
+	}
+}
+
+func TestAdminSnapshotUnknownTenant404(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	if resp, _ := adminSnapshot(t, ts.URL, "nobody", true); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestImportedDenialsAnswerWhyDeniedWithoutMachine(t *testing.T) {
+	_, src := newTestServer(t, nil)
+	_, dst := newTestServer(t, nil)
+
+	// A denial on the source, captured via its own why-denied.
+	if _, rr := postRun(t, src.URL, RunRequest{Tenant: "dina", ScriptName: "why_denied.ambient"}); rr == nil {
+		t.Fatal("deny run failed at transport")
+	}
+	resp, err := http.Get(src.URL + "/v1/audit/why-denied?tenant=dina")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wd WhyDeniedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wd); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(wd.Denials) == 0 {
+		t.Fatal("source recorded no denials")
+	}
+
+	// Push the history to a replica that has never seen dina.
+	payload, _ := json.Marshal(wd.Denials)
+	presp, err := http.Post(dst.URL+"/v1/admin/denials?tenant=dina", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("denials import status = %d", presp.StatusCode)
+	}
+
+	// why-denied on the destination must answer from the import alone —
+	// no machine for dina exists there, and asking must not create one.
+	resp2, err := http.Get(dst.URL + "/v1/audit/why-denied?tenant=dina")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("destination why-denied status = %d, want 200", resp2.StatusCode)
+	}
+	var wd2 WhyDeniedResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&wd2); err != nil {
+		t.Fatal(err)
+	}
+	if len(wd2.Denials) != len(wd.Denials) {
+		t.Fatalf("imported %d denials, destination explains %d", len(wd.Denials), len(wd2.Denials))
+	}
+	if wd2.AuditSeq != wd.Denials[len(wd.Denials)-1].Seq {
+		t.Fatalf("AuditSeq = %d, want last imported seq %d", wd2.AuditSeq, wd.Denials[len(wd.Denials)-1].Seq)
+	}
+
+	// The since window applies to imports too.
+	r3, err := http.Get(fmt.Sprintf("%s/v1/audit/why-denied?tenant=dina&since=%d", dst.URL, wd2.AuditSeq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	var wd3 WhyDeniedResponse
+	if err := json.NewDecoder(r3.Body).Decode(&wd3); err != nil {
+		t.Fatal(err)
+	}
+	if len(wd3.Denials) != 0 {
+		t.Fatalf("since-window leaked %d imported denials", len(wd3.Denials))
+	}
+}
+
+func TestAwaitHandoffDrainsAsTenantsAreExported(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	for _, tenant := range []string{"a", "b"} {
+		if rr := postRunRetry(t, ts.URL, RunRequest{Tenant: tenant, Script: allowAmbient}); rr.ExitStatus != 0 {
+			t.Fatalf("%s: %+v", tenant, rr)
+		}
+	}
+	s.StartDrain()
+
+	// Nothing exported yet: the grace window expires with both pending.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if left := s.AwaitHandoff(ctx); left != 2 {
+		t.Fatalf("AwaitHandoff = %d pending, want 2", left)
+	}
+	cancel()
+
+	// Exporting both tenants releases the wait promptly.
+	for _, tenant := range []string{"a", "b"} {
+		if resp, body := adminSnapshot(t, ts.URL, tenant, true); resp.StatusCode != http.StatusOK {
+			t.Fatalf("snapshot %s: status %d: %s", tenant, resp.StatusCode, body)
+		}
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if left := s.AwaitHandoff(ctx2); left != 0 {
+		t.Fatalf("AwaitHandoff = %d pending after full export, want 0", left)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -15,13 +14,21 @@ import (
 	"repro/shill"
 )
 
+// maxRunBody bounds a POST /v1/run body; beyond it the server answers
+// 413 naming the limit instead of a confusing JSON truncation error.
+const maxRunBody = 1 << 20
+
 // Handler returns the server's HTTP surface:
 //
-//	POST /v1/run              execute a script (or argv) for a tenant
-//	GET  /v1/audit/why-denied explain a tenant's recorded denials
-//	GET  /v1/trace            a tenant's span stream + slowest traces
-//	GET  /healthz             liveness (503 while draining)
-//	GET  /metrics             Prometheus-style text metrics
+//	POST /v1/run               execute a script (or argv) for a tenant
+//	GET  /v1/audit/why-denied  explain a tenant's recorded denials
+//	GET  /v1/trace             a tenant's span stream + slowest traces
+//	GET  /healthz              liveness (503 while draining)
+//	GET  /metrics              Prometheus-style text metrics
+//	GET  /v1/admin/snapshot    export a tenant's machine image (admin.go)
+//	POST /v1/admin/restore     seed a tenant from an exported image
+//	POST /v1/admin/denials     import a migrated tenant's denial history
+//	GET  /v1/admin/tenants     list live tenants and retained images
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -29,6 +36,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/admin/snapshot", s.handleAdminSnapshot)
+	mux.HandleFunc("POST /v1/admin/restore", s.handleAdminRestore)
+	mux.HandleFunc("POST /v1/admin/denials", s.handleAdminDenials)
+	mux.HandleFunc("GET /v1/admin/tenants", s.handleAdminTenants)
 	return mux
 }
 
@@ -64,8 +75,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 
 	var req RunRequest
-	body := io.LimitReader(r.Body, 1<<20)
+	body := http.MaxBytesReader(w, r.Body, maxRunBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		// A body at the limit used to surface as a confusing
+		// "400 unexpected EOF" from the truncated JSON; name the real
+		// problem and the limit instead.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("request body exceeds the %d-byte (1 MiB) limit", maxRunBody)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
@@ -308,17 +328,29 @@ func (s *Server) handleWhyDenied(w http.ResponseWriter, r *http.Request) {
 		}
 		since = v
 	}
+	// Imported denials (POST /v1/admin/denials — the history a previous
+	// owner retained before the tenant migrated here) answer alongside,
+	// or instead of, the live machine's log. Sequence numbers from the
+	// two sources share one space: a restored machine's audit log
+	// continues from the captured sequence point, so imports always
+	// predate anything the live log holds.
+	imported := s.importedDenials(tenantName, since)
 	t := s.lookupTenant(tenantName)
-	if t == nil {
+	if t == nil && imported == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no machine for tenant %q", tenantName)})
 		return
 	}
-	log := t.m.AuditLog()
 	resp := WhyDeniedResponse{
-		Tenant:   tenantName,
-		Since:    since,
-		AuditSeq: log.Seq(),
-		Denials:  audit.Explain(log, since),
+		Tenant:  tenantName,
+		Since:   since,
+		Denials: imported,
+	}
+	if t != nil {
+		log := t.m.AuditLog()
+		resp.AuditSeq = log.Seq()
+		resp.Denials = append(resp.Denials, audit.Explain(log, since)...)
+	} else if n := len(imported); n > 0 {
+		resp.AuditSeq = imported[n-1].Seq
 	}
 	if resp.Denials == nil {
 		resp.Denials = []audit.Explanation{}

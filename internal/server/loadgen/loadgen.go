@@ -52,6 +52,14 @@ type Config struct {
 	Tenants int
 	// DeadlineMs is the allow/deny request deadline. Default 10000.
 	DeadlineMs int
+	// AllowArgv, when set, makes the allow kind run this native argv
+	// instead of the inline allow script. The command must print
+	// exactly "ok" (the allow-shape check still expects console
+	// "ok\n"); the canonical choice is ["echo", "ok"]. Argv runs take
+	// the kernel spawn path, so with a machine built
+	// WithSpawnLatency they model a latency-bound workload — what the
+	// cluster scaling figure needs on a small host.
+	AllowArgv []string
 	// CancelDeadlineMs is the short deadline that forces the cancel
 	// kind's blocking script to be killed server-side. Default 80.
 	CancelDeadlineMs int
@@ -305,7 +313,11 @@ func one(ctx context.Context, client *http.Client, cfg Config, kind int, i int64
 	}
 	switch kind {
 	case kindAllow:
-		req.Script = allowScript
+		if len(cfg.AllowArgv) > 0 {
+			req.Argv = cfg.AllowArgv
+		} else {
+			req.Script = allowScript
+		}
 	case kindDeny:
 		req.ScriptName = "why_denied.ambient"
 	case kindCancel:

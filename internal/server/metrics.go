@@ -22,6 +22,8 @@ type metrics struct {
 	evictions        atomic.Int64 // LRU machine evictions
 	restoresWarm     atomic.Int64 // machine boots from the tenant's own evicted snapshot
 	restoresCold     atomic.Int64 // machine boots from scratch or the golden image
+	imagesDropped    atomic.Int64 // retained snapshots forgotten at the MaxImages bound
+	restoresSeeded   atomic.Int64 // tenants seeded via POST /v1/admin/restore (migration imports)
 	activeRuns       atomic.Int64 // runs currently executing
 
 	// Latency histograms (initHistograms). runSeconds is labelled by
@@ -71,6 +73,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP shilld_restores_total tenant machine boots by kind (warm: the tenant's own evicted snapshot; cold: scratch or the golden image)\n# TYPE shilld_restores_total counter\n")
 	fmt.Fprintf(w, "shilld_restores_total{kind=\"warm\"} %d\n", s.met.restoresWarm.Load())
 	fmt.Fprintf(w, "shilld_restores_total{kind=\"cold\"} %d\n", s.met.restoresCold.Load())
+	counter("shilld_tenant_images_dropped_total", "retained snapshots forgotten at the MaxImages bound (the dropped tenant's next readmission boots cold, losing its state)", s.met.imagesDropped.Load())
+	counter("shilld_admin_restores_total", "tenants seeded from an imported image via /v1/admin/restore (migrations onto this replica)", s.met.restoresSeeded.Load())
 	gauge("shilld_tenant_images", "evicted tenants' snapshots retained for warm readmission", s.RetainedImages())
 	gauge("shilld_active_runs", "runs currently executing", s.met.activeRuns.Load())
 	gauge("shilld_queue_depth", "admitted runs waiting for a global slot", s.queued.Load())

@@ -6,34 +6,78 @@ import (
 	"sync"
 )
 
+// pumpMaxBuffered bounds how many console bytes a stream may queue for
+// a client that reads slower than the script writes. The console device
+// calls Write under its own lock and must never block, so without a
+// bound a stalled NDJSON client would accumulate the run's entire
+// console output in server memory for the life of the run. When the
+// queue overflows, the oldest buffered bytes are dropped and the client
+// is told how many via a {"truncated": N} marker event — a slow reader
+// loses history, never liveness, and the server's memory stays O(cap).
+const pumpMaxBuffered = 256 << 10
+
 // pump decouples the session console's tee from the network: the
 // console device calls Write under its own lock (and must never block
-// on a slow client), so writes land in an in-memory queue that a
+// on a slow client), so writes land in a bounded in-memory queue that a
 // dedicated goroutine drains to the HTTP response as NDJSON console
 // events.
 type pump struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	chunks [][]byte
-	closed bool
+	// buffered is the byte total across chunks; bounded by max.
+	buffered int
+	max      int
+	// dropped counts bytes discarded since the last truncation marker
+	// was emitted; pumpTo reports it to the client and resets it.
+	dropped int64
+	closed  bool
 }
 
 func newPump() *pump {
-	p := &pump{}
+	p := &pump{max: pumpMaxBuffered}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
 // Write implements io.Writer for Session.StreamConsole; it copies the
-// chunk and returns immediately.
+// chunk and returns immediately. If the queue would exceed the byte
+// cap, queued chunks are coalesced and the oldest bytes dropped until
+// the new chunk fits (drop-oldest: the client keeps the freshest
+// output, plus a marker saying how much it missed).
 func (p *pump) Write(b []byte) (int, error) {
-	c := make([]byte, len(b))
+	n := len(b)
+	c := make([]byte, n)
 	copy(c, b)
 	p.mu.Lock()
+	if n > p.max {
+		// A single chunk larger than the whole budget: keep its tail.
+		p.dropped += int64(n - p.max)
+		c = c[n-p.max:]
+	}
 	p.chunks = append(p.chunks, c)
+	p.buffered += len(c)
+	if p.buffered > p.max {
+		p.shedLocked()
+	}
 	p.mu.Unlock()
 	p.cond.Signal()
-	return len(b), nil
+	return n, nil
+}
+
+// shedLocked brings the queue back under the byte cap: it coalesces the
+// queued chunks into one buffer (so overflow cost stays O(cap), not
+// O(chunks)) and drops the oldest bytes.
+func (p *pump) shedLocked() {
+	flat := make([]byte, 0, p.buffered)
+	for _, c := range p.chunks {
+		flat = append(flat, c...)
+	}
+	over := len(flat) - p.max
+	p.dropped += int64(over)
+	flat = flat[over:]
+	p.chunks = append(p.chunks[:0], flat)
+	p.buffered = len(flat)
 }
 
 // close marks the stream finished; pumpTo drains what remains and
@@ -46,7 +90,9 @@ func (p *pump) close() {
 }
 
 // pumpTo writes queued chunks as {"console": ...} NDJSON events until
-// close, flushing after every batch so clients see output live.
+// close, flushing after every batch so clients see output live. If
+// bytes were shed while the client lagged, a {"truncated": N} marker
+// event precedes the next console event so the gap is visible.
 func (p *pump) pumpTo(w http.ResponseWriter, flusher http.Flusher) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
@@ -57,10 +103,16 @@ func (p *pump) pumpTo(w http.ResponseWriter, flusher http.Flusher) {
 		}
 		batch := p.chunks
 		p.chunks = nil
+		p.buffered = 0
+		dropped := p.dropped
+		p.dropped = 0
 		done := p.closed && len(batch) == 0
 		p.mu.Unlock()
 		if done {
 			return
+		}
+		if dropped > 0 {
+			enc.Encode(StreamEvent{Truncated: dropped})
 		}
 		for _, c := range batch {
 			enc.Encode(StreamEvent{Console: string(c)})

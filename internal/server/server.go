@@ -25,10 +25,12 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/shill"
 )
 
@@ -127,6 +129,13 @@ type Server struct {
 	// first) for forgetting beyond the bound.
 	images     map[string]*shill.Image
 	imageOrder []string
+	// imported holds denial histories pushed by POST /v1/admin/denials
+	// when a tenant migrates here, merged into why-denied answers.
+	imported map[string][]audit.Explanation
+	// handoffWant is the set of tenants that still need their state
+	// exported through /v1/admin/snapshot before a drain's handoff grace
+	// is satisfied; populated by StartDrain, drained by markHandoff.
+	handoffWant map[string]struct{}
 
 	met metrics
 
@@ -329,6 +338,11 @@ func (s *Server) storeImage(name string, img *shill.Image) {
 		oldest := s.imageOrder[0]
 		s.imageOrder = s.imageOrder[1:]
 		delete(s.images, oldest)
+		// The drop is real state loss — the tenant's next readmission
+		// boots cold — so it must be observable, not silent.
+		s.met.imagesDropped.Add(1)
+		log.Printf("shilld: dropping retained image for evicted tenant %q (retained images at the MaxImages=%d bound; the tenant's next readmission boots cold)",
+			oldest, s.cfg.MaxImages)
 	}
 }
 
@@ -420,11 +434,28 @@ func (s *Server) acquireSlot(ctx context.Context) error {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // StartDrain flips the server into draining mode: /healthz turns 503
-// and new runs are refused, while in-flight runs keep going.
+// and new runs are refused, while in-flight runs keep going. The set
+// of tenants holding state here (live machines and retained images) is
+// captured once, so AwaitHandoff can wait for a router to export them.
 func (s *Server) StartDrain() {
 	s.gateMu.Lock()
+	first := !s.draining.Load()
 	s.draining.Store(true)
 	s.gateMu.Unlock()
+	if !first {
+		return
+	}
+	s.mu.Lock()
+	if s.handoffWant == nil {
+		s.handoffWant = make(map[string]struct{})
+		for name := range s.tenants {
+			s.handoffWant[name] = struct{}{}
+		}
+		for name := range s.images {
+			s.handoffWant[name] = struct{}{}
+		}
+	}
+	s.mu.Unlock()
 }
 
 // beginRequest registers a run with the in-flight group unless the

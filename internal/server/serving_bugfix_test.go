@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Serving-path bugfix coverage: the bounded console pump (a slow
+// NDJSON client must cost bounded memory, visibly), the 413 on
+// oversized run bodies (not a confusing JSON truncation 400), and the
+// observable retained-image drop (state loss must never be silent).
+
+// TestPumpBoundsSlowClient is the slow-client regression test: a
+// client that reads nothing while the script writes far more than the
+// buffer cap must leave the pump's queue bounded, and on drain the
+// client must see a truncation marker accounting exactly for the bytes
+// it missed — drop-oldest, so what does arrive is the freshest output.
+func TestPumpBoundsSlowClient(t *testing.T) {
+	p := newPump()
+	total := 0
+	chunk := bytes.Repeat([]byte("x"), 8<<10)
+	for i := 0; i < 100; i++ { // 800 KiB into a 256 KiB budget
+		n, err := p.Write(chunk)
+		if err != nil || n != len(chunk) {
+			t.Fatalf("Write = %d, %v", n, err)
+		}
+		total += n
+		if p.buffered > pumpMaxBuffered {
+			t.Fatalf("pump buffered %d bytes, cap is %d", p.buffered, pumpMaxBuffered)
+		}
+	}
+	p.close()
+
+	rec := httptest.NewRecorder()
+	p.pumpTo(rec, nil)
+
+	var truncated int64
+	var delivered int
+	sc := bufio.NewScanner(rec.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	first := true
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line: %v", err)
+		}
+		if ev.Truncated > 0 {
+			if !first {
+				t.Fatal("truncation marker did not precede the surviving console output")
+			}
+			truncated += ev.Truncated
+		}
+		delivered += len(ev.Console)
+		first = false
+	}
+	if truncated == 0 {
+		t.Fatal("800 KiB through a 256 KiB pump produced no truncation marker")
+	}
+	if delivered > pumpMaxBuffered {
+		t.Fatalf("delivered %d bytes, more than the %d cap held", delivered, pumpMaxBuffered)
+	}
+	if int(truncated)+delivered != total {
+		t.Fatalf("truncated %d + delivered %d != written %d: bytes unaccounted for",
+			truncated, delivered, total)
+	}
+}
+
+// TestPumpFastClientSeesEverything pins the no-drop case: under the
+// cap, no marker, every byte arrives in order.
+func TestPumpFastClientSeesEverything(t *testing.T) {
+	p := newPump()
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(p, "line %d\n", i)
+	}
+	p.close()
+	rec := httptest.NewRecorder()
+	p.pumpTo(rec, nil)
+
+	var got strings.Builder
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line: %v", err)
+		}
+		if ev.Truncated != 0 {
+			t.Fatalf("unexpected truncation marker for a drained client: %+v", ev)
+		}
+		got.WriteString(ev.Console)
+	}
+	want := ""
+	for i := 0; i < 10; i++ {
+		want += fmt.Sprintf("line %d\n", i)
+	}
+	if got.String() != want {
+		t.Fatalf("console = %q, want %q", got.String(), want)
+	}
+}
+
+// TestRunBodyTooLarge413 pins the fix for the confusing failure mode:
+// a body past the limit used to surface as 400 "unexpected EOF" from
+// the truncated JSON decode; it must be 413 naming the limit.
+func TestRunBodyTooLarge413(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	big, err := json.Marshal(RunRequest{
+		Tenant: "alice",
+		Script: "#lang shill/ambient\n# " + strings.Repeat("x", maxRunBody) + "\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, fmt.Sprint(maxRunBody)) {
+		t.Fatalf("413 error %q does not name the limit", er.Error)
+	}
+}
+
+// TestImageDropIsObservable drives more evicted tenants than MaxImages
+// retains and checks the loss is visible: the counter moves and
+// /metrics exposes it. (The drop is real state loss — the dropped
+// tenant's next request boots cold — which is why silence was a bug.)
+func TestImageDropIsObservable(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.MaxMachines = 1 // every new tenant evicts (and snapshots) the last
+		c.MaxImages = 2
+	})
+
+	// Five tenants in sequence: four evictions store four images, so
+	// the two-image bound forces two drops.
+	for i := 0; i < 5; i++ {
+		tenant := fmt.Sprintf("t%d", i)
+		if rr := postRunRetry(t, ts.URL, RunRequest{Tenant: tenant, Script: writeNoteScript(i)}); rr.ExitStatus != 0 {
+			t.Fatalf("%s: %+v", tenant, rr)
+		}
+	}
+	if got := s.RetainedImages(); got > 2 {
+		t.Fatalf("retained %d images, bound is 2", got)
+	}
+	if got := s.met.imagesDropped.Load(); got != 2 {
+		t.Fatalf("imagesDropped = %d, want 2", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "shilld_tenant_images_dropped_total 2") {
+		t.Fatal("/metrics does not expose shilld_tenant_images_dropped_total 2")
+	}
+}

@@ -52,11 +52,16 @@ type RunResponse struct {
 	QueuedMs float64 `json:"queuedMs"`
 }
 
-// StreamEvent is one NDJSON line of a streamed run: either a console
-// chunk or the final result.
+// StreamEvent is one NDJSON line of a streamed run: a console chunk,
+// a truncation marker, or the final result.
 type StreamEvent struct {
-	Console string       `json:"console,omitempty"`
-	Result  *RunResponse `json:"result,omitempty"`
+	Console string `json:"console,omitempty"`
+	// Truncated reports that the server dropped this many of the oldest
+	// buffered console bytes because the client read slower than the
+	// script wrote (the stream buffer is bounded); the next console
+	// event resumes after the gap.
+	Truncated int64        `json:"truncated,omitempty"`
+	Result    *RunResponse `json:"result,omitempty"`
 }
 
 // WhyDeniedResponse is the body of GET /v1/audit/why-denied — the
