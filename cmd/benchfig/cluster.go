@@ -147,7 +147,7 @@ func clusterRun(n int) (clusterRow, error) {
 		URL:       c.URL,
 		Clients:   clusterClients,
 		Tenants:   clusterTenants,
-		Mix:       loadgen.Mix{AllowPct: 100},
+		Mix:       loadgen.MustMix("legacy", loadgen.Ratio{AllowPct: 100}),
 		AllowArgv: []string{"echo", "ok"},
 	}
 	warm := cfg

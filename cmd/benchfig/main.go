@@ -60,7 +60,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep, parallel, serve, interp, snapshot, cluster")
+	fig := flag.String("fig", "9", "figure to regenerate: 7, 9, 10, 11, loc, sweep, parallel, serve, interp, snapshot, cluster, scenario")
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 50)")
 	full := flag.Bool("full", false, "use paper-scale workloads")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (fig parallel)")
@@ -104,6 +104,8 @@ func main() {
 		ok = figureSnapshot(*reps, *jsonPath)
 	case "cluster":
 		ok = figureCluster(*jsonPath)
+	case "scenario":
+		ok = figureScenario(*reps, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -900,9 +902,9 @@ func figureParallel(reps int, jsonPath string) bool {
 // serveResult is the BENCH_serve.json document: the loadgen report of
 // one in-process shilld run, plus the shape of the load.
 type serveResult struct {
-	Benchmark string      `json:"benchmark"`
-	Mix       loadgen.Mix `json:"mix"`
-	Tenants   int         `json:"tenants"`
+	Benchmark string        `json:"benchmark"`
+	Ratio     loadgen.Ratio `json:"ratio"`
+	Tenants   int           `json:"tenants"`
 	loadgen.Report
 }
 
@@ -927,11 +929,13 @@ func figureServe(jsonPath string) {
 		ts.Close()
 	}()
 
+	// The legacy scenario set at the default ratio reproduces the
+	// pre-registry hardcoded blend, keeping BENCH_serve comparable.
 	cfg := loadgen.Config{
 		URL:     ts.URL,
 		Clients: 16,
 		Tenants: 4,
-		Mix:     loadgen.DefaultMix,
+		Mix:     loadgen.MustMix("legacy", loadgen.DefaultRatio),
 	}
 
 	// Warmup builds the tenant machines and JITs the paths; discarded.
@@ -971,7 +975,7 @@ func figureServe(jsonPath string) {
 	fmt.Printf("deny-path overhead: %+.1f%% (p50 vs allow)\n", rep.DenyOverheadPct)
 
 	if jsonPath != "" {
-		doc := serveResult{Benchmark: "serve", Mix: cfg.Mix, Tenants: cfg.Tenants, Report: *rep}
+		doc := serveResult{Benchmark: "serve", Ratio: loadgen.DefaultRatio, Tenants: cfg.Tenants, Report: *rep}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)

@@ -8,13 +8,16 @@
 // Usage:
 //
 //	shill-load -url http://127.0.0.1:8377 [-c 16] [-n 256 | -duration 30s]
-//	           [-mix 60/30/10] [-tenants 4] [-json REPORT.json] [-check]
-//	           [-server-stats=false]
+//	           [-mix 60/30/10] [-scenarios legacy] [-tenants 4]
+//	           [-json REPORT.json] [-check] [-server-stats=false]
 //
-// -mix is allow/deny/cancel percentages. -check exits 1 if any response
-// had the wrong shape (a denied run without provenance, a cancel that
-// did not cancel) or any transport error occurred — the smoke-test
-// mode CI uses.
+// -mix is allow/deny/cancel percentages. Request bodies are sampled
+// from the scenario registry's load probes: -scenarios is an attr
+// expression selecting which scenarios contribute (default "legacy",
+// the pre-registry hardcoded blend, so reports stay comparable; try
+// "legacy || llm"). -check exits 1 if any response had the wrong shape
+// (a denied run without provenance, a cancel that did not cancel) or
+// any transport error occurred — the smoke-test mode CI uses.
 //
 // By default the tool also scrapes the daemon's /metrics latency
 // histograms before and after the run and reports the server-side
@@ -46,6 +49,7 @@ func run() int {
 	requests := flag.Int("n", 256, "total requests (0: run for -duration)")
 	duration := flag.Duration("duration", 0, "run for this long instead of -n requests")
 	mixFlag := flag.String("mix", "60/30/10", "allow/deny/cancel percentages")
+	scenariosFlag := flag.String("scenarios", "legacy", "attr expression selecting the scenarios whose load probes feed the mix")
 	tenants := flag.Int("tenants", 4, "tenants to spread requests over")
 	deadlineMs := flag.Int("deadline-ms", 10_000, "allow/deny request deadline")
 	cancelMs := flag.Int("cancel-ms", 80, "cancel-kind request deadline")
@@ -55,9 +59,14 @@ func run() int {
 	serverStats := flag.Bool("server-stats", true, "scrape the daemon's /metrics latency histograms around the run and compare percentiles")
 	flag.Parse()
 
-	var mix loadgen.Mix
-	if _, err := fmt.Sscanf(*mixFlag, "%d/%d/%d", &mix.AllowPct, &mix.DenyPct, &mix.CancelPct); err != nil {
+	var ratio loadgen.Ratio
+	if _, err := fmt.Sscanf(*mixFlag, "%d/%d/%d", &ratio.AllowPct, &ratio.DenyPct, &ratio.CancelPct); err != nil {
 		fmt.Fprintf(os.Stderr, "shill-load: bad -mix %q: %v\n", *mixFlag, err)
+		return 2
+	}
+	mix, err := loadgen.NewRegistryMix(*scenariosFlag, ratio)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shill-load: %v\n", err)
 		return 2
 	}
 	cfg := loadgen.Config{

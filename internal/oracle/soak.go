@@ -21,13 +21,25 @@ type SoakOptions struct {
 	Programs int           // stop after this many programs (0: no limit)
 	Minimize bool          // shrink failures on a fresh machine afterwards
 	Logf     func(format string, args ...any)
+
+	// Scenario, when non-nil, interleaves declared registry scenarios
+	// with the generated programs: ScenarioPct percent of iterations
+	// (dealt deterministically, like a loadgen mix) call it instead of
+	// generating. The callback runs one scenario — typically three-way
+	// under the scenario harness — and returns its name and any
+	// failures. It lives behind a hook so the oracle stays independent
+	// of the registry; cmd/shill-soak wires internal/scenario in.
+	Scenario    func(ctx context.Context, i int64) (name string, failures []string)
+	ScenarioPct int // percent of iterations dealt to Scenario (0 with a non-nil Scenario means 25)
 }
 
-// SoakFailure is one failing program, reproducible from its seed.
+// SoakFailure is one failing program, reproducible from its seed — or
+// one failing interleaved scenario, reproducible by name.
 type SoakFailure struct {
 	Seed       int64    `json:"seed"`
 	Session    int      `json:"session"`
 	Ops        int      `json:"ops"`
+	Scenario   string   `json:"scenario,omitempty"`
 	Violations []string `json:"violations"`
 	// Minimized fields are set when SoakOptions.Minimize reproduced and
 	// shrank the failure on a fresh exclusive machine.
@@ -37,15 +49,16 @@ type SoakFailure struct {
 
 // SoakReport summarises a soak run; cmd/shill-soak emits it as JSON.
 type SoakReport struct {
-	Seed        int64         `json:"seed"`
-	Sessions    int           `json:"sessions"`
-	Programs    int           `json:"programs"`
-	Ops         int           `json:"ops"`
-	Denials     int           `json:"denials_windowed"`
-	Divergences int           `json:"sandbox_only_failures"`
-	Elapsed     float64       `json:"elapsed_sec"`
-	LiveSockets int           `json:"live_sockets_at_end"`
-	Failures    []SoakFailure `json:"failures,omitempty"`
+	Seed         int64         `json:"seed"`
+	Sessions     int           `json:"sessions"`
+	Programs     int           `json:"programs"`
+	ScenarioRuns int           `json:"scenario_runs,omitempty"`
+	Ops          int           `json:"ops"`
+	Denials      int           `json:"denials_windowed"`
+	Divergences  int           `json:"sandbox_only_failures"`
+	Elapsed      float64       `json:"elapsed_sec"`
+	LiveSockets  int           `json:"live_sockets_at_end"`
+	Failures     []SoakFailure `json:"failures,omitempty"`
 }
 
 // Ok reports whether the soak saw zero property violations.
@@ -95,6 +108,11 @@ func Soak(ctx context.Context, opts SoakOptions) (*SoakReport, error) {
 	var mu sync.Mutex
 	report := &SoakReport{Seed: opts.Seed, Sessions: opts.Sessions}
 
+	scenarioPct := opts.ScenarioPct
+	if opts.Scenario != nil && scenarioPct == 0 {
+		scenarioPct = 25
+	}
+
 	results := m.StreamSessions(ctx, opts.Sessions, func(ctx context.Context, s *shill.Session) (*shill.Result, error) {
 		for {
 			if ctx.Err() != nil {
@@ -106,6 +124,22 @@ func Soak(ctx context.Context, opts SoakOptions) (*SoakReport, error) {
 			idx := next.Add(1) - 1
 			if opts.Programs > 0 && idx >= int64(opts.Programs) {
 				return nil, nil
+			}
+			if opts.Scenario != nil && int(idx%100) < scenarioPct {
+				name, fails := opts.Scenario(ctx, idx)
+				if ctx.Err() != nil {
+					return nil, nil // shutdown mid-scenario; not a verdict
+				}
+				mu.Lock()
+				report.ScenarioRuns++
+				if len(fails) > 0 {
+					report.Failures = append(report.Failures, SoakFailure{
+						Scenario: name, Session: s.Index(), Violations: fails,
+					})
+					logf("soak: scenario %s FAILED: %v", name, fails)
+				}
+				mu.Unlock()
+				continue
 			}
 			seed := SubSeed(opts.Seed, idx)
 			p := gen.New(seed).Program()
@@ -146,6 +180,9 @@ func Soak(ctx context.Context, opts SoakOptions) (*SoakReport, error) {
 
 	if opts.Minimize && ctx.Err() == nil {
 		for i := range report.Failures {
+			if report.Failures[i].Scenario != "" {
+				continue // declared scenarios replay by name, not by seed
+			}
 			minimizeFailure(ctx, &report.Failures[i], logf)
 		}
 	}

@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AttrExpr is a parsed attribute-selection expression: identifiers over
+// KnownAttrs combined with &&, ||, ! and parentheses — the tast-style
+// selector behind `shill-scenarios -attr 'sandbox && !slow'`.
+type AttrExpr interface {
+	Eval(attrs map[string]bool) bool
+}
+
+type attrIdent string
+
+func (a attrIdent) Eval(attrs map[string]bool) bool { return attrs[string(a)] }
+
+type attrNot struct{ x AttrExpr }
+
+func (a attrNot) Eval(attrs map[string]bool) bool { return !a.x.Eval(attrs) }
+
+type attrAnd struct{ xs []AttrExpr }
+
+func (a attrAnd) Eval(attrs map[string]bool) bool {
+	for _, x := range a.xs {
+		if !x.Eval(attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+type attrOr struct{ xs []AttrExpr }
+
+func (a attrOr) Eval(attrs map[string]bool) bool {
+	for _, x := range a.xs {
+		if x.Eval(attrs) {
+			return true
+		}
+	}
+	return false
+}
+
+type attrAll struct{}
+
+func (attrAll) Eval(map[string]bool) bool { return true }
+
+// ParseAttr parses an attr expression. The empty expression selects
+// everything. Grammar, loosest-binding first:
+//
+//	expr  := and ('||' and)*
+//	and   := unary ('&&' unary)*
+//	unary := '!' unary | '(' expr ')' | ident
+//
+// An identifier outside KnownAttrs is an error, not an empty match — a
+// typo must fail the selection, not silently select nothing.
+func ParseAttr(s string) (AttrExpr, error) {
+	if strings.TrimSpace(s) == "" {
+		return attrAll{}, nil
+	}
+	p := &attrParser{toks: lexAttr(s)}
+	e, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.toks) {
+		return nil, fmt.Errorf("scenario: attr expression %q: unexpected %q", s, p.toks[p.pos])
+	}
+	return e, nil
+}
+
+func lexAttr(s string) []string {
+	var toks []string
+	for i := 0; i < len(s); {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == '!':
+			toks = append(toks, string(c))
+			i++
+		case c == '&' || c == '|':
+			// Both operators are two-character; a lone '&' surfaces as an
+			// unknown-identifier error below.
+			if i+1 < len(s) && s[i+1] == c {
+				toks = append(toks, string(c)+string(c))
+				i += 2
+			} else {
+				toks = append(toks, string(c))
+				i++
+			}
+		default:
+			j := i
+			for j < len(s) && isAttrIdent(s[j]) {
+				j++
+			}
+			if j == i {
+				toks = append(toks, string(c))
+				i++
+			} else {
+				toks = append(toks, s[i:j])
+				i = j
+			}
+		}
+	}
+	return toks
+}
+
+func isAttrIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+type attrParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *attrParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *attrParser) or() (AttrExpr, error) {
+	x, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	xs := []AttrExpr{x}
+	for p.peek() == "||" {
+		p.pos++
+		y, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, y)
+	}
+	if len(xs) == 1 {
+		return xs[0], nil
+	}
+	return attrOr{xs}, nil
+}
+
+func (p *attrParser) and() (AttrExpr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	xs := []AttrExpr{x}
+	for p.peek() == "&&" {
+		p.pos++
+		y, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, y)
+	}
+	if len(xs) == 1 {
+		return xs[0], nil
+	}
+	return attrAnd{xs}, nil
+}
+
+func (p *attrParser) unary() (AttrExpr, error) {
+	switch tok := p.peek(); tok {
+	case "":
+		return nil, fmt.Errorf("scenario: attr expression ends where an attribute was expected")
+	case "!":
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return attrNot{x}, nil
+	case "(":
+		p.pos++
+		x, err := p.or()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("scenario: attr expression: missing ')'")
+		}
+		p.pos++
+		return x, nil
+	default:
+		p.pos++
+		if !KnownAttrs[tok] {
+			return nil, fmt.Errorf("scenario: unknown attr %q (known: %s)", tok, knownAttrList())
+		}
+		return attrIdent(tok), nil
+	}
+}
+
+func knownAttrList() string {
+	names := make([]string, 0, len(KnownAttrs))
+	for a := range KnownAttrs {
+		names = append(names, a)
+	}
+	// KnownAttrs is small; a sorted list keeps error messages stable.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}

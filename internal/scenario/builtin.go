@@ -1,0 +1,501 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// okBoth asserts a step succeeds in both real legs.
+var okBoth = map[Mode]string{ModeAmbient: "ok", ModeSandboxed: "ok"}
+
+// deniedSandboxed asserts the adversarial pattern: full authority lets
+// the step through, the capability sandbox makes it fail.
+var deniedSandboxed = map[Mode]string{ModeAmbient: "ok", ModeSandboxed: "fail"}
+
+// walletPreamble opens the root wallet every native-toolchain driver
+// needs. PATH includes the server directory so httpd resolves.
+const walletPreamble = `root = open_dir("/");
+wallet = create_wallet();
+populate_native_wallet(wallet, root,
+  "/usr/local/sbin:/usr/bin:/bin", "/lib:/usr/local/lib", pipe_factory());
+`
+
+// ===========================================================================
+// files/findgrep — find/grep/archive chain over a source tree
+// ===========================================================================
+
+const scanCap = `#lang shill/cap
+require shill/native;
+require shill/contracts;
+
+provide scan :
+  {wallet : native_wallet,
+   src    : readonly,
+   out    : file(+write, +append)} -> is_num;
+
+provide archive :
+  {wallet : native_wallet,
+   src    : readonly,
+   dest   : dir(+stat, +path, +contents,
+                +lookup with {+read, +write, +append, +stat, +path},
+                +create_file with {+read, +write, +append, +stat, +path})} -> is_num;
+
+scan = fun(wallet, src, out) {
+  fnd = pkg_native("find", wallet);
+  fnd([src, "-name", "*.c", "-exec", "grep", "-H", "mac_", "{}", ";"],
+      stdout = out,
+      extras = wallet_get(wallet, "PATH")
+            ++ wallet_get(wallet, "LD_LIBRARY_PATH"));
+};
+
+archive = fun(wallet, src, dest) {
+  tr = pkg_native("tar", wallet);
+  target = create_file(dest, "src.tar");
+  tr(["-cf", target, src],
+     extras = wallet_get(wallet, "PATH")
+           ++ wallet_get(wallet, "LD_LIBRARY_PATH"));
+};
+`
+
+const scanDriver = `#lang shill/ambient
+require shill/native;
+require "scan.cap";
+
+` + walletPreamble + `
+src = open_dir("/home/user/work/src");
+outdir = open_dir("/home/user/work/out");
+out = create_file(outdir, "matches.txt");
+scan(wallet, src, out);
+`
+
+const archiveDriver = `#lang shill/ambient
+require shill/native;
+require "scan.cap";
+
+` + walletPreamble + `
+src = open_dir("/home/user/work/src");
+outdir = open_dir("/home/user/work/out");
+archive(wallet, src, outdir);
+`
+
+// ===========================================================================
+// logs/rotate — rotate a service log, then digest the rotated copy
+// ===========================================================================
+
+const logrotateCap = `#lang shill/cap
+require shill/contracts;
+
+provide rotate :
+  {logs : dir(+stat, +path, +contents, +unlink_file, +add_link,
+              +lookup with {+read, +stat, +path},
+              +create_file with {+read, +write, +append, +stat, +path})} -> void;
+
+provide digest :
+  {logs : dir(+stat, +path, +contents,
+              +lookup with {+read, +stat, +path}),
+   out  : file(+write, +append)} -> void;
+
+rotate = fun(logs) {
+  rename(logs, "app.log", logs, "app.log.1");
+  create_file(logs, "app.log");
+};
+
+count_tagged = fun(lines, tag, idx, acc) {
+  if idx == length(lines) then {
+    acc;
+  } else {
+    if contains(nth(lines, idx), tag) then {
+      count_tagged(lines, tag, idx + 1, acc + 1);
+    } else {
+      count_tagged(lines, tag, idx + 1, acc);
+    }
+  }
+};
+
+digest = fun(logs, out) {
+  old = lookup(logs, "app.log.1");
+  lines = split(read(old), "\n");
+  errors = count_tagged(lines, "ERROR", 0, 0);
+  infos = count_tagged(lines, "INFO", 0, 0);
+  write(out, "errors=" + to_string(errors) + " infos=" + to_string(infos) + "\n");
+};
+`
+
+const rotateDriver = `#lang shill/ambient
+require "logrotate.cap";
+
+logs = open_dir("/home/user/work/logs");
+rotate(logs);
+`
+
+const digestDriver = `#lang shill/ambient
+require "logrotate.cap";
+
+logs = open_dir("/home/user/work/logs");
+outdir = open_dir("/home/user/work/out");
+out = create_file(outdir, "errors.txt");
+digest(logs, out);
+`
+
+// ===========================================================================
+// build/pipeline — configure/compile/install with scoped write caps
+// ===========================================================================
+
+const buildpipeCap = `#lang shill/cap
+require shill/native;
+require shill/contracts;
+
+provide configure_tree :
+  {wallet : native_wallet,
+   build  : dir(+stat, +path, +contents, +read,
+                +lookup with full_privileges,
+                +create_file with full_privileges),
+   prefix : is_string} -> is_num;
+
+provide compile_tree :
+  {wallet : native_wallet,
+   build  : dir(+stat, +path, +contents, +read, +chdir,
+                +lookup with full_privileges,
+                +create_file with full_privileges)} -> is_num;
+
+provide install_tree :
+  {wallet : native_wallet,
+   build  : dir(+stat, +path, +contents, +read, +chdir,
+                +lookup with {+read, +stat, +path, +contents, +lookup}),
+   prefix : dir(+stat, +path,
+                +lookup with {+lookup, +stat, +path,
+                              +create_file with {+write, +append, +chmod, +stat, +path},
+                              +create_dir with full_privileges},
+                +create_dir with {+lookup, +stat, +path,
+                                  +create_file with {+write, +append, +chmod, +stat, +path},
+                                  +create_dir with full_privileges},
+                +create_file with {+write, +append, +chmod, +stat, +path})} -> is_num;
+
+configure_tree = fun(wallet, build, prefix) {
+  shexe = pkg_native("sh", wallet);
+  shexe(["-c", "./configure --prefix=" + prefix],
+        workdir = build,
+        extras = [build] ++ wallet_get(wallet, "PATH")
+                         ++ wallet_get(wallet, "LD_LIBRARY_PATH"));
+};
+
+compile_tree = fun(wallet, build) {
+  mk = pkg_native("gmake", wallet);
+  mk(["-C", build],
+     extras = [build] ++ wallet_get(wallet, "PATH")
+                      ++ wallet_get(wallet, "LD_LIBRARY_PATH"));
+};
+
+install_tree = fun(wallet, build, prefix) {
+  mk = pkg_native("gmake", wallet);
+  mk(["-C", build, "install"],
+     extras = [build, prefix] ++ wallet_get(wallet, "PATH")
+                              ++ wallet_get(wallet, "LD_LIBRARY_PATH"));
+};
+`
+
+const configureDriver = `#lang shill/ambient
+require shill/native;
+require "buildpipe.cap";
+
+` + walletPreamble + `
+build = open_dir("/home/user/proj");
+configure_tree(wallet, build, "/home/user/.local");
+`
+
+const compileDriver = `#lang shill/ambient
+require shill/native;
+require "buildpipe.cap";
+
+` + walletPreamble + `
+build = open_dir("/home/user/proj");
+compile_tree(wallet, build);
+`
+
+const installDriver = `#lang shill/ambient
+require shill/native;
+require "buildpipe.cap";
+
+` + walletPreamble + `
+build = open_dir("/home/user/proj");
+prefix = open_dir("/home/user/.local");
+install_tree(wallet, build, prefix);
+`
+
+// ===========================================================================
+// batch/fanout — cron-style queue fan-out into an output directory
+// ===========================================================================
+
+const batchCap = `#lang shill/cap
+require shill/contracts;
+
+provide process :
+  {queue : dir(+stat, +path, +contents,
+               +lookup with {+read, +stat, +path}),
+   out   : dir(+stat, +path, +contents,
+               +lookup with {+read, +write, +append, +stat, +path},
+               +create_file with {+read, +write, +append, +stat, +path}),
+   jobs  : is_list} -> void;
+
+process = fun(queue, out, jobs) {
+  for j in jobs {
+    src = lookup(queue, j);
+    done = create_file(out, j + ".done");
+    write(done, "done:" + read(src) + "\n");
+  }
+};
+`
+
+const fanoutDriver = `#lang shill/ambient
+require "batch.cap";
+
+queue = open_dir("/home/user/work/queue");
+outdir = open_dir("/home/user/work/out");
+process(queue, outdir, ["job1", "job2", "job3"]);
+`
+
+const collectDriver = `#lang shill/ambient
+
+outdir = open_dir("/home/user/work/out");
+append(stdout, read(lookup(outdir, "job1.done")));
+append(stdout, read(lookup(outdir, "job2.done")));
+append(stdout, read(lookup(outdir, "job3.done")));
+`
+
+// ===========================================================================
+// web/cgi — a confined web tier over the netstack
+// ===========================================================================
+
+const webtierCap = `#lang shill/cap
+require shill/native;
+require shill/contracts;
+
+provide serve :
+  {wallet : native_wallet,
+   conf   : file(+read, +path, +stat),
+   docs   : dir(+contents, +stat, +path,
+                +lookup with {+read, +stat, +path, +contents, +lookup}),
+   logs   : dir(+contents, +stat, +path,
+                +lookup with {+write, +append, +stat, +path},
+                +create_file with {+write, +append, +stat, +path}),
+   net    : socket_factory} -> is_num;
+
+provide probe_write :
+  {docs : dir(+contents, +stat, +path,
+              +lookup with {+read, +stat, +path})} -> void;
+
+provide probe_tamper :
+  {page : file(+read, +stat)} -> void;
+
+serve = fun(wallet, conf, docs, logs, net) {
+  httpd = pkg_native("httpd", wallet);
+  httpd(["-f", conf],
+        extras = [docs, logs],
+        socket_factories = [net]);
+};
+
+probe_write = fun(docs) {
+  r = create_file(docs, "pwned.txt");
+  if is_syserror(r) then {
+    error("escape blocked: " + to_string(r));
+  } else {
+    write(r, "tenant escape\n");
+  }
+};
+
+probe_tamper = fun(page) {
+  r = write(page, "<html>defaced</html>");
+  if is_syserror(r) then {
+    error("tamper blocked: " + to_string(r));
+  }
+};
+`
+
+func webServeDriver(conf string) string {
+	return `#lang shill/ambient
+require shill/native;
+require "webtier.cap";
+
+` + walletPreamble + `
+conf = open_file("` + conf + `");
+docs = open_dir("/home/user/web/www");
+logs = open_dir("/home/user/web/logs");
+net = socket_factory("ip");
+serve(wallet, conf, docs, logs, net);
+`
+}
+
+const probeWriteDriver = `#lang shill/ambient
+require "webtier.cap";
+
+docs = open_dir("/home/user/web/www");
+probe_write(docs);
+`
+
+const probeTamperDriver = `#lang shill/ambient
+require "webtier.cap";
+
+page = open_file("/home/user/web/www/index.html");
+probe_tamper(page);
+`
+
+func curlStep(name, url string, expect map[Mode]string) StepSpec {
+	return StepSpec{
+		Name:           name,
+		Argv:           []string{"curl", "-s", url},
+		CompareConsole: true,
+		Expect:         expect,
+	}
+}
+
+// runWebTier spawns the confined server, drives the given foreground
+// steps against it, and shuts it down. Shared by web/cgi and
+// adversarial/multitenant.
+func runWebTier(ctx context.Context, e *Env, conf, port string, foreground func() error) error {
+	h := e.Spawn(ctx, StepSpec{
+		Name:   "serve",
+		Driver: webServeDriver(conf),
+		Module: "webtier.cap",
+		Cap:    webtierCap,
+		Expect: okBoth,
+	})
+	if err := e.WaitListener(port, 5*time.Second); err != nil {
+		e.ShutdownHTTP(port)
+		e.Wait(h)
+		return fmt.Errorf("web tier never bound port %s: %w", port, err)
+	}
+	ferr := foreground()
+	e.ShutdownHTTP(port)
+	e.Wait(h)
+	return ferr
+}
+
+func init() {
+	Register(Scenario{
+		Name:       "files/findgrep",
+		Desc:       "find/grep a source tree into a report, then archive the tree with scoped write caps",
+		Attrs:      []string{"files", "sandbox"},
+		Fixture:    "workspace",
+		Pre:        []Precondition{RequireBinaries("find", "grep", "tar", "cat"), RequirePaths("/home/user/work/src/main.c")},
+		WriteRoots: []string{"/home/user/work/out"},
+		Body: func(ctx context.Context, e *Env) error {
+			e.Step(ctx, StepSpec{Name: "scan", Driver: scanDriver, Module: "scan.cap", Cap: scanCap, Expect: okBoth})
+			e.Step(ctx, StepSpec{Name: "archive", Driver: archiveDriver, Module: "scan.cap", Cap: scanCap, Expect: okBoth})
+			e.Step(ctx, StepSpec{
+				Name: "check", Argv: []string{"grep", "-c", "mac_", "/home/user/work/out/matches.txt"},
+				CompareConsole: true, Expect: okBoth,
+			})
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name:       "logs/rotate",
+		Desc:       "rotate a service log and digest the rotated copy into a report",
+		Attrs:      []string{"logs", "sandbox"},
+		Fixture:    "workspace",
+		Pre:        []Precondition{RequirePaths("/home/user/work/logs/app.log")},
+		WriteRoots: []string{"/home/user/work/logs", "/home/user/work/out"},
+		Body: func(ctx context.Context, e *Env) error {
+			e.Step(ctx, StepSpec{Name: "rotate", Driver: rotateDriver, Module: "logrotate.cap", Cap: logrotateCap, Expect: okBoth})
+			e.Step(ctx, StepSpec{Name: "digest", Driver: digestDriver, Module: "logrotate.cap", Cap: logrotateCap, Expect: okBoth})
+			e.Step(ctx, StepSpec{
+				Name: "verify", Argv: []string{"cat", "/home/user/work/out/errors.txt"},
+				CompareConsole: true, Expect: okBoth,
+			})
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name:    "build/pipeline",
+		Desc:    "configure, compile, and install a source tree under per-phase write capabilities",
+		Attrs:   []string{"build", "sandbox", "slow"},
+		Fixture: "buildtree",
+		Timeout: 30 * time.Second,
+		Pre: []Precondition{
+			RequireBinaries("sh", "gmake", "cc", "install"),
+			RequirePaths("/home/user/proj/configure"),
+		},
+		WriteRoots: []string{"/home/user/proj", "/home/user/.local"},
+		Body: func(ctx context.Context, e *Env) error {
+			e.Step(ctx, StepSpec{Name: "configure", Driver: configureDriver, Module: "buildpipe.cap", Cap: buildpipeCap, Expect: okBoth})
+			e.Step(ctx, StepSpec{Name: "compile", Driver: compileDriver, Module: "buildpipe.cap", Cap: buildpipeCap, Expect: okBoth})
+			e.Step(ctx, StepSpec{Name: "install", Driver: installDriver, Module: "buildpipe.cap", Cap: buildpipeCap, Expect: okBoth})
+			e.Step(ctx, StepSpec{
+				Name: "verify", Argv: []string{"cat", "/home/user/.local/share/emacs/DOC"},
+				CompareConsole: true, Expect: okBoth,
+			})
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name:       "batch/fanout",
+		Desc:       "cron-style fan-out: process every queued job into the output directory",
+		Attrs:      []string{"batch", "sandbox"},
+		Fixture:    "workspace",
+		Pre:        []Precondition{RequirePaths("/home/user/work/queue/job1")},
+		WriteRoots: []string{"/home/user/work/out"},
+		Body: func(ctx context.Context, e *Env) error {
+			e.Step(ctx, StepSpec{Name: "fanout", Driver: fanoutDriver, Module: "batch.cap", Cap: batchCap, Expect: okBoth})
+			e.Step(ctx, StepSpec{Name: "collect", Driver: collectDriver, CompareConsole: true, Expect: okBoth})
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name:       "web/cgi",
+		Desc:       "confined web tier over the netstack: serve a docroot, append an access log",
+		Attrs:      []string{"web", "net", "sandbox"},
+		Fixture:    "webtier",
+		Pre:        []Precondition{RequireBinaries("httpd", "curl", "grep"), RequirePaths("/home/user/web/httpd.conf")},
+		WriteRoots: []string{"/home/user/web/logs"},
+		Ports:      []int{8090},
+		Body: func(ctx context.Context, e *Env) error {
+			err := runWebTier(ctx, e, "/home/user/web/httpd.conf", "8090", func() error {
+				e.Step(ctx, curlStep("fetch-index", "http://localhost:8090/index.html", okBoth))
+				e.Step(ctx, curlStep("fetch-data", "http://localhost:8090/data.txt", okBoth))
+				e.Step(ctx, curlStep("fetch-missing", "http://localhost:8090/missing.txt",
+					map[Mode]string{ModeAmbient: "exit:22", ModeSandboxed: "exit:22"}))
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			e.Step(ctx, StepSpec{
+				Name: "check-log", Argv: []string{"grep", "-c", "GET", "/home/user/web/logs/access.log"},
+				CompareConsole: true, Expect: okBoth,
+			})
+			return nil
+		},
+	})
+
+	Register(Scenario{
+		Name:    "adversarial/multitenant",
+		Desc:    "one tenant probes escapes while the web tier keeps serving traffic",
+		Attrs:   []string{"adversarial", "web", "net", "sandbox"},
+		Fixture: "webtier",
+		Pre:     []Precondition{RequireBinaries("httpd", "curl"), RequirePaths("/home/user/web/httpd-alt.conf")},
+		// The probes' targets are inside the roots on purpose: the ambient
+		// leg (full authority) succeeds, and its writes must still land
+		// within the scenario's declared mutation footprint.
+		WriteRoots: []string{"/home/user/web/www", "/home/user/web/logs"},
+		Ports:      []int{8091},
+		Body: func(ctx context.Context, e *Env) error {
+			return runWebTier(ctx, e, "/home/user/web/httpd-alt.conf", "8091", func() error {
+				e.Step(ctx, curlStep("serve-check", "http://localhost:8091/index.html", okBoth))
+				e.Step(ctx, StepSpec{
+					Name: "probe-write", Driver: probeWriteDriver, Module: "webtier.cap", Cap: webtierCap,
+					Expect: deniedSandboxed,
+				})
+				e.Step(ctx, StepSpec{
+					Name: "probe-tamper", Driver: probeTamperDriver, Module: "webtier.cap", Cap: webtierCap,
+					Expect: deniedSandboxed,
+				})
+				return nil
+			})
+		},
+	})
+}

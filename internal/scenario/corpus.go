@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"context"
+	"embed"
+	"encoding/json"
+	"fmt"
+)
+
+// The committed LLM-generated script corpus. Each entry under corpus/
+// is a driver + capability module pair produced by a language model
+// (see corpus/README.md for provenance and regeneration), checked in
+// under an inferred manifest: the fixture it needs, the write roots its
+// honest execution stays inside, and the per-mode statuses observed
+// when the manifest was inferred. The harness holds every run to that
+// manifest — an LLM script drifting outside its inferred footprint is a
+// failure, not a surprise.
+
+//go:embed corpus
+var corpusFS embed.FS
+
+type corpusStep struct {
+	Name           string            `json:"name"`
+	Driver         string            `json:"driver,omitempty"`
+	Module         string            `json:"module,omitempty"`
+	Argv           []string          `json:"argv,omitempty"`
+	CompareConsole bool              `json:"compareConsole,omitempty"`
+	Expect         map[string]string `json:"expect,omitempty"`
+}
+
+type corpusManifest struct {
+	Name         string       `json:"name"`
+	Desc         string       `json:"desc"`
+	Attrs        []string     `json:"attrs"`
+	Fixture      string       `json:"fixture,omitempty"`
+	WriteRoots   []string     `json:"writeRoots,omitempty"`
+	RequirePaths []string     `json:"requirePaths,omitempty"`
+	Steps        []corpusStep `json:"steps"`
+}
+
+func init() {
+	entries, err := corpusFS.ReadDir("corpus")
+	if err != nil {
+		panic("scenario: corpus: " + err.Error())
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		if err := registerCorpusEntry(ent.Name()); err != nil {
+			panic("scenario: corpus " + ent.Name() + ": " + err.Error())
+		}
+	}
+}
+
+func registerCorpusEntry(dir string) error {
+	read := func(name string) (string, error) {
+		data, err := corpusFS.ReadFile("corpus/" + dir + "/" + name)
+		return string(data), err
+	}
+	manifest, err := read("manifest.json")
+	if err != nil {
+		return err
+	}
+	var m corpusManifest
+	if err := json.Unmarshal([]byte(manifest), &m); err != nil {
+		return fmt.Errorf("manifest.json: %w", err)
+	}
+	if m.Name == "" || len(m.Steps) == 0 {
+		return fmt.Errorf("manifest.json: missing name or steps")
+	}
+
+	// Resolve the step sources at registration so a missing file panics
+	// at init, not mid-run.
+	specs := make([]StepSpec, 0, len(m.Steps))
+	for _, st := range m.Steps {
+		spec := StepSpec{Name: st.Name, Argv: st.Argv, CompareConsole: st.CompareConsole}
+		if st.Driver != "" {
+			if spec.Driver, err = read(st.Driver); err != nil {
+				return err
+			}
+		}
+		if st.Module != "" {
+			spec.Module = st.Module
+			if spec.Cap, err = read(st.Module); err != nil {
+				return err
+			}
+		}
+		if len(st.Expect) > 0 {
+			spec.Expect = make(map[Mode]string, len(st.Expect))
+			for mode, status := range st.Expect {
+				spec.Expect[Mode(mode)] = status
+			}
+		}
+		specs = append(specs, spec)
+	}
+
+	var pre []Precondition
+	if len(m.RequirePaths) > 0 {
+		pre = append(pre, RequirePaths(m.RequirePaths...))
+	}
+	Register(Scenario{
+		Name:       m.Name,
+		Desc:       m.Desc,
+		Attrs:      m.Attrs,
+		Fixture:    m.Fixture,
+		Pre:        pre,
+		WriteRoots: m.WriteRoots,
+		Body: func(ctx context.Context, e *Env) error {
+			for _, spec := range specs {
+				e.Step(ctx, spec)
+			}
+			return nil
+		},
+	})
+	return nil
+}

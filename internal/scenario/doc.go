@@ -1,0 +1,36 @@
+// Package scenario is the registry of declared, realistic multi-step
+// workload bundles and the harness that runs every one of them three
+// ways.
+//
+// A Scenario declares metadata (name, attributes, timeout),
+// preconditions (required binaries and staged paths), the fixture image
+// it boots from, a mutation manifest (WriteRoots, Ports), and a Body
+// that drives a shill machine through steps — SHILL driver scripts with
+// capability modules, native commands, background servers. Fixtures are
+// staged once on a scratch machine and captured with the snapshot
+// machinery; every leg of every scenario restores a private machine
+// from the golden image, so N scenarios share one setup cost and none
+// can observe another's writes.
+//
+// The harness runs each selected scenario:
+//
+//   - ambient: capability modules run with their contracts stripped
+//     (bare provides — full ambient authority),
+//   - sandboxed: modules run as written,
+//   - oracle: the differential judgment over the two legs' recorded
+//     steps — no-escape (no writes outside WriteRoots, no leaked
+//     listeners), DAC-conjunction (nothing succeeds sandboxed that
+//     failed ambient), and deny-provenance (the first sandbox-only
+//     failure must carry a MAC/policy/capability denial).
+//
+// Scenarios are selected by attribute expression ("sandbox && !slow");
+// failures are clustered by root cause (failure kind + first-divergent
+// step + deny-provenance key) so one broken contract reads as one
+// cluster, not twenty scattered failures. Scenarios also contribute
+// Probes — request templates the serving load generator
+// (internal/server/loadgen) and the soak driver sample instead of
+// hardcoded script constants.
+//
+// The cmd/shill-scenarios runner lists, selects, runs, and reports
+// (including the SCENARIOS.json document CI uploads).
+package scenario

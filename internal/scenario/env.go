@@ -1,0 +1,269 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/shill"
+)
+
+// Mode is one of the three ways every scenario runs.
+type Mode string
+
+// The three run modes. Ambient and sandboxed are real executions on
+// private machines — the capability modules run stripped
+// (full-authority provides) or as written. Oracle is the differential
+// judgment over the two legs' recorded steps: the PR 4 properties
+// (no-escape, DAC-conjunction, deny-provenance) applied to declared
+// scenarios instead of generated programs.
+const (
+	ModeAmbient   Mode = "ambient"
+	ModeSandboxed Mode = "sandboxed"
+	ModeOracle    Mode = "oracle"
+)
+
+// StepSpec describes one step of a scenario body: either a SHILL driver
+// script (optionally requiring a capability module) or a native argv.
+type StepSpec struct {
+	// Name labels the step; oracle divergences and triage clusters
+	// anchor on it.
+	Name string
+	// Driver is an ambient SHILL script source.
+	Driver string
+	// Module/Cap install a capability module the driver requires: Cap is
+	// its source, Module the name the driver requires it by. The
+	// sandboxed leg runs Cap as written; the ambient leg runs
+	// StripContracts(Cap).
+	Module string
+	Cap    string
+	// Argv runs a native command instead of a script (identical in both
+	// modes — the baseline configuration). Dir optionally sets its
+	// working directory.
+	Argv []string
+	Dir  string
+	// Deadline bounds just this step; the scenario timeout still covers
+	// the whole leg.
+	Deadline time.Duration
+	// CompareConsole marks the step's console output as
+	// mode-deterministic: the oracle diffs it between legs (before the
+	// first divergence).
+	CompareConsole bool
+	// Expect asserts the step's status per mode ("ok", "denied",
+	// "canceled", "exit:N", "error"; "exit" matches any nonzero exit and
+	// "fail" matches any failure outcome). A mismatch fails the leg —
+	// how an adversarial scenario states "this probe must be denied
+	// sandboxed and succeed ambient".
+	Expect map[Mode]string
+}
+
+// StepResult records one executed step in mode-comparable form.
+type StepResult struct {
+	Name    string `json:"name"`
+	Status  string `json:"status"`
+	Console string `json:"console,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	// Provenance is the triage key of the first MAC/policy/capability
+	// denial in the step's audit window ("layer op missing") — the
+	// denial that explains a sandbox-only failure, and the key failures
+	// cluster by.
+	Provenance string `json:"provenance,omitempty"`
+	// Expected is the status the spec asserted for this leg's mode
+	// (empty when the spec made no assertion).
+	Expected string `json:"expected,omitempty"`
+	// Compared carries the spec's CompareConsole flag for the oracle.
+	Compared bool `json:"-"`
+}
+
+// Ok reports a successful step.
+func (r StepResult) Ok() bool { return r.Status == "ok" }
+
+// Env is the execution context a scenario body drives: the leg's
+// private machine, its mode, and the recorded step results.
+type Env struct {
+	M    *shill.Machine
+	Mode Mode
+
+	sc   *Scenario
+	sess *shill.Session
+
+	mu    sync.Mutex
+	steps []StepResult
+}
+
+// Steps returns the results recorded so far.
+func (e *Env) Steps() []StepResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]StepResult(nil), e.steps...)
+}
+
+func (e *Env) record(r StepResult) {
+	e.mu.Lock()
+	e.steps = append(e.steps, r)
+	e.mu.Unlock()
+}
+
+// Step runs one step on the leg's session and records its result. It
+// never returns an error for in-band outcomes (denials, nonzero exits,
+// cancellation) — those are statuses the oracle compares; bodies should
+// normally run every step regardless and let Expect/oracle judge.
+func (e *Env) Step(ctx context.Context, spec StepSpec) StepResult {
+	r := e.exec(ctx, e.sess, spec)
+	e.record(r)
+	return r
+}
+
+// Handle is a step running in the background on its own session — a
+// server the scenario's foreground steps talk to.
+type Handle struct {
+	name string
+	sess *shill.Session
+	res  chan StepResult
+}
+
+// Spawn starts a step on a fresh session and returns immediately; Wait
+// collects (and records) its result. The body must Wait every handle it
+// spawns before returning.
+func (e *Env) Spawn(ctx context.Context, spec StepSpec) *Handle {
+	h := &Handle{name: spec.Name, sess: e.M.NewSession(), res: make(chan StepResult, 1)}
+	go func() {
+		h.res <- e.exec(ctx, h.sess, spec)
+	}()
+	return h
+}
+
+// Wait blocks until the spawned step finishes, records its result in
+// body order, and releases its session.
+func (e *Env) Wait(h *Handle) StepResult {
+	r := <-h.res
+	h.sess.Close()
+	e.record(r)
+	return r
+}
+
+// WaitListener blocks until a listener is bound on the given port —
+// how a body synchronizes with a server it spawned.
+func (e *Env) WaitListener(port string, timeout time.Duration) error {
+	return e.M.WaitListener(port, timeout)
+}
+
+// ShutdownHTTP sends the simulated web servers' shutdown request to the
+// given port.
+func (e *Env) ShutdownHTTP(port string) { e.M.ShutdownHTTP(port) }
+
+// exec runs one step and maps its outcome to a mode-comparable status:
+// "ok", "exit:N", "denied", "canceled", or "error".
+func (e *Env) exec(ctx context.Context, s *shill.Session, spec StepSpec) StepResult {
+	out := StepResult{Name: spec.Name, Expected: spec.Expect[e.Mode], Compared: spec.CompareConsole}
+	if spec.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Deadline)
+		defer cancel()
+	}
+
+	var res *shill.Result
+	var err error
+	if len(spec.Argv) > 0 {
+		res, err = s.RunCommand(ctx, spec.Argv, spec.Dir)
+	} else {
+		script := shill.Script{Name: spec.Name + ".ambient", Source: spec.Driver}
+		if spec.Cap != "" {
+			mod := spec.Cap
+			if e.Mode == ModeAmbient {
+				mod = StripContracts(mod)
+			}
+			script.Resolver = shill.ChainResolver{
+				shill.MapResolver{spec.Module: mod},
+				e.M.Resolver(),
+			}
+		}
+		res, err = s.Run(ctx, script)
+	}
+
+	if res != nil {
+		out.Console = res.Console
+		out.Provenance = provenanceKey(res.Denials)
+	}
+	switch {
+	case err == nil && (res == nil || res.ExitStatus == 0):
+		out.Status = "ok"
+	case err == nil:
+		out.Status = fmt.Sprintf("exit:%d", res.ExitStatus)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		out.Status = "canceled"
+		out.Detail = err.Error()
+	case shill.DenyReasonFor(err) != nil:
+		out.Status = "denied"
+		out.Detail = err.Error()
+		if out.Provenance == "" {
+			out.Provenance = denyKey(shill.DenyReasonFor(err))
+		}
+	default:
+		out.Status = "error"
+		out.Detail = err.Error()
+	}
+	return out
+}
+
+// provenanceKey extracts the triage key of the first denial a sandbox
+// (not DAC) layer produced in the step's window.
+func provenanceKey(denials []*shill.DenyReason) string {
+	for _, d := range denials {
+		if key := denyKey(d); key != "" {
+			return key
+		}
+	}
+	return ""
+}
+
+// denyKey renders one qualifying denial as "layer op missing"; DAC
+// denials (which bind ambient runs equally) yield "".
+func denyKey(d *shill.DenyReason) string {
+	if d == nil {
+		return ""
+	}
+	d.Resolve()
+	switch d.Layer {
+	case audit.LayerCapability, audit.LayerPolicy, audit.LayerMAC:
+	default:
+		return ""
+	}
+	key := d.Layer.String() + " " + d.Op
+	if !d.Missing.Empty() {
+		key += " missing=" + d.Missing.String()
+	}
+	return key
+}
+
+// qualifiedProvenance reports whether a step's recorded provenance
+// explains a sandbox-only failure (any non-DAC denial does; denyKey
+// already filtered the layers).
+func qualifiedProvenance(r StepResult) bool { return r.Provenance != "" }
+
+// escapes filters a leg's touched paths down to the ones outside the
+// scenario's write roots — the no-escape check. Console devices are
+// always legitimate.
+func escapes(touched []string, roots []string) []string {
+	var out []string
+	for _, p := range touched {
+		if p == "/dev" || strings.HasPrefix(p, "/dev/") {
+			continue
+		}
+		inRoot := false
+		for _, r := range roots {
+			if p == r || strings.HasPrefix(p, r+"/") {
+				inRoot = true
+				break
+			}
+		}
+		if !inRoot {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import "repro/shill"
+
+// The built-in fixtures. Each is staged once per process and captured
+// as a golden image; every scenario leg that names one boots a private
+// restore (see Fixture).
+func init() {
+	RegisterFixture(Fixture{Name: "demo", Workload: shill.WorkloadDemo})
+	RegisterFixture(Fixture{Name: "workspace", Setup: stageWorkspace})
+	RegisterFixture(Fixture{Name: "webtier", Setup: stageWebtier})
+	RegisterFixture(Fixture{Name: "buildtree", Setup: stageBuildtree})
+}
+
+func stageTree(m *shill.Machine, dirs []string, files map[string]string) error {
+	for _, d := range dirs {
+		if err := m.MkdirAll(d, 0o755, shill.UserUID); err != nil {
+			return err
+		}
+	}
+	for path, data := range files {
+		if err := m.WriteFile(path, []byte(data), 0o644, shill.UserUID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workspace is a developer home: sources, notes, a service log, and a
+// batch queue. The logs, files, and batch scenario families share it.
+func stageWorkspace(m *shill.Machine) error {
+	return stageTree(m,
+		[]string{
+			"/home/user/work/src",
+			"/home/user/work/notes",
+			"/home/user/work/logs",
+			"/home/user/work/queue",
+			"/home/user/work/out",
+		},
+		map[string]string{
+			"/home/user/work/src/main.c":     "int main() { return mac_check(); }\n",
+			"/home/user/work/src/util.c":     "static int helper = 1;\n",
+			"/home/user/work/src/mac.c":      "int mac_check() { return 0; }\nint mac_audit() { return 1; }\n",
+			"/home/user/work/src/README":     "toy service sources\n",
+			"/home/user/work/notes/todo.txt": "review mac_ hooks\n",
+			"/home/user/work/logs/app.log": "INFO boot\n" +
+				"ERROR disk full\n" +
+				"INFO serve\n" +
+				"ERROR timeout\n" +
+				"INFO done\n",
+			"/home/user/work/queue/job1": "alpha",
+			"/home/user/work/queue/job2": "beta",
+			"/home/user/work/queue/job3": "gamma",
+			"/home/user/work/out/.keep":  "",
+		})
+}
+
+// webtier is a small web deployment: a docroot, two server configs (the
+// web and adversarial scenarios bind different ports), and a log dir.
+func stageWebtier(m *shill.Machine) error {
+	return stageTree(m,
+		[]string{
+			"/home/user/web/www",
+			"/home/user/web/logs",
+		},
+		map[string]string{
+			"/home/user/web/www/index.html": "<html>home</html>\n",
+			"/home/user/web/www/data.txt":   "payload-42\n",
+			"/home/user/web/httpd.conf": "Listen 8090\n" +
+				"DocumentRoot /home/user/web/www\n" +
+				"AccessLog /home/user/web/logs/access.log\n",
+			"/home/user/web/httpd-alt.conf": "Listen 8091\n" +
+				"DocumentRoot /home/user/web/www\n" +
+				"AccessLog /home/user/web/logs/alt.log\n",
+			"/home/user/web/logs/.keep": "",
+		})
+}
+
+// buildtree is an unpacked source tree in the shape ./configure expects
+// (the emacs stand-in: three C files and a DOC blob), plus an install
+// prefix.
+func stageBuildtree(m *shill.Machine) error {
+	if err := stageTree(m,
+		[]string{
+			"/home/user/proj/src",
+			"/home/user/proj/etc",
+			"/home/user/.local",
+		},
+		map[string]string{
+			"/home/user/proj/src/emacs.c":  "int main() { return editor(); }\n",
+			"/home/user/proj/src/lisp.c":   "int eval() { return 0; }\n",
+			"/home/user/proj/src/buffer.c": "int gap() { return 1; }\n",
+			"/home/user/proj/etc/DOC":      "Emacs documentation blob\n",
+		}); err != nil {
+		return err
+	}
+	// The configure script is an executable image dispatching to the
+	// simulated binary of the same name.
+	return m.WriteFile("/home/user/proj/configure", []byte("#!bin:configure\n"), 0o755, shill.UserUID)
+}

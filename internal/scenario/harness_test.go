@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/shill"
+)
+
+// TestThreeWayRegistry runs every registered scenario in all three
+// modes — the acceptance bar for the registry: at least 12 scenarios,
+// zero failures, zero oracle violations.
+func TestThreeWayRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full three-way registry run skipped in -short")
+	}
+	rep, err := Run(context.Background(), Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) < 12 {
+		t.Fatalf("registry holds %d scenarios, want >= 12", len(rep.Scenarios))
+	}
+	if !rep.Ok() {
+		t.Fatalf("three-way run not clean: %d failed, %d violations\n%s",
+			rep.Failed, rep.Violations, FormatClusters(rep.Clusters))
+	}
+	for _, sc := range rep.Scenarios {
+		if len(sc.Modes) != 3 {
+			t.Errorf("%s ran %d modes, want 3", sc.Name, len(sc.Modes))
+		}
+	}
+}
+
+func TestRunRejectsUnknownAttr(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Attr: "not-an-attr"}); err == nil {
+		t.Fatal("Run with an unknown attr succeeded; a typo must fail the selection")
+	}
+}
+
+const stripSample = `#lang shill/cap
+
+provide scan :
+  dir(+stat, +contents, +lookup with { file: file(+read, +stat) }) ->
+  void;
+provide helper;
+
+scan = fun(d) {
+  # provide in a comment stays; "provide x : y;" in a string too.
+  s = "provide fake : contract;";
+};
+`
+
+func TestStripContractsSample(t *testing.T) {
+	got := StripContracts(stripSample)
+	if !strings.Contains(got, "provide scan;") {
+		t.Fatalf("contracted provide not reduced to bare form:\n%s", got)
+	}
+	if strings.Contains(got, "->") || strings.Contains(got, "+lookup") {
+		t.Fatalf("contract text survived stripping:\n%s", got)
+	}
+	if !strings.Contains(got, "provide helper;") {
+		t.Fatalf("bare provide damaged:\n%s", got)
+	}
+	if !strings.Contains(got, `# provide in a comment stays`) ||
+		!strings.Contains(got, `"provide fake : contract;"`) {
+		t.Fatalf("comment or string content altered:\n%s", got)
+	}
+	// Idempotent: stripping an already-stripped module is a no-op.
+	if again := StripContracts(got); again != got {
+		t.Fatalf("StripContracts not idempotent:\n%s\nvs\n%s", got, again)
+	}
+}
+
+// TestStripContractsBuiltins strips every embedded case-study module:
+// afterwards each provide statement must be the bare full-authority
+// form, with the same set of names exported.
+func TestStripContractsBuiltins(t *testing.T) {
+	bare := regexp.MustCompile(`provide\s+([A-Za-z_][A-Za-z0-9_]*)\s*;`)
+	any := regexp.MustCompile(`provide\s+([A-Za-z_][A-Za-z0-9_]*)`)
+	checked := 0
+	for name, src := range shill.ScriptFiles() {
+		if !strings.HasSuffix(name, ".cap") {
+			continue
+		}
+		checked++
+		got := StripContracts(src)
+		want := names(any.FindAllStringSubmatch(src, -1))
+		have := names(bare.FindAllStringSubmatch(got, -1))
+		if len(want) == 0 {
+			t.Errorf("%s: no provides found; the corpus assumption broke", name)
+			continue
+		}
+		if strings.Join(want, ",") != strings.Join(have, ",") {
+			t.Errorf("%s: stripped exports %v, want bare provides for %v\n%s", name, have, want, got)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no .cap modules in shill.ScriptFiles(); nothing exercised")
+	}
+}
+
+func names(matches [][]string) []string {
+	var out []string
+	for _, m := range matches {
+		out = append(out, m[1])
+	}
+	return out
+}

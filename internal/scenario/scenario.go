@@ -1,0 +1,213 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/shill"
+)
+
+// DefaultTimeout bounds one leg of a scenario that declares no timeout
+// of its own. A body that blocks past it is cancelled through the
+// session's context — the PR 3 contract guarantees the interruption is
+// prompt and leak-free.
+const DefaultTimeout = 20 * time.Second
+
+// KnownAttrs is the closed attribute vocabulary. Registration rejects a
+// scenario tagged outside it, and attr-expression parsing rejects a
+// selector naming an unknown attribute — a typo in either place is an
+// error, never a silently-empty selection.
+var KnownAttrs = map[string]bool{
+	"adversarial": true, // probes denials and escape attempts on purpose
+	"batch":       true, // cron-style fan-out
+	"build":       true, // configure/compile/install pipelines
+	"files":       true, // find/grep/archive chains
+	"legacy":      true, // the pre-registry loadgen bodies
+	"llm":         true, // the committed LLM-generated corpus
+	"logs":        true, // log rotation and processing
+	"net":         true, // binds or connects sockets
+	"sandbox":     true, // meaningfully exercises capability confinement
+	"slow":        true, // excluded from the CI '!slow' selection
+	"web":         true, // drives the netstack web tier
+}
+
+// Precondition is a named requirement checked against the freshly
+// booted machine before a leg runs. An unmet precondition makes the leg
+// report "skipped" — never "passed".
+type Precondition struct {
+	Name  string
+	Check func(m *shill.Machine) error
+}
+
+// RequireBinaries demands that every named executable resolves on the
+// image PATH.
+func RequireBinaries(names ...string) Precondition {
+	return Precondition{
+		Name: "binaries:" + strings.Join(names, ","),
+		Check: func(m *shill.Machine) error {
+			for _, n := range names {
+				if _, err := m.LookPath(n); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RequirePaths demands that every named path is staged on the image —
+// how a scenario states its workload-staging precondition.
+func RequirePaths(paths ...string) Precondition {
+	return Precondition{
+		Name: "paths:" + strings.Join(paths, ","),
+		Check: func(m *shill.Machine) error {
+			for _, p := range paths {
+				// ReadFile resolves directories too (their content is just
+				// empty), so this is a pure existence check.
+				if _, err := m.ReadFile(p); err != nil {
+					return fmt.Errorf("required path %s not staged: %w", p, err)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Scenario is one declared workload bundle: metadata, preconditions, a
+// fixture to boot from, the mutation/port manifest the harness holds
+// the run to, a body that drives sessions, and optional load-probe
+// derivations for the serving load generator.
+type Scenario struct {
+	// Name identifies the scenario, conventionally "area/name"
+	// ("build/pipeline"). Registration panics on duplicates.
+	Name string
+	// Desc is the one-line human description shill-scenarios lists.
+	Desc string
+	// Attrs tag the scenario for attr-expression selection; every entry
+	// must be in KnownAttrs.
+	Attrs []string
+	// Timeout bounds one leg (0: DefaultTimeout). On expiry the session
+	// context is cancelled; the PR 3 cancellation contract kills the
+	// run's process tree leak-free and the leg reports a timeout
+	// failure.
+	Timeout time.Duration
+	// Fixture names the registered fixture image the legs boot from
+	// ("" boots a bare machine). Fixtures are built once and
+	// snapshotted; every leg restores a private machine from the golden
+	// image, so scenarios sharing a fixture can never observe each
+	// other's writes.
+	Fixture string
+	// Pre are checked on the booted machine before the body runs; an
+	// unmet precondition reports the leg skipped.
+	Pre []Precondition
+	// WriteRoots are the filesystem subtrees the body may mutate — the
+	// scenario's no-escape manifest. A leg that touches paths outside
+	// them (consoles under /dev excepted) fails, and under the oracle
+	// that is a no-escape violation.
+	WriteRoots []string
+	// Ports lists the ports the body may bind while running. Any
+	// listener still bound after the body returns is a leak regardless
+	// of port.
+	Ports []int
+	// Body drives the scenario through the Env: sequential Step calls,
+	// background servers via Spawn, listener waits. It must behave
+	// identically under both modes — per-step outcomes are recorded and
+	// compared, so mode-dependent results belong in step statuses (and
+	// Expect), not in control flow.
+	Body func(ctx context.Context, e *Env) error
+	// Probes derive serving-load request shapes from this scenario for
+	// internal/server/loadgen's registry-sourced mix.
+	Probes []Probe
+}
+
+// attrSet returns the scenario's attributes as a lookup set.
+func (sc *Scenario) attrSet() map[string]bool {
+	set := make(map[string]bool, len(sc.Attrs))
+	for _, a := range sc.Attrs {
+		set[a] = true
+	}
+	return set
+}
+
+func (sc *Scenario) timeout() time.Duration {
+	if sc.Timeout > 0 {
+		return sc.Timeout
+	}
+	return DefaultTimeout
+}
+
+var registry struct {
+	sync.Mutex
+	scenarios map[string]*Scenario
+}
+
+// Register adds a scenario to the registry. It panics on a duplicate
+// name, an empty name or body, or an attribute outside KnownAttrs —
+// registration happens in package init, where a bad declaration should
+// stop the program, not surface as a skipped test.
+func Register(sc Scenario) {
+	if sc.Name == "" {
+		panic("scenario: Register: empty name")
+	}
+	if sc.Body == nil {
+		panic("scenario: Register: " + sc.Name + " has no body")
+	}
+	for _, a := range sc.Attrs {
+		if !KnownAttrs[a] {
+			panic(fmt.Sprintf("scenario: Register: %s declares unknown attr %q", sc.Name, a))
+		}
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.scenarios == nil {
+		registry.scenarios = make(map[string]*Scenario)
+	}
+	if _, dup := registry.scenarios[sc.Name]; dup {
+		panic("scenario: Register: duplicate scenario " + sc.Name)
+	}
+	cp := sc
+	for i := range cp.Probes {
+		cp.Probes[i].Scenario = cp.Name
+	}
+	registry.scenarios[sc.Name] = &cp
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []*Scenario {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]*Scenario, 0, len(registry.scenarios))
+	for _, sc := range registry.scenarios {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the named scenario, or nil.
+func Lookup(name string) *Scenario {
+	registry.Lock()
+	defer registry.Unlock()
+	return registry.scenarios[name]
+}
+
+// Select returns the scenarios matching an attr expression ("" selects
+// everything), sorted by name. An expression naming an unknown
+// attribute is an error.
+func Select(expr string) ([]*Scenario, error) {
+	e, err := ParseAttr(expr)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Scenario
+	for _, sc := range All() {
+		if e.Eval(sc.attrSet()) {
+			out = append(out, sc)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package scenario
+
+import "strings"
+
+// StripContracts rewrites a capability module so every
+// `provide name : <contract>;` becomes a bare `provide name;` — the
+// full-authority export form. It is how one committed module source
+// yields both legs of a scenario: the sandboxed leg runs it as written,
+// the ambient leg runs the stripped form, and the differential oracle
+// compares the two (the same Ambient/sandboxed pairing internal/gen
+// renders for generated programs).
+//
+// The scan is syntactic but contract-shape-aware: it skips comments and
+// strings, and consumes the contract by bracket depth over (), {}, []
+// until the terminating ';', so nested `with {...}` modifiers and
+// arrow types strip cleanly.
+func StripContracts(src string) string {
+	var out strings.Builder
+	out.Grow(len(src))
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#':
+			// Comment (or the #lang line): copy to end of line.
+			j := strings.IndexByte(src[i:], '\n')
+			if j < 0 {
+				out.WriteString(src[i:])
+				return out.String()
+			}
+			out.WriteString(src[i : i+j+1])
+			i += j + 1
+		case c == '"':
+			j := skipString(src, i)
+			out.WriteString(src[i:j])
+			i = j
+		case isWordStart(c) && wordBoundary(src, i) && strings.HasPrefix(src[i:], "provide") &&
+			(i+7 >= len(src) || !isWordChar(src[i+7])):
+			i = stripProvide(src, i, &out)
+		default:
+			out.WriteByte(c)
+			i++
+		}
+	}
+	return out.String()
+}
+
+// stripProvide copies `provide <name>` and reduces any `: contract` to
+// nothing, emitting the terminating ';'. It returns the index just past
+// the statement.
+func stripProvide(src string, i int, out *strings.Builder) int {
+	out.WriteString("provide")
+	i += len("provide")
+	// Copy whitespace + the provided identifier.
+	for i < len(src) && (src[i] == ' ' || src[i] == '\t') {
+		out.WriteByte(src[i])
+		i++
+	}
+	for i < len(src) && isWordChar(src[i]) {
+		out.WriteByte(src[i])
+		i++
+	}
+	// Skip to the next significant character.
+	for i < len(src) && (src[i] == ' ' || src[i] == '\t' || src[i] == '\n') {
+		i++
+	}
+	if i < len(src) && src[i] == ':' {
+		// Consume the contract up to the statement's ';' at depth 0.
+		i++
+		depth := 0
+		for i < len(src) {
+			switch src[i] {
+			case '(', '{', '[':
+				depth++
+			case ')', '}', ']':
+				depth--
+			case '"':
+				i = skipString(src, i) - 1
+			case '#':
+				if j := strings.IndexByte(src[i:], '\n'); j >= 0 {
+					i += j
+				} else {
+					i = len(src) - 1
+				}
+			case ';':
+				if depth == 0 {
+					out.WriteString(";")
+					return i + 1
+				}
+			}
+			i++
+		}
+		out.WriteString(";")
+		return i
+	}
+	// Bare provide already; keep whatever follows (normally ';').
+	return i
+}
+
+// skipString returns the index just past the string literal opening at i.
+func skipString(src string, i int) int {
+	j := i + 1
+	for j < len(src) {
+		if src[j] == '\\' {
+			j += 2
+			continue
+		}
+		if src[j] == '"' {
+			return j + 1
+		}
+		j++
+	}
+	return j
+}
+
+func isWordStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isWordChar(c byte) bool {
+	return isWordStart(c) || c >= '0' && c <= '9'
+}
+
+// wordBoundary reports whether position i starts a word (the previous
+// byte is not a word character).
+func wordBoundary(src string, i int) bool {
+	return i == 0 || !isWordChar(src[i-1])
+}

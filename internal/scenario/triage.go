@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ClusterKey is the root-cause identity of a failure: the failure
+// class, the step it first manifested at, and the deny-provenance key
+// (layer + op + missing rights) when a denial explains it. Twenty
+// scenarios all failing because one capability contract lost
+// +create_file collapse to one cluster — the xfstests-style triage that
+// makes a wide regression readable.
+type ClusterKey struct {
+	Kind       string `json:"kind"`
+	Step       string `json:"step,omitempty"`
+	Provenance string `json:"provenance,omitempty"`
+}
+
+// Cluster groups every non-passed mode result sharing a root cause.
+type Cluster struct {
+	ClusterKey
+	// Verdict is the worst verdict in the cluster (violation > failed >
+	// skipped).
+	Verdict string `json:"verdict"`
+	// Members lists "scenario/mode" identifiers, sorted.
+	Members []string `json:"members"`
+	// Example is one member's detail string, representative of the
+	// cluster.
+	Example string `json:"example,omitempty"`
+}
+
+// Clusterize groups the non-passed results of a run by root cause,
+// worst clusters first.
+func Clusterize(scs []ScenarioResult) []Cluster {
+	byKey := make(map[ClusterKey]*Cluster)
+	for _, sc := range scs {
+		for _, m := range sc.Modes {
+			if m.Verdict == "passed" {
+				continue
+			}
+			key := ClusterKey{Kind: m.Kind, Step: m.Step, Provenance: m.Provenance}
+			c := byKey[key]
+			if c == nil {
+				c = &Cluster{ClusterKey: key, Verdict: m.Verdict, Example: m.Detail}
+				byKey[key] = c
+			}
+			if verdictRank(m.Verdict) > verdictRank(c.Verdict) {
+				c.Verdict, c.Example = m.Verdict, m.Detail
+			}
+			c.Members = append(c.Members, sc.Name+"/"+string(m.Mode))
+		}
+	}
+	out := make([]Cluster, 0, len(byKey))
+	for _, c := range byKey {
+		sort.Strings(c.Members)
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := verdictRank(out[i].Verdict), verdictRank(out[j].Verdict); a != b {
+			return a > b
+		}
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return clusterLess(out[i].ClusterKey, out[j].ClusterKey)
+	})
+	return out
+}
+
+func verdictRank(v string) int {
+	switch v {
+	case "violation":
+		return 3
+	case "failed":
+		return 2
+	case "skipped":
+		return 1
+	}
+	return 0
+}
+
+func clusterLess(a, b ClusterKey) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Step != b.Step {
+		return a.Step < b.Step
+	}
+	return a.Provenance < b.Provenance
+}
+
+// FormatClusters renders clusters for terminal output.
+func FormatClusters(cs []Cluster) string {
+	if len(cs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range cs {
+		fmt.Fprintf(&b, "cluster %d [%s] kind=%s", i+1, c.Verdict, c.Kind)
+		if c.Step != "" {
+			fmt.Fprintf(&b, " step=%s", c.Step)
+		}
+		if c.Provenance != "" {
+			fmt.Fprintf(&b, " provenance=%q", c.Provenance)
+		}
+		fmt.Fprintf(&b, " (%d)\n", len(c.Members))
+		for _, m := range c.Members {
+			fmt.Fprintf(&b, "  %s\n", m)
+		}
+		if c.Example != "" {
+			fmt.Fprintf(&b, "  ↳ %s\n", c.Example)
+		}
+		if hint := clusterHint(c.Kind); hint != "" {
+			fmt.Fprintf(&b, "  hint: %s\n", hint)
+		}
+	}
+	return b.String()
+}
+
+// clusterHint suggests where to look for each failure class.
+func clusterHint(kind string) string {
+	switch kind {
+	case "conjunction":
+		return "the sandboxed leg out-performed ambient — a capability grants authority DAC would refuse; check the module's contracts against the fixture's ownership"
+	case "deny-unexplained":
+		return "a sandbox-only failure with no MAC/policy/capability denial in its window — likely a lost DenyReason or an op denied before audit; check the kernel path for the step's op"
+	case "no-escape":
+		return "writes landed outside the scenario's declared WriteRoots — either the scenario under-declares its roots or a capability leaked"
+	case "console-divergence":
+		return "a step marked CompareConsole printed different output per leg before any divergence — nondeterminism in the step or a contract changing visible behavior without failing"
+	case "expectation":
+		return "a step's Expect assertion failed for this mode — the scenario's model of the sandbox disagrees with its behavior"
+	case "timeout":
+		return "the body exceeded its scenario timeout — check for a spawned server that never bound its port or a Wait on a handle whose context is not the leg's"
+	}
+	return ""
+}

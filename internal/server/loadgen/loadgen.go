@@ -1,9 +1,10 @@
 // Package loadgen is the closed-loop load generator behind
 // cmd/shill-load and `benchfig -fig serve`: N concurrent clients drive
-// a shilld endpoint with a configurable mix of allowed, denied, and
-// cancelled runs, verify each response's shape (a deny response must
-// carry structured provenance; a cancel response must report
-// cancellation), and report throughput plus a latency histogram.
+// a shilld endpoint with a mix of allowed, denied, and cancelled runs
+// sampled from the scenario registry, verify each response's shape (a
+// deny response must carry structured provenance; a cancel response
+// must report cancellation), and report throughput plus a latency
+// histogram.
 package loadgen
 
 import (
@@ -19,20 +20,125 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/scenario"
 	"repro/internal/server"
 )
 
-// Mix is the request blend in percent; the three fields must sum to
+// Ratio is the request blend in percent; the three fields must sum to
 // 100. Kinds are interleaved deterministically, so e.g. 60/30/10 sends
 // exactly that blend regardless of scheduling.
-type Mix struct {
+type Ratio struct {
 	AllowPct  int `json:"allowPct"`
 	DenyPct   int `json:"denyPct"`
 	CancelPct int `json:"cancelPct"`
 }
 
-// DefaultMix is 60% allowed, 30% denied, 10% cancelled.
-var DefaultMix = Mix{AllowPct: 60, DenyPct: 30, CancelPct: 10}
+// DefaultRatio is 60% allowed, 30% denied, 10% cancelled.
+var DefaultRatio = Ratio{AllowPct: 60, DenyPct: 30, CancelPct: 10}
+
+// kindOf deals kinds deterministically in proportion to the ratio.
+func (r Ratio) kindOf(i int64) scenario.ProbeKind {
+	slot := int(i % 100)
+	switch {
+	case slot < r.AllowPct:
+		return scenario.KindAllow
+	case slot < r.AllowPct+r.DenyPct:
+		return scenario.KindDeny
+	default:
+		return scenario.KindCancel
+	}
+}
+
+// Request is one rendered load request: what to run and the shape of a
+// correct answer.
+type Request struct {
+	Kind        scenario.ProbeKind
+	Script      string
+	ScriptName  string
+	Argv        []string
+	DeadlineMs  int    // probe-level hint; 0 defers to the Config
+	WantConsole string // exact console of a correct allowed run ("" = don't check)
+}
+
+// Mix renders the i-th request of a run. Implementations must be
+// deterministic in i so runs are reproducible and blends exact.
+type Mix interface {
+	Name() string
+	Request(i int64) Request
+}
+
+// RegistryMix samples load probes from the scenario registry: every
+// scenario matching the attr expression contributes its Probes, and
+// the ratio deals allow/deny/cancel kinds deterministically. The
+// pre-registry hardcoded bodies live on as the "legacy" scenario set,
+// so MustMix("legacy", DefaultRatio) reproduces the historical
+// BENCH_serve workload exactly.
+type RegistryMix struct {
+	name   string
+	ratio  Ratio
+	byKind map[scenario.ProbeKind][]scenario.Probe
+}
+
+// NewRegistryMix builds a mix from the probes of the scenarios matching
+// attr. It errors on a bad expression, a ratio not summing to 100, or a
+// nonzero ratio component with no probes to serve it.
+func NewRegistryMix(attr string, ratio Ratio) (*RegistryMix, error) {
+	if ratio.AllowPct+ratio.DenyPct+ratio.CancelPct != 100 {
+		return nil, fmt.Errorf("loadgen: ratio %d/%d/%d does not sum to 100",
+			ratio.AllowPct, ratio.DenyPct, ratio.CancelPct)
+	}
+	scs, err := scenario.Select(attr)
+	if err != nil {
+		return nil, err
+	}
+	m := &RegistryMix{name: attr, ratio: ratio, byKind: make(map[scenario.ProbeKind][]scenario.Probe)}
+	for _, sc := range scs {
+		for _, p := range sc.Probes {
+			m.byKind[p.Kind] = append(m.byKind[p.Kind], p)
+		}
+	}
+	for kind, pct := range map[scenario.ProbeKind]int{
+		scenario.KindAllow:  ratio.AllowPct,
+		scenario.KindDeny:   ratio.DenyPct,
+		scenario.KindCancel: ratio.CancelPct,
+	} {
+		if pct > 0 && len(m.byKind[kind]) == 0 {
+			return nil, fmt.Errorf("loadgen: mix %q has no %s probes for a %d%% share", attr, kind, pct)
+		}
+	}
+	return m, nil
+}
+
+// MustMix is NewRegistryMix for literal arguments; it panics on error.
+func MustMix(attr string, ratio Ratio) *RegistryMix {
+	m, err := NewRegistryMix(attr, ratio)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name identifies the mix in reports.
+func (m *RegistryMix) Name() string {
+	return fmt.Sprintf("%s %d/%d/%d", m.name, m.ratio.AllowPct, m.ratio.DenyPct, m.ratio.CancelPct)
+}
+
+// Request renders the i-th request, rotating deterministically through
+// the kind's probes.
+func (m *RegistryMix) Request(i int64) Request {
+	kind := m.ratio.kindOf(i)
+	ps := m.byKind[kind]
+	p := ps[int(i)%len(ps)]
+	pr := p.Request(i)
+	return Request{
+		Kind:        kind,
+		Script:      pr.Script,
+		ScriptName:  pr.ScriptName,
+		Argv:        pr.Argv,
+		DeadlineMs:  p.DeadlineMs,
+		WantConsole: pr.WantConsole,
+	}
+}
 
 // Config tunes a load run.
 type Config struct {
@@ -45,7 +151,10 @@ type Config struct {
 	Requests int
 	// Duration bounds the run in time; 0 means run until Requests.
 	Duration time.Duration
-	// Mix is the request blend; zero value means DefaultMix.
+	// Mix renders the request stream; nil means the legacy scenario set
+	// at DefaultRatio — MustMix("legacy", DefaultRatio) — which
+	// reproduces the pre-registry hardcoded blend, keeping BENCH_serve
+	// comparable across the refactor.
 	Mix Mix
 	// Tenants spreads requests round-robin over this many tenants
 	// (t0, t1, …). Default 4.
@@ -72,8 +181,8 @@ func (c Config) withDefaults() Config {
 	if c.Requests <= 0 && c.Duration <= 0 {
 		c.Requests = 256
 	}
-	if c.Mix == (Mix{}) {
-		c.Mix = DefaultMix
+	if c.Mix == nil {
+		c.Mix = MustMix("legacy", DefaultRatio)
 	}
 	if c.Tenants <= 0 {
 		c.Tenants = 4
@@ -99,6 +208,10 @@ type LatencySummary struct {
 // Report is the outcome of one load run; it doubles as the
 // BENCH_serve.json document.
 type Report struct {
+	// Mix names the request stream the run sampled (mix name plus
+	// ratio), so two reports are only compared when their workloads
+	// match.
+	Mix        string  `json:"mix"`
 	Clients    int     `json:"clients"`
 	Requests   int     `json:"requests"`
 	ElapsedSec float64 `json:"elapsedSec"`
@@ -137,37 +250,10 @@ type Report struct {
 // Bad reports whether any response had the wrong shape.
 func (r *Report) Bad() int { return r.BadAllow + r.BadDeny + r.BadCancel }
 
-// The request kinds. Allow and deny go through built-in scripts every
-// default shilld machine resolves; cancel blocks on a socket accept
-// (each request on its own port so concurrent cancels don't collide)
-// until its short deadline kills it server-side.
-const (
-	kindAllow = iota
-	kindDeny
-	kindCancel
-)
-
-const allowScript = "#lang shill/ambient\n\nappend(stdout, \"ok\\n\");\n"
-
-func cancelScript(port int) string {
-	return fmt.Sprintf(`#lang shill/ambient
-require shill/sockets;
-
-append(stdout, "blocking\n");
-f = socket_factory("ip");
-l = socket_listen(f, "%d");
-c = socket_accept(l);
-`, port)
-}
-
 // Run drives the configured load and returns the report. ctx aborts
 // the run early (the report covers what was sent).
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Mix.AllowPct+cfg.Mix.DenyPct+cfg.Mix.CancelPct != 100 {
-		return nil, fmt.Errorf("loadgen: mix %d/%d/%d does not sum to 100",
-			cfg.Mix.AllowPct, cfg.Mix.DenyPct, cfg.Mix.CancelPct)
-	}
 
 	var (
 		issued   atomic.Int64
@@ -183,7 +269,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	client := &http.Client{Transport: transport}
 
 	type obs struct {
-		kind    int
+		req     Request
 		status  int
 		latency time.Duration
 		resp    *server.RunResponse
@@ -209,9 +295,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				o := obs{kind: kindOf(cfg.Mix, i)}
+				o := obs{req: cfg.Mix.Request(i)}
 				reqStart := time.Now()
-				o.status, o.resp, o.err = one(ctx, client, cfg, o.kind, i)
+				o.status, o.resp, o.err = one(ctx, client, cfg, o.req, i)
 				o.latency = time.Since(reqStart)
 				mu.Lock()
 				all = append(all, o)
@@ -222,7 +308,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := &Report{Clients: cfg.Clients}
+	rep := &Report{Mix: cfg.Mix.Name(), Clients: cfg.Clients}
 	var lat, latAllow, latDeny, latCancel []time.Duration
 	for _, o := range all {
 		rep.Requests++
@@ -240,25 +326,29 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			continue
 		}
 		lat = append(lat, o.latency)
-		switch o.kind {
-		case kindAllow:
+		switch o.req.Kind {
+		case scenario.KindAllow:
 			latAllow = append(latAllow, o.latency)
 			// No assertion on Denials: the per-run window on a shared
 			// tenant machine can legitimately include a concurrent
 			// neighbour's denials.
-			if o.resp.ExitStatus == 0 && o.resp.Console == "ok\n" && o.resp.Error == "" {
+			want := o.req.WantConsole
+			if len(cfg.AllowArgv) > 0 {
+				want = "ok\n"
+			}
+			if o.resp.ExitStatus == 0 && o.resp.Error == "" && (want == "" || o.resp.Console == want) {
 				rep.Allowed++
 			} else {
 				rep.BadAllow++
 			}
-		case kindDeny:
+		case scenario.KindDeny:
 			latDeny = append(latDeny, o.latency)
 			if o.resp.ExitStatus != 0 && deniedWithProvenance(o.resp) {
 				rep.Denied++
 			} else {
 				rep.BadDeny++
 			}
-		case kindCancel:
+		case scenario.KindCancel:
 			latCancel = append(latCancel, o.latency)
 			if o.resp.Canceled {
 				rep.Canceled++
@@ -292,39 +382,25 @@ func deniedWithProvenance(r *server.RunResponse) bool {
 	return false
 }
 
-// kindOf deals kinds deterministically in proportion to the mix.
-func kindOf(m Mix, i int64) int {
-	slot := int(i % 100)
-	switch {
-	case slot < m.AllowPct:
-		return kindAllow
-	case slot < m.AllowPct+m.DenyPct:
-		return kindDeny
-	default:
-		return kindCancel
-	}
-}
-
 // one sends a single request and decodes its response.
-func one(ctx context.Context, client *http.Client, cfg Config, kind int, i int64) (int, *server.RunResponse, error) {
+func one(ctx context.Context, client *http.Client, cfg Config, r Request, i int64) (int, *server.RunResponse, error) {
 	req := server.RunRequest{
 		Tenant:     fmt.Sprintf("t%d", i%int64(cfg.Tenants)),
 		DeadlineMs: cfg.DeadlineMs,
+		Script:     r.Script,
+		ScriptName: r.ScriptName,
+		Argv:       r.Argv,
 	}
-	switch kind {
-	case kindAllow:
-		if len(cfg.AllowArgv) > 0 {
-			req.Argv = cfg.AllowArgv
-		} else {
-			req.Script = allowScript
-		}
-	case kindDeny:
-		req.ScriptName = "why_denied.ambient"
-	case kindCancel:
-		// Ports spread over [20000, 52000) so concurrent cancels on one
-		// machine don't collide.
-		req.Script = cancelScript(20000 + int(i%32000))
+	switch {
+	case r.Kind == scenario.KindCancel:
+		// The short deadline is the point: it forces the probe's
+		// blocking script to be killed server-side.
 		req.DeadlineMs = cfg.CancelDeadlineMs
+	case r.DeadlineMs > 0:
+		req.DeadlineMs = r.DeadlineMs
+	}
+	if r.Kind == scenario.KindAllow && len(cfg.AllowArgv) > 0 {
+		req.Script, req.ScriptName, req.Argv = "", "", cfg.AllowArgv
 	}
 	body, err := json.Marshal(req)
 	if err != nil {

@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestRegistryMixDealsRatioExactly(t *testing.T) {
+	m := MustMix("legacy", DefaultRatio)
+	counts := map[scenario.ProbeKind]int{}
+	for i := int64(0); i < 100; i++ {
+		r := m.Request(i)
+		counts[r.Kind]++
+		switch r.Kind {
+		case scenario.KindAllow:
+			if r.Script == "" && len(r.Argv) == 0 {
+				t.Fatalf("allow request %d has no body", i)
+			}
+			if r.WantConsole == "" {
+				t.Fatalf("legacy allow request %d asserts no console shape", i)
+			}
+		case scenario.KindDeny:
+			if r.Script == "" && r.ScriptName == "" {
+				t.Fatalf("deny request %d has no body", i)
+			}
+		case scenario.KindCancel:
+			if r.Script == "" {
+				t.Fatalf("cancel request %d has no blocking script", i)
+			}
+		}
+	}
+	if counts[scenario.KindAllow] != 60 || counts[scenario.KindDeny] != 30 || counts[scenario.KindCancel] != 10 {
+		t.Fatalf("dealt %v, want exactly 60/30/10 per hundred requests", counts)
+	}
+	// Deterministic: the same index renders the same request.
+	if a, b := m.Request(7), m.Request(7); a.Kind != b.Kind || a.Script != b.Script || a.ScriptName != b.ScriptName {
+		t.Fatal("Request is not deterministic in i")
+	}
+	if !strings.Contains(m.Name(), "legacy") {
+		t.Fatalf("mix name %q does not identify its scenario selection", m.Name())
+	}
+}
+
+func TestNewRegistryMixErrors(t *testing.T) {
+	if _, err := NewRegistryMix("legacy", Ratio{AllowPct: 50, DenyPct: 30, CancelPct: 10}); err == nil {
+		t.Fatal("ratio not summing to 100 accepted")
+	}
+	if _, err := NewRegistryMix("definitely-bogus", DefaultRatio); err == nil {
+		t.Fatal("unknown attr expression accepted")
+	}
+	// The build scenarios declare no load probes, so a mix demanding
+	// cancels from them must fail loudly instead of dividing by zero at
+	// request time.
+	if _, err := NewRegistryMix("build", DefaultRatio); err == nil {
+		t.Fatal("mix over probe-less scenarios accepted")
+	}
+	// A zero share needs no probes: 100% allow over the legacy set works
+	// even if another kind's bucket were empty.
+	if _, err := NewRegistryMix("legacy", Ratio{AllowPct: 100}); err != nil {
+		t.Fatalf("100%% allow over legacy rejected: %v", err)
+	}
+}

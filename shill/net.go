@@ -1,0 +1,19 @@
+package shill
+
+import (
+	"time"
+
+	"repro/internal/netstack"
+)
+
+// WaitListener blocks until an IP listener is bound on the given port,
+// or the timeout elapses. It is how test harnesses synchronize a client
+// step with a server they started on another session.
+func (m *Machine) WaitListener(port string, timeout time.Duration) error {
+	return m.sys.K.Net.WaitListener(netstack.DomainIP, port, timeout, nil)
+}
+
+// ShutdownHTTP sends the simulated web servers' polite shutdown request
+// ("GET /__shutdown") to a listener on the given port. It is a no-op
+// when nothing is listening.
+func (m *Machine) ShutdownHTTP(port string) { m.shutdownListener(port) }
